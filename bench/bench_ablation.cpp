@@ -1,0 +1,135 @@
+// Ablations of the design choices DESIGN.md §6 calls out:
+//   1. UAP inner minimiser: DeepFool (minimal steps) vs FGSM (sign steps)
+//      vs the effect of the transfer-robustness criterion (EOT off).
+//   2. Cloning-set size vs cloning accuracy vs downstream UAP damage.
+//   3. Spectrogram resolution vs attack transferability.
+#include "bench_common.hpp"
+
+using namespace orev;
+using namespace orev::bench;
+
+namespace {
+
+double uap_damage(nn::Model& victim, nn::Model& surrogate,
+                  const data::Dataset& seed, const data::Dataset& eval,
+                  attack::Pgm& inner, bool robust) {
+  attack::UapConfig ucfg;
+  ucfg.eps = 0.5f;
+  ucfg.target_fooling = 0.95;
+  ucfg.max_passes = 5;
+  if (robust) {
+    ucfg.min_confidence = 0.9f;
+    ucfg.robust_draws = 3;
+    ucfg.robust_noise = 0.15f;
+  }
+  const attack::UapResult uap =
+      attack::generate_uap(surrogate, seed.x, inner, ucfg);
+  const nn::Tensor x_adv = attack::apply_uap(eval.x, uap.perturbation);
+  return attack::evaluate_attack(victim, eval.x, x_adv, eval.y).accuracy;
+}
+
+data::Dataset interference_subset(const data::Dataset& d, int cap) {
+  std::vector<int> rows;
+  for (int i = 0; i < d.size(); ++i)
+    if (d.y[static_cast<std::size_t>(i)] == ran::kLabelInterference)
+      rows.push_back(i);
+  return d.subset(rows).take(cap);
+}
+
+}  // namespace
+
+int main() {
+  CsvWriter csv;
+  csv.header({"ablation", "setting", "value"});
+
+  std::printf("=== Ablation 1: UAP inner minimiser and robustness criterion "
+              "===\n");
+  {
+    data::Dataset corpus = bench_spectrogram_corpus();
+    Rng rng(1);
+    data::Split split = data::stratified_split(corpus, 0.7, rng);
+    nn::Model victim = train_victim_cnn(split.train, split.test);
+    const data::Dataset d_clone =
+        attack::collect_clone_dataset(victim, split.train.x);
+    TrainedSurrogate sur = train_surrogate(
+        d_clone, surrogate_candidates(corpus.sample_shape(), 2)[1],
+        bench_clone_config());
+    const data::Dataset seed = interference_subset(d_clone, 150);
+    const data::Dataset eval = split.test.take(80);
+
+    attack::DeepFool df(30, 0.1f);
+    attack::Fgsm fgsm(0.25f);
+    const double df_robust =
+        uap_damage(victim, sur.model, seed, eval, df, true);
+    const double df_plain =
+        uap_damage(victim, sur.model, seed, eval, df, false);
+    const double fgsm_robust =
+        uap_damage(victim, sur.model, seed, eval, fgsm, true);
+    std::printf("victim accuracy under UAP (lower = stronger attack):\n"
+                "  DeepFool inner + robustness criterion: %.3f\n"
+                "  DeepFool inner, plain Algorithm 2:     %.3f\n"
+                "  FGSM inner + robustness criterion:     %.3f\n",
+                df_robust, df_plain, fgsm_robust);
+    csv.row("inner", "deepfool+robust", df_robust);
+    csv.row("inner", "deepfool+plain", df_plain);
+    csv.row("inner", "fgsm+robust", fgsm_robust);
+  }
+
+  std::printf("\n=== Ablation 2: cloning-set size ===\n");
+  {
+    data::Dataset corpus = bench_spectrogram_corpus();
+    Rng rng(2);
+    data::Split split = data::stratified_split(corpus, 0.7, rng);
+    nn::Model victim = train_victim_cnn(split.train, split.test);
+    const data::Dataset d_clone_full =
+        attack::collect_clone_dataset(victim, split.train.x);
+    const data::Dataset eval = split.test.take(80);
+
+    for (const int n : {40, 100, 250}) {
+      const data::Dataset d_clone = d_clone_full.take(n);
+      TrainedSurrogate sur = train_surrogate(
+          d_clone, surrogate_candidates(corpus.sample_shape(), 2)[1],
+          bench_clone_config());
+      attack::DeepFool inner(30, 0.1f);
+      const data::Dataset seed = interference_subset(d_clone, 150);
+      const double acc = seed.size() > 0
+                             ? uap_damage(victim, sur.model, seed, eval,
+                                          inner, true)
+                             : 1.0;
+      std::printf("  clone set %3d: cloning accuracy %.3f → victim "
+                  "accuracy under UAP %.3f\n",
+                  n, sur.cloning_accuracy, acc);
+      csv.row("clone-size", std::to_string(n), acc);
+    }
+  }
+
+  std::printf("\n=== Ablation 3: spectrogram resolution ===\n");
+  {
+    for (const int res : {16, 24, 32}) {
+      ran::SpectrogramConfig scfg;
+      scfg.freq_bins = res;
+      scfg.time_frames = res;
+      data::Dataset corpus = ran::make_spectrogram_dataset(scfg, 150, 4242);
+      Rng rng(3);
+      data::Split split = data::stratified_split(corpus, 0.7, rng);
+      nn::Model victim = train_victim_cnn(split.train, split.test);
+      const data::Dataset d_clone =
+          attack::collect_clone_dataset(victim, split.train.x);
+      TrainedSurrogate sur = train_surrogate(
+          d_clone, surrogate_candidates(corpus.sample_shape(), 2)[1],
+          bench_clone_config());
+      attack::DeepFool inner(30, 0.1f);
+      const data::Dataset seed = interference_subset(d_clone, 150);
+      const data::Dataset eval = split.test.take(80);
+      const double acc =
+          uap_damage(victim, sur.model, seed, eval, inner, true);
+      std::printf("  %2dx%-2d: cloning accuracy %.3f → victim accuracy "
+                  "under UAP %.3f\n",
+                  res, res, sur.cloning_accuracy, acc);
+      csv.row("resolution", std::to_string(res), acc);
+    }
+  }
+
+  save_csv(csv, "ablation");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Shared fixtures for the benchmark suite: the spectrogram/KPM/PRB corpora
+// at benchmark scale, victim training, the five-candidate surrogate list,
+// and table-printing helpers.
+//
+// Scale note: the paper trains ImageNet-class surrogates on GPUs over
+// 3,000 RGB 128×128 spectrograms. The benchmarks run the same pipeline on
+// one CPU core, so they default to 24×24 single-channel spectrograms and a
+// few hundred samples; every bench accepts its sizes as constants below.
+// Relative orderings (which surrogate clones best, UAP-vs-input-specific,
+// timing ratios) are preserved; see DESIGN.md §1.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "apps/model_zoo.hpp"
+#include "attack/clone.hpp"
+#include "attack/metrics.hpp"
+#include "attack/runner.hpp"
+#include "attack/uap.hpp"
+#include "data/dataset.hpp"
+#include "ran/datasets.hpp"
+#include "rictest/dataset.hpp"
+#include "util/csv.hpp"
+
+namespace orev::bench {
+
+/// The ε grid of Tables 1 and 2.
+inline const std::vector<float> kEpsGrid = {0.05f, 0.1f, 0.2f, 0.3f, 0.5f};
+
+/// Benchmark-scale spectrogram corpus (paper: 1,500 per class, 128×128).
+inline ran::SpectrogramConfig bench_spectrogram_config() {
+  ran::SpectrogramConfig cfg;
+  cfg.freq_bins = 24;
+  cfg.time_frames = 24;
+  return cfg;
+}
+
+inline data::Dataset bench_spectrogram_corpus(int per_class = 180,
+                                              std::uint64_t seed = 4242) {
+  return ran::make_spectrogram_dataset(bench_spectrogram_config(), per_class,
+                                       seed);
+}
+
+/// Train the Spectrogram IC xApp victim (BaseCNN) on a training split.
+inline nn::Model train_victim_cnn(const data::Dataset& train,
+                                  const data::Dataset& val,
+                                  std::uint64_t seed = 11) {
+  nn::Model victim = apps::make_base_cnn(train.sample_shape(),
+                                         train.num_classes, seed);
+  nn::TrainConfig cfg;
+  cfg.max_epochs = 12;
+  cfg.learning_rate = 2e-3f;
+  cfg.early_stop_patience = 4;
+  nn::Trainer trainer(cfg);
+  trainer.fit(victim, train.x, train.y, val.x, val.y);
+  return victim;
+}
+
+/// The five surrogate candidates of Tables 1/2 for a given input shape.
+inline std::vector<attack::Candidate> surrogate_candidates(
+    const nn::Shape& input_shape, int num_classes) {
+  std::vector<attack::Candidate> out;
+  for (const apps::Arch arch : apps::all_archs()) {
+    out.push_back(attack::Candidate{
+        apps::arch_name(arch), [arch, input_shape, num_classes](
+                                   std::uint64_t seed) {
+          return apps::make_arch(arch, input_shape, num_classes, seed);
+        }});
+  }
+  return out;
+}
+
+/// MCA training configuration used across benches.
+inline attack::CloneConfig bench_clone_config() {
+  attack::CloneConfig cfg;
+  cfg.train.max_epochs = 10;
+  cfg.train.learning_rate = 2e-3f;
+  cfg.train.early_stop_patience = 3;
+  return cfg;
+}
+
+/// Train one named surrogate on D_clone; returns the trained model and its
+/// cloning accuracy.
+struct TrainedSurrogate {
+  nn::Model model;
+  double cloning_accuracy = 0.0;
+};
+inline TrainedSurrogate train_surrogate(const data::Dataset& d_clone,
+                                        const attack::Candidate& candidate,
+                                        const attack::CloneConfig& cfg) {
+  attack::CloneReport r = attack::clone_model(d_clone, {candidate}, cfg);
+  return TrainedSurrogate{std::move(r.model), r.cloning_accuracy};
+}
+
+/// Benchmark-scale PRB corpus for the power-saving rApp (paper: 40 days).
+inline data::Dataset bench_prb_corpus(int days = 24,
+                                      std::uint64_t seed = 0xc17f) {
+  rictest::CityTraceConfig cfg;
+  cfg.days = days;
+  cfg.seed = seed;
+  return rictest::make_power_saving_dataset(cfg, 12, /*stride=*/4);
+}
+
+/// Train the Power-Saving rApp victim CNN.
+inline nn::Model train_victim_ps(const data::Dataset& train,
+                                 const data::Dataset& val,
+                                 std::uint64_t seed = 21) {
+  nn::Model victim = apps::make_power_saving_cnn(train.sample_shape(),
+                                                 train.num_classes, seed);
+  nn::TrainConfig cfg;
+  cfg.max_epochs = 40;
+  cfg.learning_rate = 5e-3f;
+  cfg.early_stop_patience = 8;
+  nn::Trainer trainer(cfg);
+  trainer.fit(victim, train.x, train.y, val.x, val.y);
+  return victim;
+}
+
+/// Write a CSV under ./bench_results/ (created on demand) and announce it.
+inline void save_csv(const CsvWriter& csv, const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  const std::string path = "bench_results/" + name + ".csv";
+  if (csv.save(path)) {
+    std::printf("[csv] wrote %s\n", path.c_str());
+  } else {
+    std::printf("[csv] FAILED to write %s\n", path.c_str());
+  }
+}
+
+inline void print_rule() {
+  std::printf("-------------------------------------------------------------"
+              "-----------------\n");
+}
+
+}  // namespace orev::bench

@@ -1,0 +1,109 @@
+// Figure 6 reproduction: targeted attacks on the Power-Saving rApp at
+// ε = 0.5 over ~500 prediction samples — (a) TASR and (b) NTASR for
+// input-specific PGD, input-specific FGSM and the targeted UAP (TUP),
+// per surrogate — plus the §6.3.2 scalability comparison: PGD needs
+// minutes for the batch (29.75 min in the paper) while the precomputed
+// TUP applies instantly.
+#include <chrono>
+
+#include "bench_common.hpp"
+
+using namespace orev;
+using namespace orev::bench;
+
+int main() {
+  std::printf("=== Figure 6: PGD vs FGSM vs TUP on the Power-Saving rApp "
+              "(eps = 0.5) ===\n");
+  const int target = static_cast<int>(rictest::kMostDisruptiveAction);
+
+  data::Dataset corpus = bench_prb_corpus();
+  Rng rng(3);
+  data::Split split = data::stratified_split(corpus, 0.7, rng);
+  nn::Model victim = train_victim_ps(split.train, split.test);
+  const data::Dataset d_clone =
+      attack::collect_clone_dataset(victim, split.train.x);
+  const data::Dataset attack_set =
+      split.test.take(std::min(500, split.test.size()));
+  std::printf("attack set: %d samples\n", attack_set.size());
+
+  attack::CloneConfig ccfg;
+  ccfg.train.max_epochs = 30;
+  ccfg.train.learning_rate = 5e-3f;
+  ccfg.train.early_stop_patience = 6;
+
+  CsvWriter csv;
+  csv.header({"surrogate", "method", "tasr", "ntasr", "apd",
+              "batch_seconds"});
+
+  const std::vector<apps::Arch> surrogates = {
+      apps::Arch::kDenseNet, apps::Arch::kMobileNet, apps::Arch::kOneLayer};
+
+  for (const apps::Arch arch : surrogates) {
+    attack::Candidate cand{
+        apps::arch_name(arch), [&](std::uint64_t seed) {
+          return apps::make_arch(arch, corpus.sample_shape(),
+                                 corpus.num_classes, seed);
+        }};
+    TrainedSurrogate sur = train_surrogate(d_clone, cand, ccfg);
+    std::printf("\nsurrogate %s (cloning accuracy %.3f)\n",
+                cand.name.c_str(), sur.cloning_accuracy);
+    print_rule();
+
+    // Input-specific targeted PGD and FGSM, timed over the whole batch.
+    struct Method {
+      const char* name;
+      attack::PgmPtr pgm;
+    };
+    Method methods[2] = {
+        {"PGD", std::make_unique<attack::Pgd>(0.5f, 10)},
+        {"FGSM", std::make_unique<attack::Fgsm>(0.5f)},
+    };
+    for (Method& m : methods) {
+      const attack::BatchAttackResult batch =
+          attack::attack_batch(*m.pgm, sur.model, attack_set.x, target);
+      const attack::AttackMetrics metrics = attack::evaluate_attack(
+          victim, attack_set.x, batch.adversarial, attack_set.y, target);
+      const double batch_s =
+          batch.mean_ms_per_sample * attack_set.size() / 1000.0;
+      std::printf("  %-6s TASR %5.1f%%  NTASR %5.1f%%  APD %.2f  batch "
+                  "time %.2f s\n",
+                  m.name, 100.0 * metrics.tasr, 100.0 * metrics.ntasr,
+                  metrics.apd, batch_s);
+      csv.row(cand.name, m.name, 100.0 * metrics.tasr,
+              100.0 * metrics.ntasr, metrics.apd, batch_s);
+    }
+
+    // TUP: precompute once, apply to the whole batch instantly.
+    attack::UapConfig ucfg;
+    ucfg.eps = 0.5f;
+    ucfg.target_fooling = 0.95;
+    ucfg.max_passes = 5;
+    ucfg.min_confidence = 0.8f;
+    ucfg.robust_draws = 3;
+    ucfg.robust_noise = 0.1f;
+    attack::DeepFool inner(30, 0.1f);
+    const attack::UapResult tup = attack::generate_targeted_uap(
+        sur.model, d_clone.take(250).x, inner, target, ucfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const nn::Tensor x_adv = attack::apply_uap(attack_set.x,
+                                               tup.perturbation);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double apply_s =
+        std::chrono::duration<double>(t1 - t0).count();
+    const attack::AttackMetrics metrics = attack::evaluate_attack(
+        victim, attack_set.x, x_adv, attack_set.y, target);
+    std::printf("  %-6s TASR %5.1f%%  NTASR %5.1f%%  APD %.2f  batch "
+                "apply time %.4f s (precomputed)\n",
+                "TUP", 100.0 * metrics.tasr, 100.0 * metrics.ntasr,
+                metrics.apd, apply_s);
+    csv.row(cand.name, "TUP", 100.0 * metrics.tasr, 100.0 * metrics.ntasr,
+            metrics.apd, apply_s);
+  }
+
+  std::printf("\nshape check: PGD achieves the top TASR but needs the whole "
+              "batch's generation time\n(the paper measures 29.75 minutes "
+              "for 500 cells); the precomputed TUP applies in\nmilliseconds "
+              "— the §6.3.2 scalability argument.\n");
+  save_csv(csv, "fig6");
+  return 0;
+}

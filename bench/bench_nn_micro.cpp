@@ -1,0 +1,103 @@
+// google-benchmark microbenchmarks of the numeric substrate (src/nn):
+// matmul kernels, conv forward/backward, full model forward and
+// input-gradient passes — the primitives whose cost sets every attack's
+// latency budget (Fig. 3's raw ingredients).
+#include <benchmark/benchmark.h>
+
+#include "apps/model_zoo.hpp"
+#include "nn/layers.hpp"
+
+using namespace orev;
+using namespace orev::nn;
+
+namespace {
+
+Tensor rand_tensor(Shape s, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return Tensor::randn(std::move(s), rng);
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Tensor a = rand_tensor({n, n});
+  const Tensor b = rand_tensor({n, n}, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatmulBt(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Tensor a = rand_tensor({n, n});
+  const Tensor b = rand_tensor({n, n}, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul_bt(a, b));
+}
+BENCHMARK(BM_MatmulBt)->Arg(64);
+
+void BM_Conv2DForward(benchmark::State& state) {
+  Conv2D conv(8, 16, 3, 1, 1);
+  Rng rng(3);
+  conv.init(rng);
+  const Tensor x = rand_tensor({1, 8, 24, 24});
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x, false));
+}
+BENCHMARK(BM_Conv2DForward);
+
+void BM_Conv2DBackward(benchmark::State& state) {
+  Conv2D conv(8, 16, 3, 1, 1);
+  Rng rng(4);
+  conv.init(rng);
+  const Tensor x = rand_tensor({1, 8, 24, 24});
+  const Tensor g = rand_tensor({1, 16, 24, 24});
+  conv.forward(x, true);
+  for (auto _ : state) {
+    for (Param* p : conv.params()) p->zero_grad();
+    benchmark::DoNotOptimize(conv.backward(g));
+  }
+}
+BENCHMARK(BM_Conv2DBackward);
+
+void BM_DepthwiseForward(benchmark::State& state) {
+  DepthwiseConv2D conv(16, 3, 1, 1);
+  Rng rng(5);
+  conv.init(rng);
+  const Tensor x = rand_tensor({1, 16, 24, 24});
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x, false));
+}
+BENCHMARK(BM_DepthwiseForward);
+
+void BM_ModelForward(benchmark::State& state) {
+  nn::Model m = apps::make_arch(
+      apps::all_archs()[static_cast<std::size_t>(state.range(0))],
+      {1, 24, 24}, 2, 7);
+  const Tensor x = rand_tensor({1, 1, 24, 24});
+  for (auto _ : state) benchmark::DoNotOptimize(m.forward(x));
+  state.SetLabel(apps::arch_name(
+      apps::all_archs()[static_cast<std::size_t>(state.range(0))]));
+}
+BENCHMARK(BM_ModelForward)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_InputGradient(benchmark::State& state) {
+  nn::Model m = apps::make_arch(
+      apps::all_archs()[static_cast<std::size_t>(state.range(0))],
+      {1, 24, 24}, 2, 8);
+  const Tensor x = rand_tensor({1, 24, 24});
+  for (auto _ : state) {
+    m.zero_grad();
+    benchmark::DoNotOptimize(m.input_gradient(x, {0}));
+  }
+  state.SetLabel(apps::arch_name(
+      apps::all_archs()[static_cast<std::size_t>(state.range(0))]));
+}
+BENCHMARK(BM_InputGradient)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  BatchNorm bn(16);
+  const Tensor x = rand_tensor({8, 16, 12, 12});
+  for (auto _ : state) benchmark::DoNotOptimize(bn.forward(x, true));
+}
+BENCHMARK(BM_BatchNormForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Table 1 reproduction: accuracy and APD of the victim Spectrogram IC xApp
+// under "<surrogate> + FGSM" (input-specific) and "<surrogate> + UAP(FGSM)"
+// black-box attacks at ε ∈ {0.05, 0.1, 0.2, 0.3, 0.5}, plus the cloning
+// accuracies at ε = 0 reported in §5.3.1.
+//
+// Paper shape to reproduce: input-specific attacks are more potent at a
+// given ε but at substantially higher APD; at comparable APD the UAP wins;
+// DenseNet is the strongest non-Base surrogate; even 1L degrades the
+// victim; accuracy falls monotonically in ε.
+#include "bench_common.hpp"
+
+using namespace orev;
+using namespace orev::bench;
+
+int main() {
+  std::printf("=== Table 1: surrogate architectures × ε, FGSM vs UAP(FGSM) "
+              "===\n");
+
+  // Victim + corpus (§A.5).
+  data::Dataset corpus = bench_spectrogram_corpus();
+  Rng rng(1);
+  data::Split split = data::stratified_split(corpus, 0.7, rng);
+  nn::Model victim = train_victim_cnn(split.train, split.test);
+  const nn::EvalResult clean = nn::evaluate(victim, split.test.x,
+                                            split.test.y);
+  std::printf("victim (BaseCNN) clean accuracy: %.3f on %d test samples\n",
+              clean.accuracy, split.test.size());
+
+  // D_clone: the attacker's observed (input, victim prediction) pairs.
+  const data::Dataset d_clone =
+      attack::collect_clone_dataset(victim, split.train.x);
+
+  // Attack set: held-out samples (bounded for runtime).
+  const data::Dataset attack_set = split.test.take(80);
+
+  CsvWriter csv;
+  csv.header({"surrogate", "eps", "is_accuracy", "is_apd", "uap_accuracy",
+              "uap_apd", "cloning_accuracy"});
+
+  print_rule();
+  std::printf("%-22s", "Victim: BaseCNN");
+  for (const float eps : kEpsGrid) std::printf("| eps=%-4.2f Acc/APD ", eps);
+  std::printf("\n");
+  print_rule();
+
+  const attack::CloneConfig ccfg = bench_clone_config();
+  for (const attack::Candidate& cand :
+       surrogate_candidates(corpus.sample_shape(), corpus.num_classes)) {
+    TrainedSurrogate sur = train_surrogate(d_clone, cand, ccfg);
+    std::printf("cloning accuracy (%s): %.3f\n", cand.name.c_str(),
+                sur.cloning_accuracy);
+
+    attack::UapConfig ubase;
+    ubase.target_fooling = 0.95;
+    ubase.max_passes = 5;
+    ubase.min_confidence = 0.9f;
+    ubase.robust_draws = 3;
+    ubase.robust_noise = 0.15f;
+    // Algorithm 2 iterates over the attacker's observation log (the paper
+    // uses 350 observed predictions), never the evaluation set. The seed
+    // is the interference-labelled subset: hiding the jammer is the
+    // operationally damaging direction, and on a binary victim the two
+    // flip directions are antagonistic at the same pixels (see
+    // EXPERIMENTS.md for the resulting ~0.5 accuracy floor).
+    std::vector<int> jammed_rows;
+    for (int i = 0; i < d_clone.size(); ++i)
+      if (d_clone.y[static_cast<std::size_t>(i)] == ran::kLabelInterference)
+        jammed_rows.push_back(i);
+    const data::Dataset uap_seed = d_clone.subset(jammed_rows).take(150);
+    const auto sweep =
+        attack::epsilon_sweep(victim, sur.model, attack_set.x, attack_set.y,
+                              kEpsGrid, ubase, /*target_class=*/-1,
+                              uap_seed.x);
+
+    std::printf("%-22s", (cand.name + " + FGSM").c_str());
+    for (const auto& p : sweep)
+      std::printf("| %.3f / %-8.3f", p.input_specific.accuracy,
+                  p.input_specific.apd);
+    std::printf("\n%-22s", (cand.name + " + UAP (FGSM)").c_str());
+    for (const auto& p : sweep)
+      std::printf("| %.3f / %-8.3f", p.uap.accuracy, p.uap.apd);
+    std::printf("\n");
+    print_rule();
+
+    for (const auto& p : sweep) {
+      csv.row(cand.name, p.eps, p.input_specific.accuracy,
+              p.input_specific.apd, p.uap.accuracy, p.uap.apd,
+              sur.cloning_accuracy);
+    }
+  }
+
+  save_csv(csv, "table1");
+  return 0;
+}

@@ -1,0 +1,202 @@
+// Near-RT RIC end-to-end demo: the complete internal-adversary lifecycle
+// from §3.1, through the real platform plumbing.
+//
+//   1. The operator defines roles, signs and onboards three apps: the
+//      victim IC xApp, a "KPI processor" whose role is over-permissive
+//      (telemetry WRITE — the §2.2.2 misconfiguration), and nothing else.
+//   2. The RAN simulator streams spectrogram indications over E2; the
+//      platform stores them in the SDL; the victim classifies and steers
+//      the RAN (adaptive vs fixed MCS).
+//   3. The malicious xApp passively observes (inputs + victim labels),
+//      clones the victim with Algorithm 1, precomputes a UAP with
+//      Algorithm 2, then rewrites the SDL entries in-window.
+//   4. We report the victim's detection rate and the link's BLER before
+//      and after, then re-run with a correctly-scoped (read-only) policy
+//      to show the attack die at the SDL.
+//
+// Build & run:  ./build/examples/ic_xapp_attack
+#include <cstdio>
+
+#include "apps/ic_xapp.hpp"
+#include "apps/malicious_xapp.hpp"
+#include "apps/model_zoo.hpp"
+#include "attack/clone.hpp"
+#include "attack/uap.hpp"
+#include "ran/datasets.hpp"
+#include "ran/link.hpp"
+#include "oran/near_rt_ric.hpp"
+
+using namespace orev;
+
+namespace {
+
+class RanNode : public oran::E2Node {
+ public:
+  explicit RanNode(ran::UplinkSim* sim) : sim_(sim) {}
+  void handle_control(const oran::E2Control& c) override {
+    sim_->set_mcs_mode(c.action == oran::ControlAction::kSetAdaptiveMcs
+                           ? ran::McsMode::kAdaptive
+                           : ran::McsMode::kFixed);
+  }
+  std::string node_id() const override { return "gnb-1"; }
+
+ private:
+  ran::UplinkSim* sim_;
+};
+
+struct Stack {
+  oran::Rbac rbac;
+  oran::Operator op{"operator-1", "signing-secret"};
+  oran::OnboardingService svc{&op, &rbac};
+  oran::NearRtRic ric{&rbac, &svc, /*control_window_ms=*/1000.0};
+
+  std::string onboard(const std::string& name, const std::string& role) {
+    oran::AppDescriptor d;
+    d.name = name;
+    d.version = "1.0";
+    d.vendor = "vendor-x";
+    d.payload = "app-package-bytes";
+    d.requested_role = role;
+    const oran::OnboardResult r = svc.onboard(op.package(d));
+    std::printf("  onboarding %-14s → %s (%s)\n", name.c_str(),
+                r.accepted ? "accepted" : "REJECTED", r.reason.c_str());
+    return r.app_id;
+  }
+};
+
+double run_phase(oran::NearRtRic& ric, ran::UplinkSim& sim,
+                 apps::IcXApp& victim, int ttis, double* mean_bler) {
+  const auto det0 = victim.interference_detected();
+  const auto n0 = victim.predictions_made();
+  double bler = 0.0;
+  for (int t = 0; t < ttis; ++t) {
+    const ran::KpmRecord k = sim.step();
+    bler += k.bler;
+    oran::E2Indication ind;
+    ind.ran_node_id = "gnb-1";
+    ind.tti = static_cast<std::uint64_t>(t);
+    ind.kind = oran::IndicationKind::kSpectrogram;
+    ind.payload = sim.capture_spectrogram();
+    ric.deliver_indication(ind);
+  }
+  if (mean_bler != nullptr) *mean_bler = bler / ttis;
+  return static_cast<double>(victim.interference_detected() - det0) /
+         static_cast<double>(victim.predictions_made() - n0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("— Training the victim IC xApp model —\n");
+  ran::SpectrogramConfig scfg;
+  scfg.freq_bins = 24;
+  scfg.time_frames = 24;
+  data::Dataset corpus = ran::make_spectrogram_dataset(scfg, 150, 42);
+  Rng rng(7);
+  data::Split split = data::stratified_split(corpus, 0.7, rng);
+  nn::Model victim_model = apps::make_base_cnn(corpus.sample_shape(), 2, 1);
+  nn::TrainConfig tcfg;
+  tcfg.max_epochs = 12;
+  tcfg.learning_rate = 2e-3f;
+  nn::Trainer(tcfg).fit(victim_model, split.train.x, split.train.y,
+                        split.test.x, split.test.y);
+
+  std::printf("\n— Onboarding (operator-signed packages) —\n");
+  Stack stack;
+  stack.rbac.define_role("ic-xapp",
+                         {oran::Permission{"telemetry/*", true, false},
+                          oran::Permission{"decisions", true, true},
+                          oran::Permission{"e2/control", false, true}});
+  // The misconfiguration: a processing app granted telemetry WRITE.
+  stack.rbac.define_role("kpi-processor",
+                         {oran::Permission{"telemetry/*", true, true},
+                          oran::Permission{"decisions", true, false}});
+  const std::string victim_id = stack.onboard("ic-xapp", "ic-xapp");
+  const std::string attacker_id = stack.onboard("kpi-helper",
+                                                "kpi-processor");
+
+  ran::UplinkConfig ucfg;
+  ucfg.spectrogram = scfg;
+  ran::UplinkSim sim(ucfg, 99);
+  RanNode node(&sim);
+  stack.ric.connect_e2(&node);
+
+  auto victim = std::make_shared<apps::IcXApp>(
+      std::move(victim_model), oran::IndicationKind::kSpectrogram, 13);
+  auto attacker = std::make_shared<apps::MaliciousXApp>(
+      oran::IndicationKind::kSpectrogram);
+  stack.ric.register_xapp(attacker, attacker_id, 1);
+  stack.ric.register_xapp(victim, victim_id, 10);
+
+  std::printf("\n— Phase 1: passive observation (jammer duty-cycled) —\n");
+  for (int round = 0; round < 6; ++round) {
+    if (round % 2 == 0) sim.jammer().activate();
+    else sim.jammer().deactivate();
+    run_phase(stack.ric, sim, *victim, 25, nullptr);
+  }
+  std::printf("  observed %zu (input, victim-label) pairs through the SDL\n",
+              attacker->observed_inputs().size());
+
+  std::printf("\n— Phase 2: Model Cloning Algorithm (offline) —\n");
+  const data::Dataset d_clone = attack::clone_dataset_from_observations(
+      attacker->observed_inputs(), attacker->observed_labels(), 2);
+  attack::CloneConfig ccfg;
+  ccfg.train.max_epochs = 10;
+  ccfg.train.learning_rate = 2e-3f;
+  attack::CloneReport clone = attack::clone_model(
+      d_clone,
+      {{"DenseNet",
+        [&](std::uint64_t s) {
+          return apps::make_mini_densenet(corpus.sample_shape(), 2, s);
+        }}},
+      ccfg);
+  std::printf("  surrogate: %s, cloning accuracy %.3f\n",
+              clone.best_arch.c_str(), clone.cloning_accuracy);
+
+  std::printf("\n— Phase 3: UAP precomputation (Algorithm 2) —\n");
+  std::vector<int> jammed;
+  for (int i = 0; i < d_clone.size(); ++i)
+    if (d_clone.y[static_cast<std::size_t>(i)] == ran::kLabelInterference)
+      jammed.push_back(i);
+  attack::UapConfig uapc;
+  uapc.eps = 0.5f;
+  uapc.target_fooling = 0.95;
+  uapc.max_passes = 5;
+  uapc.min_confidence = 0.9f;
+  uapc.robust_draws = 3;
+  uapc.robust_noise = 0.15f;
+  attack::DeepFool inner(30, 0.1f);
+  const attack::UapResult uap = attack::generate_uap(
+      clone.model, d_clone.subset(jammed).x, inner, uapc);
+  std::printf("  UAP ready, ||u||_inf = %.2f\n",
+              uap.perturbation.norm_inf());
+
+  std::printf("\n— Phase 4: live attack under jamming —\n");
+  sim.jammer().activate();
+  double bler_before = 0.0;
+  const double det_before =
+      run_phase(stack.ric, sim, *victim, 60, &bler_before);
+  attacker->arm_uap(uap.perturbation);
+  double bler_after = 0.0;
+  const double det_after =
+      run_phase(stack.ric, sim, *victim, 60, &bler_after);
+  std::printf("  detection rate: %.2f → %.2f\n", det_before, det_after);
+  std::printf("  link BLER:      %.2f → %.2f\n", bler_before, bler_after);
+  std::printf("  perturbations injected through the SDL: %llu\n",
+              static_cast<unsigned long long>(
+                  attacker->perturbations_applied()));
+
+  std::printf("\n— Coda: the same attack under a correctly-scoped policy —\n");
+  // Revoke the telemetry write (simulating the policy audit §7 calls for).
+  stack.rbac.define_role("kpi-processor",
+                         {oran::Permission{"telemetry/*", true, false},
+                          oran::Permission{"decisions", true, false}});
+  const auto blocked_before = attacker->perturbations_applied();
+  run_phase(stack.ric, sim, *victim, 30, nullptr);
+  std::printf("  perturbations that landed after the policy fix: %llu\n",
+              static_cast<unsigned long long>(
+                  attacker->perturbations_applied() - blocked_before));
+  std::printf("  SDL audit log records %zu access checks\n",
+              stack.ric.sdl().audit_log().size());
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "apps/ic_xapp.hpp"
+
+#include "ran/datasets.hpp"
+#include "util/log.hpp"
+
+namespace orev::apps {
+
+IcXApp::IcXApp(nn::Model model, oran::IndicationKind kind,
+               int fixed_mcs_index)
+    : model_(std::move(model)), kind_(kind), fixed_mcs_index_(fixed_mcs_index) {}
+
+void IcXApp::on_indication(const oran::E2Indication& ind,
+                           oran::NearRtRic& ric) {
+  if (ind.kind != kind_) return;
+
+  const char* ns = kind_ == oran::IndicationKind::kSpectrogram
+                       ? oran::kNsSpectrogram
+                       : oran::kNsKpm;
+  const std::string key = ind.ran_node_id + "/current";
+
+  nn::Tensor input;
+  const oran::SdlStatus st =
+      ric.sdl().read_tensor(app_id(), ns, key, input);
+  if (st != oran::SdlStatus::kOk) {
+    log_warn("IC xApp could not read telemetry: ", app_id());
+    return;
+  }
+
+  const int pred = model_.predict_one(input);
+  ++predictions_;
+  last_prediction_ = pred;
+  if (pred == ran::kLabelInterference) ++detections_;
+
+  // Publish the prediction (legitimately observable by other apps with
+  // read access to the decisions namespace — the cloning side channel).
+  ric.sdl().write_text(app_id(), oran::kNsDecisions, "ic/" + ind.ran_node_id,
+                       std::to_string(pred));
+
+  oran::E2Control control;
+  if (pred == ran::kLabelInterference) {
+    control.action = oran::ControlAction::kSetAdaptiveMcs;
+  } else {
+    control.action = oran::ControlAction::kSetFixedMcs;
+    control.fixed_mcs_index = fixed_mcs_index_;
+  }
+  ric.send_control(app_id(), control);
+}
+
+}  // namespace orev::apps

@@ -1,0 +1,44 @@
+// Interference Classification (IC) xApp — the Near-RT RIC victim (§5.1).
+//
+// Two variants share this implementation, differing only in the model and
+// the indication kind they subscribe to:
+//   * Spectrogram-based: BaseCNN over [1, H, W] spectrograms;
+//   * KPM-based: dense DNN over [4] KPM feature vectors.
+//
+// Per indication the xApp reads the telemetry entry from the SDL (the same
+// entry a co-hosted malicious xApp may have just perturbed), classifies it,
+// publishes its prediction to the decisions namespace, and steers the RAN:
+// interference detected → adaptive MCS, clean → fixed (high) MCS.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "nn/model.hpp"
+#include "oran/near_rt_ric.hpp"
+
+namespace orev::apps {
+
+class IcXApp : public oran::XApp {
+ public:
+  IcXApp(nn::Model model, oran::IndicationKind kind, int fixed_mcs_index);
+
+  void on_indication(const oran::E2Indication& ind,
+                     oran::NearRtRic& ric) override;
+
+  nn::Model& model() { return model_; }
+
+  std::uint64_t predictions_made() const { return predictions_; }
+  std::uint64_t interference_detected() const { return detections_; }
+  std::optional<int> last_prediction() const { return last_prediction_; }
+
+ private:
+  nn::Model model_;
+  oran::IndicationKind kind_;
+  int fixed_mcs_index_;
+  std::uint64_t predictions_ = 0;
+  std::uint64_t detections_ = 0;
+  std::optional<int> last_prediction_;
+};
+
+}  // namespace orev::apps

@@ -1,0 +1,50 @@
+#include "apps/malicious_rapp.hpp"
+
+#include "util/log.hpp"
+
+namespace orev::apps {
+
+void MaliciousRApp::arm_targeted_uap(nn::Tensor uap) {
+  uap_ = std::move(uap);
+  mode_ = Mode::kAttack;
+}
+
+void MaliciousRApp::on_pm_period(const oran::PmReport& /*report*/,
+                                 oran::NonRtRic& ric) {
+  nn::Tensor history;
+  if (ric.sdl().read_tensor(app_id(), oran::kNsPm, oran::kKeyPrbHistory,
+                            history) != oran::SdlStatus::kOk) {
+    return;
+  }
+
+  if (mode_ == Mode::kObserve) {
+    if (pending_history_.has_value()) {
+      // Pair last period's sector-0 input with the decision the victim
+      // published for it.
+      std::string label_text;
+      if (ric.sdl().read_text(app_id(), oran::kNsRappDecisions,
+                              "power-saving/sector0",
+                              label_text) == oran::SdlStatus::kOk) {
+        obs_x_.push_back(
+            rictest::sector_window_from_history(*pending_history_, 0));
+        obs_y_.push_back(std::stoi(label_text));
+      }
+    }
+    pending_history_ = std::move(history);
+    return;
+  }
+
+  if (!uap_.has_value()) return;
+
+  // Attack sector 0's serving context: the paper's Fig. 7 scenario, where
+  // both capacity cells of one sector are driven off at peak.
+  rictest::apply_perturbation_to_history(history, *uap_, /*sector=*/0);
+  if (ric.sdl().write_tensor(app_id(), oran::kNsPm, oran::kKeyPrbHistory,
+                             history) == oran::SdlStatus::kOk) {
+    ++applied_;
+  } else {
+    log_warn("malicious rApp write denied — policy is correctly scoped");
+  }
+}
+
+}  // namespace orev::apps

@@ -1,0 +1,53 @@
+// Malicious rApp — the §3.1 internal adversary on the Non-RT RIC, posing
+// as a KPI pre-processing/aggregation app.
+//
+// In kObserve mode it logs the PM history windows the victim consumes and
+// the victim's (lagged) per-sector decisions, building the cloning set.
+// In kAttack mode it perturbs the SDL PM history tensor with a precomputed
+// targeted UAP (scaled into the raw 0..100 PRB representation) before the
+// Power-Saving rApp dispatches — no timing pressure here, since Non-RT
+// control loops run at ≥ 1 s (minutes) granularity.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "oran/non_rt_ric.hpp"
+#include "rictest/dataset.hpp"
+
+namespace orev::apps {
+
+class MaliciousRApp : public oran::RApp {
+ public:
+  enum class Mode { kObserve, kAttack };
+
+  MaliciousRApp() = default;
+
+  void on_pm_period(const oran::PmReport& report,
+                    oran::NonRtRic& ric) override;
+
+  void set_mode(Mode m) { mode_ = m; }
+
+  /// Arm with a targeted UAP in *model input space* ([1, T, 9], values in
+  /// [0, 1], sector-0 column order). The app maps it back into the raw SDL
+  /// history representation before injecting.
+  void arm_targeted_uap(nn::Tensor uap);
+
+  /// Observations: per-sector (model input, victim decision) pairs.
+  const std::vector<nn::Tensor>& observed_inputs() const { return obs_x_; }
+  const std::vector<int>& observed_labels() const { return obs_y_; }
+
+  std::uint64_t perturbations_applied() const { return applied_; }
+
+ private:
+  Mode mode_ = Mode::kObserve;
+  std::optional<nn::Tensor> uap_;
+
+  std::optional<nn::Tensor> pending_history_;
+  std::vector<nn::Tensor> obs_x_;
+  std::vector<int> obs_y_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace orev::apps

@@ -1,0 +1,221 @@
+#include "apps/model_zoo.hpp"
+
+#include "nn/layers.hpp"
+
+namespace orev::apps {
+
+namespace {
+
+using nn::BatchNorm;
+using nn::Conv2D;
+using nn::Dense;
+using nn::DenseConcat;
+using nn::DepthwiseConv2D;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::MaxPool2D;
+using nn::Model;
+using nn::ReLU;
+using nn::Residual;
+using nn::Sequential;
+using nn::Shape;
+
+/// Output extent of a 2×2/stride-2 max pool.
+int pool2(int x) { return (x - 2) / 2 + 1; }
+
+void check_conv_input(const Shape& s) {
+  OREV_CHECK(s.size() == 3, "conv-family models need a [C, H, W] input");
+  OREV_CHECK(s[1] >= 8 && s[2] >= 8,
+             "conv-family models need spatial extents >= 8");
+}
+
+Model finalize(std::string name, std::unique_ptr<Sequential> seq,
+               const Shape& input_shape, int num_classes,
+               std::uint64_t seed) {
+  Model m(std::move(name), std::move(seq), input_shape, num_classes);
+  Rng rng(seed);
+  m.init(rng);
+  return m;
+}
+
+std::unique_ptr<Sequential> seq() { return std::make_unique<Sequential>(); }
+
+}  // namespace
+
+std::string arch_name(Arch a) {
+  switch (a) {
+    case Arch::kBase: return "Base";
+    case Arch::kDenseNet: return "DenseNet";
+    case Arch::kMobileNet: return "MobileNet";
+    case Arch::kResNet: return "ResNet";
+    case Arch::kOneLayer: return "1L";
+  }
+  return "?";
+}
+
+std::vector<Arch> all_archs() {
+  return {Arch::kBase, Arch::kDenseNet, Arch::kMobileNet, Arch::kResNet,
+          Arch::kOneLayer};
+}
+
+nn::Model make_arch(Arch a, const Shape& input_shape, int num_classes,
+                    std::uint64_t seed) {
+  switch (a) {
+    case Arch::kBase: return make_base_cnn(input_shape, num_classes, seed);
+    case Arch::kDenseNet:
+      return make_mini_densenet(input_shape, num_classes, seed);
+    case Arch::kMobileNet:
+      return make_mini_mobilenet(input_shape, num_classes, seed);
+    case Arch::kResNet:
+      return make_mini_resnet(input_shape, num_classes, seed);
+    case Arch::kOneLayer:
+      return make_one_layer(input_shape, num_classes, seed);
+  }
+  OREV_CHECK(false, "unknown architecture");
+  return make_one_layer(input_shape, num_classes, seed);  // unreachable
+}
+
+nn::Model make_base_cnn(const Shape& input_shape, int num_classes,
+                        std::uint64_t seed) {
+  check_conv_input(input_shape);
+  const int c = input_shape[0], h = input_shape[1], w = input_shape[2];
+  auto s = seq();
+  s->emplace<Conv2D>(c, 6, 3, 1, 1).emplace<ReLU>();
+  s->emplace<Conv2D>(6, 6, 3, 1, 1).emplace<ReLU>().emplace<MaxPool2D>(2);
+  s->emplace<Conv2D>(6, 12, 3, 1, 1).emplace<ReLU>();
+  s->emplace<Conv2D>(12, 12, 3, 1, 1).emplace<ReLU>().emplace<MaxPool2D>(2);
+  const int fh = pool2(pool2(h)), fw = pool2(pool2(w));
+  s->emplace<Flatten>();
+  s->emplace<Dense>(12 * fh * fw, 32).emplace<ReLU>();
+  s->emplace<Dense>(32, num_classes);
+  return finalize("BaseCNN", std::move(s), input_shape, num_classes, seed);
+}
+
+nn::Model make_mini_densenet(const Shape& input_shape, int num_classes,
+                             std::uint64_t seed) {
+  check_conv_input(input_shape);
+  const int c = input_shape[0];
+  static constexpr int kGrowth = 6;
+
+  auto dense_layer = [](int in_ch) {
+    auto inner = seq();
+    inner->emplace<BatchNorm>(in_ch).emplace<ReLU>().emplace<Conv2D>(
+        in_ch, kGrowth, 3, 1, 1);
+    return std::make_unique<DenseConcat>(std::move(inner));
+  };
+
+  auto s = seq();
+  s->emplace<Conv2D>(c, 8, 3, 1, 1).emplace<ReLU>().emplace<MaxPool2D>(2);
+  s->add(dense_layer(8));    // → 14 channels
+  s->add(dense_layer(14));   // → 20 channels
+  s->emplace<Conv2D>(20, 12, 1).emplace<MaxPool2D>(2);  // transition
+  s->add(dense_layer(12));   // → 18 channels
+  s->emplace<BatchNorm>(18).emplace<ReLU>().emplace<GlobalAvgPool>();
+  s->emplace<Dense>(18, num_classes);
+  return finalize("MiniDenseNet", std::move(s), input_shape, num_classes,
+                  seed);
+}
+
+nn::Model make_mini_resnet(const Shape& input_shape, int num_classes,
+                           std::uint64_t seed) {
+  check_conv_input(input_shape);
+  const int c = input_shape[0];
+
+  auto s = seq();
+  s->emplace<Conv2D>(c, 8, 3, 1, 1)
+      .emplace<BatchNorm>(8)
+      .emplace<ReLU>()
+      .emplace<MaxPool2D>(2);
+
+  // Identity block: 8 → 8 channels, stride 1.
+  {
+    auto inner = seq();
+    inner->emplace<Conv2D>(8, 8, 3, 1, 1)
+        .emplace<BatchNorm>(8)
+        .emplace<ReLU>()
+        .emplace<Conv2D>(8, 8, 3, 1, 1)
+        .emplace<BatchNorm>(8);
+    s->add(std::make_unique<Residual>(std::move(inner)));
+    s->emplace<ReLU>();
+  }
+  // Downsampling block: 8 → 16 channels, stride 2, projected shortcut.
+  {
+    auto inner = seq();
+    inner->emplace<Conv2D>(8, 16, 3, 2, 1)
+        .emplace<BatchNorm>(16)
+        .emplace<ReLU>()
+        .emplace<Conv2D>(16, 16, 3, 1, 1)
+        .emplace<BatchNorm>(16);
+    auto shortcut = std::make_unique<Conv2D>(8, 16, 1, 2, 0);
+    s->add(std::make_unique<Residual>(std::move(inner), std::move(shortcut)));
+    s->emplace<ReLU>();
+  }
+  s->emplace<GlobalAvgPool>();
+  s->emplace<Dense>(16, num_classes);
+  return finalize("MiniResNet", std::move(s), input_shape, num_classes, seed);
+}
+
+nn::Model make_mini_mobilenet(const Shape& input_shape, int num_classes,
+                              std::uint64_t seed) {
+  check_conv_input(input_shape);
+  const int c = input_shape[0];
+
+  auto s = seq();
+  s->emplace<Conv2D>(c, 8, 3, 2, 1).emplace<BatchNorm>(8).emplace<ReLU>();
+  // Depthwise-separable block 1: 8 → 16, stride 1.
+  s->emplace<DepthwiseConv2D>(8, 3, 1, 1)
+      .emplace<BatchNorm>(8)
+      .emplace<ReLU>()
+      .emplace<Conv2D>(8, 16, 1)
+      .emplace<BatchNorm>(16)
+      .emplace<ReLU>();
+  // Depthwise-separable block 2: 16 → 24, stride 2.
+  s->emplace<DepthwiseConv2D>(16, 3, 2, 1)
+      .emplace<BatchNorm>(16)
+      .emplace<ReLU>()
+      .emplace<Conv2D>(16, 24, 1)
+      .emplace<BatchNorm>(24)
+      .emplace<ReLU>();
+  s->emplace<GlobalAvgPool>();
+  s->emplace<Dense>(24, num_classes);
+  return finalize("MiniMobileNet", std::move(s), input_shape, num_classes,
+                  seed);
+}
+
+nn::Model make_one_layer(const Shape& input_shape, int num_classes,
+                         std::uint64_t seed) {
+  const int features =
+      static_cast<int>(nn::shape_numel(input_shape));
+  auto s = seq();
+  s->emplace<Flatten>();
+  s->emplace<Dense>(features, num_classes);
+  return finalize("OneLayer", std::move(s), input_shape, num_classes, seed);
+}
+
+nn::Model make_kpm_dnn(int num_features, int num_classes,
+                       std::uint64_t seed) {
+  OREV_CHECK(num_features > 0, "feature count must be positive");
+  auto s = seq();
+  s->emplace<Dense>(num_features, 64).emplace<ReLU>();
+  s->emplace<Dense>(64, 32).emplace<ReLU>();
+  s->emplace<Dense>(32, 16).emplace<ReLU>();
+  s->emplace<Dense>(16, num_classes);
+  return finalize("KpmDnn", std::move(s), {num_features}, num_classes, seed);
+}
+
+nn::Model make_power_saving_cnn(const Shape& input_shape, int num_classes,
+                                std::uint64_t seed) {
+  OREV_CHECK(input_shape.size() == 3,
+             "power-saving CNN needs a [1, window, cells] input");
+  const int c = input_shape[0], h = input_shape[1], w = input_shape[2];
+  auto s = seq();
+  s->emplace<Conv2D>(c, 8, 3, 1, 1).emplace<ReLU>().emplace<MaxPool2D>(2);
+  const int fh = pool2(h), fw = pool2(w);
+  s->emplace<Flatten>();
+  s->emplace<Dense>(8 * fh * fw, 32).emplace<ReLU>();
+  s->emplace<Dense>(32, num_classes);
+  return finalize("PowerSavingCnn", std::move(s), input_shape, num_classes,
+                  seed);
+}
+
+}  // namespace orev::apps

@@ -1,0 +1,60 @@
+// Architecture zoo: the victim models and surrogate families of the paper.
+//
+//   * BaseCNN — the Spectrogram IC xApp's CNN (§5.1): four 3×3 conv layers
+//     + dense head (channel counts miniaturised for CPU training);
+//   * MiniDenseNet — dense connectivity (channel concatenation), standing
+//     in for DenseNet121;
+//   * MiniResNet — identity-skip residual blocks, standing in for ResNet50;
+//   * MiniMobileNet — depthwise-separable convolutions, standing in for
+//     MobileNetV2;
+//   * OneLayer ("1L") — the minimal single-dense-layer baseline;
+//   * KPM DNN — the KPM IC xApp's network (§5.1): dense [64, 32, 16];
+//   * PowerSaving CNN — the rApp model (§6.1): one conv + one pool + two
+//     dense layers over a [1, window, 9] PRB history.
+//
+// Each mini preserves its family's defining connectivity pattern and the
+// relative cost ordering (1L ≪ MobileNet < ResNet ≈ DenseNet), which is
+// what the paper's surrogate comparison (Table 1/2, Fig. 3) measures.
+//
+// Conv-family builders require spatial extents >= 8 (two 2× downsamples).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace orev::apps {
+
+/// Surrogate architecture families compared in Tables 1 and 2.
+enum class Arch { kBase, kDenseNet, kMobileNet, kResNet, kOneLayer };
+
+std::string arch_name(Arch a);
+std::vector<Arch> all_archs();
+
+/// Build an initialised model of the given family. `input_shape` excludes
+/// the batch axis and must be rank 3 ([C, H, W]) for the conv families.
+nn::Model make_arch(Arch a, const nn::Shape& input_shape, int num_classes,
+                    std::uint64_t seed);
+
+/// Individual builders (used directly by the victim apps).
+nn::Model make_base_cnn(const nn::Shape& input_shape, int num_classes,
+                        std::uint64_t seed);
+nn::Model make_mini_densenet(const nn::Shape& input_shape, int num_classes,
+                             std::uint64_t seed);
+nn::Model make_mini_resnet(const nn::Shape& input_shape, int num_classes,
+                           std::uint64_t seed);
+nn::Model make_mini_mobilenet(const nn::Shape& input_shape, int num_classes,
+                              std::uint64_t seed);
+nn::Model make_one_layer(const nn::Shape& input_shape, int num_classes,
+                         std::uint64_t seed);
+
+/// KPM IC xApp model: dense [64, 32, 16] + classification head (§5.1).
+nn::Model make_kpm_dnn(int num_features, int num_classes, std::uint64_t seed);
+
+/// Power-Saving rApp model: 1 conv, 1 pool, 2 fully-connected (§6.1).
+nn::Model make_power_saving_cnn(const nn::Shape& input_shape,
+                                int num_classes, std::uint64_t seed);
+
+}  // namespace orev::apps

@@ -1,0 +1,58 @@
+#include "apps/power_saving_rapp.hpp"
+
+#include "util/log.hpp"
+
+namespace orev::apps {
+
+using rictest::PsAction;
+
+PowerSavingRApp::PowerSavingRApp(nn::Model model)
+    : model_(std::move(model)) {}
+
+void PowerSavingRApp::on_pm_period(const oran::PmReport& /*report*/,
+                                   oran::NonRtRic& ric) {
+  nn::Tensor history;
+  if (ric.sdl().read_tensor(app_id(), oran::kNsPm, oran::kKeyPrbHistory,
+                            history) != oran::SdlStatus::kOk) {
+    log_warn("power-saving rApp could not read PM history");
+    return;
+  }
+
+  for (int sector = 0; sector < rictest::kNumSectors; ++sector) {
+    const nn::Tensor input =
+        rictest::sector_window_from_history(history, sector);
+    const auto action = static_cast<PsAction>(model_.predict_one(input));
+    ++decisions_;
+    last_decisions_[sector] = action;
+
+    ric.sdl().write_text(app_id(), oran::kNsRappDecisions,
+                         "power-saving/sector" + std::to_string(sector),
+                         std::to_string(static_cast<int>(action)));
+    execute(action, sector, ric);
+  }
+}
+
+void PowerSavingRApp::execute(PsAction action, int sector,
+                              oran::NonRtRic& ric) {
+  const rictest::Sector sc = rictest::sector_cells(sector);
+  auto set_state = [&](int cell, bool active) {
+    if (!active) ++deactivations_;
+    ric.request_cell_state(app_id(), cell, active);
+  };
+  switch (action) {
+    case PsAction::kActivateCap1: set_state(sc.capacity1, true); break;
+    case PsAction::kActivateCap2: set_state(sc.capacity2, true); break;
+    case PsAction::kActivateBoth:
+      set_state(sc.capacity1, true);
+      set_state(sc.capacity2, true);
+      break;
+    case PsAction::kDeactivateCap1: set_state(sc.capacity1, false); break;
+    case PsAction::kDeactivateCap2: set_state(sc.capacity2, false); break;
+    case PsAction::kDeactivateBoth:
+      set_state(sc.capacity1, false);
+      set_state(sc.capacity2, false);
+      break;
+  }
+}
+
+}  // namespace orev::apps

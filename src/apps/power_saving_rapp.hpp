@@ -1,0 +1,44 @@
+// Power-Saving rApp — the Non-RT RIC victim (§6.1).
+//
+// Each PM period it reads the sliding PRB-utilisation history from the SDL
+// (possibly perturbed by a malicious aggregator rApp dispatched before
+// it), evaluates its CNN once per sector, publishes each decision, and
+// executes the decision over O1: activating/deactivating the sector's
+// capacity cells.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "nn/model.hpp"
+#include "oran/non_rt_ric.hpp"
+#include "rictest/dataset.hpp"
+
+namespace orev::apps {
+
+class PowerSavingRApp : public oran::RApp {
+ public:
+  explicit PowerSavingRApp(nn::Model model);
+
+  void on_pm_period(const oran::PmReport& report,
+                    oran::NonRtRic& ric) override;
+
+  nn::Model& model() { return model_; }
+
+  /// Most recent decision per sector.
+  const std::map<int, rictest::PsAction>& last_decisions() const {
+    return last_decisions_;
+  }
+  std::uint64_t decisions_made() const { return decisions_; }
+  std::uint64_t cells_deactivated() const { return deactivations_; }
+
+ private:
+  void execute(rictest::PsAction action, int sector, oran::NonRtRic& ric);
+
+  nn::Model model_;
+  std::map<int, rictest::PsAction> last_decisions_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t deactivations_ = 0;
+};
+
+}  // namespace orev::apps

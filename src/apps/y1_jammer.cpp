@@ -1,0 +1,42 @@
+#include "apps/y1_jammer.hpp"
+
+#include "util/check.hpp"
+
+namespace orev::apps {
+
+AnalyticsDrivenJammer::AnalyticsDrivenJammer(ran::Jammer* jammer,
+                                             JammingStrategy strategy,
+                                             double dl_threshold_mbps)
+    : jammer_(jammer),
+      strategy_(strategy),
+      dl_threshold_mbps_(dl_threshold_mbps) {
+  OREV_CHECK(jammer != nullptr, "controller needs a jammer");
+  OREV_CHECK(dl_threshold_mbps >= 0.0, "threshold must be non-negative");
+}
+
+void AnalyticsDrivenJammer::on_rai(const oran::RaiReport& report) {
+  ++intervals_;
+  bool jam = false;
+  switch (strategy_) {
+    case JammingStrategy::kAlwaysOn:
+      jam = true;
+      break;
+    case JammingStrategy::kThreshold:
+      jam = report.dl_throughput_mbps > dl_threshold_mbps_;
+      break;
+  }
+  if (jam) {
+    jammer_->activate();
+    ++jamming_;
+  } else {
+    jammer_->deactivate();
+  }
+}
+
+double AnalyticsDrivenJammer::duty_cycle() const {
+  return intervals_ == 0
+             ? 0.0
+             : static_cast<double>(jamming_) / static_cast<double>(intervals_);
+}
+
+}  // namespace orev::apps

@@ -1,0 +1,48 @@
+// Analytics-driven jammer controller — the §3.2 external adversary.
+//
+// A malicious but *authenticated* Y1 consumer passively subscribes to RAN
+// Analytics Information and forwards it to an external jammer controller.
+// Instead of jamming continuously (the conventional always-on jammer),
+// the controller activates the jammer only when the analytics show the
+// network is busy — achieving comparable damage per joule at a fraction
+// of the on-time ("jamming smarter, not harder").
+#pragma once
+
+#include <cstdint>
+
+#include "oran/y1.hpp"
+#include "ran/jammer.hpp"
+
+namespace orev::apps {
+
+/// Jamming strategies the controller supports.
+enum class JammingStrategy {
+  kAlwaysOn,    // conventional baseline
+  kThreshold,   // jam only when DL throughput exceeds a threshold
+};
+
+class AnalyticsDrivenJammer : public oran::Y1Consumer {
+ public:
+  /// The controller drives `jammer` (not owned; must outlive this).
+  AnalyticsDrivenJammer(ran::Jammer* jammer, JammingStrategy strategy,
+                        double dl_threshold_mbps);
+
+  void on_rai(const oran::RaiReport& report) override;
+
+  /// Fraction of received intervals with the jammer active.
+  double duty_cycle() const;
+
+  std::uint64_t intervals_seen() const { return intervals_; }
+  std::uint64_t intervals_jamming() const { return jamming_; }
+
+  void set_strategy(JammingStrategy s) { strategy_ = s; }
+
+ private:
+  ran::Jammer* jammer_;
+  JammingStrategy strategy_;
+  double dl_threshold_mbps_;
+  std::uint64_t intervals_ = 0;
+  std::uint64_t jamming_ = 0;
+};
+
+}  // namespace orev::apps

@@ -1,0 +1,92 @@
+#include "attack/clone.hpp"
+
+#include <chrono>
+#include <optional>
+
+#include "util/log.hpp"
+
+namespace orev::attack {
+
+data::Dataset collect_clone_dataset(nn::Model& victim,
+                                    const nn::Tensor& inputs) {
+  OREV_CHECK(inputs.rank() >= 2 && inputs.dim(0) > 0,
+             "cloning needs a non-empty batched input tensor");
+  data::Dataset d;
+  d.x = inputs;
+  d.y = victim.predict(inputs);
+  d.num_classes = victim.num_classes();
+  d.check();
+  return d;
+}
+
+data::Dataset clone_dataset_from_observations(
+    const std::vector<nn::Tensor>& inputs, const std::vector<int>& labels,
+    int num_classes) {
+  OREV_CHECK(!inputs.empty(), "no observations collected");
+  OREV_CHECK(inputs.size() == labels.size(),
+             "observation input/label count mismatch");
+  nn::Shape s;
+  s.push_back(static_cast<int>(inputs.size()));
+  for (const int d : inputs.front().shape()) s.push_back(d);
+
+  data::Dataset out;
+  out.x = nn::Tensor(s);
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    out.x.set_batch(static_cast<int>(i), inputs[i]);
+  out.y = labels;
+  out.num_classes = num_classes;
+  out.check();
+  return out;
+}
+
+CloneReport clone_model(const data::Dataset& d_clone,
+                        const std::vector<Candidate>& candidates,
+                        const CloneConfig& config) {
+  OREV_CHECK(!candidates.empty(), "no candidate architectures");
+  d_clone.check();
+
+  // Step 2: stratified train/validation split.
+  Rng rng(config.seed);
+  const data::Split split =
+      data::stratified_split(d_clone, config.train_fraction, rng);
+
+  // Step 3: train every candidate with early stopping + LR scheduling.
+  std::optional<nn::Model> best;
+  std::string best_name;
+  double best_acc = -1.0;
+  std::vector<ArchScore> scores;
+
+  std::uint64_t model_seed = config.seed;
+  for (const Candidate& cand : candidates) {
+    nn::Model model = cand.factory(++model_seed);
+    nn::Trainer trainer(config.train);
+    const auto t0 = std::chrono::steady_clock::now();
+    const nn::TrainReport report = trainer.fit(
+        model, split.train.x, split.train.y, split.test.x, split.test.y);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    ArchScore score;
+    score.name = cand.name;
+    score.cloning_accuracy = report.best_val_accuracy;
+    score.epochs_run = report.epochs_run;
+    score.early_stopped = report.early_stopped;
+    score.train_seconds = std::chrono::duration<double>(t1 - t0).count();
+    scores.push_back(score);
+    log_info("MCA candidate ", cand.name,
+             ": cloning accuracy=", score.cloning_accuracy,
+             " epochs=", score.epochs_run);
+
+    // Step 4: keep the candidate with the highest validation accuracy.
+    if (report.best_val_accuracy > best_acc) {
+      best_acc = report.best_val_accuracy;
+      best = std::move(model);
+      best_name = cand.name;
+    }
+  }
+
+  // Step 5: return M_c.
+  CloneReport out{std::move(*best), best_name, best_acc, std::move(scores)};
+  return out;
+}
+
+}  // namespace orev::attack

@@ -1,0 +1,68 @@
+// Model Cloning Algorithm (MCA) — Algorithm 1 (§4.2.1).
+//
+// Trains surrogate candidates on the cloning dataset D_clone — observed
+// inputs labelled with the *victim's hard predictions*, never ground
+// truth — then selects the candidate with the highest validation accuracy
+// against those predictions ("cloning accuracy"). Training uses early
+// stopping (patience k) and a reduce-on-plateau learning-rate scheduler
+// (patience m, factor γ), both provided by nn::Trainer.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace orev::attack {
+
+/// A candidate surrogate architecture: display name + seeded factory.
+struct Candidate {
+  std::string name;
+  std::function<nn::Model(std::uint64_t seed)> factory;
+};
+
+struct CloneConfig {
+  double train_fraction = 0.8;  // stratified split (Algorithm 1, step 2)
+  nn::TrainConfig train;        // early stopping + LR scheduler (step 3)
+  std::uint64_t seed = 0xc10e;
+};
+
+/// Per-architecture outcome recorded during step 3. Training wall-clock
+/// is tracked because surrogate cost matters operationally (§5.3.1
+/// footnote: 1L is the cheapest to converge, ResNet the slowest).
+struct ArchScore {
+  std::string name;
+  double cloning_accuracy = 0.0;  // validation accuracy vs victim labels
+  int epochs_run = 0;
+  bool early_stopped = false;
+  double train_seconds = 0.0;
+};
+
+struct CloneReport {
+  nn::Model model;         // M_c, the best surrogate (step 5)
+  std::string best_arch;
+  double cloning_accuracy = 0.0;
+  std::vector<ArchScore> scores;
+};
+
+/// Build D_clone by querying a victim model on a set of inputs — the
+/// in-memory shortcut for what the malicious app collects through SDL
+/// observation. Labels are the victim's predictions.
+data::Dataset collect_clone_dataset(nn::Model& victim,
+                                    const nn::Tensor& inputs);
+
+/// Assemble D_clone from observation logs (as produced by the malicious
+/// xApp/rApp observation phase).
+data::Dataset clone_dataset_from_observations(
+    const std::vector<nn::Tensor>& inputs, const std::vector<int>& labels,
+    int num_classes);
+
+/// Algorithm 1: stratified split, train every candidate, return the one
+/// with the best cloning accuracy.
+CloneReport clone_model(const data::Dataset& d_clone,
+                        const std::vector<Candidate>& candidates,
+                        const CloneConfig& config);
+
+}  // namespace orev::attack

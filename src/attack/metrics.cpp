@@ -1,0 +1,63 @@
+#include "attack/metrics.hpp"
+
+#include "nn/loss.hpp"
+
+namespace orev::attack {
+
+double average_perturbation_distance(const nn::Tensor& clean,
+                                     const nn::Tensor& adversarial) {
+  OREV_CHECK(clean.shape() == adversarial.shape(),
+             "APD shape mismatch");
+  const int n = clean.dim(0);
+  OREV_CHECK(n > 0, "APD of empty batch");
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += nn::l2_distance(clean.slice_batch(i), adversarial.slice_batch(i));
+  }
+  return acc / n;
+}
+
+AttackMetrics evaluate_attack(nn::Model& victim, const nn::Tensor& x_clean,
+                              const nn::Tensor& x_adv,
+                              const std::vector<int>& y_true,
+                              int target_class) {
+  OREV_CHECK(x_clean.dim(0) == x_adv.dim(0), "batch size mismatch");
+  OREV_CHECK(static_cast<int>(y_true.size()) == x_adv.dim(0),
+             "label count mismatch");
+  const int n = x_adv.dim(0);
+
+  const std::vector<int> preds = victim.predict(x_adv);
+  int correct = 0, hit_target = 0, misclassified = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (preds[idx] == y_true[idx]) {
+      ++correct;
+    } else {
+      ++misclassified;
+      if (target_class >= 0 && preds[idx] == target_class) ++hit_target;
+    }
+  }
+
+  AttackMetrics m;
+  m.accuracy = static_cast<double>(correct) / n;
+  m.f1 = nn::f1_score(preds, y_true, victim.num_classes());
+  m.apd = average_perturbation_distance(x_clean, x_adv);
+  m.ntasr = static_cast<double>(misclassified) / n;
+  m.tasr = target_class >= 0 ? static_cast<double>(hit_target) / n : 0.0;
+  return m;
+}
+
+nn::Tensor apply_uap(const nn::Tensor& x, const nn::Tensor& uap) {
+  OREV_CHECK(x.rank() == uap.rank() + 1, "apply_uap expects batched x");
+  const int n = x.dim(0);
+  nn::Tensor out = x;
+  for (int i = 0; i < n; ++i) {
+    nn::Tensor s = out.slice_batch(i);
+    s += uap;
+    s.clamp(0.0f, 1.0f);
+    out.set_batch(i, s);
+  }
+  return out;
+}
+
+}  // namespace orev::attack

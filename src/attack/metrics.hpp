@@ -1,0 +1,35 @@
+// Attack evaluation metrics: accuracy, F1, Average Perturbation Distance
+// (APD, Eq. 7), and targeted / non-targeted attack success rates
+// (TASR / NTASR, Eq. 8).
+#pragma once
+
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace orev::attack {
+
+/// APD = (1/N) Σ ||x'_i - x_i||₂ over a batched clean/adversarial pair.
+double average_perturbation_distance(const nn::Tensor& clean,
+                                     const nn::Tensor& adversarial);
+
+struct AttackMetrics {
+  double accuracy = 0.0;  // victim accuracy on the adversarial set
+  double f1 = 0.0;        // macro F1 on the adversarial set
+  double apd = 0.0;
+  double tasr = 0.0;      // fraction misclassified as the target class
+  double ntasr = 0.0;     // fraction misclassified at all
+};
+
+/// Evaluate a victim model against an adversarial set. `y_true` are the
+/// ground-truth labels; `target_class < 0` leaves TASR at zero.
+AttackMetrics evaluate_attack(nn::Model& victim, const nn::Tensor& x_clean,
+                              const nn::Tensor& x_adv,
+                              const std::vector<int>& y_true,
+                              int target_class = -1);
+
+/// Apply a universal perturbation to every sample of a batch (clamped to
+/// the valid data range).
+nn::Tensor apply_uap(const nn::Tensor& x, const nn::Tensor& uap);
+
+}  // namespace orev::attack

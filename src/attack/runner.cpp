@@ -1,0 +1,80 @@
+#include "attack/runner.hpp"
+
+#include <chrono>
+
+namespace orev::attack {
+
+BatchAttackResult attack_batch(Pgm& pgm, nn::Model& surrogate,
+                               const nn::Tensor& x, int target_class) {
+  OREV_CHECK(x.rank() >= 2 && x.dim(0) > 0, "attack_batch needs a batch");
+  const int n = x.dim(0);
+
+  BatchAttackResult out;
+  out.adversarial = nn::Tensor(x.shape());
+  double total_ms = 0.0;
+
+  for (int i = 0; i < n; ++i) {
+    const nn::Tensor sample = x.slice_batch(i);
+    const auto t0 = std::chrono::steady_clock::now();
+    nn::Tensor adv;
+    if (target_class >= 0) {
+      adv = pgm.perturb_targeted(surrogate, sample, target_class);
+    } else {
+      const int label = surrogate.predict_one(sample);
+      adv = pgm.perturb(surrogate, sample, label);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    total_ms += ms;
+    out.max_ms_per_sample = std::max(out.max_ms_per_sample, ms);
+    out.adversarial.set_batch(i, adv);
+  }
+  out.mean_ms_per_sample = total_ms / n;
+  return out;
+}
+
+PgmPtr default_uap_inner(float /*eps*/) {
+  return std::make_unique<DeepFool>(30, 0.1f);
+}
+
+std::vector<SweepPoint> epsilon_sweep(
+    nn::Model& victim, nn::Model& surrogate, const nn::Tensor& x_attack,
+    const std::vector<int>& y_true, const std::vector<float>& eps_values,
+    const UapConfig& uap_base, int target_class,
+    const nn::Tensor& x_uap_seed, const InnerPgmFactory& inner_factory) {
+  std::vector<SweepPoint> out;
+  out.reserve(eps_values.size());
+  const nn::Tensor& uap_seed = x_uap_seed.empty() ? x_attack : x_uap_seed;
+
+  for (const float eps : eps_values) {
+    SweepPoint point;
+    point.eps = eps;
+
+    // Input-specific attack at this ε.
+    Fgsm fgsm(eps);
+    const BatchAttackResult batch =
+        attack_batch(fgsm, surrogate, x_attack, target_class);
+    point.input_specific = evaluate_attack(victim, x_attack,
+                                           batch.adversarial, y_true,
+                                           target_class);
+
+    // UAP built with the same inner PGM at this ε.
+    UapConfig ucfg = uap_base;
+    ucfg.eps = eps;
+    const PgmPtr inner = inner_factory(eps);
+    const UapResult uap =
+        target_class >= 0
+            ? generate_targeted_uap(surrogate, uap_seed, *inner,
+                                    target_class, ucfg)
+            : generate_uap(surrogate, uap_seed, *inner, ucfg);
+    const nn::Tensor x_uap = apply_uap(x_attack, uap.perturbation);
+    point.uap =
+        evaluate_attack(victim, x_attack, x_uap, y_true, target_class);
+
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace orev::attack

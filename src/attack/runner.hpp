@@ -1,0 +1,58 @@
+// High-level attack drivers used by benchmarks, examples and tests:
+// input-specific batch attacks with per-sample timing, and ε-sweeps that
+// produce the rows of Tables 1/2 and the series of Figs. 2/4/6/8.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attack/metrics.hpp"
+#include "attack/pgm.hpp"
+#include "attack/uap.hpp"
+#include "data/dataset.hpp"
+
+namespace orev::attack {
+
+struct BatchAttackResult {
+  nn::Tensor adversarial;     // batched adversarial samples
+  double mean_ms_per_sample = 0.0;
+  double max_ms_per_sample = 0.0;
+};
+
+/// Run an input-specific PGM over every sample of a batch against the
+/// surrogate, timing each generation (the §5.3.3 latency evidence).
+/// Labels are the surrogate's own clean predictions (black-box setting);
+/// `target_class >= 0` switches to the targeted variant.
+BatchAttackResult attack_batch(Pgm& pgm, nn::Model& surrogate,
+                               const nn::Tensor& x, int target_class = -1);
+
+/// One row of a Table-1-style sweep.
+struct SweepPoint {
+  float eps = 0.0f;
+  AttackMetrics input_specific;  // "<arch> + <PGM>"
+  AttackMetrics uap;             // "<arch> + UAP(<PGM>)"
+};
+
+/// Factory for the UAP's inner minimiser at a given ε budget. The default
+/// is DeepFool — the minimiser of the original Algorithm 2 [Moosavi-
+/// Dezfooli et al.] — whose minimal, feature-concentrated steps transfer
+/// between models far better than dense sign-gradient steps at this model
+/// scale (see EXPERIMENTS.md).
+using InnerPgmFactory = std::function<PgmPtr(float eps)>;
+PgmPtr default_uap_inner(float eps);
+
+/// For each ε: run the input-specific attack and the UAP attack from the
+/// same surrogate, evaluating both on the victim. Reproduces one
+/// Table-1/Table-2 row group. `target_class >= 0` produces targeted
+/// attacks and fills TASR. `x_uap_seed` is the sample set Algorithm 2
+/// iterates over (the attacker's observation log); pass an empty tensor to
+/// reuse `x_attack`.
+std::vector<SweepPoint> epsilon_sweep(
+    nn::Model& victim, nn::Model& surrogate, const nn::Tensor& x_attack,
+    const std::vector<int>& y_true, const std::vector<float>& eps_values,
+    const UapConfig& uap_base, int target_class = -1,
+    const nn::Tensor& x_uap_seed = nn::Tensor(),
+    const InnerPgmFactory& inner_factory = default_uap_inner);
+
+}  // namespace orev::attack

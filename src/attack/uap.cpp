@@ -1,0 +1,145 @@
+#include "attack/uap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace orev::attack {
+
+void project_ball(nn::Tensor& u, float eps, NormKind norm) {
+  OREV_CHECK(eps > 0.0f, "projection radius must be positive");
+  if (norm == NormKind::kLInf) {
+    u.clamp(-eps, eps);
+    return;
+  }
+  const float n = u.norm2();
+  if (n > eps) u *= eps / n;
+}
+
+namespace {
+
+nn::Tensor perturbed_sample(const nn::Tensor& x, const nn::Tensor& u) {
+  nn::Tensor p = x;
+  p += u;
+  p.clamp(0.0f, 1.0f);
+  return p;
+}
+
+/// Shared Algorithm-2 loop; `target < 0` selects the untargeted variant.
+UapResult run(nn::Model& surrogate, const nn::Tensor& samples, Pgm& inner,
+              int target, const UapConfig& config) {
+  OREV_CHECK(samples.rank() >= 2 && samples.dim(0) > 0,
+             "UAP needs a non-empty batched sample tensor");
+  OREV_CHECK(config.robust_draws >= 1 && config.robust_noise >= 0.0f,
+             "invalid robustness settings");
+  const int n = samples.dim(0);
+  const nn::Shape sample_shape(samples.shape().begin() + 1,
+                               samples.shape().end());
+  Rng noise_rng(config.seed);
+
+  // Reference labels: the surrogate's clean predictions.
+  std::vector<int> ref(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    ref[static_cast<std::size_t>(i)] =
+        surrogate.predict_one(samples.slice_batch(i));
+
+  nn::Tensor u(sample_shape);  // u ← 0
+  UapResult result;
+
+  // Fooled = confidently wrong on the probe itself AND on every jittered
+  // copy (see UapConfig::robust_draws). This is the criterion both for
+  // skipping per-sample updates and for the stopping rate, so robustness
+  // settings actually drive additional passes.
+  auto is_fooled_probe = [&](const nn::Tensor& probe, int ref_label) {
+    const nn::Tensor probs = nn::softmax(surrogate.forward(probe))
+                                 .reshaped({surrogate.num_classes()});
+    const int pred = static_cast<int>(probs.argmax());
+    const float conf = probs[static_cast<std::size_t>(pred)];
+    return (target < 0 ? pred != ref_label : pred == target) &&
+           conf >= config.min_confidence;
+  };
+  auto is_fooled = [&](int i, const nn::Tensor& xu) {
+    bool ok = is_fooled_probe(xu, ref[static_cast<std::size_t>(i)]);
+    for (int d = 1; ok && d < config.robust_draws; ++d) {
+      nn::Tensor jittered = xu;
+      for (float& v : jittered.data())
+        v += noise_rng.normal(0.0f, config.robust_noise);
+      jittered.clamp(0.0f, 1.0f);
+      ok = is_fooled_probe(jittered, ref[static_cast<std::size_t>(i)]);
+    }
+    return ok;
+  };
+
+  for (int pass = 0; pass < config.max_passes; ++pass) {
+    result.passes = pass + 1;
+    int fooled_count = 0;
+    for (int i = 0; i < n; ++i) {
+      const nn::Tensor x = samples.slice_batch(i);
+      const nn::Tensor xu = perturbed_sample(x, u);
+      if (is_fooled(i, xu)) {
+        ++fooled_count;
+        continue;
+      }
+
+      // Minimal additional step Δu_i sending x_i + u across the boundary
+      // (Eq. 4 / Eq. 6), via the pluggable inner PGM.
+      const nn::Tensor adv =
+          target < 0
+              ? inner.perturb(surrogate, xu, ref[static_cast<std::size_t>(i)])
+              : inner.perturb_targeted(surrogate, xu, target);
+      nn::Tensor delta = adv;
+      delta -= xu;
+
+      u += delta;                                 // u ← u + Δu_i
+      project_ball(u, config.eps, config.norm);   // u ← P_{p,ε}(u)
+      if (is_fooled(i, perturbed_sample(x, u))) ++fooled_count;
+    }
+    result.achieved_fooling = static_cast<double>(fooled_count) / n;
+    if (result.achieved_fooling >= config.target_fooling) break;
+  }
+
+  result.perturbation = std::move(u);
+  return result;
+}
+
+}  // namespace
+
+double fooling_rate(nn::Model& model, const nn::Tensor& samples,
+                    const nn::Tensor& u) {
+  const int n = samples.dim(0);
+  OREV_CHECK(n > 0, "empty sample set");
+  int fooled = 0;
+  for (int i = 0; i < n; ++i) {
+    const nn::Tensor x = samples.slice_batch(i);
+    if (model.predict_one(perturbed_sample(x, u)) != model.predict_one(x))
+      ++fooled;
+  }
+  return static_cast<double>(fooled) / n;
+}
+
+double targeted_rate(nn::Model& model, const nn::Tensor& samples,
+                     const nn::Tensor& u, int target) {
+  const int n = samples.dim(0);
+  OREV_CHECK(n > 0, "empty sample set");
+  int hit = 0;
+  for (int i = 0; i < n; ++i) {
+    if (model.predict_one(perturbed_sample(samples.slice_batch(i), u)) ==
+        target)
+      ++hit;
+  }
+  return static_cast<double>(hit) / n;
+}
+
+UapResult generate_uap(nn::Model& surrogate, const nn::Tensor& samples,
+                       Pgm& inner, const UapConfig& config) {
+  return run(surrogate, samples, inner, /*target=*/-1, config);
+}
+
+UapResult generate_targeted_uap(nn::Model& surrogate,
+                                const nn::Tensor& samples, Pgm& inner,
+                                int target_class, const UapConfig& config) {
+  OREV_CHECK(target_class >= 0 && target_class < surrogate.num_classes(),
+             "target class out of range");
+  return run(surrogate, samples, inner, target_class, config);
+}
+
+}  // namespace orev::attack

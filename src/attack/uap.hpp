@@ -1,0 +1,71 @@
+// Universal Adversarial Perturbation generation — Algorithm 2 (§4.2.3),
+// and its targeted specialisation TUP (§4.2.4).
+//
+// A UAP is a single perturbation vector u with ||u||_p ≤ ε such that
+// C(x + u) ≠ C(x) for most x ~ S (untargeted) or C(x + u) = t (targeted).
+// Once precomputed offline on the surrogate, application is a single
+// tensor add — which is what makes the attack feasible inside the Near-RT
+// RIC's sub-second control window (§5.3.3).
+#pragma once
+
+#include "attack/pgm.hpp"
+#include "data/dataset.hpp"
+
+namespace orev::attack {
+
+enum class NormKind { kLInf, kL2 };
+
+struct UapConfig {
+  float eps = 0.1f;            // radius of the ℓp ball
+  double target_fooling = 0.8; // 1 - ζ: stop once this fooling rate is hit
+  int max_passes = 5;          // full sweeps over the sample set
+  NormKind norm = NormKind::kLInf;
+  // A sample only counts as fooled while the (wrong) predicted class has
+  // at least this softmax probability. 0.5 is plain argmax; higher values
+  // push u deeper past the surrogate's boundary, which is what makes the
+  // perturbation *transfer* to the (black-box) victim instead of skimming
+  // the surrogate's own decision surface — the UAP analogue of C&W's κ.
+  float min_confidence = 0.5f;
+  // Robustness check (expectation over transformations): a sample counts
+  // as fooled only if `robust_draws` jittered copies (i.i.d. Gaussian
+  // noise of stddev `robust_noise`) are all fooled too. Forces u across
+  // the boundary with margin in *input space*, the distance that actually
+  // transfers between differently-trained models. 1 draw / 0 noise
+  // recovers plain Algorithm 2.
+  int robust_draws = 1;
+  float robust_noise = 0.0f;
+  std::uint64_t seed = 0x0a9;
+};
+
+/// Project `u` onto the ℓp ball of radius ε (in place).
+void project_ball(nn::Tensor& u, float eps, NormKind norm);
+
+/// Fraction of samples whose surrogate prediction changes under `u`
+/// (untargeted fooling rate).
+double fooling_rate(nn::Model& model, const nn::Tensor& samples,
+                    const nn::Tensor& u);
+
+/// Fraction of samples classified as `target` under `u`.
+double targeted_rate(nn::Model& model, const nn::Tensor& samples,
+                     const nn::Tensor& u, int target);
+
+struct UapResult {
+  nn::Tensor perturbation;     // sample-shaped
+  double achieved_fooling = 0.0;
+  int passes = 0;
+};
+
+/// Algorithm 2: iterate over `samples` (batched tensor), and for every
+/// sample the current u fails to fool, find the minimal extra step with
+/// `inner` (any PGM — §4.2.3 notes the inner minimiser is pluggable) and
+/// re-project. Labels are the *surrogate's own predictions* (black-box:
+/// ground truth is unavailable).
+UapResult generate_uap(nn::Model& surrogate, const nn::Tensor& samples,
+                       Pgm& inner, const UapConfig& config);
+
+/// Targeted UAP (Eq. 6): the inner constraint becomes C(x + u + r) = t.
+UapResult generate_targeted_uap(nn::Model& surrogate,
+                                const nn::Tensor& samples, Pgm& inner,
+                                int target_class, const UapConfig& config);
+
+}  // namespace orev::attack

@@ -1,0 +1,97 @@
+#include "data/csv_loader.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace orev::data {
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+std::optional<CsvTable> load_csv(const std::string& path, bool has_header) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+
+  CsvTable t;
+  std::string line;
+  bool first = true;
+  std::size_t width = 0;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells = parse_csv_line(line);
+    if (first && has_header) {
+      t.header = std::move(cells);
+      width = t.header.size();
+      first = false;
+      continue;
+    }
+    first = false;
+    if (width == 0) width = cells.size();
+    OREV_CHECK(cells.size() == width,
+               "ragged CSV row in " + path);
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const std::string& c : cells) {
+      char* end = nullptr;
+      const double v = std::strtod(c.c_str(), &end);
+      OREV_CHECK(end != nullptr && *end == '\0' && !c.empty(),
+                 "non-numeric CSV cell '" + c + "' in " + path);
+      row.push_back(v);
+    }
+    t.rows.push_back(std::move(row));
+  }
+  return t;
+}
+
+template <std::size_t Cells>
+std::vector<std::array<double, Cells>> table_to_trace(const CsvTable& t) {
+  std::vector<std::array<double, Cells>> out;
+  out.reserve(t.rows.size());
+  for (const auto& row : t.rows) {
+    OREV_CHECK(row.size() == Cells,
+               "trace row width does not match the topology");
+    std::array<double, Cells> r{};
+    for (std::size_t i = 0; i < Cells; ++i)
+      r[i] = std::clamp(row[i], 0.0, 100.0);
+    out.push_back(r);
+  }
+  return out;
+}
+
+// Explicit instantiation for the Fig. 10 topology (9 cells).
+template std::vector<std::array<double, 9>> table_to_trace<9>(
+    const CsvTable&);
+
+}  // namespace orev::data

@@ -1,0 +1,33 @@
+// CSV reading: the import path for plugging *real* traces (e.g. an
+// operator's city-scale PRB dataset, the asset the paper evaluates on)
+// into the power-saving pipeline in place of the synthetic generator.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace orev::data {
+
+/// Parse one CSV line into cells (RFC-4180 quoting: quoted cells may
+/// contain commas and doubled quotes).
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+/// A parsed numeric CSV: optional header row + numeric rows.
+struct CsvTable {
+  std::vector<std::string> header;          // empty when has_header=false
+  std::vector<std::vector<double>> rows;
+};
+
+/// Load a numeric CSV file. Returns nullopt on I/O failure; throws
+/// CheckError on malformed numeric cells or ragged rows.
+std::optional<CsvTable> load_csv(const std::string& path, bool has_header);
+
+/// Convert a loaded table into a PRB trace for the power-saving dataset
+/// builders: every row must have exactly `cells` columns; values are
+/// clamped into [0, 100].
+template <std::size_t Cells>
+std::vector<std::array<double, Cells>> table_to_trace(const CsvTable& t);
+
+}  // namespace orev::data

@@ -1,0 +1,112 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace orev::data {
+
+nn::Shape Dataset::sample_shape() const {
+  OREV_CHECK(x.rank() >= 2, "dataset tensor must be batched");
+  return nn::Shape(x.shape().begin() + 1, x.shape().end());
+}
+
+void Dataset::check() const {
+  OREV_CHECK(x.rank() >= 2, "dataset tensor must be batched");
+  OREV_CHECK(static_cast<int>(y.size()) == size(),
+             "dataset label count mismatch");
+  OREV_CHECK(num_classes >= 2, "dataset needs at least two classes");
+  for (const int label : y)
+    OREV_CHECK(label >= 0 && label < num_classes, "label out of range");
+}
+
+std::map<int, int> Dataset::class_counts() const {
+  std::map<int, int> counts;
+  for (const int label : y) ++counts[label];
+  return counts;
+}
+
+Dataset Dataset::subset(const std::vector<int>& indices) const {
+  nn::Shape s = x.shape();
+  s[0] = static_cast<int>(indices.size());
+  Dataset out;
+  out.x = nn::Tensor(s);
+  out.y.reserve(indices.size());
+  out.num_classes = num_classes;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const int src = indices[i];
+    OREV_CHECK(src >= 0 && src < size(), "subset index out of range");
+    out.x.set_batch(static_cast<int>(i), x.slice_batch(src));
+    out.y.push_back(y[static_cast<std::size_t>(src)]);
+  }
+  return out;
+}
+
+Dataset Dataset::take(int n) const {
+  OREV_CHECK(n >= 0, "take of negative count");
+  n = std::min(n, size());
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  return subset(idx);
+}
+
+Dataset Dataset::concat(const Dataset& a, const Dataset& b) {
+  OREV_CHECK(a.num_classes == b.num_classes, "concat class count mismatch");
+  OREV_CHECK(a.sample_shape() == b.sample_shape(),
+             "concat sample shape mismatch");
+  nn::Shape s = a.x.shape();
+  s[0] = a.size() + b.size();
+  Dataset out;
+  out.x = nn::Tensor(s);
+  out.num_classes = a.num_classes;
+  out.y.reserve(static_cast<std::size_t>(s[0]));
+  for (int i = 0; i < a.size(); ++i) {
+    out.x.set_batch(i, a.x.slice_batch(i));
+    out.y.push_back(a.y[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < b.size(); ++i) {
+    out.x.set_batch(a.size() + i, b.x.slice_batch(i));
+    out.y.push_back(b.y[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+Split stratified_split(const Dataset& d, double train_fraction, Rng& rng) {
+  d.check();
+  OREV_CHECK(train_fraction > 0.0 && train_fraction < 1.0,
+             "train fraction must be in (0, 1)");
+
+  // Bucket indices per class, shuffle each bucket, then cut each bucket at
+  // the same fraction so class proportions carry over to both halves.
+  std::map<int, std::vector<int>> buckets;
+  for (int i = 0; i < d.size(); ++i)
+    buckets[d.y[static_cast<std::size_t>(i)]].push_back(i);
+
+  std::vector<int> train_idx;
+  std::vector<int> test_idx;
+  for (auto& [label, idx] : buckets) {
+    rng.shuffle(idx);
+    const auto cut = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(idx.size()) + 0.5);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      (i < cut ? train_idx : test_idx).push_back(idx[i]);
+    }
+  }
+  rng.shuffle(train_idx);
+  rng.shuffle(test_idx);
+  OREV_CHECK(!train_idx.empty() && !test_idx.empty(),
+             "stratified split produced an empty side — dataset too small");
+  return Split{d.subset(train_idx), d.subset(test_idx)};
+}
+
+MinMax minmax_of(const nn::Tensor& x) {
+  OREV_CHECK(!x.empty(), "minmax of empty tensor");
+  return MinMax{x.min(), x.max()};
+}
+
+void normalize_minmax(nn::Tensor& x, const MinMax& mm) {
+  const float range = mm.hi - mm.lo;
+  if (range <= 0.0f) return;
+  for (float& v : x.data()) v = (v - mm.lo) / range;
+}
+
+}  // namespace orev::data

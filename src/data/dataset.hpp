@@ -1,0 +1,64 @@
+// Labelled dataset container plus the stratified train/test split that
+// Algorithm 1 (Model Cloning) Step 2 requires, and feature normalisation.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace orev::data {
+
+/// A batched sample tensor with integer class labels.
+struct Dataset {
+  nn::Tensor x;          // [N, ...sample shape]
+  std::vector<int> y;    // N labels in [0, num_classes)
+  int num_classes = 0;
+
+  int size() const { return x.empty() ? 0 : x.dim(0); }
+
+  /// Sample shape excluding the batch axis.
+  nn::Shape sample_shape() const;
+
+  /// Validate internal consistency (sizes, label range); throws on error.
+  void check() const;
+
+  /// Count of samples per class.
+  std::map<int, int> class_counts() const;
+
+  /// Copy of row i as an unbatched tensor.
+  nn::Tensor sample(int i) const { return x.slice_batch(i); }
+
+  /// New dataset containing rows `indices` in order.
+  Dataset subset(const std::vector<int>& indices) const;
+
+  /// First `n` rows (convenience for bounded attack evaluations).
+  Dataset take(int n) const;
+
+  /// Concatenate two datasets with identical sample shapes/class counts.
+  static Dataset concat(const Dataset& a, const Dataset& b);
+};
+
+/// Stratified split preserving per-class proportions:
+/// |D_train^c| / |D_train| == |D_val^c| / |D_val| for every class c
+/// (up to integer rounding). `train_fraction` in (0, 1).
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+Split stratified_split(const Dataset& d, double train_fraction, Rng& rng);
+
+/// Min-max feature statistics for [0, 1] normalisation.
+struct MinMax {
+  float lo = 0.0f;
+  float hi = 1.0f;
+};
+
+/// Compute global min/max of the sample tensor.
+MinMax minmax_of(const nn::Tensor& x);
+
+/// Normalise in place to [0, 1] given statistics (no-op when degenerate).
+void normalize_minmax(nn::Tensor& x, const MinMax& mm);
+
+}  // namespace orev::data

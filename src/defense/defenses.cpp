@@ -1,0 +1,73 @@
+#include "defense/defenses.hpp"
+
+#include "nn/loss.hpp"
+#include "util/log.hpp"
+
+namespace orev::defense {
+
+data::Dataset make_adversarial_augmentation(const data::Dataset& benign,
+                                            nn::Model& surrogate,
+                                            const std::vector<float>& eps) {
+  benign.check();
+  OREV_CHECK(!eps.empty(), "AT needs at least one epsilon");
+  const int n = benign.size();
+
+  nn::Shape s = benign.x.shape();
+  s[0] = n * static_cast<int>(eps.size());
+  data::Dataset out;
+  out.x = nn::Tensor(s);
+  out.num_classes = benign.num_classes;
+  out.y.reserve(static_cast<std::size_t>(s[0]));
+
+  int row = 0;
+  for (const float e : eps) {
+    attack::Fgsm fgsm(e);
+    for (int i = 0; i < n; ++i) {
+      const nn::Tensor sample = benign.x.slice_batch(i);
+      const int label = benign.y[static_cast<std::size_t>(i)];
+      out.x.set_batch(row++, fgsm.perturb(surrogate, sample, label));
+      out.y.push_back(label);
+    }
+  }
+  out.check();
+  return out;
+}
+
+nn::TrainReport adversarial_training(nn::Model& victim,
+                                     const data::Dataset& train_set,
+                                     const data::Dataset& val_set,
+                                     nn::Model& surrogate,
+                                     const AdvTrainConfig& config) {
+  const data::Dataset augmentation =
+      make_adversarial_augmentation(train_set, surrogate, config.eps_values);
+  const data::Dataset combined =
+      data::Dataset::concat(train_set, augmentation);
+  log_info("adversarial training on ", combined.size(), " samples (",
+           train_set.size(), " benign + ", augmentation.size(),
+           " adversarial)");
+
+  nn::Trainer trainer(config.train);
+  return trainer.fit(victim, combined.x, combined.y, val_set.x, val_set.y);
+}
+
+nn::Model distill(
+    nn::Model& teacher,
+    const std::function<nn::Model(std::uint64_t)>& student_factory,
+    const data::Dataset& train_set, const data::Dataset& val_set,
+    const DistillConfig& config) {
+  train_set.check();
+  OREV_CHECK(config.temperature >= 1.0f,
+             "distillation temperature must be >= 1");
+
+  // Teacher's softened output distribution over the training set.
+  const nn::Tensor logits = teacher.forward(train_set.x, /*training=*/false);
+  const nn::Tensor soft = nn::softmax_t(logits, config.temperature);
+
+  nn::Model student = student_factory(0xd157);
+  nn::Trainer trainer(config.train);
+  trainer.fit_soft(student, train_set.x, soft, config.temperature, val_set.x,
+                   val_set.y);
+  return student;
+}
+
+}  // namespace orev::defense

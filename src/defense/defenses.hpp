@@ -1,0 +1,57 @@
+// Adversarial-ML defenses evaluated in §7.
+//
+//   * Adversarial training (AT): augment the benign training set with
+//     adversarial variants generated across several perturbation
+//     magnitudes (the paper uses ε ∈ {0.02, 0.05, 0.1, 0.2, 0.3, 0.4,
+//     0.5}, 7 × 1,500 = 10,500 adversarial + 1,500 benign samples) and
+//     retrain the victim. Per the paper's realistic setup, the examples
+//     are generated with the same surrogate the attacker uses.
+//   * Defensive distillation: train a student on the teacher's
+//     temperature-softened output distribution, smoothing decision
+//     boundaries and shrinking gradient signal.
+// Both add no inference-time overhead, which is why the paper selects
+// them for the latency-constrained RIC setting.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "attack/pgm.hpp"
+#include "data/dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace orev::defense {
+
+struct AdvTrainConfig {
+  std::vector<float> eps_values = {0.02f, 0.05f, 0.1f, 0.2f,
+                                   0.3f,  0.4f,  0.5f};
+  nn::TrainConfig train;
+};
+
+/// Build the AT-augmented dataset: for every ε, FGSM-perturb each benign
+/// sample on `surrogate` and keep the *ground-truth* label.
+data::Dataset make_adversarial_augmentation(const data::Dataset& benign,
+                                            nn::Model& surrogate,
+                                            const std::vector<float>& eps);
+
+/// Adversarial training in place: augment and retrain `victim`.
+nn::TrainReport adversarial_training(nn::Model& victim,
+                                     const data::Dataset& train_set,
+                                     const data::Dataset& val_set,
+                                     nn::Model& surrogate,
+                                     const AdvTrainConfig& config);
+
+struct DistillConfig {
+  float temperature = 10.0f;
+  nn::TrainConfig train;
+};
+
+/// Defensive distillation: produce a student trained on the teacher's
+/// softened probabilities. `student_factory` builds a fresh (initialised)
+/// student of the desired architecture.
+nn::Model distill(nn::Model& teacher,
+                  const std::function<nn::Model(std::uint64_t)>& student_factory,
+                  const data::Dataset& train_set,
+                  const data::Dataset& val_set, const DistillConfig& config);
+
+}  // namespace orev::defense

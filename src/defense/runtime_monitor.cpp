@@ -1,0 +1,72 @@
+#include "defense/runtime_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace orev::defense {
+
+void SdlWriteMonitor::expect_writers(const std::string& ns,
+                                     std::set<std::string> writers) {
+  OREV_CHECK(!ns.empty(), "namespace must be non-empty");
+  expected_[ns] = std::move(writers);
+}
+
+std::vector<WriteAlert> SdlWriteMonitor::scan(const oran::Sdl& sdl) {
+  std::vector<WriteAlert> alerts;
+  const auto& log = sdl.audit_log();
+  for (; cursor_ < log.size(); ++cursor_) {
+    const oran::AuditRecord& rec = log[cursor_];
+    if (rec.op != oran::Op::kWrite || !rec.allowed) continue;
+    const auto it = expected_.find(rec.ns);
+    if (it == expected_.end()) continue;  // unprotected namespace
+    if (it->second.count(rec.app_id) == 0) {
+      alerts.push_back(WriteAlert{rec.ns, rec.key, rec.app_id});
+    }
+  }
+  alerts_ += alerts.size();
+  return alerts;
+}
+
+TelemetryDriftDetector::TelemetryDriftDetector(double z_threshold,
+                                               int warmup)
+    : z_threshold_(z_threshold), warmup_(warmup) {
+  OREV_CHECK(z_threshold > 0.0, "z threshold must be positive");
+  OREV_CHECK(warmup >= 2, "warmup needs at least two samples");
+}
+
+void TelemetryDriftDetector::observe(const nn::Tensor& sample) {
+  if (mean_.empty()) {
+    mean_.assign(sample.numel(), 0.0);
+    m2_.assign(sample.numel(), 0.0);
+  }
+  OREV_CHECK(sample.numel() == mean_.size(),
+             "drift detector sample shape changed");
+  ++count_;
+  for (std::size_t i = 0; i < sample.numel(); ++i) {
+    const double x = sample[i];
+    const double delta = x - mean_[i];
+    mean_[i] += delta / count_;
+    m2_[i] += delta * (x - mean_[i]);
+  }
+}
+
+double TelemetryDriftDetector::score(const nn::Tensor& sample) const {
+  if (!warmed_up() || mean_.empty()) return 0.0;
+  OREV_CHECK(sample.numel() == mean_.size(),
+             "drift detector sample shape changed");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < sample.numel(); ++i) {
+    const double var = m2_[i] / std::max(count_ - 1, 1);
+    const double sd = std::sqrt(std::max(var, 1e-8));
+    worst = std::max(worst, std::abs(sample[i] - mean_[i]) / sd);
+  }
+  return worst;
+}
+
+bool TelemetryDriftDetector::is_anomalous(const nn::Tensor& sample) const {
+  return score(sample) >= z_threshold_;
+}
+
+}  // namespace orev::defense

@@ -1,0 +1,141 @@
+#include "nn/blocks.hpp"
+
+#include <algorithm>
+
+namespace orev::nn {
+
+// --------------------------------------------------------------- Sequential
+
+Sequential& Sequential::add(LayerPtr layer) {
+  OREV_CHECK(layer != nullptr, "Sequential::add null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x, bool training) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, training);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& l : layers_) {
+    auto ps = l->params();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+void Sequential::init(Rng& rng) {
+  for (auto& l : layers_) l->init(rng);
+}
+
+// ----------------------------------------------------------------- Residual
+
+Residual::Residual(LayerPtr inner, LayerPtr shortcut)
+    : inner_(std::move(inner)), shortcut_(std::move(shortcut)) {
+  OREV_CHECK(inner_ != nullptr, "Residual requires an inner path");
+}
+
+Tensor Residual::forward(const Tensor& x, bool training) {
+  Tensor main = inner_->forward(x, training);
+  Tensor skip = shortcut_ ? shortcut_->forward(x, training) : x;
+  OREV_CHECK(main.shape() == skip.shape(),
+             "Residual paths disagree: " + shape_str(main.shape()) + " vs " +
+                 shape_str(skip.shape()));
+  return main + skip;
+}
+
+Tensor Residual::backward(const Tensor& grad_out) {
+  Tensor dx = inner_->backward(grad_out);
+  if (shortcut_) {
+    dx += shortcut_->backward(grad_out);
+  } else {
+    dx += grad_out;
+  }
+  return dx;
+}
+
+std::vector<Param*> Residual::params() {
+  std::vector<Param*> out = inner_->params();
+  if (shortcut_) {
+    auto ps = shortcut_->params();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+void Residual::init(Rng& rng) {
+  inner_->init(rng);
+  if (shortcut_) shortcut_->init(rng);
+}
+
+// -------------------------------------------------------------- DenseConcat
+
+DenseConcat::DenseConcat(LayerPtr inner) : inner_(std::move(inner)) {
+  OREV_CHECK(inner_ != nullptr, "DenseConcat requires an inner path");
+}
+
+Tensor DenseConcat::forward(const Tensor& x, bool training) {
+  OREV_CHECK(x.rank() == 4, "DenseConcat expects [N, C, H, W]");
+  Tensor grown = inner_->forward(x, training);
+  OREV_CHECK(grown.rank() == 4 && grown.dim(0) == x.dim(0) &&
+                 grown.dim(2) == x.dim(2) && grown.dim(3) == x.dim(3),
+             "DenseConcat inner path must preserve batch and spatial dims");
+  in_channels_ = x.dim(1);
+  inner_channels_ = grown.dim(1);
+
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int s = h * w;
+  Tensor out({n, in_channels_ + inner_channels_, h, w});
+  for (int i = 0; i < n; ++i) {
+    float* dst = out.raw() +
+                 static_cast<std::size_t>(i) * (in_channels_ + inner_channels_) * s;
+    const float* sx = x.raw() + static_cast<std::size_t>(i) * in_channels_ * s;
+    const float* sg =
+        grown.raw() + static_cast<std::size_t>(i) * inner_channels_ * s;
+    std::copy_n(sx, static_cast<std::size_t>(in_channels_) * s, dst);
+    std::copy_n(sg, static_cast<std::size_t>(inner_channels_) * s,
+                dst + static_cast<std::size_t>(in_channels_) * s);
+  }
+  return out;
+}
+
+Tensor DenseConcat::backward(const Tensor& grad_out) {
+  const int total = in_channels_ + inner_channels_;
+  OREV_CHECK(grad_out.rank() == 4 && grad_out.dim(1) == total,
+             "DenseConcat backward channel mismatch");
+  const int n = grad_out.dim(0), h = grad_out.dim(2), w = grad_out.dim(3);
+  const int s = h * w;
+
+  Tensor g_passthrough({n, in_channels_, h, w});
+  Tensor g_inner({n, inner_channels_, h, w});
+  for (int i = 0; i < n; ++i) {
+    const float* src =
+        grad_out.raw() + static_cast<std::size_t>(i) * total * s;
+    std::copy_n(src, static_cast<std::size_t>(in_channels_) * s,
+                g_passthrough.raw() +
+                    static_cast<std::size_t>(i) * in_channels_ * s);
+    std::copy_n(src + static_cast<std::size_t>(in_channels_) * s,
+                static_cast<std::size_t>(inner_channels_) * s,
+                g_inner.raw() +
+                    static_cast<std::size_t>(i) * inner_channels_ * s);
+  }
+  Tensor dx = inner_->backward(g_inner);
+  dx += g_passthrough;
+  return dx;
+}
+
+std::vector<Param*> DenseConcat::params() { return inner_->params(); }
+
+void DenseConcat::init(Rng& rng) { inner_->init(rng); }
+
+}  // namespace orev::nn

@@ -1,0 +1,74 @@
+// Composite layers: Sequential chaining, residual (ResNet-style) blocks and
+// densely-connected (DenseNet-style) channel-concat blocks. These give the
+// surrogate model zoo (src/apps/model_zoo) the defining connectivity
+// patterns of the architectures the paper clones with.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace orev::nn {
+
+/// A chain of layers applied in order. Sequential is itself a Layer, so
+/// blocks nest arbitrarily.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns *this for fluent building.
+  Sequential& add(LayerPtr layer);
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  void init(Rng& rng) override;
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// Residual connection: y = inner(x) + shortcut(x). The shortcut is the
+/// identity when null, or a projection layer (e.g. 1x1 conv) when the
+/// inner path changes shape.
+class Residual : public Layer {
+ public:
+  explicit Residual(LayerPtr inner, LayerPtr shortcut = nullptr);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  void init(Rng& rng) override;
+  std::string name() const override { return "Residual"; }
+
+ private:
+  LayerPtr inner_;
+  LayerPtr shortcut_;  // may be null (identity)
+};
+
+/// Dense connectivity: y = concat_channels(x, inner(x)). The inner path
+/// must preserve spatial extent ([N, C', H, W] with the same H, W).
+class DenseConcat : public Layer {
+ public:
+  explicit DenseConcat(LayerPtr inner);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  void init(Rng& rng) override;
+  std::string name() const override { return "DenseConcat"; }
+
+ private:
+  LayerPtr inner_;
+  int in_channels_ = 0;
+  int inner_channels_ = 0;
+};
+
+}  // namespace orev::nn

@@ -1,0 +1,58 @@
+// Layer abstraction for the from-scratch neural-network library.
+//
+// Layers own their parameters and the caches needed to backpropagate.
+// The library is single-threaded by design: forward() stores activations
+// that the immediately-following backward() consumes. This matches how the
+// attack algorithms use it (gradient of a loss w.r.t. the *input* is the
+// core primitive for FGSM/PGD/C&W/DeepFool).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace orev::nn {
+
+/// A learnable parameter: value plus accumulated gradient.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Shape shape)
+      : value(shape), grad(std::move(shape)) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Compute the layer output. `training` toggles behaviours such as
+  /// dropout masking and batch-norm statistics updates.
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  /// Given dLoss/dOutput, accumulate parameter gradients and return
+  /// dLoss/dInput. Must be called after a forward() on the same input.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Initialise weights (no-op for stateless layers).
+  virtual void init(Rng& /*rng*/) {}
+
+  /// Human-readable layer name for diagnostics.
+  virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace orev::nn

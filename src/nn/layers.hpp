@@ -1,0 +1,205 @@
+// Concrete layers: Dense, Conv2D (im2col), DepthwiseConv2D, pooling,
+// activations, BatchNorm, Dropout, Flatten.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace orev::nn {
+
+/// Fully-connected layer: y = x W^T + b, x is [N, in], W is [out, in].
+class Dense : public Layer {
+ public:
+  Dense(int in_features, int out_features, bool bias = true);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  void init(Rng& rng) override;
+  std::string name() const override { return "Dense"; }
+
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+
+ private:
+  int in_;
+  int out_;
+  bool has_bias_;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  Tensor cached_input_;
+};
+
+/// 2-D convolution over [N, C, H, W] tensors, implemented with im2col.
+class Conv2D : public Layer {
+ public:
+  Conv2D(int in_channels, int out_channels, int kernel, int stride = 1,
+         int padding = 0, bool bias = true);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  void init(Rng& rng) override;
+  std::string name() const override { return "Conv2D"; }
+
+  int out_height(int h) const { return (h + 2 * pad_ - k_) / stride_ + 1; }
+  int out_width(int w) const { return (w + 2 * pad_ - k_) / stride_ + 1; }
+
+ private:
+  int in_ch_, out_ch_, k_, stride_, pad_;
+  bool has_bias_;
+  Param weight_;  // [out_ch, in_ch * k * k]
+  Param bias_;    // [out_ch]
+  Tensor cached_input_;
+  Tensor cached_cols_;  // [N * outH*outW rows concatenated] im2col cache
+};
+
+/// Depthwise 2-D convolution (one filter per channel), the defining block
+/// of the MobileNet family.
+class DepthwiseConv2D : public Layer {
+ public:
+  DepthwiseConv2D(int channels, int kernel, int stride = 1, int padding = 0);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  void init(Rng& rng) override;
+  std::string name() const override { return "DepthwiseConv2D"; }
+
+ private:
+  int ch_, k_, stride_, pad_;
+  Param weight_;  // [ch, k * k]
+  Param bias_;    // [ch]
+  Tensor cached_input_;
+};
+
+/// Max pooling over [N, C, H, W].
+class MaxPool2D : public Layer {
+ public:
+  explicit MaxPool2D(int kernel, int stride = -1);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "MaxPool2D"; }
+
+ private:
+  int k_, stride_;
+  Tensor cached_input_;
+  std::vector<std::size_t> argmax_;  // flat input index of each output max
+  Shape out_shape_;
+};
+
+/// Global average pooling: [N, C, H, W] → [N, C].
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape in_shape_;
+};
+
+/// Average pooling with kernel=stride (used by DenseNet transition layers).
+class AvgPool2D : public Layer {
+ public:
+  explicit AvgPool2D(int kernel);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "AvgPool2D"; }
+
+ private:
+  int k_;
+  Shape in_shape_;
+};
+
+/// Rectified linear activation.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Leaky rectified linear activation.
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(float slope = 0.1f) : slope_(slope) {}
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "LeakyReLU"; }
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+/// Logistic sigmoid activation.
+class Sigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Flatten [N, ...] → [N, F].
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape in_shape_;
+};
+
+/// Inverted dropout; identity at inference time.
+class Dropout : public Layer {
+ public:
+  explicit Dropout(float rate, std::uint64_t seed = 0x0d0d);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  float rate_;
+  Rng rng_;
+  Tensor mask_;
+  bool last_training_ = false;
+};
+
+/// Batch normalisation over the channel axis of [N, C, H, W] tensors, or
+/// the feature axis of [N, F] tensors. Uses running statistics at
+/// inference time.
+class BatchNorm : public Layer {
+ public:
+  explicit BatchNorm(int channels, float momentum = 0.9f, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "BatchNorm"; }
+
+ private:
+  int ch_;
+  float momentum_, eps_;
+  Param gamma_;  // [C]
+  Param beta_;   // [C]
+  Tensor running_mean_;  // [C]
+  Tensor running_var_;   // [C]
+  // Caches for backward.
+  Tensor cached_xhat_;
+  Tensor cached_invstd_;  // [C]
+  Shape in_shape_;
+  std::size_t per_channel_count_ = 0;
+};
+
+}  // namespace orev::nn

@@ -1,0 +1,168 @@
+#include "nn/model.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace orev::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4f52'4556;  // "OREV"
+}
+
+Model::Model(std::string name, LayerPtr root, Shape input_shape,
+             int num_classes)
+    : name_(std::move(name)),
+      root_(std::move(root)),
+      input_shape_(std::move(input_shape)),
+      num_classes_(num_classes) {
+  OREV_CHECK(root_ != nullptr, "Model requires a root layer");
+  OREV_CHECK(num_classes_ >= 2, "Model needs at least two classes");
+  OREV_CHECK(!input_shape_.empty(), "Model input shape must be non-empty");
+}
+
+Tensor Model::batched(const Tensor& x) const {
+  if (x.rank() == input_shape_.size()) {
+    // Single sample: prepend a batch axis.
+    OREV_CHECK(x.shape() == input_shape_,
+               "sample shape " + shape_str(x.shape()) +
+                   " does not match model input " + shape_str(input_shape_));
+    Shape s;
+    s.push_back(1);
+    s.insert(s.end(), input_shape_.begin(), input_shape_.end());
+    return x.reshaped(std::move(s));
+  }
+  OREV_CHECK(x.rank() == input_shape_.size() + 1,
+             "input rank mismatch for model " + name_);
+  for (std::size_t i = 0; i < input_shape_.size(); ++i) {
+    OREV_CHECK(x.dim(i + 1) == input_shape_[i],
+               "input shape mismatch for model " + name_);
+  }
+  return x;
+}
+
+Tensor Model::forward(const Tensor& x, bool training) {
+  return root_->forward(batched(x), training);
+}
+
+Tensor Model::backward(const Tensor& dlogits) {
+  return root_->backward(dlogits);
+}
+
+std::vector<int> Model::predict(const Tensor& x) {
+  Tensor logits = forward(x, /*training=*/false);
+  const int n = logits.dim(0), c = logits.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    int best = 0;
+    for (int j = 1; j < c; ++j)
+      if (logits.at2(i, j) > logits.at2(i, best)) best = j;
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+Tensor Model::predict_proba(const Tensor& x) {
+  return softmax(forward(x, /*training=*/false));
+}
+
+int Model::predict_one(const Tensor& sample) {
+  return predict(sample).front();
+}
+
+Tensor Model::logits_one(const Tensor& sample) {
+  Tensor logits = forward(sample, /*training=*/false);
+  return logits.reshaped({num_classes_});
+}
+
+Tensor Model::input_gradient(const Tensor& x, const std::vector<int>& labels) {
+  Tensor logits = forward(x, /*training=*/false);
+  const LossGrad lg = cross_entropy_with_logits(logits, labels);
+  return backward(lg.dlogits);
+}
+
+Tensor Model::input_gradient_custom(const Tensor& x, const Tensor& dlogits) {
+  Tensor logits = forward(x, /*training=*/false);
+  OREV_CHECK(logits.shape() == dlogits.shape(),
+             "custom gradient shape mismatch");
+  return backward(dlogits);
+}
+
+std::vector<Param*> Model::params() { return root_->params(); }
+
+void Model::init(Rng& rng) { root_->init(rng); }
+
+void Model::zero_grad() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+std::size_t Model::num_parameters() {
+  std::size_t n = 0;
+  for (Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+std::vector<Tensor> Model::weights() {
+  std::vector<Tensor> out;
+  for (Param* p : params()) out.push_back(p->value);
+  return out;
+}
+
+void Model::set_weights(const std::vector<Tensor>& ws) {
+  auto ps = params();
+  OREV_CHECK(ws.size() == ps.size(), "weight count mismatch in set_weights");
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    OREV_CHECK(ws[i].shape() == ps[i]->value.shape(),
+               "weight shape mismatch in set_weights");
+    ps[i]->value = ws[i];
+  }
+}
+
+bool Model::save(const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  auto ps = params();
+  const std::uint32_t magic = kMagic;
+  const auto count = static_cast<std::uint32_t>(ps.size());
+  f.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  f.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (Param* p : ps) {
+    const auto rank = static_cast<std::uint32_t>(p->value.rank());
+    f.write(reinterpret_cast<const char*>(&rank), sizeof rank);
+    for (const int d : p->value.shape()) {
+      const auto d32 = static_cast<std::int32_t>(d);
+      f.write(reinterpret_cast<const char*>(&d32), sizeof d32);
+    }
+    f.write(reinterpret_cast<const char*>(p->value.raw()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  return static_cast<bool>(f);
+}
+
+bool Model::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::uint32_t magic = 0, count = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  f.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!f || magic != kMagic) return false;
+  auto ps = params();
+  if (count != ps.size()) return false;
+  for (Param* p : ps) {
+    std::uint32_t rank = 0;
+    f.read(reinterpret_cast<char*>(&rank), sizeof rank);
+    if (!f || rank != p->value.rank()) return false;
+    Shape shape(rank);
+    for (std::uint32_t i = 0; i < rank; ++i) {
+      std::int32_t d = 0;
+      f.read(reinterpret_cast<char*>(&d), sizeof d);
+      shape[i] = d;
+    }
+    if (!f || shape != p->value.shape()) return false;
+    f.read(reinterpret_cast<char*>(p->value.raw()),
+           static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    if (!f) return false;
+  }
+  return true;
+}
+
+}  // namespace orev::nn

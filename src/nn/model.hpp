@@ -1,0 +1,83 @@
+// Model: a named network (root layer + expected input shape + class count)
+// with the inference and gradient entry points the attack library uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/blocks.hpp"
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+
+namespace orev::nn {
+
+class Model {
+ public:
+  /// `input_shape` excludes the batch axis (e.g. {1, 32, 32} for images,
+  /// {4} for KPM feature vectors). `root` maps [N, ...input_shape] to
+  /// [N, num_classes] logits.
+  Model(std::string name, LayerPtr root, Shape input_shape, int num_classes);
+
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  const std::string& name() const { return name_; }
+  const Shape& input_shape() const { return input_shape_; }
+  int num_classes() const { return num_classes_; }
+
+  /// Forward pass producing [N, num_classes] logits. Accepts either a
+  /// batched tensor or a single sample (which is auto-batched).
+  Tensor forward(const Tensor& x, bool training = false);
+
+  /// Backpropagate dLoss/dLogits through the cached forward pass and
+  /// return dLoss/dInput. Parameter gradients accumulate.
+  Tensor backward(const Tensor& dlogits);
+
+  /// Argmax predictions for a batch.
+  std::vector<int> predict(const Tensor& x);
+
+  /// Softmax probabilities for a batch.
+  Tensor predict_proba(const Tensor& x);
+
+  /// Predicted class of one (unbatched) sample.
+  int predict_one(const Tensor& sample);
+
+  /// Logits of one (unbatched) sample as a flat [C] tensor.
+  Tensor logits_one(const Tensor& sample);
+
+  /// Gradient of the mean cross-entropy loss w.r.t. the input batch —
+  /// the primitive that all gradient-based perturbation methods build on.
+  Tensor input_gradient(const Tensor& x, const std::vector<int>& labels);
+
+  /// Gradient of an arbitrary logits-space objective: caller supplies
+  /// dObjective/dLogits.
+  Tensor input_gradient_custom(const Tensor& x, const Tensor& dlogits);
+
+  std::vector<Param*> params();
+  void init(Rng& rng);
+  void zero_grad();
+
+  /// Total learnable scalar count.
+  std::size_t num_parameters();
+
+  /// Snapshot / restore all parameter values (used by the Trainer to keep
+  /// the best-validation weights, and by defenses to copy models).
+  std::vector<Tensor> weights();
+  void set_weights(const std::vector<Tensor>& ws);
+
+  /// Binary serialisation of weights.
+  bool save(const std::string& path);
+  bool load(const std::string& path);
+
+  Layer& root() { return *root_; }
+
+ private:
+  Tensor batched(const Tensor& x) const;
+
+  std::string name_;
+  LayerPtr root_;
+  Shape input_shape_;
+  int num_classes_;
+};
+
+}  // namespace orev::nn

@@ -1,0 +1,77 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace orev::nn {
+
+Optimizer::Optimizer(std::vector<Param*> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  OREV_CHECK(lr > 0.0f, "learning rate must be positive");
+  for (const Param* p : params_)
+    OREV_CHECK(p != nullptr, "null parameter in optimizer");
+}
+
+void Optimizer::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+void Optimizer::set_learning_rate(float lr) {
+  OREV_CHECK(lr > 0.0f, "learning rate must be positive");
+  lr_ = lr;
+}
+
+Sgd::Sgd(std::vector<Param*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params), lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  OREV_CHECK(momentum >= 0.0f && momentum < 1.0f, "momentum out of range");
+  OREV_CHECK(weight_decay >= 0.0f, "weight decay must be non-negative");
+  velocity_.reserve(params_.size());
+  for (const Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& v = velocity_[i];
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] + weight_decay_ * p.value[j];
+      v[j] = momentum_ * v[j] + g;
+      p.value[j] -= lr_ * v[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
+      const float mhat = m_[i][j] / bc1;
+      const float vhat = v_[i][j] / bc2;
+      p.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace orev::nn

@@ -1,0 +1,63 @@
+// Gradient-descent optimisers: SGD (with momentum and weight decay) and
+// Adam. The Trainer drives these; the C&W attack also uses Adam to optimise
+// perturbations directly.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace orev::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params, float lr);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Apply one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Clear accumulated gradients.
+  void zero_grad();
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr);
+
+ protected:
+  std::vector<Param*> params_;
+  float lr_;
+};
+
+/// Stochastic gradient descent with classical momentum and L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+
+  void step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace orev::nn

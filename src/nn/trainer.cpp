@@ -1,0 +1,204 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "util/log.hpp"
+
+namespace orev::nn {
+
+namespace {
+
+/// Gather rows `idx[lo, hi)` of a batched tensor into a contiguous batch.
+Tensor gather_batch(const Tensor& x, const std::vector<std::size_t>& idx,
+                    std::size_t lo, std::size_t hi) {
+  Shape s = x.shape();
+  s[0] = static_cast<int>(hi - lo);
+  Tensor out(s);
+  for (std::size_t i = lo; i < hi; ++i)
+    out.set_batch(static_cast<int>(i - lo),
+                  x.slice_batch(static_cast<int>(idx[i])));
+  return out;
+}
+
+}  // namespace
+
+Trainer::Trainer(TrainConfig config) : config_(config) {
+  OREV_CHECK(config_.max_epochs > 0, "max_epochs must be positive");
+  OREV_CHECK(config_.batch_size > 0, "batch_size must be positive");
+  OREV_CHECK(config_.lr_gamma > 0.0f && config_.lr_gamma < 1.0f,
+             "lr_gamma must be in (0, 1)");
+}
+
+TrainReport Trainer::fit(Model& model, const Tensor& x_train,
+                         const std::vector<int>& y_train, const Tensor& x_val,
+                         const std::vector<int>& y_val,
+                         const EpochCallback& on_epoch) {
+  return run(model, x_train, &y_train, nullptr, 1.0f, x_val, y_val, on_epoch);
+}
+
+TrainReport Trainer::fit_soft(Model& model, const Tensor& x_train,
+                              const Tensor& soft_targets, float temperature,
+                              const Tensor& x_val,
+                              const std::vector<int>& y_val,
+                              const EpochCallback& on_epoch) {
+  return run(model, x_train, nullptr, &soft_targets, temperature, x_val,
+             y_val, on_epoch);
+}
+
+TrainReport Trainer::run(Model& model, const Tensor& x_train,
+                         const std::vector<int>* y_train,
+                         const Tensor* soft_targets, float temperature,
+                         const Tensor& x_val, const std::vector<int>& y_val,
+                         const EpochCallback& on_epoch) {
+  const int n = x_train.dim(0);
+  OREV_CHECK(n > 0, "empty training set");
+  if (y_train != nullptr)
+    OREV_CHECK(static_cast<int>(y_train->size()) == n, "label count mismatch");
+  if (soft_targets != nullptr)
+    OREV_CHECK(soft_targets->dim(0) == n, "soft target count mismatch");
+
+  auto params = model.params();
+  std::unique_ptr<Optimizer> opt;
+  if (config_.use_adam) {
+    opt = std::make_unique<Adam>(params, config_.learning_rate);
+  } else {
+    opt = std::make_unique<Sgd>(params, config_.learning_rate,
+                                config_.momentum, config_.weight_decay);
+  }
+
+  Rng shuffle_rng(config_.shuffle_seed);
+  std::vector<std::size_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+
+  TrainReport report;
+  report.best_val_loss = std::numeric_limits<float>::infinity();
+  std::vector<Tensor> best_weights = model.weights();
+  int epochs_since_best = 0;
+  int epochs_since_lr_drop = 0;
+
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    shuffle_rng.shuffle(idx);
+
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t lo = 0; lo < idx.size();
+         lo += static_cast<std::size_t>(config_.batch_size)) {
+      const std::size_t hi =
+          std::min(idx.size(), lo + static_cast<std::size_t>(config_.batch_size));
+      Tensor xb = gather_batch(x_train, idx, lo, hi);
+
+      opt->zero_grad();
+      Tensor logits = model.forward(xb, /*training=*/true);
+      LossGrad lg;
+      if (y_train != nullptr) {
+        std::vector<int> yb;
+        yb.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i)
+          yb.push_back((*y_train)[idx[i]]);
+        lg = cross_entropy_with_logits(logits, yb);
+      } else {
+        Shape ts = soft_targets->shape();
+        ts[0] = static_cast<int>(hi - lo);
+        Tensor tb(ts);
+        for (std::size_t i = lo; i < hi; ++i)
+          tb.set_batch(static_cast<int>(i - lo),
+                       soft_targets->slice_batch(static_cast<int>(idx[i])));
+        lg = soft_cross_entropy_with_logits(logits, tb, temperature);
+      }
+      model.backward(lg.dlogits);
+      opt->step();
+      epoch_loss += lg.loss;
+      ++batches;
+    }
+
+    const EvalResult val = evaluate(model, x_val, y_val);
+    EpochRecord rec;
+    rec.epoch = epoch;
+    rec.train_loss = static_cast<float>(epoch_loss / double(batches));
+    rec.val_loss = val.loss;
+    rec.val_accuracy = val.accuracy;
+    rec.learning_rate = opt->learning_rate();
+    report.history.push_back(rec);
+    report.epochs_run = epoch + 1;
+
+    const bool improved = val.loss < report.best_val_loss - config_.min_delta;
+    if (improved) {
+      report.best_val_loss = val.loss;
+      report.best_val_accuracy = val.accuracy;
+      best_weights = model.weights();
+      epochs_since_best = 0;
+      epochs_since_lr_drop = 0;
+    } else {
+      ++epochs_since_best;
+      ++epochs_since_lr_drop;
+    }
+    // Track the best accuracy seen alongside the best loss: Algorithm 1
+    // selects on validation accuracy, which can peak off the loss minimum.
+    if (val.accuracy > report.best_val_accuracy && improved) {
+      report.best_val_accuracy = val.accuracy;
+    }
+
+    log_debug("epoch ", epoch, " train_loss=", rec.train_loss,
+              " val_loss=", rec.val_loss, " val_acc=", rec.val_accuracy);
+
+    if (on_epoch && !on_epoch(rec)) break;
+
+    if (epochs_since_lr_drop >= config_.lr_patience &&
+        opt->learning_rate() * config_.lr_gamma >= config_.min_lr) {
+      opt->set_learning_rate(opt->learning_rate() * config_.lr_gamma);
+      epochs_since_lr_drop = 0;
+    }
+    if (epochs_since_best >= config_.early_stop_patience) {
+      report.early_stopped = true;
+      break;
+    }
+  }
+
+  model.set_weights(best_weights);
+  // Recompute the report's accuracy from the restored weights so callers
+  // see the accuracy of the model they actually get back.
+  const EvalResult final_val = evaluate(model, x_val, y_val);
+  report.best_val_loss = final_val.loss;
+  report.best_val_accuracy = final_val.accuracy;
+  return report;
+}
+
+EvalResult evaluate(Model& model, const Tensor& x, const std::vector<int>& y,
+                    int batch_size) {
+  const int n = x.dim(0);
+  OREV_CHECK(static_cast<int>(y.size()) == n, "evaluate label count mismatch");
+  OREV_CHECK(n > 0, "evaluate on empty set");
+
+  double loss = 0.0;
+  int correct = 0;
+  for (int lo = 0; lo < n; lo += batch_size) {
+    const int hi = std::min(n, lo + batch_size);
+    Shape s = x.shape();
+    s[0] = hi - lo;
+    Tensor xb(s);
+    std::vector<int> yb;
+    yb.reserve(static_cast<std::size_t>(hi - lo));
+    for (int i = lo; i < hi; ++i) {
+      xb.set_batch(i - lo, x.slice_batch(i));
+      yb.push_back(y[static_cast<std::size_t>(i)]);
+    }
+    Tensor logits = model.forward(xb, /*training=*/false);
+    const LossGrad lg = cross_entropy_with_logits(logits, yb);
+    loss += double(lg.loss) * (hi - lo);
+    const int c = logits.dim(1);
+    for (int i = 0; i < hi - lo; ++i) {
+      int best = 0;
+      for (int j = 1; j < c; ++j)
+        if (logits.at2(i, j) > logits.at2(i, best)) best = j;
+      if (best == yb[static_cast<std::size_t>(i)]) ++correct;
+    }
+  }
+  EvalResult out;
+  out.loss = static_cast<float>(loss / n);
+  out.accuracy = static_cast<double>(correct) / n;
+  return out;
+}
+
+}  // namespace orev::nn

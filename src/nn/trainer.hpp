@@ -1,0 +1,103 @@
+// Training loop with the two mechanisms Algorithm 1 (Model Cloning
+// Algorithm) requires: early stopping on validation loss with patience k,
+// and a reduce-on-plateau learning-rate scheduler with patience m and
+// factor gamma. The best-validation weights are restored at the end.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+
+namespace orev::nn {
+
+struct TrainConfig {
+  int max_epochs = 50;
+  int batch_size = 32;
+  float learning_rate = 1e-3f;
+
+  // Early stopping: halt when validation loss has not improved by at least
+  // `min_delta` for `early_stop_patience` consecutive epochs.
+  int early_stop_patience = 5;
+  float min_delta = 1e-4f;
+
+  // Learning-rate scheduler (reduce on plateau): multiply the LR by
+  // `lr_gamma` when validation loss has not improved for `lr_patience`
+  // consecutive epochs.
+  int lr_patience = 3;
+  float lr_gamma = 0.5f;
+  float min_lr = 1e-5f;
+
+  // Use Adam (default) or momentum-SGD.
+  bool use_adam = true;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+
+  std::uint64_t shuffle_seed = 0x7ea1;
+};
+
+struct EpochRecord {
+  int epoch = 0;
+  float train_loss = 0.0f;
+  float val_loss = 0.0f;
+  double val_accuracy = 0.0;
+  float learning_rate = 0.0f;
+};
+
+struct TrainReport {
+  int epochs_run = 0;
+  bool early_stopped = false;
+  float best_val_loss = 0.0f;
+  double best_val_accuracy = 0.0;
+  std::vector<EpochRecord> history;
+};
+
+/// Per-epoch callback; return false to abort training.
+using EpochCallback = std::function<bool(const EpochRecord&)>;
+
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config = {});
+
+  /// Train `model` on (x_train, y_train) with hard labels, monitoring
+  /// (x_val, y_val). The model ends up with its best-validation weights.
+  TrainReport fit(Model& model, const Tensor& x_train,
+                  const std::vector<int>& y_train, const Tensor& x_val,
+                  const std::vector<int>& y_val,
+                  const EpochCallback& on_epoch = {});
+
+  /// Soft-label variant (used by defensive distillation): targets are
+  /// probability rows [N, C]; validation still uses hard labels.
+  TrainReport fit_soft(Model& model, const Tensor& x_train,
+                       const Tensor& soft_targets, float temperature,
+                       const Tensor& x_val, const std::vector<int>& y_val,
+                       const EpochCallback& on_epoch = {});
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  struct Batch {
+    Tensor x;
+    std::vector<int> y;          // hard labels (may be empty in soft mode)
+    Tensor soft;                 // soft targets (empty in hard mode)
+  };
+
+  TrainReport run(Model& model, const Tensor& x_train,
+                  const std::vector<int>* y_train, const Tensor* soft_targets,
+                  float temperature, const Tensor& x_val,
+                  const std::vector<int>& y_val,
+                  const EpochCallback& on_epoch);
+
+  TrainConfig config_;
+};
+
+/// Evaluate mean loss and accuracy of a model on a labelled set.
+struct EvalResult {
+  float loss = 0.0f;
+  double accuracy = 0.0;
+};
+EvalResult evaluate(Model& model, const Tensor& x,
+                    const std::vector<int>& y, int batch_size = 64);
+
+}  // namespace orev::nn

@@ -1,0 +1,17 @@
+// A1-lite policy types: Non-RT RIC → Near-RT RIC policy guidance.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace orev::oran {
+
+/// A typed policy statement with free-form parameters, e.g.
+/// {type: "interference-management", params: {"mode": "adaptive"}}.
+struct A1Policy {
+  std::string policy_type;
+  std::map<std::string, std::string> params;
+  int priority = 0;
+};
+
+}  // namespace orev::oran

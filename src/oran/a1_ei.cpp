@@ -1,0 +1,55 @@
+#include "oran/a1_ei.hpp"
+
+#include "oran/near_rt_ric.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace orev::oran {
+
+A1EiService::A1EiService(const Operator* op, Sdl* sdl)
+    : operator_(op), sdl_(sdl) {
+  OREV_CHECK(op != nullptr && sdl != nullptr,
+             "A1-EI needs the operator and an SDL");
+}
+
+bool A1EiService::register_producer(const Certificate& cert,
+                                    const std::string& job_id) {
+  OREV_CHECK(!job_id.empty(), "EI job id must be non-empty");
+  if (!operator_->verify_certificate(cert)) {
+    log_warn("A1-EI producer rejected: invalid certificate for ",
+             cert.subject);
+    return false;
+  }
+  job_producer_[job_id] = cert.subject;
+  return true;
+}
+
+bool A1EiService::deliver(const std::string& producer_subject,
+                          const EiDelivery& delivery) {
+  const auto it = job_producer_.find(delivery.job_id);
+  if (it == job_producer_.end() || it->second != producer_subject) {
+    ++rejected_;
+    log_warn("A1-EI delivery rejected: ", producer_subject,
+             " is not the registered producer for ", delivery.job_id);
+    return false;
+  }
+  // Delivered EI is stored under the platform identity: downstream rApps
+  // cannot distinguish a compromised producer's data from legitimate EI.
+  const SdlStatus st = sdl_->write_tensor(kRicPlatformId, kNsEnrichment,
+                                          delivery.job_id,
+                                          delivery.features);
+  if (st != SdlStatus::kOk) {
+    ++rejected_;
+    return false;
+  }
+  ++accepted_;
+  return true;
+}
+
+SdlStatus A1EiService::read(const std::string& app_id,
+                            const std::string& job_id,
+                            nn::Tensor& out) const {
+  return sdl_->read_tensor(app_id, kNsEnrichment, job_id, out);
+}
+
+}  // namespace orev::oran

@@ -1,0 +1,68 @@
+// A1-EI (Enrichment Information) — the Non-RT RIC's external data
+// ingestion path (§3.2): registered EI producers deliver enrichment jobs
+// (forecasts, contextual data) that rApps consume alongside PM data.
+//
+// The paper flags this interface as an external-adversary surface:
+// "compromised data providers, MiTM attackers on O1 links, or
+// misconfigured APIs can ... facilitate adversarial feature injection."
+// The service authenticates producers with operator certificates, but —
+// as with Y1 — authentication does not vouch for the *content*; delivered
+// EI lands in the SDL where downstream rApps trust it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "oran/onboarding.hpp"
+#include "oran/sdl.hpp"
+
+namespace orev::oran {
+
+/// SDL namespace where delivered enrichment information is stored.
+inline constexpr const char* kNsEnrichment = "ei";
+
+/// One enrichment delivery: a typed job id plus a feature tensor.
+struct EiDelivery {
+  std::string job_id;       // e.g. "load-forecast/sector0"
+  nn::Tensor features;
+  std::uint64_t sequence = 0;
+};
+
+/// The Non-RT RIC's A1-EI termination. Producers register under an
+/// operator certificate and may then deliver EI for their registered job
+/// ids; deliveries are written into the SDL enrichment namespace under
+/// the platform identity (rApps see them as platform-provided data —
+/// which is exactly why a compromised producer is dangerous).
+class A1EiService {
+ public:
+  /// `sdl` must outlive the service.
+  A1EiService(const Operator* op, Sdl* sdl);
+
+  /// Register a producer for a job id; false on invalid certificate.
+  bool register_producer(const Certificate& cert, const std::string& job_id);
+
+  /// Deliver EI. Fails (returns false) when the producer subject is not
+  /// registered for the job. Successful deliveries are SDL-visible at
+  /// (kNsEnrichment, job_id).
+  bool deliver(const std::string& producer_subject,
+               const EiDelivery& delivery);
+
+  /// Read the latest delivery for a job into `out` on behalf of an rApp.
+  SdlStatus read(const std::string& app_id, const std::string& job_id,
+                 nn::Tensor& out) const;
+
+  std::uint64_t deliveries_accepted() const { return accepted_; }
+  std::uint64_t deliveries_rejected() const { return rejected_; }
+
+ private:
+  const Operator* operator_;
+  Sdl* sdl_;
+  std::map<std::string, std::string> job_producer_;  // job id → subject
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace orev::oran

@@ -1,0 +1,40 @@
+// E2-lite interface types: the closed-loop channel between the RAN and the
+// Near-RT RIC, mirroring the SCTP-based E2-lite used by the paper's testbed
+// (§A.4). Indications carry telemetry (spectrograms or KPMs) upstream;
+// control messages carry xApp decisions (MCS mode) downstream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/tensor.hpp"
+
+namespace orev::oran {
+
+enum class IndicationKind { kSpectrogram, kKpm };
+
+/// RAN → RIC telemetry report for one TTI / reporting interval.
+struct E2Indication {
+  std::string ran_node_id;
+  std::uint64_t tti = 0;
+  IndicationKind kind = IndicationKind::kSpectrogram;
+  nn::Tensor payload;  // [1, H, W] spectrogram or [F] KPM features
+};
+
+enum class ControlAction { kSetAdaptiveMcs, kSetFixedMcs };
+
+/// RIC → RAN control (the IC xApp's decision).
+struct E2Control {
+  ControlAction action = ControlAction::kSetAdaptiveMcs;
+  int fixed_mcs_index = 0;  // used when action == kSetFixedMcs
+};
+
+/// Implemented by the RAN side of the E2 association.
+class E2Node {
+ public:
+  virtual ~E2Node() = default;
+  virtual void handle_control(const E2Control& control) = 0;
+  virtual std::string node_id() const = 0;
+};
+
+}  // namespace orev::oran

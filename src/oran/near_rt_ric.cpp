@@ -1,0 +1,93 @@
+#include "oran/near_rt_ric.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace orev::oran {
+
+NearRtRic::NearRtRic(Rbac* rbac, const OnboardingService* onboarding,
+                     double control_window_ms)
+    : rbac_(rbac),
+      onboarding_(onboarding),
+      sdl_(rbac),
+      control_window_ms_(control_window_ms) {
+  OREV_CHECK(rbac != nullptr && onboarding != nullptr,
+             "NearRtRic requires RBAC and onboarding services");
+  OREV_CHECK(control_window_ms > 0.0, "control window must be positive");
+  // The platform itself holds an internal role with full SDL access.
+  if (!rbac_->has_role("ric-platform-internal")) {
+    rbac_->define_role("ric-platform-internal",
+                       {Permission{"*", /*read=*/true, /*write=*/true}});
+  }
+  rbac_->assign_role(kRicPlatformId, "ric-platform-internal");
+}
+
+bool NearRtRic::register_xapp(std::shared_ptr<XApp> app,
+                              const std::string& app_id, int priority) {
+  OREV_CHECK(app != nullptr, "null xApp");
+  if (!onboarding_->is_onboarded(app_id)) {
+    log_warn("xApp registration rejected (not onboarded): ", app_id);
+    return false;
+  }
+  app->app_id_ = app_id;
+  xapps_.push_back(Registration{std::move(app), priority});
+  std::stable_sort(xapps_.begin(), xapps_.end(),
+                   [](const Registration& a, const Registration& b) {
+                     return a.priority < b.priority;
+                   });
+  stats_.emplace(app_id, XAppDispatchStats{});
+  return true;
+}
+
+void NearRtRic::connect_e2(E2Node* node) {
+  OREV_CHECK(node != nullptr, "null E2 node");
+  e2_node_ = node;
+}
+
+void NearRtRic::deliver_indication(const E2Indication& ind) {
+  ++indications_;
+  const char* ns = ind.kind == IndicationKind::kSpectrogram ? kNsSpectrogram
+                                                            : kNsKpm;
+  const std::string key = ind.ran_node_id + "/current";
+  const SdlStatus st =
+      sdl_.write_tensor(kRicPlatformId, ns, key, ind.payload);
+  OREV_CHECK(st == SdlStatus::kOk, "platform SDL write failed");
+
+  for (const Registration& reg : xapps_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    reg.app->on_indication(ind, *this);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    XAppDispatchStats& s = stats_[reg.app->app_id()];
+    ++s.dispatches;
+    s.total_ms += ms;
+    if (ms > control_window_ms_) ++s.deadline_misses;
+  }
+}
+
+void NearRtRic::send_control(const std::string& app_id,
+                             const E2Control& control) {
+  OREV_CHECK(e2_node_ != nullptr, "no E2 node connected");
+  // Control access is itself policy-gated: an app must hold write
+  // permission on the control namespace to steer the RAN.
+  if (!rbac_->allowed(app_id, "e2/control", Op::kWrite)) {
+    log_warn("E2 control denied for ", app_id);
+    return;
+  }
+  e2_node_->handle_control(control);
+}
+
+void NearRtRic::accept_policy(const A1Policy& policy) {
+  policies_.push_back(policy);
+}
+
+const XAppDispatchStats& NearRtRic::stats_of(const std::string& app_id) const {
+  static const XAppDispatchStats kEmpty{};
+  const auto it = stats_.find(app_id);
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+}  // namespace orev::oran

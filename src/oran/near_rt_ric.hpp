@@ -1,0 +1,107 @@
+// Near-RT RIC platform: hosts onboarded xApps, terminates the E2
+// association, mediates SDL access, and enforces the near-real-time
+// dispatch window (10 ms – 1 s control loop, §2.1).
+//
+// Telemetry flow per indication (matching the paper's attack surface):
+//   1. the platform writes the indication payload into the SDL
+//      (namespace "telemetry/<kind>", key "<node>/current");
+//   2. xApps are dispatched in ascending priority order; an app with SDL
+//      write access may modify the entry before later apps read it;
+//   3. xApps issue E2 control decisions back to the RAN node.
+// Dispatch wall-clock time is measured against the control window; late
+// apps are recorded as deadline misses (§5.3.3's timing constraint).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "oran/a1.hpp"
+#include "oran/e2.hpp"
+#include "oran/onboarding.hpp"
+#include "oran/sdl.hpp"
+
+namespace orev::oran {
+
+class NearRtRic;
+
+/// Base class for xApps hosted on the Near-RT RIC.
+class XApp {
+ public:
+  virtual ~XApp() = default;
+
+  /// Called for every E2 indication, in registration priority order.
+  virtual void on_indication(const E2Indication& ind, NearRtRic& ric) = 0;
+
+  const std::string& app_id() const { return app_id_; }
+
+ private:
+  friend class NearRtRic;
+  std::string app_id_;
+};
+
+/// Reserved identity the platform itself uses for SDL writes.
+inline constexpr const char* kRicPlatformId = "ric-platform";
+
+/// SDL namespaces used by the platform.
+inline constexpr const char* kNsSpectrogram = "telemetry/spectrogram";
+inline constexpr const char* kNsKpm = "telemetry/kpm";
+inline constexpr const char* kNsDecisions = "decisions";
+
+struct XAppDispatchStats {
+  std::uint64_t dispatches = 0;
+  std::uint64_t deadline_misses = 0;
+  double total_ms = 0.0;
+};
+
+class NearRtRic {
+ public:
+  /// `control_window_ms` is the near-RT deadline each xApp must meet.
+  NearRtRic(Rbac* rbac, const OnboardingService* onboarding,
+            double control_window_ms = 1000.0);
+
+  Sdl& sdl() { return sdl_; }
+  const Sdl& sdl() const { return sdl_; }
+
+  /// Register an onboarded xApp under its onboarding-issued id. Lower
+  /// priority values dispatch first. Fails for unknown app ids
+  /// (REQ-SEC-NEAR-RT-1: authenticate before SDL access).
+  bool register_xapp(std::shared_ptr<XApp> app, const std::string& app_id,
+                     int priority);
+
+  void connect_e2(E2Node* node);
+
+  /// Deliver one indication: platform SDL write + prioritized dispatch.
+  void deliver_indication(const E2Indication& ind);
+
+  /// xApp-facing control path back to the connected E2 node.
+  void send_control(const std::string& app_id, const E2Control& control);
+
+  /// A1 policies pushed down from the Non-RT RIC.
+  void accept_policy(const A1Policy& policy);
+  const std::vector<A1Policy>& policies() const { return policies_; }
+
+  const XAppDispatchStats& stats_of(const std::string& app_id) const;
+  double control_window_ms() const { return control_window_ms_; }
+  std::uint64_t indications_delivered() const { return indications_; }
+
+ private:
+  struct Registration {
+    std::shared_ptr<XApp> app;
+    int priority = 0;
+  };
+
+  Rbac* rbac_;
+  const OnboardingService* onboarding_;
+  Sdl sdl_;
+  double control_window_ms_;
+  std::vector<Registration> xapps_;  // kept sorted by priority
+  E2Node* e2_node_ = nullptr;
+  std::vector<A1Policy> policies_;
+  std::map<std::string, XAppDispatchStats> stats_;
+  std::uint64_t indications_ = 0;
+};
+
+}  // namespace orev::oran

@@ -1,0 +1,101 @@
+#include "oran/non_rt_ric.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace orev::oran {
+
+NonRtRic::NonRtRic(Rbac* rbac, const OnboardingService* onboarding,
+                   int history_window)
+    : rbac_(rbac),
+      onboarding_(onboarding),
+      sdl_(rbac),
+      history_window_(history_window) {
+  OREV_CHECK(rbac != nullptr && onboarding != nullptr,
+             "NonRtRic requires RBAC and onboarding services");
+  OREV_CHECK(history_window > 0, "history window must be positive");
+  if (!rbac_->has_role("ric-platform-internal")) {
+    rbac_->define_role("ric-platform-internal",
+                       {Permission{"*", /*read=*/true, /*write=*/true}});
+  }
+  rbac_->assign_role(kRicPlatformId, "ric-platform-internal");
+}
+
+bool NonRtRic::register_rapp(std::shared_ptr<RApp> app,
+                             const std::string& app_id, int priority) {
+  OREV_CHECK(app != nullptr, "null rApp");
+  if (!onboarding_->is_onboarded(app_id)) {
+    log_warn("rApp registration rejected (not onboarded): ", app_id);
+    return false;
+  }
+  app->app_id_ = app_id;
+  rapps_.push_back(Registration{std::move(app), priority});
+  std::stable_sort(rapps_.begin(), rapps_.end(),
+                   [](const Registration& a, const Registration& b) {
+                     return a.priority < b.priority;
+                   });
+  return true;
+}
+
+void NonRtRic::connect_o1(O1Interface* o1) {
+  OREV_CHECK(o1 != nullptr, "null O1 interface");
+  o1_ = o1;
+}
+
+void NonRtRic::publish_history() {
+  const int cells = static_cast<int>(cell_ids_.size());
+  const int window = history_window_;
+  nn::Tensor hist({window, cells});
+  // Pad the front with the oldest available row when the deque is short.
+  for (int t = 0; t < window; ++t) {
+    const int deficit = window - static_cast<int>(prb_history_.size());
+    const int src = std::max(0, t - deficit);
+    const auto& row = prb_history_[static_cast<std::size_t>(
+        std::min(src, static_cast<int>(prb_history_.size()) - 1))];
+    for (int c = 0; c < cells; ++c)
+      hist.at2(t, c) = static_cast<float>(row[static_cast<std::size_t>(c)]);
+  }
+  const SdlStatus st =
+      sdl_.write_tensor(kRicPlatformId, kNsPm, kKeyPrbHistory, hist);
+  OREV_CHECK(st == SdlStatus::kOk, "PM history SDL write failed");
+}
+
+void NonRtRic::step() {
+  OREV_CHECK(o1_ != nullptr, "no O1 interface connected");
+  PmReport report = o1_->collect_pm();
+  report.period = period_++;
+
+  cell_ids_.clear();
+  std::vector<double> prb_row;
+  for (const auto& [cell_id, pm] : report.cells) {
+    cell_ids_.push_back(cell_id);
+    prb_row.push_back(pm.prb_util_dl);
+  }
+  prb_history_.push_back(std::move(prb_row));
+  while (static_cast<int>(prb_history_.size()) > history_window_)
+    prb_history_.pop_front();
+
+  publish_history();
+
+  for (const Registration& reg : rapps_) {
+    reg.app->on_pm_period(report, *this);
+  }
+}
+
+bool NonRtRic::request_cell_state(const std::string& app_id, int cell_id,
+                                  bool active) {
+  OREV_CHECK(o1_ != nullptr, "no O1 interface connected");
+  if (!rbac_->allowed(app_id, "o1/cell-control", Op::kWrite)) {
+    log_warn("cell control denied for ", app_id);
+    return false;
+  }
+  return o1_->set_cell_state(cell_id, active);
+}
+
+void NonRtRic::push_a1_policy(NearRtRic& target, const A1Policy& policy) {
+  target.accept_policy(policy);
+}
+
+}  // namespace orev::oran

@@ -1,0 +1,103 @@
+// Non-RT RIC inside the SMO: hosts rApps, drives O1 PM collection, exposes
+// the PM database through the SDL, and pushes A1 policies to the Near-RT
+// RIC. Control loop granularity exceeds 1 s (§2.1); here one `step()` is
+// one PM reporting period (15 minutes in the power-saving evaluation).
+//
+// PM flow per period (the §3.1 rApp attack surface):
+//   1. the platform collects a PM report over O1 and appends it to a
+//      sliding PRB-utilisation history window;
+//   2. the full history tensor [window, num_cells] is written to the SDL
+//      (namespace "pm", key "prb-history") along with current readings;
+//   3. rApps dispatch in priority order — a malicious aggregator rApp with
+//      write access can perturb the history a downstream rApp consumes;
+//   4. rApps may request cell state changes, which are authorization-
+//      checked and forwarded over O1.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "oran/a1.hpp"
+#include "oran/near_rt_ric.hpp"
+#include "oran/o1.hpp"
+#include "oran/onboarding.hpp"
+#include "oran/sdl.hpp"
+
+namespace orev::oran {
+
+class NonRtRic;
+
+/// Base class for rApps hosted on the Non-RT RIC.
+class RApp {
+ public:
+  virtual ~RApp() = default;
+
+  /// Called once per PM reporting period, in priority order.
+  virtual void on_pm_period(const PmReport& report, NonRtRic& ric) = 0;
+
+  const std::string& app_id() const { return app_id_; }
+
+ private:
+  friend class NonRtRic;
+  std::string app_id_;
+};
+
+/// SDL namespaces used by the Non-RT RIC platform.
+inline constexpr const char* kNsPm = "pm";
+inline constexpr const char* kNsRappDecisions = "rapp-decisions";
+/// SDL key carrying the sliding PRB history tensor [window, num_cells].
+inline constexpr const char* kKeyPrbHistory = "prb-history";
+
+class NonRtRic {
+ public:
+  NonRtRic(Rbac* rbac, const OnboardingService* onboarding,
+           int history_window = 12);
+
+  Sdl& sdl() { return sdl_; }
+
+  bool register_rapp(std::shared_ptr<RApp> app, const std::string& app_id,
+                     int priority);
+
+  void connect_o1(O1Interface* o1);
+
+  /// Run one PM reporting period: collect → SDL publish → dispatch.
+  void step();
+
+  /// rApp-facing cell control; authorization-checked (namespace
+  /// "o1/cell-control"), then forwarded over O1. Returns false when the
+  /// app lacks permission or the network rejects the transition.
+  bool request_cell_state(const std::string& app_id, int cell_id,
+                          bool active);
+
+  /// Push an A1 policy to a Near-RT RIC instance.
+  void push_a1_policy(NearRtRic& target, const A1Policy& policy);
+
+  /// Cell ids seen in the most recent PM report, in ascending order.
+  const std::vector<int>& cell_ids() const { return cell_ids_; }
+
+  int history_window() const { return history_window_; }
+  std::uint64_t periods_run() const { return period_; }
+
+ private:
+  struct Registration {
+    std::shared_ptr<RApp> app;
+    int priority = 0;
+  };
+
+  void publish_history();
+
+  Rbac* rbac_;
+  const OnboardingService* onboarding_;
+  Sdl sdl_;
+  int history_window_;
+  std::vector<Registration> rapps_;
+  O1Interface* o1_ = nullptr;
+  std::uint64_t period_ = 0;
+  std::vector<int> cell_ids_;
+  std::deque<std::vector<double>> prb_history_;  // most recent at back
+};
+
+}  // namespace orev::oran

@@ -1,0 +1,39 @@
+// O1-lite interface: SMO ↔ network element management plane. The
+// Power-Saving rApp collects PM (performance management) data and switches
+// capacity cells through this interface, matching the paper's §A.6 setup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace orev::oran {
+
+/// Per-cell performance measurements for one reporting period.
+struct CellPm {
+  double prb_util_dl = 0.0;   // RRU.PrbTotDl (percent, 0..100)
+  double conn_mean = 0.0;     // RRC.ConnMean
+  double dl_throughput_mbps = 0.0;
+  bool active = true;
+};
+
+/// One PM report: timestamp index → readings for every cell.
+struct PmReport {
+  std::uint64_t period = 0;
+  std::map<int, CellPm> cells;
+};
+
+/// Implemented by the managed network (the RICTest-style emulator).
+class O1Interface {
+ public:
+  virtual ~O1Interface() = default;
+
+  /// Collect the current PM report (data collection request → response).
+  virtual PmReport collect_pm() = 0;
+
+  /// Activate/deactivate a cell; returns false for unknown cells or
+  /// disallowed transitions (e.g. switching a coverage cell off).
+  virtual bool set_cell_state(int cell_id, bool active) = 0;
+};
+
+}  // namespace orev::oran

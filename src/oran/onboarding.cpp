@@ -1,0 +1,121 @@
+#include "oran/onboarding.hpp"
+
+#include "util/check.hpp"
+#include "util/sha256.hpp"
+
+namespace orev::oran {
+
+std::string package_digest(const AppDescriptor& d) {
+  Sha256 h;
+  h.update(d.name);
+  h.update("\x1f");
+  h.update(d.version);
+  h.update("\x1f");
+  h.update(d.vendor);
+  h.update("\x1f");
+  h.update(d.type == AppType::kXApp ? "xapp" : "rapp");
+  h.update("\x1f");
+  h.update(d.payload);
+  h.update("\x1f");
+  h.update(d.requested_role);
+  for (const auto& [k, v] : d.attributes) {
+    h.update("\x1f");
+    h.update(k);
+    h.update("=");
+    h.update(v);
+  }
+  return Sha256::to_hex(h.finish());
+}
+
+Operator::Operator(std::string name, std::string secret)
+    : name_(std::move(name)), secret_(std::move(secret)) {
+  OREV_CHECK(!secret_.empty(), "operator secret must be non-empty");
+}
+
+std::string Operator::sign(const std::string& message) const {
+  // Keyed hash: H(secret || H(secret || message)) — HMAC-style nesting.
+  const std::string inner = Sha256::hex(secret_ + message);
+  return Sha256::hex(secret_ + inner);
+}
+
+bool Operator::verify(const std::string& message,
+                      const std::string& signature) const {
+  return sign(message) == signature;
+}
+
+SignedPackage Operator::package(const AppDescriptor& d) const {
+  SignedPackage pkg;
+  pkg.descriptor = d;
+  pkg.digest = package_digest(d);
+  pkg.signature = sign(pkg.digest);
+  return pkg;
+}
+
+Certificate Operator::issue_certificate(const std::string& app_id) const {
+  Certificate cert;
+  cert.subject = app_id;
+  cert.issuer = name_;
+  cert.signature = sign(app_id + "|" + name_);
+  return cert;
+}
+
+bool Operator::verify_certificate(const Certificate& cert) const {
+  return cert.issuer == name_ &&
+         verify(cert.subject + "|" + cert.issuer, cert.signature);
+}
+
+OnboardingService::OnboardingService(const Operator* op, Rbac* rbac)
+    : operator_(op), rbac_(rbac) {
+  OREV_CHECK(op != nullptr && rbac != nullptr,
+             "onboarding needs an operator and an RBAC engine");
+}
+
+OnboardResult OnboardingService::onboard(const SignedPackage& pkg) {
+  OnboardResult r;
+
+  // Integrity: recompute the digest over the submitted descriptor. Any
+  // post-signing tampering (payload swap, role escalation) changes it.
+  const std::string recomputed = package_digest(pkg.descriptor);
+  if (recomputed != pkg.digest) {
+    r.reason = "integrity check failed: package digest mismatch";
+    return r;
+  }
+
+  // Authenticity: the digest must carry a valid operator signature.
+  if (!operator_->verify(pkg.digest, pkg.signature)) {
+    r.reason = "authentication failed: invalid operator signature";
+    return r;
+  }
+
+  // The requested role must already be defined by the operator; apps
+  // cannot invent roles at onboarding time.
+  if (!pkg.descriptor.requested_role.empty() &&
+      !rbac_->has_role(pkg.descriptor.requested_role)) {
+    r.reason = "authorization failed: unknown role '" +
+               pkg.descriptor.requested_role + "'";
+    return r;
+  }
+
+  const std::string app_id = pkg.descriptor.name + "@" +
+                             pkg.descriptor.version + "#" +
+                             std::to_string(next_serial_++);
+  if (!pkg.descriptor.requested_role.empty()) {
+    rbac_->assign_role(app_id, pkg.descriptor.requested_role);
+  }
+  for (const auto& [k, v] : pkg.descriptor.attributes) {
+    rbac_->set_attribute(app_id, k, v);
+  }
+  onboarded_[app_id] = pkg.descriptor;
+
+  r.accepted = true;
+  r.reason = "onboarded";
+  r.app_id = app_id;
+  r.certificate = operator_->issue_certificate(app_id);
+  return r;
+}
+
+bool OnboardingService::is_onboarded(const std::string& app_id) const {
+  return onboarded_.count(app_id) > 0;
+}
+
+}  // namespace orev::oran

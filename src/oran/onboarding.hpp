@@ -1,0 +1,103 @@
+// xApp/rApp onboarding pipeline per O-RAN WG11 (§2.2.1):
+//   * package descriptor with metadata and payload,
+//   * SHA-256 integrity digest over the package contents,
+//   * operator signature binding the app identifier to its credentials
+//     (REQ-SEC-XAPP-3), modelled as a keyed hash,
+//   * certificate issuance on successful validation.
+//
+// The pipeline deliberately reproduces the §2.2.2 limitation: it validates
+// *provenance and integrity*, not *behaviour* — a correctly signed package
+// containing malicious logic onboards successfully (supply-chain gap),
+// which is exactly the internal-adversary entry point of the threat model.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "oran/rbac.hpp"
+
+namespace orev::oran {
+
+enum class AppType { kXApp, kRApp };
+
+/// Submitted application package.
+struct AppDescriptor {
+  std::string name;
+  std::string version;
+  std::string vendor;
+  AppType type = AppType::kXApp;
+  std::string payload;         // opaque package bytes
+  std::string requested_role;  // role requested at onboarding
+  std::map<std::string, std::string> attributes;  // ABAC attributes
+};
+
+/// Canonical SHA-256 digest over all descriptor fields.
+std::string package_digest(const AppDescriptor& d);
+
+/// A descriptor plus the operator's signature over its digest.
+struct SignedPackage {
+  AppDescriptor descriptor;
+  std::string digest;
+  std::string signature;
+};
+
+/// Operator-issued credential bound to an app id.
+struct Certificate {
+  std::string subject;    // app id
+  std::string issuer;
+  std::string signature;  // over subject|issuer
+};
+
+/// The network operator: holds the signing secret, packages and signs
+/// vendor submissions, and issues certificates. The signature scheme is a
+/// keyed hash (HMAC-like) — a stand-in for X.509/PKI that preserves the
+/// verify-before-trust workflow.
+class Operator {
+ public:
+  explicit Operator(std::string name, std::string secret);
+
+  const std::string& name() const { return name_; }
+
+  std::string sign(const std::string& message) const;
+  bool verify(const std::string& message, const std::string& signature) const;
+
+  SignedPackage package(const AppDescriptor& d) const;
+  Certificate issue_certificate(const std::string& app_id) const;
+  bool verify_certificate(const Certificate& cert) const;
+
+ private:
+  std::string name_;
+  std::string secret_;
+};
+
+struct OnboardResult {
+  bool accepted = false;
+  std::string reason;
+  std::string app_id;           // assigned on success
+  std::optional<Certificate> certificate;
+};
+
+/// Validates signed packages and registers accepted apps with the RBAC
+/// engine (role assignment + ABAC attributes).
+class OnboardingService {
+ public:
+  OnboardingService(const Operator* op, Rbac* rbac);
+
+  /// Full onboarding: integrity (digest recomputation), authenticity
+  /// (operator signature), role existence, then registration.
+  OnboardResult onboard(const SignedPackage& pkg);
+
+  /// Whether an app id has been onboarded.
+  bool is_onboarded(const std::string& app_id) const;
+
+  int onboarded_count() const { return static_cast<int>(onboarded_.size()); }
+
+ private:
+  const Operator* operator_;
+  Rbac* rbac_;
+  std::map<std::string, AppDescriptor> onboarded_;
+  int next_serial_ = 1;
+};
+
+}  // namespace orev::oran

@@ -1,0 +1,80 @@
+#include "oran/sdl.hpp"
+
+#include "util/check.hpp"
+
+namespace orev::oran {
+
+Sdl::Sdl(const Rbac* rbac) : rbac_(rbac) {
+  OREV_CHECK(rbac != nullptr, "SDL requires an RBAC engine");
+}
+
+bool Sdl::check(const std::string& app_id, const std::string& ns,
+                const std::string& key, Op op) const {
+  const bool ok = rbac_->allowed(app_id, ns, op);
+  audit_.push_back(AuditRecord{app_id, ns, key, op, ok});
+  return ok;
+}
+
+SdlStatus Sdl::write_tensor(const std::string& app_id, const std::string& ns,
+                            const std::string& key, nn::Tensor value) {
+  if (!check(app_id, ns, key, Op::kWrite)) return SdlStatus::kDenied;
+  Entry& e = store_[{ns, key}];
+  e.tensor = std::move(value);
+  e.is_tensor = true;
+  e.writer = app_id;
+  ++e.version;
+  return SdlStatus::kOk;
+}
+
+SdlStatus Sdl::write_text(const std::string& app_id, const std::string& ns,
+                          const std::string& key, std::string value) {
+  if (!check(app_id, ns, key, Op::kWrite)) return SdlStatus::kDenied;
+  Entry& e = store_[{ns, key}];
+  e.text = std::move(value);
+  e.is_tensor = false;
+  e.writer = app_id;
+  ++e.version;
+  return SdlStatus::kOk;
+}
+
+SdlStatus Sdl::read_tensor(const std::string& app_id, const std::string& ns,
+                           const std::string& key, nn::Tensor& out) const {
+  if (!check(app_id, ns, key, Op::kRead)) return SdlStatus::kDenied;
+  const auto it = store_.find({ns, key});
+  if (it == store_.end() || !it->second.is_tensor) return SdlStatus::kNotFound;
+  out = it->second.tensor;
+  return SdlStatus::kOk;
+}
+
+SdlStatus Sdl::read_text(const std::string& app_id, const std::string& ns,
+                         const std::string& key, std::string& out) const {
+  if (!check(app_id, ns, key, Op::kRead)) return SdlStatus::kDenied;
+  const auto it = store_.find({ns, key});
+  if (it == store_.end() || it->second.is_tensor) return SdlStatus::kNotFound;
+  out = it->second.text;
+  return SdlStatus::kOk;
+}
+
+std::optional<std::uint64_t> Sdl::version(const std::string& ns,
+                                          const std::string& key) const {
+  const auto it = store_.find({ns, key});
+  if (it == store_.end()) return std::nullopt;
+  return it->second.version;
+}
+
+std::optional<std::string> Sdl::last_writer(const std::string& ns,
+                                            const std::string& key) const {
+  const auto it = store_.find({ns, key});
+  if (it == store_.end()) return std::nullopt;
+  return it->second.writer;
+}
+
+std::vector<std::string> Sdl::keys(const std::string& ns) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : store_) {
+    if (k.first == ns) out.push_back(k.second);
+  }
+  return out;
+}
+
+}  // namespace orev::oran

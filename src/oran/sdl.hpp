@@ -1,0 +1,79 @@
+// Shared Data Layer (SDL): the RIC-internal namespaced key-value store that
+// xApps/rApps read telemetry from and (when permitted) write to.
+//
+// Every access is mediated by the RBAC/ABAC engine and recorded in an audit
+// log. The paper's core attack path — a malicious app with (mis)granted
+// write access perturbing the telemetry a victim app consumes — happens
+// entirely through this interface.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "oran/rbac.hpp"
+
+namespace orev::oran {
+
+enum class SdlStatus { kOk, kDenied, kNotFound };
+
+struct AuditRecord {
+  std::string app_id;
+  std::string ns;
+  std::string key;
+  Op op = Op::kRead;
+  bool allowed = false;
+};
+
+class Sdl {
+ public:
+  /// The RBAC engine must outlive the SDL.
+  explicit Sdl(const Rbac* rbac);
+
+  SdlStatus write_tensor(const std::string& app_id, const std::string& ns,
+                         const std::string& key, nn::Tensor value);
+  SdlStatus write_text(const std::string& app_id, const std::string& ns,
+                       const std::string& key, std::string value);
+
+  /// Read into `out`; returns kDenied/kNotFound without touching `out` on
+  /// failure.
+  SdlStatus read_tensor(const std::string& app_id, const std::string& ns,
+                        const std::string& key, nn::Tensor& out) const;
+  SdlStatus read_text(const std::string& app_id, const std::string& ns,
+                      const std::string& key, std::string& out) const;
+
+  /// Version counter of an entry (bumped on every successful write);
+  /// nullopt when absent. Versions let apps detect tampering windows.
+  std::optional<std::uint64_t> version(const std::string& ns,
+                                       const std::string& key) const;
+
+  /// Identity of the last successful writer of an entry (for audits).
+  std::optional<std::string> last_writer(const std::string& ns,
+                                         const std::string& key) const;
+
+  const std::vector<AuditRecord>& audit_log() const { return audit_; }
+  void clear_audit_log() { audit_.clear(); }
+
+  /// All keys currently present in a namespace.
+  std::vector<std::string> keys(const std::string& ns) const;
+
+ private:
+  struct Entry {
+    nn::Tensor tensor;
+    std::string text;
+    bool is_tensor = false;
+    std::string writer;
+    std::uint64_t version = 0;
+  };
+
+  bool check(const std::string& app_id, const std::string& ns,
+             const std::string& key, Op op) const;
+
+  const Rbac* rbac_;
+  std::map<std::pair<std::string, std::string>, Entry> store_;
+  mutable std::vector<AuditRecord> audit_;
+};
+
+}  // namespace orev::oran

@@ -1,0 +1,64 @@
+// Y1-lite interface: RAN Analytics Information (RAI) exposure to external
+// consumers (§3.2). Authenticated consumers subscribe to analytics topics
+// and receive periodic RAI reports. The paper flags Y1 as a high-risk
+// exposure point: a malicious-but-authenticated consumer can forward live
+// RAN state to an external jammer, enabling analytics-driven, duty-cycled
+// interference that matches an always-on jammer's impact at a fraction of
+// the energy (Ganiyu et al., as discussed in §3.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "oran/onboarding.hpp"
+
+namespace orev::oran {
+
+/// One RAN Analytics Information report (per reporting interval).
+struct RaiReport {
+  std::uint64_t interval = 0;
+  double dl_throughput_mbps = 0.0;
+  double ul_throughput_mbps = 0.0;
+  int connected_ues = 0;
+  double prb_utilization = 0.0;  // percent
+};
+
+/// External analytics consumer. Registered consumers receive every
+/// published report for their subscribed topic.
+class Y1Consumer {
+ public:
+  virtual ~Y1Consumer() = default;
+  virtual void on_rai(const RaiReport& report) = 0;
+};
+
+/// The Near-RT RIC's Y1 termination. Consumers must present a valid
+/// operator-issued certificate (the standard's mutual-TLS stand-in);
+/// §3.2's point is that authentication alone does not make the *use* of
+/// the data benign.
+class Y1Service {
+ public:
+  explicit Y1Service(const Operator* op);
+
+  /// Register a consumer under its certificate; returns false (and does
+  /// not subscribe) when the certificate fails validation.
+  bool subscribe(const Certificate& cert, std::shared_ptr<Y1Consumer> consumer);
+
+  /// Remove a consumer by certificate subject; returns false if absent.
+  bool unsubscribe(const std::string& subject);
+
+  /// Publish a report to all subscribed consumers.
+  void publish(const RaiReport& report);
+
+  int consumer_count() const { return static_cast<int>(consumers_.size()); }
+  std::uint64_t reports_published() const { return published_; }
+
+ private:
+  const Operator* operator_;
+  std::map<std::string, std::shared_ptr<Y1Consumer>> consumers_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace orev::oran

@@ -1,0 +1,58 @@
+#include "ran/channel.hpp"
+
+#include <cmath>
+
+namespace orev::ran {
+
+double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+double mw_to_dbm(double mw) {
+  OREV_CHECK(mw > 0.0, "mw_to_dbm of non-positive power");
+  return 10.0 * std::log10(mw);
+}
+
+Channel::Channel(ChannelConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  OREV_CHECK(config_.carrier_ghz > 0.0, "carrier must be positive");
+  OREV_CHECK(config_.bandwidth_hz > 0.0, "bandwidth must be positive");
+  OREV_CHECK(config_.pathloss_exponent >= 2.0,
+             "path-loss exponent below free space");
+}
+
+double Channel::path_loss_db(double distance_m) const {
+  OREV_CHECK(distance_m > 0.0, "distance must be positive");
+  const double d = std::max(distance_m, config_.ref_distance_m);
+  // Free-space loss at the reference distance, then log-distance rolloff.
+  const double fspl_ref = 20.0 * std::log10(config_.ref_distance_m) +
+                          20.0 * std::log10(config_.carrier_ghz * 1e9) -
+                          147.55;
+  return fspl_ref + 10.0 * config_.pathloss_exponent *
+                        std::log10(d / config_.ref_distance_m);
+}
+
+double Channel::received_power_dbm(double tx_power_dbm, double distance_m) {
+  double rx = tx_power_dbm - path_loss_db(distance_m);
+  rx += rng_.normal(0.0f, static_cast<float>(config_.shadowing_sigma_db));
+  if (config_.fast_fading) {
+    // Rayleigh envelope: power gain is exponential with unit mean; convert
+    // to dB. Clamp the deep-fade tail so a single TTI cannot produce -inf.
+    const double u = std::max(1e-4, static_cast<double>(rng_.uniform(0.0f, 1.0f)));
+    const double gain = -std::log(u);  // Exp(1)
+    rx += 10.0 * std::log10(gain);
+  }
+  return rx;
+}
+
+double Channel::noise_power_dbm() const {
+  // kT = -174 dBm/Hz at 290 K.
+  return -174.0 + 10.0 * std::log10(config_.bandwidth_hz) +
+         config_.noise_figure_db;
+}
+
+double Channel::sinr_db(double signal_dbm, double interference_dbm) const {
+  const double denom_mw =
+      dbm_to_mw(noise_power_dbm()) + dbm_to_mw(interference_dbm);
+  return signal_dbm - mw_to_dbm(denom_mw);
+}
+
+}  // namespace orev::ran

@@ -1,0 +1,54 @@
+// Link-level radio channel model: log-distance path loss with shadowing,
+// Rayleigh-style fast fading, thermal noise and interference aggregation.
+//
+// This replaces the paper's over-the-air srsRAN/USRP testbed. The attack
+// never touches RF directly — it needs interference to move SINR (and hence
+// spectrograms/KPMs) in a physically plausible way, which this model gives.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace orev::ran {
+
+/// dBm <-> milliwatt conversions.
+double dbm_to_mw(double dbm);
+double mw_to_dbm(double mw);
+
+struct ChannelConfig {
+  double carrier_ghz = 2.56;        // paper: uplink at 2.56 GHz
+  double pathloss_exponent = 3.2;   // urban macro-ish
+  double ref_distance_m = 1.0;
+  double shadowing_sigma_db = 4.0;  // log-normal shadowing
+  double noise_figure_db = 7.0;
+  double bandwidth_hz = 5e6;        // 25 PRB LTE = 5 MHz
+  bool fast_fading = true;
+};
+
+/// Per-link channel; stateless except for its fading RNG stream.
+class Channel {
+ public:
+  explicit Channel(ChannelConfig config, Rng rng);
+
+  /// Free-space + log-distance path loss in dB at `distance_m`
+  /// (deterministic part, no shadowing).
+  double path_loss_db(double distance_m) const;
+
+  /// Received power in dBm for a transmitter at `distance_m` with
+  /// `tx_power_dbm`, including shadowing and (optionally) fast fading.
+  double received_power_dbm(double tx_power_dbm, double distance_m);
+
+  /// Thermal noise power over the configured bandwidth in dBm.
+  double noise_power_dbm() const;
+
+  /// SINR in dB given signal power and total interference power (dBm).
+  /// Interference `-inf` (or very small) means noise-limited.
+  double sinr_db(double signal_dbm, double interference_dbm) const;
+
+  const ChannelConfig& config() const { return config_; }
+
+ private:
+  ChannelConfig config_;
+  Rng rng_;
+};
+
+}  // namespace orev::ran

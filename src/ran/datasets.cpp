@@ -1,0 +1,52 @@
+#include "ran/datasets.hpp"
+
+namespace orev::ran {
+
+data::Dataset make_spectrogram_dataset(const SpectrogramConfig& config,
+                                       int per_class, std::uint64_t seed) {
+  OREV_CHECK(per_class > 0, "per_class must be positive");
+  Rng rng(seed);
+  data::Dataset d;
+  d.num_classes = 2;
+  d.x = nn::Tensor({2 * per_class, 1, config.freq_bins, config.time_frames});
+  d.y.reserve(static_cast<std::size_t>(2 * per_class));
+  for (int i = 0; i < 2 * per_class; ++i) {
+    const bool with_cwi = i >= per_class;
+    d.x.set_batch(i, make_spectrogram(config, with_cwi, rng));
+    d.y.push_back(with_cwi ? kLabelInterference : kLabelClean);
+  }
+  d.check();
+  return d;
+}
+
+KpmDatasetResult make_kpm_dataset(const UplinkConfig& config, int per_class,
+                                  std::uint64_t seed) {
+  OREV_CHECK(per_class > 0, "per_class must be positive");
+  UplinkSim sim(config, seed);
+  sim.set_mcs_mode(McsMode::kAdaptive);
+
+  data::Dataset d;
+  d.num_classes = 2;
+  d.x = nn::Tensor({2 * per_class, KpmRecord::kFeatureCount});
+  d.y.reserve(static_cast<std::size_t>(2 * per_class));
+
+  sim.jammer().deactivate();
+  for (int i = 0; i < per_class; ++i) {
+    d.x.set_batch(i, sim.step().features());
+    d.y.push_back(kLabelClean);
+  }
+  sim.jammer().activate();
+  for (int i = 0; i < per_class; ++i) {
+    d.x.set_batch(per_class + i, sim.step().features());
+    d.y.push_back(kLabelInterference);
+  }
+
+  KpmDatasetResult out;
+  out.norm = data::minmax_of(d.x);
+  data::normalize_minmax(d.x, out.norm);
+  out.dataset = std::move(d);
+  out.dataset.check();
+  return out;
+}
+
+}  // namespace orev::ran

@@ -1,0 +1,33 @@
+// Builders for the two IC xApp training/attack corpora described in §A.5:
+//   * spectrogram dataset — N per class, SOI-only (label 0) vs SOI+CWI
+//     (label 1); the paper uses 1,500 per class;
+//   * KPM dataset — uplink KPM feature vectors captured with jammer
+//     off/on; the paper uses 2,910 instances total.
+// KPM features are min-max normalised to [0, 1] (the normaliser is
+// returned so live KPMs can be mapped into the same space).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "ran/link.hpp"
+
+namespace orev::ran {
+
+/// Interference-class labels shared by both IC xApp variants.
+inline constexpr int kLabelClean = 0;
+inline constexpr int kLabelInterference = 1;
+
+data::Dataset make_spectrogram_dataset(const SpectrogramConfig& config,
+                                       int per_class, std::uint64_t seed);
+
+struct KpmDatasetResult {
+  data::Dataset dataset;
+  data::MinMax norm;  // applied to all four features jointly
+};
+
+/// Simulate `per_class` TTIs with the jammer off, then on, capturing
+/// normalised KPM feature vectors. Link adaptation runs in adaptive mode
+/// during capture (the operating point the victim model was trained at).
+KpmDatasetResult make_kpm_dataset(const UplinkConfig& config, int per_class,
+                                  std::uint64_t seed);
+
+}  // namespace orev::ran

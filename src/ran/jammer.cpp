@@ -1,0 +1,27 @@
+#include "ran/jammer.hpp"
+
+#include <algorithm>
+
+namespace orev::ran {
+
+Jammer::Jammer(JammerConfig config, Rng rng) : config_(config), rng_(rng) {
+  OREV_CHECK(config_.gain_db_lo <= config_.gain_db_hi,
+             "jammer gain bounds inverted");
+  OREV_CHECK(config_.distance_m > 0.0, "jammer distance must be positive");
+}
+
+double Jammer::erp_dbm() {
+  const double gain =
+      rng_.uniform(static_cast<float>(config_.gain_db_lo),
+                   static_cast<float>(config_.gain_db_hi));
+  return config_.tx_power_dbm + gain;
+}
+
+double Jammer::tone_position(double bandwidth_hz) const {
+  OREV_CHECK(bandwidth_hz > 0.0, "bandwidth must be positive");
+  // Offset of zero puts the tone mid-band.
+  const double frac = 0.5 + config_.freq_offset_hz / bandwidth_hz;
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+}  // namespace orev::ran

@@ -1,0 +1,49 @@
+// Continuous-wave (CW) jammer model, the interference source the IC xApp is
+// trained to detect. Mirrors the paper's GNURadio/USRP jammer transmitting
+// at the uplink carrier with gain in the 40–45 dB range (§A.5).
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace orev::ran {
+
+struct JammerConfig {
+  // The paper drives the jammer's USRP with "gain values from 40 dB to
+  // 45 dB" — a front-end dial, not radiated power. We model ERP as a low
+  // baseband power plus that dial so the jammed SINR lands around 0 dB:
+  // low enough to break high-MCS transmission, high enough that adaptive
+  // link adaptation still functions (the regime the IC xApp arbitrates).
+  double tx_power_dbm = -25.0;   // baseband drive level
+  double gain_db_lo = 40.0;      // paper: gains from 40 dB ...
+  double gain_db_hi = 45.0;      // ... to 45 dB
+  double distance_m = 30.0;      // distance to the victim receiver
+  double freq_offset_hz = 0.0;   // CW tone offset within the UL band
+};
+
+/// A duty-cycled CW jammer. While active it contributes interference power
+/// at the receiver and a spectral tone to spectrograms.
+class Jammer {
+ public:
+  Jammer(JammerConfig config, Rng rng);
+
+  void activate() { active_ = true; }
+  void deactivate() { active_ = false; }
+  bool active() const { return active_; }
+
+  /// Effective radiated power in dBm for this transmission interval
+  /// (tx power + a gain drawn uniformly from [gain_lo, gain_hi]).
+  double erp_dbm();
+
+  /// Normalised tone position in [0, 1] across the uplink band, where the
+  /// CW ridge appears in a spectrogram.
+  double tone_position(double bandwidth_hz) const;
+
+  const JammerConfig& config() const { return config_; }
+
+ private:
+  JammerConfig config_;
+  Rng rng_;
+  bool active_ = false;
+};
+
+}  // namespace orev::ran

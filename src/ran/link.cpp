@@ -1,0 +1,49 @@
+#include "ran/link.hpp"
+
+#include <limits>
+
+namespace orev::ran {
+
+nn::Tensor KpmRecord::features() const {
+  return nn::Tensor({kFeatureCount},
+                    {static_cast<float>(sinr_db),
+                     static_cast<float>(throughput_mbps),
+                     static_cast<float>(bler), static_cast<float>(mcs)});
+}
+
+UplinkSim::UplinkSim(UplinkConfig config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      channel_(config.channel, rng_.fork()),
+      jam_channel_(config.channel, rng_.fork()),
+      jammer_(config.jammer, rng_.fork()) {
+  OREV_CHECK(config_.fixed_mcs >= 0 && config_.fixed_mcs < mcs_.size(),
+             "fixed MCS index out of table range");
+}
+
+KpmRecord UplinkSim::step() {
+  const double signal_dbm = channel_.received_power_dbm(
+      config_.ue_tx_power_dbm, config_.ue_distance_m);
+
+  double interference_dbm = -200.0;  // effectively zero
+  if (jammer_.active()) {
+    interference_dbm = jam_channel_.received_power_dbm(
+        jammer_.erp_dbm(), jammer_.config().distance_m);
+  }
+
+  KpmRecord k;
+  k.jammed = jammer_.active();
+  k.sinr_db = channel_.sinr_db(signal_dbm, interference_dbm);
+  k.mcs = (mode_ == McsMode::kAdaptive) ? mcs_.select_adaptive(k.sinr_db)
+                                        : config_.fixed_mcs;
+  k.bler = mcs_.bler(k.mcs, k.sinr_db);
+  k.throughput_mbps =
+      mcs_.throughput_mbps(k.mcs, k.sinr_db, config_.channel.bandwidth_hz);
+  return k;
+}
+
+nn::Tensor UplinkSim::capture_spectrogram() {
+  return make_spectrogram(config_.spectrogram, jammer_.active(), rng_);
+}
+
+}  // namespace orev::ran

@@ -1,0 +1,75 @@
+// Uplink link simulator: UE → channel (+ optional jammer interference) →
+// SINR → link adaptation (adaptive or fixed MCS) → BLER/throughput.
+//
+// The IC xApp's control decision in the paper switches the RAN between
+// adaptive and fixed MCS; this simulator realises that closed loop and
+// produces the KPMs (SINR, bitrate, BLER, MCS) the KPM-based xApp consumes.
+#pragma once
+
+#include "ran/channel.hpp"
+#include "ran/jammer.hpp"
+#include "ran/mcs.hpp"
+#include "ran/spectrogram.hpp"
+
+namespace orev::ran {
+
+/// Link adaptation mode, set by RIC control (the IC xApp's decision).
+enum class McsMode {
+  kAdaptive,  // track SINR, target 10% BLER — correct reaction to jamming
+  kFixed,     // stay at a fixed (high) MCS — correct when channel is clean
+};
+
+/// One TTI's worth of key performance measurements.
+struct KpmRecord {
+  double sinr_db = 0.0;
+  double throughput_mbps = 0.0;
+  double bler = 0.0;
+  int mcs = 0;
+  bool jammed = false;  // ground truth, not visible to apps
+
+  /// Feature vector [sinr, throughput, bler, mcs] as used by the KPM-based
+  /// IC xApp.
+  nn::Tensor features() const;
+  static constexpr int kFeatureCount = 4;
+};
+
+struct UplinkConfig {
+  ChannelConfig channel;
+  JammerConfig jammer;
+  double ue_tx_power_dbm = 23.0;  // LTE UE max
+  double ue_distance_m = 50.0;
+  int fixed_mcs = 13;             // high MCS used in fixed mode
+  SpectrogramConfig spectrogram;
+};
+
+class UplinkSim {
+ public:
+  UplinkSim(UplinkConfig config, std::uint64_t seed);
+
+  void set_mcs_mode(McsMode mode) { mode_ = mode; }
+  McsMode mcs_mode() const { return mode_; }
+
+  Jammer& jammer() { return jammer_; }
+
+  /// Advance one TTI: draw channel, compute SINR (with jammer interference
+  /// when active), select MCS per the current mode, and report KPMs.
+  KpmRecord step();
+
+  /// Spectrogram of the current radio conditions (CWI ridge present iff
+  /// the jammer is active).
+  nn::Tensor capture_spectrogram();
+
+  const McsTable& mcs_table() const { return mcs_; }
+  const UplinkConfig& config() const { return config_; }
+
+ private:
+  UplinkConfig config_;
+  Rng rng_;
+  Channel channel_;
+  Channel jam_channel_;
+  Jammer jammer_;
+  McsTable mcs_;
+  McsMode mode_ = McsMode::kAdaptive;
+};
+
+}  // namespace orev::ran

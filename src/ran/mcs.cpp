@@ -1,0 +1,61 @@
+#include "ran/mcs.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace orev::ran {
+
+McsTable::McsTable() {
+  // A 16-step ladder spanning QPSK 1/8 to 64QAM 0.93, with thresholds
+  // roughly 1.9 dB apart (compact version of the 3GPP CQI table).
+  struct Row { int mod; double rate; double thr; };
+  static constexpr Row kRows[] = {
+      {2, 0.12, -6.0}, {2, 0.19, -4.1}, {2, 0.30, -2.2}, {2, 0.44, -0.3},
+      {2, 0.59, 1.6},  {4, 0.37, 3.5},  {4, 0.48, 5.4},  {4, 0.60, 7.3},
+      {4, 0.74, 9.2},  {6, 0.55, 11.1}, {6, 0.65, 13.0}, {6, 0.75, 14.9},
+      {6, 0.84, 16.8}, {6, 0.89, 18.7}, {6, 0.93, 20.6}, {6, 0.95, 22.5},
+  };
+  int i = 0;
+  for (const Row& r : kRows) {
+    McsEntry e;
+    e.index = i++;
+    e.modulation_order = r.mod;
+    e.code_rate = r.rate;
+    e.spectral_eff = r.mod * r.rate;
+    e.sinr_threshold_db = r.thr;
+    entries_.push_back(e);
+  }
+}
+
+const McsEntry& McsTable::entry(int index) const {
+  OREV_CHECK(index >= 0 && index < size(), "MCS index out of range");
+  return entries_[static_cast<std::size_t>(index)];
+}
+
+int McsTable::select_adaptive(double sinr_db) const {
+  int best = 0;
+  for (const McsEntry& e : entries_) {
+    if (e.sinr_threshold_db <= sinr_db) best = e.index;
+  }
+  return best;
+}
+
+double McsTable::bler(int index, double sinr_db) const {
+  const McsEntry& e = entry(index);
+  // Logistic curve: 10% BLER at threshold, ~90% at threshold - 3 dB.
+  const double slope = 1.5;  // dB^-1
+  const double x = sinr_db - e.sinr_threshold_db;
+  const double b = 1.0 / (1.0 + std::exp(slope * x + std::log(9.0)));
+  return b;
+}
+
+double McsTable::throughput_mbps(int index, double sinr_db,
+                                 double bandwidth_hz) const {
+  OREV_CHECK(bandwidth_hz > 0.0, "bandwidth must be positive");
+  const McsEntry& e = entry(index);
+  const double gross = e.spectral_eff * bandwidth_hz;  // bits/s
+  return gross * (1.0 - bler(index, sinr_db)) / 1e6;
+}
+
+}  // namespace orev::ran

@@ -1,0 +1,47 @@
+// Modulation-and-coding-scheme table and SINR→BLER link abstraction.
+//
+// A compact LTE-style MCS ladder (QPSK → 64QAM) with per-entry spectral
+// efficiency and a logistic SINR→BLER curve centred on the entry's decode
+// threshold. Adaptive link adaptation targets 10% BLER, matching the
+// behaviour the IC xApp controls in the paper (adaptive vs fixed MCS).
+#pragma once
+
+#include <vector>
+
+namespace orev::ran {
+
+struct McsEntry {
+  int index = 0;
+  int modulation_order = 2;       // bits/symbol: 2=QPSK, 4=16QAM, 6=64QAM
+  double code_rate = 0.5;
+  double spectral_eff = 1.0;      // bits/s/Hz
+  double sinr_threshold_db = 0.0; // ~10% BLER point
+};
+
+/// The MCS ladder. Indices are contiguous from 0.
+class McsTable {
+ public:
+  McsTable();
+
+  int size() const { return static_cast<int>(entries_.size()); }
+  const McsEntry& entry(int index) const;
+
+  /// Highest MCS whose threshold is at or below `sinr_db` (adaptive link
+  /// adaptation with a 10% BLER target); clamps to MCS 0 at the bottom.
+  int select_adaptive(double sinr_db) const;
+
+  /// BLER of `index` at `sinr_db`: logistic falloff around the threshold.
+  double bler(int index, double sinr_db) const;
+
+  /// Achieved throughput in Mbps over `bandwidth_hz` for one interval:
+  /// spectral efficiency × bandwidth × (1 - BLER).
+  double throughput_mbps(int index, double sinr_db,
+                         double bandwidth_hz) const;
+
+  int max_index() const { return size() - 1; }
+
+ private:
+  std::vector<McsEntry> entries_;
+};
+
+}  // namespace orev::ran

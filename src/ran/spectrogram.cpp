@@ -1,0 +1,61 @@
+#include "ran/spectrogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace orev::ran {
+
+nn::Tensor make_spectrogram(const SpectrogramConfig& config, bool with_cwi,
+                            Rng& rng) {
+  OREV_CHECK(config.freq_bins > 4 && config.time_frames > 4,
+             "spectrogram too small");
+  OREV_CHECK(config.soi_lo < config.soi_hi, "SOI band inverted");
+  const int h = config.freq_bins, w = config.time_frames;
+  nn::Tensor img({1, h, w});
+
+  // Noise floor.
+  for (float& v : img.data())
+    v = std::max(0.0f, config.noise_floor +
+                           rng.normal(0.0f, config.noise_sigma));
+
+  // SOI: bursty occupied band. Each time frame draws an activity level;
+  // heavy bursts mimic TCP traffic peaks.
+  const int band_lo = static_cast<int>(config.soi_lo * h);
+  const int band_hi = static_cast<int>(config.soi_hi * h);
+  for (int t = 0; t < w; ++t) {
+    const bool burst = rng.bernoulli(config.soi_burstiness);
+    const float level =
+        config.soi_intensity * (burst ? rng.uniform(1.2f, 1.6f)
+                                      : rng.uniform(0.6f, 1.0f));
+    for (int f = band_lo; f < band_hi; ++f) {
+      // Shoulders of the band roll off slightly.
+      const float edge =
+          std::min(f - band_lo, band_hi - 1 - f) < 2 ? 0.7f : 1.0f;
+      img[static_cast<std::size_t>(f) * w + t] +=
+          level * edge * rng.uniform(0.75f, 1.25f);
+    }
+  }
+
+  // CWI: narrow, high-power ridge at near-constant frequency with slight
+  // per-frame wobble (oscillator drift).
+  if (with_cwi) {
+    const float pos = rng.uniform(config.cwi_pos_lo, config.cwi_pos_hi);
+    const float intensity =
+        rng.uniform(config.cwi_intensity_lo, config.cwi_intensity_hi);
+    int centre = static_cast<int>(pos * h);
+    for (int t = 0; t < w; ++t) {
+      if (rng.bernoulli(0.15)) centre += rng.uniform_int(-1, 1);
+      centre = std::clamp(centre, 0, h - 1);
+      for (int df = 0; df < config.cwi_width; ++df) {
+        const int f = std::clamp(centre + df, 0, h - 1);
+        img[static_cast<std::size_t>(f) * w + t] +=
+            intensity * rng.uniform(0.85f, 1.0f);
+      }
+    }
+  }
+
+  img.clamp(0.0f, 1.0f);
+  return img;
+}
+
+}  // namespace orev::ran

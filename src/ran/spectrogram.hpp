@@ -1,0 +1,43 @@
+// Synthetic uplink spectrogram generation.
+//
+// Replaces the paper's OTA spectrogram capture (LTE UL at 2.56 GHz, 25 PRBs,
+// 7.68 MSps, rendered 128×128). A spectrogram is a [1, H, W] tensor
+// (frequency bins × time frames, single channel) in [0, 1], containing:
+//   * a noise floor,
+//   * the signal of interest (SOI): an occupied PRB band with bursty,
+//     traffic-dependent intensity,
+//   * optionally continuous-wave interference (CWI): a narrow high-power
+//     ridge at (approximately) constant frequency, the jammer tone.
+// The generator preserves exactly the structure the IC CNN must separate.
+#pragma once
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace orev::ran {
+
+struct SpectrogramConfig {
+  int freq_bins = 32;      // H; paper uses 128, we default to a CPU-sized 32
+  int time_frames = 32;    // W
+  float noise_floor = 0.08f;
+  float noise_sigma = 0.03f;
+  // SOI band occupies [soi_lo, soi_hi] of the frequency axis.
+  float soi_lo = 0.15f;
+  float soi_hi = 0.80f;
+  float soi_intensity = 0.45f;
+  float soi_burstiness = 0.35f;   // probability a frame is a heavy burst
+  // CWI ridge parameters.
+  float cwi_intensity_lo = 0.55f;
+  float cwi_intensity_hi = 0.85f;
+  // The paper's CWI is "transmitted at the same uplink frequency as the
+  // SOI" — a near-fixed tone. Small drift only.
+  float cwi_pos_lo = 0.44f;       // tone position range (fraction of band)
+  float cwi_pos_hi = 0.56f;
+  int cwi_width = 2;              // ridge width in bins
+};
+
+/// Generate one spectrogram; `with_cwi` selects the interference class.
+nn::Tensor make_spectrogram(const SpectrogramConfig& config, bool with_cwi,
+                            Rng& rng);
+
+}  // namespace orev::ran

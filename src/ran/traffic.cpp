@@ -1,0 +1,46 @@
+#include "ran/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace orev::ran {
+
+TrafficSource::TrafficSource(Kind kind, double rate_mbps, std::uint64_t seed)
+    : kind_(kind), rate_mbps_(rate_mbps), rng_(seed) {
+  OREV_CHECK(rate_mbps > 0.0, "traffic rate must be positive");
+}
+
+double TrafficSource::next() {
+  switch (kind_) {
+    case Kind::kConstant:
+      return rate_mbps_ * rng_.uniform(0.95f, 1.05f);
+    case Kind::kBursty:
+      // Two-state on/off process: bursts at 2x rate, idle at 0.2x.
+      if (in_burst_) {
+        if (rng_.bernoulli(0.3)) in_burst_ = false;
+      } else {
+        if (rng_.bernoulli(0.2)) in_burst_ = true;
+      }
+      return rate_mbps_ * (in_burst_ ? rng_.uniform(1.6f, 2.2f)
+                                     : rng_.uniform(0.1f, 0.3f));
+  }
+  return rate_mbps_;
+}
+
+double bell_profile(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  const double z = (t - 0.5) / 0.18;
+  return std::exp(-0.5 * z * z);
+}
+
+double steady_profile(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Ramp up over the first 10%, hold, ramp down over the last 10%.
+  if (t < 0.1) return t / 0.1;
+  if (t > 0.9) return (1.0 - t) / 0.1;
+  return 1.0;
+}
+
+}  // namespace orev::ran

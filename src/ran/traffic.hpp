@@ -1,0 +1,35 @@
+// iperf3-style traffic sources: constant-rate and bursty offered load, and
+// the bell/steady daily profiles the RICTest emulator uses for UE counts.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace orev::ran {
+
+/// Offered uplink load per TTI in Mbps.
+class TrafficSource {
+ public:
+  enum class Kind { kConstant, kBursty };
+
+  TrafficSource(Kind kind, double rate_mbps, std::uint64_t seed);
+
+  /// Offered load for the next interval.
+  double next();
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+  double rate_mbps_;
+  Rng rng_;
+  bool in_burst_ = false;
+};
+
+/// Deterministic daily-shape profiles in [0, 1]: `bell` peaks mid-window,
+/// `steady` holds a plateau. `t` is the fraction of the day in [0, 1].
+double bell_profile(double t);
+double steady_profile(double t);
+
+}  // namespace orev::ran

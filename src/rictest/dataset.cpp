@@ -1,0 +1,203 @@
+#include "rictest/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ran/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace orev::rictest {
+
+std::string ps_action_name(PsAction a) {
+  switch (a) {
+    case PsAction::kActivateCap1: return "activate-cap1";
+    case PsAction::kActivateCap2: return "activate-cap2";
+    case PsAction::kActivateBoth: return "activate-both";
+    case PsAction::kDeactivateCap1: return "deactivate-cap1";
+    case PsAction::kDeactivateCap2: return "deactivate-cap2";
+    case PsAction::kDeactivateBoth: return "deactivate-both";
+  }
+  return "?";
+}
+
+std::vector<std::array<double, kNumCells>> make_city_trace(
+    const CityTraceConfig& config) {
+  OREV_CHECK(config.days > 0 && config.periods_per_day > 0,
+             "trace dimensions must be positive");
+  Rng rng(config.seed);
+  const int total = config.days * config.periods_per_day;
+
+  // Per-cell character: coverage cells run at moderate steady load;
+  // capacity cells swing with the diurnal profile. Scales vary per cell so
+  // the oracle produces all six actions across the city.
+  std::array<double, kNumCells> scale{};
+  std::array<double, kNumCells> base{};
+  for (int c = 0; c < kNumCells; ++c) {
+    const int cell_id = c + 1;
+    if (cell_id <= 3) {
+      base[c] = 25.0 + 5.0 * rng.uniform();
+      scale[c] = 30.0 + 10.0 * rng.uniform();
+    } else {
+      base[c] = 5.0 + 10.0 * rng.uniform();
+      scale[c] = 60.0 + 30.0 * rng.uniform();
+    }
+  }
+
+  std::vector<std::array<double, kNumCells>> trace(
+      static_cast<std::size_t>(total));
+  std::array<double, kNumCells> ar{};  // AR(1) noise state
+  for (int t = 0; t < total; ++t) {
+    const int day = t / config.periods_per_day;
+    const double day_frac =
+        static_cast<double>(t % config.periods_per_day) /
+        config.periods_per_day;
+    const double weekday = (day % 7 < 5) ? 1.0 : 0.7;
+    for (int c = 0; c < kNumCells; ++c) {
+      const int cell_id = c + 1;
+      const double shape = (cell_id % 2 == 0) ? ran::bell_profile(day_frac)
+                                              : ran::steady_profile(day_frac);
+      ar[c] = config.ar_rho * ar[c] +
+              rng.normal(0.0f, static_cast<float>(config.noise_sigma));
+      const double prb = base[c] + weekday * scale[c] * shape + ar[c];
+      trace[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)] =
+          std::clamp(prb, 0.0, 100.0);
+    }
+  }
+  return trace;
+}
+
+PsAction oracle_action(const nn::Tensor& window, double busy_threshold,
+                       double idle_threshold) {
+  OREV_CHECK(window.rank() == 3 && window.dim(0) == 1 &&
+                 window.dim(2) == kNumCells,
+             "oracle expects a [1, T, 9] window");
+  const int t = window.dim(1);
+  const int recent = std::min(3, t);
+  auto recent_mean = [&](int col) {
+    double acc = 0.0;
+    for (int i = t - recent; i < t; ++i)
+      acc += window[static_cast<std::size_t>(i) * kNumCells + col] * 100.0;
+    return acc / recent;
+  };
+  const double k1 = recent_mean(1);
+  const double k2 = recent_mean(2);
+  const bool busy1 = k1 > busy_threshold, busy2 = k2 > busy_threshold;
+  const bool idle1 = k1 < idle_threshold, idle2 = k2 < idle_threshold;
+
+  if (busy1 && busy2) return PsAction::kActivateBoth;
+  if (idle1 && idle2) return PsAction::kDeactivateBoth;
+  if (busy1) return PsAction::kActivateCap1;
+  if (busy2) return PsAction::kActivateCap2;
+  if (idle1) return PsAction::kDeactivateCap1;
+  if (idle2) return PsAction::kDeactivateCap2;
+  // Both mid-range: power down the lighter cell.
+  return k1 <= k2 ? PsAction::kDeactivateCap1 : PsAction::kDeactivateCap2;
+}
+
+nn::Tensor window_features(
+    const std::vector<std::array<double, kNumCells>>& trace, int t,
+    int window, int sector) {
+  OREV_CHECK(t + 1 >= window, "window extends before trace start");
+  OREV_CHECK(t < static_cast<int>(trace.size()), "window end out of trace");
+  const Sector sc = sector_cells(sector);
+
+  // Column order: serving coverage, serving capacity 1/2, then remaining
+  // cells ascending.
+  std::vector<int> cols = {sc.coverage - 1, sc.capacity1 - 1,
+                           sc.capacity2 - 1};
+  for (int c = 0; c < kNumCells; ++c) {
+    if (std::find(cols.begin(), cols.end(), c) == cols.end())
+      cols.push_back(c);
+  }
+
+  nn::Tensor out({1, window, kNumCells});
+  for (int i = 0; i < window; ++i) {
+    const auto& row = trace[static_cast<std::size_t>(t + 1 - window + i)];
+    for (int c = 0; c < kNumCells; ++c) {
+      out[static_cast<std::size_t>(i) * kNumCells + c] = static_cast<float>(
+          row[static_cast<std::size_t>(cols[static_cast<std::size_t>(c)])] /
+          100.0);
+    }
+  }
+  return out;
+}
+
+nn::Tensor sector_window_from_history(const nn::Tensor& history,
+                                      int sector) {
+  OREV_CHECK(history.rank() == 2 && history.dim(1) == kNumCells,
+             "history must be [T, 9]");
+  const int t = history.dim(0);
+  const Sector sc = sector_cells(sector);
+  std::vector<int> cols = {sc.coverage - 1, sc.capacity1 - 1,
+                           sc.capacity2 - 1};
+  for (int c = 0; c < kNumCells; ++c) {
+    if (std::find(cols.begin(), cols.end(), c) == cols.end())
+      cols.push_back(c);
+  }
+  nn::Tensor out({1, t, kNumCells});
+  for (int i = 0; i < t; ++i) {
+    for (int c = 0; c < kNumCells; ++c) {
+      out[static_cast<std::size_t>(i) * kNumCells + c] =
+          history.at2(i, cols[static_cast<std::size_t>(c)]) / 100.0f;
+    }
+  }
+  return out;
+}
+
+void apply_perturbation_to_history(nn::Tensor& history,
+                                   const nn::Tensor& perturbation,
+                                   int sector) {
+  OREV_CHECK(history.rank() == 2 && history.dim(1) == kNumCells,
+             "history must be [T, 9]");
+  OREV_CHECK(perturbation.rank() == 3 && perturbation.dim(0) == 1 &&
+                 perturbation.dim(1) == history.dim(0) &&
+                 perturbation.dim(2) == kNumCells,
+             "perturbation must be [1, T, 9] matching the history window");
+  const int t = history.dim(0);
+  const Sector sc = sector_cells(sector);
+  std::vector<int> cols = {sc.coverage - 1, sc.capacity1 - 1,
+                           sc.capacity2 - 1};
+  for (int c = 0; c < kNumCells; ++c) {
+    if (std::find(cols.begin(), cols.end(), c) == cols.end())
+      cols.push_back(c);
+  }
+  for (int i = 0; i < t; ++i) {
+    for (int c = 0; c < kNumCells; ++c) {
+      float& cell = history.at2(i, cols[static_cast<std::size_t>(c)]);
+      cell += perturbation[static_cast<std::size_t>(i) * kNumCells + c] *
+              100.0f;
+      cell = std::clamp(cell, 0.0f, 100.0f);
+    }
+  }
+}
+
+data::Dataset make_power_saving_dataset(const CityTraceConfig& config,
+                                        int window, int stride) {
+  OREV_CHECK(window > 0 && stride > 0, "window and stride must be positive");
+  const auto trace = make_city_trace(config);
+  const int total = static_cast<int>(trace.size());
+  OREV_CHECK(total > window, "trace shorter than one window");
+
+  std::vector<nn::Tensor> xs;
+  std::vector<int> ys;
+  for (int t = window - 1; t < total; t += stride) {
+    for (int sector = 0; sector < kNumSectors; ++sector) {
+      nn::Tensor w = window_features(trace, t, window, sector);
+      const PsAction a =
+          oracle_action(w, config.busy_threshold, config.idle_threshold);
+      xs.push_back(std::move(w));
+      ys.push_back(static_cast<int>(a));
+    }
+  }
+
+  data::Dataset d;
+  d.num_classes = kPsActionCount;
+  d.x = nn::Tensor({static_cast<int>(xs.size()), 1, window, kNumCells});
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    d.x.set_batch(static_cast<int>(i), xs[i]);
+  d.y = std::move(ys);
+  d.check();
+  return d;
+}
+
+}  // namespace orev::rictest

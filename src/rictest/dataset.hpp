@@ -1,0 +1,83 @@
+// City-scale PRB-utilisation dataset for the Power-Saving rApp.
+//
+// Substitute for the paper's proprietary 40-day, 15-minute-granularity
+// city-scale mobile network dataset (§6.3): synthetic per-cell PRB traces
+// with diurnal cycle, weekday/weekend modulation and AR(1) noise, windowed
+// into [1, window, 9] model inputs and labelled by a rule-based
+// power-saving oracle over the serving sector's capacity cells.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "rictest/emulator.hpp"
+
+namespace orev::rictest {
+
+/// The six decisions of the Power-Saving rApp (§6.1).
+enum class PsAction : int {
+  kActivateCap1 = 0,
+  kActivateCap2 = 1,
+  kActivateBoth = 2,
+  kDeactivateCap1 = 3,
+  kDeactivateCap2 = 4,
+  kDeactivateBoth = 5,
+};
+inline constexpr int kPsActionCount = 6;
+std::string ps_action_name(PsAction a);
+
+/// The attacker's target class for targeted UAPs: the most conservative
+/// (maximally disruptive at peak) action — deactivate both capacity cells.
+inline constexpr PsAction kMostDisruptiveAction = PsAction::kDeactivateBoth;
+
+struct CityTraceConfig {
+  int days = 40;
+  int periods_per_day = 96;   // 15-minute granularity
+  double busy_threshold = 55.0;
+  double idle_threshold = 30.0;
+  double noise_sigma = 6.0;   // AR(1) innovation, PRB points
+  double ar_rho = 0.6;
+  std::uint64_t seed = 0xc17f;
+};
+
+/// Per-cell PRB-utilisation traces, [periods][9 cells], values 0..100.
+std::vector<std::array<double, kNumCells>> make_city_trace(
+    const CityTraceConfig& config);
+
+/// Rule-based oracle over a window's serving-sector capacity columns
+/// (mean of the most recent 3 steps, thresholds from the config). Input
+/// `window` is [1, T, 9] with serving columns 0=coverage, 1=cap1, 2=cap2;
+/// PRB scaled to [0, 1].
+PsAction oracle_action(const nn::Tensor& window, double busy_threshold,
+                       double idle_threshold);
+
+/// Assemble a [1, window, 9] input for `sector` at trace position `t`
+/// (window ending at t inclusive). Serving sector columns first
+/// (coverage, cap1, cap2), remaining cells in ascending id order; values
+/// scaled to [0, 1].
+nn::Tensor window_features(
+    const std::vector<std::array<double, kNumCells>>& trace, int t,
+    int window, int sector);
+
+/// Full dataset: every window position × every sector rotation.
+data::Dataset make_power_saving_dataset(const CityTraceConfig& config,
+                                        int window = 12, int stride = 4);
+
+/// Build the model input for `sector` from an SDL PM history tensor
+/// [T, 9] whose columns are in ascending cell-id order and whose values
+/// are raw PRB percentages (0..100). Output is [1, T, 9], serving-sector
+/// columns first, scaled to [0, 1] — the same layout as window_features().
+nn::Tensor sector_window_from_history(const nn::Tensor& history, int sector);
+
+/// Inject a model-space perturbation (shape [1, T, 9], values in [-1, 1],
+/// `sector`'s column order) back into a raw SDL history tensor [T, 9]
+/// (ascending cell-id columns, 0..100): the inverse of
+/// sector_window_from_history's permutation and scaling. The result is
+/// clamped to the valid PRB range.
+void apply_perturbation_to_history(nn::Tensor& history,
+                                   const nn::Tensor& perturbation,
+                                   int sector);
+
+}  // namespace orev::rictest

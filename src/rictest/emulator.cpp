@@ -1,0 +1,155 @@
+#include "rictest/emulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ran/traffic.hpp"
+#include "util/check.hpp"
+
+namespace orev::rictest {
+
+int sector_of(int cell_id) {
+  OREV_CHECK(cell_id >= 1 && cell_id <= 9, "cell id out of topology");
+  if (cell_id <= 3) return cell_id - 1;  // coverage cells 1..3
+  return (cell_id - 4) % 3;              // capacity cells 4..9
+}
+
+Sector sector_cells(int sector) {
+  OREV_CHECK(sector >= 0 && sector < kNumSectors, "sector out of range");
+  return Sector{sector + 1, sector + 4, sector + 7};
+}
+
+std::vector<int> all_cell_ids() { return {1, 2, 3, 4, 5, 6, 7, 8, 9}; }
+
+Emulator::Emulator(EmulatorConfig config)
+    : config_(config), rng_(config.seed) {
+  OREV_CHECK(config_.periods_per_day > 0, "periods_per_day must be positive");
+  for (const int id : all_cell_ids()) {
+    CellState s;
+    s.is_coverage = id <= 3;
+    s.active = true;
+    cells_[id] = s;
+  }
+}
+
+double Emulator::capacity_of(const CellState& c) const {
+  return c.is_coverage ? config_.coverage_capacity_mbps
+                       : config_.capacity_capacity_mbps;
+}
+
+void Emulator::advance() {
+  ++period_;
+  const double day_frac =
+      static_cast<double>(period_ % static_cast<std::uint64_t>(
+                                        config_.periods_per_day)) /
+      config_.periods_per_day;
+
+  for (auto& [id, cell] : cells_) {
+    if (cell.is_coverage) {
+      cell.native_ues = config_.coverage_ues;
+      continue;
+    }
+    // Capacity cells alternate profiles: even ids follow the bell curve,
+    // odd ids hold a steady plateau (mix of traffic shapes per §A.6).
+    const double shape = (id % 2 == 0) ? ran::bell_profile(day_frac)
+                                       : ran::steady_profile(day_frac);
+    const double noisy =
+        shape * (1.0 + rng_.normal(0.0f, static_cast<float>(config_.ue_noise)));
+    cell.native_ues = std::clamp(
+        static_cast<int>(std::lround(noisy * config_.capacity_ue_peak)), 0,
+        config_.capacity_ue_peak);
+  }
+  redistribute_and_load();
+}
+
+void Emulator::redistribute_and_load() {
+  // Capacity cells have admission priority; a deactivated capacity cell's
+  // UEs fall back to the sector's coverage cell.
+  for (auto& [id, cell] : cells_) cell.attached_ues = 0;
+
+  for (int sector = 0; sector < kNumSectors; ++sector) {
+    const Sector sc = sector_cells(sector);
+    CellState& cov = cells_[sc.coverage];
+    cov.attached_ues += cov.native_ues;
+    for (const int cap_id : {sc.capacity1, sc.capacity2}) {
+      CellState& cap = cells_[cap_id];
+      if (cap.active) {
+        cap.attached_ues += cap.native_ues;
+      } else {
+        cov.attached_ues += cap.native_ues;
+      }
+    }
+  }
+
+  for (auto& [id, cell] : cells_) {
+    if (!cell.active) {
+      // A sleeping cell serves nothing, but its PM record still carries
+      // the *offered-load estimate* for its native users (operators derive
+      // this from coverage-cell overflow measurements); without it no
+      // PRB-driven policy could ever re-activate a cell.
+      const double offered = cell.native_ues * config_.per_ue_demand_mbps;
+      cell.prb_util =
+          std::clamp(100.0 * offered / capacity_of(cell), 0.0, 100.0);
+      cell.served_mbps = 0.0;
+      cell.conn_mean = 0.0;
+      continue;
+    }
+    const double demand = cell.attached_ues * config_.per_ue_demand_mbps;
+    const double cap = capacity_of(cell);
+    cell.served_mbps = std::min(demand, cap);
+    cell.prb_util = std::clamp(100.0 * demand / cap, 0.0, 100.0);
+    cell.conn_mean = cell.attached_ues;
+  }
+}
+
+oran::PmReport Emulator::collect_pm() {
+  oran::PmReport report;
+  report.period = period_;
+  for (const auto& [id, cell] : cells_) {
+    oran::CellPm pm;
+    pm.prb_util_dl = cell.prb_util;
+    pm.conn_mean = cell.conn_mean;
+    pm.dl_throughput_mbps = cell.served_mbps;
+    pm.active = cell.active;
+    report.cells[id] = pm;
+  }
+  return report;
+}
+
+bool Emulator::set_cell_state(int cell_id, bool active) {
+  const auto it = cells_.find(cell_id);
+  if (it == cells_.end()) return false;
+  if (it->second.is_coverage && !active) return false;  // never kill coverage
+  if (it->second.active == active) return true;
+  it->second.active = active;
+  redistribute_and_load();
+  return true;
+}
+
+bool Emulator::cell_active(int cell_id) const {
+  const auto it = cells_.find(cell_id);
+  OREV_CHECK(it != cells_.end(), "unknown cell id");
+  return it->second.active;
+}
+
+double Emulator::network_throughput_mbps() const {
+  double total = 0.0;
+  for (const auto& [id, cell] : cells_) total += cell.served_mbps;
+  return total;
+}
+
+double Emulator::offered_load_mbps() const {
+  double total = 0.0;
+  for (const auto& [id, cell] : cells_)
+    total += cell.native_ues * config_.per_ue_demand_mbps;
+  // Coverage native UEs are included above; nothing else offers traffic.
+  return total;
+}
+
+int Emulator::attached_ues(int cell_id) const {
+  const auto it = cells_.find(cell_id);
+  OREV_CHECK(it != cells_.end(), "unknown cell id");
+  return it->second.attached_ues;
+}
+
+}  // namespace orev::rictest

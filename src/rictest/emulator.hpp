@@ -1,0 +1,101 @@
+// RICTest-style network emulator (substitute for the Keysight RICtest tool,
+// §A.6): one O-gNB with three coverage cells (band 77, ~2 km) and six
+// capacity cells (band 79, ~0.3 km), two capacity cells overlapping each
+// coverage cell:
+//     sector 1: coverage 1 + capacity {4, 7}
+//     sector 2: coverage 2 + capacity {5, 8}
+//     sector 3: coverage 3 + capacity {6, 9}
+// Each coverage cell carries a steady 10 UEs; capacity-cell UE counts vary
+// 0–55 over time following steady/bell-curve traffic profiles. When a
+// capacity cell is deactivated its UEs shift to the overlapping coverage
+// cell, loading it and collapsing throughput at peak — the Fig. 7 effect.
+//
+// The emulator implements the O1 interface so the Non-RT RIC can collect
+// PM data (RRU.PrbTotDl, RRC.ConnMean, DL throughput) and switch capacity
+// cells.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "oran/o1.hpp"
+#include "util/rng.hpp"
+
+namespace orev::rictest {
+
+/// Fixed Fig. 10 topology constants.
+inline constexpr int kNumSectors = 3;
+inline constexpr int kCoverageCells[] = {1, 2, 3};
+inline constexpr int kCapacityCells[] = {4, 5, 6, 7, 8, 9};
+inline constexpr int kNumCells = 9;
+
+/// Sector of a cell id (0-based), and the cells of a sector.
+int sector_of(int cell_id);
+struct Sector {
+  int coverage = 0;
+  int capacity1 = 0;
+  int capacity2 = 0;
+};
+Sector sector_cells(int sector);
+
+/// Cell ids in canonical PM-report order (ascending: 1..9).
+std::vector<int> all_cell_ids();
+
+struct EmulatorConfig {
+  int periods_per_day = 96;          // 15-minute PM granularity
+  double coverage_capacity_mbps = 80.0;
+  double capacity_capacity_mbps = 120.0;
+  double per_ue_demand_mbps = 2.0;
+  int coverage_ues = 10;             // steady UEs per coverage cell
+  int capacity_ue_peak = 55;         // peak dynamic UEs per capacity cell
+  double ue_noise = 0.1;             // relative noise on UE counts
+  std::uint64_t seed = 0x41c7e57;
+};
+
+/// Discrete-time emulator implementing O1.
+class Emulator : public oran::O1Interface {
+ public:
+  explicit Emulator(EmulatorConfig config);
+
+  /// Advance one PM period (drives UE dynamics). Call before collect_pm().
+  void advance();
+
+  // O1Interface:
+  oran::PmReport collect_pm() override;
+  bool set_cell_state(int cell_id, bool active) override;
+
+  bool cell_active(int cell_id) const;
+  std::uint64_t period() const { return period_; }
+
+  /// Total network DL throughput (Mbps) served this period.
+  double network_throughput_mbps() const;
+
+  /// Offered (demanded) DL traffic this period, served or not.
+  double offered_load_mbps() const;
+
+  /// UEs currently attached to a cell (after any capacity→coverage shift).
+  int attached_ues(int cell_id) const;
+
+  const EmulatorConfig& config() const { return config_; }
+
+ private:
+  struct CellState {
+    bool active = true;
+    bool is_coverage = false;
+    int native_ues = 0;     // UEs homed on this cell this period
+    int attached_ues = 0;   // after redistribution
+    double prb_util = 0.0;
+    double served_mbps = 0.0;
+    double conn_mean = 0.0;
+  };
+
+  void redistribute_and_load();
+  double capacity_of(const CellState& c) const;
+
+  EmulatorConfig config_;
+  Rng rng_;
+  std::uint64_t period_ = 0;
+  std::map<int, CellState> cells_;
+};
+
+}  // namespace orev::rictest

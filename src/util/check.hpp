@@ -1,0 +1,38 @@
+// Lightweight runtime contract checking used across the library.
+//
+// OREV_CHECK throws orev::CheckError (derived from std::runtime_error) so
+// that contract violations are testable and carry source location context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace orev {
+
+/// Error thrown when a runtime contract (precondition, invariant) fails.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace orev
+
+#define OREV_CHECK(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::orev::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                \
+  } while (false)
+
+#define OREV_CHECK_SIMPLE(cond) OREV_CHECK(cond, std::string{})

@@ -1,0 +1,32 @@
+#include "util/csv.hpp"
+
+namespace orev {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& cols) {
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) out_ += ',';
+    out_ += escape(cols[i]);
+  }
+  out_ += '\n';
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << out_;
+  return static_cast<bool>(f);
+}
+
+}  // namespace orev

@@ -1,0 +1,50 @@
+// Tiny CSV writer used by benchmarks to dump table/figure data series.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace orev {
+
+/// Streams rows of mixed scalar/string cells into a CSV file or string.
+/// Values containing commas/quotes/newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  /// Begin a new row with the given header cells (write once, first).
+  void header(const std::vector<std::string>& cols) { row_strings(cols); }
+
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::vector<std::string> cols;
+    (cols.push_back(to_cell(cells)), ...);
+    row_strings(cols);
+  }
+
+  void row_strings(const std::vector<std::string>& cols);
+
+  const std::string& str() const { return out_; }
+
+  /// Write accumulated content to a file; returns false on I/O error.
+  bool save(const std::string& path) const;
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+  static std::string escape(const std::string& cell);
+
+  std::string out_;
+};
+
+}  // namespace orev

@@ -1,0 +1,38 @@
+// Minimal leveled logger. Defaults to warnings-and-above so test output
+// stays quiet; benchmarks raise the level for progress reporting.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace orev {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+template <typename... Ts>
+void log(LogLevel level, const Ts&... parts) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  detail::log_emit(level, os.str());
+}
+
+template <typename... Ts>
+void log_debug(const Ts&... parts) { log(LogLevel::kDebug, parts...); }
+template <typename... Ts>
+void log_info(const Ts&... parts) { log(LogLevel::kInfo, parts...); }
+template <typename... Ts>
+void log_warn(const Ts&... parts) { log(LogLevel::kWarn, parts...); }
+template <typename... Ts>
+void log_error(const Ts&... parts) { log(LogLevel::kError, parts...); }
+
+}  // namespace orev

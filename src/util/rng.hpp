@@ -1,0 +1,61 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic components in the library (weight init, dataset synthesis,
+// channel fading, attack initialisation) draw from an orev::Rng so that
+// every experiment is reproducible from a single seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace orev {
+
+/// Seeded pseudo-random generator wrapping a 64-bit Mersenne twister with
+/// the distribution helpers the library needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo = 0.0f, float hi = 1.0f) {
+    OREV_CHECK(lo <= hi, "uniform bounds inverted");
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  float normal(float mean = 0.0f, float stddev = 1.0f) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    OREV_CHECK(lo <= hi, "uniform_int bounds inverted");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// In-place Fisher–Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Derive an independent child generator; useful for giving each
+  /// subsystem its own stream while keeping one master seed.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace orev

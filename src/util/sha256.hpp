@@ -1,0 +1,49 @@
+// Minimal SHA-256 implementation (FIPS 180-4).
+//
+// Used by the O-RAN onboarding pipeline (src/oran/onboarding.*) for xApp/rApp
+// package integrity checks and by the simulated operator-signing scheme.
+// Self-contained — no external crypto dependency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orev {
+
+/// Incremental SHA-256 hasher. Typical use:
+///   Sha256 h; h.update(bytes); auto digest = h.finish();
+class Sha256 {
+ public:
+  using Digest = std::array<std::uint8_t, 32>;
+
+  Sha256();
+
+  /// Absorb `len` bytes.
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalise and return the 32-byte digest. The hasher must not be reused
+  /// after finish() without calling reset().
+  Digest finish();
+
+  void reset();
+
+  /// One-shot convenience: hex digest of a string.
+  static std::string hex(std::string_view s);
+  /// Render a digest as lowercase hex.
+  static std::string to_hex(const Digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace orev

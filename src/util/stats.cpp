@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace orev {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+
+  double sum = 0.0;
+  s.min = xs.front();
+  s.max = xs.front();
+  for (const double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+
+  double var = 0.0;
+  for (const double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(var / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2]
+                          : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  return s;
+}
+
+double percentile(std::vector<double> xs, double pct) {
+  OREV_CHECK(!xs.empty(), "percentile of empty sample");
+  OREV_CHECK(pct >= 0.0 && pct <= 100.0, "percentile out of range");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double rank = pct / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  OREV_CHECK(!sorted_.empty(), "EmpiricalCdf of empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::operator()(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::min() const { return sorted_.front(); }
+double EmpiricalCdf::max() const { return sorted_.back(); }
+
+std::vector<std::pair<double, double>> EmpiricalCdf::table(
+    std::size_t points) const {
+  OREV_CHECK(points >= 2, "CDF table needs at least two points");
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double lo = min();
+  const double hi = max();
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    out.emplace_back(x, (*this)(x));
+  }
+  return out;
+}
+
+}  // namespace orev

@@ -1,0 +1,48 @@
+// Summary statistics and empirical CDFs used by benchmarks and the network
+// performance evaluation (Fig. 5 / Fig. 7 reproductions).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace orev {
+
+/// Basic descriptive statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Compute descriptive statistics; empty input yields a zero Summary.
+Summary summarize(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile in [0, 100] of a sample.
+/// Throws CheckError on empty input or out-of-range percentile.
+double percentile(std::vector<double> xs, double pct);
+
+/// Empirical cumulative distribution function over a sample.
+/// Evaluation and tabulation helpers are provided for CDF plots.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// P(X <= x) under the empirical distribution.
+  double operator()(double x) const;
+
+  /// Tabulate the CDF at `points` evenly spaced values spanning the sample
+  /// range; returns (x, F(x)) pairs suitable for plotting/printing.
+  std::vector<std::pair<double, double>> table(std::size_t points = 20) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  double min() const;
+  double max() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace orev

@@ -1,0 +1,398 @@
+// Application-layer tests: model zoo construction/ordering, IC xApp
+// behaviour on the Near-RT RIC, malicious xApp observe/attack modes,
+// Power-Saving rApp execution on the emulator, malicious rApp injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/ic_xapp.hpp"
+#include "apps/malicious_rapp.hpp"
+#include "apps/malicious_xapp.hpp"
+#include "apps/model_zoo.hpp"
+#include "apps/power_saving_rapp.hpp"
+#include "rictest/emulator.hpp"
+#include "test_helpers.hpp"
+
+namespace orev::apps {
+namespace {
+
+// -------------------------------------------------------------- model zoo
+
+class ZooArch : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(ZooArch, BuildsAndClassifiesSpectrogramShape) {
+  nn::Model m = make_arch(GetParam(), {1, 16, 16}, 2, 7);
+  Rng rng(1);
+  const nn::Tensor x = nn::Tensor::uniform({2, 1, 16, 16}, rng, 0.0f, 1.0f);
+  const nn::Tensor logits = m.forward(x);
+  EXPECT_EQ(logits.shape(), (nn::Shape{2, 2}));
+}
+
+TEST_P(ZooArch, BuildsOnPrbWindowShape) {
+  // The rApp surrogates (Table 2) run on [1, 12, 9] PRB windows.
+  nn::Model m = make_arch(GetParam(), {1, 12, 9}, 6, 8);
+  Rng rng(2);
+  const nn::Tensor x = nn::Tensor::uniform({1, 1, 12, 9}, rng, 0.0f, 1.0f);
+  EXPECT_EQ(m.forward(x).shape(), (nn::Shape{1, 6}));
+}
+
+TEST_P(ZooArch, InputGradientFlowsToInput) {
+  nn::Model m = make_arch(GetParam(), {1, 16, 16}, 2, 9);
+  Rng rng(3);
+  const nn::Tensor x = nn::Tensor::uniform({1, 16, 16}, rng, 0.1f, 0.9f);
+  const nn::Tensor g = m.input_gradient(x, {0});
+  EXPECT_EQ(g.numel(), x.numel());
+  EXPECT_GT(g.norm2(), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, ZooArch,
+                         ::testing::ValuesIn(all_archs()),
+                         [](const ::testing::TestParamInfo<Arch>& info) {
+                           std::string n = arch_name(info.param);
+                           if (n == "1L") n = "OneLayer";
+                           return n;
+                         });
+
+TEST(ModelZoo, ParameterCountOrdering) {
+  // The zoo must preserve the families' relative size ordering:
+  // 1L is the smallest trainable-capacity baseline among conv families.
+  auto count = [](Arch a) {
+    nn::Model m = make_arch(a, {1, 16, 16}, 2, 1);
+    return m.num_parameters();
+  };
+  EXPECT_LT(count(Arch::kMobileNet), count(Arch::kDenseNet));
+  EXPECT_GT(count(Arch::kBase), 0u);
+}
+
+TEST(ModelZoo, ArchNamesMatchPaper) {
+  EXPECT_EQ(arch_name(Arch::kBase), "Base");
+  EXPECT_EQ(arch_name(Arch::kDenseNet), "DenseNet");
+  EXPECT_EQ(arch_name(Arch::kMobileNet), "MobileNet");
+  EXPECT_EQ(arch_name(Arch::kResNet), "ResNet");
+  EXPECT_EQ(arch_name(Arch::kOneLayer), "1L");
+}
+
+TEST(ModelZoo, ConvFamiliesRejectTinyInputs) {
+  EXPECT_THROW(make_base_cnn({1, 4, 4}, 2, 1), CheckError);
+  EXPECT_THROW(make_mini_resnet({1, 16}, 2, 1), CheckError);
+}
+
+TEST(ModelZoo, KpmDnnMatchesPaperLayout) {
+  // Dense [64, 32, 16] + head: 4·64+64 + 64·32+32 + 32·16+16 + 16·2+2.
+  nn::Model m = make_kpm_dnn(4, 2, 1);
+  EXPECT_EQ(m.num_parameters(),
+            static_cast<std::size_t>(4 * 64 + 64 + 64 * 32 + 32 + 32 * 16 +
+                                     16 + 16 * 2 + 2));
+}
+
+TEST(ModelZoo, PowerSavingCnnSixOutputs) {
+  nn::Model m = make_power_saving_cnn({1, 12, 9}, 6, 1);
+  Rng rng(4);
+  const nn::Tensor x = nn::Tensor::uniform({3, 1, 12, 9}, rng, 0.0f, 1.0f);
+  EXPECT_EQ(m.forward(x).shape(), (nn::Shape{3, 6}));
+}
+
+TEST(ModelZoo, DeterministicForSeed) {
+  nn::Model a = make_base_cnn({1, 16, 16}, 2, 42);
+  nn::Model b = make_base_cnn({1, 16, 16}, 2, 42);
+  Rng rng(5);
+  const nn::Tensor x = nn::Tensor::uniform({1, 1, 16, 16}, rng, 0.0f, 1.0f);
+  const nn::Tensor la = a.forward(x);
+  const nn::Tensor lb = b.forward(x);
+  for (std::size_t i = 0; i < la.numel(); ++i) EXPECT_EQ(la[i], lb[i]);
+}
+
+// --------------------------------------------- Near-RT RIC app scaffolding
+
+class NearRtAppsTest : public ::testing::Test {
+ protected:
+  NearRtAppsTest()
+      : op_("op", "sec"),
+        svc_(&op_, &rbac_),
+        ric_(&rbac_, &svc_, /*control_window_ms=*/1000.0) {
+    // Victim role: read telemetry, publish decisions, steer RAN.
+    rbac_.define_role("ic-xapp",
+                      {oran::Permission{"telemetry/*", true, false},
+                       oran::Permission{"decisions", true, true},
+                       oran::Permission{"e2/control", false, true}});
+    // Over-permissive role (the misconfiguration): telemetry WRITE.
+    rbac_.define_role("kpi-processor",
+                      {oran::Permission{"telemetry/*", true, true},
+                       oran::Permission{"decisions", true, false}});
+    ric_.connect_e2(&node_);
+  }
+
+  std::string onboard(const std::string& name, const std::string& role) {
+    oran::AppDescriptor d;
+    d.name = name;
+    d.version = "1";
+    d.vendor = "v";
+    d.payload = "p";
+    d.requested_role = role;
+    return svc_.onboard(op_.package(d)).app_id;
+  }
+
+  oran::E2Indication kpm_indication(float sinr, std::uint64_t tti) {
+    oran::E2Indication ind;
+    ind.ran_node_id = "ran-1";
+    ind.tti = tti;
+    ind.kind = oran::IndicationKind::kKpm;
+    ind.payload = nn::Tensor({2}, std::vector<float>{sinr, 1.0f - sinr});
+    return ind;
+  }
+
+  class FakeE2Node : public oran::E2Node {
+   public:
+    void handle_control(const oran::E2Control& c) override {
+      controls.push_back(c);
+    }
+    std::string node_id() const override { return "ran-1"; }
+    std::vector<oran::E2Control> controls;
+  };
+
+  oran::Rbac rbac_;
+  oran::Operator op_;
+  oran::OnboardingService svc_;
+  oran::NearRtRic ric_;
+  FakeE2Node node_;
+};
+
+/// A 2-feature IC model: interference iff feature0 < 0.5 (low SINR).
+nn::Model tiny_ic_model() {
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->emplace<nn::Dense>(2, 2);
+  nn::Model m("TinyIc", std::move(seq), {2}, 2);
+  std::vector<nn::Tensor> w;
+  w.push_back(nn::Tensor({2, 2}, {8.0f, 0.0f, -8.0f, 0.0f}));
+  w.push_back(nn::Tensor({2}, {-4.0f, 4.0f}));
+  m.set_weights(w);
+  return m;
+}
+
+TEST_F(NearRtAppsTest, IcXAppDetectsInterferenceAndGoesAdaptive) {
+  auto app = std::make_shared<IcXApp>(tiny_ic_model(),
+                                      oran::IndicationKind::kKpm, 13);
+  ASSERT_TRUE(ric_.register_xapp(app, onboard("ic", "ic-xapp"), 10));
+  ric_.deliver_indication(kpm_indication(/*sinr=*/0.1f, 1));  // jammed
+  ASSERT_EQ(node_.controls.size(), 1u);
+  EXPECT_EQ(node_.controls[0].action, oran::ControlAction::kSetAdaptiveMcs);
+  EXPECT_EQ(app->interference_detected(), 1u);
+}
+
+TEST_F(NearRtAppsTest, IcXAppCleanChannelGoesFixed) {
+  auto app = std::make_shared<IcXApp>(tiny_ic_model(),
+                                      oran::IndicationKind::kKpm, 13);
+  ric_.register_xapp(app, onboard("ic", "ic-xapp"), 10);
+  ric_.deliver_indication(kpm_indication(/*sinr=*/0.9f, 1));
+  ASSERT_EQ(node_.controls.size(), 1u);
+  EXPECT_EQ(node_.controls[0].action, oran::ControlAction::kSetFixedMcs);
+  EXPECT_EQ(node_.controls[0].fixed_mcs_index, 13);
+}
+
+TEST_F(NearRtAppsTest, IcXAppPublishesPrediction) {
+  auto app = std::make_shared<IcXApp>(tiny_ic_model(),
+                                      oran::IndicationKind::kKpm, 13);
+  ric_.register_xapp(app, onboard("ic", "ic-xapp"), 10);
+  ric_.deliver_indication(kpm_indication(0.1f, 1));
+  std::string pred;
+  ASSERT_EQ(ric_.sdl().read_text(oran::kRicPlatformId, oran::kNsDecisions,
+                                 "ic/ran-1", pred),
+            oran::SdlStatus::kOk);
+  EXPECT_EQ(pred, std::to_string(ran::kLabelInterference));
+}
+
+TEST_F(NearRtAppsTest, MaliciousXAppObservesInputLabelPairs) {
+  auto victim = std::make_shared<IcXApp>(tiny_ic_model(),
+                                         oran::IndicationKind::kKpm, 13);
+  auto spy = std::make_shared<MaliciousXApp>(oran::IndicationKind::kKpm);
+  ric_.register_xapp(spy, onboard("spy", "kpi-processor"), 1);
+  ric_.register_xapp(victim, onboard("ic", "ic-xapp"), 10);
+
+  // Alternate jammed/clean indications; the spy pairs each input with the
+  // victim's (lagged) published label.
+  for (int t = 0; t < 6; ++t)
+    ric_.deliver_indication(kpm_indication(t % 2 == 0 ? 0.1f : 0.9f,
+                                           static_cast<std::uint64_t>(t)));
+  ASSERT_EQ(spy->observed_inputs().size(), 5u);
+  ASSERT_EQ(spy->observed_labels().size(), 5u);
+  // Observation i pairs input i with the victim's label for input i.
+  for (std::size_t i = 0; i < spy->observed_labels().size(); ++i) {
+    const int expected =
+        i % 2 == 0 ? ran::kLabelInterference : ran::kLabelClean;
+    EXPECT_EQ(spy->observed_labels()[i], expected) << "observation " << i;
+  }
+}
+
+TEST_F(NearRtAppsTest, MaliciousXAppUapFlipsVictimDecision) {
+  auto victim = std::make_shared<IcXApp>(tiny_ic_model(),
+                                         oran::IndicationKind::kKpm, 13);
+  auto attacker = std::make_shared<MaliciousXApp>(oran::IndicationKind::kKpm);
+  ric_.register_xapp(attacker, onboard("atk", "kpi-processor"), 1);
+  ric_.register_xapp(victim, onboard("ic", "ic-xapp"), 10);
+
+  // UAP raising the SINR feature hides the jammer from the victim.
+  attacker->arm_uap(nn::Tensor({2}, std::vector<float>{0.8f, 0.0f}));
+  ric_.deliver_indication(kpm_indication(/*sinr=*/0.1f, 1));  // jammed!
+  ASSERT_EQ(node_.controls.size(), 1u);
+  EXPECT_EQ(node_.controls[0].action, oran::ControlAction::kSetFixedMcs)
+      << "victim should have been fooled into 'no interference'";
+  EXPECT_EQ(attacker->perturbations_applied(), 1u);
+}
+
+TEST_F(NearRtAppsTest, CorrectlyScopedPolicyBlocksInjection) {
+  // Same attack, but the attacker's role is read-only on telemetry —
+  // the misconfiguration is absent and the victim decides correctly.
+  rbac_.define_role("kpi-reader",
+                    {oran::Permission{"telemetry/*", true, false},
+                     oran::Permission{"decisions", true, false}});
+  auto victim = std::make_shared<IcXApp>(tiny_ic_model(),
+                                         oran::IndicationKind::kKpm, 13);
+  auto attacker = std::make_shared<MaliciousXApp>(oran::IndicationKind::kKpm);
+  ric_.register_xapp(attacker, onboard("atk", "kpi-reader"), 1);
+  ric_.register_xapp(victim, onboard("ic", "ic-xapp"), 10);
+  attacker->arm_uap(nn::Tensor({2}, std::vector<float>{0.8f, 0.0f}));
+  ric_.deliver_indication(kpm_indication(0.1f, 1));
+  ASSERT_EQ(node_.controls.size(), 1u);
+  EXPECT_EQ(node_.controls[0].action, oran::ControlAction::kSetAdaptiveMcs);
+  EXPECT_EQ(attacker->perturbations_applied(), 0u);
+}
+
+TEST_F(NearRtAppsTest, InputSpecificGeneratorDeadlineMisses) {
+  auto attacker = std::make_shared<MaliciousXApp>(oran::IndicationKind::kKpm);
+  ric_.register_xapp(attacker, onboard("atk", "kpi-processor"), 1);
+  // A deliberately slow generator with an impossible deadline: every
+  // attempt must be recorded as a miss and the SDL left untouched.
+  attacker->arm_input_specific(
+      [](const nn::Tensor& x) {
+        // Busy-work that feeds the result so the optimiser cannot remove
+        // it; guarantees the generation exceeds the 1 µs deadline.
+        double sink = 0.0;
+        for (int i = 0; i < 2000000; ++i) sink += std::sin(i * 1e-6);
+        nn::Tensor adv = x;
+        adv[0] = 0.99f + static_cast<float>(sink) * 1e-20f;
+        return adv;
+      },
+      /*deadline_ms=*/1e-3);
+  ric_.deliver_indication(kpm_indication(0.1f, 1));
+  EXPECT_EQ(attacker->deadline_misses(), 1u);
+  EXPECT_EQ(attacker->perturbations_applied(), 0u);
+  nn::Tensor stored;
+  ric_.sdl().read_tensor(oran::kRicPlatformId, oran::kNsKpm, "ran-1/current",
+                         stored);
+  EXPECT_FLOAT_EQ(stored[0], 0.1f);  // clean sample went through
+}
+
+// ------------------------------------------------ Non-RT RIC applications
+
+class NonRtAppsTest : public ::testing::Test {
+ protected:
+  NonRtAppsTest()
+      : op_("op", "sec"), svc_(&op_, &rbac_), ric_(&rbac_, &svc_, 12) {
+    rbac_.define_role("ps-rapp",
+                      {oran::Permission{"pm", true, false},
+                       oran::Permission{"rapp-decisions", true, true},
+                       oran::Permission{"o1/cell-control", false, true}});
+    rbac_.define_role("pm-aggregator",
+                      {oran::Permission{"pm", true, true},
+                       oran::Permission{"rapp-decisions", true, false}});
+    ric_.connect_o1(&emulator_);
+  }
+
+  std::string onboard(const std::string& name, const std::string& role) {
+    oran::AppDescriptor d;
+    d.name = name;
+    d.version = "1";
+    d.vendor = "v";
+    d.payload = "p";
+    d.type = oran::AppType::kRApp;
+    d.requested_role = role;
+    return svc_.onboard(op_.package(d)).app_id;
+  }
+
+  oran::Rbac rbac_;
+  oran::Operator op_;
+  oran::OnboardingService svc_;
+  oran::NonRtRic ric_;
+  rictest::Emulator emulator_{rictest::EmulatorConfig{}};
+};
+
+/// A trained power-saving model (trained on oracle labels, small corpus).
+nn::Model trained_ps_model() {
+  rictest::CityTraceConfig cfg;
+  cfg.days = 6;
+  const data::Dataset d = rictest::make_power_saving_dataset(cfg, 12, 8);
+  nn::Model m = make_power_saving_cnn({1, 12, 9}, 6, 21);
+  test::quick_fit(m, d, /*epochs=*/15, /*lr=*/5e-3f);
+  return m;
+}
+
+TEST_F(NonRtAppsTest, RAppMakesDecisionsEveryPeriod) {
+  auto app = std::make_shared<PowerSavingRApp>(trained_ps_model());
+  ASSERT_TRUE(ric_.register_rapp(app, onboard("ps", "ps-rapp"), 10));
+  emulator_.advance();
+  ric_.step();
+  EXPECT_EQ(app->decisions_made(), 3u);  // one per sector
+  EXPECT_EQ(app->last_decisions().size(), 3u);
+}
+
+TEST_F(NonRtAppsTest, RAppDeactivatesIdleCapacityCellsOffPeak) {
+  auto app = std::make_shared<PowerSavingRApp>(trained_ps_model());
+  ric_.register_rapp(app, onboard("ps", "ps-rapp"), 10);
+  // First periods of the day: bell-profile cells idle. Warm up the window
+  // so the history reflects sustained low load.
+  for (int i = 0; i < 12; ++i) {
+    emulator_.advance();
+    ric_.step();
+  }
+  EXPECT_GT(app->cells_deactivated(), 0u);
+}
+
+TEST_F(NonRtAppsTest, MaliciousRAppObservesDecisions) {
+  auto victim = std::make_shared<PowerSavingRApp>(trained_ps_model());
+  auto spy = std::make_shared<MaliciousRApp>();
+  ric_.register_rapp(spy, onboard("spy", "pm-aggregator"), 1);
+  ric_.register_rapp(victim, onboard("ps", "ps-rapp"), 10);
+  for (int i = 0; i < 5; ++i) {
+    emulator_.advance();
+    ric_.step();
+  }
+  EXPECT_EQ(spy->observed_inputs().size(), 4u);  // one-dispatch lag
+  for (const int label : spy->observed_labels()) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, rictest::kPsActionCount);
+  }
+}
+
+TEST_F(NonRtAppsTest, MaliciousRAppPerturbsPmHistory) {
+  auto attacker = std::make_shared<MaliciousRApp>();
+  ric_.register_rapp(attacker, onboard("atk", "pm-aggregator"), 1);
+  nn::Tensor uap({1, 12, 9});
+  uap.fill(-0.3f);  // suppress 30 PRB points everywhere
+  attacker->arm_targeted_uap(uap);
+  for (int i = 0; i < 24; ++i) emulator_.advance();  // load the network
+  ric_.step();
+  EXPECT_EQ(attacker->perturbations_applied(), 1u);
+  nn::Tensor hist;
+  ric_.sdl().read_tensor(oran::kRicPlatformId, oran::kNsPm,
+                         oran::kKeyPrbHistory, hist);
+  // The victim-facing history must be lower than the emulator's truth.
+  const oran::PmReport pm = emulator_.collect_pm();
+  EXPECT_LT(hist.at2(11, 3), pm.cells.at(4).prb_util_dl + 1e-6);
+}
+
+TEST_F(NonRtAppsTest, ReadOnlyAttackerCannotPerturb) {
+  rbac_.define_role("pm-reader", {oran::Permission{"pm", true, false},
+                                  oran::Permission{"rapp-decisions", true,
+                                                   false}});
+  auto attacker = std::make_shared<MaliciousRApp>();
+  ric_.register_rapp(attacker, onboard("atk", "pm-reader"), 1);
+  nn::Tensor uap({1, 12, 9});
+  uap.fill(-0.3f);
+  attacker->arm_targeted_uap(uap);
+  emulator_.advance();
+  ric_.step();
+  EXPECT_EQ(attacker->perturbations_applied(), 0u);
+}
+
+}  // namespace
+}  // namespace orev::apps

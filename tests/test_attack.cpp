@@ -1,0 +1,436 @@
+// Attack-library tests: PGM conformance (parameterized across all four
+// methods), norm-bound guarantees, UAP projection/generation properties,
+// targeted variants, the Model Cloning Algorithm, and metric accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/clone.hpp"
+#include "attack/metrics.hpp"
+#include "attack/pgm.hpp"
+#include "attack/runner.hpp"
+#include "attack/uap.hpp"
+#include "test_helpers.hpp"
+
+namespace orev::attack {
+namespace {
+
+using test::blob_dataset;
+using test::known_linear_model;
+
+// ------------------------------------------------- PGM conformance (all 4)
+
+enum class PgmKind { kFgsm, kFgm, kPgd, kCw, kDeepFool };
+
+PgmPtr make_pgm(PgmKind kind, float eps) {
+  switch (kind) {
+    case PgmKind::kFgsm: return std::make_unique<Fgsm>(eps);
+    case PgmKind::kFgm: return std::make_unique<Fgm>(eps);
+    case PgmKind::kPgd: return std::make_unique<Pgd>(eps, 10);
+    case PgmKind::kCw: return std::make_unique<CarliniWagner>(2.0f, 0.05f, 60);
+    case PgmKind::kDeepFool: return std::make_unique<DeepFool>(40, 0.05f);
+  }
+  return nullptr;
+}
+
+std::string pgm_kind_name(const ::testing::TestParamInfo<PgmKind>& info) {
+  switch (info.param) {
+    case PgmKind::kFgsm: return "FGSM";
+    case PgmKind::kFgm: return "FGM";
+    case PgmKind::kPgd: return "PGD";
+    case PgmKind::kCw: return "CW";
+    case PgmKind::kDeepFool: return "DeepFool";
+  }
+  return "?";
+}
+
+class PgmConformance : public ::testing::TestWithParam<PgmKind> {};
+
+TEST_P(PgmConformance, OutputStaysInValidRangeAndShape) {
+  nn::Model m = known_linear_model();
+  PgmPtr pgm = make_pgm(GetParam(), 0.3f);
+  const nn::Tensor x = nn::Tensor::from({0.2f, 0.2f});
+  const nn::Tensor adv = pgm->perturb(m, x, m.predict_one(x));
+  EXPECT_EQ(adv.shape(), x.shape());
+  EXPECT_GE(adv.min(), 0.0f);
+  EXPECT_LE(adv.max(), 1.0f);
+}
+
+TEST_P(PgmConformance, DoesNotMutateInput) {
+  nn::Model m = known_linear_model();
+  PgmPtr pgm = make_pgm(GetParam(), 0.3f);
+  const nn::Tensor x = nn::Tensor::from({0.3f, 0.3f});
+  const nn::Tensor copy = x;
+  pgm->perturb(m, x, m.predict_one(x));
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(x[i], copy[i]);
+}
+
+TEST_P(PgmConformance, FlipsDecisionNearBoundary) {
+  // Point (0.45, 0.45): class 0 with margin 0.1·scale — every method must
+  // push it across x0 + x1 = 1 within its budget.
+  nn::Model m = known_linear_model();
+  PgmPtr pgm = make_pgm(GetParam(), 0.3f);
+  const nn::Tensor x = nn::Tensor::from({0.45f, 0.45f});
+  ASSERT_EQ(m.predict_one(x), 0);
+  const nn::Tensor adv = pgm->perturb(m, x, 0);
+  EXPECT_EQ(m.predict_one(adv), 1) << "method failed to cross the boundary";
+}
+
+TEST_P(PgmConformance, TargetedVariantReachesTarget) {
+  nn::Model m = known_linear_model();
+  PgmPtr pgm = make_pgm(GetParam(), 0.4f);
+  const nn::Tensor x = nn::Tensor::from({0.4f, 0.4f});
+  const nn::Tensor adv = pgm->perturb_targeted(m, x, 1);
+  EXPECT_EQ(m.predict_one(adv), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, PgmConformance,
+                         ::testing::Values(PgmKind::kFgsm, PgmKind::kFgm,
+                                           PgmKind::kPgd, PgmKind::kCw,
+                                           PgmKind::kDeepFool),
+                         pgm_kind_name);
+
+// ------------------------------------------------------- norm-bound sweeps
+
+class FgsmEps : public ::testing::TestWithParam<float> {};
+
+TEST_P(FgsmEps, PerturbationBoundedByEps) {
+  const float eps = GetParam();
+  nn::Model m = known_linear_model();
+  Fgsm fgsm(eps);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const nn::Tensor x = nn::Tensor::uniform({2}, rng, 0.2f, 0.8f);
+    const nn::Tensor adv = fgsm.perturb(m, x, m.predict_one(x));
+    for (std::size_t j = 0; j < x.numel(); ++j)
+      EXPECT_LE(std::abs(adv[j] - x[j]), eps + 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, FgsmEps,
+                         ::testing::Values(0.05f, 0.1f, 0.2f, 0.3f, 0.5f));
+
+class PgdEps : public ::testing::TestWithParam<float> {};
+
+TEST_P(PgdEps, StaysInsideLInfBall) {
+  const float eps = GetParam();
+  nn::Model m = known_linear_model();
+  Pgd pgd(eps, 10);
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    const nn::Tensor x = nn::Tensor::uniform({2}, rng, 0.2f, 0.8f);
+    const nn::Tensor adv = pgd.perturb(m, x, m.predict_one(x));
+    for (std::size_t j = 0; j < x.numel(); ++j)
+      EXPECT_LE(std::abs(adv[j] - x[j]), eps + 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, PgdEps,
+                         ::testing::Values(0.05f, 0.1f, 0.2f, 0.3f, 0.5f));
+
+TEST(Fgsm, LargerEpsNeverWeakensAttackOnLinearModel) {
+  // On a linear model the signed-gradient direction is constant, so the
+  // logit margin moved is monotone in ε.
+  nn::Model m = known_linear_model();
+  const nn::Tensor x = nn::Tensor::from({0.3f, 0.3f});
+  float prev_margin = 1e9f;
+  for (const float eps : {0.05f, 0.1f, 0.2f, 0.3f}) {
+    Fgsm fgsm(eps);
+    const nn::Tensor adv = fgsm.perturb(m, x, 0);
+    const nn::Tensor logits = m.logits_one(adv);
+    const float margin = logits[0] - logits[1];  // class-0 confidence
+    EXPECT_LT(margin, prev_margin);
+    prev_margin = margin;
+  }
+}
+
+TEST(Fgsm, RejectsNonPositiveEps) {
+  EXPECT_THROW(Fgsm(0.0f), CheckError);
+}
+
+// --------------------------------------------------- norm-unbounded extras
+
+TEST(CarliniWagner, FindsSmallerPerturbationThanFgsmNeeds) {
+  // C&W minimises ||r||₂; near the boundary its perturbation should be far
+  // smaller than a fixed ε = 0.3 FGSM step.
+  nn::Model m = known_linear_model();
+  const nn::Tensor x = nn::Tensor::from({0.48f, 0.48f});
+  CarliniWagner cw(2.0f, 0.02f, 100);
+  const nn::Tensor adv_cw = cw.perturb(m, x, 0);
+  ASSERT_EQ(m.predict_one(adv_cw), 1);
+  Fgsm fgsm(0.3f);
+  const nn::Tensor adv_fgsm = fgsm.perturb(m, x, 0);
+  EXPECT_LT(nn::l2_distance(x, adv_cw), nn::l2_distance(x, adv_fgsm));
+}
+
+TEST(DeepFool, MinimalPerturbationScalesWithMargin) {
+  nn::Model m = known_linear_model();
+  DeepFool df(50, 0.02f);
+  const nn::Tensor near = df.perturb(m, nn::Tensor::from({0.48f, 0.48f}), 0);
+  const nn::Tensor far = df.perturb(m, nn::Tensor::from({0.30f, 0.30f}), 0);
+  const float d_near =
+      nn::l2_distance(nn::Tensor::from({0.48f, 0.48f}), near);
+  const float d_far = nn::l2_distance(nn::Tensor::from({0.30f, 0.30f}), far);
+  EXPECT_LT(d_near, d_far);
+}
+
+TEST(DeepFool, AlreadyMisclassifiedInputReturnsUnchanged) {
+  nn::Model m = known_linear_model();
+  DeepFool df;
+  const nn::Tensor x = nn::Tensor::from({0.9f, 0.9f});  // class 1
+  const nn::Tensor adv = df.perturb(m, x, /*label=*/0);  // claims label 0
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(adv[i], x[i]);
+}
+
+// ------------------------------------------------------------- projection
+
+TEST(Projection, LInfClampsCoordinates) {
+  nn::Tensor u = nn::Tensor::from({0.5f, -0.7f, 0.1f});
+  project_ball(u, 0.2f, NormKind::kLInf);
+  EXPECT_FLOAT_EQ(u[0], 0.2f);
+  EXPECT_FLOAT_EQ(u[1], -0.2f);
+  EXPECT_FLOAT_EQ(u[2], 0.1f);
+}
+
+TEST(Projection, L2RescalesOnlyWhenOutside) {
+  nn::Tensor u = nn::Tensor::from({3.0f, 4.0f});  // norm 5
+  project_ball(u, 1.0f, NormKind::kL2);
+  EXPECT_NEAR(u.norm2(), 1.0f, 1e-5f);
+  nn::Tensor v = nn::Tensor::from({0.1f, 0.1f});
+  project_ball(v, 1.0f, NormKind::kL2);
+  EXPECT_FLOAT_EQ(v[0], 0.1f);
+}
+
+// -------------------------------------------------------------------- UAP
+
+/// A quickly-trained model on the blob data (non-trivial boundary).
+nn::Model trained_blob_model(std::uint64_t seed = 31) {
+  nn::Model m = apps::make_one_layer({2}, 2, seed);
+  test::quick_fit(m, blob_dataset(80, seed));
+  return m;
+}
+
+TEST(Uap, GeneratedPerturbationRespectsNorm) {
+  nn::Model m = trained_blob_model();
+  const data::Dataset d = blob_dataset(40, 32);
+  UapConfig cfg;
+  cfg.eps = 0.25f;
+  Fgsm inner(0.1f);
+  const UapResult r = generate_uap(m, d.x, inner, cfg);
+  EXPECT_LE(r.perturbation.norm_inf(), 0.25f + 1e-6f);
+  EXPECT_EQ(r.perturbation.shape(), (nn::Shape{2}));
+}
+
+TEST(Uap, AchievesHighFoolingOnSurrogate) {
+  nn::Model m = trained_blob_model();
+  const data::Dataset d = blob_dataset(40, 33);
+  UapConfig cfg;
+  cfg.eps = 0.5f;
+  cfg.target_fooling = 0.6;
+  Fgsm inner(0.2f);
+  const UapResult r = generate_uap(m, d.x, inner, cfg);
+  EXPECT_GE(r.achieved_fooling, 0.5);
+}
+
+TEST(Uap, FoolingRateMatchesManualCount) {
+  nn::Model m = trained_blob_model();
+  const data::Dataset d = blob_dataset(20, 34);
+  const nn::Tensor u = nn::Tensor::from({0.3f, 0.3f});
+  const double rate = fooling_rate(m, d.x, u);
+  int fooled = 0;
+  for (int i = 0; i < d.size(); ++i) {
+    nn::Tensor p = d.sample(i);
+    p += u;
+    p.clamp(0.0f, 1.0f);
+    if (m.predict_one(p) != m.predict_one(d.sample(i))) ++fooled;
+  }
+  EXPECT_DOUBLE_EQ(rate, static_cast<double>(fooled) / d.size());
+}
+
+TEST(Uap, StopsEarlyWhenTargetReached) {
+  nn::Model m = trained_blob_model();
+  const data::Dataset d = blob_dataset(30, 35);
+  UapConfig cfg;
+  cfg.eps = 0.5f;
+  cfg.target_fooling = 0.01;  // trivially reachable
+  cfg.max_passes = 10;
+  Fgsm inner(0.25f);
+  const UapResult r = generate_uap(m, d.x, inner, cfg);
+  EXPECT_LE(r.passes, 2);
+}
+
+TEST(TargetedUap, PushesTowardsTarget) {
+  nn::Model m = trained_blob_model();
+  const data::Dataset d = blob_dataset(40, 36);
+  UapConfig cfg;
+  cfg.eps = 0.5f;
+  cfg.target_fooling = 0.9;
+  Fgsm inner(0.2f);
+  const UapResult r = generate_targeted_uap(m, d.x, inner, /*target=*/1, cfg);
+  const double hit = targeted_rate(m, d.x, r.perturbation, 1);
+  EXPECT_GE(hit, 0.8);
+}
+
+TEST(TargetedUap, RejectsInvalidTarget) {
+  nn::Model m = trained_blob_model();
+  const data::Dataset d = blob_dataset(10, 37);
+  UapConfig cfg;
+  Fgsm inner(0.1f);
+  EXPECT_THROW(generate_targeted_uap(m, d.x, inner, 5, cfg), CheckError);
+}
+
+TEST(Uap, TransfersBetweenIndependentlyTrainedModels) {
+  // Black-box core property: a UAP computed on one model degrades another
+  // model trained on the same task (Papernot transferability).
+  nn::Model surrogate = trained_blob_model(41);
+  nn::Model victim = trained_blob_model(42);
+  const data::Dataset d = blob_dataset(60, 43);
+  UapConfig cfg;
+  cfg.eps = 0.5f;
+  cfg.target_fooling = 0.6;
+  Fgsm inner(0.25f);
+  const UapResult r = generate_uap(surrogate, d.x, inner, cfg);
+  const nn::Tensor x_adv = apply_uap(d.x, r.perturbation);
+  const AttackMetrics m = evaluate_attack(victim, d.x, x_adv, d.y);
+  const double clean_acc = nn::accuracy(victim.forward(d.x), d.y);
+  EXPECT_LT(m.accuracy, clean_acc - 0.2);
+}
+
+// -------------------------------------------------------------------- MCA
+
+TEST(CloneDataset, LabelsAreVictimPredictionsNotGroundTruth) {
+  nn::Model victim = known_linear_model();
+  const data::Dataset d = blob_dataset(20, 51);
+  const data::Dataset d_clone = collect_clone_dataset(victim, d.x);
+  const std::vector<int> preds = victim.predict(d.x);
+  EXPECT_EQ(d_clone.y, preds);
+}
+
+TEST(CloneDataset, FromObservationLogs) {
+  std::vector<nn::Tensor> inputs = {nn::Tensor::from({0.1f, 0.2f}),
+                                    nn::Tensor::from({0.8f, 0.9f})};
+  const data::Dataset d = clone_dataset_from_observations(inputs, {0, 1}, 2);
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_EQ(d.x.at2(1, 1), 0.9f);
+  EXPECT_THROW(clone_dataset_from_observations({}, {}, 2), CheckError);
+}
+
+TEST(Mca, SelectsBestOfCandidates) {
+  nn::Model victim = known_linear_model();
+  const data::Dataset d = blob_dataset(100, 52);
+  const data::Dataset d_clone = collect_clone_dataset(victim, d.x);
+
+  CloneConfig cfg;
+  cfg.train.max_epochs = 40;
+  cfg.train.learning_rate = 2e-2f;
+  const std::vector<Candidate> candidates = {
+      {"capable", [](std::uint64_t s) {
+         return apps::make_one_layer({2}, 2, s);
+       }},
+      {"kpm-dnn", [](std::uint64_t s) { return apps::make_kpm_dnn(2, 2, s); }},
+  };
+  const CloneReport r = clone_model(d_clone, candidates, cfg);
+  EXPECT_GE(r.cloning_accuracy, 0.9);
+  EXPECT_EQ(r.scores.size(), 2u);
+  // The reported best must actually be the max of the scores.
+  double max_score = 0.0;
+  for (const ArchScore& s : r.scores)
+    max_score = std::max(max_score, s.cloning_accuracy);
+  EXPECT_DOUBLE_EQ(r.cloning_accuracy, max_score);
+}
+
+TEST(Mca, SurrogateAgreesWithVictim) {
+  nn::Model victim = known_linear_model();
+  const data::Dataset d = blob_dataset(100, 53);
+  const data::Dataset d_clone = collect_clone_dataset(victim, d.x);
+  CloneConfig cfg;
+  cfg.train.max_epochs = 40;
+  cfg.train.learning_rate = 2e-2f;
+  CloneReport r = clone_model(
+      d_clone,
+      {{"1L",
+        [](std::uint64_t s) { return apps::make_one_layer({2}, 2, s); }}},
+      cfg);
+  // Agreement rate between surrogate and victim on fresh samples.
+  const data::Dataset fresh = blob_dataset(50, 54);
+  const std::vector<int> pv = victim.predict(fresh.x);
+  const std::vector<int> ps = r.model.predict(fresh.x);
+  int agree = 0;
+  for (std::size_t i = 0; i < pv.size(); ++i)
+    if (pv[i] == ps[i]) ++agree;
+  EXPECT_GE(static_cast<double>(agree) / pv.size(), 0.9);
+}
+
+TEST(Mca, RequiresCandidates) {
+  const data::Dataset d = blob_dataset(20, 55);
+  EXPECT_THROW(clone_model(d, {}, CloneConfig{}), CheckError);
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(Metrics, ApdZeroForIdenticalSets) {
+  const data::Dataset d = blob_dataset(10, 61);
+  EXPECT_DOUBLE_EQ(average_perturbation_distance(d.x, d.x), 0.0);
+}
+
+TEST(Metrics, ApdMatchesHandComputation) {
+  nn::Tensor a({2, 2}, std::vector<float>{0, 0, 0, 0});
+  nn::Tensor b({2, 2}, std::vector<float>{3, 4, 0, 0});
+  // Row distances: 5 and 0 → APD 2.5.
+  EXPECT_NEAR(average_perturbation_distance(a, b), 2.5, 1e-6);
+}
+
+TEST(Metrics, TasrAndNtasrAccounting) {
+  nn::Model victim = known_linear_model();
+  // Three samples with known predictions: (0.2,0.2)→0, (0.9,0.9)→1,
+  // (0.1,0.1)→0. Ground truth all class 0. Target class 1.
+  nn::Tensor x_clean({3, 2},
+                     std::vector<float>{0.2f, 0.2f, 0.2f, 0.2f, 0.1f, 0.1f});
+  nn::Tensor x_adv({3, 2},
+                   std::vector<float>{0.2f, 0.2f, 0.9f, 0.9f, 0.1f, 0.1f});
+  const AttackMetrics m =
+      evaluate_attack(victim, x_clean, x_adv, {0, 0, 0}, /*target=*/1);
+  EXPECT_NEAR(m.accuracy, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.ntasr, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.tasr, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Metrics, ApplyUapClampsToValidRange) {
+  nn::Tensor x({1, 2}, std::vector<float>{0.9f, 0.1f});
+  const nn::Tensor u = nn::Tensor::from({0.5f, -0.5f});
+  const nn::Tensor out = apply_uap(x, u);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+}
+
+// ------------------------------------------------------------------ runner
+
+TEST(Runner, AttackBatchShapesAndTiming) {
+  nn::Model m = known_linear_model();
+  const data::Dataset d = blob_dataset(10, 71);
+  Fgsm fgsm(0.2f);
+  const BatchAttackResult r = attack_batch(fgsm, m, d.x);
+  EXPECT_EQ(r.adversarial.shape(), d.x.shape());
+  EXPECT_GE(r.mean_ms_per_sample, 0.0);
+  EXPECT_GE(r.max_ms_per_sample, r.mean_ms_per_sample);
+}
+
+TEST(Runner, EpsilonSweepMonotoneDamageOnLinearVictim) {
+  nn::Model victim = known_linear_model();
+  nn::Model surrogate = known_linear_model(6.0f);  // imperfect copy
+  const data::Dataset d = blob_dataset(60, 72);
+  UapConfig base;
+  base.target_fooling = 0.9;
+  const auto sweep = epsilon_sweep(victim, surrogate, d.x, d.y,
+                                   {0.05f, 0.2f, 0.5f}, base);
+  ASSERT_EQ(sweep.size(), 3u);
+  // Accuracy under input-specific attack must not increase with ε, and APD
+  // must grow.
+  EXPECT_GE(sweep[0].input_specific.accuracy,
+            sweep[2].input_specific.accuracy);
+  EXPECT_LT(sweep[0].input_specific.apd, sweep[2].input_specific.apd);
+  EXPECT_LT(sweep[0].uap.apd, sweep[2].uap.apd + 1e-9);
+}
+
+}  // namespace
+}  // namespace orev::attack

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "test_helpers.hpp"
+
+namespace orev::data {
+namespace {
+
+Dataset small(int n0, int n1) {
+  Dataset d;
+  d.num_classes = 2;
+  d.x = nn::Tensor({n0 + n1, 3});
+  for (int i = 0; i < n0 + n1; ++i) {
+    for (int j = 0; j < 3; ++j) d.x.at2(i, j) = static_cast<float>(i * 3 + j);
+    d.y.push_back(i < n0 ? 0 : 1);
+  }
+  return d;
+}
+
+TEST(Dataset, CheckValidatesLabels) {
+  Dataset d = small(2, 2);
+  EXPECT_NO_THROW(d.check());
+  d.y[0] = 5;
+  EXPECT_THROW(d.check(), CheckError);
+}
+
+TEST(Dataset, CheckValidatesCounts) {
+  Dataset d = small(2, 2);
+  d.y.pop_back();
+  EXPECT_THROW(d.check(), CheckError);
+}
+
+TEST(Dataset, SampleShapeExcludesBatch) {
+  EXPECT_EQ(small(1, 1).sample_shape(), (nn::Shape{3}));
+}
+
+TEST(Dataset, ClassCounts) {
+  const auto counts = small(3, 5).class_counts();
+  EXPECT_EQ(counts.at(0), 3);
+  EXPECT_EQ(counts.at(1), 5);
+}
+
+TEST(Dataset, SubsetPreservesRows) {
+  const Dataset d = small(2, 2);
+  const Dataset s = d.subset({3, 0});
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s.y[0], 1);
+  EXPECT_EQ(s.y[1], 0);
+  EXPECT_EQ(s.x.at2(0, 0), d.x.at2(3, 0));
+  EXPECT_EQ(s.x.at2(1, 2), d.x.at2(0, 2));
+}
+
+TEST(Dataset, SubsetRejectsOutOfRange) {
+  EXPECT_THROW(small(1, 1).subset({5}), CheckError);
+}
+
+TEST(Dataset, TakeClampsToSize) {
+  EXPECT_EQ(small(2, 2).take(100).size(), 4);
+  EXPECT_EQ(small(2, 2).take(2).size(), 2);
+}
+
+TEST(Dataset, ConcatStacksRows) {
+  const Dataset a = small(1, 1);
+  const Dataset b = small(2, 0);
+  const Dataset c = Dataset::concat(a, b);
+  EXPECT_EQ(c.size(), 4);
+  EXPECT_EQ(c.y, (std::vector<int>{0, 1, 0, 0}));
+  EXPECT_EQ(c.x.at2(2, 0), b.x.at2(0, 0));
+}
+
+TEST(Dataset, ConcatRejectsMismatchedShapes) {
+  Dataset a = small(1, 1);
+  Dataset b;
+  b.num_classes = 2;
+  b.x = nn::Tensor({1, 4});
+  b.y = {0};
+  EXPECT_THROW(Dataset::concat(a, b), CheckError);
+}
+
+TEST(StratifiedSplit, PreservesClassProportions) {
+  // 80/40 class balance must survive the split on both sides.
+  Dataset d = small(80, 40);
+  Rng rng(1);
+  const Split s = stratified_split(d, 0.75, rng);
+  EXPECT_EQ(s.train.size(), 90);
+  EXPECT_EQ(s.test.size(), 30);
+  EXPECT_EQ(s.train.class_counts().at(0), 60);
+  EXPECT_EQ(s.train.class_counts().at(1), 30);
+  EXPECT_EQ(s.test.class_counts().at(0), 20);
+  EXPECT_EQ(s.test.class_counts().at(1), 10);
+}
+
+TEST(StratifiedSplit, CoversEverySampleExactlyOnce) {
+  Dataset d = small(10, 6);
+  Rng rng(2);
+  const Split s = stratified_split(d, 0.5, rng);
+  EXPECT_EQ(s.train.size() + s.test.size(), d.size());
+  // Row "fingerprints" (first feature is unique per row) must partition.
+  std::vector<float> seen;
+  for (int i = 0; i < s.train.size(); ++i) seen.push_back(s.train.x.at2(i, 0));
+  for (int i = 0; i < s.test.size(); ++i) seen.push_back(s.test.x.at2(i, 0));
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < d.size(); ++i)
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], static_cast<float>(i * 3));
+}
+
+TEST(StratifiedSplit, RejectsDegenerateFractions) {
+  Dataset d = small(4, 4);
+  Rng rng(3);
+  EXPECT_THROW(stratified_split(d, 0.0, rng), CheckError);
+  EXPECT_THROW(stratified_split(d, 1.0, rng), CheckError);
+}
+
+TEST(StratifiedSplit, DeterministicGivenSeed) {
+  Dataset d = small(20, 20);
+  Rng a(7), b(7);
+  const Split sa = stratified_split(d, 0.5, a);
+  const Split sb = stratified_split(d, 0.5, b);
+  for (int i = 0; i < sa.train.size(); ++i)
+    EXPECT_EQ(sa.train.x.at2(i, 0), sb.train.x.at2(i, 0));
+}
+
+class StratifiedSplitFractions : public ::testing::TestWithParam<double> {};
+
+TEST_P(StratifiedSplitFractions, ProportionHoldsAcrossFractions) {
+  Dataset d = small(60, 30);
+  Rng rng(4);
+  const Split s = stratified_split(d, GetParam(), rng);
+  // Class ratio 2:1 must hold on both sides (integer rounding ±1).
+  const auto tc = s.train.class_counts();
+  const auto vc = s.test.class_counts();
+  EXPECT_NEAR(static_cast<double>(tc.at(0)) / tc.at(1), 2.0, 0.25);
+  EXPECT_NEAR(static_cast<double>(vc.at(0)) / vc.at(1), 2.0, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, StratifiedSplitFractions,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8));
+
+TEST(MinMax, ComputesGlobalRange) {
+  nn::Tensor x({2, 2}, std::vector<float>{-1, 0, 3, 2});
+  const MinMax mm = minmax_of(x);
+  EXPECT_EQ(mm.lo, -1.0f);
+  EXPECT_EQ(mm.hi, 3.0f);
+}
+
+TEST(MinMax, NormalisesToUnitInterval) {
+  nn::Tensor x({1, 3}, std::vector<float>{-1, 1, 3});
+  normalize_minmax(x, MinMax{-1.0f, 3.0f});
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+  EXPECT_FLOAT_EQ(x[1], 0.5f);
+  EXPECT_FLOAT_EQ(x[2], 1.0f);
+}
+
+TEST(MinMax, DegenerateRangeIsNoop) {
+  nn::Tensor x({1, 2}, std::vector<float>{5, 5});
+  normalize_minmax(x, MinMax{5.0f, 5.0f});
+  EXPECT_EQ(x[0], 5.0f);
+}
+
+}  // namespace
+}  // namespace orev::data

@@ -1,0 +1,182 @@
+// Defense tests (§7): adversarial-training augmentation semantics and
+// robustness gain, defensive-distillation student fidelity and boundary
+// smoothing.
+#include <gtest/gtest.h>
+
+#include "attack/clone.hpp"
+#include "attack/metrics.hpp"
+#include "attack/uap.hpp"
+#include "defense/defenses.hpp"
+#include "test_helpers.hpp"
+
+namespace orev::defense {
+namespace {
+
+using test::blob_dataset;
+
+nn::Model fresh_blob_model(std::uint64_t seed) {
+  return apps::make_kpm_dnn(2, 2, seed);
+}
+
+TEST(AdvTrain, AugmentationSizeAndLabels) {
+  const data::Dataset benign = blob_dataset(20, 1);
+  nn::Model surrogate = test::known_linear_model();
+  const data::Dataset aug = make_adversarial_augmentation(
+      benign, surrogate, {0.1f, 0.2f, 0.3f});
+  EXPECT_EQ(aug.size(), 120);  // 3 ε values × (20 per class × 2 classes)
+  // Ground-truth labels are preserved verbatim, per ε block.
+  for (int e = 0; e < 3; ++e)
+    for (int i = 0; i < benign.size(); ++i)
+      EXPECT_EQ(aug.y[static_cast<std::size_t>(e * benign.size() + i)],
+                benign.y[static_cast<std::size_t>(i)]);
+}
+
+TEST(AdvTrain, AugmentedSamplesDifferFromBenign) {
+  const data::Dataset benign = blob_dataset(10, 2);
+  nn::Model surrogate = test::known_linear_model();
+  const data::Dataset aug =
+      make_adversarial_augmentation(benign, surrogate, {0.2f});
+  double moved = 0.0;
+  for (int i = 0; i < benign.size(); ++i)
+    moved += nn::l2_distance(benign.sample(i), aug.sample(i));
+  EXPECT_GT(moved / benign.size(), 0.05);
+}
+
+TEST(AdvTrain, RequiresAtLeastOneEpsilon) {
+  const data::Dataset benign = blob_dataset(5, 3);
+  nn::Model surrogate = test::known_linear_model();
+  EXPECT_THROW(make_adversarial_augmentation(benign, surrogate, {}),
+               CheckError);
+}
+
+TEST(AdvTrain, ImprovesRobustAccuracyAgainstSameAttack) {
+  // Train two victims on the same data; harden one with AT; attack both
+  // with FGSM generated on the same surrogate the defense used.
+  const data::Dataset train = blob_dataset(80, 4);
+  const data::Dataset test_set = blob_dataset(40, 5);
+  nn::Model surrogate = test::known_linear_model();
+
+  nn::Model base = fresh_blob_model(6);
+  test::quick_fit(base, train);
+
+  nn::Model hardened = fresh_blob_model(6);
+  test::quick_fit(hardened, train);
+  AdvTrainConfig cfg;
+  cfg.eps_values = {0.1f, 0.2f, 0.3f};
+  cfg.train.max_epochs = 30;
+  cfg.train.learning_rate = 1e-2f;
+  adversarial_training(hardened, train, test_set, surrogate, cfg);
+
+  // FGSM at ε = 0.3 from the surrogate against both victims.
+  attack::Fgsm fgsm(0.3f);
+  nn::Tensor x_adv(test_set.x.shape());
+  for (int i = 0; i < test_set.size(); ++i) {
+    const nn::Tensor s = test_set.sample(i);
+    x_adv.set_batch(i, fgsm.perturb(surrogate, s, surrogate.predict_one(s)));
+  }
+  const attack::AttackMetrics mb =
+      attack::evaluate_attack(base, test_set.x, x_adv, test_set.y);
+  const attack::AttackMetrics mh =
+      attack::evaluate_attack(hardened, test_set.x, x_adv, test_set.y);
+  EXPECT_GE(mh.accuracy, mb.accuracy)
+      << "adversarial training must not be weaker than no defense";
+  // And the hardened model keeps clean accuracy.
+  EXPECT_GT(nn::accuracy(hardened.forward(test_set.x), test_set.y), 0.9);
+}
+
+TEST(Distill, StudentMatchesTeacherAccuracy) {
+  const data::Dataset train = blob_dataset(80, 7);
+  const data::Dataset val = blob_dataset(30, 8);
+  nn::Model teacher = fresh_blob_model(9);
+  test::quick_fit(teacher, train);
+  const double teacher_acc = nn::accuracy(teacher.forward(val.x), val.y);
+
+  DistillConfig cfg;
+  cfg.temperature = 8.0f;
+  cfg.train.max_epochs = 40;
+  cfg.train.learning_rate = 2e-2f;
+  nn::Model student =
+      distill(teacher, [](std::uint64_t s) { return fresh_blob_model(s); },
+              train, val, cfg);
+  const double student_acc = nn::accuracy(student.forward(val.x), val.y);
+  EXPECT_GE(student_acc, teacher_acc - 0.1);
+}
+
+TEST(Distill, TemperatureMustBeAtLeastOne) {
+  const data::Dataset train = blob_dataset(10, 10);
+  nn::Model teacher = fresh_blob_model(11);
+  DistillConfig cfg;
+  cfg.temperature = 0.5f;
+  EXPECT_THROW(distill(teacher,
+                       [](std::uint64_t s) { return fresh_blob_model(s); },
+                       train, train, cfg),
+               CheckError);
+}
+
+TEST(Distill, StudentAgreesWithTeacherOnFreshData) {
+  // Fidelity: the student must replicate the teacher's decision function,
+  // not merely the training labels, on data it never saw.
+  const data::Dataset train = blob_dataset(80, 12);
+  nn::Model teacher = fresh_blob_model(13);
+  test::quick_fit(teacher, train);
+
+  DistillConfig cfg;
+  cfg.temperature = 10.0f;
+  cfg.train.max_epochs = 40;
+  cfg.train.learning_rate = 2e-2f;
+  nn::Model student =
+      distill(teacher, [](std::uint64_t s) { return fresh_blob_model(s); },
+              train, train, cfg);
+
+  const data::Dataset fresh = blob_dataset(60, 99);
+  const std::vector<int> pt = teacher.predict(fresh.x);
+  const std::vector<int> ps = student.predict(fresh.x);
+  int agree = 0;
+  for (std::size_t i = 0; i < pt.size(); ++i)
+    if (pt[i] == ps[i]) ++agree;
+  EXPECT_GE(static_cast<double>(agree) / pt.size(), 0.9);
+}
+
+TEST(Defense, BlackBoxAttackStillBeatsDistillationAtHighEps) {
+  // The §7 headline: model cloning nullifies distillation — a UAP from a
+  // surrogate cloned off the *distilled* victim still degrades it.
+  const data::Dataset train = blob_dataset(80, 14);
+  nn::Model teacher = fresh_blob_model(15);
+  test::quick_fit(teacher, train);
+  DistillConfig dcfg;
+  dcfg.temperature = 10.0f;
+  dcfg.train.max_epochs = 30;
+  dcfg.train.learning_rate = 1e-2f;
+  nn::Model distilled =
+      distill(teacher, [](std::uint64_t s) { return fresh_blob_model(s); },
+              train, train, dcfg);
+
+  // Clone the distilled victim black-box, then UAP it.
+  const data::Dataset fresh = blob_dataset(60, 16);
+  const data::Dataset d_clone =
+      attack::collect_clone_dataset(distilled, fresh.x);
+  attack::CloneConfig ccfg;
+  ccfg.train.max_epochs = 40;
+  ccfg.train.learning_rate = 2e-2f;
+  attack::CloneReport clone = attack::clone_model(
+      d_clone,
+      {{"1L",
+        [](std::uint64_t s) { return apps::make_one_layer({2}, 2, s); }}},
+      ccfg);
+
+  attack::UapConfig ucfg;
+  ucfg.eps = 0.5f;
+  ucfg.target_fooling = 0.6;
+  attack::Fgsm inner(0.25f);
+  const attack::UapResult uap =
+      attack::generate_uap(clone.model, fresh.x, inner, ucfg);
+  const nn::Tensor x_adv = attack::apply_uap(fresh.x, uap.perturbation);
+  const attack::AttackMetrics m =
+      attack::evaluate_attack(distilled, fresh.x, x_adv, fresh.y);
+  const double clean = nn::accuracy(distilled.forward(fresh.x), fresh.y);
+  EXPECT_LT(m.accuracy, clean - 0.2)
+      << "distillation should not stop the cloned black-box UAP";
+}
+
+}  // namespace
+}  // namespace orev::defense

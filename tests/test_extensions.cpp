@@ -1,0 +1,269 @@
+// Tests for the extension surfaces: A1-EI enrichment ingestion (§3.2's
+// compromised-data-provider path), the CSV trace import, and the L2 fast
+// gradient method.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "attack/pgm.hpp"
+#include "attack/uap.hpp"
+#include "data/csv_loader.hpp"
+#include "defense/runtime_monitor.hpp"
+#include "oran/a1_ei.hpp"
+#include "oran/near_rt_ric.hpp"
+#include "rictest/dataset.hpp"
+#include "test_helpers.hpp"
+
+namespace orev {
+namespace {
+
+// ------------------------------------------------------------------ A1-EI
+
+class A1EiTest : public ::testing::Test {
+ protected:
+  A1EiTest() : op_("op", "sec"), sdl_(&rbac_), ei_(&op_, &sdl_) {
+    rbac_.define_role("platform", {oran::Permission{"*", true, true}});
+    rbac_.assign_role(oran::kRicPlatformId, "platform");
+    rbac_.define_role("rapp-ei-reader",
+                      {oran::Permission{"ei", true, false}});
+    rbac_.assign_role("consumer-rapp", "rapp-ei-reader");
+  }
+  oran::Rbac rbac_;
+  oran::Operator op_;
+  oran::Sdl sdl_;
+  oran::A1EiService ei_;
+};
+
+TEST_F(A1EiTest, RegisteredProducerDelivers) {
+  ASSERT_TRUE(ei_.register_producer(op_.issue_certificate("provider-1"),
+                                    "load-forecast"));
+  oran::EiDelivery d;
+  d.job_id = "load-forecast";
+  d.features = nn::Tensor({3}, std::vector<float>{1, 2, 3});
+  EXPECT_TRUE(ei_.deliver("provider-1", d));
+  nn::Tensor out;
+  EXPECT_EQ(ei_.read("consumer-rapp", "load-forecast", out),
+            oran::SdlStatus::kOk);
+  EXPECT_EQ(out[2], 3.0f);
+  EXPECT_EQ(ei_.deliveries_accepted(), 1u);
+}
+
+TEST_F(A1EiTest, InvalidCertificateCannotRegister) {
+  oran::Operator rogue("rogue", "other");
+  EXPECT_FALSE(ei_.register_producer(rogue.issue_certificate("evil"),
+                                     "load-forecast"));
+}
+
+TEST_F(A1EiTest, UnregisteredProducerRejected) {
+  ei_.register_producer(op_.issue_certificate("provider-1"),
+                        "load-forecast");
+  oran::EiDelivery d;
+  d.job_id = "load-forecast";
+  d.features = nn::Tensor({1});
+  EXPECT_FALSE(ei_.deliver("someone-else", d));
+  EXPECT_EQ(ei_.deliveries_rejected(), 1u);
+}
+
+TEST_F(A1EiTest, WrongJobRejected) {
+  ei_.register_producer(op_.issue_certificate("provider-1"),
+                        "load-forecast");
+  oran::EiDelivery d;
+  d.job_id = "other-job";
+  d.features = nn::Tensor({1});
+  EXPECT_FALSE(ei_.deliver("provider-1", d));
+}
+
+TEST_F(A1EiTest, CompromisedProviderInjectsAdversarialFeatures) {
+  // The §3.2 scenario: a *registered, authenticated* provider turns
+  // malicious. Its adversarial features land in the SDL under the
+  // platform identity — indistinguishable to consumers. Write
+  // attestation cannot flag it (platform wrote it); only content-level
+  // drift detection can.
+  ei_.register_producer(op_.issue_certificate("provider-1"), "forecast");
+
+  defense::TelemetryDriftDetector drift(3.5, 20);
+  Rng rng(4);
+  for (int i = 0; i < 60; ++i) {
+    oran::EiDelivery d;
+    d.job_id = "forecast";
+    d.features = nn::Tensor::randn({6}, rng, 0.1f);
+    ASSERT_TRUE(ei_.deliver("provider-1", d));
+    nn::Tensor seen;
+    ei_.read("consumer-rapp", "forecast", seen);
+    drift.observe(seen);
+  }
+  // The provider turns adversarial: a large feature injection.
+  oran::EiDelivery evil;
+  evil.job_id = "forecast";
+  evil.features = nn::Tensor::randn({6}, rng, 0.1f);
+  evil.features[0] += 3.0f;
+  ASSERT_TRUE(ei_.deliver("provider-1", evil));
+  nn::Tensor seen;
+  ei_.read("consumer-rapp", "forecast", seen);
+  EXPECT_EQ(sdl_.last_writer(oran::kNsEnrichment, "forecast"),
+            oran::kRicPlatformId);  // attestation-blind
+  EXPECT_TRUE(drift.is_anomalous(seen));  // content-level detection works
+}
+
+// ------------------------------------------------------------- CSV loader
+
+TEST(CsvParse, SimpleCells) {
+  EXPECT_EQ(data::parse_csv_line("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvParse, QuotedCommaAndEscapedQuote) {
+  EXPECT_EQ(data::parse_csv_line("\"x,y\",\"he said \"\"hi\"\"\""),
+            (std::vector<std::string>{"x,y", "he said \"hi\""}));
+}
+
+TEST(CsvParse, EmptyCells) {
+  EXPECT_EQ(data::parse_csv_line("a,,b,"),
+            (std::vector<std::string>{"a", "", "b", ""}));
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void write_file(const std::string& content) {
+    std::ofstream f(path_);
+    f << content;
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = "/tmp/orev_csv_test.csv";
+};
+
+TEST_F(CsvFileTest, LoadsNumericTableWithHeader) {
+  write_file("c1,c2,c3\n1,2,3\n4.5,5.5,6.5\n");
+  const auto t = data::load_csv(path_, /*has_header=*/true);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->header, (std::vector<std::string>{"c1", "c2", "c3"}));
+  ASSERT_EQ(t->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(t->rows[1][0], 4.5);
+}
+
+TEST_F(CsvFileTest, MissingFileIsNullopt) {
+  EXPECT_FALSE(data::load_csv("/nonexistent/file.csv", false).has_value());
+}
+
+TEST_F(CsvFileTest, RaggedRowsThrow) {
+  write_file("1,2,3\n4,5\n");
+  EXPECT_THROW(data::load_csv(path_, false), CheckError);
+}
+
+TEST_F(CsvFileTest, NonNumericCellThrows) {
+  write_file("1,2,banana\n");
+  EXPECT_THROW(data::load_csv(path_, false), CheckError);
+}
+
+TEST_F(CsvFileTest, ImportedTraceDrivesPowerSavingPipeline) {
+  // Full adoption path: CSV → trace → window features → oracle label.
+  std::string content;
+  for (int t = 0; t < 20; ++t) {
+    for (int c = 0; c < 9; ++c)
+      content += (c ? "," : "") + std::to_string(10 + 5 * c);
+    content += "\n";
+  }
+  write_file(content);
+  const auto table = data::load_csv(path_, false);
+  ASSERT_TRUE(table.has_value());
+  const auto trace = data::table_to_trace<9>(*table);
+  ASSERT_EQ(trace.size(), 20u);
+  const nn::Tensor w = rictest::window_features(trace, 19, 12, 0);
+  EXPECT_EQ(w.shape(), (nn::Shape{1, 12, 9}));
+  // Constant values → a deterministic oracle decision.
+  EXPECT_NO_THROW(rictest::oracle_action(w, 55.0, 30.0));
+}
+
+TEST_F(CsvFileTest, TraceClampsToPrbRange) {
+  write_file("-5,200,3,4,5,6,7,8,9\n");
+  const auto table = data::load_csv(path_, false);
+  const auto trace = data::table_to_trace<9>(*table);
+  EXPECT_DOUBLE_EQ(trace[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(trace[0][1], 100.0);
+}
+
+// -------------------------------------------------------------------- FGM
+
+TEST(Fgm, PerturbationHasL2NormAtMostEps) {
+  nn::Model m = test::known_linear_model();
+  attack::Fgm fgm(0.25f);
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const nn::Tensor x = nn::Tensor::uniform({2}, rng, 0.2f, 0.8f);
+    const nn::Tensor adv = fgm.perturb(m, x, m.predict_one(x));
+    EXPECT_LE(nn::l2_distance(x, adv), 0.25f + 1e-5f);
+  }
+}
+
+TEST(Fgm, CrossesNearbyBoundary) {
+  nn::Model m = test::known_linear_model();
+  attack::Fgm fgm(0.3f);
+  const nn::Tensor x = nn::Tensor::from({0.45f, 0.45f});
+  ASSERT_EQ(m.predict_one(x), 0);
+  EXPECT_EQ(m.predict_one(fgm.perturb(m, x, 0)), 1);
+}
+
+TEST(Fgm, TargetedReachesTarget) {
+  nn::Model m = test::known_linear_model();
+  attack::Fgm fgm(0.4f);
+  const nn::Tensor adv =
+      fgm.perturb_targeted(m, nn::Tensor::from({0.4f, 0.4f}), 1);
+  EXPECT_EQ(m.predict_one(adv), 1);
+}
+
+TEST(Fgm, SmallerL2FootprintThanFgsmAtSameEps) {
+  // FGSM moves every coordinate by ±ε (L2 = ε√d); FGM moves by exactly ε.
+  nn::Model m = test::known_linear_model();
+  attack::Fgm fgm(0.3f);
+  attack::Fgsm fgsm(0.3f);
+  const nn::Tensor x = nn::Tensor::from({0.4f, 0.4f});
+  const float d_fgm = nn::l2_distance(x, fgm.perturb(m, x, 0));
+  const float d_fgsm = nn::l2_distance(x, fgsm.perturb(m, x, 0));
+  EXPECT_LT(d_fgm, d_fgsm);
+}
+
+TEST(Fgm, RejectsNonPositiveEps) {
+  EXPECT_THROW(attack::Fgm(0.0f), CheckError);
+}
+
+// ------------------------------------------------------------ L2-ball UAP
+
+TEST(UapL2, GenerationRespectsL2Radius) {
+  nn::Model m = apps::make_kpm_dnn(2, 2, 31);
+  test::quick_fit(m, test::blob_dataset(80, 31));
+  const data::Dataset d = test::blob_dataset(40, 32);
+  attack::UapConfig cfg;
+  cfg.eps = 0.3f;
+  cfg.norm = attack::NormKind::kL2;
+  cfg.max_passes = 4;
+  attack::Fgm inner(0.15f);
+  const attack::UapResult r = attack::generate_uap(m, d.x, inner, cfg);
+  EXPECT_LE(r.perturbation.norm2(), 0.3f + 1e-5f);
+}
+
+TEST(UapL2, L2BallStillFoolsSurrogate) {
+  nn::Model m = apps::make_kpm_dnn(2, 2, 33);
+  test::quick_fit(m, test::blob_dataset(80, 33));
+  const data::Dataset d = test::blob_dataset(40, 34);
+  attack::UapConfig cfg;
+  cfg.eps = 0.6f;
+  cfg.norm = attack::NormKind::kL2;
+  cfg.target_fooling = 0.4;
+  cfg.max_passes = 6;
+  attack::Fgm inner(0.3f);
+  const attack::UapResult r = attack::generate_uap(m, d.x, inner, cfg);
+  EXPECT_GE(attack::fooling_rate(m, d.x, r.perturbation), 0.35);
+}
+
+TEST(UapConfig, RejectsInvalidRobustness) {
+  nn::Model m = test::known_linear_model();
+  const data::Dataset d = test::blob_dataset(10, 35);
+  attack::UapConfig cfg;
+  cfg.robust_draws = 0;
+  attack::Fgsm inner(0.1f);
+  EXPECT_THROW(attack::generate_uap(m, d.x, inner, cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace orev

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+
+namespace orev::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(1);
+  const Tensor p = softmax(Tensor::randn({4, 5}, rng, 2.0f));
+  for (int i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_GT(p.at2(i, j), 0.0f);
+      row += p.at2(i, j);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, InvariantToRowShift) {
+  Tensor a({1, 3}, std::vector<float>{1, 2, 3});
+  Tensor b({1, 3}, std::vector<float>{101, 102, 103});
+  const Tensor pa = softmax(a);
+  const Tensor pb = softmax(b);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(pa.at2(0, j), pb.at2(0, j), 1e-5f);
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  Tensor a({1, 2}, std::vector<float>{1000.0f, 0.0f});
+  const Tensor p = softmax(a);
+  EXPECT_NEAR(p.at2(0, 0), 1.0f, 1e-6f);
+  EXPECT_FALSE(std::isnan(p.at2(0, 1)));
+}
+
+TEST(Softmax, TemperatureSmooths) {
+  Tensor logits({1, 2}, std::vector<float>{2.0f, 0.0f});
+  const Tensor sharp = softmax_t(logits, 1.0f);
+  const Tensor soft = softmax_t(logits, 10.0f);
+  EXPECT_GT(sharp.at2(0, 0), soft.at2(0, 0));
+  EXPECT_GT(soft.at2(0, 0), 0.5f);  // still ordered correctly
+}
+
+TEST(Softmax, InvalidTemperatureThrows) {
+  EXPECT_THROW(softmax_t(Tensor({1, 2}), 0.0f), CheckError);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  const Tensor logits({2, 4});  // all zeros → uniform distribution
+  const LossGrad lg = cross_entropy_with_logits(logits, {0, 3});
+  EXPECT_NEAR(lg.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZeroLoss) {
+  Tensor logits({1, 2}, std::vector<float>{20.0f, -20.0f});
+  const LossGrad lg = cross_entropy_with_logits(logits, {0});
+  EXPECT_LT(lg.loss, 1e-5f);
+}
+
+TEST(CrossEntropy, GradientIsProbMinusOnehotOverN) {
+  Tensor logits({2, 2});  // uniform: p = 0.5 everywhere
+  const LossGrad lg = cross_entropy_with_logits(logits, {0, 1});
+  EXPECT_NEAR(lg.dlogits.at2(0, 0), (0.5f - 1.0f) / 2.0f, 1e-6f);
+  EXPECT_NEAR(lg.dlogits.at2(0, 1), 0.5f / 2.0f, 1e-6f);
+  EXPECT_NEAR(lg.dlogits.at2(1, 1), (0.5f - 1.0f) / 2.0f, 1e-6f);
+}
+
+TEST(CrossEntropy, GradientMatchesNumeric) {
+  Rng rng(2);
+  Tensor logits = Tensor::randn({3, 4}, rng);
+  const std::vector<int> y = {1, 3, 0};
+  const LossGrad lg = cross_entropy_with_logits(logits, y);
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits;
+    lp[i] += h;
+    Tensor lm = logits;
+    lm[i] -= h;
+    const float numeric = (cross_entropy_with_logits(lp, y).loss -
+                           cross_entropy_with_logits(lm, y).loss) /
+                          (2.0f * h);
+    EXPECT_NEAR(lg.dlogits[i], numeric, 5e-3f);
+  }
+}
+
+TEST(CrossEntropy, LabelValidation) {
+  Tensor logits({1, 2});
+  EXPECT_THROW(cross_entropy_with_logits(logits, {2}), CheckError);
+  EXPECT_THROW(cross_entropy_with_logits(logits, {0, 1}), CheckError);
+}
+
+TEST(SoftCrossEntropy, MatchesHardLabelsAtOnehot) {
+  Rng rng(3);
+  const Tensor logits = Tensor::randn({2, 3}, rng);
+  Tensor onehot({2, 3});
+  onehot.at2(0, 1) = 1.0f;
+  onehot.at2(1, 2) = 1.0f;
+  const LossGrad soft = soft_cross_entropy_with_logits(logits, onehot, 1.0f);
+  const LossGrad hard = cross_entropy_with_logits(logits, {1, 2});
+  EXPECT_NEAR(soft.loss, hard.loss, 1e-5f);
+  for (std::size_t i = 0; i < logits.numel(); ++i)
+    EXPECT_NEAR(soft.dlogits[i], hard.dlogits[i], 1e-5f);
+}
+
+TEST(SoftCrossEntropy, GradientMatchesNumeric) {
+  Rng rng(4);
+  Tensor logits = Tensor::randn({2, 3}, rng);
+  const Tensor targets = softmax(Tensor::randn({2, 3}, rng));
+  const float temp = 4.0f;
+  const LossGrad lg = soft_cross_entropy_with_logits(logits, targets, temp);
+  const float h = 1e-2f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits;
+    lp[i] += h;
+    Tensor lm = logits;
+    lm[i] -= h;
+    const float numeric =
+        (soft_cross_entropy_with_logits(lp, targets, temp).loss -
+         soft_cross_entropy_with_logits(lm, targets, temp).loss) /
+        (2.0f * h);
+    EXPECT_NEAR(lg.dlogits[i], numeric, 5e-3f);
+  }
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits({3, 2}, std::vector<float>{2, 1, 0, 3, 5, 5});
+  // argmax: 0, 1, 0 (tie → first)
+  EXPECT_NEAR(accuracy(logits, {0, 1, 1}), 2.0 / 3.0, 1e-9);
+}
+
+TEST(F1, PerfectPredictionsScoreOne) {
+  EXPECT_DOUBLE_EQ(f1_score({0, 1, 0, 1}, {0, 1, 0, 1}, 2), 1.0);
+}
+
+TEST(F1, AllWrongScoresZero) {
+  EXPECT_DOUBLE_EQ(f1_score({1, 0}, {0, 1}, 2), 0.0);
+}
+
+TEST(F1, MacroAveragesClasses) {
+  // Class 0: tp=1 fp=1 fn=0 → f1 = 2/3; class 1: tp=0 fp=0 fn=1 → 0;
+  // class 2: tp=1 fp=0 fn=0 → 1. Macro = (2/3 + 0 + 1)/3.
+  const double f1 = f1_score({0, 0, 2}, {0, 1, 2}, 3);
+  EXPECT_NEAR(f1, (2.0 / 3.0 + 0.0 + 1.0) / 3.0, 1e-9);
+}
+
+TEST(F1, SizeMismatchThrows) {
+  EXPECT_THROW(f1_score({0}, {0, 1}, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace orev::nn

@@ -1,0 +1,276 @@
+// Model / optimizer / trainer tests: learning on separable data, early
+// stopping, LR scheduling, best-weight restoration, input gradients,
+// serialisation round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/layers.hpp"
+#include "nn/trainer.hpp"
+#include "test_helpers.hpp"
+
+namespace orev::nn {
+namespace {
+
+Model tiny_mlp(std::uint64_t seed = 1) {
+  auto s = std::make_unique<Sequential>();
+  s->emplace<Dense>(2, 8).emplace<ReLU>().emplace<Dense>(8, 2);
+  Model m("TinyMlp", std::move(s), {2}, 2);
+  Rng rng(seed);
+  m.init(rng);
+  return m;
+}
+
+TEST(Model, ForwardAutoBatchesSingleSample) {
+  Model m = tiny_mlp();
+  const Tensor logits = m.forward(Tensor::from({0.1f, 0.2f}));
+  EXPECT_EQ(logits.shape(), (Shape{1, 2}));
+}
+
+TEST(Model, RejectsWrongSampleShape) {
+  Model m = tiny_mlp();
+  EXPECT_THROW(m.forward(Tensor({3})), CheckError);
+  EXPECT_THROW(m.forward(Tensor({2, 3})), CheckError);
+}
+
+TEST(Model, PredictMatchesArgmaxOfLogits) {
+  Model m = tiny_mlp();
+  Rng rng(2);
+  const Tensor x = Tensor::uniform({6, 2}, rng, 0.0f, 1.0f);
+  const Tensor logits = m.forward(x);
+  const std::vector<int> preds = m.predict(x);
+  for (int i = 0; i < 6; ++i) {
+    const int expect = logits.at2(i, 0) >= logits.at2(i, 1) ? 0 : 1;
+    EXPECT_EQ(preds[static_cast<std::size_t>(i)], expect);
+  }
+}
+
+TEST(Model, PredictProbaRowsSumToOne) {
+  Model m = tiny_mlp();
+  Rng rng(3);
+  const Tensor p = m.predict_proba(Tensor::uniform({4, 2}, rng, 0.0f, 1.0f));
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NEAR(p.at2(i, 0) + p.at2(i, 1), 1.0f, 1e-5f);
+}
+
+TEST(Model, NumParametersCountsAll) {
+  Model m = tiny_mlp();
+  // Dense(2,8): 16+8; Dense(8,2): 16+2 → 42.
+  EXPECT_EQ(m.num_parameters(), 42u);
+}
+
+TEST(Model, WeightsRoundTrip) {
+  Model a = tiny_mlp(1);
+  Model b = tiny_mlp(2);
+  b.set_weights(a.weights());
+  Rng rng(4);
+  const Tensor x = Tensor::uniform({3, 2}, rng, 0.0f, 1.0f);
+  const Tensor la = a.forward(x);
+  const Tensor lb = b.forward(x);
+  for (std::size_t i = 0; i < la.numel(); ++i) EXPECT_EQ(la[i], lb[i]);
+}
+
+TEST(Model, SaveLoadRoundTrip) {
+  Model a = tiny_mlp(5);
+  const std::string path = "/tmp/orev_model_test.bin";
+  ASSERT_TRUE(a.save(path));
+  Model b = tiny_mlp(6);
+  ASSERT_TRUE(b.load(path));
+  Rng rng(7);
+  const Tensor x = Tensor::uniform({3, 2}, rng, 0.0f, 1.0f);
+  const Tensor la = a.forward(x);
+  const Tensor lb = b.forward(x);
+  for (std::size_t i = 0; i < la.numel(); ++i) EXPECT_EQ(la[i], lb[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Model, LoadRejectsWrongArchitecture) {
+  Model a = tiny_mlp(8);
+  const std::string path = "/tmp/orev_model_mismatch.bin";
+  ASSERT_TRUE(a.save(path));
+  auto s = std::make_unique<Sequential>();
+  s->emplace<Dense>(2, 4).emplace<Dense>(4, 2);
+  Model other("Other", std::move(s), {2}, 2);
+  EXPECT_FALSE(other.load(path));
+  std::remove(path.c_str());
+}
+
+TEST(Model, InputGradientMatchesNumeric) {
+  Model m = tiny_mlp(9);
+  Rng rng(10);
+  Tensor x = Tensor::uniform({2, 2}, rng, 0.1f, 0.9f);
+  const std::vector<int> y = {0, 1};
+  const Tensor g = m.input_gradient(x, y);
+  ASSERT_EQ(g.shape(), x.shape());
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    Tensor xp = x;
+    xp[i] += h;
+    Tensor xm = x;
+    xm[i] -= h;
+    const float fp = cross_entropy_with_logits(m.forward(xp), y).loss;
+    const float fm = cross_entropy_with_logits(m.forward(xm), y).loss;
+    EXPECT_NEAR(g[i], (fp - fm) / (2.0f * h), 5e-3f);
+  }
+}
+
+// ------------------------------------------------------------- optimizers
+
+TEST(Sgd, DescendsQuadratic) {
+  // Minimise f(w) = (w - 3)^2 by hand-feeding gradients.
+  Param w({1});
+  w.value[0] = 0.0f;
+  Sgd opt({&w}, 0.1f, /*momentum=*/0.0f);
+  for (int i = 0; i < 100; ++i) {
+    opt.zero_grad();
+    w.grad[0] = 2.0f * (w.value[0] - 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(w.value[0], 3.0f, 1e-3f);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  auto run = [](float momentum) {
+    Param w({1});
+    w.value[0] = 10.0f;
+    Sgd opt({&w}, 0.01f, momentum);
+    for (int i = 0; i < 50; ++i) {
+      opt.zero_grad();
+      w.grad[0] = 2.0f * w.value[0];
+      opt.step();
+    }
+    return std::abs(w.value[0]);
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(Adam, DescendsQuadratic) {
+  Param w({1});
+  w.value[0] = -5.0f;
+  Adam opt({&w}, 0.2f);
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    w.grad[0] = 2.0f * (w.value[0] - 1.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(w.value[0], 1.0f, 1e-2f);
+}
+
+TEST(Optimizer, RejectsNonPositiveLearningRate) {
+  Param w({1});
+  EXPECT_THROW(Sgd({&w}, 0.0f), CheckError);
+  Sgd opt({&w}, 0.1f);
+  EXPECT_THROW(opt.set_learning_rate(-1.0f), CheckError);
+}
+
+// ----------------------------------------------------------------- trainer
+
+TEST(Trainer, LearnsSeparableBlobs) {
+  Model m = tiny_mlp(11);
+  const double acc = test::quick_fit(m, test::blob_dataset(60, 12));
+  EXPECT_GT(acc, 0.95);
+}
+
+TEST(Trainer, EarlyStoppingTriggersOnPlateau) {
+  Model m = tiny_mlp(13);
+  const data::Dataset d = test::blob_dataset(40, 14);
+  Rng rng(15);
+  const data::Split s = data::stratified_split(d, 0.75, rng);
+  TrainConfig cfg;
+  cfg.max_epochs = 200;  // far more than needed on trivially separable data
+  cfg.early_stop_patience = 3;
+  cfg.learning_rate = 5e-2f;
+  cfg.min_delta = 1e-3f;  // demand a real improvement each epoch
+  Trainer t(cfg);
+  const TrainReport r = t.fit(m, s.train.x, s.train.y, s.test.x, s.test.y);
+  EXPECT_TRUE(r.early_stopped);
+  EXPECT_LT(r.epochs_run, 200);
+}
+
+TEST(Trainer, LearningRateDropsOnPlateau) {
+  Model m = tiny_mlp(16);
+  const data::Dataset d = test::blob_dataset(40, 17);
+  Rng rng(18);
+  const data::Split s = data::stratified_split(d, 0.75, rng);
+  TrainConfig cfg;
+  cfg.max_epochs = 60;
+  cfg.lr_patience = 2;
+  cfg.lr_gamma = 0.5f;
+  cfg.min_delta = 0.05f;  // large delta → plateau detected quickly
+  cfg.early_stop_patience = 50;  // keep training through the plateau
+  Trainer t(cfg);
+  const TrainReport r = t.fit(m, s.train.x, s.train.y, s.test.x, s.test.y);
+  ASSERT_FALSE(r.history.empty());
+  EXPECT_LT(r.history.back().learning_rate,
+            r.history.front().learning_rate);
+}
+
+TEST(Trainer, HistoryRecordsEveryEpoch) {
+  Model m = tiny_mlp(19);
+  const data::Dataset d = test::blob_dataset(30, 20);
+  Rng rng(21);
+  const data::Split s = data::stratified_split(d, 0.7, rng);
+  TrainConfig cfg;
+  cfg.max_epochs = 5;
+  cfg.early_stop_patience = 100;
+  Trainer t(cfg);
+  const TrainReport r = t.fit(m, s.train.x, s.train.y, s.test.x, s.test.y);
+  EXPECT_EQ(r.epochs_run, 5);
+  EXPECT_EQ(r.history.size(), 5u);
+  for (int e = 0; e < 5; ++e)
+    EXPECT_EQ(r.history[static_cast<std::size_t>(e)].epoch, e);
+}
+
+TEST(Trainer, CallbackCanAbort) {
+  Model m = tiny_mlp(22);
+  const data::Dataset d = test::blob_dataset(30, 23);
+  Rng rng(24);
+  const data::Split s = data::stratified_split(d, 0.7, rng);
+  TrainConfig cfg;
+  cfg.max_epochs = 50;
+  Trainer t(cfg);
+  const TrainReport r =
+      t.fit(m, s.train.x, s.train.y, s.test.x, s.test.y,
+            [](const EpochRecord& rec) { return rec.epoch < 2; });
+  EXPECT_EQ(r.epochs_run, 3);
+}
+
+TEST(Trainer, SoftLabelTrainingLearns) {
+  // Teacher targets = near-onehot soft labels of the blob classes.
+  const data::Dataset d = test::blob_dataset(60, 25);
+  Tensor soft({d.size(), 2});
+  for (int i = 0; i < d.size(); ++i) {
+    const int y = d.y[static_cast<std::size_t>(i)];
+    soft.at2(i, y) = 0.9f;
+    soft.at2(i, 1 - y) = 0.1f;
+  }
+  Model m = tiny_mlp(26);
+  TrainConfig cfg;
+  cfg.max_epochs = 25;
+  cfg.learning_rate = 1e-2f;
+  Trainer t(cfg);
+  const TrainReport r = t.fit_soft(m, d.x, soft, 1.0f, d.x, d.y);
+  EXPECT_GT(r.best_val_accuracy, 0.9);
+}
+
+TEST(Trainer, EvaluateMatchesManualAccuracy) {
+  Model m = tiny_mlp(27);
+  const data::Dataset d = test::blob_dataset(20, 28);
+  const EvalResult ev = evaluate(m, d.x, d.y);
+  const std::vector<int> preds = m.predict(d.x);
+  int correct = 0;
+  for (int i = 0; i < d.size(); ++i)
+    if (preds[static_cast<std::size_t>(i)] == d.y[static_cast<std::size_t>(i)])
+      ++correct;
+  EXPECT_NEAR(ev.accuracy, static_cast<double>(correct) / d.size(), 1e-9);
+}
+
+TEST(Trainer, RejectsEmptyTrainingSet) {
+  Model m = tiny_mlp(29);
+  Trainer t;
+  EXPECT_THROW(t.fit(m, Tensor({0, 2}), {}, Tensor({1, 2}), {0}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace orev::nn

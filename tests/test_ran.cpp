@@ -1,0 +1,368 @@
+// RAN simulator tests: channel physics sanity, MCS/BLER monotonicity,
+// link-adaptation behaviour under jamming, spectrogram class structure,
+// KPM dataset separability, traffic profiles.
+#include <gtest/gtest.h>
+
+#include "ran/channel.hpp"
+#include "ran/datasets.hpp"
+#include "ran/jammer.hpp"
+#include "ran/link.hpp"
+#include "ran/mcs.hpp"
+#include "ran/spectrogram.hpp"
+#include "ran/traffic.hpp"
+
+namespace orev::ran {
+namespace {
+
+// ---------------------------------------------------------------- channel
+
+TEST(Channel, DbmMilliwattRoundTrip) {
+  EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_mw(30.0), 1000.0, 1e-9);
+  EXPECT_NEAR(mw_to_dbm(dbm_to_mw(-17.3)), -17.3, 1e-9);
+  EXPECT_THROW(mw_to_dbm(0.0), CheckError);
+}
+
+TEST(Channel, PathLossIncreasesWithDistance) {
+  Channel ch(ChannelConfig{}, Rng(1));
+  EXPECT_LT(ch.path_loss_db(10.0), ch.path_loss_db(100.0));
+  EXPECT_LT(ch.path_loss_db(100.0), ch.path_loss_db(1000.0));
+}
+
+TEST(Channel, PathLossFollowsExponent) {
+  ChannelConfig cfg;
+  cfg.pathloss_exponent = 3.0;
+  Channel ch(cfg, Rng(2));
+  // One decade of distance adds 10 * n dB.
+  EXPECT_NEAR(ch.path_loss_db(100.0) - ch.path_loss_db(10.0), 30.0, 1e-9);
+}
+
+TEST(Channel, PathLossRejectsNonPositiveDistance) {
+  Channel ch(ChannelConfig{}, Rng(3));
+  EXPECT_THROW(ch.path_loss_db(0.0), CheckError);
+}
+
+TEST(Channel, NoisePowerMatchesThermalFloor) {
+  ChannelConfig cfg;
+  cfg.bandwidth_hz = 5e6;
+  cfg.noise_figure_db = 7.0;
+  Channel ch(cfg, Rng(4));
+  // -174 + 10 log10(5e6) + 7 ≈ -100.01 dBm.
+  EXPECT_NEAR(ch.noise_power_dbm(), -100.0, 0.1);
+}
+
+TEST(Channel, SinrNoiseLimitedWithoutInterference) {
+  Channel ch(ChannelConfig{}, Rng(5));
+  const double sinr = ch.sinr_db(-80.0, -200.0);
+  EXPECT_NEAR(sinr, -80.0 - ch.noise_power_dbm(), 0.01);
+}
+
+TEST(Channel, StrongInterferenceDominatesNoise) {
+  Channel ch(ChannelConfig{}, Rng(6));
+  // Interference 30 dB above noise → SINR ≈ S - I.
+  const double i_dbm = ch.noise_power_dbm() + 30.0;
+  EXPECT_NEAR(ch.sinr_db(-60.0, i_dbm), -60.0 - i_dbm, 0.05);
+}
+
+TEST(Channel, ReceivedPowerCentredOnPathLoss) {
+  ChannelConfig cfg;
+  cfg.fast_fading = false;
+  cfg.shadowing_sigma_db = 0.0;
+  Channel ch(cfg, Rng(7));
+  EXPECT_NEAR(ch.received_power_dbm(23.0, 50.0),
+              23.0 - ch.path_loss_db(50.0), 1e-6);
+}
+
+TEST(Channel, FadingAddsVariance) {
+  ChannelConfig cfg;
+  cfg.fast_fading = true;
+  Channel ch(cfg, Rng(8));
+  double lo = 1e9, hi = -1e9;
+  for (int i = 0; i < 200; ++i) {
+    const double p = ch.received_power_dbm(23.0, 50.0);
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_GT(hi - lo, 5.0);  // fading swings by many dB
+}
+
+// ----------------------------------------------------------------- jammer
+
+TEST(Jammer, InactiveByDefault) {
+  Jammer j(JammerConfig{}, Rng(9));
+  EXPECT_FALSE(j.active());
+  j.activate();
+  EXPECT_TRUE(j.active());
+  j.deactivate();
+  EXPECT_FALSE(j.active());
+}
+
+TEST(Jammer, ErpWithinGainBounds) {
+  JammerConfig cfg;
+  cfg.tx_power_dbm = 20.0;
+  cfg.gain_db_lo = 40.0;
+  cfg.gain_db_hi = 45.0;
+  Jammer j(cfg, Rng(10));
+  for (int i = 0; i < 100; ++i) {
+    const double erp = j.erp_dbm();
+    EXPECT_GE(erp, 60.0);
+    EXPECT_LE(erp, 65.0);
+  }
+}
+
+TEST(Jammer, TonePositionMidBandByDefault) {
+  Jammer j(JammerConfig{}, Rng(11));
+  EXPECT_NEAR(j.tone_position(5e6), 0.5, 1e-9);
+}
+
+TEST(Jammer, InvertedGainBoundsThrow) {
+  JammerConfig cfg;
+  cfg.gain_db_lo = 45.0;
+  cfg.gain_db_hi = 40.0;
+  EXPECT_THROW(Jammer(cfg, Rng(12)), CheckError);
+}
+
+// -------------------------------------------------------------------- MCS
+
+TEST(McsTable, LadderOrderedBySpectralEfficiency) {
+  McsTable t;
+  ASSERT_GE(t.size(), 8);
+  for (int i = 1; i < t.size(); ++i) {
+    EXPECT_GT(t.entry(i).spectral_eff, t.entry(i - 1).spectral_eff);
+    EXPECT_GT(t.entry(i).sinr_threshold_db,
+              t.entry(i - 1).sinr_threshold_db);
+  }
+}
+
+TEST(McsTable, AdaptiveSelectionMonotone) {
+  McsTable t;
+  EXPECT_EQ(t.select_adaptive(-100.0), 0);
+  EXPECT_EQ(t.select_adaptive(1000.0), t.max_index());
+  int prev = 0;
+  for (double sinr = -10.0; sinr < 30.0; sinr += 1.0) {
+    const int idx = t.select_adaptive(sinr);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(McsTable, AdaptiveSelectionRespectsThreshold) {
+  McsTable t;
+  for (int i = 0; i < t.size(); ++i) {
+    const int chosen = t.select_adaptive(t.entry(i).sinr_threshold_db);
+    EXPECT_EQ(chosen, i);
+  }
+}
+
+TEST(McsTable, BlerDecreasesWithSinr) {
+  McsTable t;
+  const int mcs = 8;
+  double prev = 1.0;
+  for (double sinr = -10.0; sinr <= 30.0; sinr += 2.0) {
+    const double b = t.bler(mcs, sinr);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+    EXPECT_LE(b, prev + 1e-12);
+    prev = b;
+  }
+}
+
+TEST(McsTable, BlerAtThresholdIsTenPercent) {
+  McsTable t;
+  for (int i = 0; i < t.size(); i += 4)
+    EXPECT_NEAR(t.bler(i, t.entry(i).sinr_threshold_db), 0.1, 0.01);
+}
+
+TEST(McsTable, ThroughputScalesWithEfficiency) {
+  McsTable t;
+  // At very high SINR the BLER → 0, so throughput ≈ eff × BW.
+  const double tp =
+      t.throughput_mbps(t.max_index(), 60.0, 5e6);
+  EXPECT_NEAR(tp, t.entry(t.max_index()).spectral_eff * 5.0, 0.05);
+}
+
+TEST(McsTable, IndexValidation) {
+  McsTable t;
+  EXPECT_THROW(t.entry(-1), CheckError);
+  EXPECT_THROW(t.entry(t.size()), CheckError);
+}
+
+// ------------------------------------------------------------------- link
+
+TEST(UplinkSim, JammingCollapsesSinr) {
+  UplinkSim sim(UplinkConfig{}, 42);
+  double clean = 0.0, jammed = 0.0;
+  constexpr int kN = 200;
+  sim.jammer().deactivate();
+  for (int i = 0; i < kN; ++i) clean += sim.step().sinr_db;
+  sim.jammer().activate();
+  for (int i = 0; i < kN; ++i) jammed += sim.step().sinr_db;
+  EXPECT_GT(clean / kN, jammed / kN + 10.0);
+}
+
+TEST(UplinkSim, AdaptiveModeKeepsBlerModerateUnderJamming) {
+  UplinkSim sim(UplinkConfig{}, 43);
+  sim.jammer().activate();
+  sim.set_mcs_mode(McsMode::kAdaptive);
+  double adaptive_bler = 0.0;
+  for (int i = 0; i < 200; ++i) adaptive_bler += sim.step().bler;
+  sim.set_mcs_mode(McsMode::kFixed);
+  double fixed_bler = 0.0;
+  for (int i = 0; i < 200; ++i) fixed_bler += sim.step().bler;
+  // Fixed high MCS under jamming must hurt much more than adaptive.
+  EXPECT_GT(fixed_bler / 200.0, adaptive_bler / 200.0 + 0.2);
+}
+
+TEST(UplinkSim, FixedModeUsesConfiguredMcs) {
+  UplinkConfig cfg;
+  cfg.fixed_mcs = 11;
+  UplinkSim sim(cfg, 44);
+  sim.set_mcs_mode(McsMode::kFixed);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sim.step().mcs, 11);
+}
+
+TEST(UplinkSim, KpmFeatureVectorLayout) {
+  UplinkSim sim(UplinkConfig{}, 45);
+  const KpmRecord k = sim.step();
+  const nn::Tensor f = k.features();
+  ASSERT_EQ(f.shape(), (nn::Shape{4}));
+  EXPECT_FLOAT_EQ(f[0], static_cast<float>(k.sinr_db));
+  EXPECT_FLOAT_EQ(f[3], static_cast<float>(k.mcs));
+}
+
+TEST(UplinkSim, InvalidFixedMcsThrows) {
+  UplinkConfig cfg;
+  cfg.fixed_mcs = 999;
+  EXPECT_THROW(UplinkSim(cfg, 46), CheckError);
+}
+
+// ------------------------------------------------------------ spectrogram
+
+TEST(Spectrogram, ShapeAndRange) {
+  SpectrogramConfig cfg;
+  Rng rng(47);
+  const nn::Tensor s = make_spectrogram(cfg, false, rng);
+  EXPECT_EQ(s.shape(), (nn::Shape{1, cfg.freq_bins, cfg.time_frames}));
+  EXPECT_GE(s.min(), 0.0f);
+  EXPECT_LE(s.max(), 1.0f);
+}
+
+TEST(Spectrogram, CwiAddsEnergy) {
+  SpectrogramConfig cfg;
+  Rng rng(48);
+  double clean = 0.0, cwi = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    clean += make_spectrogram(cfg, false, rng).sum();
+    cwi += make_spectrogram(cfg, true, rng).sum();
+  }
+  EXPECT_GT(cwi, clean);
+}
+
+TEST(Spectrogram, CwiCreatesBrightRidgeRow) {
+  SpectrogramConfig cfg;
+  Rng rng(49);
+  // The brightest row (max of per-row mean) should be noticeably brighter
+  // in CWI spectrograms than in clean ones.
+  auto brightest_row_mean = [&](bool with_cwi) {
+    const nn::Tensor s = make_spectrogram(cfg, with_cwi, rng);
+    double best = 0.0;
+    for (int f = 0; f < cfg.freq_bins; ++f) {
+      double row = 0.0;
+      for (int t = 0; t < cfg.time_frames; ++t)
+        row += s[static_cast<std::size_t>(f) * cfg.time_frames + t];
+      best = std::max(best, row / cfg.time_frames);
+    }
+    return best;
+  };
+  double clean = 0.0, cwi = 0.0;
+  for (int i = 0; i < 15; ++i) {
+    clean += brightest_row_mean(false);
+    cwi += brightest_row_mean(true);
+  }
+  EXPECT_GT(cwi / 15.0, clean / 15.0 + 0.1);
+}
+
+TEST(Spectrogram, RejectsDegenerateConfig) {
+  SpectrogramConfig cfg;
+  cfg.freq_bins = 2;
+  Rng rng(50);
+  EXPECT_THROW(make_spectrogram(cfg, false, rng), CheckError);
+}
+
+// --------------------------------------------------------------- datasets
+
+TEST(SpectrogramDataset, BalancedAndLabelled) {
+  SpectrogramConfig cfg;
+  cfg.freq_bins = 16;
+  cfg.time_frames = 16;
+  const data::Dataset d = make_spectrogram_dataset(cfg, 25, 51);
+  EXPECT_EQ(d.size(), 50);
+  EXPECT_EQ(d.class_counts().at(kLabelClean), 25);
+  EXPECT_EQ(d.class_counts().at(kLabelInterference), 25);
+}
+
+TEST(KpmDataset, NormalisedAndSeparable) {
+  const KpmDatasetResult r = make_kpm_dataset(UplinkConfig{}, 100, 52);
+  const data::Dataset& d = r.dataset;
+  EXPECT_EQ(d.size(), 200);
+  EXPECT_GE(d.x.min(), 0.0f);
+  EXPECT_LE(d.x.max(), 1.0f);
+  // Mean normalised SINR must differ strongly between classes.
+  double clean_sinr = 0.0, jam_sinr = 0.0;
+  for (int i = 0; i < d.size(); ++i) {
+    const float v = d.x.at2(i, 0);
+    (d.y[static_cast<std::size_t>(i)] == kLabelClean ? clean_sinr : jam_sinr) +=
+        v;
+  }
+  EXPECT_GT(clean_sinr / 100.0, jam_sinr / 100.0 + 0.2);
+}
+
+// ---------------------------------------------------------------- traffic
+
+TEST(Traffic, ConstantSourceNearRate) {
+  TrafficSource src(TrafficSource::Kind::kConstant, 10.0, 53);
+  for (int i = 0; i < 50; ++i) {
+    const double v = src.next();
+    EXPECT_GT(v, 9.0);
+    EXPECT_LT(v, 11.0);
+  }
+}
+
+TEST(Traffic, BurstySourceHasHighVariance) {
+  TrafficSource cst(TrafficSource::Kind::kConstant, 10.0, 54);
+  TrafficSource bst(TrafficSource::Kind::kBursty, 10.0, 54);
+  auto variance = [](TrafficSource& s) {
+    double sum = 0.0, sq = 0.0;
+    constexpr int kN = 500;
+    for (int i = 0; i < kN; ++i) {
+      const double v = s.next();
+      sum += v;
+      sq += v * v;
+    }
+    const double mean = sum / kN;
+    return sq / kN - mean * mean;
+  };
+  EXPECT_GT(variance(bst), 10.0 * variance(cst));
+}
+
+TEST(Traffic, BellProfilePeaksMidday) {
+  EXPECT_NEAR(bell_profile(0.5), 1.0, 1e-9);
+  EXPECT_LT(bell_profile(0.1), 0.2);
+  EXPECT_LT(bell_profile(0.9), 0.2);
+  EXPECT_GT(bell_profile(0.4), bell_profile(0.2));
+}
+
+TEST(Traffic, SteadyProfileRampsAndHolds) {
+  EXPECT_NEAR(steady_profile(0.05), 0.5, 1e-9);
+  EXPECT_NEAR(steady_profile(0.5), 1.0, 1e-9);
+  EXPECT_NEAR(steady_profile(0.95), 0.5, 1e-9);
+  EXPECT_NEAR(steady_profile(0.0), 0.0, 1e-9);
+}
+
+TEST(Traffic, RejectsNonPositiveRate) {
+  EXPECT_THROW(TrafficSource(TrafficSource::Kind::kConstant, 0.0, 55),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace orev::ran

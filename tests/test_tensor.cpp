@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hpp"
+
+namespace orev::nn {
+namespace {
+
+TEST(Shape, NumelProducts) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({5}), 5u);
+  EXPECT_EQ(shape_numel({}), 0u);
+  EXPECT_EQ(shape_numel({3, 0, 2}), 0u);
+}
+
+TEST(Shape, NegativeExtentThrows) {
+  EXPECT_THROW(shape_numel({2, -1}), CheckError);
+}
+
+TEST(Shape, Render) { EXPECT_EQ(shape_str({1, 2, 3}), "[1, 2, 3]"); }
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({2, 2}, 3.5f);
+  EXPECT_EQ(t.sum(), 14.0f);
+}
+
+TEST(Tensor, DataConstructorValidatesSize) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.0f}), CheckError);
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>(4, 1.0f)));
+}
+
+TEST(Tensor, FromInitializerList) {
+  const Tensor t = Tensor::from({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.shape(), (Shape{3}));
+  EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, At2Access) {
+  Tensor t({2, 3});
+  t.at2(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  EXPECT_THROW(t.at2(2, 0), CheckError);
+  EXPECT_THROW(t.at2(0, 3), CheckError);
+}
+
+TEST(Tensor, At4Access) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+  EXPECT_THROW(t.at4(2, 0, 0, 0), CheckError);
+}
+
+TEST(Tensor, At4OnWrongRankThrows) {
+  Tensor t({4});
+  EXPECT_THROW(t.at4(0, 0, 0, 0), CheckError);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_EQ(r.at2(2, 1), 6.0f);
+}
+
+TEST(Tensor, ReshapeNumelMismatchThrows) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshape({4, 2}), CheckError);
+}
+
+TEST(Tensor, SliceAndSetBatch) {
+  Tensor t({3, 2}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor row = t.slice_batch(1);
+  EXPECT_EQ(row.shape(), (Shape{2}));
+  EXPECT_EQ(row[0], 3.0f);
+  t.set_batch(0, Tensor::from({9.0f, 8.0f}));
+  EXPECT_EQ(t.at2(0, 0), 9.0f);
+  EXPECT_THROW(t.slice_batch(3), CheckError);
+  EXPECT_THROW(t.set_batch(0, Tensor::from({1.0f})), CheckError);
+}
+
+TEST(Tensor, ElementwiseAddSub) {
+  const Tensor a = Tensor::from({1, 2, 3});
+  const Tensor b = Tensor::from({4, 5, 6});
+  const Tensor sum = a + b;
+  const Tensor diff = b - a;
+  EXPECT_EQ(sum[2], 9.0f);
+  EXPECT_EQ(diff[0], 3.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(a += b, CheckError);
+}
+
+TEST(Tensor, ScalarMultiply) {
+  Tensor a = Tensor::from({1, -2});
+  a *= -2.0f;
+  EXPECT_EQ(a[0], -2.0f);
+  EXPECT_EQ(a[1], 4.0f);
+}
+
+TEST(Tensor, AddScaled) {
+  Tensor a = Tensor::from({1, 1});
+  a.add_scaled(Tensor::from({2, 4}), 0.5f);
+  EXPECT_EQ(a[0], 2.0f);
+  EXPECT_EQ(a[1], 3.0f);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t = Tensor::from({-3, 1, 2});
+  EXPECT_EQ(t.sum(), 0.0f);
+  EXPECT_EQ(t.max(), 2.0f);
+  EXPECT_EQ(t.min(), -3.0f);
+  EXPECT_FLOAT_EQ(t.norm2(), std::sqrt(14.0f));
+  EXPECT_EQ(t.norm_inf(), 3.0f);
+}
+
+TEST(Tensor, ArgmaxFirstOfTies) {
+  EXPECT_EQ(Tensor::from({1, 3, 3, 2}).argmax(), 1u);
+}
+
+TEST(Tensor, Clamp) {
+  Tensor t = Tensor::from({-1, 0.5f, 2});
+  t.clamp(0.0f, 1.0f);
+  EXPECT_EQ(t[0], 0.0f);
+  EXPECT_EQ(t[1], 0.5f);
+  EXPECT_EQ(t[2], 1.0f);
+  EXPECT_THROW(t.clamp(1.0f, 0.0f), CheckError);
+}
+
+TEST(Tensor, RandnStats) {
+  Rng rng(11);
+  const Tensor t = Tensor::randn({10000}, rng, 2.0f);
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+    sq += double(t[i]) * t[i];
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.0, 0.1);
+  EXPECT_NEAR(sq / 10000.0, 4.0, 0.3);
+}
+
+// ----------------------------------------------------------------- matmul
+
+TEST(Matmul, KnownProduct) {
+  const Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.at2(0, 0), 58.0f);
+  EXPECT_EQ(c.at2(0, 1), 64.0f);
+  EXPECT_EQ(c.at2(1, 0), 139.0f);
+  EXPECT_EQ(c.at2(1, 1), 154.0f);
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({2, 3})), CheckError);
+}
+
+TEST(Matmul, TransposedVariantsAgree) {
+  Rng rng(13);
+  const Tensor a = Tensor::randn({4, 5}, rng);
+  const Tensor b = Tensor::randn({5, 6}, rng);
+  const Tensor ref = matmul(a, b);
+
+  // matmul_bt(a, b^T) == a b.
+  Tensor bt({6, 5});
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 6; ++j) bt.at2(j, i) = b.at2(i, j);
+  const Tensor viabt = matmul_bt(a, bt);
+
+  // matmul_at(a^T, b) == a b.
+  Tensor at({5, 4});
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 5; ++j) at.at2(j, i) = a.at2(i, j);
+  const Tensor viaat = matmul_at(at, b);
+
+  for (std::size_t i = 0; i < ref.numel(); ++i) {
+    EXPECT_NEAR(viabt[i], ref[i], 1e-4f);
+    EXPECT_NEAR(viaat[i], ref[i], 1e-4f);
+  }
+}
+
+TEST(Matmul, IdentityIsNoop) {
+  Rng rng(14);
+  const Tensor a = Tensor::randn({3, 3}, rng);
+  Tensor eye({3, 3});
+  for (int i = 0; i < 3; ++i) eye.at2(i, i) = 1.0f;
+  const Tensor c = matmul(a, eye);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_NEAR(c[i], a[i], 1e-6f);
+}
+
+TEST(Distance, L2Distance) {
+  const Tensor a = Tensor::from({0, 0});
+  const Tensor b = Tensor::from({3, 4});
+  EXPECT_FLOAT_EQ(l2_distance(a, b), 5.0f);
+  EXPECT_THROW(l2_distance(a, Tensor({3})), CheckError);
+}
+
+}  // namespace
+}  // namespace orev::nn
