@@ -10,7 +10,10 @@
 // timing ratios) are preserved; see DESIGN.md §1.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <system_error>
@@ -25,8 +28,46 @@
 #include "ran/datasets.hpp"
 #include "rictest/dataset.hpp"
 #include "util/csv.hpp"
+#include "util/thread_pool.hpp"
 
 namespace orev::bench {
+
+/// Parse and strip a `--threads N` / `--threads=N` flag, configure the
+/// global pool accordingly, and return the active thread count. With no
+/// flag the pool keeps its default (OREV_NUM_THREADS or 1). The flag is
+/// removed from argv so downstream parsers (e.g. google-benchmark) never
+/// see it.
+inline int parse_threads_flag(int& argc, char** argv) {
+  int threads = -1;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strcmp(argv[r], "--threads") == 0 && r + 1 < argc) {
+      threads = std::atoi(argv[++r]);
+    } else if (std::strncmp(argv[r], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[r] + 10);
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  if (threads > 0) util::set_num_threads(threads);
+  std::printf("[threads] running with %d thread(s)\n", util::num_threads());
+  return util::num_threads();
+}
+
+/// Monotonic wall-clock timer for CSV reporting.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// The ε grid of Tables 1 and 2.
 inline const std::vector<float> kEpsGrid = {0.05f, 0.1f, 0.2f, 0.3f, 0.5f};

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/model_zoo.hpp"
+#include "bench_common.hpp"
 #include "nn/layers.hpp"
 
 using namespace orev;
@@ -98,6 +99,57 @@ void BM_BatchNormForward(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchNormForward);
 
+void BM_BatchedConvForward(benchmark::State& state) {
+  // Sample-parallel path: batch large enough that the pool fans out.
+  Conv2D conv(8, 16, 3, 1, 1);
+  Rng rng(6);
+  conv.init(rng);
+  const Tensor x = rand_tensor({16, 8, 24, 24});
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x, false));
+}
+BENCHMARK(BM_BatchedConvForward)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchedModelForward(benchmark::State& state) {
+  nn::Model m = apps::make_base_cnn({1, 24, 24}, 2, 9);
+  const Tensor x = rand_tensor({32, 1, 24, 24});
+  for (auto _ : state) benchmark::DoNotOptimize(m.forward(x));
+}
+BENCHMARK(BM_BatchedModelForward)->Unit(benchmark::kMicrosecond);
+
+/// Threads-scaling evidence for the CSV: one fixed batched
+/// forward+input-gradient workload, timed at the active thread count.
+/// Run the binary once per thread count (`--threads 1`, `--threads 4`, ...)
+/// and compare the wall_ms column across runs.
+void report_thread_scaling(int threads) {
+  nn::Model m = apps::make_base_cnn({1, 24, 24}, 2, 9);
+  const Tensor x = rand_tensor({32, 1, 24, 24});
+  m.forward(x);  // warm up caches / pool
+
+  constexpr int kReps = 20;
+  const orev::bench::WallTimer timer;
+  for (int r = 0; r < kReps; ++r) {
+    benchmark::DoNotOptimize(m.forward(x));
+    m.zero_grad();
+    benchmark::DoNotOptimize(m.input_gradient(x.slice_batch(0), {0}));
+  }
+  const double wall_ms = timer.seconds() * 1e3 / kReps;
+
+  orev::CsvWriter csv;
+  csv.header({"workload", "threads", "wall_ms"});
+  csv.row("base_cnn_fwd32_plus_input_grad", threads, wall_ms);
+  orev::bench::save_csv(csv,
+                        "nn_micro_threads_" + std::to_string(threads));
+  std::printf("[scaling] threads=%d wall_ms=%.3f\n", threads, wall_ms);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int threads = orev::bench::parse_threads_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report_thread_scaling(threads);
+  return 0;
+}

@@ -12,7 +12,8 @@
 using namespace orev;
 using namespace orev::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = parse_threads_flag(argc, argv);
   std::printf("=== Table 1: surrogate architectures × ε, FGSM vs UAP(FGSM) "
               "===\n");
 
@@ -35,7 +36,7 @@ int main() {
 
   CsvWriter csv;
   csv.header({"surrogate", "eps", "is_accuracy", "is_apd", "uap_accuracy",
-              "uap_apd", "cloning_accuracy"});
+              "uap_apd", "cloning_accuracy", "threads", "wall_s"});
 
   print_rule();
   std::printf("%-22s", "Victim: BaseCNN");
@@ -67,10 +68,12 @@ int main() {
       if (d_clone.y[static_cast<std::size_t>(i)] == ran::kLabelInterference)
         jammed_rows.push_back(i);
     const data::Dataset uap_seed = d_clone.subset(jammed_rows).take(150);
+    const WallTimer sweep_timer;
     const auto sweep =
         attack::epsilon_sweep(victim, sur.model, attack_set.x, attack_set.y,
                               kEpsGrid, ubase, /*target_class=*/-1,
                               uap_seed.x);
+    const double sweep_s = sweep_timer.seconds();
 
     std::printf("%-22s", (cand.name + " + FGSM").c_str());
     for (const auto& p : sweep)
@@ -85,7 +88,7 @@ int main() {
     for (const auto& p : sweep) {
       csv.row(cand.name, p.eps, p.input_specific.accuracy,
               p.input_specific.apd, p.uap.accuracy, p.uap.apd,
-              sur.cloning_accuracy);
+              sur.cloning_accuracy, threads, sweep_s);
     }
   }
 

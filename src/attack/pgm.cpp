@@ -100,6 +100,7 @@ Pgd::Pgd(float eps, int steps, float alpha, std::uint64_t seed)
     : eps_(eps),
       steps_(steps),
       alpha_(alpha > 0.0f ? alpha : 2.5f * eps / static_cast<float>(steps)),
+      seed_(seed),
       rng_(seed) {
   OREV_CHECK(eps > 0.0f && steps > 0, "PGD parameters invalid");
 }

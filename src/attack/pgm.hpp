@@ -17,15 +17,29 @@
 
 namespace orev::attack {
 
+class Pgm;
+using PgmPtr = std::unique_ptr<Pgm>;
+
 class Pgm {
  public:
   virtual ~Pgm() = default;
 
   Pgm() = default;
-  Pgm(const Pgm&) = delete;
   Pgm& operator=(const Pgm&) = delete;
 
   virtual std::string name() const = 0;
+
+  /// Deep copy, including any internal RNG state. The parallel attack
+  /// runner gives every worker its own replica so per-sample perturbation
+  /// is free of shared mutable state.
+  virtual PgmPtr clone() const = 0;
+
+  /// Rebind the method's randomness (if any) to a counter-derived stream.
+  /// Stateless methods ignore this; stochastic ones (PGD's random start)
+  /// re-derive their generator from the construction seed and `stream_id`,
+  /// making each sample's perturbation independent of visit order and
+  /// thread schedule. No-op by default.
+  virtual void reseed(std::uint64_t /*stream_id*/) {}
 
   /// Untargeted: perturb `x` (unbatched) away from class `label` under
   /// `model`'s decision function.
@@ -38,9 +52,11 @@ class Pgm {
 
   /// Whether the method bounds the perturbation norm a priori.
   virtual bool norm_bounded() const = 0;
-};
 
-using PgmPtr = std::unique_ptr<Pgm>;
+ protected:
+  /// Derived methods use the implicit member-wise copy in their clone().
+  Pgm(const Pgm&) = default;
+};
 
 /// Gradient of the cross-entropy loss w.r.t. one unbatched input.
 nn::Tensor input_loss_gradient(nn::Model& model, const nn::Tensor& x,
@@ -59,6 +75,7 @@ class Fgsm : public Pgm {
   explicit Fgsm(float eps);
 
   std::string name() const override { return "FGSM"; }
+  PgmPtr clone() const override { return PgmPtr(new Fgsm(*this)); }
   bool norm_bounded() const override { return true; }
   nn::Tensor perturb(nn::Model& model, const nn::Tensor& x,
                      int label) override;
@@ -80,6 +97,7 @@ class Fgm : public Pgm {
   explicit Fgm(float eps);
 
   std::string name() const override { return "FGM-L2"; }
+  PgmPtr clone() const override { return PgmPtr(new Fgm(*this)); }
   bool norm_bounded() const override { return true; }
   nn::Tensor perturb(nn::Model& model, const nn::Tensor& x,
                      int label) override;
@@ -98,7 +116,15 @@ class Pgd : public Pgm {
       std::uint64_t seed = 0x96d);
 
   std::string name() const override { return "PGD"; }
+  PgmPtr clone() const override { return PgmPtr(new Pgd(*this)); }
   bool norm_bounded() const override { return true; }
+
+  /// Re-derive the random-start generator from the construction seed and
+  /// a counter stream, so each sample's start is schedule-independent.
+  void reseed(std::uint64_t stream_id) override {
+    rng_ = Rng(seed_).split(stream_id);
+  }
+
   nn::Tensor perturb(nn::Model& model, const nn::Tensor& x,
                      int label) override;
   nn::Tensor perturb_targeted(nn::Model& model, const nn::Tensor& x,
@@ -111,6 +137,7 @@ class Pgd : public Pgm {
   float eps_;
   int steps_;
   float alpha_;
+  std::uint64_t seed_;
   Rng rng_;
 };
 
@@ -124,6 +151,7 @@ class CarliniWagner : public Pgm {
                 float kappa = 0.0f);
 
   std::string name() const override { return "C&W"; }
+  PgmPtr clone() const override { return PgmPtr(new CarliniWagner(*this)); }
   bool norm_bounded() const override { return false; }
   nn::Tensor perturb(nn::Model& model, const nn::Tensor& x,
                      int label) override;
@@ -147,6 +175,7 @@ class DeepFool : public Pgm {
   explicit DeepFool(int max_iter = 30, float overshoot = 0.02f);
 
   std::string name() const override { return "DeepFool"; }
+  PgmPtr clone() const override { return PgmPtr(new DeepFool(*this)); }
   bool norm_bounded() const override { return false; }
   nn::Tensor perturb(nn::Model& model, const nn::Tensor& x,
                      int label) override;

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "util/thread_pool.hpp"
+
 namespace orev::attack {
 
 BatchAttackResult attack_batch(Pgm& pgm, nn::Model& surrogate,
@@ -11,24 +13,39 @@ BatchAttackResult attack_batch(Pgm& pgm, nn::Model& surrogate,
 
   BatchAttackResult out;
   out.adversarial = nn::Tensor(x.shape());
-  double total_ms = 0.0;
+  std::vector<double> sample_ms(static_cast<std::size_t>(n), 0.0);
 
-  for (int i = 0; i < n; ++i) {
-    const nn::Tensor sample = x.slice_batch(i);
-    const auto t0 = std::chrono::steady_clock::now();
-    nn::Tensor adv;
-    if (target_class >= 0) {
-      adv = pgm.perturb_targeted(surrogate, sample, target_class);
-    } else {
-      const int label = surrogate.predict_one(sample);
-      adv = pgm.perturb(surrogate, sample, label);
-    }
-    const auto t1 = std::chrono::steady_clock::now();
-    const double ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
+  // Per-sample fan-out over the pool. Every participating task works on
+  // its own surrogate/PGM replica, and the PGM is re-seeded per sample
+  // from a counter stream, so the adversarial batch is bit-identical for
+  // any thread count or schedule (only the timings vary).
+  struct Ctx {
+    nn::Model model;
+    PgmPtr pgm;
+  };
+  util::parallel_for_ctx(
+      0, n, 1, [&] { return Ctx{surrogate.clone(), pgm.clone()}; },
+      [&](Ctx& ctx, std::int64_t i) {
+        const nn::Tensor sample = x.slice_batch(static_cast<int>(i));
+        const auto t0 = std::chrono::steady_clock::now();
+        ctx.pgm->reseed(static_cast<std::uint64_t>(i));
+        nn::Tensor adv;
+        if (target_class >= 0) {
+          adv = ctx.pgm->perturb_targeted(ctx.model, sample, target_class);
+        } else {
+          const int label = ctx.model.predict_one(sample);
+          adv = ctx.pgm->perturb(ctx.model, sample, label);
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        sample_ms[static_cast<std::size_t>(i)] =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        out.adversarial.set_batch(static_cast<int>(i), adv);
+      });
+
+  double total_ms = 0.0;
+  for (const double ms : sample_ms) {
     total_ms += ms;
     out.max_ms_per_sample = std::max(out.max_ms_per_sample, ms);
-    out.adversarial.set_batch(i, adv);
   }
   out.mean_ms_per_sample = total_ms / n;
   return out;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace orev::attack {
 
 void project_ball(nn::Tensor& u, float eps, NormKind norm) {
@@ -34,13 +36,19 @@ UapResult run(nn::Model& surrogate, const nn::Tensor& samples, Pgm& inner,
   const int n = samples.dim(0);
   const nn::Shape sample_shape(samples.shape().begin() + 1,
                                samples.shape().end());
-  Rng noise_rng(config.seed);
+  // Base generator for the robustness jitter. Every fooled-check derives
+  // its own counter stream from it (split by pass/sample/site), so the
+  // draws are independent of visit order and thread schedule.
+  const Rng noise_base(config.seed);
 
-  // Reference labels: the surrogate's clean predictions.
+  // Reference labels: the surrogate's clean predictions (replica-parallel).
   std::vector<int> ref(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i)
-    ref[static_cast<std::size_t>(i)] =
-        surrogate.predict_one(samples.slice_batch(i));
+  util::parallel_for_ctx(
+      0, n, 8, [&] { return surrogate.clone(); },
+      [&](nn::Model& m, std::int64_t i) {
+        ref[static_cast<std::size_t>(i)] =
+            m.predict_one(samples.slice_batch(static_cast<int>(i)));
+      });
 
   nn::Tensor u(sample_shape);  // u ← 0
   UapResult result;
@@ -57,12 +65,13 @@ UapResult run(nn::Model& surrogate, const nn::Tensor& samples, Pgm& inner,
     return (target < 0 ? pred != ref_label : pred == target) &&
            conf >= config.min_confidence;
   };
-  auto is_fooled = [&](int i, const nn::Tensor& xu) {
+  auto is_fooled = [&](int i, const nn::Tensor& xu, std::uint64_t stream) {
     bool ok = is_fooled_probe(xu, ref[static_cast<std::size_t>(i)]);
+    Rng jitter_rng = noise_base.split(stream);
     for (int d = 1; ok && d < config.robust_draws; ++d) {
       nn::Tensor jittered = xu;
       for (float& v : jittered.data())
-        v += noise_rng.normal(0.0f, config.robust_noise);
+        v += jitter_rng.normal(0.0f, config.robust_noise);
       jittered.clamp(0.0f, 1.0f);
       ok = is_fooled_probe(jittered, ref[static_cast<std::size_t>(i)]);
     }
@@ -73,9 +82,15 @@ UapResult run(nn::Model& surrogate, const nn::Tensor& samples, Pgm& inner,
     result.passes = pass + 1;
     int fooled_count = 0;
     for (int i = 0; i < n; ++i) {
+      // Two jitter streams per (pass, sample): slot 0 for the pre-update
+      // check, slot 1 for the post-update one.
+      const std::uint64_t stream =
+          (static_cast<std::uint64_t>(pass) * static_cast<std::uint64_t>(n) +
+           static_cast<std::uint64_t>(i))
+          << 1;
       const nn::Tensor x = samples.slice_batch(i);
       const nn::Tensor xu = perturbed_sample(x, u);
-      if (is_fooled(i, xu)) {
+      if (is_fooled(i, xu, stream)) {
         ++fooled_count;
         continue;
       }
@@ -91,7 +106,7 @@ UapResult run(nn::Model& surrogate, const nn::Tensor& samples, Pgm& inner,
 
       u += delta;                                 // u ← u + Δu_i
       project_ball(u, config.eps, config.norm);   // u ← P_{p,ε}(u)
-      if (is_fooled(i, perturbed_sample(x, u))) ++fooled_count;
+      if (is_fooled(i, perturbed_sample(x, u), stream | 1u)) ++fooled_count;
     }
     result.achieved_fooling = static_cast<double>(fooled_count) / n;
     if (result.achieved_fooling >= config.target_fooling) break;
@@ -107,26 +122,38 @@ double fooling_rate(nn::Model& model, const nn::Tensor& samples,
                     const nn::Tensor& u) {
   const int n = samples.dim(0);
   OREV_CHECK(n > 0, "empty sample set");
-  int fooled = 0;
-  for (int i = 0; i < n; ++i) {
-    const nn::Tensor x = samples.slice_batch(i);
-    if (model.predict_one(perturbed_sample(x, u)) != model.predict_one(x))
-      ++fooled;
-  }
-  return static_cast<double>(fooled) / n;
+  std::vector<char> fooled(static_cast<std::size_t>(n), 0);
+  util::parallel_for_ctx(
+      0, n, 8, [&] { return model.clone(); },
+      [&](nn::Model& m, std::int64_t i64) {
+        const int i = static_cast<int>(i64);
+        const nn::Tensor x = samples.slice_batch(i);
+        fooled[static_cast<std::size_t>(i)] =
+            m.predict_one(perturbed_sample(x, u)) != m.predict_one(x) ? 1 : 0;
+      });
+  int count = 0;
+  for (const char f : fooled) count += f;
+  return static_cast<double>(count) / n;
 }
 
 double targeted_rate(nn::Model& model, const nn::Tensor& samples,
                      const nn::Tensor& u, int target) {
   const int n = samples.dim(0);
   OREV_CHECK(n > 0, "empty sample set");
-  int hit = 0;
-  for (int i = 0; i < n; ++i) {
-    if (model.predict_one(perturbed_sample(samples.slice_batch(i), u)) ==
-        target)
-      ++hit;
-  }
-  return static_cast<double>(hit) / n;
+  std::vector<char> hit(static_cast<std::size_t>(n), 0);
+  util::parallel_for_ctx(
+      0, n, 8, [&] { return model.clone(); },
+      [&](nn::Model& m, std::int64_t i64) {
+        const int i = static_cast<int>(i64);
+        hit[static_cast<std::size_t>(i)] =
+            m.predict_one(perturbed_sample(samples.slice_batch(i), u)) ==
+                    target
+                ? 1
+                : 0;
+      });
+  int count = 0;
+  for (const char h : hit) count += h;
+  return static_cast<double>(count) / n;
 }
 
 UapResult generate_uap(nn::Model& surrogate, const nn::Tensor& samples,

@@ -38,6 +38,12 @@ void Sequential::init(Rng& rng) {
   for (auto& l : layers_) l->init(rng);
 }
 
+LayerPtr Sequential::clone() const {
+  auto out = std::make_unique<Sequential>();
+  for (const auto& l : layers_) out->add(l->clone());
+  return out;
+}
+
 // ----------------------------------------------------------------- Residual
 
 Residual::Residual(LayerPtr inner, LayerPtr shortcut)
@@ -76,6 +82,11 @@ std::vector<Param*> Residual::params() {
 void Residual::init(Rng& rng) {
   inner_->init(rng);
   if (shortcut_) shortcut_->init(rng);
+}
+
+LayerPtr Residual::clone() const {
+  return std::make_unique<Residual>(inner_->clone(),
+                                    shortcut_ ? shortcut_->clone() : nullptr);
 }
 
 // -------------------------------------------------------------- DenseConcat
@@ -137,5 +148,12 @@ Tensor DenseConcat::backward(const Tensor& grad_out) {
 std::vector<Param*> DenseConcat::params() { return inner_->params(); }
 
 void DenseConcat::init(Rng& rng) { inner_->init(rng); }
+
+LayerPtr DenseConcat::clone() const {
+  auto out = std::make_unique<DenseConcat>(inner_->clone());
+  out->in_channels_ = in_channels_;
+  out->inner_channels_ = inner_channels_;
+  return out;
+}
 
 }  // namespace orev::nn

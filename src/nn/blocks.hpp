@@ -27,6 +27,7 @@ class Sequential : public Layer {
   std::vector<Param*> params() override;
   void init(Rng& rng) override;
   std::string name() const override { return "Sequential"; }
+  LayerPtr clone() const override;
 
   std::size_t size() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_.at(i); }
@@ -47,6 +48,7 @@ class Residual : public Layer {
   std::vector<Param*> params() override;
   void init(Rng& rng) override;
   std::string name() const override { return "Residual"; }
+  LayerPtr clone() const override;
 
  private:
   LayerPtr inner_;
@@ -64,6 +66,7 @@ class DenseConcat : public Layer {
   std::vector<Param*> params() override;
   void init(Rng& rng) override;
   std::string name() const override { return "DenseConcat"; }
+  LayerPtr clone() const override;
 
  private:
   LayerPtr inner_;

@@ -27,12 +27,14 @@ struct Param {
   void zero_grad() { grad.fill(0.0f); }
 };
 
+class Layer;
+using LayerPtr = std::unique_ptr<Layer>;
+
 class Layer {
  public:
   virtual ~Layer() = default;
 
   Layer() = default;
-  Layer(const Layer&) = delete;
   Layer& operator=(const Layer&) = delete;
 
   /// Compute the layer output. `training` toggles behaviours such as
@@ -51,8 +53,15 @@ class Layer {
 
   /// Human-readable layer name for diagnostics.
   virtual std::string name() const = 0;
-};
 
-using LayerPtr = std::unique_ptr<Layer>;
+  /// Deep copy of the layer (parameters, running statistics and RNG state
+  /// included). Replicas back the per-worker model copies the parallel
+  /// attack runner fans samples out over.
+  virtual LayerPtr clone() const = 0;
+
+ protected:
+  /// Derived layers use the implicit member-wise copy in their clone().
+  Layer(const Layer&) = default;
+};
 
 }  // namespace orev::nn

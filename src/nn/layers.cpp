@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace orev::nn {
 
 namespace {
@@ -155,7 +157,9 @@ Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
   cached_cols_ = Tensor({n, oh * ow, patch});
 
   Tensor out({n, out_ch_, oh, ow});
-  for (int i = 0; i < n; ++i) {
+  // Sample-parallel: each sample writes its own im2col slice and output
+  // planes, so results are identical at every thread count.
+  util::parallel_for(0, n, 1, [&](std::int64_t i) {
     float* cols = cached_cols_.raw() +
                   static_cast<std::size_t>(i) * oh * ow * patch;
     im2col(x.raw() + static_cast<std::size_t>(i) * in_ch_ * h * w, in_ch_, h,
@@ -171,7 +175,7 @@ Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
             y.raw()[static_cast<std::size_t>(p) * out_ch_ + c] + b;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -187,31 +191,51 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
   const int patch = in_ch_ * k_ * k_;
   Tensor dx(cached_input_.shape());
 
-  for (int i = 0; i < n; ++i) {
-    // G: [oH*oW, out_ch] — transpose of grad_out sample i.
-    Tensor g({oh * ow, out_ch_});
-    for (int c = 0; c < out_ch_; ++c) {
-      for (int p = 0; p < oh * ow; ++p) {
-        g.raw()[static_cast<std::size_t>(p) * out_ch_ + c] =
-            grad_out
-                .raw()[((static_cast<std::size_t>(i) * out_ch_ + c) * oh * ow) +
-                       p];
-      }
-    }
-    const float* colp = cached_cols_.raw() +
-                        static_cast<std::size_t>(i) * oh * ow * patch;
-    const Tensor cols({oh * ow, patch},
-                      std::vector<float>(colp, colp + std::size_t(oh) * ow * patch));
-    weight_.grad += matmul_at(g, cols);  // [out_ch, patch]
-    if (has_bias_) {
-      for (int p = 0; p < oh * ow; ++p)
-        for (int c = 0; c < out_ch_; ++c)
-          bias_.grad[c] += g.raw()[static_cast<std::size_t>(p) * out_ch_ + c];
-    }
-    Tensor dcols = matmul(g, weight_.value);  // [oH*oW, patch]
-    col2im_accum(dcols.raw(), in_ch_, h, w, k_, stride_, pad_, oh, ow,
-                 dx.raw() + static_cast<std::size_t>(i) * in_ch_ * h * w);
-  }
+  // Sample-parallel with an ordered reduction for the shared parameter
+  // gradients: each chunk fills its own accumulator, and the chunk sums
+  // are folded into weight_/bias_ grads in ascending sample order — the
+  // decomposition depends only on n, so the result is bit-identical at
+  // every thread count.
+  struct GradAcc {
+    Tensor w, b;
+  };
+  GradAcc sum = util::parallel_reduce_ordered(
+      0, n, 1,
+      [&] {
+        return GradAcc{Tensor({out_ch_, patch}), Tensor({out_ch_})};
+      },
+      [&](GradAcc& acc, std::int64_t i) {
+        // G: [oH*oW, out_ch] — transpose of grad_out sample i.
+        Tensor g({oh * ow, out_ch_});
+        for (int c = 0; c < out_ch_; ++c) {
+          for (int p = 0; p < oh * ow; ++p) {
+            g.raw()[static_cast<std::size_t>(p) * out_ch_ + c] =
+                grad_out.raw()[((static_cast<std::size_t>(i) * out_ch_ + c) *
+                                oh * ow) +
+                               p];
+          }
+        }
+        const float* colp = cached_cols_.raw() +
+                            static_cast<std::size_t>(i) * oh * ow * patch;
+        const Tensor cols(
+            {oh * ow, patch},
+            std::vector<float>(colp, colp + std::size_t(oh) * ow * patch));
+        acc.w += matmul_at(g, cols);  // [out_ch, patch]
+        if (has_bias_) {
+          for (int p = 0; p < oh * ow; ++p)
+            for (int c = 0; c < out_ch_; ++c)
+              acc.b[c] += g.raw()[static_cast<std::size_t>(p) * out_ch_ + c];
+        }
+        Tensor dcols = matmul(g, weight_.value);  // [oH*oW, patch]
+        col2im_accum(dcols.raw(), in_ch_, h, w, k_, stride_, pad_, oh, ow,
+                     dx.raw() + static_cast<std::size_t>(i) * in_ch_ * h * w);
+      },
+      [](GradAcc& total, const GradAcc& chunk) {
+        total.w += chunk.w;
+        total.b += chunk.b;
+      });
+  weight_.grad += sum.w;
+  if (has_bias_) bias_.grad += sum.b;
   return dx;
 }
 
@@ -247,8 +271,13 @@ Tensor DepthwiseConv2D::forward(const Tensor& x, bool /*training*/) {
   cached_input_ = x;
 
   Tensor out({n, ch_, oh, ow});
-  for (int i = 0; i < n; ++i) {
-    for (int c = 0; c < ch_; ++c) {
+  // Plane-parallel over the flattened (sample, channel) index: every
+  // output plane is written by exactly one task.
+  util::parallel_for(0, static_cast<std::int64_t>(n) * ch_, 1,
+                     [&](std::int64_t ic) {
+    {
+      const int i = static_cast<int>(ic / ch_);
+      const int c = static_cast<int>(ic % ch_);
       const float* plane =
           x.raw() + (static_cast<std::size_t>(i) * ch_ + c) * h * w;
       const float* kern = weight_.value.raw() + static_cast<std::size_t>(c) * k_ * k_;
@@ -271,7 +300,7 @@ Tensor DepthwiseConv2D::forward(const Tensor& x, bool /*training*/) {
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -283,8 +312,12 @@ Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
              "DepthwiseConv2D backward shape mismatch");
 
   Tensor dx(cached_input_.shape());
-  for (int i = 0; i < n; ++i) {
-    for (int c = 0; c < ch_; ++c) {
+  // Channel-parallel: task c owns dkern[c], bias grad c and every (i, c)
+  // plane of dx; accumulation over samples stays in ascending i order, so
+  // the sums associate exactly as in a serial sweep.
+  util::parallel_for(0, ch_, 1, [&](std::int64_t c64) {
+    const int c = static_cast<int>(c64);
+    for (int i = 0; i < n; ++i) {
       const float* plane = cached_input_.raw() +
                            (static_cast<std::size_t>(i) * ch_ + c) * h * w;
       const float* gplane =
@@ -313,7 +346,7 @@ Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
         }
       }
     }
-  }
+  });
   return dx;
 }
 
@@ -335,13 +368,14 @@ Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
   Tensor out(out_shape_);
   argmax_.assign(out.numel(), 0);
 
-  std::size_t oi = 0;
-  for (int i = 0; i < n; ++i) {
-    for (int cc = 0; cc < c; ++cc) {
-      const float* plane =
-          x.raw() + (static_cast<std::size_t>(i) * c + cc) * h * w;
-      const std::size_t plane_base =
-          (static_cast<std::size_t>(i) * c + cc) * h * w;
+  // Plane-parallel: each (sample, channel) plane owns a contiguous run of
+  // output cells and argmax slots.
+  util::parallel_for(0, static_cast<std::int64_t>(n) * c, 1,
+                     [&](std::int64_t pidx) {
+    {
+      const float* plane = x.raw() + static_cast<std::size_t>(pidx) * h * w;
+      const std::size_t plane_base = static_cast<std::size_t>(pidx) * h * w;
+      std::size_t oi = static_cast<std::size_t>(pidx) * oh * ow;
       for (int oy = 0; oy < oh; ++oy) {
         for (int ox = 0; ox < ow; ++ox, ++oi) {
           float best = -std::numeric_limits<float>::infinity();
@@ -362,7 +396,7 @@ Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -370,8 +404,17 @@ Tensor MaxPool2D::backward(const Tensor& grad_out) {
   OREV_CHECK(grad_out.shape() == out_shape_,
              "MaxPool2D backward shape mismatch");
   Tensor dx(cached_input_.shape());
-  for (std::size_t i = 0; i < grad_out.numel(); ++i)
-    dx[argmax_[i]] += grad_out[i];
+  // Plane-parallel scatter: overlapping windows can hit the same input
+  // cell, but only within one (sample, channel) plane — which a single
+  // task owns, keeping the += order serial per plane.
+  const std::int64_t planes =
+      static_cast<std::int64_t>(out_shape_[0]) * out_shape_[1];
+  const std::size_t per_plane = grad_out.numel() / planes;
+  util::parallel_for(0, planes, 1, [&](std::int64_t p) {
+    const std::size_t lo = static_cast<std::size_t>(p) * per_plane;
+    for (std::size_t i = lo; i < lo + per_plane; ++i)
+      dx[argmax_[i]] += grad_out[i];
+  });
   return dx;
 }
 
@@ -584,27 +627,32 @@ Tensor BatchNorm::forward(const Tensor& x, bool training) {
   Tensor mean({ch_});
   Tensor var({ch_});
   if (training) {
-    for (int c = 0; c < ch_; ++c) {
+    // Channel-parallel statistics: each channel's double accumulator is
+    // owned by one task and folds samples in ascending order.
+    util::parallel_for(0, ch_, 1, [&](std::int64_t c) {
       double acc = 0.0;
       for (int i = 0; i < n; ++i) {
         const float* plane =
             x.raw() + (static_cast<std::size_t>(i) * ch_ + c) * s;
         for (int p = 0; p < s; ++p) acc += plane[p];
       }
-      mean[c] = static_cast<float>(acc / double(per_channel_count_));
-    }
-    for (int c = 0; c < ch_; ++c) {
+      mean[static_cast<std::size_t>(c)] =
+          static_cast<float>(acc / double(per_channel_count_));
+    });
+    util::parallel_for(0, ch_, 1, [&](std::int64_t c) {
       double acc = 0.0;
+      const float mc = mean[static_cast<std::size_t>(c)];
       for (int i = 0; i < n; ++i) {
         const float* plane =
             x.raw() + (static_cast<std::size_t>(i) * ch_ + c) * s;
         for (int p = 0; p < s; ++p) {
-          const double d = double(plane[p]) - mean[c];
+          const double d = double(plane[p]) - mc;
           acc += d * d;
         }
       }
-      var[c] = static_cast<float>(acc / double(per_channel_count_));
-    }
+      var[static_cast<std::size_t>(c)] =
+          static_cast<float>(acc / double(per_channel_count_));
+    });
     for (int c = 0; c < ch_; ++c) {
       running_mean_[c] = momentum_ * running_mean_[c] + (1 - momentum_) * mean[c];
       running_var_[c] = momentum_ * running_var_[c] + (1 - momentum_) * var[c];
@@ -619,7 +667,7 @@ Tensor BatchNorm::forward(const Tensor& x, bool training) {
 
   cached_xhat_ = Tensor(x.shape());
   Tensor y(x.shape());
-  for (int i = 0; i < n; ++i) {
+  util::parallel_for(0, n, 1, [&](std::int64_t i) {
     for (int c = 0; c < ch_; ++c) {
       const float* plane =
           x.raw() + (static_cast<std::size_t>(i) * ch_ + c) * s;
@@ -631,7 +679,7 @@ Tensor BatchNorm::forward(const Tensor& x, bool training) {
         yp[p] = gamma_.value[c] * xhat[p] + beta_.value[c];
       }
     }
-  }
+  });
   return y;
 }
 
@@ -642,7 +690,10 @@ Tensor BatchNorm::backward(const Tensor& grad_out) {
   const auto m = static_cast<float>(per_channel_count_);
 
   Tensor dx(in_shape_);
-  for (int c = 0; c < ch_; ++c) {
+  // Channel-parallel: task c owns gamma/beta grads and dx planes of its
+  // channel; per-channel double sums keep their serial order.
+  util::parallel_for(0, ch_, 1, [&](std::int64_t c64) {
+    const int c = static_cast<int>(c64);
     double sum_dy = 0.0, sum_dy_xhat = 0.0;
     for (int i = 0; i < n; ++i) {
       const float* gp =
@@ -669,7 +720,7 @@ Tensor BatchNorm::backward(const Tensor& grad_out) {
                          xh[p] * static_cast<float>(sum_dy_xhat));
       }
     }
-  }
+  });
   return dx;
 }
 

@@ -16,6 +16,7 @@ class Dense : public Layer {
   std::vector<Param*> params() override;
   void init(Rng& rng) override;
   std::string name() const override { return "Dense"; }
+  LayerPtr clone() const override { return LayerPtr(new Dense(*this)); }
 
   int in_features() const { return in_; }
   int out_features() const { return out_; }
@@ -40,6 +41,7 @@ class Conv2D : public Layer {
   std::vector<Param*> params() override;
   void init(Rng& rng) override;
   std::string name() const override { return "Conv2D"; }
+  LayerPtr clone() const override { return LayerPtr(new Conv2D(*this)); }
 
   int out_height(int h) const { return (h + 2 * pad_ - k_) / stride_ + 1; }
   int out_width(int w) const { return (w + 2 * pad_ - k_) / stride_ + 1; }
@@ -64,6 +66,7 @@ class DepthwiseConv2D : public Layer {
   std::vector<Param*> params() override;
   void init(Rng& rng) override;
   std::string name() const override { return "DepthwiseConv2D"; }
+  LayerPtr clone() const override { return LayerPtr(new DepthwiseConv2D(*this)); }
 
  private:
   int ch_, k_, stride_, pad_;
@@ -80,6 +83,7 @@ class MaxPool2D : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "MaxPool2D"; }
+  LayerPtr clone() const override { return LayerPtr(new MaxPool2D(*this)); }
 
  private:
   int k_, stride_;
@@ -94,6 +98,7 @@ class GlobalAvgPool : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "GlobalAvgPool"; }
+  LayerPtr clone() const override { return LayerPtr(new GlobalAvgPool(*this)); }
 
  private:
   Shape in_shape_;
@@ -107,6 +112,7 @@ class AvgPool2D : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "AvgPool2D"; }
+  LayerPtr clone() const override { return LayerPtr(new AvgPool2D(*this)); }
 
  private:
   int k_;
@@ -119,6 +125,7 @@ class ReLU : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "ReLU"; }
+  LayerPtr clone() const override { return LayerPtr(new ReLU(*this)); }
 
  private:
   Tensor cached_input_;
@@ -132,6 +139,7 @@ class LeakyReLU : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "LeakyReLU"; }
+  LayerPtr clone() const override { return LayerPtr(new LeakyReLU(*this)); }
 
  private:
   float slope_;
@@ -144,6 +152,7 @@ class Sigmoid : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "Sigmoid"; }
+  LayerPtr clone() const override { return LayerPtr(new Sigmoid(*this)); }
 
  private:
   Tensor cached_output_;
@@ -155,6 +164,7 @@ class Flatten : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "Flatten"; }
+  LayerPtr clone() const override { return LayerPtr(new Flatten(*this)); }
 
  private:
   Shape in_shape_;
@@ -168,6 +178,7 @@ class Dropout : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "Dropout"; }
+  LayerPtr clone() const override { return LayerPtr(new Dropout(*this)); }
 
  private:
   float rate_;
@@ -187,6 +198,7 @@ class BatchNorm : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
   std::string name() const override { return "BatchNorm"; }
+  LayerPtr clone() const override { return LayerPtr(new BatchNorm(*this)); }
 
  private:
   int ch_;

@@ -20,6 +20,10 @@ Model::Model(std::string name, LayerPtr root, Shape input_shape,
   OREV_CHECK(!input_shape_.empty(), "Model input shape must be non-empty");
 }
 
+Model Model::clone() const {
+  return Model(name_, root_->clone(), input_shape_, num_classes_);
+}
+
 Tensor Model::batched(const Tensor& x) const {
   if (x.rank() == input_shape_.size()) {
     // Single sample: prepend a batch axis.

@@ -21,6 +21,11 @@ class Model {
   Model(Model&&) = default;
   Model& operator=(Model&&) = default;
 
+  /// Deep copy (layer tree, weights, running stats). Thread-safe against
+  /// other concurrent clone()/forward-on-replica calls, which is what the
+  /// parallel attack runner and evaluator rely on for per-worker replicas.
+  Model clone() const;
+
   const std::string& name() const { return name_; }
   const Shape& input_shape() const { return input_shape_; }
   int num_classes() const { return num_classes_; }

@@ -5,7 +5,22 @@
 #include <numeric>
 #include <sstream>
 
+#include "util/thread_pool.hpp"
+
 namespace orev::nn {
+
+namespace {
+
+// Each output row is produced by exactly one task with a fixed inner-loop
+// order, so the kernels below are bit-identical at every thread count; the
+// threshold only gates whether the pool is woken for tiny products.
+constexpr std::int64_t kParallelFlops = 1 << 15;
+
+std::int64_t row_grain(int m) {
+  return std::max<std::int64_t>(1, m / 32);
+}
+
+}  // namespace
 
 std::size_t shape_numel(const Shape& shape) {
   std::size_t n = 1;
@@ -201,14 +216,22 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pb = b.raw();
   float* po = out.raw();
   // ikj loop order: streams through b and out rows for cache friendliness.
-  for (int i = 0; i < m; ++i) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = pa[static_cast<std::size_t>(i) * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + static_cast<std::size_t>(kk) * n;
-      float* orow = po + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+  auto rows = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = pa[static_cast<std::size_t>(i) * k + kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + static_cast<std::size_t>(kk) * n;
+        float* orow = po + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
+  };
+  if (static_cast<std::int64_t>(m) * k * n < kParallelFlops) {
+    rows(0, m);
+  } else {
+    util::parallel_for(0, m, row_grain(m),
+                       [&](std::int64_t i) { rows(i, i + 1); });
   }
   return out;
 }
@@ -221,14 +244,22 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b) {
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* po = out.raw();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<std::size_t>(i) * k;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = pb + static_cast<std::size_t>(j) * k;
-      double acc = 0.0;
-      for (int kk = 0; kk < k; ++kk) acc += double(arow[kk]) * brow[kk];
-      po[static_cast<std::size_t>(i) * n + j] = static_cast<float>(acc);
+  auto rows = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float* arow = pa + static_cast<std::size_t>(i) * k;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = pb + static_cast<std::size_t>(j) * k;
+        double acc = 0.0;
+        for (int kk = 0; kk < k; ++kk) acc += double(arow[kk]) * brow[kk];
+        po[static_cast<std::size_t>(i) * n + j] = static_cast<float>(acc);
+      }
     }
+  };
+  if (static_cast<std::int64_t>(m) * k * n < kParallelFlops) {
+    rows(0, m);
+  } else {
+    util::parallel_for(0, m, row_grain(m),
+                       [&](std::int64_t i) { rows(i, i + 1); });
   }
   return out;
 }
@@ -241,15 +272,25 @@ Tensor matmul_at(const Tensor& a, const Tensor& b) {
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* po = out.raw();
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = pa + static_cast<std::size_t>(kk) * m;
-    const float* brow = pb + static_cast<std::size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
+  // i-outer so each out row is owned by one task; the accumulation over kk
+  // stays in ascending order per element, matching the serial kernel bit
+  // for bit.
+  auto rows = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
       float* orow = po + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = pa[static_cast<std::size_t>(kk) * m + i];
+        if (av == 0.0f) continue;
+        const float* brow = pb + static_cast<std::size_t>(kk) * n;
+        for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
+  };
+  if (static_cast<std::int64_t>(m) * k * n < kParallelFlops) {
+    rows(0, m);
+  } else {
+    util::parallel_for(0, m, row_grain(m),
+                       [&](std::int64_t i) { rows(i, i + 1); });
   }
   return out;
 }

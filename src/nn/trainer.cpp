@@ -5,20 +5,27 @@
 #include <numeric>
 
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace orev::nn {
 
 namespace {
 
 /// Gather rows `idx[lo, hi)` of a batched tensor into a contiguous batch.
+/// Rows are disjoint copies, so the parallel fan-out is trivially
+/// schedule-independent.
 Tensor gather_batch(const Tensor& x, const std::vector<std::size_t>& idx,
                     std::size_t lo, std::size_t hi) {
   Shape s = x.shape();
   s[0] = static_cast<int>(hi - lo);
   Tensor out(s);
-  for (std::size_t i = lo; i < hi; ++i)
-    out.set_batch(static_cast<int>(i - lo),
-                  x.slice_batch(static_cast<int>(idx[i])));
+  util::parallel_for(
+      static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi), 16,
+      [&](std::int64_t i) {
+        out.set_batch(static_cast<int>(i - static_cast<std::int64_t>(lo)),
+                      x.slice_batch(
+                          static_cast<int>(idx[static_cast<std::size_t>(i)])));
+      });
   return out;
 }
 
@@ -171,29 +178,48 @@ EvalResult evaluate(Model& model, const Tensor& x, const std::vector<int>& y,
   OREV_CHECK(static_cast<int>(y.size()) == n, "evaluate label count mismatch");
   OREV_CHECK(n > 0, "evaluate on empty set");
 
+  // Replica-parallel over mini-batches. Each batch task fills its own
+  // slot; the scalar stats are then combined in ascending batch order on
+  // the calling thread, so the result is bit-identical to the serial
+  // accumulation at any thread count.
+  struct BatchStat {
+    double loss = 0.0;
+    int correct = 0;
+  };
+  const int nbatches = (n + batch_size - 1) / batch_size;
+  std::vector<BatchStat> stats(static_cast<std::size_t>(nbatches));
+  util::parallel_for_ctx(
+      0, nbatches, 1, [&] { return model.clone(); },
+      [&](Model& m, std::int64_t b) {
+        const int lo = static_cast<int>(b) * batch_size;
+        const int hi = std::min(n, lo + batch_size);
+        Shape s = x.shape();
+        s[0] = hi - lo;
+        Tensor xb(s);
+        std::vector<int> yb;
+        yb.reserve(static_cast<std::size_t>(hi - lo));
+        for (int i = lo; i < hi; ++i) {
+          xb.set_batch(i - lo, x.slice_batch(i));
+          yb.push_back(y[static_cast<std::size_t>(i)]);
+        }
+        Tensor logits = m.forward(xb, /*training=*/false);
+        const LossGrad lg = cross_entropy_with_logits(logits, yb);
+        BatchStat& st = stats[static_cast<std::size_t>(b)];
+        st.loss = double(lg.loss) * (hi - lo);
+        const int c = logits.dim(1);
+        for (int i = 0; i < hi - lo; ++i) {
+          int best = 0;
+          for (int j = 1; j < c; ++j)
+            if (logits.at2(i, j) > logits.at2(i, best)) best = j;
+          if (best == yb[static_cast<std::size_t>(i)]) ++st.correct;
+        }
+      });
+
   double loss = 0.0;
   int correct = 0;
-  for (int lo = 0; lo < n; lo += batch_size) {
-    const int hi = std::min(n, lo + batch_size);
-    Shape s = x.shape();
-    s[0] = hi - lo;
-    Tensor xb(s);
-    std::vector<int> yb;
-    yb.reserve(static_cast<std::size_t>(hi - lo));
-    for (int i = lo; i < hi; ++i) {
-      xb.set_batch(i - lo, x.slice_batch(i));
-      yb.push_back(y[static_cast<std::size_t>(i)]);
-    }
-    Tensor logits = model.forward(xb, /*training=*/false);
-    const LossGrad lg = cross_entropy_with_logits(logits, yb);
-    loss += double(lg.loss) * (hi - lo);
-    const int c = logits.dim(1);
-    for (int i = 0; i < hi - lo; ++i) {
-      int best = 0;
-      for (int j = 1; j < c; ++j)
-        if (logits.at2(i, j) > logits.at2(i, best)) best = j;
-      if (best == yb[static_cast<std::size_t>(i)]) ++correct;
-    }
+  for (const BatchStat& st : stats) {
+    loss += st.loss;
+    correct += st.correct;
   }
   EvalResult out;
   out.loss = static_cast<float>(loss / n);

@@ -18,7 +18,7 @@ namespace orev {
 /// the distribution helpers the library needs.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x5eed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 0x5eed) : seed_(seed), engine_(seed) {}
 
   /// Uniform float in [lo, hi).
   float uniform(float lo = 0.0f, float hi = 1.0f) {
@@ -49,12 +49,32 @@ class Rng {
   }
 
   /// Derive an independent child generator; useful for giving each
-  /// subsystem its own stream while keeping one master seed.
+  /// subsystem its own stream while keeping one master seed. Advances this
+  /// generator's state, so successive forks differ.
   Rng fork() { return Rng(engine_()); }
+
+  /// Counter-based stream derivation: a generator that depends only on
+  /// this generator's construction seed and `stream_id` — never on how
+  /// many draws have been made. This is the primitive that makes
+  /// per-sample randomness independent of iteration order and thread
+  /// schedule: give sample i the stream `base.split(i)` and the result is
+  /// identical whether the samples run serially or fanned out over a pool.
+  Rng split(std::uint64_t stream_id) const {
+    // SplitMix64 finalizer over the (seed, stream) pair; full avalanche
+    // keeps adjacent stream ids statistically independent.
+    std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ull * (stream_id + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  /// The seed this generator was constructed with (the `split` base).
+  std::uint64_t seed() const { return seed_; }
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

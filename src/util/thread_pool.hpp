@@ -1,0 +1,178 @@
+// Deterministic fixed-size thread pool for the NN/attack hot paths.
+//
+// Design rule that every helper here obeys: the decomposition of a range
+// into chunks depends only on (begin, end, grain) — never on the number of
+// threads or on scheduling. Each chunk is executed by exactly one task and
+// either writes disjoint outputs or fills its own accumulator, and
+// accumulators are combined on the calling thread in ascending chunk
+// order. Consequently every result is bit-identical across thread counts
+// and schedules, which is what lets the paper-reproduction benches
+// (Tables 1–2, Figs 2–8) parallelise without drifting.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace orev::util {
+
+/// Fixed-size worker pool. The pool owns `size() - 1` worker threads; the
+/// thread calling `run_on_all` participates as the final executor, so a
+/// pool of size 1 never spawns a thread and runs everything inline.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Invoke `participant` once from the calling thread and once from every
+  /// worker, concurrently, and block until all invocations return.
+  /// Participants typically loop over a shared atomic chunk counter, so a
+  /// worker that arrives after the chunks are drained returns immediately.
+  void run_on_all(const std::function<void()>& participant);
+
+  /// True while the current thread is executing inside run_on_all (either
+  /// as a worker or as the participating caller). Nested parallel regions
+  /// detect this and degrade to inline serial execution.
+  static bool in_parallel_region();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void()>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int workers_done_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide pool, lazily created. The initial size comes from the
+/// OREV_NUM_THREADS environment variable (default 1: opt-in parallelism
+/// keeps single-threaded reproductions exactly as before).
+ThreadPool& global_pool();
+
+/// Resize the process-wide pool. Thread-safe; must not be called from
+/// inside a parallel region.
+void set_num_threads(int n);
+
+/// Current size of the process-wide pool.
+int num_threads();
+
+inline std::int64_t chunk_count(std::int64_t total, std::int64_t grain) {
+  return (total + grain - 1) / grain;
+}
+
+/// parallel_for with a per-task context: `make_ctx()` is invoked lazily at
+/// most once per participating task (e.g. to clone a model), then
+/// `fn(ctx, i)` runs for every i in [begin, end). Chunks of `grain`
+/// consecutive indices are claimed atomically; indices within a chunk run
+/// in ascending order on one task. The first exception thrown by `fn` or
+/// `make_ctx` is rethrown on the calling thread once the range completes.
+template <typename MakeCtx, typename Fn>
+void parallel_for_ctx(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                      MakeCtx&& make_ctx, Fn&& fn) {
+  OREV_CHECK(grain >= 1, "parallel_for grain must be >= 1");
+  if (end <= begin) return;
+  const std::int64_t nchunks = chunk_count(end - begin, grain);
+
+  // Nested regions must not re-enter the pool, and checking the
+  // thread-local first also keeps workers off the global pool mutex.
+  if (nchunks == 1 || ThreadPool::in_parallel_region()) {
+    auto ctx = make_ctx();
+    for (std::int64_t i = begin; i < end; ++i) fn(ctx, i);
+    return;
+  }
+  ThreadPool& pool = global_pool();
+  if (pool.size() == 1) {
+    auto ctx = make_ctx();
+    for (std::int64_t i = begin; i < end; ++i) fn(ctx, i);
+    return;
+  }
+
+  std::atomic<std::int64_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr err;
+  std::mutex err_mu;
+  auto participant = [&] {
+    std::optional<std::decay_t<decltype(make_ctx())>> ctx;
+    for (;;) {
+      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks) return;
+      if (failed.load(std::memory_order_relaxed)) continue;  // drain fast
+      const std::int64_t lo = begin + c * grain;
+      const std::int64_t hi = std::min(end, lo + grain);
+      try {
+        if (!ctx) ctx.emplace(make_ctx());
+        for (std::int64_t i = lo; i < hi; ++i) fn(*ctx, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!err) err = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  pool.run_on_all(participant);
+  if (err) std::rethrow_exception(err);
+}
+
+/// Run `fn(i)` for every i in [begin, end) across the pool. Safe whenever
+/// each index writes disjoint state; bit-deterministic whenever the work
+/// for one index does not read state written for another.
+template <typename Fn>
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  Fn&& fn) {
+  parallel_for_ctx(
+      begin, end, grain, [] { return 0; },
+      [&fn](int&, std::int64_t i) { fn(i); });
+}
+
+/// Ordered deterministic reduction: one accumulator per chunk (created by
+/// `make_acc()`), `fn(acc, i)` folds each index into its chunk accumulator
+/// in ascending order, and `combine(total, acc)` merges the chunk
+/// accumulators into a fresh `make_acc()` in ascending chunk order on the
+/// calling thread. Never uses atomics, so floating-point sums associate
+/// identically at every thread count — including 1.
+template <typename MakeAcc, typename Fn, typename Combine>
+auto parallel_reduce_ordered(std::int64_t begin, std::int64_t end,
+                             std::int64_t grain, MakeAcc&& make_acc, Fn&& fn,
+                             Combine&& combine) {
+  OREV_CHECK(grain >= 1, "parallel_reduce grain must be >= 1");
+  using Acc = std::decay_t<decltype(make_acc())>;
+  Acc total = make_acc();
+  if (end <= begin) return total;
+  const std::int64_t nchunks = chunk_count(end - begin, grain);
+
+  std::vector<Acc> accs;
+  accs.reserve(static_cast<std::size_t>(nchunks));
+  for (std::int64_t c = 0; c < nchunks; ++c) accs.push_back(make_acc());
+
+  parallel_for(0, nchunks, 1, [&](std::int64_t c) {
+    Acc& acc = accs[static_cast<std::size_t>(c)];
+    const std::int64_t lo = begin + c * grain;
+    const std::int64_t hi = std::min(end, lo + grain);
+    for (std::int64_t i = lo; i < hi; ++i) fn(acc, i);
+  });
+
+  for (std::int64_t c = 0; c < nchunks; ++c)
+    combine(total, accs[static_cast<std::size_t>(c)]);
+  return total;
+}
+
+}  // namespace orev::util

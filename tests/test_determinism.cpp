@@ -1,0 +1,197 @@
+// Determinism lockdown for the parallel hot paths: training, per-sample
+// attack fan-out, and UAP fitting must be bit-identical at any thread
+// count (the pool's chunk decomposition never depends on scheduling), and
+// repeatable run-to-run under the same seed.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "attack/pgm.hpp"
+#include "attack/runner.hpp"
+#include "attack/uap.hpp"
+#include "test_helpers.hpp"
+#include "util/thread_pool.hpp"
+
+namespace orev {
+namespace {
+
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(util::num_threads()) {}
+  ~ThreadGuard() { util::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// Bit-exact tensor comparison (memcmp on the float payload, not an
+/// epsilon check — the whole point is zero drift).
+::testing::AssertionResult bits_equal(const nn::Tensor& a,
+                                      const nn::Tensor& b) {
+  if (a.shape() != b.shape())
+    return ::testing::AssertionFailure() << "shape mismatch";
+  if (a.numel() != 0 &&
+      std::memcmp(a.raw(), b.raw(), a.numel() * sizeof(float)) != 0) {
+    for (std::size_t i = 0; i < a.numel(); ++i)
+      if (a[i] != b[i])
+        return ::testing::AssertionFailure()
+               << "first differing element " << i << ": " << a[i]
+               << " vs " << b[i];
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult weights_equal(const std::vector<nn::Tensor>& a,
+                                         const std::vector<nn::Tensor>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "weight count mismatch";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const ::testing::AssertionResult r = bits_equal(a[i], b[i]);
+    if (!r) return ::testing::AssertionFailure()
+                   << "weight tensor " << i << ": " << r.message();
+  }
+  return ::testing::AssertionSuccess();
+}
+
+struct TrainOutcome {
+  std::vector<nn::Tensor> weights;
+  std::vector<float> train_losses;
+  float best_val_loss = 0.0f;
+};
+
+/// Train the small IC-xApp CNN end-to-end at the current thread count.
+TrainOutcome train_small_cnn() {
+  const data::Dataset d = test::tiny_spectrogram_dataset(/*per_class=*/14);
+  Rng rng(3);
+  const data::Split s = data::stratified_split(d, 0.75, rng);
+  nn::Model m = apps::make_base_cnn(d.sample_shape(), d.num_classes, 5);
+  nn::TrainConfig cfg;
+  cfg.max_epochs = 3;
+  cfg.learning_rate = 2e-3f;
+  nn::Trainer t(cfg);
+  const nn::TrainReport r =
+      t.fit(m, s.train.x, s.train.y, s.test.x, s.test.y);
+  TrainOutcome out;
+  out.weights = m.weights();
+  for (const nn::EpochRecord& e : r.history)
+    out.train_losses.push_back(e.train_loss);
+  out.best_val_loss = r.best_val_loss;
+  return out;
+}
+
+TEST(Determinism, TrainingIsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  util::set_num_threads(1);
+  const TrainOutcome serial = train_small_cnn();
+  util::set_num_threads(4);
+  const TrainOutcome parallel = train_small_cnn();
+
+  ASSERT_EQ(serial.train_losses.size(), parallel.train_losses.size());
+  for (std::size_t e = 0; e < serial.train_losses.size(); ++e)
+    EXPECT_EQ(serial.train_losses[e], parallel.train_losses[e])
+        << "epoch " << e;
+  EXPECT_EQ(serial.best_val_loss, parallel.best_val_loss);
+  EXPECT_TRUE(weights_equal(serial.weights, parallel.weights));
+}
+
+TEST(Determinism, TrainingIsRepeatableSameSeedSingleThread) {
+  ThreadGuard guard;
+  util::set_num_threads(1);
+  const TrainOutcome a = train_small_cnn();
+  const TrainOutcome b = train_small_cnn();
+  EXPECT_EQ(a.train_losses, b.train_losses);
+  EXPECT_TRUE(weights_equal(a.weights, b.weights));
+}
+
+/// One PGD batch attack (the stochastic PGM: random start per sample,
+/// drawn from counter-split streams) at the current thread count.
+nn::Tensor pgd_attack_batch(nn::Model& model, const nn::Tensor& x) {
+  attack::Pgd pgd(/*eps=*/0.1f, /*steps=*/4, /*alpha=*/0.0f, /*seed=*/77);
+  return attack::attack_batch(pgd, model, x, /*target_class=*/-1)
+      .adversarial;
+}
+
+TEST(Determinism, PgdBatchAttackIsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const data::Dataset d = test::blob_dataset(/*per_class=*/10);
+  nn::Model model = test::known_linear_model();
+
+  util::set_num_threads(1);
+  const nn::Tensor serial = pgd_attack_batch(model, d.x);
+  const nn::Tensor serial_again = pgd_attack_batch(model, d.x);
+  util::set_num_threads(4);
+  const nn::Tensor parallel = pgd_attack_batch(model, d.x);
+
+  EXPECT_TRUE(bits_equal(serial, serial_again));  // same-seed repeatability
+  EXPECT_TRUE(bits_equal(serial, parallel));
+}
+
+/// One UAP fit with robustness jitter enabled (exercises the per-sample
+/// split() noise streams) at the current thread count.
+attack::UapResult fit_small_uap(nn::Model& model, const nn::Tensor& x) {
+  attack::Fgsm inner(0.05f);
+  attack::UapConfig cfg;
+  cfg.eps = 0.1f;
+  cfg.max_passes = 2;
+  cfg.target_fooling = 2.0;  // never early-stop: exercise both passes
+  cfg.robust_draws = 3;
+  cfg.robust_noise = 0.05f;
+  cfg.seed = 123;
+  return attack::generate_uap(model, x, inner, cfg);
+}
+
+TEST(Determinism, UapFitIsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const data::Dataset d = test::blob_dataset(/*per_class=*/8);
+  nn::Model model = test::known_linear_model();
+
+  util::set_num_threads(1);
+  const attack::UapResult serial = fit_small_uap(model, d.x);
+  const attack::UapResult serial_again = fit_small_uap(model, d.x);
+  util::set_num_threads(4);
+  const attack::UapResult parallel = fit_small_uap(model, d.x);
+
+  EXPECT_TRUE(bits_equal(serial.perturbation, serial_again.perturbation));
+  EXPECT_EQ(serial.achieved_fooling, serial_again.achieved_fooling);
+  EXPECT_TRUE(bits_equal(serial.perturbation, parallel.perturbation));
+  EXPECT_EQ(serial.achieved_fooling, parallel.achieved_fooling);
+  EXPECT_EQ(serial.passes, parallel.passes);
+}
+
+TEST(Determinism, EvaluateIsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const data::Dataset d = test::tiny_spectrogram_dataset(/*per_class=*/10);
+  nn::Model m = apps::make_base_cnn(d.sample_shape(), d.num_classes, 9);
+
+  util::set_num_threads(1);
+  const nn::EvalResult serial = nn::evaluate(m, d.x, d.y, /*batch_size=*/8);
+  util::set_num_threads(4);
+  const nn::EvalResult parallel =
+      nn::evaluate(m, d.x, d.y, /*batch_size=*/8);
+
+  EXPECT_EQ(serial.loss, parallel.loss);
+  EXPECT_EQ(serial.accuracy, parallel.accuracy);
+}
+
+TEST(Determinism, RngSplitStreamsAreStableAndOrderIndependent) {
+  const Rng base(42);
+  // Stream derivation depends only on (seed, stream_id) — not on draws.
+  Rng drained(42);
+  for (int i = 0; i < 100; ++i) drained.uniform(0.0f, 1.0f);
+  Rng a = base.split(7);
+  Rng b = drained.split(7);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(a.uniform(0.0f, 1.0f), b.uniform(0.0f, 1.0f));
+
+  // Distinct streams decorrelate.
+  Rng c = base.split(7);
+  Rng d = base.split(8);
+  int same = 0;
+  for (int i = 0; i < 16; ++i)
+    if (c.uniform(0.0f, 1.0f) == d.uniform(0.0f, 1.0f)) ++same;
+  EXPECT_LT(same, 16);
+}
+
+}  // namespace
+}  // namespace orev

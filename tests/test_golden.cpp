@@ -1,0 +1,156 @@
+// Golden-regression lockdown: a small, fully deterministic Table-1-style
+// pipeline (victim accuracy + FGSM / UAP attack rows) rendered to CSV and
+// compared byte-for-byte against checked-in golden files. Because every
+// parallel hot path is bit-deterministic, the goldens are identical at any
+// thread count and under ASan/UBSan builds — any byte of drift is a real
+// numerics regression, not noise.
+//
+// Regenerate after an intentional numerics change with:
+//   OREV_UPDATE_GOLDEN=1 ./orev_tests --gtest_filter='Golden.*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "attack/metrics.hpp"
+#include "attack/pgm.hpp"
+#include "attack/runner.hpp"
+#include "attack/uap.hpp"
+#include "test_helpers.hpp"
+#include "util/csv.hpp"
+#include "util/thread_pool.hpp"
+
+#ifndef OREV_GOLDEN_DIR
+#error "OREV_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace orev {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(OREV_GOLDEN_DIR) + "/" + name;
+}
+
+/// Compare generated CSV text against the golden file, or rewrite the
+/// golden when OREV_UPDATE_GOLDEN is set.
+void check_against_golden(const CsvWriter& csv, const std::string& name) {
+  const std::string path = golden_path(name);
+  if (std::getenv("OREV_UPDATE_GOLDEN") != nullptr) {
+    ASSERT_TRUE(csv.save(path)) << "failed to write " << path;
+    SUCCEED() << "regenerated " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with OREV_UPDATE_GOLDEN=1 to create)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), csv.str())
+      << "golden mismatch for " << name
+      << "; if the numerics change is intentional, regenerate with "
+         "OREV_UPDATE_GOLDEN=1";
+}
+
+/// Shared fixture: one tiny victim trained once for both golden tables.
+/// Thread count is pinned (to a parallel setting, deliberately) so the
+/// goldens also certify schedule-independence.
+class Golden : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::set_num_threads(2);
+    data_ = new Data();
+    data_->corpus = test::tiny_spectrogram_dataset(/*per_class=*/14);
+    Rng rng(3);
+    data_->split = data::stratified_split(data_->corpus, 0.75, rng);
+    data_->victim = new nn::Model(
+        apps::make_base_cnn(data_->corpus.sample_shape(),
+                            data_->corpus.num_classes, 5));
+    nn::TrainConfig cfg;
+    cfg.max_epochs = 3;
+    cfg.learning_rate = 2e-3f;
+    nn::Trainer trainer(cfg);
+    trainer.fit(*data_->victim, data_->split.train.x, data_->split.train.y,
+                data_->split.test.x, data_->split.test.y);
+  }
+
+  static void TearDownTestSuite() {
+    delete data_->victim;
+    delete data_;
+    data_ = nullptr;
+    util::set_num_threads(1);
+  }
+
+  struct Data {
+    data::Dataset corpus;
+    data::Split split;
+    nn::Model* victim = nullptr;
+  };
+  static Data* data_;
+};
+
+Golden::Data* Golden::data_ = nullptr;
+
+TEST_F(Golden, VictimAccuracyTable) {
+  CsvWriter csv;
+  csv.header({"split", "loss", "accuracy"});
+  const nn::EvalResult train_eval = nn::evaluate(
+      *data_->victim, data_->split.train.x, data_->split.train.y);
+  const nn::EvalResult test_eval = nn::evaluate(
+      *data_->victim, data_->split.test.x, data_->split.test.y);
+  csv.row("train", train_eval.loss, train_eval.accuracy);
+  csv.row("test", test_eval.loss, test_eval.accuracy);
+  check_against_golden(csv, "victim_accuracy.csv");
+}
+
+TEST_F(Golden, AttackSuccessTable) {
+  const nn::Tensor& x = data_->split.test.x;
+  const std::vector<int>& y = data_->split.test.y;
+
+  CsvWriter csv;
+  csv.header({"attack", "eps", "accuracy", "apd", "ntasr"});
+  for (const float eps : {0.1f, 0.3f}) {
+    attack::Fgsm fgsm(eps);
+    const attack::BatchAttackResult batch =
+        attack::attack_batch(fgsm, *data_->victim, x, /*target_class=*/-1);
+    const attack::AttackMetrics m =
+        attack::evaluate_attack(*data_->victim, x, batch.adversarial, y);
+    csv.row("FGSM", eps, m.accuracy, m.apd, m.ntasr);
+  }
+
+  {
+    attack::Fgsm inner(0.1f);
+    attack::UapConfig cfg;
+    cfg.eps = 0.3f;
+    cfg.max_passes = 2;
+    cfg.robust_draws = 2;
+    cfg.robust_noise = 0.05f;
+    cfg.seed = 123;
+    const attack::UapResult uap =
+        attack::generate_uap(*data_->victim, x, inner, cfg);
+    const nn::Tensor x_uap = attack::apply_uap(x, uap.perturbation);
+    const attack::AttackMetrics m =
+        attack::evaluate_attack(*data_->victim, x, x_uap, y);
+    csv.row("UAP(FGSM)", cfg.eps, m.accuracy, m.apd, m.ntasr);
+  }
+  check_against_golden(csv, "attack_success.csv");
+}
+
+TEST_F(Golden, PgdAttackTable) {
+  const nn::Tensor& x = data_->split.test.x;
+  const std::vector<int>& y = data_->split.test.y;
+
+  CsvWriter csv;
+  csv.header({"attack", "eps", "accuracy", "apd", "ntasr"});
+  attack::Pgd pgd(/*eps=*/0.2f, /*steps=*/3, /*alpha=*/0.0f, /*seed=*/77);
+  const attack::BatchAttackResult batch =
+      attack::attack_batch(pgd, *data_->victim, x, /*target_class=*/-1);
+  const attack::AttackMetrics m =
+      attack::evaluate_attack(*data_->victim, x, batch.adversarial, y);
+  csv.row("PGD", 0.2f, m.accuracy, m.apd, m.ntasr);
+  check_against_golden(csv, "pgd_attack.csv");
+}
+
+}  // namespace
+}  // namespace orev

@@ -1,0 +1,214 @@
+// Unit tests for the deterministic thread pool (src/util/thread_pool.hpp):
+// construction/teardown, range and grain edge cases, exception propagation,
+// nested-submit safety, lazy per-task contexts, and the ordered reduction's
+// thread-count-invariant chunking.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace orev::util {
+namespace {
+
+/// Restore the global pool size on scope exit so tests don't leak thread
+/// counts into each other.
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(num_threads()) {}
+  ~ThreadGuard() { set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(ThreadPool, ConstructAndTearDownRepeatedly) {
+  for (int n : {1, 2, 4, 3, 1, 8}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.size(), n);
+    std::atomic<int> calls{0};
+    pool.run_on_all([&] { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), n);
+  }
+}
+
+TEST(ThreadPool, SetNumThreadsResizesGlobalPool) {
+  ThreadGuard guard;
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1);
+}
+
+TEST(ThreadPool, ChunkCountMatchesCeilDiv) {
+  EXPECT_EQ(chunk_count(10, 3), 4);
+  EXPECT_EQ(chunk_count(9, 3), 3);
+  EXPECT_EQ(chunk_count(1, 100), 1);
+  EXPECT_EQ(chunk_count(0, 5), 0);
+}
+
+TEST(ParallelFor, EmptyRangeRunsNothing) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  std::atomic<int> calls{0};
+  parallel_for(0, 0, 1, [&](std::int64_t) { calls.fetch_add(1); });
+  parallel_for(5, 5, 2, [&](std::int64_t) { calls.fetch_add(1); });
+  parallel_for(7, 3, 1, [&](std::int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, OneElementRangeRunsInline) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id executed_on;
+  parallel_for(3, 4, 1, [&](std::int64_t i) {
+    EXPECT_EQ(i, 3);
+    executed_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(executed_on, caller);  // single chunk never enters the pool
+}
+
+TEST(ParallelFor, EveryIndexVisitedExactlyOnce) {
+  ThreadGuard guard;
+  for (int threads : {1, 2, 4}) {
+    set_num_threads(threads);
+    for (std::int64_t grain : {1, 2, 3, 7, 100}) {
+      std::vector<std::atomic<int>> hits(37);
+      parallel_for(0, 37, grain,
+                   [&](std::int64_t i) { hits[i].fetch_add(1); });
+      for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ParallelFor, GrainLargerThanRangeIsOneChunk) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  std::vector<int> order;
+  // nchunks == 1 → inline serial on the caller, so order is ascending.
+  parallel_for(0, 5, 1000, [&](std::int64_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  EXPECT_THROW(
+      parallel_for(0, 64, 1,
+                   [&](std::int64_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // Pool must still be usable after a failed region.
+  std::atomic<int> calls{0};
+  parallel_for(0, 8, 1, [&](std::int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ParallelFor, NestedSubmitRunsInlineSerial) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  std::vector<std::atomic<int>> hits(16 * 8);
+  parallel_for(0, 16, 1, [&](std::int64_t i) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    const std::thread::id outer = std::this_thread::get_id();
+    parallel_for(0, 8, 1, [&](std::int64_t j) {
+      // The nested region must not hop threads (it degrades to serial).
+      EXPECT_EQ(std::this_thread::get_id(), outer);
+      hits[i * 8 + j].fetch_add(1);
+    });
+  });
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForCtx, ContextCreatedLazilyPerTask) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  std::atomic<int> ctx_created{0};
+  std::atomic<int> visited{0};
+  parallel_for_ctx(
+      0, 32, 1,
+      [&] {
+        ctx_created.fetch_add(1);
+        return 0;
+      },
+      [&](int&, std::int64_t) { visited.fetch_add(1); });
+  EXPECT_EQ(visited.load(), 32);
+  // At most one context per participating task, at least one overall.
+  EXPECT_GE(ctx_created.load(), 1);
+  EXPECT_LE(ctx_created.load(), num_threads());
+}
+
+TEST(ParallelForCtx, MakeCtxExceptionPropagates) {
+  ThreadGuard guard;
+  set_num_threads(2);
+  EXPECT_THROW(parallel_for_ctx(
+                   0, 16, 1,
+                   []() -> int { throw std::runtime_error("ctx boom"); },
+                   [](int&, std::int64_t) {}),
+               std::runtime_error);
+}
+
+TEST(ParallelReduceOrdered, SumsMatchSerial) {
+  ThreadGuard guard;
+  std::vector<double> values(1000);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    values[i] = 1.0 / (1.0 + static_cast<double>(i));
+
+  // The reference uses the SAME chunking as the parallel helper (grain 7),
+  // folded in ascending chunk order — the invariant under test is that the
+  // result is bit-identical at every thread count.
+  const std::int64_t grain = 7;
+  double expected = 0.0;
+  {
+    const std::int64_t n = static_cast<std::int64_t>(values.size());
+    std::vector<double> accs(static_cast<std::size_t>(chunk_count(n, grain)),
+                             0.0);
+    for (std::int64_t c = 0; c < chunk_count(n, grain); ++c)
+      for (std::int64_t i = c * grain; i < std::min(n, (c + 1) * grain); ++i)
+        accs[static_cast<std::size_t>(c)] +=
+            values[static_cast<std::size_t>(i)];
+    for (const double a : accs) expected += a;
+  }
+
+  for (int threads : {1, 2, 4}) {
+    set_num_threads(threads);
+    const double got = parallel_reduce_ordered(
+        0, static_cast<std::int64_t>(values.size()), grain,
+        [] { return 0.0; },
+        [&](double& acc, std::int64_t i) {
+          acc += values[static_cast<std::size_t>(i)];
+        },
+        [](double& total, const double& acc) { total += acc; });
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelReduceOrdered, EmptyRangeReturnsFreshAccumulator) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  const int total = parallel_reduce_ordered(
+      0, 0, 1, [] { return 42; }, [](int&, std::int64_t) {},
+      [](int& t, const int& a) { t += a; });
+  EXPECT_EQ(total, 42);
+}
+
+TEST(ParallelFor, DisjointWritesProduceFullPermutation) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  std::vector<std::int64_t> out(257, -1);
+  parallel_for(0, 257, 3, [&](std::int64_t i) { out[i] = i * i; });
+  for (std::int64_t i = 0; i < 257; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+}  // namespace
+}  // namespace orev::util
