@@ -38,7 +38,8 @@ data::Dataset interference_subset(const data::Dataset& d, int cap) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsGuard obs_guard(argc, argv);
   CsvWriter csv;
   csv.header({"ablation", "setting", "value"});
 

@@ -28,6 +28,7 @@
 #include "ran/datasets.hpp"
 #include "rictest/dataset.hpp"
 #include "util/csv.hpp"
+#include "util/obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace orev::bench {
@@ -55,18 +56,68 @@ inline int parse_threads_flag(int& argc, char** argv) {
   return util::num_threads();
 }
 
-/// Monotonic wall-clock timer for CSV reporting.
-class WallTimer {
+/// Monotonic wall-clock timer for CSV reporting. The observability layer's
+/// timer, re-exported: `seconds()` as before, plus `elapsed_ns()` /
+/// `lap_ns()` / `lap_seconds()` / `reset()` for finer-grained loops.
+using WallTimer = obs::WallTimer;
+
+/// Parse and strip `--metrics-out FILE` / `--trace-out FILE` flags, then
+/// dump the process-wide metrics registry (JSON) and the trace ring
+/// (chrome://tracing JSON) to those files when the guard goes out of scope
+/// at the end of main(). `--trace-out` also force-enables tracing, so the
+/// flag works without setting OREV_TRACE=1. Flags are removed from argv so
+/// downstream parsers (e.g. google-benchmark) never see them.
+///
+/// Usage, first lines of a bench main():
+///   bench::ObsGuard obs_guard(argc, argv);
+///   bench::parse_threads_flag(argc, argv);
+class ObsGuard {
  public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
-  double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
+  ObsGuard(int& argc, char** argv) {
+    int w = 1;
+    for (int r = 1; r < argc; ++r) {
+      if (std::strcmp(argv[r], "--metrics-out") == 0 && r + 1 < argc) {
+        metrics_out_ = argv[++r];
+      } else if (std::strncmp(argv[r], "--metrics-out=", 14) == 0) {
+        metrics_out_ = argv[r] + 14;
+      } else if (std::strcmp(argv[r], "--trace-out") == 0 && r + 1 < argc) {
+        trace_out_ = argv[++r];
+      } else if (std::strncmp(argv[r], "--trace-out=", 12) == 0) {
+        trace_out_ = argv[r] + 12;
+      } else {
+        argv[w++] = argv[r];
+      }
+    }
+    argc = w;
+    if (!trace_out_.empty()) obs::set_trace_enabled(true);
+  }
+
+  ObsGuard(const ObsGuard&) = delete;
+  ObsGuard& operator=(const ObsGuard&) = delete;
+
+  ~ObsGuard() {
+    if (!metrics_out_.empty()) {
+      if (obs::Registry::instance().save_json(metrics_out_)) {
+        std::printf("[obs] wrote metrics to %s\n", metrics_out_.c_str());
+      } else {
+        std::printf("[obs] FAILED to write metrics to %s\n",
+                    metrics_out_.c_str());
+      }
+    }
+    if (!trace_out_.empty()) {
+      if (obs::save_trace_chrome_json(trace_out_)) {
+        std::printf("[obs] wrote trace to %s (load via chrome://tracing)\n",
+                    trace_out_.c_str());
+      } else {
+        std::printf("[obs] FAILED to write trace to %s\n",
+                    trace_out_.c_str());
+      }
+    }
   }
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  std::string metrics_out_;
+  std::string trace_out_;
 };
 
 /// The ε grid of Tables 1 and 2.

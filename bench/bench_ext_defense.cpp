@@ -17,7 +17,8 @@
 using namespace orev;
 using namespace orev::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsGuard obs_guard(argc, argv);
   std::printf("=== Extension: runtime defenses vs the SDL injection attack "
               "===\n");
 

@@ -12,7 +12,8 @@
 using namespace orev;
 using namespace orev::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsGuard obs_guard(argc, argv);
   std::printf("=== Figure 2: PGM comparison (surrogate = DenseNet) ===\n");
 
   data::Dataset corpus = bench_spectrogram_corpus();

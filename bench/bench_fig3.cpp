@@ -88,6 +88,7 @@ BENCHMARK(BM_SinglePerturbation)
     ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  orev::bench::ObsGuard obs_guard(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -13,7 +13,8 @@
 using namespace orev;
 using namespace orev::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsGuard obs_guard(argc, argv);
   CsvWriter csv;
   csv.header({"panel", "mode", "eps", "victim_accuracy", "apd"});
 

@@ -147,7 +147,8 @@ void print_cdf(const char* metric, const std::vector<double>& xs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsGuard obs_guard(argc, argv);
   std::printf("=== Figure 5: network performance under black-box attacks "
               "===\n");
 

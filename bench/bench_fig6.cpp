@@ -11,7 +11,8 @@
 using namespace orev;
 using namespace orev::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsGuard obs_guard(argc, argv);
   std::printf("=== Figure 6: PGD vs FGSM vs TUP on the Power-Saving rApp "
               "(eps = 0.5) ===\n");
   const int target = static_cast<int>(rictest::kMostDisruptiveAction);

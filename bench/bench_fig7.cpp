@@ -74,7 +74,8 @@ RunSeries run_day(bool attacked, nn::Model& victim_template,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsGuard obs_guard(argc, argv);
   std::printf("=== Figure 7: DL throughput, normal vs attacked power-saving "
               "rApp ===\n");
 

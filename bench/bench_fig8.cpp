@@ -80,7 +80,8 @@ std::vector<DefenseRow> attack_victim(nn::Model& victim,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsGuard obs_guard(argc, argv);
   CsvWriter csv;
   csv.header({"panel", "defense", "eps", "accuracy_or_tasr", "apd"});
 

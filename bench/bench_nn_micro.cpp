@@ -145,6 +145,7 @@ void report_thread_scaling(int threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  orev::bench::ObsGuard obs_guard(argc, argv);
   const int threads = orev::bench::parse_threads_flag(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

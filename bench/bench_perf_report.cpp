@@ -1,0 +1,152 @@
+// Perf report: times three representative workloads into registry
+// histograms and prints their p50/p95/p99, so a single run with
+// `--metrics-out BENCH_<date>.json` captures the repo's latency
+// trajectory in one comparable file:
+//
+//   perf.matmul64_ms      — 64×64 matmul, the NN substrate primitive;
+//   perf.e2_roundtrip_ms  — E2 indication → SDL write → xApp dispatch →
+//                           E2 control back to the RAN node, the Near-RT
+//                           control loop the paper's timing budget
+//                           (§5.3.3) is measured against;
+//   perf.attack_sample_ms — one FGSM perturbation of one spectrogram via
+//                           the surrogate, the per-sample cost of the
+//                           input-specific attack (Fig. 3).
+//
+// The report also sweeps attack_batch() once, so the instrumentation
+// histograms populated by the pipelines themselves (attack.batch.*,
+// oran.*) appear in the same JSON.
+#include <cstdio>
+
+#include "apps/model_zoo.hpp"
+#include "attack/pgm.hpp"
+#include "bench_common.hpp"
+#include "nn/layers.hpp"
+#include "oran/near_rt_ric.hpp"
+#include "oran/onboarding.hpp"
+
+namespace {
+
+using namespace orev;
+using namespace orev::bench;
+
+// ------------------------------------------------------------ E2 fixture
+
+class ControlEchoXApp : public oran::XApp {
+ public:
+  void on_indication(const oran::E2Indication& /*ind*/,
+                     oran::NearRtRic& ric) override {
+    ric.send_control(app_id(), oran::E2Control{});
+  }
+};
+
+class SinkE2Node : public oran::E2Node {
+ public:
+  void handle_control(const oran::E2Control& /*c*/) override { ++controls; }
+  std::string node_id() const override { return "ran-1"; }
+  std::uint64_t controls = 0;
+};
+
+void run_matmul(int reps) {
+  obs::Histogram& h = obs::histogram(
+      "perf.matmul64_ms", {}, "64x64 single-threaded matmul latency");
+  Rng rng(7);
+  const nn::Tensor a = nn::Tensor::randn({64, 64}, rng);
+  const nn::Tensor b = nn::Tensor::randn({64, 64}, rng);
+  volatile float sink = 0.0f;  // keep the kernel honest
+  for (int i = 0; i < reps; ++i) {
+    const obs::ScopedTimerMs t(h);
+    sink = nn::matmul(a, b)[0];
+  }
+  (void)sink;
+}
+
+void run_e2_roundtrip(int reps) {
+  obs::Histogram& h = obs::histogram(
+      "perf.e2_roundtrip_ms", {},
+      "E2 indication -> SDL -> xApp dispatch -> E2 control round trip");
+
+  oran::Rbac rbac;
+  rbac.define_role("xapp-full",
+                   {oran::Permission{"telemetry/*", true, true},
+                    oran::Permission{"decisions/*", true, true},
+                    oran::Permission{"decisions", true, true},
+                    oran::Permission{"e2/control", false, true}});
+  oran::Operator op("op", "sec");
+  oran::OnboardingService svc(&op, &rbac);
+  oran::AppDescriptor d;
+  d.name = "echo";
+  d.version = "1";
+  d.vendor = "bench";
+  d.payload = "p";
+  d.requested_role = "xapp-full";
+  const std::string app_id = svc.onboard(op.package(d)).app_id;
+
+  oran::NearRtRic ric(&rbac, &svc);
+  SinkE2Node node;
+  ric.connect_e2(&node);
+  ric.register_xapp(std::make_shared<ControlEchoXApp>(), app_id, 0);
+
+  oran::E2Indication ind;
+  ind.ran_node_id = "ran-1";
+  ind.kind = oran::IndicationKind::kKpm;
+  ind.payload = nn::Tensor({16}, 0.5f);
+  for (int i = 0; i < reps; ++i) {
+    ind.tti = static_cast<std::uint64_t>(i);
+    const obs::ScopedTimerMs t(h);
+    ric.deliver_indication(ind);
+  }
+  std::printf("[e2] %llu controls received over %d indications\n",
+              static_cast<unsigned long long>(node.controls), reps);
+}
+
+void run_attack(int samples) {
+  obs::Histogram& h = obs::histogram(
+      "perf.attack_sample_ms", {},
+      "one FGSM perturbation of one spectrogram on the surrogate");
+
+  const data::Dataset corpus = bench_spectrogram_corpus(/*per_class=*/12);
+  nn::Model surrogate =
+      apps::make_base_cnn(corpus.sample_shape(), corpus.num_classes, 5);
+  attack::Fgsm fgsm(0.1f);
+
+  // Per-sample serial loop: what perf.attack_sample_ms reports.
+  for (int i = 0; i < samples; ++i) {
+    const nn::Tensor x = corpus.x.slice_batch(i % corpus.x.dim(0));
+    const obs::ScopedTimerMs t(h);
+    const int label = surrogate.predict_one(x);
+    volatile float sink = fgsm.perturb(surrogate, x, label)[0];
+    (void)sink;
+  }
+
+  // One batched sweep so the pipeline's own attack.batch.* histograms are
+  // populated in the same report.
+  attack::attack_batch(fgsm, surrogate, corpus.x, /*target_class=*/-1);
+}
+
+void print_hist(const char* name) {
+  const obs::Histogram::Snapshot s = obs::histogram(name).snapshot();
+  std::printf("%-24s n=%6llu  p50=%9.4f ms  p95=%9.4f ms  p99=%9.4f ms\n",
+              name, static_cast<unsigned long long>(s.count), s.p50, s.p95,
+              s.p99);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ObsGuard obs_guard(argc, argv);
+  parse_threads_flag(argc, argv);
+  std::printf("=== Perf report: matmul / E2 round-trip / attack sample ===\n");
+
+  run_matmul(/*reps=*/300);
+  run_e2_roundtrip(/*reps=*/500);
+  run_attack(/*samples=*/64);
+
+  print_rule();
+  print_hist("perf.matmul64_ms");
+  print_hist("perf.e2_roundtrip_ms");
+  print_hist("perf.attack_sample_ms");
+  print_hist("attack.batch.sample_ms");
+  print_rule();
+  std::printf("run with --metrics-out BENCH_<date>.json to save the report\n");
+  return 0;
+}

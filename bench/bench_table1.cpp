@@ -13,6 +13,7 @@ using namespace orev;
 using namespace orev::bench;
 
 int main(int argc, char** argv) {
+  ObsGuard obs_guard(argc, argv);
   const int threads = parse_threads_flag(argc, argv);
   std::printf("=== Table 1: surrogate architectures × ε, FGSM vs UAP(FGSM) "
               "===\n");

@@ -15,7 +15,8 @@
 using namespace orev;
 using namespace orev::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsGuard obs_guard(argc, argv);
   std::printf("=== Table 2: targeted UAP on the Power-Saving rApp ===\n");
   const int target =
       static_cast<int>(rictest::kMostDisruptiveAction);  // deactivate-both

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "util/log.hpp"
+#include "util/obs/obs.hpp"
 
 namespace orev::attack {
 
@@ -11,6 +12,11 @@ data::Dataset collect_clone_dataset(nn::Model& victim,
                                     const nn::Tensor& inputs) {
   OREV_CHECK(inputs.rank() >= 2 && inputs.dim(0) > 0,
              "cloning needs a non-empty batched input tensor");
+  // Query budget: every row is one black-box query against the victim —
+  // the quantity the paper's detectability argument (§5.3.1) is about.
+  static obs::Counter& queries = obs::counter(
+      "attack.clone.victim_queries", "black-box queries issued to the victim");
+  queries.inc(static_cast<std::uint64_t>(inputs.dim(0)));
   data::Dataset d;
   d.x = inputs;
   d.y = victim.predict(inputs);
@@ -56,14 +62,23 @@ CloneReport clone_model(const data::Dataset& d_clone,
   double best_acc = -1.0;
   std::vector<ArchScore> scores;
 
+  static obs::Counter& trained = obs::counter(
+      "attack.clone.candidates_trained", "MCA surrogate candidates trained");
+  static obs::Histogram& train_ms = obs::histogram(
+      "attack.clone.candidate_train_ms", {}, "per-candidate training time");
+
   std::uint64_t model_seed = config.seed;
   for (const Candidate& cand : candidates) {
+    OREV_TRACE_SPAN_CAT("clone.candidate", "attack");
     nn::Model model = cand.factory(++model_seed);
     nn::Trainer trainer(config.train);
     const auto t0 = std::chrono::steady_clock::now();
     const nn::TrainReport report = trainer.fit(
         model, split.train.x, split.train.y, split.test.x, split.test.y);
     const auto t1 = std::chrono::steady_clock::now();
+    trained.inc();
+    train_ms.observe(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
 
     ArchScore score;
     score.name = cand.name;

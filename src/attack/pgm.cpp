@@ -4,7 +4,20 @@
 #include <cmath>
 #include <limits>
 
+#include "util/obs/obs.hpp"
+
 namespace orev::attack {
+
+namespace {
+// Surrogate gradient queries: every PGM step is one forward+backward, so
+// an atomic increment here counts the attacker's total compute budget.
+// Cost is negligible against the backprop it annotates.
+obs::Counter& grad_query_counter() {
+  static obs::Counter& c = obs::counter(
+      "attack.pgm.grad_queries", "input-gradient queries against a model");
+  return c;
+}
+}  // namespace
 
 namespace {
 
@@ -32,12 +45,14 @@ int runner_up(const nn::Tensor& logits, int skip) {
 
 nn::Tensor input_loss_gradient(nn::Model& model, const nn::Tensor& x,
                                int label) {
+  grad_query_counter().inc();
   nn::Tensor g = model.input_gradient(x, {label});
   return unbatch(std::move(g), x.shape());
 }
 
 nn::Tensor logit_diff_gradient(nn::Model& model, const nn::Tensor& x,
                                int logit_a, int logit_b) {
+  grad_query_counter().inc();
   nn::Tensor d({1, model.num_classes()});
   d.at2(0, logit_a) = 1.0f;
   d.at2(0, logit_b) -= 1.0f;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "util/obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace orev::attack {
@@ -10,10 +11,16 @@ BatchAttackResult attack_batch(Pgm& pgm, nn::Model& surrogate,
                                const nn::Tensor& x, int target_class) {
   OREV_CHECK(x.rank() >= 2 && x.dim(0) > 0, "attack_batch needs a batch");
   const int n = x.dim(0);
+  static obs::Counter& samples = obs::counter(
+      "attack.batch.samples", "samples perturbed by input-specific PGMs");
+  static obs::Histogram& sample_ms = obs::histogram(
+      "attack.batch.sample_ms", {},
+      "per-sample perturbation latency (the near-RT window evidence)");
+  OREV_TRACE_SPAN_CAT("attack.batch", "attack");
 
   BatchAttackResult out;
   out.adversarial = nn::Tensor(x.shape());
-  std::vector<double> sample_ms(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> per_sample_ms(static_cast<std::size_t>(n), 0.0);
 
   // Per-sample fan-out over the pool. Every participating task works on
   // its own surrogate/PGM replica, and the PGM is re-seeded per sample
@@ -37,13 +44,16 @@ BatchAttackResult attack_batch(Pgm& pgm, nn::Model& surrogate,
           adv = ctx.pgm->perturb(ctx.model, sample, label);
         }
         const auto t1 = std::chrono::steady_clock::now();
-        sample_ms[static_cast<std::size_t>(i)] =
+        const double ms =
             std::chrono::duration<double, std::milli>(t1 - t0).count();
+        samples.inc();
+        sample_ms.observe(ms);
+        per_sample_ms[static_cast<std::size_t>(i)] = ms;
         out.adversarial.set_batch(static_cast<int>(i), adv);
       });
 
   double total_ms = 0.0;
-  for (const double ms : sample_ms) {
+  for (const double ms : per_sample_ms) {
     total_ms += ms;
     out.max_ms_per_sample = std::max(out.max_ms_per_sample, ms);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace orev::attack {
@@ -78,7 +79,15 @@ UapResult run(nn::Model& surrogate, const nn::Tensor& samples, Pgm& inner,
     return ok;
   };
 
+  static obs::Counter& obs_passes =
+      obs::counter("attack.uap.passes", "Algorithm 2 sweeps over the seed set");
+  static obs::Counter& obs_inner = obs::counter(
+      "attack.uap.inner_calls", "inner-PGM minimisation calls during UAP fit");
+  OREV_TRACE_SPAN_CAT("uap.generate", "attack");
+
   for (int pass = 0; pass < config.max_passes; ++pass) {
+    OREV_TRACE_SPAN_CAT("uap.pass", "attack");
+    obs_passes.inc();
     result.passes = pass + 1;
     int fooled_count = 0;
     for (int i = 0; i < n; ++i) {
@@ -97,6 +106,7 @@ UapResult run(nn::Model& surrogate, const nn::Tensor& samples, Pgm& inner,
 
       // Minimal additional step Δu_i sending x_i + u across the boundary
       // (Eq. 4 / Eq. 6), via the pluggable inner PGM.
+      obs_inner.inc();
       const nn::Tensor adv =
           target < 0
               ? inner.perturb(surrogate, xu, ref[static_cast<std::size_t>(i)])
@@ -111,6 +121,17 @@ UapResult run(nn::Model& surrogate, const nn::Tensor& samples, Pgm& inner,
     result.achieved_fooling = static_cast<double>(fooled_count) / n;
     if (result.achieved_fooling >= config.target_fooling) break;
   }
+
+  // Final perturbation-norm gauges: how much of the ε budget the fitted u
+  // actually uses (ℓ∞) and its total energy (ℓ2) — the APD ingredients.
+  float linf = 0.0f;
+  for (const float v : u.data()) linf = std::max(linf, std::fabs(v));
+  obs::gauge("attack.uap.pert_linf", "ℓ∞ norm of the last fitted UAP")
+      .set(linf);
+  obs::gauge("attack.uap.pert_l2", "ℓ2 norm of the last fitted UAP")
+      .set(u.norm2());
+  obs::gauge("attack.uap.fooling_rate", "achieved fooling rate, last fit")
+      .set(result.achieved_fooling);
 
   result.perturbation = std::move(u);
   return result;

@@ -1,15 +1,26 @@
 #include "nn/trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <numeric>
 
 #include "util/log.hpp"
+#include "util/obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace orev::nn {
 
 namespace {
+
+/// Global L2 norm over every parameter gradient. Read-only observation of
+/// the last backward pass; deterministic (serial accumulation).
+float global_grad_norm(const std::vector<Param*>& params) {
+  double sq = 0.0;
+  for (const Param* p : params)
+    for (const float g : p->grad.data()) sq += double(g) * double(g);
+  return static_cast<float>(std::sqrt(sq));
+}
 
 /// Gather rows `idx[lo, hi)` of a batched tensor into a contiguous batch.
 /// Rows are disjoint copies, so the parallel fan-out is trivially
@@ -85,7 +96,23 @@ TrainReport Trainer::run(Model& model, const Tensor& x_train,
   int epochs_since_best = 0;
   int epochs_since_lr_drop = 0;
 
+  // Epoch-level observability. Counters/histograms are process-wide; the
+  // per-epoch numbers also land in EpochRecord for the on_epoch callback.
+  static obs::Counter& obs_epochs =
+      obs::counter("nn.train.epochs", "training epochs completed");
+  static obs::Counter& obs_samples =
+      obs::counter("nn.train.samples", "training samples consumed");
+  static obs::Histogram& obs_epoch_ms =
+      obs::histogram("nn.train.epoch_ms", {}, "wall time per training epoch");
+  static obs::Gauge& obs_loss = obs::gauge("nn.train.last_train_loss");
+  static obs::Gauge& obs_grad = obs::gauge("nn.train.last_grad_norm");
+  static obs::Gauge& obs_tput =
+      obs::gauge("nn.train.samples_per_s", "training throughput, last epoch");
+  OREV_TRACE_SPAN_CAT("train.fit", "nn");
+
   for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    OREV_TRACE_SPAN_CAT("train.epoch", "nn");
+    const obs::WallTimer epoch_timer;
     shuffle_rng.shuffle(idx);
 
     double epoch_loss = 0.0;
@@ -120,6 +147,11 @@ TrainReport Trainer::run(Model& model, const Tensor& x_train,
       ++batches;
     }
 
+    // Gradients of the final batch are still in place: snapshot their
+    // global norm before validation overwrites nothing (evaluate() never
+    // touches grads) — a cheap read-only divergence/vanishing signal.
+    const float grad_norm = global_grad_norm(params);
+
     const EvalResult val = evaluate(model, x_val, y_val);
     EpochRecord rec;
     rec.epoch = epoch;
@@ -127,8 +159,19 @@ TrainReport Trainer::run(Model& model, const Tensor& x_train,
     rec.val_loss = val.loss;
     rec.val_accuracy = val.accuracy;
     rec.learning_rate = opt->learning_rate();
+    rec.grad_norm = grad_norm;
+    rec.epoch_seconds = epoch_timer.seconds();
+    rec.samples_per_s =
+        rec.epoch_seconds > 0.0 ? double(n) / rec.epoch_seconds : 0.0;
     report.history.push_back(rec);
     report.epochs_run = epoch + 1;
+
+    obs_epochs.inc();
+    obs_samples.inc(static_cast<std::uint64_t>(n));
+    obs_epoch_ms.observe(rec.epoch_seconds * 1e3);
+    obs_loss.set(rec.train_loss);
+    obs_grad.set(grad_norm);
+    obs_tput.set(rec.samples_per_s);
 
     const bool improved = val.loss < report.best_val_loss - config_.min_delta;
     if (improved) {

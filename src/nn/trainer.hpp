@@ -43,6 +43,10 @@ struct EpochRecord {
   float val_loss = 0.0f;
   double val_accuracy = 0.0;
   float learning_rate = 0.0f;
+  // Observability fields (do not feed back into training):
+  float grad_norm = 0.0f;     // global L2 norm of the last batch's grads
+  double epoch_seconds = 0.0; // wall time of the epoch (train + validation)
+  double samples_per_s = 0.0; // training throughput over the epoch
 };
 
 struct TrainReport {

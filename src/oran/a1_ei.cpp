@@ -3,6 +3,7 @@
 #include "oran/near_rt_ric.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/obs/obs.hpp"
 
 namespace orev::oran {
 
@@ -26,9 +27,15 @@ bool A1EiService::register_producer(const Certificate& cert,
 
 bool A1EiService::deliver(const std::string& producer_subject,
                           const EiDelivery& delivery) {
+  static obs::Counter& deliveries =
+      obs::counter("oran.a1ei.deliveries", "A1-EI delivery attempts");
+  static obs::Counter& rejections =
+      obs::counter("oran.a1ei.rejected", "A1-EI deliveries rejected");
+  deliveries.inc();
   const auto it = job_producer_.find(delivery.job_id);
   if (it == job_producer_.end() || it->second != producer_subject) {
     ++rejected_;
+    rejections.inc();
     log_warn("A1-EI delivery rejected: ", producer_subject,
              " is not the registered producer for ", delivery.job_id);
     return false;
@@ -40,6 +47,7 @@ bool A1EiService::deliver(const std::string& producer_subject,
                                           delivery.features);
   if (st != SdlStatus::kOk) {
     ++rejected_;
+    rejections.inc();
     return false;
   }
   ++accepted_;

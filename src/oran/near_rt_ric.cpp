@@ -4,6 +4,7 @@
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/obs/obs.hpp"
 
 namespace orev::oran {
 
@@ -47,6 +48,15 @@ void NearRtRic::connect_e2(E2Node* node) {
 }
 
 void NearRtRic::deliver_indication(const E2Indication& ind) {
+  static obs::Counter& indications =
+      obs::counter("oran.e2.indications", "E2 indications delivered");
+  static obs::Histogram& dispatch_ms = obs::histogram(
+      "oran.xapp.dispatch_ms", {},
+      "per-xApp dispatch latency within the near-RT control window");
+  static obs::Counter& misses = obs::counter(
+      "oran.xapp.deadline_misses", "dispatches past the control window");
+  OREV_TRACE_SPAN_CAT("e2.deliver_indication", "oran");
+  indications.inc();
   ++indications_;
   const char* ns = ind.kind == IndicationKind::kSpectrogram ? kNsSpectrogram
                                                             : kNsKpm;
@@ -56,31 +66,45 @@ void NearRtRic::deliver_indication(const E2Indication& ind) {
   OREV_CHECK(st == SdlStatus::kOk, "platform SDL write failed");
 
   for (const Registration& reg : xapps_) {
+    OREV_TRACE_SPAN_CAT("xapp.dispatch", "oran");
     const auto t0 = std::chrono::steady_clock::now();
     reg.app->on_indication(ind, *this);
     const auto t1 = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+    dispatch_ms.observe(ms);
     XAppDispatchStats& s = stats_[reg.app->app_id()];
     ++s.dispatches;
     s.total_ms += ms;
-    if (ms > control_window_ms_) ++s.deadline_misses;
+    if (ms > control_window_ms_) {
+      ++s.deadline_misses;
+      misses.inc();
+    }
   }
 }
 
 void NearRtRic::send_control(const std::string& app_id,
                              const E2Control& control) {
+  static obs::Counter& controls =
+      obs::counter("oran.e2.controls", "E2 control messages sent to the RAN");
+  static obs::Counter& denied = obs::counter(
+      "oran.e2.control_denied", "E2 control attempts rejected by policy");
   OREV_CHECK(e2_node_ != nullptr, "no E2 node connected");
   // Control access is itself policy-gated: an app must hold write
   // permission on the control namespace to steer the RAN.
   if (!rbac_->allowed(app_id, "e2/control", Op::kWrite)) {
+    denied.inc();
     log_warn("E2 control denied for ", app_id);
     return;
   }
+  controls.inc();
   e2_node_->handle_control(control);
 }
 
 void NearRtRic::accept_policy(const A1Policy& policy) {
+  static obs::Counter& policies =
+      obs::counter("oran.a1.policies", "A1 policies accepted by Near-RT RICs");
+  policies.inc();
   policies_.push_back(policy);
 }
 

@@ -4,6 +4,7 @@
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/obs/obs.hpp"
 
 namespace orev::oran {
 
@@ -63,8 +64,18 @@ void NonRtRic::publish_history() {
 }
 
 void NonRtRic::step() {
+  static obs::Counter& periods =
+      obs::counter("oran.o1.pm_periods", "O1 PM reporting periods collected");
+  static obs::Histogram& collect_ms =
+      obs::histogram("oran.o1.collect_ms", {}, "O1 PM collection latency");
   OREV_CHECK(o1_ != nullptr, "no O1 interface connected");
-  PmReport report = o1_->collect_pm();
+  OREV_TRACE_SPAN_CAT("nonrt.step", "oran");
+  periods.inc();
+  PmReport report;
+  {
+    obs::ScopedTimerMs t(collect_ms);
+    report = o1_->collect_pm();
+  }
   report.period = period_++;
 
   cell_ids_.clear();
@@ -79,22 +90,35 @@ void NonRtRic::step() {
 
   publish_history();
 
+  static obs::Histogram& dispatch_ms =
+      obs::histogram("oran.rapp.dispatch_ms", {}, "per-rApp dispatch latency");
   for (const Registration& reg : rapps_) {
+    OREV_TRACE_SPAN_CAT("rapp.dispatch", "oran");
+    obs::ScopedTimerMs t(dispatch_ms);
     reg.app->on_pm_period(report, *this);
   }
 }
 
 bool NonRtRic::request_cell_state(const std::string& app_id, int cell_id,
                                   bool active) {
+  static obs::Counter& controls = obs::counter(
+      "oran.o1.cell_controls", "O1 cell state changes forwarded");
+  static obs::Counter& denied = obs::counter(
+      "oran.o1.control_denied", "O1 cell control attempts rejected by policy");
   OREV_CHECK(o1_ != nullptr, "no O1 interface connected");
   if (!rbac_->allowed(app_id, "o1/cell-control", Op::kWrite)) {
+    denied.inc();
     log_warn("cell control denied for ", app_id);
     return false;
   }
+  controls.inc();
   return o1_->set_cell_state(cell_id, active);
 }
 
 void NonRtRic::push_a1_policy(NearRtRic& target, const A1Policy& policy) {
+  static obs::Counter& pushed =
+      obs::counter("oran.a1.policies_pushed", "A1 policies pushed downstream");
+  pushed.inc();
   target.accept_policy(policy);
 }
 

@@ -1,6 +1,7 @@
 #include "oran/sdl.hpp"
 
 #include "util/check.hpp"
+#include "util/obs/obs.hpp"
 
 namespace orev::oran {
 
@@ -10,7 +11,18 @@ Sdl::Sdl(const Rbac* rbac) : rbac_(rbac) {
 
 bool Sdl::check(const std::string& app_id, const std::string& ns,
                 const std::string& key, Op op) const {
+  // Observability: SDL traffic is the paper's attack surface (a malicious
+  // app perturbing telemetry in place), so read/write/denial volumes are
+  // first-class metrics.
+  static obs::Counter& reads =
+      obs::counter("oran.sdl.reads", "SDL read attempts");
+  static obs::Counter& writes =
+      obs::counter("oran.sdl.writes", "SDL write attempts");
+  static obs::Counter& denied =
+      obs::counter("oran.sdl.denied", "SDL accesses denied by RBAC/ABAC");
+  (op == Op::kRead ? reads : writes).inc();
   const bool ok = rbac_->allowed(app_id, ns, op);
+  if (!ok) denied.inc();
   audit_.push_back(AuditRecord{app_id, ns, key, op, ok});
   return ok;
 }

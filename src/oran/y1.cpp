@@ -2,6 +2,7 @@
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/obs/obs.hpp"
 
 namespace orev::oran {
 
@@ -26,6 +27,12 @@ bool Y1Service::unsubscribe(const std::string& subject) {
 }
 
 void Y1Service::publish(const RaiReport& report) {
+  static obs::Counter& published =
+      obs::counter("oran.y1.published", "Y1 RAI reports published");
+  static obs::Histogram& fanout_ms =
+      obs::histogram("oran.y1.fanout_ms", {}, "Y1 consumer fan-out latency");
+  published.inc();
+  obs::ScopedTimerMs t(fanout_ms);
   ++published_;
   for (auto& [subject, consumer] : consumers_) {
     consumer->on_rai(report);

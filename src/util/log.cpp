@@ -1,9 +1,31 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <mutex>
+
+#include "util/obs/metrics.hpp"
+
 namespace orev {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+
+LogLevel env_initial_level() {
+  const char* env = std::getenv("OREV_LOG_LEVEL");
+  return env == nullptr ? LogLevel::kWarn
+                        : parse_log_level(env, LogLevel::kWarn);
+}
+
+std::atomic<int> g_level{static_cast<int>(env_initial_level())};
+
+// Sink state: mutex serializes writes across threads; the file is optional.
+std::mutex g_sink_mu;
+std::ofstream g_file;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -15,15 +37,67 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// ISO-8601 UTC with milliseconds, e.g. 2026-08-06T12:34:56.789Z.
+std::string timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  const std::size_t n = std::strftime(buf, sizeof(buf), "%FT%T", &tm);
+  std::snprintf(buf + n, sizeof(buf) - n, ".%03dZ", static_cast<int>(ms));
+  return buf;
+}
+
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel parse_log_level(const std::string& text, LogLevel fallback) {
+  std::string t;
+  for (const char c : text)
+    t.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (t == "debug" || t == "0") return LogLevel::kDebug;
+  if (t == "info" || t == "1") return LogLevel::kInfo;
+  if (t == "warn" || t == "warning" || t == "2") return LogLevel::kWarn;
+  if (t == "error" || t == "3") return LogLevel::kError;
+  if (t == "off" || t == "none" || t == "4") return LogLevel::kOff;
+  return fallback;
+}
+
+bool set_log_file(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_file.is_open()) g_file.close();
+  if (path.empty()) return true;
+  g_file.open(path, std::ios::app);
+  return g_file.is_open();
+}
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
+  std::string line = timestamp();
+  line += " [";
+  line += level_name(level);
+  line += "] [t";
+  line += std::to_string(obs::thread_index());
+  line += "] ";
+  line += msg;
+  line += '\n';
+
+  std::lock_guard<std::mutex> lock(g_sink_mu);
   std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
-  os << '[' << level_name(level) << "] " << msg << '\n';
+  os << line;
+  if (g_file.is_open()) {
+    g_file << line;
+    g_file.flush();
+  }
 }
 }  // namespace detail
 

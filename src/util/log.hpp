@@ -1,5 +1,16 @@
-// Minimal leveled logger. Defaults to warnings-and-above so test output
-// stays quiet; benchmarks raise the level for progress reporting.
+// Leveled logger. Defaults to warnings-and-above so test output stays
+// quiet; benchmarks raise the level for progress reporting.
+//
+// Each line carries an ISO-8601 UTC timestamp (millisecond precision) and
+// the emitting thread's dense obs::thread_index() id:
+//
+//   2026-08-06T12:34:56.789Z [INFO] [t0] MCA candidate BaseCNN: ...
+//
+// Configuration:
+//   * OREV_LOG_LEVEL env var (debug|info|warn|error|off, or 0-4) sets the
+//     initial threshold; set_log_level() overrides at runtime.
+//   * set_log_file(path) tees every emitted line into a file sink
+//     (append mode); set_log_file("") closes it.
 #pragma once
 
 #include <iostream>
@@ -10,9 +21,20 @@ namespace orev {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide log threshold.
+/// Process-wide log threshold. Initialized from OREV_LOG_LEVEL when set,
+/// else kWarn.
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Parse a level name ("debug", "INFO", "2", ...); falls back to
+/// `fallback` on unrecognized input.
+LogLevel parse_log_level(const std::string& text,
+                         LogLevel fallback = LogLevel::kWarn);
+
+/// Tee log output into `path` (opened in append mode) in addition to the
+/// console streams. An empty path closes the current sink. Returns false
+/// when the file cannot be opened (console logging is unaffected).
+bool set_log_file(const std::string& path);
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);

@@ -1,0 +1,196 @@
+// Process-wide metrics registry: lock-striped counters, gauges, and
+// fixed-bucket histograms with percentile estimation, exportable as
+// Prometheus text or JSON (the `BENCH_*.json` perf-trajectory format).
+//
+// Determinism contract: metrics are strictly *observational*. Recording a
+// value touches only the metric's own atomics — never an Rng stream, never
+// any tensor — so instrumented pipelines produce byte-identical CSV/golden
+// output whether or not anyone reads the registry (locked down by
+// tests/test_determinism.cpp). Exported *values* of timing histograms vary
+// run to run, of course; event *counts* are deterministic.
+//
+// Hot-path usage caches the metric reference once per call site:
+//
+//   static obs::Counter& c = obs::counter("oran.sdl.reads");
+//   c.inc();
+//
+// The registry is a leaked singleton, so cached references stay valid for
+// the life of the process (including static destruction).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/obs/timer.hpp"
+
+namespace orev::obs {
+
+/// Stable per-thread dense index (0, 1, 2, ... in first-use order). Used
+/// for lock striping and for trace/log thread ids — far more readable than
+/// std::thread::id hashes.
+std::uint32_t thread_index();
+
+namespace detail {
+constexpr int kStripes = 16;  // power of two; indexed by thread_index()
+
+/// One cache line per stripe so concurrent writers never false-share.
+struct alignas(64) Stripe {
+  std::atomic<std::uint64_t> v{0};
+};
+}  // namespace detail
+
+/// Monotonic event counter. inc() is a single relaxed atomic add on a
+/// per-thread stripe; value() sums the stripes (approximate only while
+/// writers are mid-flight, exact at quiescence).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    stripes_[thread_index() & (detail::kStripes - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const detail::Stripe& s : stripes_)
+      total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() {
+    for (detail::Stripe& s : stripes_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  detail::Stripe stripes_[detail::kStripes];
+};
+
+/// Last-value gauge with atomic add (stored as double bits in a uint64).
+class Gauge {
+ public:
+  void set(double v);
+  void add(double delta);
+  double value() const;
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram. Bucket upper bounds are set at construction
+/// (ascending, with an implicit +inf overflow bucket); observe() is two
+/// relaxed atomic adds plus a CAS each for sum/min/max. Percentiles are
+/// estimated by linear interpolation inside the bucket containing the
+/// requested rank, clamped to the observed [min, max].
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    std::vector<double> bounds;          // upper bounds, excluding +inf
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 entries
+    double mean() const { return count == 0 ? 0.0 : sum / double(count); }
+  };
+  Snapshot snapshot() const;
+
+  /// Percentile estimate in [0, 100] from the current bucket contents.
+  double percentile(double pct) const;
+
+  std::uint64_t count() const;
+  void reset();
+
+ private:
+  double percentile_locked(const std::vector<std::uint64_t>& buckets,
+                           std::uint64_t total, double pct, double lo,
+                           double hi) const;
+
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};
+  std::atomic<std::uint64_t> min_bits_;
+  std::atomic<std::uint64_t> max_bits_;
+};
+
+/// Default histogram bounds for latencies measured in milliseconds:
+/// {1, 2, 5} x 10^k spanning 100 ns .. 100 s (one overflow bucket above).
+std::vector<double> default_latency_buckets_ms();
+
+/// Process-wide metric registry. Metrics are created on first use and
+/// never removed (reset_values() zeroes them in place, so cached
+/// references at instrumentation sites stay valid).
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  /// `bounds` is consulted only on first creation; pass {} for the
+  /// default latency buckets.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {},
+                       const std::string& help = "");
+
+  /// Prometheus text exposition (names sanitized to [a-z0-9_], prefixed
+  /// `orev_`). Histograms export count/sum/quantile series.
+  std::string to_prometheus() const;
+
+  /// JSON report: {"schema": "...", "counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, min, max, mean, p50, p95, p99}}}.
+  std::string to_json() const;
+
+  bool save_json(const std::string& path) const;
+  bool save_prometheus(const std::string& path) const;
+
+  /// Zero every metric in place (objects and addresses survive).
+  void reset_values();
+
+ private:
+  Registry() = default;
+
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::string help;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;  // sorted => deterministic exports
+};
+
+/// Convenience accessors against the global registry.
+Counter& counter(const std::string& name, const std::string& help = "");
+Gauge& gauge(const std::string& name, const std::string& help = "");
+Histogram& histogram(const std::string& name, std::vector<double> bounds = {},
+                     const std::string& help = "");
+
+/// RAII helper: observes the scope's wall time (in ms) into a histogram.
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(Histogram& h) : hist_(h) {}
+  ~ScopedTimerMs() {
+    hist_.observe(static_cast<double>(timer_.elapsed_ns()) * 1e-6);
+  }
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+
+ private:
+  Histogram& hist_;
+  WallTimer timer_;
+};
+
+}  // namespace orev::obs

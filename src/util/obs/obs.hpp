@@ -1,0 +1,7 @@
+// Umbrella header for the observability layer: metrics registry, scoped
+// tracing, and the shared wall-clock timer. See README "Observability".
+#pragma once
+
+#include "util/obs/metrics.hpp"
+#include "util/obs/timer.hpp"
+#include "util/obs/trace.hpp"

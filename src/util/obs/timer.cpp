@@ -1,0 +1,15 @@
+#include "util/obs/timer.hpp"
+
+namespace orev::obs {
+
+std::uint64_t now_ns() {
+  // One fixed anchor per process so every component reports on one axis.
+  static const std::chrono::steady_clock::time_point kEpoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - kEpoch)
+          .count());
+}
+
+}  // namespace orev::obs

@@ -1,0 +1,149 @@
+#include "util/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/obs/metrics.hpp"
+#include "util/obs/timer.hpp"
+
+namespace orev::obs {
+
+namespace detail {
+
+namespace {
+bool env_trace_enabled() {
+  const char* env = std::getenv("OREV_TRACE");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0 ||
+         std::strcmp(env, "on") == 0;
+}
+}  // namespace
+
+std::atomic<bool> g_trace_enabled{env_trace_enabled()};
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kCapacity = 1 << 16;
+
+struct Ring {
+  std::vector<TraceEvent> slots{kCapacity};
+  std::atomic<std::uint64_t> next{0};  // total spans ever completed
+};
+
+Ring& ring() {
+  static Ring* leaked = new Ring();  // leaked: spans may end during exit
+  return *leaked;
+}
+
+}  // namespace
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(std::string_view name, const char* cat)
+    : name_(name), cat_(cat), start_ns_(0), active_(trace_enabled()) {
+  if (active_) start_ns_ = now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const std::uint64_t end_ns = now_ns();
+  Ring& r = ring();
+  const std::uint64_t seq = r.next.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent& e = r.slots[static_cast<std::size_t>(seq % kCapacity)];
+  const std::size_t n = std::min(name_.size(), sizeof(e.name) - 1);
+  std::memcpy(e.name, name_.data(), n);
+  e.name[n] = '\0';
+  e.cat = cat_;
+  e.ts_ns = start_ns_;
+  e.dur_ns = end_ns - start_ns_;
+  e.tid = thread_index();
+}
+
+std::size_t trace_capacity() { return kCapacity; }
+
+std::vector<TraceEvent> trace_snapshot() {
+  Ring& r = ring();
+  const std::uint64_t total = r.next.load(std::memory_order_acquire);
+  const std::size_t count =
+      static_cast<std::size_t>(std::min<std::uint64_t>(total, kCapacity));
+  std::vector<TraceEvent> out;
+  out.reserve(count);
+  // Oldest surviving span first. When the ring wrapped, that is slot
+  // (total % capacity); otherwise slot 0.
+  const std::uint64_t first = total > kCapacity ? total - kCapacity : 0;
+  for (std::uint64_t s = first; s < total; ++s)
+    out.push_back(r.slots[static_cast<std::size_t>(s % kCapacity)]);
+  return out;
+}
+
+std::uint64_t trace_dropped() {
+  const std::uint64_t total = ring().next.load(std::memory_order_relaxed);
+  return total > kCapacity ? total - kCapacity : 0;
+}
+
+void trace_clear() {
+  Ring& r = ring();
+  r.next.store(0, std::memory_order_relaxed);
+  for (TraceEvent& e : r.slots) e = TraceEvent{};
+}
+
+namespace {
+/// JSON string escape for span names/categories (quotes, backslashes and
+/// control characters; names are code literals, but a stray character must
+/// not corrupt the whole trace file).
+std::string escape(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += *p;
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += *p;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string trace_to_chrome_json() {
+  const std::vector<TraceEvent> events = trace_snapshot();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                  first ? "" : ",", escape(e.name).c_str(),
+                  escape(e.cat).c_str(),
+                  static_cast<double>(e.ts_ns) * 1e-3,
+                  static_cast<double>(e.dur_ns) * 1e-3, e.tid);
+    os << buf;
+    first = false;
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool save_trace_chrome_json(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  out << trace_to_chrome_json();
+  return out.good();
+}
+
+}  // namespace orev::obs

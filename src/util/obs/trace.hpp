@@ -1,0 +1,94 @@
+// Scoped tracing: RAII spans recorded into a fixed-capacity ring buffer
+// and exported as Chrome trace-event JSON (open chrome://tracing or
+// https://ui.perfetto.dev and load the file).
+//
+// Cost model: tracing is OFF by default. A disabled TraceSpan constructor
+// is one relaxed atomic load and two pointer-sized stores — no clock read,
+// no allocation — so instrumented hot paths are free when OREV_TRACE is
+// unset. Enabled spans read the steady clock twice and write one ring slot
+// (lock-free fetch_add claim).
+//
+// Enable with the environment variable OREV_TRACE=1 (read once at process
+// start) or programmatically with set_trace_enabled(true).
+//
+// Like the metrics registry, tracing is strictly observational and never
+// touches Rng streams or pipeline outputs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orev::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on);
+
+/// One completed span. `name` is copied (truncated) at span end; `cat`
+/// must point at a string literal or other static storage.
+struct TraceEvent {
+  char name[48] = {0};
+  const char* cat = "orev";
+  std::uint64_t ts_ns = 0;   // start, ns since process start
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;     // obs::thread_index() of the recording thread
+};
+
+/// RAII span: records [construction, destruction) when tracing is enabled
+/// at construction time. Nesting works naturally — inner spans simply
+/// record shorter, later intervals on the same thread, which the Chrome
+/// viewer renders as a flame graph.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, const char* cat = "orev");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string_view name_;
+  const char* cat_;
+  std::uint64_t start_ns_;
+  bool active_;
+};
+
+/// Number of span slots in the ring buffer. When more spans complete than
+/// the ring holds, the oldest are overwritten (trace_dropped() counts
+/// them) — bounded memory, no allocation on the hot path.
+std::size_t trace_capacity();
+
+/// Completed spans currently in the ring, in completion order. Call from a
+/// quiescent point (no spans ending concurrently) for a tear-free view.
+std::vector<TraceEvent> trace_snapshot();
+
+/// Spans overwritten since the last trace_clear().
+std::uint64_t trace_dropped();
+
+/// Drop all recorded spans (and the dropped counter).
+void trace_clear();
+
+/// Chrome trace-event JSON ("X" complete events, ts/dur in microseconds).
+std::string trace_to_chrome_json();
+
+/// Write trace_to_chrome_json() to a file; false on I/O failure.
+bool save_trace_chrome_json(const std::string& path);
+
+}  // namespace orev::obs
+
+// Convenience macros: OREV_TRACE_SPAN("label") opens a span covering the
+// rest of the enclosing scope.
+#define OREV_OBS_CONCAT2(a, b) a##b
+#define OREV_OBS_CONCAT(a, b) OREV_OBS_CONCAT2(a, b)
+#define OREV_TRACE_SPAN(name) \
+  ::orev::obs::TraceSpan OREV_OBS_CONCAT(orev_trace_span_, __LINE__)(name)
+#define OREV_TRACE_SPAN_CAT(name, cat) \
+  ::orev::obs::TraceSpan OREV_OBS_CONCAT(orev_trace_span_, __LINE__)(name, cat)

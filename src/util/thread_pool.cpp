@@ -4,6 +4,8 @@
 #include <memory>
 #include <string>
 
+#include "util/obs/obs.hpp"
+
 namespace orev::util {
 
 namespace {
@@ -60,8 +62,15 @@ void ThreadPool::worker_loop() {
       job = job_;
     }
     {
+      static obs::Gauge& busy = obs::gauge("pool.busy_workers");
+      static obs::Histogram& task_ms = obs::histogram(
+          "pool.task_ms", {}, "time one worker spent inside a region");
       RegionGuard guard;
+      busy.add(1.0);
+      obs::ScopedTimerMs task_timer(task_ms);
+      OREV_TRACE_SPAN_CAT("pool.task", "pool");
       (*job)();
+      busy.add(-1.0);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -77,6 +86,19 @@ void ThreadPool::run_on_all(const std::function<void()>& participant) {
     participant();
     return;
   }
+  // Region-level observability (fan-out count, wall time, concurrency).
+  // Recorded only on the multi-worker path, so the single-threaded default
+  // configuration pays nothing. One region is tens of microseconds and up,
+  // so the two clock reads here are noise.
+  static obs::Counter& regions =
+      obs::counter("pool.regions", "parallel regions dispatched to workers");
+  static obs::Histogram& region_ms =
+      obs::histogram("pool.region_ms", {}, "wall time of one parallel region");
+  static obs::Gauge& busy =
+      obs::gauge("pool.busy_workers", "tasks currently inside a region");
+  regions.inc();
+  obs::ScopedTimerMs region_timer(region_ms);
+  OREV_TRACE_SPAN_CAT("pool.region", "pool");
   {
     std::lock_guard<std::mutex> lock(mu_);
     OREV_CHECK(job_ == nullptr, "ThreadPool::run_on_all is not reentrant");
@@ -87,7 +109,9 @@ void ThreadPool::run_on_all(const std::function<void()>& participant) {
   work_cv_.notify_all();
   {
     RegionGuard guard;
+    busy.add(1.0);
     participant();
+    busy.add(-1.0);
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -100,7 +124,11 @@ void ThreadPool::run_on_all(const std::function<void()>& participant) {
 
 ThreadPool& global_pool() {
   std::lock_guard<std::mutex> lock(g_pool_mu);
-  if (!g_pool) g_pool = std::make_unique<ThreadPool>(env_default_threads());
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(env_default_threads());
+    obs::gauge("pool.threads", "size of the process-wide pool")
+        .set(static_cast<double>(g_pool->size()));
+  }
   return *g_pool;
 }
 
@@ -112,6 +140,8 @@ void set_num_threads(int n) {
   if (g_pool && g_pool->size() == n) return;
   g_pool.reset();  // join old workers before spawning the new pool
   g_pool = std::make_unique<ThreadPool>(n);
+  obs::gauge("pool.threads", "size of the process-wide pool")
+      .set(static_cast<double>(n));
 }
 
 int num_threads() { return global_pool().size(); }

@@ -11,6 +11,8 @@
 #include "attack/runner.hpp"
 #include "attack/uap.hpp"
 #include "test_helpers.hpp"
+#include "util/csv.hpp"
+#include "util/obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace orev {
@@ -172,6 +174,48 @@ TEST(Determinism, EvaluateIsBitIdenticalAcrossThreadCounts) {
 
   EXPECT_EQ(serial.loss, parallel.loss);
   EXPECT_EQ(serial.accuracy, parallel.accuracy);
+}
+
+/// Render an adversarial batch to the CSV form the golden suite uses, so
+/// byte-identity below is checked on the exported artifact, not just the
+/// in-memory tensor.
+std::string batch_to_csv(const nn::Tensor& adv) {
+  CsvWriter csv;
+  csv.header({"sample", "first", "last"});
+  for (int i = 0; i < adv.dim(0); ++i) {
+    const nn::Tensor row = adv.slice_batch(i);
+    csv.row(i, row[0], row[row.numel() - 1]);
+  }
+  return csv.str();
+}
+
+TEST(Determinism, ObservabilityIsPurelyObservational) {
+  ThreadGuard guard;
+  util::set_num_threads(2);
+  const data::Dataset d = test::blob_dataset(/*per_class=*/10);
+  nn::Model model = test::known_linear_model();
+
+  // Baseline: tracing off, registry left alone.
+  obs::set_trace_enabled(false);
+  const nn::Tensor base = pgd_attack_batch(model, d.x);
+  const std::string base_csv = batch_to_csv(base);
+
+  // Same pipeline with tracing on and the registry reset + exported
+  // mid-stream: metrics and spans must be strictly observational, so the
+  // adversarial tensor and its CSV rendering stay byte-identical.
+  obs::set_trace_enabled(true);
+  obs::trace_clear();
+  obs::Registry::instance().reset_values();
+  const nn::Tensor traced = pgd_attack_batch(model, d.x);
+  const std::string report = obs::Registry::instance().to_json();
+  obs::set_trace_enabled(false);
+
+  EXPECT_TRUE(bits_equal(base, traced));
+  EXPECT_EQ(base_csv, batch_to_csv(traced));
+  // The run really was observed: counters moved and spans were recorded.
+  EXPECT_GT(obs::counter("attack.batch.samples").value(), 0u);
+  EXPECT_FALSE(obs::trace_snapshot().empty());
+  EXPECT_NE(report.find("attack.pgm.grad_queries"), std::string::npos);
 }
 
 TEST(Determinism, RngSplitStreamsAreStableAndOrderIndependent) {
