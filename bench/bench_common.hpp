@@ -15,6 +15,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
+#include <optional>
 #include <string>
 #include <system_error>
 #include <vector>
@@ -28,6 +30,7 @@
 #include "ran/datasets.hpp"
 #include "rictest/dataset.hpp"
 #include "util/csv.hpp"
+#include "util/fault/fault.hpp"
 #include "util/obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
@@ -65,8 +68,15 @@ using WallTimer = obs::WallTimer;
 /// dump the process-wide metrics registry (JSON) and the trace ring
 /// (chrome://tracing JSON) to those files when the guard goes out of scope
 /// at the end of main(). `--trace-out` also force-enables tracing, so the
-/// flag works without setting OREV_TRACE=1. Flags are removed from argv so
-/// downstream parsers (e.g. google-benchmark) never see them.
+/// flag works without setting OREV_TRACE=1.
+///
+/// Also parses `--fault-plan FILE` / `--fault-seed N`: when either is
+/// present, a FaultInjector is built from the plan file (or, with only a
+/// seed, from fault::default_chaos_plan()) and installed as the
+/// process-global injector — so every existing bench runs under a fault
+/// schedule with no code changes. The injector's per-site stats print at
+/// exit. All flags are removed from argv so downstream parsers (e.g.
+/// google-benchmark) never see them.
 ///
 /// Usage, first lines of a bench main():
 ///   bench::ObsGuard obs_guard(argc, argv);
@@ -74,6 +84,8 @@ using WallTimer = obs::WallTimer;
 class ObsGuard {
  public:
   ObsGuard(int& argc, char** argv) {
+    std::string fault_plan;
+    std::string fault_seed;
     int w = 1;
     for (int r = 1; r < argc; ++r) {
       if (std::strcmp(argv[r], "--metrics-out") == 0 && r + 1 < argc) {
@@ -84,18 +96,51 @@ class ObsGuard {
         trace_out_ = argv[++r];
       } else if (std::strncmp(argv[r], "--trace-out=", 12) == 0) {
         trace_out_ = argv[r] + 12;
+      } else if (std::strcmp(argv[r], "--fault-plan") == 0 && r + 1 < argc) {
+        fault_plan = argv[++r];
+      } else if (std::strncmp(argv[r], "--fault-plan=", 13) == 0) {
+        fault_plan = argv[r] + 13;
+      } else if (std::strcmp(argv[r], "--fault-seed") == 0 && r + 1 < argc) {
+        fault_seed = argv[++r];
+      } else if (std::strncmp(argv[r], "--fault-seed=", 13) == 0) {
+        fault_seed = argv[r] + 13;
       } else {
         argv[w++] = argv[r];
       }
     }
     argc = w;
     if (!trace_out_.empty()) obs::set_trace_enabled(true);
+    if (!fault_plan.empty() || !fault_seed.empty()) {
+      fault::FaultPlan plan = fault::default_chaos_plan();
+      if (!fault_plan.empty()) {
+        const std::optional<fault::FaultPlan> loaded =
+            fault::FaultPlan::load(fault_plan);
+        if (!loaded) {
+          std::fprintf(stderr, "[fault] cannot read plan file %s\n",
+                       fault_plan.c_str());
+          std::exit(2);
+        }
+        plan = *loaded;
+      }
+      if (!fault_seed.empty()) {
+        plan.seed = std::strtoull(fault_seed.c_str(), nullptr, 0);
+      }
+      injector_ = std::make_unique<fault::FaultInjector>(plan);
+      fault::set_global_injector(injector_.get());
+      std::printf("[fault] injector armed (plan=%s seed=%llu)\n",
+                  fault_plan.empty() ? "<default-chaos>" : fault_plan.c_str(),
+                  static_cast<unsigned long long>(plan.seed));
+    }
   }
 
   ObsGuard(const ObsGuard&) = delete;
   ObsGuard& operator=(const ObsGuard&) = delete;
 
   ~ObsGuard() {
+    if (injector_ != nullptr) {
+      fault::set_global_injector(nullptr);
+      std::printf("[fault] %s\n", injector_->stats_json().c_str());
+    }
     if (!metrics_out_.empty()) {
       if (obs::Registry::instance().save_json(metrics_out_)) {
         std::printf("[obs] wrote metrics to %s\n", metrics_out_.c_str());
@@ -118,6 +163,7 @@ class ObsGuard {
  private:
   std::string metrics_out_;
   std::string trace_out_;
+  std::unique_ptr<fault::FaultInjector> injector_;
 };
 
 /// The ε grid of Tables 1 and 2.

@@ -2,6 +2,7 @@
 
 #include "ran/datasets.hpp"
 #include "util/log.hpp"
+#include "util/obs/obs.hpp"
 
 namespace orev::apps {
 
@@ -9,23 +10,9 @@ IcXApp::IcXApp(nn::Model model, oran::IndicationKind kind,
                int fixed_mcs_index)
     : model_(std::move(model)), kind_(kind), fixed_mcs_index_(fixed_mcs_index) {}
 
-void IcXApp::on_indication(const oran::E2Indication& ind,
-                           oran::NearRtRic& ric) {
-  if (ind.kind != kind_) return;
-
-  const char* ns = kind_ == oran::IndicationKind::kSpectrogram
-                       ? oran::kNsSpectrogram
-                       : oran::kNsKpm;
-  const std::string key = ind.ran_node_id + "/current";
-
-  nn::Tensor input;
-  const oran::SdlStatus st =
-      ric.sdl().read_tensor(app_id(), ns, key, input);
-  if (st != oran::SdlStatus::kOk) {
-    log_warn("IC xApp could not read telemetry: ", app_id());
-    return;
-  }
-
+void IcXApp::classify_and_control(const nn::Tensor& input,
+                                  const std::string& ran_node_id,
+                                  oran::NearRtRic& ric) {
   const int pred = model_.predict_one(input);
   ++predictions_;
   last_prediction_ = pred;
@@ -33,7 +20,7 @@ void IcXApp::on_indication(const oran::E2Indication& ind,
 
   // Publish the prediction (legitimately observable by other apps with
   // read access to the decisions namespace — the cloning side channel).
-  ric.sdl().write_text(app_id(), oran::kNsDecisions, "ic/" + ind.ran_node_id,
+  ric.sdl().write_text(app_id(), oran::kNsDecisions, "ic/" + ran_node_id,
                        std::to_string(pred));
 
   oran::E2Control control;
@@ -43,6 +30,70 @@ void IcXApp::on_indication(const oran::E2Indication& ind,
     control.action = oran::ControlAction::kSetFixedMcs;
     control.fixed_mcs_index = fixed_mcs_index_;
   }
+  ric.send_control(app_id(), control);
+}
+
+void IcXApp::on_indication(const oran::E2Indication& ind,
+                           oran::NearRtRic& ric) {
+  static obs::Counter& tel_failures = obs::counter(
+      "apps.ic.telemetry_failures", "IC xApp telemetry reads without fresh data");
+  static obs::Counter& fallback_ctr = obs::counter(
+      "apps.ic.fallback_classifications",
+      "IC xApp classifications made from cached telemetry");
+  static obs::Counter& failsafe_ctr = obs::counter(
+      "apps.ic.failsafe_controls",
+      "IC xApp fail-safe adaptive-MCS controls (no usable telemetry)");
+  if (ind.kind != kind_) return;
+
+  const char* ns = kind_ == oran::IndicationKind::kSpectrogram
+                       ? oran::kNsSpectrogram
+                       : oran::kNsKpm;
+  const std::string key = ind.ran_node_id + "/current";
+
+  nn::Tensor input;
+  const oran::SdlStatus st = ric.read_telemetry(app_id(), ns, key, input);
+  if (st == oran::SdlStatus::kOk) {
+    consecutive_failures_ = 0;
+    last_good_ = input;
+    have_last_good_ = true;
+    last_good_version_ = ric.sdl().version(ns, key).value_or(0);
+    classify_and_control(input, ind.ran_node_id, ric);
+    return;
+  }
+
+  ++telemetry_failures_;
+  tel_failures.inc();
+  if (!degraded_.enabled) {
+    log_warn("IC xApp could not read telemetry: ", app_id());
+    return;
+  }
+
+  // Degraded mode: fall back to the last-known-good telemetry if it is
+  // fresh enough. Staleness is measured in SDL versions when the store
+  // still answers version queries, else by the run of failed reads.
+  ++consecutive_failures_;
+  std::uint64_t staleness = consecutive_failures_;
+  if (have_last_good_) {
+    if (const auto v = ric.sdl().version(ns, key)) {
+      staleness = *v >= last_good_version_ ? *v - last_good_version_
+                                           : consecutive_failures_;
+    }
+    if (staleness <= degraded_.max_stale) {
+      ++fallbacks_;
+      fallback_ctr.inc();
+      classify_and_control(last_good_, ind.ran_node_id, ric);
+      return;
+    }
+  }
+
+  // Fail-safe: no usable telemetry at all — steer to adaptive MCS, the
+  // configuration that stays safe if interference is actually present.
+  ++failsafes_;
+  failsafe_ctr.inc();
+  ric.sdl().write_text(app_id(), oran::kNsDecisions, "ic/" + ind.ran_node_id,
+                       "failsafe");
+  oran::E2Control control;
+  control.action = oran::ControlAction::kSetAdaptiveMcs;
   ric.send_control(app_id(), control);
 }
 

@@ -9,6 +9,13 @@
 // entry a co-hosted malicious xApp may have just perturbed), classifies it,
 // publishes its prediction to the decisions namespace, and steers the RAN:
 // interference detected → adaptive MCS, clean → fixed (high) MCS.
+//
+// Degraded mode (DESIGN.md §9): when the telemetry read fails (store
+// outage, lost platform write), the xApp falls back to its last-known-good
+// telemetry — provided it is no staler than `max_stale` SDL versions — and
+// classifies that instead. Beyond the staleness bound it takes the
+// fail-safe action: adaptive MCS, the conservative link configuration that
+// is safe under interference, rather than steering blind.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,16 @@
 #include "oran/near_rt_ric.hpp"
 
 namespace orev::apps {
+
+/// Degraded-mode knobs for the IC xApp.
+struct IcDegradedConfig {
+  /// Master switch; disabled reproduces the historical skip-on-failure
+  /// behaviour (no fallback, no fail-safe control).
+  bool enabled = true;
+  /// Max SDL versions the cached telemetry may lag behind before it is
+  /// considered too stale to act on (then the fail-safe applies).
+  std::uint64_t max_stale = 2;
+};
 
 class IcXApp : public oran::XApp {
  public:
@@ -32,13 +49,39 @@ class IcXApp : public oran::XApp {
   std::uint64_t interference_detected() const { return detections_; }
   std::optional<int> last_prediction() const { return last_prediction_; }
 
+  void set_degraded_config(const IcDegradedConfig& cfg) { degraded_ = cfg; }
+  const IcDegradedConfig& degraded_config() const { return degraded_; }
+
+  /// Telemetry reads that did not return fresh data.
+  std::uint64_t telemetry_failures() const { return telemetry_failures_; }
+  /// Classifications made from cached (stale but in-bound) telemetry.
+  std::uint64_t fallback_classifications() const { return fallbacks_; }
+  /// Fail-safe adaptive-MCS controls issued with no usable telemetry.
+  std::uint64_t failsafe_controls() const { return failsafes_; }
+
  private:
+  void classify_and_control(const nn::Tensor& input,
+                            const std::string& ran_node_id,
+                            oran::NearRtRic& ric);
+
   nn::Model model_;
   oran::IndicationKind kind_;
   int fixed_mcs_index_;
   std::uint64_t predictions_ = 0;
   std::uint64_t detections_ = 0;
   std::optional<int> last_prediction_;
+
+  IcDegradedConfig degraded_;
+  // Last-known-good telemetry plus the SDL version it was read at; the
+  // staleness of the cache is (current version − cached version) when the
+  // store answers, else the run of consecutive failed reads.
+  nn::Tensor last_good_;
+  bool have_last_good_ = false;
+  std::uint64_t last_good_version_ = 0;
+  std::uint64_t consecutive_failures_ = 0;
+  std::uint64_t telemetry_failures_ = 0;
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t failsafes_ = 0;
 };
 
 }  // namespace orev::apps

@@ -1,6 +1,7 @@
 #include "apps/power_saving_rapp.hpp"
 
 #include "util/log.hpp"
+#include "util/obs/obs.hpp"
 
 namespace orev::apps {
 
@@ -9,15 +10,8 @@ using rictest::PsAction;
 PowerSavingRApp::PowerSavingRApp(nn::Model model)
     : model_(std::move(model)) {}
 
-void PowerSavingRApp::on_pm_period(const oran::PmReport& /*report*/,
-                                   oran::NonRtRic& ric) {
-  nn::Tensor history;
-  if (ric.sdl().read_tensor(app_id(), oran::kNsPm, oran::kKeyPrbHistory,
-                            history) != oran::SdlStatus::kOk) {
-    log_warn("power-saving rApp could not read PM history");
-    return;
-  }
-
+void PowerSavingRApp::decide_all(const nn::Tensor& history,
+                                 oran::NonRtRic& ric) {
   for (int sector = 0; sector < rictest::kNumSectors; ++sector) {
     const nn::Tensor input =
         rictest::sector_window_from_history(history, sector);
@@ -30,6 +24,61 @@ void PowerSavingRApp::on_pm_period(const oran::PmReport& /*report*/,
                          std::to_string(static_cast<int>(action)));
     execute(action, sector, ric);
   }
+}
+
+void PowerSavingRApp::on_pm_period(const oran::PmReport& /*report*/,
+                                   oran::NonRtRic& ric) {
+  static obs::Counter& read_failures = obs::counter(
+      "apps.ps.pm_read_failures",
+      "power-saving rApp PM history reads without fresh data");
+  static obs::Counter& fallback_ctr = obs::counter(
+      "apps.ps.fallback_decisions",
+      "power-saving periods decided from cached history");
+  static obs::Counter& failsafe_ctr = obs::counter(
+      "apps.ps.failsafe_periods",
+      "power-saving periods skipped fail-safe (no usable history)");
+
+  nn::Tensor history;
+  const oran::SdlStatus st =
+      ric.read_pm_history(app_id(), history);
+  if (st == oran::SdlStatus::kOk) {
+    consecutive_failures_ = 0;
+    last_good_ = history;
+    have_last_good_ = true;
+    last_good_version_ =
+        ric.sdl().version(oran::kNsPm, oran::kKeyPrbHistory).value_or(0);
+    decide_all(history, ric);
+    return;
+  }
+
+  ++pm_read_failures_;
+  read_failures.inc();
+  if (!degraded_.enabled) {
+    log_warn("power-saving rApp could not read PM history");
+    return;
+  }
+
+  ++consecutive_failures_;
+  std::uint64_t staleness = consecutive_failures_;
+  if (have_last_good_) {
+    if (const auto v =
+            ric.sdl().version(oran::kNsPm, oran::kKeyPrbHistory)) {
+      staleness = *v >= last_good_version_ ? *v - last_good_version_
+                                           : consecutive_failures_;
+    }
+    if (staleness <= degraded_.max_stale) {
+      ++fallback_decisions_;
+      fallback_ctr.inc();
+      decide_all(last_good_, ric);
+      return;
+    }
+  }
+
+  // Fail-safe: no usable history — take no sleep decision this period.
+  // Leaving capacity cells up wastes energy but never strands traffic.
+  ++failsafe_periods_;
+  failsafe_ctr.inc();
+  log_warn("power-saving rApp failing safe: no usable PM history");
 }
 
 void PowerSavingRApp::execute(PsAction action, int sector,

@@ -5,6 +5,12 @@
 // it), evaluates its CNN once per sector, publishes each decision, and
 // executes the decision over O1: activating/deactivating the sector's
 // capacity cells.
+//
+// Degraded mode (DESIGN.md §9): when the PM history read fails, the rApp
+// falls back to its last-known-good history — bounded by `max_stale` SDL
+// versions — and decides from that. Beyond the bound it takes the
+// fail-safe: skip the period entirely (no sleep decisions), since keeping
+// capacity cells up is energy-suboptimal but never drops user traffic.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,16 @@
 #include "rictest/dataset.hpp"
 
 namespace orev::apps {
+
+/// Degraded-mode knobs for the power-saving rApp.
+struct PsDegradedConfig {
+  /// Master switch; disabled reproduces the historical skip-on-failure
+  /// behaviour (every failed read skips the period, no fallback).
+  bool enabled = true;
+  /// Max SDL versions the cached history may lag before the rApp stops
+  /// acting on it and fails safe (no cell state changes).
+  std::uint64_t max_stale = 1;
+};
 
 class PowerSavingRApp : public oran::RApp {
  public:
@@ -32,13 +48,33 @@ class PowerSavingRApp : public oran::RApp {
   std::uint64_t decisions_made() const { return decisions_; }
   std::uint64_t cells_deactivated() const { return deactivations_; }
 
+  void set_degraded_config(const PsDegradedConfig& cfg) { degraded_ = cfg; }
+  const PsDegradedConfig& degraded_config() const { return degraded_; }
+
+  /// PM history reads that did not return fresh data.
+  std::uint64_t pm_read_failures() const { return pm_read_failures_; }
+  /// Periods decided from cached (stale but in-bound) history.
+  std::uint64_t fallback_decisions() const { return fallback_decisions_; }
+  /// Periods skipped fail-safe (no usable history → no sleep actions).
+  std::uint64_t failsafe_periods() const { return failsafe_periods_; }
+
  private:
+  void decide_all(const nn::Tensor& history, oran::NonRtRic& ric);
   void execute(rictest::PsAction action, int sector, oran::NonRtRic& ric);
 
   nn::Model model_;
   std::map<int, rictest::PsAction> last_decisions_;
   std::uint64_t decisions_ = 0;
   std::uint64_t deactivations_ = 0;
+
+  PsDegradedConfig degraded_;
+  nn::Tensor last_good_;
+  bool have_last_good_ = false;
+  std::uint64_t last_good_version_ = 0;
+  std::uint64_t consecutive_failures_ = 0;
+  std::uint64_t pm_read_failures_ = 0;
+  std::uint64_t fallback_decisions_ = 0;
+  std::uint64_t failsafe_periods_ = 0;
 };
 
 }  // namespace orev::apps

@@ -16,8 +16,13 @@ void SdlWriteMonitor::expect_writers(const std::string& ns,
 std::vector<WriteAlert> SdlWriteMonitor::scan(const oran::Sdl& sdl) {
   std::vector<WriteAlert> alerts;
   const auto& log = sdl.audit_log();
-  for (; cursor_ < log.size(); ++cursor_) {
-    const oran::AuditRecord& rec = log[cursor_];
+  // The audit log is a bounded ring: cursor_ is an absolute sequence
+  // number, and the record at sequence s lives at index s - dropped.
+  // Records evicted before we scanned them are skipped (they are gone).
+  const std::uint64_t base = sdl.audit_dropped_records();
+  if (cursor_ < base) cursor_ = base;
+  for (; cursor_ - base < log.size(); ++cursor_) {
+    const oran::AuditRecord& rec = log[cursor_ - base];
     if (rec.op != oran::Op::kWrite || !rec.allowed) continue;
     const auto it = expected_.find(rec.ns);
     if (it == expected_.end()) continue;  // unprotected namespace

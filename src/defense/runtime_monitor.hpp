@@ -44,7 +44,7 @@ class SdlWriteMonitor {
 
  private:
   std::map<std::string, std::set<std::string>> expected_;
-  std::size_t cursor_ = 0;
+  std::uint64_t cursor_ = 0;  // absolute audit sequence number
   std::size_t alerts_ = 0;
 };
 

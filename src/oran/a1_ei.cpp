@@ -42,10 +42,24 @@ bool A1EiService::deliver(const std::string& producer_subject,
   }
   // Delivered EI is stored under the platform identity: downstream rApps
   // cannot distinguish a compromised producer's data from legitimate EI.
-  const SdlStatus st = sdl_->write_tensor(kRicPlatformId, kNsEnrichment,
-                                          delivery.job_id,
-                                          delivery.features);
+  // Transient store outages are retried under the configured policy.
+  SdlStatus st = SdlStatus::kUnavailable;
+  fault::retry_call(retry_, retry_ops_++, [&] {
+    st = sdl_->write_tensor(kRicPlatformId, kNsEnrichment, delivery.job_id,
+                            delivery.features);
+    switch (st) {
+      case SdlStatus::kOk: return fault::TryResult::kOk;
+      case SdlStatus::kUnavailable: return fault::TryResult::kTransient;
+      default: return fault::TryResult::kFatal;
+    }
+  });
   if (st != SdlStatus::kOk) {
+    static obs::Counter& unavailable = obs::counter(
+        "oran.a1ei.unavailable", "A1-EI deliveries lost to store outages");
+    if (st == SdlStatus::kUnavailable) {
+      ++unavailable_;
+      unavailable.inc();
+    }
     ++rejected_;
     rejections.inc();
     return false;

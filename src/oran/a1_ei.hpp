@@ -18,6 +18,7 @@
 #include "nn/tensor.hpp"
 #include "oran/onboarding.hpp"
 #include "oran/sdl.hpp"
+#include "util/fault/retry.hpp"
 
 namespace orev::oran {
 
@@ -57,12 +58,23 @@ class A1EiService {
   std::uint64_t deliveries_accepted() const { return accepted_; }
   std::uint64_t deliveries_rejected() const { return rejected_; }
 
+  /// Transient SDL outages (SdlStatus::kUnavailable) during delivery are
+  /// retried under this policy before the delivery is counted as failed.
+  void set_retry_policy(const fault::RetryPolicy& policy) {
+    retry_ = policy;
+  }
+  /// Deliveries that failed only because the store stayed unavailable.
+  std::uint64_t deliveries_unavailable() const { return unavailable_; }
+
  private:
   const Operator* operator_;
   Sdl* sdl_;
   std::map<std::string, std::string> job_producer_;  // job id → subject
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t unavailable_ = 0;
+  fault::RetryPolicy retry_;
+  std::uint64_t retry_ops_ = 0;
 };
 
 }  // namespace orev::oran

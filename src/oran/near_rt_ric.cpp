@@ -5,6 +5,7 @@
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/obs/obs.hpp"
+#include "util/rng.hpp"
 
 namespace orev::oran {
 
@@ -39,6 +40,7 @@ bool NearRtRic::register_xapp(std::shared_ptr<XApp> app,
                      return a.priority < b.priority;
                    });
   stats_.emplace(app_id, XAppDispatchStats{});
+  breakers_.emplace(app_id, fault::CircuitBreaker(breaker_cfg_));
   return true;
 }
 
@@ -47,39 +49,173 @@ void NearRtRic::connect_e2(E2Node* node) {
   e2_node_ = node;
 }
 
-void NearRtRic::deliver_indication(const E2Indication& ind) {
+void NearRtRic::set_fault_injector(fault::FaultInjector* injector) {
+  fault_ = injector;
+  sdl_.set_fault_injector(injector);
+}
+
+void NearRtRic::set_breaker_config(const fault::BreakerConfig& cfg) {
+  breaker_cfg_ = cfg;
+  for (auto& [_, breaker] : breakers_) breaker = fault::CircuitBreaker(cfg);
+}
+
+fault::CircuitBreaker::State NearRtRic::breaker_state(
+    const std::string& app_id) const {
+  const auto it = breakers_.find(app_id);
+  return it == breakers_.end() ? fault::CircuitBreaker::State::kClosed
+                               : it->second.state();
+}
+
+std::uint64_t NearRtRic::breaker_opens(const std::string& app_id) const {
+  const auto it = breakers_.find(app_id);
+  return it == breakers_.end() ? 0 : it->second.times_opened();
+}
+
+bool NearRtRic::deliver_indication(const E2Indication& ind) {
   static obs::Counter& indications =
       obs::counter("oran.e2.indications", "E2 indications delivered");
+  static obs::Counter& dropped = obs::counter(
+      "oran.e2.indications_dropped", "E2 indications lost in transport");
+  static obs::Counter& duplicated = obs::counter(
+      "oran.e2.indications_duplicated", "E2 indications duplicated in transport");
+  static obs::Counter& corrupted = obs::counter(
+      "oran.e2.indications_corrupted", "E2 indication payloads corrupted");
+  OREV_TRACE_SPAN_CAT("e2.deliver_indication", "oran");
+
+  // Transport fate of this indication (drop / delay / duplicate / corrupt).
+  int copies = 1;
+  double transport_delay_ms = 0.0;
+  const E2Indication* effective = &ind;
+  E2Indication corrupted_ind;
+  if (fault::FaultInjector* fi = fault::effective(fault_)) {
+    const fault::FaultDecision d = fi->decide(fault::sites::kE2Indication);
+    switch (d.kind) {
+      case fault::FaultKind::kDrop:
+        ++indications_dropped_;
+        dropped.inc();
+        return false;
+      case fault::FaultKind::kDuplicate:
+        copies = 2;
+        duplicated.inc();
+        break;
+      case fault::FaultKind::kDelay:
+        transport_delay_ms = d.delay_ms;
+        break;
+      case fault::FaultKind::kCorrupt: {
+        corrupted.inc();
+        corrupted_ind = ind;
+        Rng rng(d.payload_seed);
+        for (std::size_t i = 0; i < corrupted_ind.payload.numel(); ++i)
+          corrupted_ind.payload[i] += rng.normal(0.0f, d.corrupt_scale);
+        effective = &corrupted_ind;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  for (int copy = 0; copy < copies; ++copy) {
+    indications.inc();
+    ++indications_;
+    const char* ns = effective->kind == IndicationKind::kSpectrogram
+                         ? kNsSpectrogram
+                         : kNsKpm;
+    const std::string key = effective->ran_node_id + "/current";
+    // The platform write retries transient storage faults; if the store
+    // stays down the loop degrades instead of dying — xApps fall back to
+    // their last-known-good telemetry or a fail-safe decision.
+    const fault::RetryOutcome rc =
+        fault::retry_call(retry_, retry_ops_++, [&] {
+          switch (sdl_.write_tensor(kRicPlatformId, ns, key,
+                                    effective->payload)) {
+            case SdlStatus::kOk: return fault::TryResult::kOk;
+            case SdlStatus::kUnavailable: return fault::TryResult::kTransient;
+            default: return fault::TryResult::kFatal;
+          }
+        });
+    if (!rc.success) {
+      static obs::Counter& write_failures = obs::counter(
+          "oran.e2.sdl_write_failures",
+          "platform telemetry writes that failed after retries");
+      ++sdl_write_failures_;
+      write_failures.inc();
+      log_warn("platform SDL write failed after ", rc.attempts,
+               " attempt(s); dispatching degraded");
+    }
+    dispatch_all(*effective, transport_delay_ms);
+  }
+  return true;
+}
+
+void NearRtRic::dispatch_all(const E2Indication& ind,
+                             double transport_delay_ms) {
   static obs::Histogram& dispatch_ms = obs::histogram(
       "oran.xapp.dispatch_ms", {},
       "per-xApp dispatch latency within the near-RT control window");
   static obs::Counter& misses = obs::counter(
       "oran.xapp.deadline_misses", "dispatches past the control window");
-  OREV_TRACE_SPAN_CAT("e2.deliver_indication", "oran");
-  indications.inc();
-  ++indications_;
-  const char* ns = ind.kind == IndicationKind::kSpectrogram ? kNsSpectrogram
-                                                            : kNsKpm;
-  const std::string key = ind.ran_node_id + "/current";
-  const SdlStatus st =
-      sdl_.write_tensor(kRicPlatformId, ns, key, ind.payload);
-  OREV_CHECK(st == SdlStatus::kOk, "platform SDL write failed");
-
+  static obs::Counter& faults = obs::counter(
+      "oran.xapp.faults", "xApp dispatches that ended in an exception");
+  static obs::Counter& quarantined = obs::counter(
+      "oran.xapp.quarantined_skips",
+      "dispatches skipped because the app's circuit breaker was open");
+  fault::FaultInjector* fi = fault::effective(fault_);
   for (const Registration& reg : xapps_) {
+    const std::string& app_id = reg.app->app_id();
+    XAppDispatchStats& s = stats_[app_id];
+    fault::CircuitBreaker& breaker = breakers_[app_id];
+    if (!breaker.allow()) {
+      ++s.quarantined_skips;
+      quarantined.inc();
+      continue;
+    }
     OREV_TRACE_SPAN_CAT("xapp.dispatch", "oran");
+    double injected_ms = transport_delay_ms;
+    bool faulted = false;
     const auto t0 = std::chrono::steady_clock::now();
-    reg.app->on_indication(ind, *this);
+    try {
+      if (fi != nullptr) {
+        const fault::FaultDecision d =
+            fi->decide(fault::sites::kXAppDispatch);
+        if (d.kind == fault::FaultKind::kCrash ||
+            d.kind == fault::FaultKind::kTransient) {
+          throw fault::FaultInjectedError(fault::sites::kXAppDispatch);
+        }
+        if (d.kind == fault::FaultKind::kDelay) injected_ms += d.delay_ms;
+      }
+      reg.app->on_indication(ind, *this);
+    } catch (const std::exception& e) {
+      // One throwing xApp must not take down the platform or starve the
+      // lower-priority apps behind it.
+      faulted = true;
+      log_warn("xApp fault in ", app_id, ": ", e.what());
+    } catch (...) {
+      faulted = true;
+      log_warn("xApp fault in ", app_id, ": unknown exception");
+    }
     const auto t1 = std::chrono::steady_clock::now();
     const double ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
+        std::chrono::duration<double, std::milli>(t1 - t0).count() +
+        injected_ms;
     dispatch_ms.observe(ms);
-    XAppDispatchStats& s = stats_[reg.app->app_id()];
     ++s.dispatches;
     s.total_ms += ms;
+    if (faulted) {
+      ++s.faults;
+      faults.inc();
+      breaker.record_failure();
+      continue;
+    }
     if (ms > control_window_ms_) {
       ++s.deadline_misses;
       misses.inc();
+      if (breaker_cfg_.count_deadline_misses) {
+        breaker.record_failure();
+        continue;
+      }
     }
+    breaker.record_success();
   }
 }
 
@@ -89,6 +225,10 @@ void NearRtRic::send_control(const std::string& app_id,
       obs::counter("oran.e2.controls", "E2 control messages sent to the RAN");
   static obs::Counter& denied = obs::counter(
       "oran.e2.control_denied", "E2 control attempts rejected by policy");
+  static obs::Counter& dropped = obs::counter(
+      "oran.e2.controls_dropped", "E2 controls lost in transport");
+  static obs::Counter& failed = obs::counter(
+      "oran.e2.controls_failed", "E2 controls that failed after retries");
   OREV_CHECK(e2_node_ != nullptr, "no E2 node connected");
   // Control access is itself policy-gated: an app must hold write
   // permission on the control namespace to steer the RAN.
@@ -97,8 +237,48 @@ void NearRtRic::send_control(const std::string& app_id,
     log_warn("E2 control denied for ", app_id);
     return;
   }
+  if (fault::FaultInjector* fi = fault::effective(fault_)) {
+    bool lost = false;
+    const fault::RetryOutcome rc =
+        fault::retry_call(retry_, retry_ops_++, [&] {
+          const fault::FaultDecision d =
+              fi->decide(fault::sites::kE2Control);
+          if (d.kind == fault::FaultKind::kTransient)
+            return fault::TryResult::kTransient;
+          if (d.kind == fault::FaultKind::kDrop) lost = true;
+          return fault::TryResult::kOk;
+        });
+    if (lost) {  // silent loss: the sender believes the send succeeded
+      ++controls_dropped_;
+      dropped.inc();
+      return;
+    }
+    if (!rc.success) {
+      ++controls_failed_;
+      failed.inc();
+      log_warn("E2 control from ", app_id, " failed after ", rc.attempts,
+               " attempt(s)");
+      return;
+    }
+  }
   controls.inc();
   e2_node_->handle_control(control);
+}
+
+SdlStatus NearRtRic::read_telemetry(const std::string& app_id,
+                                    const std::string& ns,
+                                    const std::string& key,
+                                    nn::Tensor& out) {
+  SdlStatus last = SdlStatus::kUnavailable;
+  fault::retry_call(retry_, retry_ops_++, [&] {
+    last = sdl_.read_tensor(app_id, ns, key, out);
+    switch (last) {
+      case SdlStatus::kOk: return fault::TryResult::kOk;
+      case SdlStatus::kUnavailable: return fault::TryResult::kTransient;
+      default: return fault::TryResult::kFatal;  // kDenied/kNotFound stay
+    }
+  });
+  return last;
 }
 
 void NearRtRic::accept_policy(const A1Policy& policy) {

@@ -10,6 +10,15 @@
 //   3. xApps issue E2 control decisions back to the RAN node.
 // Dispatch wall-clock time is measured against the control window; late
 // apps are recorded as deadline misses (§5.3.3's timing constraint).
+//
+// Robustness (DESIGN.md §9): the platform survives a lossy message plane.
+// E2 indications can be dropped/delayed/duplicated/corrupted and SDL ops
+// can fail transiently under an injected FaultPlan; platform SDL writes,
+// mediated telemetry reads, and the E2 control return path retry with
+// deterministic backoff; each xApp dispatch runs under try/catch plus a
+// per-app circuit breaker, so one crashing or chronically faulty xApp is
+// quarantined instead of taking down the platform or starving
+// lower-priority apps.
 #pragma once
 
 #include <chrono>
@@ -22,6 +31,8 @@
 #include "oran/e2.hpp"
 #include "oran/onboarding.hpp"
 #include "oran/sdl.hpp"
+#include "util/fault/circuit_breaker.hpp"
+#include "util/fault/retry.hpp"
 
 namespace orev::oran {
 
@@ -53,6 +64,10 @@ inline constexpr const char* kNsDecisions = "decisions";
 struct XAppDispatchStats {
   std::uint64_t dispatches = 0;
   std::uint64_t deadline_misses = 0;
+  /// Dispatches that ended in an exception (app bug or injected crash).
+  std::uint64_t faults = 0;
+  /// Dispatches skipped because the app's circuit breaker was open.
+  std::uint64_t quarantined_skips = 0;
   double total_ms = 0.0;
 };
 
@@ -74,10 +89,19 @@ class NearRtRic {
   void connect_e2(E2Node* node);
 
   /// Deliver one indication: platform SDL write + prioritized dispatch.
-  void deliver_indication(const E2Indication& ind);
+  /// Returns false when the indication was lost to an injected transport
+  /// drop (the RAN side may retransmit).
+  bool deliver_indication(const E2Indication& ind);
 
-  /// xApp-facing control path back to the connected E2 node.
+  /// xApp-facing control path back to the connected E2 node. Transient
+  /// transport faults are retried under the retry policy; drops and
+  /// exhausted retries are counted and the control is lost.
   void send_control(const std::string& app_id, const E2Control& control);
+
+  /// Platform-mediated telemetry read on behalf of an xApp: retries
+  /// kUnavailable under the retry policy, then returns the final status.
+  SdlStatus read_telemetry(const std::string& app_id, const std::string& ns,
+                           const std::string& key, nn::Tensor& out);
 
   /// A1 policies pushed down from the Non-RT RIC.
   void accept_policy(const A1Policy& policy);
@@ -87,11 +111,34 @@ class NearRtRic {
   double control_window_ms() const { return control_window_ms_; }
   std::uint64_t indications_delivered() const { return indications_; }
 
+  // ------------------------------------------------- fault/recovery layer
+  /// Inject message-plane faults (also wires the platform SDL). nullptr
+  /// restores perfect reliability; the process-global injector (if any)
+  /// applies when unset.
+  void set_fault_injector(fault::FaultInjector* injector);
+  void set_retry_policy(const fault::RetryPolicy& policy) {
+    retry_ = policy;
+  }
+  const fault::RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Breaker settings for all registered and future xApps (resets the
+  /// current breaker states).
+  void set_breaker_config(const fault::BreakerConfig& cfg);
+  fault::CircuitBreaker::State breaker_state(const std::string& app_id) const;
+  std::uint64_t breaker_opens(const std::string& app_id) const;
+
+  std::uint64_t indications_dropped() const { return indications_dropped_; }
+  std::uint64_t sdl_write_failures() const { return sdl_write_failures_; }
+  std::uint64_t controls_dropped() const { return controls_dropped_; }
+  std::uint64_t controls_failed() const { return controls_failed_; }
+
  private:
   struct Registration {
     std::shared_ptr<XApp> app;
     int priority = 0;
   };
+
+  void dispatch_all(const E2Indication& ind, double transport_delay_ms);
 
   Rbac* rbac_;
   const OnboardingService* onboarding_;
@@ -102,6 +149,16 @@ class NearRtRic {
   std::vector<A1Policy> policies_;
   std::map<std::string, XAppDispatchStats> stats_;
   std::uint64_t indications_ = 0;
+
+  fault::FaultInjector* fault_ = nullptr;
+  fault::RetryPolicy retry_;
+  fault::BreakerConfig breaker_cfg_;
+  std::map<std::string, fault::CircuitBreaker> breakers_;
+  std::uint64_t retry_ops_ = 0;
+  std::uint64_t indications_dropped_ = 0;
+  std::uint64_t sdl_write_failures_ = 0;
+  std::uint64_t controls_dropped_ = 0;
+  std::uint64_t controls_failed_ = 0;
 };
 
 }  // namespace orev::oran

@@ -25,6 +25,7 @@
 #include "oran/o1.hpp"
 #include "oran/onboarding.hpp"
 #include "oran/sdl.hpp"
+#include "util/fault/retry.hpp"
 
 namespace orev::oran {
 
@@ -51,6 +52,12 @@ inline constexpr const char* kNsRappDecisions = "rapp-decisions";
 /// SDL key carrying the sliding PRB history tensor [window, num_cells].
 inline constexpr const char* kKeyPrbHistory = "prb-history";
 
+struct RAppDispatchStats {
+  std::uint64_t dispatches = 0;
+  /// Dispatches that ended in an exception (app bug or injected crash).
+  std::uint64_t faults = 0;
+};
+
 class NonRtRic {
  public:
   NonRtRic(Rbac* rbac, const OnboardingService* onboarding,
@@ -72,8 +79,14 @@ class NonRtRic {
   bool request_cell_state(const std::string& app_id, int cell_id,
                           bool active);
 
-  /// Push an A1 policy to a Near-RT RIC instance.
-  void push_a1_policy(NearRtRic& target, const A1Policy& policy);
+  /// Push an A1 policy to a Near-RT RIC instance. Transient transport
+  /// faults are retried under the retry policy; returns false when the
+  /// policy was dropped or retries were exhausted.
+  bool push_a1_policy(NearRtRic& target, const A1Policy& policy);
+
+  /// Platform-mediated PM history read on behalf of an rApp: retries
+  /// kUnavailable under the retry policy, then returns the final status.
+  SdlStatus read_pm_history(const std::string& app_id, nn::Tensor& out);
 
   /// Cell ids seen in the most recent PM report, in ascending order.
   const std::vector<int>& cell_ids() const { return cell_ids_; }
@@ -81,13 +94,28 @@ class NonRtRic {
   int history_window() const { return history_window_; }
   std::uint64_t periods_run() const { return period_; }
 
+  // ------------------------------------------------- fault/recovery layer
+  /// Inject message-plane faults (also wires the platform SDL).
+  void set_fault_injector(fault::FaultInjector* injector);
+  void set_retry_policy(const fault::RetryPolicy& policy) {
+    retry_ = policy;
+  }
+
+  const RAppDispatchStats& stats_of(const std::string& app_id) const;
+  /// PM periods lost because O1 collection failed after retries.
+  std::uint64_t pm_collect_failures() const { return pm_collect_failures_; }
+  /// History publishes that failed after retries (rApps dispatch degraded).
+  std::uint64_t pm_publish_failures() const { return pm_publish_failures_; }
+  std::uint64_t policies_dropped() const { return policies_dropped_; }
+  std::uint64_t policies_failed() const { return policies_failed_; }
+
  private:
   struct Registration {
     std::shared_ptr<RApp> app;
     int priority = 0;
   };
 
-  void publish_history();
+  bool publish_history();
 
   Rbac* rbac_;
   const OnboardingService* onboarding_;
@@ -98,6 +126,15 @@ class NonRtRic {
   std::uint64_t period_ = 0;
   std::vector<int> cell_ids_;
   std::deque<std::vector<double>> prb_history_;  // most recent at back
+
+  fault::FaultInjector* fault_ = nullptr;
+  fault::RetryPolicy retry_;
+  std::map<std::string, RAppDispatchStats> stats_;
+  std::uint64_t retry_ops_ = 0;
+  std::uint64_t pm_collect_failures_ = 0;
+  std::uint64_t pm_publish_failures_ = 0;
+  std::uint64_t policies_dropped_ = 0;
+  std::uint64_t policies_failed_ = 0;
 };
 
 }  // namespace orev::oran

@@ -2,6 +2,7 @@
 
 #include "util/check.hpp"
 #include "util/obs/obs.hpp"
+#include "util/rng.hpp"
 
 namespace orev::oran {
 
@@ -20,16 +21,78 @@ bool Sdl::check(const std::string& app_id, const std::string& ns,
       obs::counter("oran.sdl.writes", "SDL write attempts");
   static obs::Counter& denied =
       obs::counter("oran.sdl.denied", "SDL accesses denied by RBAC/ABAC");
+  static obs::Counter& audit_evicted = obs::counter(
+      "oran.sdl.audit_dropped", "audit records evicted from the ring");
   (op == Op::kRead ? reads : writes).inc();
   const bool ok = rbac_->allowed(app_id, ns, op);
   if (!ok) denied.inc();
   audit_.push_back(AuditRecord{app_id, ns, key, op, ok});
+  while (audit_.size() > audit_capacity_) {
+    audit_.pop_front();
+    ++audit_dropped_;
+    audit_evicted.inc();
+  }
   return ok;
+}
+
+void Sdl::set_audit_capacity(std::size_t capacity) {
+  OREV_CHECK(capacity > 0, "audit capacity must be positive");
+  audit_capacity_ = capacity;
+  while (audit_.size() > audit_capacity_) {
+    audit_.pop_front();
+    ++audit_dropped_;
+  }
+}
+
+SdlStatus Sdl::storage_fault(Op op, nn::Tensor* payload) const {
+  fault::FaultInjector* fi = fault::effective(fault_);
+  if (fi == nullptr) return SdlStatus::kOk;
+  static obs::Counter& unavailable = obs::counter(
+      "oran.sdl.unavailable", "SDL ops failed by injected transient faults");
+  static obs::Counter& lost = obs::counter(
+      "oran.sdl.writes_lost", "SDL writes silently dropped by faults");
+  static obs::Counter& corrupted = obs::counter(
+      "oran.sdl.corrupted", "SDL payloads corrupted by faults");
+  const bool is_read = op == Op::kRead;
+  const fault::FaultDecision d =
+      fi->decide(is_read ? fault::sites::kSdlRead : fault::sites::kSdlWrite);
+  switch (d.kind) {
+    case fault::FaultKind::kTransient:
+    case fault::FaultKind::kDelay:  // storage has no timing axis here:
+                                    // delays degrade to transient failures
+      unavailable.inc();
+      ++(is_read ? unavailable_reads_ : unavailable_writes_);
+      return SdlStatus::kUnavailable;
+    case fault::FaultKind::kDrop:
+      if (is_read) {  // a dropped read response is indistinguishable from
+                      // an unavailable backend to the caller
+        unavailable.inc();
+        ++unavailable_reads_;
+        return SdlStatus::kUnavailable;
+      }
+      lost.inc();
+      ++dropped_writes_;
+      return SdlStatus::kNotFound;  // sentinel: caller drops the write
+    case fault::FaultKind::kCorrupt:
+      if (payload != nullptr && !payload->empty()) {
+        corrupted.inc();
+        ++corrupted_writes_;
+        Rng rng(d.payload_seed);
+        for (std::size_t i = 0; i < payload->numel(); ++i)
+          (*payload)[i] += rng.normal(0.0f, d.corrupt_scale);
+      }
+      return SdlStatus::kOk;
+    default:
+      return SdlStatus::kOk;
+  }
 }
 
 SdlStatus Sdl::write_tensor(const std::string& app_id, const std::string& ns,
                             const std::string& key, nn::Tensor value) {
   if (!check(app_id, ns, key, Op::kWrite)) return SdlStatus::kDenied;
+  const SdlStatus fault_st = storage_fault(Op::kWrite, &value);
+  if (fault_st == SdlStatus::kUnavailable) return SdlStatus::kUnavailable;
+  if (fault_st == SdlStatus::kNotFound) return SdlStatus::kOk;  // lost write
   Entry& e = store_[{ns, key}];
   e.tensor = std::move(value);
   e.is_tensor = true;
@@ -41,6 +104,9 @@ SdlStatus Sdl::write_tensor(const std::string& app_id, const std::string& ns,
 SdlStatus Sdl::write_text(const std::string& app_id, const std::string& ns,
                           const std::string& key, std::string value) {
   if (!check(app_id, ns, key, Op::kWrite)) return SdlStatus::kDenied;
+  const SdlStatus fault_st = storage_fault(Op::kWrite, nullptr);
+  if (fault_st == SdlStatus::kUnavailable) return SdlStatus::kUnavailable;
+  if (fault_st == SdlStatus::kNotFound) return SdlStatus::kOk;  // lost write
   Entry& e = store_[{ns, key}];
   e.text = std::move(value);
   e.is_tensor = false;
@@ -52,6 +118,8 @@ SdlStatus Sdl::write_text(const std::string& app_id, const std::string& ns,
 SdlStatus Sdl::read_tensor(const std::string& app_id, const std::string& ns,
                            const std::string& key, nn::Tensor& out) const {
   if (!check(app_id, ns, key, Op::kRead)) return SdlStatus::kDenied;
+  if (storage_fault(Op::kRead, nullptr) == SdlStatus::kUnavailable)
+    return SdlStatus::kUnavailable;
   const auto it = store_.find({ns, key});
   if (it == store_.end() || !it->second.is_tensor) return SdlStatus::kNotFound;
   out = it->second.tensor;
@@ -61,6 +129,8 @@ SdlStatus Sdl::read_tensor(const std::string& app_id, const std::string& ns,
 SdlStatus Sdl::read_text(const std::string& app_id, const std::string& ns,
                          const std::string& key, std::string& out) const {
   if (!check(app_id, ns, key, Op::kRead)) return SdlStatus::kDenied;
+  if (storage_fault(Op::kRead, nullptr) == SdlStatus::kUnavailable)
+    return SdlStatus::kUnavailable;
   const auto it = store_.find({ns, key});
   if (it == store_.end() || it->second.is_tensor) return SdlStatus::kNotFound;
   out = it->second.text;

@@ -5,8 +5,18 @@
 // log. The paper's core attack path — a malicious app with (mis)granted
 // write access perturbing the telemetry a victim app consumes — happens
 // entirely through this interface.
+//
+// Robustness: an optional FaultInjector models a flaky storage backend
+// (site "sdl.read"/"sdl.write"). Transient faults surface as
+// SdlStatus::kUnavailable — a retryable condition distinct from kDenied /
+// kNotFound — write drops are silently lost, and corruption perturbs the
+// stored/returned tensor deterministically. With no injector the store is
+// perfectly reliable, as before. The audit log is a bounded ring so long
+// chaos soaks cannot grow it without bound.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <string>
@@ -14,10 +24,11 @@
 
 #include "nn/tensor.hpp"
 #include "oran/rbac.hpp"
+#include "util/fault/fault.hpp"
 
 namespace orev::oran {
 
-enum class SdlStatus { kOk, kDenied, kNotFound };
+enum class SdlStatus { kOk, kDenied, kNotFound, kUnavailable };
 
 struct AuditRecord {
   std::string app_id;
@@ -37,15 +48,16 @@ class Sdl {
   SdlStatus write_text(const std::string& app_id, const std::string& ns,
                        const std::string& key, std::string value);
 
-  /// Read into `out`; returns kDenied/kNotFound without touching `out` on
-  /// failure.
+  /// Read into `out`; returns kDenied/kNotFound/kUnavailable without
+  /// touching `out` on failure.
   SdlStatus read_tensor(const std::string& app_id, const std::string& ns,
                         const std::string& key, nn::Tensor& out) const;
   SdlStatus read_text(const std::string& app_id, const std::string& ns,
                       const std::string& key, std::string& out) const;
 
   /// Version counter of an entry (bumped on every successful write);
-  /// nullopt when absent. Versions let apps detect tampering windows.
+  /// nullopt when absent. Versions let apps detect tampering windows and
+  /// bound the staleness of cached telemetry during outages.
   std::optional<std::uint64_t> version(const std::string& ns,
                                        const std::string& key) const;
 
@@ -53,8 +65,32 @@ class Sdl {
   std::optional<std::string> last_writer(const std::string& ns,
                                          const std::string& key) const;
 
-  const std::vector<AuditRecord>& audit_log() const { return audit_; }
+  /// Bounded audit ring: the most recent `audit_capacity()` records.
+  const std::deque<AuditRecord>& audit_log() const { return audit_; }
   void clear_audit_log() { audit_.clear(); }
+
+  /// Ring capacity (default 65536); shrinking drops the oldest records.
+  void set_audit_capacity(std::size_t capacity);
+  std::size_t audit_capacity() const { return audit_capacity_; }
+
+  /// Records evicted from the ring so far. The sequence number of
+  /// audit_log().front() is exactly this value, which lets log consumers
+  /// (e.g. SdlWriteMonitor) keep stable cursors across evictions.
+  std::uint64_t audit_dropped_records() const { return audit_dropped_; }
+
+  /// Inject storage faults (nullptr restores perfect reliability). Falls
+  /// back to the process-global injector when unset.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
+  /// Reads/writes that reported kUnavailable due to injected faults.
+  std::uint64_t unavailable_reads() const { return unavailable_reads_; }
+  std::uint64_t unavailable_writes() const { return unavailable_writes_; }
+  /// Writes silently lost (reported kOk, store untouched).
+  std::uint64_t dropped_writes() const { return dropped_writes_; }
+  /// Writes whose payload was corrupted before storing.
+  std::uint64_t corrupted_writes() const { return corrupted_writes_; }
 
   /// All keys currently present in a namespace.
   std::vector<std::string> keys(const std::string& ns) const;
@@ -71,9 +107,20 @@ class Sdl {
   bool check(const std::string& app_id, const std::string& ns,
              const std::string& key, Op op) const;
 
+  /// Fault decision for one storage op; returns the injected status to
+  /// surface (kOk = proceed normally). May corrupt `payload` in place.
+  SdlStatus storage_fault(Op op, nn::Tensor* payload) const;
+
   const Rbac* rbac_;
   std::map<std::pair<std::string, std::string>, Entry> store_;
-  mutable std::vector<AuditRecord> audit_;
+  mutable std::deque<AuditRecord> audit_;
+  std::size_t audit_capacity_ = 65536;
+  mutable std::uint64_t audit_dropped_ = 0;
+  fault::FaultInjector* fault_ = nullptr;
+  mutable std::uint64_t unavailable_reads_ = 0;
+  mutable std::uint64_t unavailable_writes_ = 0;
+  mutable std::uint64_t dropped_writes_ = 0;
+  mutable std::uint64_t corrupted_writes_ = 0;
 };
 
 }  // namespace orev::oran

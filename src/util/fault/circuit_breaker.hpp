@@ -1,0 +1,87 @@
+// Per-dependency circuit breaker with deterministic, op-counted cooldown.
+//
+// Classic three-state breaker (closed → open → half-open), except the
+// open-state cooldown is measured in *operations offered* (allow() calls)
+// rather than wall time, so quarantine and recovery replay identically
+// from a seed — the property every other fault-layer component keeps.
+//
+// The Near-RT RIC keeps one breaker per registered xApp: N consecutive
+// faults (injected or real exceptions, optionally deadline misses)
+// quarantine the app; after the cooldown a limited number of probe
+// dispatches decide between closing and re-opening.
+#pragma once
+
+#include <cstdint>
+
+namespace orev::fault {
+
+struct BreakerConfig {
+  int failure_threshold = 3;   // consecutive failures that open the breaker
+  int open_cooldown = 16;      // allow() calls rejected before half-open
+  int half_open_successes = 1; // probe successes required to close
+  /// When true, deadline misses count as failures toward the threshold
+  /// (off by default: wall-clock misses on a loaded host must not be able
+  /// to perturb deterministic runs).
+  bool count_deadline_misses = false;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(const BreakerConfig& cfg) : cfg_(cfg) {}
+
+  /// Offer one operation. Closed/half-open: true. Open: false, and the
+  /// cooldown advances; once exhausted the breaker turns half-open and
+  /// this call admits the first probe.
+  bool allow() {
+    if (state_ == State::kOpen) {
+      if (--cooldown_left_ > 0) return false;
+      state_ = State::kHalfOpen;
+      probe_successes_ = 0;
+    }
+    return true;
+  }
+
+  void record_success() {
+    if (state_ == State::kHalfOpen) {
+      if (++probe_successes_ >= cfg_.half_open_successes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+      }
+      return;
+    }
+    consecutive_failures_ = 0;
+  }
+
+  void record_failure() {
+    if (state_ == State::kHalfOpen) {  // failed probe: straight back open
+      open();
+      return;
+    }
+    if (++consecutive_failures_ >= cfg_.failure_threshold) open();
+  }
+
+  State state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  std::uint64_t times_opened() const { return times_opened_; }
+  const BreakerConfig& config() const { return cfg_; }
+
+ private:
+  void open() {
+    state_ = State::kOpen;
+    cooldown_left_ = cfg_.open_cooldown;
+    consecutive_failures_ = 0;
+    ++times_opened_;
+  }
+
+  BreakerConfig cfg_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int cooldown_left_ = 0;
+  int probe_successes_ = 0;
+  std::uint64_t times_opened_ = 0;
+};
+
+}  // namespace orev::fault

@@ -1,0 +1,182 @@
+// Deterministic fault injection for the O-RAN message plane.
+//
+// A FaultPlan names *sites* (e.g. "sdl.read", "e2.indication") and attaches
+// per-site fault specs: drop / delay / duplicate / corrupt / transient /
+// crash, each with an injection probability and an optional budget. A
+// FaultInjector draws one decision per site operation from a counter-based
+// Rng stream keyed on (plan seed, site name, per-site op index), so the
+// decision sequence at a site depends only on the seed and on how many ops
+// that site has served — never on interleavings with other sites, wall
+// clock, or thread schedule. Same seed ⇒ same fault sequence, always.
+//
+// The layer is strictly opt-in: every instrumented component holds a
+// nullable injector pointer (falling back to the process-global injector,
+// also null by default). With no injector installed the hot paths pay one
+// pointer load and behave byte-identically to the pre-fault code.
+//
+// Fault semantics are defined by the call site, not the engine; the
+// canonical mapping (see DESIGN.md §9):
+//   drop      — message/write silently lost (writes report success)
+//   delay     — virtual latency (ms) added to the op's measured time
+//   duplicate — message processed twice
+//   corrupt   — payload perturbed with seeded Gaussian noise
+//   transient — retryable failure (SDL reports kUnavailable; dispatch
+//               sites throw FaultInjectedError)
+//   crash     — injected exception at app-dispatch sites
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace orev::fault {
+
+enum class FaultKind {
+  kNone = 0,
+  kDrop,
+  kDelay,
+  kDuplicate,
+  kCorrupt,
+  kTransient,
+  kCrash,
+};
+inline constexpr int kFaultKindCount = 7;
+
+/// Stable lowercase name ("drop", "transient", ...) used by the plan-file
+/// format and the stats report.
+std::string fault_kind_name(FaultKind k);
+std::optional<FaultKind> fault_kind_from_name(const std::string& name);
+
+/// One fault rule at a site. Specs are evaluated in plan order; the first
+/// spec whose Bernoulli draw fires (and whose budget is not exhausted)
+/// wins the op.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  double probability = 0.0;    // chance this spec fires per site op
+  double delay_ms = 5.0;       // kDelay: virtual latency added
+  float corrupt_scale = 0.5f;  // kCorrupt: stddev of the additive noise
+  std::uint64_t max_injections = UINT64_MAX;  // budget; UINT64_MAX = unbounded
+};
+
+/// Canonical site names used by the instrumented message plane.
+namespace sites {
+inline constexpr const char* kSdlRead = "sdl.read";
+inline constexpr const char* kSdlWrite = "sdl.write";
+inline constexpr const char* kE2Indication = "e2.indication";
+inline constexpr const char* kE2Control = "e2.control";
+inline constexpr const char* kXAppDispatch = "xapp.dispatch";
+inline constexpr const char* kRAppDispatch = "rapp.dispatch";
+inline constexpr const char* kA1Policy = "a1.policy";
+inline constexpr const char* kO1Collect = "o1.collect";
+inline constexpr const char* kO1Control = "o1.control";
+}  // namespace sites
+
+/// A seeded schedule of per-site fault specs.
+///
+/// Text format (one directive per line, '#' comments):
+///   seed <uint64>
+///   site <name> <kind> p=<prob> [delay_ms=<ms>] [corrupt_scale=<s>]
+///        [max=<n>]
+struct FaultPlan {
+  std::uint64_t seed = 0x5eed;
+  std::map<std::string, std::vector<FaultSpec>> sites;
+
+  bool empty() const { return sites.empty(); }
+
+  /// Parse the text format; throws CheckError on malformed input.
+  static FaultPlan parse(const std::string& text);
+
+  /// Load from a file; nullopt when the file cannot be read (parse errors
+  /// still throw, so a bad committed schedule fails loudly).
+  static std::optional<FaultPlan> load(const std::string& path);
+
+  /// Render in the text format (round-trips through parse()).
+  std::string to_string() const;
+};
+
+/// The committed chaos schedule used by bench_chaos when no --fault-plan
+/// is given (mirrored at bench/fault_plans/chaos_default.plan).
+FaultPlan default_chaos_plan();
+
+/// The outcome of one site operation.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  double delay_ms = 0.0;
+  float corrupt_scale = 0.0f;
+  /// Seed for payload perturbation (kCorrupt): build an Rng from it and
+  /// the corruption is as deterministic as the decision itself.
+  std::uint64_t payload_seed = 0;
+
+  explicit operator bool() const { return kind != FaultKind::kNone; }
+};
+
+/// Exception thrown by dispatch sites for kTransient/kCrash decisions
+/// (simulating an app that dies mid-callback).
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& site)
+      : std::runtime_error("injected fault at " + site) {}
+};
+
+/// Per-site injection accounting.
+struct SiteStats {
+  std::uint64_t ops = 0;       // decisions requested
+  std::uint64_t injected = 0;  // decisions != kNone
+  std::uint64_t by_kind[kFaultKindCount] = {};
+};
+
+/// Draws deterministic fault decisions against a FaultPlan. Thread-safe;
+/// decision streams are per-site, so components on different sites never
+/// perturb each other's sequences.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Decide the fate of the next operation at `site`. Sites absent from
+  /// the plan always return kNone (and are not tracked).
+  FaultDecision decide(const std::string& site);
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t total_ops() const;
+  std::uint64_t total_injected() const;
+  SiteStats site_stats(const std::string& site) const;
+
+  /// Deterministic JSON report of per-site ops/injections by kind (sorted
+  /// by site name; no timing data) — the artifact CI diffs across runs.
+  std::string stats_json() const;
+
+  /// Zero all op counters and budgets: the injector replays the same
+  /// fault sequence from the start.
+  void reset();
+
+ private:
+  struct SiteState {
+    std::vector<FaultSpec> specs;
+    std::vector<std::uint64_t> injected_per_spec;
+    SiteStats stats;
+    std::uint64_t stream_key = 0;  // FNV-1a(site) mixed into the seed
+  };
+
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+};
+
+/// Process-global injector (nullptr by default). Installed by the bench
+/// harness's --fault-plan/--fault-seed flags so every bench can run under
+/// a fault schedule without code changes; components consult it only when
+/// no instance-level injector was set.
+void set_global_injector(FaultInjector* injector);
+FaultInjector* global_injector();
+
+/// The injector a component should use: its own override when set, else
+/// the process-global one (usually null).
+inline FaultInjector* effective(FaultInjector* local) {
+  return local != nullptr ? local : global_injector();
+}
+
+}  // namespace orev::fault

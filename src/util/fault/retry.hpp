@@ -1,0 +1,83 @@
+// Bounded retry with deterministic exponential backoff and seeded jitter.
+//
+// Backoff time is *virtual*: retry_call() accounts it (and exports it via
+// the metrics registry) without sleeping, so retried paths stay fast and
+// byte-deterministic under test. The jitter for (op, attempt) is a pure
+// function of the policy's jitter seed, never of wall clock or prior
+// draws — the same retry sequence replays identically from a seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace orev::fault {
+
+/// Classification of one attempt, returned by the callable given to
+/// retry_call(): kOk stops with success, kTransient retries (until the
+/// attempt budget runs out), kFatal stops immediately without retrying.
+enum class TryResult { kOk, kTransient, kFatal };
+
+struct RetryPolicy {
+  int max_attempts = 3;         // total attempts (1 = no retry)
+  double base_backoff_ms = 2.0; // first retry's backoff
+  double multiplier = 2.0;      // exponential growth per retry
+  double max_backoff_ms = 50.0; // cap before jitter
+  double jitter_frac = 0.1;     // ± fraction of the backoff, seeded
+  std::uint64_t jitter_seed = 0x7e77;
+};
+
+/// A RetryPolicy that never retries (for "resilience off" comparisons).
+inline RetryPolicy no_retry_policy() {
+  RetryPolicy p;
+  p.max_attempts = 1;
+  return p;
+}
+
+struct RetryOutcome {
+  bool success = false;
+  bool fatal = false;            // stopped on a non-retryable failure
+  int attempts = 0;
+  double total_backoff_ms = 0.0; // virtual backoff accounted, not slept
+};
+
+/// Deterministic backoff for retry number `attempt` (1-based) of operation
+/// `op_id`: min(base * multiplier^(attempt-1), max) scaled by seeded
+/// jitter in [1 - jitter_frac, 1 + jitter_frac].
+double backoff_ms(const RetryPolicy& policy, int attempt,
+                  std::uint64_t op_id);
+
+namespace detail {
+/// Metrics hooks (defined in retry.cpp so the template stays light).
+void record_retries(int extra_attempts, double backoff_ms_total);
+void record_exhausted();
+}  // namespace detail
+
+/// Run `fn` (returning TryResult) under the policy. `op_id` keys the
+/// jitter stream; callers pass a per-component monotone counter so every
+/// operation gets its own deterministic jitter.
+template <typename Fn>
+RetryOutcome retry_call(const RetryPolicy& policy, std::uint64_t op_id,
+                        Fn&& fn) {
+  RetryOutcome out;
+  const int budget = std::max(1, policy.max_attempts);
+  for (int attempt = 1; attempt <= budget; ++attempt) {
+    out.attempts = attempt;
+    const TryResult r = fn();
+    if (r == TryResult::kOk) {
+      out.success = true;
+      break;
+    }
+    if (r == TryResult::kFatal) {
+      out.fatal = true;
+      break;
+    }
+    if (attempt < budget)
+      out.total_backoff_ms += backoff_ms(policy, attempt, op_id);
+  }
+  if (out.attempts > 1) detail::record_retries(out.attempts - 1,
+                                               out.total_backoff_ms);
+  if (!out.success && !out.fatal) detail::record_exhausted();
+  return out;
+}
+
+}  // namespace orev::fault

@@ -4,6 +4,8 @@
 // RIC platforms' dispatch semantics.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "oran/near_rt_ric.hpp"
 #include "oran/non_rt_ric.hpp"
 #include "oran/onboarding.hpp"
@@ -174,6 +176,66 @@ TEST_F(SdlTest, KeysListsNamespaceContents) {
   sdl_.write_text("writer", "ns/b", "k3", "z");
   const auto keys = sdl_.keys("ns/a");
   EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST_F(SdlTest, DeniedReadLeavesOutUntouched) {
+  sdl_.write_tensor("writer", "ns/a", "k", nn::Tensor({1}, 5.0f));
+  nn::Tensor out({2}, std::vector<float>{7.0f, 8.0f});
+  EXPECT_EQ(sdl_.read_tensor("stranger", "ns/a", "k", out),
+            SdlStatus::kDenied);
+  ASSERT_EQ(out.numel(), 2u);
+  EXPECT_FLOAT_EQ(out[0], 7.0f);
+  EXPECT_FLOAT_EQ(out[1], 8.0f);
+
+  sdl_.write_text("writer", "ns/a", "t", "secret");
+  std::string text = "stale";
+  EXPECT_EQ(sdl_.read_text("stranger", "ns/a", "t", text), SdlStatus::kDenied);
+  EXPECT_EQ(text, "stale");
+}
+
+TEST_F(SdlTest, NotFoundReadLeavesOutUntouched) {
+  nn::Tensor out({1}, std::vector<float>{3.0f});
+  EXPECT_EQ(sdl_.read_tensor("reader", "ns/a", "missing", out),
+            SdlStatus::kNotFound);
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+  std::string text = "stale";
+  EXPECT_EQ(sdl_.read_text("reader", "ns/a", "missing", text),
+            SdlStatus::kNotFound);
+  EXPECT_EQ(text, "stale");
+}
+
+TEST_F(SdlTest, FailedWriteDoesNotBumpVersionOrWriter) {
+  sdl_.write_text("writer", "ns/a", "k", "v1");
+  ASSERT_EQ(sdl_.version("ns/a", "k"), 1u);
+  // A denied write must not advance version or reassign last_writer.
+  EXPECT_EQ(sdl_.write_text("reader", "ns/a", "k", "evil"),
+            SdlStatus::kDenied);
+  EXPECT_EQ(sdl_.version("ns/a", "k"), 1u);
+  EXPECT_EQ(sdl_.last_writer("ns/a", "k"), "writer");
+  std::string out;
+  sdl_.read_text("reader", "ns/a", "k", out);
+  EXPECT_EQ(out, "v1");
+  // A key that has only ever seen denied writes has no version at all.
+  EXPECT_EQ(sdl_.write_text("reader", "ns/a", "fresh", "x"),
+            SdlStatus::kDenied);
+  EXPECT_FALSE(sdl_.version("ns/a", "fresh").has_value());
+  EXPECT_FALSE(sdl_.last_writer("ns/a", "fresh").has_value());
+}
+
+TEST_F(SdlTest, AuditRingIsBoundedAndCountsDrops) {
+  sdl_.set_audit_capacity(4);
+  for (int i = 0; i < 10; ++i)
+    sdl_.write_text("writer", "ns/a", "k" + std::to_string(i), "v");
+  EXPECT_EQ(sdl_.audit_log().size(), 4u);
+  EXPECT_EQ(sdl_.audit_dropped_records(), 6u);
+  // Oldest records were evicted: the ring holds the last four writes.
+  EXPECT_EQ(sdl_.audit_log().front().key, "k6");
+  EXPECT_EQ(sdl_.audit_log().back().key, "k9");
+  // Shrinking the capacity drops the oldest surviving records too.
+  sdl_.set_audit_capacity(2);
+  EXPECT_EQ(sdl_.audit_log().size(), 2u);
+  EXPECT_EQ(sdl_.audit_dropped_records(), 8u);
+  EXPECT_EQ(sdl_.audit_log().front().key, "k8");
 }
 
 // ------------------------------------------------------------- onboarding
@@ -414,6 +476,42 @@ TEST_F(NearRtRicTest, DispatchStatsCount) {
   ric.deliver_indication(indication(2));
   EXPECT_EQ(ric.stats_of(id).dispatches, 2u);
   EXPECT_EQ(app->ttis.size(), 2u);
+}
+
+class SlowXApp : public XApp {
+ public:
+  explicit SlowXApp(double busy_ms) : busy_ms_(busy_ms) {}
+  void on_indication(const E2Indication&, NearRtRic&) override {
+    const auto start = std::chrono::steady_clock::now();
+    while (std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+               .count() < busy_ms_) {
+    }
+  }
+
+ private:
+  double busy_ms_;
+};
+
+TEST_F(NearRtRicTest, DeadlineMissesAreAccounted) {
+  // A 0.01 ms control window that a 2 ms xApp can never meet.
+  NearRtRic ric(&rbac_, &svc_, /*control_window_ms=*/0.01);
+  const std::string slow = onboard("slow");
+  const std::string fast = onboard("fast");
+  ric.register_xapp(std::make_shared<SlowXApp>(2.0), slow, 0);
+  auto recorder = std::make_shared<RecordingXApp>();
+  ric.register_xapp(recorder, fast, 1);
+  ric.deliver_indication(indication(1));
+  ric.deliver_indication(indication(2));
+  EXPECT_EQ(ric.stats_of(slow).dispatches, 2u);
+  EXPECT_EQ(ric.stats_of(slow).deadline_misses, 2u);
+  EXPECT_GE(ric.stats_of(slow).total_ms, 4.0);
+  // Missing the deadline is accounted, not fatal: dispatch still completed
+  // and (by default) does not trip the app's circuit breaker.
+  EXPECT_EQ(recorder->ttis.size(), 2u);
+  EXPECT_EQ(ric.breaker_state(slow),
+            fault::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(ric.stats_of(slow).faults, 0u);
 }
 
 TEST_F(NearRtRicTest, PoliciesAccepted) {
