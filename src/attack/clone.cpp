@@ -3,10 +3,44 @@
 #include <chrono>
 #include <optional>
 
+#include "nn/serialize.hpp"
+#include "util/fault/fault.hpp"
 #include "util/log.hpp"
 #include "util/obs/obs.hpp"
+#include "util/persist/frame.hpp"
 
 namespace orev::attack {
+
+namespace {
+
+/// Frame app tag for MCA progress checkpoints.
+constexpr const char* kCloneTag = "orev.clone";
+
+std::string clone_progress_path(const std::string& dir) {
+  return dir + "/clone_progress.ckpt";
+}
+
+std::string clone_candidate_path(const std::string& dir, std::size_t i) {
+  return dir + "/cand_" + std::to_string(i) + ".ckpt";
+}
+
+/// Fingerprint of everything that shapes the MCA trajectory: seed, split,
+/// dataset size and the candidate roster. A progress checkpoint written
+/// under any other setup is rejected rather than resumed.
+std::string clone_fingerprint(const data::Dataset& d_clone,
+                              const std::vector<Candidate>& candidates,
+                              const CloneConfig& config) {
+  persist::ByteWriter w;
+  w.u64(config.seed);
+  w.f64(config.train_fraction);
+  w.i32(d_clone.x.dim(0));
+  w.i32(d_clone.num_classes);
+  w.u64(candidates.size());
+  for (const Candidate& c : candidates) w.str(c.name);
+  return w.take();
+}
+
+}  // namespace
 
 data::Dataset collect_clone_dataset(nn::Model& victim,
                                     const nn::Tensor& inputs) {
@@ -67,11 +101,127 @@ CloneReport clone_model(const data::Dataset& d_clone,
   static obs::Histogram& train_ms = obs::histogram(
       "attack.clone.candidate_train_ms", {}, "per-candidate training time");
 
-  std::uint64_t model_seed = config.seed;
-  for (const Candidate& cand : candidates) {
+  // ----- crash-safe checkpoint / resume ---------------------------------
+  const bool ckpt = !config.checkpoint_dir.empty();
+  const std::string progress_path =
+      ckpt ? clone_progress_path(config.checkpoint_dir) : std::string();
+  const std::string fingerprint =
+      ckpt ? clone_fingerprint(d_clone, candidates, config) : std::string();
+  std::size_t start_i = 0;
+  int best_idx = -1;
+
+  // Commit overall progress: scores so far, which candidate runs next, and
+  // the best surrogate's full state (so the winner survives even after its
+  // per-candidate trainer checkpoint is gone).
+  auto save_progress = [&](std::size_t next_i) {
+    persist::FrameWriter fw(kCloneTag);
+    fw.section("config", fingerprint);
+
+    persist::ByteWriter prog;
+    prog.u64(next_i);
+    prog.i32(best_idx);
+    prog.f64(best_acc);
+    prog.u64(scores.size());
+    for (const ArchScore& s : scores) {
+      prog.str(s.name);
+      prog.f64(s.cloning_accuracy);
+      prog.i32(s.epochs_run);
+      prog.u8(s.early_stopped ? 1 : 0);
+      prog.f64(s.train_seconds);
+    }
+    fw.section("progress", prog.take());
+
+    persist::ByteWriter bs;
+    best->write_state(bs);
+    fw.section("best", bs.take());
+
+    const persist::Status st = fw.commit(progress_path);
+    OREV_CHECK(st.ok(), "failed to commit clone progress '" + progress_path +
+                            "': " + st.message());
+    fault::maybe_crash(fault::sites::kCkptClone);
+  };
+
+  auto load_progress = [&]() -> persist::Status {
+    using persist::Status;
+    using persist::StatusCode;
+    persist::FrameReader fr;
+    Status st = persist::FrameReader::load(progress_path, kCloneTag, fr);
+    if (!st.ok()) return st;
+
+    std::string_view sec;
+    st = fr.section("config", sec);
+    if (!st.ok()) return st;
+    if (sec != fingerprint)
+      return Status::Fail(StatusCode::kMismatch,
+                          "clone progress checkpoint was written under a "
+                          "different dataset, candidate roster or config");
+
+    st = fr.section("progress", sec);
+    if (!st.ok()) return st;
+    std::uint64_t next_i = 0, cnt = 0;
+    std::int32_t bidx = -1;
+    double bacc = -1.0;
+    std::vector<ArchScore> saved;
+    {
+      persist::ByteReader r(sec);
+      if (!r.u64(next_i) || !r.i32(bidx) || !r.f64(bacc) || !r.u64(cnt))
+        return Status::Fail(StatusCode::kTruncated, "clone progress truncated");
+      if (next_i > candidates.size() || cnt != next_i ||
+          bidx < 0 || static_cast<std::uint64_t>(bidx) >= next_i)
+        return Status::Fail(StatusCode::kBadValue,
+                            "clone progress counters out of range");
+      saved.resize(static_cast<std::size_t>(cnt));
+      for (ArchScore& s : saved) {
+        std::uint8_t early = 0;
+        if (!r.str(s.name) || !r.f64(s.cloning_accuracy) ||
+            !r.i32(s.epochs_run) || !r.u8(early) || !r.f64(s.train_seconds))
+          return Status::Fail(StatusCode::kTruncated,
+                              "clone score record truncated");
+        s.early_stopped = early != 0;
+      }
+      st = r.finish("clone progress");
+      if (!st.ok()) return st;
+    }
+
+    // Rebuild the best surrogate from its (deterministic) factory and
+    // overwrite every parameter and state byte from the checkpoint.
+    nn::Model rebuilt = candidates[static_cast<std::size_t>(bidx)].factory(
+        config.seed + static_cast<std::uint64_t>(bidx) + 1);
+    st = fr.section("best", sec);
+    if (!st.ok()) return st;
+    {
+      persist::ByteReader r(sec);
+      st = rebuilt.read_state(r);
+      if (!st.ok()) return st;
+      st = r.finish("best surrogate state");
+      if (!st.ok()) return st;
+    }
+
+    start_i = static_cast<std::size_t>(next_i);
+    best_idx = bidx;
+    best_acc = bacc;
+    best.emplace(std::move(rebuilt));
+    best_name = candidates[static_cast<std::size_t>(bidx)].name;
+    scores = std::move(saved);
+    return Status::Ok();
+  };
+
+  if (ckpt && persist::file_exists(progress_path)) {
+    const persist::Status st = load_progress();
+    OREV_CHECK(st.ok(), "cannot resume clone progress '" + progress_path +
+                            "': " + st.message());
+    log_info("resumed MCA from '", progress_path, "' at candidate ", start_i,
+             "/", candidates.size());
+  }
+  // ----------------------------------------------------------------------
+
+  for (std::size_t i = start_i; i < candidates.size(); ++i) {
+    const Candidate& cand = candidates[i];
     OREV_TRACE_SPAN_CAT("clone.candidate", "attack");
-    nn::Model model = cand.factory(++model_seed);
-    nn::Trainer trainer(config.train);
+    nn::Model model = cand.factory(config.seed + i + 1);
+    nn::TrainConfig tc = config.train;
+    if (ckpt) tc.checkpoint_path = clone_candidate_path(config.checkpoint_dir, i);
+    nn::Trainer trainer(tc);
     const auto t0 = std::chrono::steady_clock::now();
     const nn::TrainReport report = trainer.fit(
         model, split.train.x, split.train.y, split.test.x, split.test.y);
@@ -96,6 +246,14 @@ CloneReport clone_model(const data::Dataset& d_clone,
       best_acc = report.best_val_accuracy;
       best = std::move(model);
       best_name = cand.name;
+      best_idx = static_cast<int>(i);
+    }
+
+    if (ckpt) {
+      // Progress now covers this candidate; its trainer checkpoint is
+      // dead weight (a crash past this point resumes at candidate i+1).
+      save_progress(i + 1);
+      persist::remove_file(clone_candidate_path(config.checkpoint_dir, i));
     }
   }
 

@@ -27,6 +27,15 @@ struct CloneConfig {
   double train_fraction = 0.8;  // stratified split (Algorithm 1, step 2)
   nn::TrainConfig train;        // early stopping + LR scheduler (step 3)
   std::uint64_t seed = 0xc10e;
+
+  // Crash-safe checkpointing. When `checkpoint_dir` is non-empty,
+  // clone_model() commits per-candidate progress to
+  // <dir>/clone_progress.ckpt and routes each candidate's trainer
+  // checkpoint to <dir>/cand_<i>.ckpt (cadence `train.checkpoint_every`).
+  // A rerun with the same dataset, candidates and config resumes exactly
+  // where the previous process died — mid-candidate included — and
+  // returns a byte-identical surrogate. Empty (default) disables.
+  std::string checkpoint_dir;
 };
 
 /// Per-architecture outcome recorded during step 3. Training wall-clock

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/serialize.hpp"
+#include "util/fault/fault.hpp"
+#include "util/log.hpp"
 #include "util/obs/obs.hpp"
+#include "util/persist/frame.hpp"
 #include "util/thread_pool.hpp"
 
 namespace orev::attack {
@@ -54,6 +58,108 @@ UapResult run(nn::Model& surrogate, const nn::Tensor& samples, Pgm& inner,
   nn::Tensor u(sample_shape);  // u ← 0
   UapResult result;
 
+  // ----- crash-safe checkpoint / resume ---------------------------------
+  // Pass-granularity checkpoints: the sweep below is deterministic given
+  // the pass-start u (jitter draws come from counter streams keyed on
+  // (pass, sample), not mutable generator state), so committing u at pass
+  // boundaries preserves byte-exactness across a crash.
+  const std::string& ckpt_path = config.checkpoint_path;
+  constexpr const char* kUapTag = "orev.uap";
+  std::string fingerprint;
+  if (!ckpt_path.empty()) {
+    persist::ByteWriter w;
+    w.f32(config.eps);
+    w.f64(config.target_fooling);
+    w.i32(config.max_passes);
+    w.u8(config.norm == NormKind::kLInf ? 0 : 1);
+    w.f32(config.min_confidence);
+    w.i32(config.robust_draws);
+    w.f32(config.robust_noise);
+    w.u64(config.seed);
+    w.i32(target);
+    nn::write_shape(w, samples.shape());
+    fingerprint = w.take();
+  }
+  int start_pass = 0;
+  bool finished = false;
+
+  auto save_checkpoint = [&](int next_pass, bool fin) {
+    persist::FrameWriter fw(kUapTag);
+    fw.section("config", fingerprint);
+    persist::ByteWriter prog;
+    prog.i32(next_pass);
+    prog.u8(fin ? 1 : 0);
+    prog.i32(result.passes);
+    prog.f64(result.achieved_fooling);
+    fw.section("progress", prog.take());
+    persist::ByteWriter ub;
+    nn::write_tensor(ub, u);
+    fw.section("u", ub.take());
+    const persist::Status st = fw.commit(ckpt_path);
+    OREV_CHECK(st.ok(), "failed to commit UAP checkpoint '" + ckpt_path +
+                            "': " + st.message());
+    fault::maybe_crash(fault::sites::kCkptUap);
+  };
+
+  auto load_checkpoint = [&]() -> persist::Status {
+    using persist::Status;
+    using persist::StatusCode;
+    persist::FrameReader fr;
+    Status st = persist::FrameReader::load(ckpt_path, kUapTag, fr);
+    if (!st.ok()) return st;
+    std::string_view sec;
+    st = fr.section("config", sec);
+    if (!st.ok()) return st;
+    if (sec != fingerprint)
+      return Status::Fail(StatusCode::kMismatch,
+                          "UAP checkpoint was written under a different "
+                          "config, sample set or target");
+    st = fr.section("progress", sec);
+    if (!st.ok()) return st;
+    {
+      persist::ByteReader r(sec);
+      std::int32_t np = 0, passes = 0;
+      std::uint8_t fin = 0;
+      double fooling = 0.0;
+      if (!r.i32(np) || !r.u8(fin) || !r.i32(passes) || !r.f64(fooling))
+        return Status::Fail(StatusCode::kTruncated, "UAP progress truncated");
+      st = r.finish("UAP progress");
+      if (!st.ok()) return st;
+      if (np < 0 || np > config.max_passes || passes < 0 ||
+          passes > config.max_passes)
+        return Status::Fail(StatusCode::kBadValue,
+                            "UAP pass counters out of range");
+      start_pass = np;
+      finished = fin != 0;
+      result.passes = passes;
+      result.achieved_fooling = fooling;
+    }
+    st = fr.section("u", sec);
+    if (!st.ok()) return st;
+    {
+      persist::ByteReader r(sec);
+      nn::Tensor saved;
+      st = nn::read_tensor(r, saved);
+      if (!st.ok()) return st;
+      st = r.finish("UAP perturbation");
+      if (!st.ok()) return st;
+      if (saved.shape() != sample_shape)
+        return Status::Fail(StatusCode::kMismatch,
+                            "UAP perturbation shape mismatch");
+      u = std::move(saved);
+    }
+    return Status::Ok();
+  };
+
+  if (!ckpt_path.empty() && persist::file_exists(ckpt_path)) {
+    const persist::Status st = load_checkpoint();
+    OREV_CHECK(st.ok(), "cannot resume UAP checkpoint '" + ckpt_path +
+                            "': " + st.message());
+    log_info("resumed UAP from '", ckpt_path, "' at pass ", start_pass,
+             finished ? " (already finished)" : "");
+  }
+  // ----------------------------------------------------------------------
+
   // Fooled = confidently wrong on the probe itself AND on every jittered
   // copy (see UapConfig::robust_draws). This is the criterion both for
   // skipping per-sample updates and for the stopping rate, so robustness
@@ -85,7 +191,7 @@ UapResult run(nn::Model& surrogate, const nn::Tensor& samples, Pgm& inner,
       "attack.uap.inner_calls", "inner-PGM minimisation calls during UAP fit");
   OREV_TRACE_SPAN_CAT("uap.generate", "attack");
 
-  for (int pass = 0; pass < config.max_passes; ++pass) {
+  for (int pass = start_pass; !finished && pass < config.max_passes; ++pass) {
     OREV_TRACE_SPAN_CAT("uap.pass", "attack");
     obs_passes.inc();
     result.passes = pass + 1;
@@ -119,7 +225,10 @@ UapResult run(nn::Model& surrogate, const nn::Tensor& samples, Pgm& inner,
       if (is_fooled(i, perturbed_sample(x, u), stream | 1u)) ++fooled_count;
     }
     result.achieved_fooling = static_cast<double>(fooled_count) / n;
-    if (result.achieved_fooling >= config.target_fooling) break;
+    const bool stop = result.achieved_fooling >= config.target_fooling;
+    if (!ckpt_path.empty())
+      save_checkpoint(pass + 1, stop || pass + 1 == config.max_passes);
+    if (stop) break;
   }
 
   // Final perturbation-norm gauges: how much of the ε budget the fitted u

@@ -35,6 +35,14 @@ struct UapConfig {
   int robust_draws = 1;
   float robust_noise = 0.0f;
   std::uint64_t seed = 0x0a9;
+
+  // Crash-safe checkpointing. When non-empty, the generator atomically
+  // commits u and the pass counter here after every full sweep; a rerun
+  // with the same surrogate, samples and config resumes at the next pass
+  // and produces a byte-identical perturbation. Within a pass the loop is
+  // deterministic given the pass-start u, so pass granularity loses no
+  // exactness. Empty (default) disables.
+  std::string checkpoint_path;
 };
 
 /// Project `u` onto the ℓp ball of radius ε (in place).

@@ -44,6 +44,18 @@ LayerPtr Sequential::clone() const {
   return out;
 }
 
+void Sequential::save_state(persist::ByteWriter& w) const {
+  for (const auto& l : layers_) l->save_state(w);
+}
+
+persist::Status Sequential::load_state(persist::ByteReader& r) {
+  for (auto& l : layers_) {
+    persist::Status st = l->load_state(r);
+    if (!st.ok()) return st;
+  }
+  return persist::Status::Ok();
+}
+
 // ----------------------------------------------------------------- Residual
 
 Residual::Residual(LayerPtr inner, LayerPtr shortcut)
@@ -87,6 +99,18 @@ void Residual::init(Rng& rng) {
 LayerPtr Residual::clone() const {
   return std::make_unique<Residual>(inner_->clone(),
                                     shortcut_ ? shortcut_->clone() : nullptr);
+}
+
+void Residual::save_state(persist::ByteWriter& w) const {
+  inner_->save_state(w);
+  if (shortcut_) shortcut_->save_state(w);
+}
+
+persist::Status Residual::load_state(persist::ByteReader& r) {
+  persist::Status st = inner_->load_state(r);
+  if (!st.ok()) return st;
+  if (shortcut_) return shortcut_->load_state(r);
+  return persist::Status::Ok();
 }
 
 // -------------------------------------------------------------- DenseConcat
@@ -154,6 +178,14 @@ LayerPtr DenseConcat::clone() const {
   out->in_channels_ = in_channels_;
   out->inner_channels_ = inner_channels_;
   return out;
+}
+
+void DenseConcat::save_state(persist::ByteWriter& w) const {
+  inner_->save_state(w);
+}
+
+persist::Status DenseConcat::load_state(persist::ByteReader& r) {
+  return inner_->load_state(r);
 }
 
 }  // namespace orev::nn

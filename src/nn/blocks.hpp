@@ -28,6 +28,8 @@ class Sequential : public Layer {
   void init(Rng& rng) override;
   std::string name() const override { return "Sequential"; }
   LayerPtr clone() const override;
+  void save_state(persist::ByteWriter& w) const override;
+  persist::Status load_state(persist::ByteReader& r) override;
 
   std::size_t size() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_.at(i); }
@@ -49,6 +51,8 @@ class Residual : public Layer {
   void init(Rng& rng) override;
   std::string name() const override { return "Residual"; }
   LayerPtr clone() const override;
+  void save_state(persist::ByteWriter& w) const override;
+  persist::Status load_state(persist::ByteReader& r) override;
 
  private:
   LayerPtr inner_;
@@ -67,6 +71,8 @@ class DenseConcat : public Layer {
   void init(Rng& rng) override;
   std::string name() const override { return "DenseConcat"; }
   LayerPtr clone() const override;
+  void save_state(persist::ByteWriter& w) const override;
+  persist::Status load_state(persist::ByteReader& r) override;
 
  private:
   LayerPtr inner_;

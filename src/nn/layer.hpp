@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nn/tensor.hpp"
+#include "util/persist/bytes.hpp"
 #include "util/rng.hpp"
 
 namespace orev::nn {
@@ -53,6 +54,20 @@ class Layer {
 
   /// Human-readable layer name for diagnostics.
   virtual std::string name() const = 0;
+
+  /// Serialise non-learnable persistent state — batch-norm running
+  /// statistics, dropout RNG engines — that a byte-exact checkpoint must
+  /// carry alongside params(). Composites recurse over children in a
+  /// fixed order; stateless layers write nothing. Backward caches are
+  /// excluded: they only live between a forward() and its backward().
+  virtual void save_state(persist::ByteWriter& /*w*/) const {}
+
+  /// Restore state written by save_state() on an identically-shaped
+  /// layer. On failure the layer may be partially updated; callers treat
+  /// the whole model load as failed.
+  virtual persist::Status load_state(persist::ByteReader& /*r*/) {
+    return persist::Status::Ok();
+  }
 
   /// Deep copy of the layer (parameters, running statistics and RNG state
   /// included). Replicas back the per-worker model copies the parallel

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/serialize.hpp"
 #include "util/thread_pool.hpp"
 
 namespace orev::nn {
@@ -598,6 +599,23 @@ Tensor Dropout::backward(const Tensor& grad_out) {
   return dx;
 }
 
+void Dropout::save_state(persist::ByteWriter& w) const {
+  // The mask-draw stream position is the state: resuming training must
+  // continue the same sequence of keep/drop draws, not restart it.
+  w.str(rng_.engine_state());
+}
+
+persist::Status Dropout::load_state(persist::ByteReader& r) {
+  std::string state;
+  if (!r.str(state))
+    return persist::Status::Fail(persist::StatusCode::kTruncated,
+                                 "Dropout RNG state missing");
+  if (!rng_.set_engine_state(state))
+    return persist::Status::Fail(persist::StatusCode::kBadValue,
+                                 "Dropout RNG state unparsable");
+  return persist::Status::Ok();
+}
+
 // -------------------------------------------------------------- BatchNorm
 
 BatchNorm::BatchNorm(int channels, float momentum, float eps)
@@ -614,6 +632,25 @@ BatchNorm::BatchNorm(int channels, float momentum, float eps)
 }
 
 std::vector<Param*> BatchNorm::params() { return {&gamma_, &beta_}; }
+
+void BatchNorm::save_state(persist::ByteWriter& w) const {
+  write_tensor(w, running_mean_);
+  write_tensor(w, running_var_);
+}
+
+persist::Status BatchNorm::load_state(persist::ByteReader& r) {
+  Tensor mean, var;
+  persist::Status st = read_tensor(r, mean);
+  if (st.ok()) st = read_tensor(r, var);
+  if (!st.ok()) return st;
+  if (mean.shape() != running_mean_.shape() ||
+      var.shape() != running_var_.shape())
+    return persist::Status::Fail(persist::StatusCode::kMismatch,
+                                 "BatchNorm running-stat shape mismatch");
+  running_mean_ = std::move(mean);
+  running_var_ = std::move(var);
+  return persist::Status::Ok();
+}
 
 Tensor BatchNorm::forward(const Tensor& x, bool training) {
   OREV_CHECK((x.rank() == 4 && x.dim(1) == ch_) ||

@@ -179,6 +179,8 @@ class Dropout : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "Dropout"; }
   LayerPtr clone() const override { return LayerPtr(new Dropout(*this)); }
+  void save_state(persist::ByteWriter& w) const override;
+  persist::Status load_state(persist::ByteReader& r) override;
 
  private:
   float rate_;
@@ -199,6 +201,8 @@ class BatchNorm : public Layer {
   std::vector<Param*> params() override;
   std::string name() const override { return "BatchNorm"; }
   LayerPtr clone() const override { return LayerPtr(new BatchNorm(*this)); }
+  void save_state(persist::ByteWriter& w) const override;
+  persist::Status load_state(persist::ByteReader& r) override;
 
  private:
   int ch_;

@@ -1,13 +1,16 @@
 #include "nn/model.hpp"
 
 #include <cstdint>
-#include <fstream>
+
+#include "nn/serialize.hpp"
+#include "util/persist/frame.hpp"
 
 namespace orev::nn {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x4f52'4556;  // "OREV"
-}
+/// Frame app tag for standalone model files.
+constexpr const char* kModelTag = "orev.model";
+}  // namespace
 
 Model::Model(std::string name, LayerPtr root, Shape input_shape,
              int num_classes)
@@ -121,52 +124,97 @@ void Model::set_weights(const std::vector<Tensor>& ws) {
   }
 }
 
-bool Model::save(const std::string& path) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) return false;
+void Model::write_state(persist::ByteWriter& w) {
   auto ps = params();
-  const std::uint32_t magic = kMagic;
-  const auto count = static_cast<std::uint32_t>(ps.size());
-  f.write(reinterpret_cast<const char*>(&magic), sizeof magic);
-  f.write(reinterpret_cast<const char*>(&count), sizeof count);
-  for (Param* p : ps) {
-    const auto rank = static_cast<std::uint32_t>(p->value.rank());
-    f.write(reinterpret_cast<const char*>(&rank), sizeof rank);
-    for (const int d : p->value.shape()) {
-      const auto d32 = static_cast<std::int32_t>(d);
-      f.write(reinterpret_cast<const char*>(&d32), sizeof d32);
-    }
-    f.write(reinterpret_cast<const char*>(p->value.raw()),
-            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
-  }
-  return static_cast<bool>(f);
+  w.u32(static_cast<std::uint32_t>(ps.size()));
+  for (Param* p : ps) write_tensor(w, p->value);
+  root_->save_state(w);
 }
 
-bool Model::load(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) return false;
-  std::uint32_t magic = 0, count = 0;
-  f.read(reinterpret_cast<char*>(&magic), sizeof magic);
-  f.read(reinterpret_cast<char*>(&count), sizeof count);
-  if (!f || magic != kMagic) return false;
+persist::Status Model::read_state(persist::ByteReader& r) {
+  using persist::Status;
+  using persist::StatusCode;
   auto ps = params();
-  if (count != ps.size()) return false;
-  for (Param* p : ps) {
-    std::uint32_t rank = 0;
-    f.read(reinterpret_cast<char*>(&rank), sizeof rank);
-    if (!f || rank != p->value.rank()) return false;
-    Shape shape(rank);
-    for (std::uint32_t i = 0; i < rank; ++i) {
-      std::int32_t d = 0;
-      f.read(reinterpret_cast<char*>(&d), sizeof d);
-      shape[i] = d;
-    }
-    if (!f || shape != p->value.shape()) return false;
-    f.read(reinterpret_cast<char*>(p->value.raw()),
-           static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
-    if (!f) return false;
+  std::uint32_t count = 0;
+  if (!r.u32(count))
+    return Status::Fail(StatusCode::kTruncated, "param count missing");
+  if (count != ps.size())
+    return Status::Fail(StatusCode::kMismatch,
+                        "checkpoint has " + std::to_string(count) +
+                            " params, model has " + std::to_string(ps.size()));
+  // Decode and shape-check every tensor before touching the live model, so
+  // a rejected file leaves the weights exactly as they were.
+  std::vector<Tensor> values;
+  values.reserve(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    Tensor t;
+    Status st = read_tensor(r, t);
+    if (!st.ok()) return st;
+    if (t.shape() != ps[i]->value.shape())
+      return Status::Fail(StatusCode::kMismatch,
+                          "param " + std::to_string(i) + " shape " +
+                              shape_str(t.shape()) + " != model shape " +
+                              shape_str(ps[i]->value.shape()));
+    values.push_back(std::move(t));
   }
-  return true;
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    ps[i]->value = std::move(values[i]);
+  return root_->load_state(r);
 }
+
+persist::Status Model::save_status(const std::string& path) {
+  persist::FrameWriter fw(kModelTag);
+
+  persist::ByteWriter meta;
+  meta.str(name_);
+  meta.i32(num_classes_);
+  write_shape(meta, input_shape_);
+  fw.section("meta", meta.take());
+
+  persist::ByteWriter state;
+  write_state(state);
+  fw.section("state", state.take());
+
+  return fw.commit(path);
+}
+
+persist::Status Model::load_status(const std::string& path) {
+  using persist::Status;
+  using persist::StatusCode;
+
+  persist::FrameReader fr;
+  Status st = persist::FrameReader::load(path, kModelTag, fr);
+  if (!st.ok()) return st;
+
+  std::string_view meta_bytes;
+  st = fr.section("meta", meta_bytes);
+  if (!st.ok()) return st;
+  persist::ByteReader meta(meta_bytes);
+  std::string saved_name;
+  std::int32_t saved_classes = 0;
+  Shape saved_input;
+  if (!meta.str(saved_name) || !meta.i32(saved_classes))
+    return Status::Fail(StatusCode::kTruncated, "model meta truncated");
+  st = read_shape(meta, saved_input);
+  if (!st.ok()) return st;
+  st = meta.finish("model meta");
+  if (!st.ok()) return st;
+  if (saved_classes != num_classes_ || saved_input != input_shape_)
+    return Status::Fail(StatusCode::kMismatch,
+                        "checkpoint was written by an incompatible model "
+                        "(classes/input shape differ)");
+
+  std::string_view state_bytes;
+  st = fr.section("state", state_bytes);
+  if (!st.ok()) return st;
+  persist::ByteReader state(state_bytes);
+  st = read_state(state);
+  if (!st.ok()) return st;
+  return state.finish("model state");
+}
+
+bool Model::save(const std::string& path) { return save_status(path).ok(); }
+
+bool Model::load(const std::string& path) { return load_status(path).ok(); }
 
 }  // namespace orev::nn

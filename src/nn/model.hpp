@@ -70,7 +70,23 @@ class Model {
   std::vector<Tensor> weights();
   void set_weights(const std::vector<Tensor>& ws);
 
-  /// Binary serialisation of weights.
+  /// Serialise every byte a resume needs to reproduce this model exactly:
+  /// parameter tensors in params() order followed by the layer tree's
+  /// persistent state (batch-norm running stats, dropout RNG engines).
+  void write_state(persist::ByteWriter& w);
+
+  /// Restore state written by write_state() on an identically-built model.
+  /// Validates every shape against the live layer tree before touching it.
+  persist::Status read_state(persist::ByteReader& r);
+
+  /// Crash-safe binary serialisation: framed container with per-section
+  /// CRCs, committed via write-temp → flush → rename. Loads reject
+  /// truncated, bit-flipped or trailing-garbage files with a typed error.
+  persist::Status save_status(const std::string& path);
+  persist::Status load_status(const std::string& path);
+
+  /// Thin bool wrappers over save_status()/load_status() for callers that
+  /// only care about success.
   bool save(const std::string& path);
   bool load(const std::string& path);
 

@@ -2,7 +2,38 @@
 
 #include <cmath>
 
+#include "nn/serialize.hpp"
+
 namespace orev::nn {
+
+namespace {
+
+using persist::Status;
+using persist::StatusCode;
+
+/// Read a tensor list and require it to match `like` element-for-element in
+/// shape before handing it back — shared by the SGD/Adam moment buffers.
+Status read_matching_tensors(persist::ByteReader& r,
+                             const std::vector<Tensor>& like,
+                             const std::string& what,
+                             std::vector<Tensor>& out) {
+  std::vector<Tensor> ts;
+  Status st = read_tensor_list(r, ts);
+  if (!st.ok()) return st;
+  if (ts.size() != like.size())
+    return Status::Fail(StatusCode::kMismatch,
+                        what + " count " + std::to_string(ts.size()) +
+                            " != expected " + std::to_string(like.size()));
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i].shape() != like[i].shape())
+      return Status::Fail(StatusCode::kMismatch,
+                          what + " " + std::to_string(i) + " shape mismatch");
+  }
+  out = std::move(ts);
+  return Status::Ok();
+}
+
+}  // namespace
 
 Optimizer::Optimizer(std::vector<Param*> params, float lr)
     : params_(std::move(params)), lr_(lr) {
@@ -20,6 +51,27 @@ void Optimizer::set_learning_rate(float lr) {
   lr_ = lr;
 }
 
+void Optimizer::save_state(persist::ByteWriter& w) const {
+  w.str(kind());
+  w.f32(lr_);
+}
+
+persist::Status Optimizer::load_state(persist::ByteReader& r) {
+  std::string saved_kind;
+  float lr = 0.0f;
+  if (!r.str(saved_kind) || !r.f32(lr))
+    return Status::Fail(StatusCode::kTruncated, "optimizer state truncated");
+  if (saved_kind != kind())
+    return Status::Fail(StatusCode::kMismatch,
+                        "checkpoint optimizer is '" + saved_kind +
+                            "', live optimizer is '" + kind() + "'");
+  if (!(lr > 0.0f))
+    return Status::Fail(StatusCode::kBadValue,
+                        "checkpoint learning rate not positive");
+  lr_ = lr;
+  return Status::Ok();
+}
+
 Sgd::Sgd(std::vector<Param*> params, float lr, float momentum,
          float weight_decay)
     : Optimizer(std::move(params), lr),
@@ -29,6 +81,21 @@ Sgd::Sgd(std::vector<Param*> params, float lr, float momentum,
   OREV_CHECK(weight_decay >= 0.0f, "weight decay must be non-negative");
   velocity_.reserve(params_.size());
   for (const Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::save_state(persist::ByteWriter& w) const {
+  Optimizer::save_state(w);
+  write_tensor_list(w, velocity_);
+}
+
+persist::Status Sgd::load_state(persist::ByteReader& r) {
+  Status st = Optimizer::load_state(r);
+  if (!st.ok()) return st;
+  std::vector<Tensor> v;
+  st = read_matching_tensors(r, velocity_, "sgd velocity", v);
+  if (!st.ok()) return st;
+  velocity_ = std::move(v);
+  return Status::Ok();
 }
 
 void Sgd::step() {
@@ -55,6 +122,32 @@ Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
     m_.emplace_back(p->value.shape());
     v_.emplace_back(p->value.shape());
   }
+}
+
+void Adam::save_state(persist::ByteWriter& w) const {
+  Optimizer::save_state(w);
+  w.i64(static_cast<std::int64_t>(t_));
+  write_tensor_list(w, m_);
+  write_tensor_list(w, v_);
+}
+
+persist::Status Adam::load_state(persist::ByteReader& r) {
+  Status st = Optimizer::load_state(r);
+  if (!st.ok()) return st;
+  std::int64_t t = 0;
+  if (!r.i64(t))
+    return Status::Fail(StatusCode::kTruncated, "adam step count missing");
+  if (t < 0)
+    return Status::Fail(StatusCode::kBadValue, "adam step count negative");
+  std::vector<Tensor> m, v;
+  st = read_matching_tensors(r, m_, "adam m", m);
+  if (!st.ok()) return st;
+  st = read_matching_tensors(r, v_, "adam v", v);
+  if (!st.ok()) return st;
+  t_ = static_cast<long>(t);
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::Ok();
 }
 
 void Adam::step() {

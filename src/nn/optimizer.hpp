@@ -26,6 +26,20 @@ class Optimizer {
   float learning_rate() const { return lr_; }
   void set_learning_rate(float lr);
 
+  /// Short identifier ("sgd", "adam") stored in checkpoints so a resume
+  /// can refuse to feed one optimiser's state to another.
+  virtual std::string kind() const = 0;
+
+  /// Serialise the optimiser's evolving state (learning rate plus any
+  /// moment/velocity buffers). Hyper-parameters fixed at construction are
+  /// not stored — the resuming process rebuilds the optimiser with the
+  /// same config and then restores this state on top.
+  virtual void save_state(persist::ByteWriter& w) const;
+
+  /// Restore state written by save_state() on an optimiser built over the
+  /// same parameter list. Validates buffer shapes before mutating.
+  virtual persist::Status load_state(persist::ByteReader& r);
+
  protected:
   std::vector<Param*> params_;
   float lr_;
@@ -38,6 +52,9 @@ class Sgd : public Optimizer {
       float weight_decay = 0.0f);
 
   void step() override;
+  std::string kind() const override { return "sgd"; }
+  void save_state(persist::ByteWriter& w) const override;
+  persist::Status load_state(persist::ByteReader& r) override;
 
  private:
   float momentum_;
@@ -52,6 +69,9 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float eps = 1e-8f);
 
   void step() override;
+  std::string kind() const override { return "adam"; }
+  void save_state(persist::ByteWriter& w) const override;
+  persist::Status load_state(persist::ByteReader& r) override;
 
  private:
   float beta1_, beta2_, eps_;

@@ -1,0 +1,91 @@
+#include "nn/serialize.hpp"
+
+namespace orev::nn {
+
+using persist::Status;
+using persist::StatusCode;
+
+void write_shape(persist::ByteWriter& w, const Shape& s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  for (const int d : s) w.i32(static_cast<std::int32_t>(d));
+}
+
+Status read_shape(persist::ByteReader& r, Shape& out) {
+  std::uint32_t rank = 0;
+  if (!r.u32(rank))
+    return Status::Fail(StatusCode::kTruncated, "shape rank missing");
+  if (rank > kMaxTensorRank)
+    return Status::Fail(StatusCode::kBadValue,
+                        "shape rank " + std::to_string(rank) + " exceeds " +
+                            std::to_string(kMaxTensorRank));
+  Shape shape;
+  shape.reserve(rank);
+  std::int64_t numel = 1;
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    std::int32_t d = 0;
+    if (!r.i32(d))
+      return Status::Fail(StatusCode::kTruncated, "shape dim missing");
+    if (d < 0 || d > kMaxTensorDim)
+      return Status::Fail(StatusCode::kBadValue,
+                          "shape dim " + std::to_string(d) +
+                              " out of [0, " + std::to_string(kMaxTensorDim) +
+                              "]");
+    numel *= d;
+    if (numel > kMaxTensorNumel)
+      return Status::Fail(StatusCode::kBadValue,
+                          "shape implies more than " +
+                              std::to_string(kMaxTensorNumel) + " elements");
+    shape.push_back(d);
+  }
+  out = std::move(shape);
+  return Status::Ok();
+}
+
+void write_tensor(persist::ByteWriter& w, const Tensor& t) {
+  write_shape(w, t.shape());
+  w.f32s(t.data());
+}
+
+Status read_tensor(persist::ByteReader& r, Tensor& out) {
+  Shape shape;
+  Status st = read_shape(r, shape);
+  if (!st.ok()) return st;
+  const std::size_t numel = shape_numel(shape);
+  // Prove the payload holds the data before allocating for it: a corrupt
+  // shape can then never cost more memory than the file's own size.
+  if (r.remaining() < numel * sizeof(float))
+    return Status::Fail(StatusCode::kTruncated,
+                        "tensor data shorter than its shape implies");
+  Tensor t{std::move(shape)};
+  if (!r.f32s(t.data()))
+    return Status::Fail(StatusCode::kTruncated, "tensor data missing");
+  out = std::move(t);
+  return Status::Ok();
+}
+
+void write_tensor_list(persist::ByteWriter& w, const std::vector<Tensor>& ts) {
+  w.u32(static_cast<std::uint32_t>(ts.size()));
+  for (const Tensor& t : ts) write_tensor(w, t);
+}
+
+Status read_tensor_list(persist::ByteReader& r, std::vector<Tensor>& out) {
+  std::uint32_t count = 0;
+  if (!r.u32(count))
+    return Status::Fail(StatusCode::kTruncated, "tensor count missing");
+  // Each tensor costs at least a rank marker, so an absurd count cannot
+  // pass the reads below; still bound the reserve by the bytes available.
+  if (count > r.remaining())
+    return Status::Fail(StatusCode::kTruncated, "tensor count implausible");
+  std::vector<Tensor> ts;
+  ts.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Tensor t;
+    Status st = read_tensor(r, t);
+    if (!st.ok()) return st;
+    ts.push_back(std::move(t));
+  }
+  out = std::move(ts);
+  return Status::Ok();
+}
+
+}  // namespace orev::nn

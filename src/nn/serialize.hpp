@@ -1,0 +1,41 @@
+// Tensor <-> bytes encoding shared by every checkpoint format (model
+// files, trainer/clone/UAP checkpoints, the SDL journal).
+//
+// Load-side validation is strict: shape dims are range-checked *before*
+// any allocation, so a corrupted or hostile file can neither request a
+// negative extent nor drive a multi-gigabyte allocation through an absurd
+// dim — the reader also proves the payload actually contains the implied
+// number of floats before reserving memory for them.
+#pragma once
+
+#include "nn/tensor.hpp"
+#include "util/persist/bytes.hpp"
+
+namespace orev::nn {
+
+/// Validation ceilings for deserialised shapes. Generous for anything this
+/// library trains (the largest real tensor is a few hundred thousand
+/// floats) while keeping the worst-case allocation a corrupted file can
+/// cause bounded by the file's own size.
+inline constexpr std::uint32_t kMaxTensorRank = 8;
+inline constexpr std::int64_t kMaxTensorDim = std::int64_t{1} << 26;
+inline constexpr std::int64_t kMaxTensorNumel = std::int64_t{1} << 28;
+
+/// Encoding: u32 rank, i32 dims..., f32 data (numel floats).
+void write_tensor(persist::ByteWriter& w, const Tensor& t);
+
+/// Strict decode: rejects rank/dim/numel violations (kBadValue) and
+/// payloads shorter than the shape implies (kTruncated) without
+/// allocating the tensor first.
+persist::Status read_tensor(persist::ByteReader& r, Tensor& out);
+
+/// Encoding: u32 count, then each tensor.
+void write_tensor_list(persist::ByteWriter& w, const std::vector<Tensor>& ts);
+persist::Status read_tensor_list(persist::ByteReader& r,
+                                 std::vector<Tensor>& out);
+
+/// Shape-only variants (used for metadata sections).
+void write_shape(persist::ByteWriter& w, const Shape& s);
+persist::Status read_shape(persist::ByteReader& r, Shape& out);
+
+}  // namespace orev::nn

@@ -5,13 +5,44 @@
 #include <memory>
 #include <numeric>
 
+#include "nn/serialize.hpp"
+#include "util/fault/fault.hpp"
 #include "util/log.hpp"
 #include "util/obs/obs.hpp"
+#include "util/persist/frame.hpp"
 #include "util/thread_pool.hpp"
 
 namespace orev::nn {
 
 namespace {
+
+/// Frame app tag for trainer checkpoints.
+constexpr const char* kTrainTag = "orev.train";
+
+/// Byte-exact encoding of every config field (plus the data-set size and
+/// training mode) that shapes the training trajectory. A resume refuses to
+/// continue a checkpoint whose fingerprint differs: same bytes in, same
+/// bytes out is only meaningful when the whole setup matches.
+std::string train_fingerprint(const TrainConfig& c, int n, bool soft,
+                              float temperature) {
+  persist::ByteWriter w;
+  w.i32(c.max_epochs);
+  w.i32(c.batch_size);
+  w.f32(c.learning_rate);
+  w.i32(c.early_stop_patience);
+  w.f32(c.min_delta);
+  w.i32(c.lr_patience);
+  w.f32(c.lr_gamma);
+  w.f32(c.min_lr);
+  w.u8(c.use_adam ? 1 : 0);
+  w.f32(c.momentum);
+  w.f32(c.weight_decay);
+  w.u64(c.shuffle_seed);
+  w.i32(n);
+  w.u8(soft ? 1 : 0);
+  w.f32(temperature);
+  return w.take();
+}
 
 /// Global L2 norm over every parameter gradient. Read-only observation of
 /// the last backward pass; deterministic (serial accumulation).
@@ -47,6 +78,7 @@ Trainer::Trainer(TrainConfig config) : config_(config) {
   OREV_CHECK(config_.batch_size > 0, "batch_size must be positive");
   OREV_CHECK(config_.lr_gamma > 0.0f && config_.lr_gamma < 1.0f,
              "lr_gamma must be in (0, 1)");
+  OREV_CHECK(config_.checkpoint_every > 0, "checkpoint_every must be positive");
 }
 
 TrainReport Trainer::fit(Model& model, const Tensor& x_train,
@@ -96,6 +128,202 @@ TrainReport Trainer::run(Model& model, const Tensor& x_train,
   int epochs_since_best = 0;
   int epochs_since_lr_drop = 0;
 
+  // ----- crash-safe checkpoint / resume ---------------------------------
+  const std::string& ckpt_path = config_.checkpoint_path;
+  const std::string fingerprint = train_fingerprint(
+      config_, n, soft_targets != nullptr, temperature);
+  int start_epoch = 0;
+  bool finished = false;
+
+  // Commit the complete resumable state to `ckpt_path` atomically. Called
+  // only when checkpointing is enabled.
+  auto save_checkpoint = [&](int next_epoch, bool fin) {
+    persist::FrameWriter fw(kTrainTag);
+    fw.section("config", fingerprint);
+
+    persist::ByteWriter prog;
+    prog.i32(next_epoch);
+    prog.u8(fin ? 1 : 0);
+    prog.i32(epochs_since_best);
+    prog.i32(epochs_since_lr_drop);
+    prog.u64(idx.size());
+    for (const std::size_t v : idx) prog.u64(v);
+    prog.str(shuffle_rng.engine_state());
+    fw.section("progress", prog.take());
+
+    persist::ByteWriter rep;
+    rep.i32(report.epochs_run);
+    rep.u8(report.early_stopped ? 1 : 0);
+    rep.f32(report.best_val_loss);
+    rep.f64(report.best_val_accuracy);
+    rep.u64(report.history.size());
+    for (const EpochRecord& r : report.history) {
+      rep.i32(r.epoch);
+      rep.f32(r.train_loss);
+      rep.f32(r.val_loss);
+      rep.f64(r.val_accuracy);
+      rep.f32(r.learning_rate);
+      rep.f32(r.grad_norm);
+      rep.f64(r.epoch_seconds);
+      rep.f64(r.samples_per_s);
+    }
+    fw.section("report", rep.take());
+
+    persist::ByteWriter ms;
+    model.write_state(ms);
+    fw.section("model", ms.take());
+
+    persist::ByteWriter os;
+    opt->save_state(os);
+    fw.section("opt", os.take());
+
+    persist::ByteWriter bs;
+    write_tensor_list(bs, best_weights);
+    fw.section("best", bs.take());
+
+    const persist::Status st = fw.commit(ckpt_path);
+    OREV_CHECK(st.ok(), "failed to commit training checkpoint '" + ckpt_path +
+                            "': " + st.message());
+    // Kill-point: with the commit durably on disk, a seeded plan may now
+    // simulate the process dying here (crash-recovery harness).
+    fault::maybe_crash(fault::sites::kCkptTrainer);
+  };
+
+  // Restore state committed by save_checkpoint(). Every field is validated
+  // before any of it is applied to the live model/optimizer.
+  auto load_checkpoint = [&]() -> persist::Status {
+    using persist::Status;
+    using persist::StatusCode;
+    persist::FrameReader fr;
+    Status st = persist::FrameReader::load(ckpt_path, kTrainTag, fr);
+    if (!st.ok()) return st;
+
+    std::string_view sec;
+    st = fr.section("config", sec);
+    if (!st.ok()) return st;
+    if (sec != fingerprint)
+      return Status::Fail(StatusCode::kMismatch,
+                          "training checkpoint was written under a different "
+                          "config, data size or training mode");
+
+    st = fr.section("progress", sec);
+    if (!st.ok()) return st;
+    {
+      persist::ByteReader r(sec);
+      std::int32_t ne = 0, esb = 0, eslr = 0;
+      std::uint8_t fin = 0;
+      std::uint64_t cnt = 0;
+      if (!r.i32(ne) || !r.u8(fin) || !r.i32(esb) || !r.i32(eslr) ||
+          !r.u64(cnt))
+        return Status::Fail(StatusCode::kTruncated, "train progress truncated");
+      if (cnt != idx.size())
+        return Status::Fail(StatusCode::kMismatch,
+                            "index permutation size mismatch");
+      for (std::size_t& v : idx) {
+        std::uint64_t u = 0;
+        if (!r.u64(u))
+          return Status::Fail(StatusCode::kTruncated,
+                              "index permutation truncated");
+        if (u >= idx.size())
+          return Status::Fail(StatusCode::kBadValue,
+                              "index permutation entry out of range");
+        v = static_cast<std::size_t>(u);
+      }
+      std::string rng_state;
+      if (!r.str(rng_state))
+        return Status::Fail(StatusCode::kTruncated, "rng state missing");
+      st = r.finish("train progress");
+      if (!st.ok()) return st;
+      if (ne < 0 || ne > config_.max_epochs || esb < 0 || eslr < 0)
+        return Status::Fail(StatusCode::kBadValue,
+                            "train progress counters out of range");
+      if (!shuffle_rng.set_engine_state(rng_state))
+        return Status::Fail(StatusCode::kBadValue,
+                            "shuffle rng state does not parse");
+      start_epoch = ne;
+      finished = fin != 0;
+      epochs_since_best = esb;
+      epochs_since_lr_drop = eslr;
+    }
+
+    st = fr.section("report", sec);
+    if (!st.ok()) return st;
+    {
+      persist::ByteReader r(sec);
+      TrainReport rp;
+      std::uint8_t early = 0;
+      std::uint64_t cnt = 0;
+      if (!r.i32(rp.epochs_run) || !r.u8(early) || !r.f32(rp.best_val_loss) ||
+          !r.f64(rp.best_val_accuracy) || !r.u64(cnt))
+        return Status::Fail(StatusCode::kTruncated, "train report truncated");
+      if (cnt > r.remaining())
+        return Status::Fail(StatusCode::kTruncated,
+                            "history count implausible");
+      rp.early_stopped = early != 0;
+      rp.history.resize(static_cast<std::size_t>(cnt));
+      for (EpochRecord& rec : rp.history) {
+        if (!r.i32(rec.epoch) || !r.f32(rec.train_loss) ||
+            !r.f32(rec.val_loss) || !r.f64(rec.val_accuracy) ||
+            !r.f32(rec.learning_rate) || !r.f32(rec.grad_norm) ||
+            !r.f64(rec.epoch_seconds) || !r.f64(rec.samples_per_s))
+          return Status::Fail(StatusCode::kTruncated,
+                              "history record truncated");
+      }
+      st = r.finish("train report");
+      if (!st.ok()) return st;
+      report = std::move(rp);
+    }
+
+    st = fr.section("model", sec);
+    if (!st.ok()) return st;
+    {
+      persist::ByteReader r(sec);
+      st = model.read_state(r);
+      if (!st.ok()) return st;
+      st = r.finish("model state");
+      if (!st.ok()) return st;
+    }
+
+    st = fr.section("opt", sec);
+    if (!st.ok()) return st;
+    {
+      persist::ByteReader r(sec);
+      st = opt->load_state(r);
+      if (!st.ok()) return st;
+      st = r.finish("optimizer state");
+      if (!st.ok()) return st;
+    }
+
+    st = fr.section("best", sec);
+    if (!st.ok()) return st;
+    {
+      persist::ByteReader r(sec);
+      std::vector<Tensor> best;
+      st = read_tensor_list(r, best);
+      if (!st.ok()) return st;
+      st = r.finish("best weights");
+      if (!st.ok()) return st;
+      if (best.size() != params.size())
+        return Status::Fail(StatusCode::kMismatch,
+                            "best-weight count mismatch");
+      for (std::size_t i = 0; i < best.size(); ++i)
+        if (best[i].shape() != params[i]->value.shape())
+          return Status::Fail(StatusCode::kMismatch,
+                              "best-weight shape mismatch");
+      best_weights = std::move(best);
+    }
+    return Status::Ok();
+  };
+
+  if (!ckpt_path.empty() && persist::file_exists(ckpt_path)) {
+    const persist::Status st = load_checkpoint();
+    OREV_CHECK(st.ok(), "cannot resume training checkpoint '" + ckpt_path +
+                            "': " + st.message());
+    log_info("resumed training from '", ckpt_path, "' at epoch ", start_epoch,
+             finished ? " (already finished)" : "");
+  }
+  // ----------------------------------------------------------------------
+
   // Epoch-level observability. Counters/histograms are process-wide; the
   // per-epoch numbers also land in EpochRecord for the on_epoch callback.
   static obs::Counter& obs_epochs =
@@ -110,7 +338,8 @@ TrainReport Trainer::run(Model& model, const Tensor& x_train,
       obs::gauge("nn.train.samples_per_s", "training throughput, last epoch");
   OREV_TRACE_SPAN_CAT("train.fit", "nn");
 
-  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+  for (int epoch = start_epoch; !finished && epoch < config_.max_epochs;
+       ++epoch) {
     OREV_TRACE_SPAN_CAT("train.epoch", "nn");
     const obs::WallTimer epoch_timer;
     shuffle_rng.shuffle(idx);
@@ -193,17 +422,30 @@ TrainReport Trainer::run(Model& model, const Tensor& x_train,
     log_debug("epoch ", epoch, " train_loss=", rec.train_loss,
               " val_loss=", rec.val_loss, " val_acc=", rec.val_accuracy);
 
-    if (on_epoch && !on_epoch(rec)) break;
+    bool stop = false;
+    if (on_epoch && !on_epoch(rec)) {
+      stop = true;
+    } else {
+      if (epochs_since_lr_drop >= config_.lr_patience &&
+          opt->learning_rate() * config_.lr_gamma >= config_.min_lr) {
+        opt->set_learning_rate(opt->learning_rate() * config_.lr_gamma);
+        epochs_since_lr_drop = 0;
+      }
+      if (epochs_since_best >= config_.early_stop_patience) {
+        report.early_stopped = true;
+        stop = true;
+      }
+    }
 
-    if (epochs_since_lr_drop >= config_.lr_patience &&
-        opt->learning_rate() * config_.lr_gamma >= config_.min_lr) {
-      opt->set_learning_rate(opt->learning_rate() * config_.lr_gamma);
-      epochs_since_lr_drop = 0;
+    // Commit a resumable checkpoint with the epoch fully applied — at the
+    // configured cadence, and always at the last epoch so a crash between
+    // training and the caller consuming the result is recoverable.
+    const bool last = stop || epoch + 1 == config_.max_epochs;
+    if (!ckpt_path.empty() &&
+        (last || (epoch + 1) % config_.checkpoint_every == 0)) {
+      save_checkpoint(epoch + 1, last);
     }
-    if (epochs_since_best >= config_.early_stop_patience) {
-      report.early_stopped = true;
-      break;
-    }
+    if (stop) break;
   }
 
   model.set_weights(best_weights);

@@ -35,6 +35,19 @@ struct TrainConfig {
   float weight_decay = 0.0f;
 
   std::uint64_t shuffle_seed = 0x7ea1;
+
+  // Crash-safe checkpointing. When `checkpoint_path` is non-empty the
+  // trainer atomically commits a resumable checkpoint there every
+  // `checkpoint_every` epochs (and always at the final epoch). A later
+  // fit()/fit_soft() call with the same config, data and model finds the
+  // file and resumes where it left off; the resumed run yields weights,
+  // report and history byte-identical to an uninterrupted run. A corrupt
+  // or mismatched checkpoint aborts with the persist error rather than
+  // silently starting over. Empty path (the default) disables the feature
+  // entirely. The per-epoch callback is not replayed for epochs restored
+  // from the checkpoint.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
 };
 
 struct EpochRecord {

@@ -1,10 +1,27 @@
 #include "oran/sdl.hpp"
 
+#include "nn/serialize.hpp"
 #include "util/check.hpp"
 #include "util/obs/obs.hpp"
+#include "util/persist/frame.hpp"
 #include "util/rng.hpp"
 
 namespace orev::oran {
+
+namespace {
+
+/// Frame app tag for SDL snapshots.
+constexpr const char* kSdlTag = "orev.sdl";
+
+std::string snapshot_path(const std::string& dir) {
+  return dir + "/sdl_snapshot.ckpt";
+}
+
+std::string journal_path(const std::string& dir) {
+  return dir + "/sdl_journal.log";
+}
+
+}  // namespace
 
 Sdl::Sdl(const Rbac* rbac) : rbac_(rbac) {
   OREV_CHECK(rbac != nullptr, "SDL requires an RBAC engine");
@@ -98,6 +115,7 @@ SdlStatus Sdl::write_tensor(const std::string& app_id, const std::string& ns,
   e.is_tensor = true;
   e.writer = app_id;
   ++e.version;
+  journal_write(ns, key, e);
   return SdlStatus::kOk;
 }
 
@@ -112,6 +130,7 @@ SdlStatus Sdl::write_text(const std::string& app_id, const std::string& ns,
   e.is_tensor = false;
   e.writer = app_id;
   ++e.version;
+  journal_write(ns, key, e);
   return SdlStatus::kOk;
 }
 
@@ -157,6 +176,149 @@ std::vector<std::string> Sdl::keys(const std::string& ns) const {
     if (k.first == ns) out.push_back(k.second);
   }
   return out;
+}
+
+// ----- crash-safe persistence ---------------------------------------------
+
+namespace {
+
+/// One entry's wire form, shared by snapshot sections and journal records:
+/// [u8 is_tensor][str ns][str key][str writer][u64 version][payload].
+void encode_entry(persist::ByteWriter& w, const std::string& ns,
+                  const std::string& key, const std::string& writer,
+                  std::uint64_t version, bool is_tensor,
+                  const nn::Tensor& tensor, const std::string& text) {
+  w.u8(is_tensor ? 1 : 0);
+  w.str(ns);
+  w.str(key);
+  w.str(writer);
+  w.u64(version);
+  if (is_tensor) {
+    nn::write_tensor(w, tensor);
+  } else {
+    w.str(text);
+  }
+}
+
+}  // namespace
+
+persist::Status Sdl::apply_entry(persist::ByteReader& r) {
+  using persist::Status;
+  using persist::StatusCode;
+  std::uint8_t is_tensor = 0;
+  std::string ns, key, writer;
+  std::uint64_t version = 0;
+  if (!r.u8(is_tensor) || !r.str(ns) || !r.str(key) || !r.str(writer) ||
+      !r.u64(version))
+    return Status::Fail(StatusCode::kTruncated, "SDL entry truncated");
+  Entry e;
+  e.is_tensor = is_tensor != 0;
+  e.writer = std::move(writer);
+  e.version = version;
+  if (e.is_tensor) {
+    Status st = nn::read_tensor(r, e.tensor);
+    if (!st.ok()) return st;
+  } else {
+    if (!r.str(e.text))
+      return Status::Fail(StatusCode::kTruncated, "SDL text payload missing");
+  }
+  store_[{std::move(ns), std::move(key)}] = std::move(e);
+  return Status::Ok();
+}
+
+void Sdl::journal_write(const std::string& ns, const std::string& key,
+                        const Entry& e) {
+  if (!journal_.is_open()) return;
+  persist::ByteWriter w;
+  encode_entry(w, ns, key, e.writer, e.version, e.is_tensor, e.tensor, e.text);
+  const persist::Status st = journal_.append(w.buffer());
+  OREV_CHECK(st.ok(),
+             "SDL journal append failed: " + st.message());
+  // Kill-point: the record is on disk; a seeded plan may simulate the
+  // process dying here, leaving the journal as the only trace.
+  fault::maybe_crash(fault::sites::kSdlJournal, fault_);
+}
+
+persist::Status Sdl::attach_storage(const std::string& dir,
+                                    bool sync_each_write) {
+  using persist::Status;
+  OREV_CHECK(!dir.empty(), "attach_storage needs a directory");
+  journal_.close();
+  storage_dir_ = dir;
+  sync_each_write_ = sync_each_write;
+  journal_replayed_ = 0;
+  journal_tail_torn_ = false;
+
+  // 1. Snapshot: the compacted base state (absent on first attach).
+  const std::string snap = snapshot_path(dir);
+  if (persist::file_exists(snap)) {
+    persist::FrameReader fr;
+    Status st = persist::FrameReader::load(snap, kSdlTag, fr);
+    if (!st.ok()) return st;
+    std::string_view sec;
+    st = fr.section("entries", sec);
+    if (!st.ok()) return st;
+    persist::ByteReader r(sec);
+    std::uint64_t count = 0;
+    if (!r.u64(count))
+      return Status::Fail(persist::StatusCode::kTruncated,
+                          "SDL snapshot entry count missing");
+    for (std::uint64_t i = 0; i < count; ++i) {
+      st = apply_entry(r);
+      if (!st.ok()) return st;
+    }
+    st = r.finish("SDL snapshot entries");
+    if (!st.ok()) return st;
+  }
+
+  // 2. Journal: replay the clean prefix of writes since that snapshot;
+  //    truncate away a torn tail left by a crash mid-append.
+  const std::string jpath = journal_path(dir);
+  persist::JournalScan scan;
+  const Status scan_st = persist::scan_journal(jpath, scan);
+  if (scan_st.ok()) {
+    for (const std::string& rec : scan.records) {
+      persist::ByteReader r(rec);
+      Status st = apply_entry(r);
+      if (!st.ok()) return st;
+      st = r.finish("SDL journal record");
+      if (!st.ok()) return st;
+      ++journal_replayed_;
+    }
+    if (scan.torn_tail) {
+      journal_tail_torn_ = true;
+      Status st = persist::truncate_file(jpath, scan.valid_bytes);
+      if (!st.ok()) return st;
+    }
+  } else if (scan_st.code != persist::StatusCode::kNotFound) {
+    return scan_st;
+  }
+
+  // 3. Log every write from here on.
+  return journal_.open(jpath, sync_each_write);
+}
+
+persist::Status Sdl::snapshot() {
+  using persist::Status;
+  OREV_CHECK(journal_.is_open(), "snapshot() requires attached storage");
+
+  persist::ByteWriter w;
+  w.u64(store_.size());
+  for (const auto& [k, e] : store_)
+    encode_entry(w, k.first, k.second, e.writer, e.version, e.is_tensor,
+                 e.tensor, e.text);
+  persist::FrameWriter fw(kSdlTag);
+  fw.section("entries", w.take());
+  Status st = fw.commit(snapshot_path(storage_dir_));
+  if (!st.ok()) return st;
+
+  // The snapshot covers every journaled write: restart the journal. A
+  // crash between commit and truncate only re-replays records whose
+  // effects the snapshot already holds — replay is idempotent.
+  journal_.close();
+  st = persist::truncate_file(journal_path(storage_dir_), 0);
+  if (!st.ok()) return st;
+  return journal_.open(journal_path(storage_dir_), sync_each_write_);
 }
 
 }  // namespace orev::oran

@@ -25,6 +25,9 @@
 #include "nn/tensor.hpp"
 #include "oran/rbac.hpp"
 #include "util/fault/fault.hpp"
+#include "util/persist/bytes.hpp"
+#include "util/persist/journal.hpp"
+#include "util/persist/persist.hpp"
 
 namespace orev::oran {
 
@@ -95,6 +98,25 @@ class Sdl {
   /// All keys currently present in a namespace.
   std::vector<std::string> keys(const std::string& ns) const;
 
+  // ----- crash-safe persistence -----------------------------------------
+  // Durable store state under `dir`: a framed snapshot
+  // (<dir>/sdl_snapshot.ckpt) plus an append-only write journal
+  // (<dir>/sdl_journal.log). attach_storage() loads the snapshot (if any),
+  // replays the journal's clean prefix on top — truncating a torn tail
+  // from a crash mid-append — and then logs every subsequent successful
+  // write. snapshot() compacts: it atomically rewrites the snapshot from
+  // the live store and resets the journal. With `sync_each_write` every
+  // journal append is fsync'd (power-loss durable) at a per-write cost.
+  // Without attach_storage() the SDL stays purely in-memory, as before.
+  persist::Status attach_storage(const std::string& dir,
+                                 bool sync_each_write = false);
+  persist::Status snapshot();
+  bool storage_attached() const { return journal_.is_open(); }
+  /// Journal records replayed by the last attach_storage().
+  std::uint64_t journal_replayed() const { return journal_replayed_; }
+  /// Whether the last attach_storage() found (and dropped) a torn tail.
+  bool journal_tail_torn() const { return journal_tail_torn_; }
+
  private:
   struct Entry {
     nn::Tensor tensor;
@@ -111,6 +133,13 @@ class Sdl {
   /// surface (kOk = proceed normally). May corrupt `payload` in place.
   SdlStatus storage_fault(Op op, nn::Tensor* payload) const;
 
+  /// Append one committed write to the journal (no-op when detached),
+  /// then serve the "sdl.journal" kill-point.
+  void journal_write(const std::string& ns, const std::string& key,
+                     const Entry& e);
+  /// Decode one serialised entry and apply it to the store.
+  persist::Status apply_entry(persist::ByteReader& r);
+
   const Rbac* rbac_;
   std::map<std::pair<std::string, std::string>, Entry> store_;
   mutable std::deque<AuditRecord> audit_;
@@ -121,6 +150,11 @@ class Sdl {
   mutable std::uint64_t unavailable_writes_ = 0;
   mutable std::uint64_t dropped_writes_ = 0;
   mutable std::uint64_t corrupted_writes_ = 0;
+  std::string storage_dir_;
+  bool sync_each_write_ = false;
+  persist::JournalWriter journal_;
+  std::uint64_t journal_replayed_ = 0;
+  bool journal_tail_torn_ = false;
 };
 
 }  // namespace orev::oran

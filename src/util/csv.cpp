@@ -22,11 +22,14 @@ void CsvWriter::row_strings(const std::vector<std::string>& cols) {
   out_ += '\n';
 }
 
+persist::Status CsvWriter::save_status(const std::string& path) const {
+  // No fsync: bench artifacts need crash atomicity (no torn CSVs), not
+  // power-loss durability.
+  return persist::atomic_write_file(path, out_, /*sync=*/false);
+}
+
 bool CsvWriter::save(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << out_;
-  return static_cast<bool>(f);
+  return save_status(path).ok();
 }
 
 }  // namespace orev

@@ -1,10 +1,11 @@
 // Tiny CSV writer used by benchmarks to dump table/figure data series.
 #pragma once
 
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "util/persist/persist.hpp"
 
 namespace orev {
 
@@ -28,7 +29,11 @@ class CsvWriter {
 
   const std::string& str() const { return out_; }
 
-  /// Write accumulated content to a file; returns false on I/O error.
+  /// Atomically commit the accumulated content (write temp → rename), so
+  /// a crash mid-save can never leave a half-written artifact.
+  persist::Status save_status(const std::string& path) const;
+
+  /// Thin bool wrapper over save_status().
   bool save(const std::string& path) const;
 
  private:

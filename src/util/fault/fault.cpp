@@ -96,6 +96,8 @@ FaultPlan FaultPlan::parse(const std::string& text) {
         spec.corrupt_scale = static_cast<float>(std::atof(value.c_str()));
       } else if (key == "max") {
         spec.max_injections = std::strtoull(value.c_str(), nullptr, 0);
+      } else if (key == "after") {
+        spec.after = std::strtoull(value.c_str(), nullptr, 0);
       } else {
         OREV_CHECK(false, where + ": unknown key '" + key + "'");
       }
@@ -128,6 +130,7 @@ std::string FaultPlan::to_string() const {
       if (s.kind == FaultKind::kCorrupt)
         out << " corrupt_scale=" << s.corrupt_scale;
       if (s.max_injections != UINT64_MAX) out << " max=" << s.max_injections;
+      if (s.after != 0) out << " after=" << s.after;
       out << "\n";
     }
   }
@@ -160,6 +163,31 @@ FaultPlan default_chaos_plan() {
   return plan;
 }
 
+FaultPlan default_recovery_plan() {
+  FaultPlan plan;
+  plan.seed = 7;
+  auto kill = [&plan](const char* site, std::uint64_t after) {
+    FaultSpec s;
+    s.kind = FaultKind::kCrash;
+    s.probability = 1.0;
+    s.max_injections = 1;
+    s.after = after;
+    plan.sites[site].push_back(s);
+  };
+  // One crash per checkpoint-commit site, early and late: inside the
+  // first surrogate candidate's training, inside the second candidate's
+  // (mid-Algorithm-1), between candidates, after each UAP pass, and mid
+  // SDL journal stream.
+  kill(sites::kCkptTrainer, 0);
+  kill(sites::kCkptTrainer, 4);
+  kill(sites::kCkptClone, 0);
+  kill(sites::kCkptUap, 0);
+  kill(sites::kCkptUap, 1);
+  kill(sites::kSdlJournal, 2);
+  kill(sites::kSdlJournal, 6);
+  return plan;
+}
+
 // --------------------------------------------------------- FaultInjector
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
@@ -186,7 +214,10 @@ FaultDecision FaultInjector::decide(const std::string& site) {
   Rng rng = Rng(plan_.seed ^ st.stream_key).split(n);
   for (std::size_t i = 0; i < st.specs.size(); ++i) {
     const FaultSpec& spec = st.specs[i];
+    // The Bernoulli draw always happens, so adding/removing `after` or
+    // budget clauses never shifts the decisions of later specs.
     const bool fire = rng.bernoulli(spec.probability);
+    if (n < spec.after) continue;
     if (st.injected_per_spec[i] >= spec.max_injections) continue;
     if (!fire) continue;
     ++st.injected_per_spec[i];

@@ -60,6 +60,11 @@ struct FaultSpec {
   double delay_ms = 5.0;       // kDelay: virtual latency added
   float corrupt_scale = 0.5f;  // kCorrupt: stddev of the additive noise
   std::uint64_t max_injections = UINT64_MAX;  // budget; UINT64_MAX = unbounded
+  // The spec only becomes eligible once the site has served this many
+  // ops. `after=K p=1 max=1` is a deterministic kill-point: fire exactly
+  // on the site's (K+1)-th operation — how bench_recovery aborts a run at
+  // an arbitrary checkpoint commit.
+  std::uint64_t after = 0;
 };
 
 /// Canonical site names used by the instrumented message plane.
@@ -73,6 +78,13 @@ inline constexpr const char* kRAppDispatch = "rapp.dispatch";
 inline constexpr const char* kA1Policy = "a1.policy";
 inline constexpr const char* kO1Collect = "o1.collect";
 inline constexpr const char* kO1Control = "o1.control";
+// Checkpoint-commit / journal-append kill-points (crash-recovery harness).
+// Each site op is one durable commit; a kCrash decision aborts the run
+// immediately *after* the commit landed on disk.
+inline constexpr const char* kCkptTrainer = "ckpt.trainer";
+inline constexpr const char* kCkptClone = "ckpt.clone";
+inline constexpr const char* kCkptUap = "ckpt.uap";
+inline constexpr const char* kSdlJournal = "sdl.journal";
 }  // namespace sites
 
 /// A seeded schedule of per-site fault specs.
@@ -101,6 +113,13 @@ struct FaultPlan {
 /// The committed chaos schedule used by bench_chaos when no --fault-plan
 /// is given (mirrored at bench/fault_plans/chaos_default.plan).
 FaultPlan default_chaos_plan();
+
+/// The committed kill-point schedule used by bench_recovery when no
+/// --kill-plan is given (mirrored at bench/fault_plans/
+/// recovery_default.plan). Every spec is a deterministic crash at one
+/// checkpoint-commit site; the harness runs one crash-and-resume scenario
+/// per spec.
+FaultPlan default_recovery_plan();
 
 /// The outcome of one site operation.
 struct FaultDecision {
@@ -177,6 +196,19 @@ FaultInjector* global_injector();
 /// the process-global one (usually null).
 inline FaultInjector* effective(FaultInjector* local) {
   return local != nullptr ? local : global_injector();
+}
+
+/// Kill-point hook: consult the effective injector at `site` and throw
+/// FaultInjectedError on a kCrash decision. Checkpoint/journal code calls
+/// this immediately after each durable commit so a seeded plan can
+/// simulate the process dying with the commit already on disk — the state
+/// a fresh process must be able to resume from.
+inline void maybe_crash(const std::string& site,
+                        FaultInjector* local = nullptr) {
+  FaultInjector* fi = effective(local);
+  if (fi == nullptr) return;
+  if (fi->decide(site).kind == FaultKind::kCrash)
+    throw FaultInjectedError(site);
 }
 
 }  // namespace orev::fault

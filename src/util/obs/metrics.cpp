@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/persist/persist.hpp"
 
 namespace orev::obs {
 
@@ -300,17 +301,12 @@ std::string Registry::to_json() const {
 }
 
 bool Registry::save_json(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.good()) return false;
-  out << to_json();
-  return out.good();
+  return persist::atomic_write_file(path, to_json(), /*sync=*/false).ok();
 }
 
 bool Registry::save_prometheus(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.good()) return false;
-  out << to_prometheus();
-  return out.good();
+  return persist::atomic_write_file(path, to_prometheus(), /*sync=*/false)
+      .ok();
 }
 
 void Registry::reset_values() {

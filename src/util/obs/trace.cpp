@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "util/obs/metrics.hpp"
+#include "util/persist/persist.hpp"
 #include "util/obs/timer.hpp"
 
 namespace orev::obs {
@@ -140,10 +141,9 @@ std::string trace_to_chrome_json() {
 }
 
 bool save_trace_chrome_json(const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.good()) return false;
-  out << trace_to_chrome_json();
-  return out.good();
+  return persist::atomic_write_file(path, trace_to_chrome_json(),
+                                    /*sync=*/false)
+      .ok();
 }
 
 }  // namespace orev::obs

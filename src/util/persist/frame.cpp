@@ -1,0 +1,136 @@
+#include "util/persist/frame.hpp"
+
+#include "util/check.hpp"
+
+namespace orev::persist {
+
+void FrameWriter::section(const std::string& name, std::string payload) {
+  OREV_CHECK(!name.empty() && name.size() <= kMaxNameLen,
+             "frame section name must be 1.." + std::to_string(kMaxNameLen) +
+                 " bytes");
+  OREV_CHECK(sections_.count(name) == 0,
+             "duplicate frame section '" + name + "'");
+  OREV_CHECK(sections_.size() < kMaxSections, "too many frame sections");
+  sections_.emplace(name, std::move(payload));
+}
+
+std::string FrameWriter::serialize() const {
+  ByteWriter w;
+  w.u32(kFrameMagic);
+  w.u32(kFrameVersion);
+  w.str(app_tag_);
+  w.u32(static_cast<std::uint32_t>(sections_.size()));
+  w.u32(crc32(w.buffer()));
+  for (const auto& [name, payload] : sections_) {
+    const std::size_t start = w.buffer().size();
+    w.str(name);
+    w.u64(payload.size());
+    w.raw(payload.data(), payload.size());
+    w.u32(crc32(std::string_view(w.buffer()).substr(start)));
+  }
+  w.u32(kFrameEndMagic);
+  return w.take();
+}
+
+Status FrameWriter::commit(const std::string& path, bool sync) const {
+  return atomic_write_file(path, serialize(), sync);
+}
+
+Status FrameReader::parse(std::string bytes, const std::string& expect_tag,
+                          FrameReader& out) {
+  FrameReader fr;
+  fr.bytes_ = std::move(bytes);
+  ByteReader r(fr.bytes_);
+
+  std::uint32_t magic = 0, version = 0, count = 0, header_crc = 0;
+  if (!r.u32(magic))
+    return Status::Fail(StatusCode::kTruncated, "missing frame header");
+  if (magic != kFrameMagic)
+    return Status::Fail(StatusCode::kBadMagic, "not a checkpoint frame");
+  if (!r.u32(version) || !r.str(fr.app_tag_) || !r.u32(count))
+    return Status::Fail(StatusCode::kTruncated, "frame header ends early");
+  if (version != kFrameVersion)
+    return Status::Fail(StatusCode::kBadVersion,
+                        "frame version " + std::to_string(version) +
+                            " (expected " + std::to_string(kFrameVersion) +
+                            ")");
+  if (fr.app_tag_.size() > kMaxNameLen || count > kMaxSections)
+    return Status::Fail(StatusCode::kBadSection,
+                        "frame header limits exceeded");
+  const std::size_t header_end = r.pos();
+  if (!r.u32(header_crc))
+    return Status::Fail(StatusCode::kTruncated, "missing header CRC");
+  const std::uint32_t actual_header_crc =
+      crc32(std::string_view(fr.bytes_).substr(0, header_end));
+  if (header_crc != actual_header_crc)
+    return Status::Fail(StatusCode::kCrcMismatch, "frame header corrupted");
+  if (fr.app_tag_ != expect_tag)
+    return Status::Fail(StatusCode::kMismatch,
+                        "checkpoint is '" + fr.app_tag_ + "', expected '" +
+                            expect_tag + "'");
+
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t start = r.pos();
+    std::string name;
+    std::uint64_t len = 0;
+    if (!r.str(name) || !r.u64(len))
+      return Status::Fail(StatusCode::kTruncated,
+                          "section header ends early");
+    if (name.empty() || name.size() > kMaxNameLen)
+      return Status::Fail(StatusCode::kBadSection, "bad section name");
+    const std::size_t payload_pos = r.pos();
+    if (!r.skip(static_cast<std::size_t>(len)))
+      return Status::Fail(StatusCode::kTruncated,
+                          "section '" + name + "' payload ends early");
+    std::uint32_t stored_crc = 0;
+    if (!r.u32(stored_crc))
+      return Status::Fail(StatusCode::kTruncated,
+                          "section '" + name + "' missing CRC");
+    // The CRC covers the section from its name length field through the
+    // last payload byte, so a flip anywhere in the section is caught.
+    if (stored_crc !=
+        crc32(r.view_between(start, payload_pos + static_cast<std::size_t>(len))))
+      return Status::Fail(StatusCode::kCrcMismatch,
+                          "section '" + name + "' corrupted");
+    if (!fr.sections_
+             .emplace(name, std::make_pair(payload_pos,
+                                           static_cast<std::size_t>(len)))
+             .second)
+      return Status::Fail(StatusCode::kBadSection,
+                          "duplicate section '" + name + "'");
+  }
+
+  std::uint32_t end_magic = 0;
+  if (!r.u32(end_magic))
+    return Status::Fail(StatusCode::kTruncated, "missing frame end marker");
+  if (end_magic != kFrameEndMagic)
+    return Status::Fail(StatusCode::kBadMagic, "bad frame end marker");
+  if (!r.at_end())
+    return Status::Fail(StatusCode::kTrailingBytes,
+                        "bytes after frame end marker");
+
+  out = std::move(fr);
+  return Status::Ok();
+}
+
+Status FrameReader::load(const std::string& path,
+                         const std::string& expect_tag, FrameReader& out) {
+  std::string bytes;
+  Status st = read_file(path, bytes);
+  if (!st.ok()) return st;
+  st = parse(std::move(bytes), expect_tag, out);
+  if (!st.ok()) st.detail += " (" + path + ")";
+  return st;
+}
+
+Status FrameReader::section(const std::string& name,
+                            std::string_view& out) const {
+  const auto it = sections_.find(name);
+  if (it == sections_.end())
+    return Status::Fail(StatusCode::kBadSection,
+                        "missing section '" + name + "'");
+  out = std::string_view(bytes_).substr(it->second.first, it->second.second);
+  return Status::Ok();
+}
+
+}  // namespace orev::persist

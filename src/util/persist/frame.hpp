@@ -1,0 +1,82 @@
+// Framed binary checkpoint container with per-section CRC32 and a version
+// header.
+//
+// Layout (all little-endian):
+//   u32 magic 'OCKP'   u32 format version   str app_tag   u32 section_count
+//   u32 header_crc                      — CRC32 of every header byte above
+//   per section:
+//     str name   u64 payload_len   payload bytes
+//     u32 section_crc                — CRC32 from the name length field
+//                                      through the last payload byte
+//   u32 end magic 'PKCO'             — then EOF, or the file is rejected
+//
+// Every byte of the file except the CRC fields themselves is covered by a
+// checksum or validated structurally, so parse() rejects *any* single-byte
+// corruption, truncation, or trailing garbage with a typed Status. The
+// app_tag ("orev.model", "orev.train", ...) stops a valid checkpoint of
+// one kind from being loaded as another.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/persist/bytes.hpp"
+#include "util/persist/persist.hpp"
+
+namespace orev::persist {
+
+inline constexpr std::uint32_t kFrameMagic = 0x504b434fu;     // "OCKP"
+inline constexpr std::uint32_t kFrameEndMagic = 0x4f434b50u;  // "PKCO"
+inline constexpr std::uint32_t kFrameVersion = 1;
+inline constexpr std::size_t kMaxSections = 4096;
+inline constexpr std::size_t kMaxNameLen = 256;
+
+class FrameWriter {
+ public:
+  explicit FrameWriter(std::string app_tag) : app_tag_(std::move(app_tag)) {}
+
+  /// Add a named section; names must be unique within a frame.
+  void section(const std::string& name, std::string payload);
+
+  /// Serialise the complete frame (header + sections + end marker).
+  std::string serialize() const;
+
+  /// Atomically commit the frame to `path` (fsync'd temp + rename).
+  Status commit(const std::string& path, bool sync = true) const;
+
+ private:
+  std::string app_tag_;
+  std::map<std::string, std::string> sections_;  // sorted ⇒ deterministic
+};
+
+class FrameReader {
+ public:
+  /// Strictly parse `bytes` as a frame with the given app tag. Rejects bad
+  /// magic, unsupported versions, tag mismatches, truncation, per-section
+  /// CRC failures, duplicate sections and trailing bytes.
+  static Status parse(std::string bytes, const std::string& expect_tag,
+                      FrameReader& out);
+
+  /// read_file + parse; kNotFound when the file is absent.
+  static Status load(const std::string& path, const std::string& expect_tag,
+                     FrameReader& out);
+
+  bool has(const std::string& name) const {
+    return sections_.count(name) != 0;
+  }
+
+  /// Fetch a section payload; kBadSection when absent.
+  Status section(const std::string& name, std::string_view& out) const;
+
+  const std::string& app_tag() const { return app_tag_; }
+
+ private:
+  std::string bytes_;  // owns the storage the section views point into
+  std::string app_tag_;
+  // Payloads as (offset, length) into bytes_, so moving the reader can
+  // never dangle a view.
+  std::map<std::string, std::pair<std::size_t, std::size_t>> sections_;
+};
+
+}  // namespace orev::persist

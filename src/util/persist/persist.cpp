@@ -1,0 +1,193 @@
+#include "util/persist/persist.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define OREV_PERSIST_POSIX 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace orev::persist {
+
+namespace {
+
+std::string errno_detail(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+/// Directory component of `path` ("." when none) for post-rename fsync.
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kBadMagic: return "bad-magic";
+    case StatusCode::kBadVersion: return "bad-version";
+    case StatusCode::kTruncated: return "truncated";
+    case StatusCode::kCrcMismatch: return "crc-mismatch";
+    case StatusCode::kTrailingBytes: return "trailing-bytes";
+    case StatusCode::kBadSection: return "bad-section";
+    case StatusCode::kBadValue: return "bad-value";
+    case StatusCode::kMismatch: return "mismatch";
+  }
+  return "unknown";
+}
+
+std::string Status::message() const {
+  std::string out = status_code_name(code);
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc) {
+  // Table-driven reflected CRC-32 with the IEEE polynomial 0xEDB88320.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+Status read_file(const std::string& path, std::string& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    return Status::Fail(
+        file_exists(path) ? StatusCode::kIoError : StatusCode::kNotFound,
+        "cannot open '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  if (f.bad())
+    return Status::Fail(StatusCode::kIoError, errno_detail("read", path));
+  out = buf.str();
+  return Status::Ok();
+}
+
+#ifdef OREV_PERSIST_POSIX
+
+Status atomic_write_file(const std::string& path, std::string_view bytes,
+                         bool sync) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0)
+    return Status::Fail(StatusCode::kIoError, errno_detail("open", tmp));
+
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Fail(StatusCode::kIoError, errno_detail("write", tmp));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (sync && ::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Fail(StatusCode::kIoError, errno_detail("fsync", tmp));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Fail(StatusCode::kIoError, errno_detail("close", tmp));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Fail(StatusCode::kIoError, errno_detail("rename", tmp));
+  }
+  if (sync) {
+    // Make the rename itself durable; some filesystems reject fsync on
+    // directories, which is fine — the commit is still process-crash-safe.
+    const int dfd = ::open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+  return Status::Ok();
+}
+
+Status remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::Ok();
+  return Status::Fail(StatusCode::kIoError, errno_detail("unlink", path));
+}
+
+Status truncate_file(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0)
+    return Status::Fail(StatusCode::kIoError, errno_detail("truncate", path));
+  return Status::Ok();
+}
+
+#else  // portable fallback: atomic w.r.t. readers via rename, no fsync
+
+Status atomic_write_file(const std::string& path, std::string_view bytes,
+                         bool /*sync*/) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f)
+      return Status::Fail(StatusCode::kIoError, errno_detail("open", tmp));
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    f.flush();
+    if (!f)
+      return Status::Fail(StatusCode::kIoError, errno_detail("write", tmp));
+  }
+  std::remove(path.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    return Status::Fail(StatusCode::kIoError, errno_detail("rename", tmp));
+  return Status::Ok();
+}
+
+Status remove_file(const std::string& path) {
+  std::remove(path.c_str());
+  return Status::Ok();
+}
+
+Status truncate_file(const std::string& path, std::uint64_t size) {
+  std::string bytes;
+  Status st = read_file(path, bytes);
+  if (!st.ok()) return st;
+  bytes.resize(static_cast<std::size_t>(size));
+  return atomic_write_file(path, bytes, /*sync=*/false);
+}
+
+#endif
+
+}  // namespace orev::persist

@@ -1,0 +1,80 @@
+// Durable persistence primitives: typed status codes, CRC32 integrity
+// checksums, and atomic file commits (write temp → flush → rename).
+//
+// Everything that writes long-lived state to disk — model weights, training
+// checkpoints, the SDL snapshot/journal, bench CSVs — goes through this
+// layer so that a crash at any instant leaves either the old file or the
+// new file, never a torn hybrid, and so that load paths report *why* a file
+// was rejected instead of a bare false.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace orev::persist {
+
+enum class StatusCode {
+  kOk = 0,
+  kIoError,       // open/write/rename/fsync failure (detail carries errno)
+  kNotFound,      // file does not exist
+  kBadMagic,      // wrong container magic / footer marker
+  kBadVersion,    // unsupported format version
+  kTruncated,     // bytes end before the format says they should
+  kCrcMismatch,   // a checksummed region fails verification
+  kTrailingBytes, // well-formed content followed by garbage
+  kBadSection,    // malformed/duplicate/missing section
+  kBadValue,      // a decoded value violates its invariants (e.g. shape dim)
+  kMismatch,      // file is valid but does not match the in-memory object
+};
+
+/// Stable lowercase name ("ok", "crc-mismatch", ...) for diagnostics.
+const char* status_code_name(StatusCode code);
+
+/// Outcome of a persistence operation. Default-constructed is success;
+/// failures carry a code plus a human-readable detail string.
+struct [[nodiscard]] Status {
+  StatusCode code = StatusCode::kOk;
+  std::string detail;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  /// "crc-mismatch: section 'params' checksum 0x... != 0x..."
+  std::string message() const;
+
+  static Status Ok() { return {}; }
+  static Status Fail(StatusCode code, std::string detail) {
+    return Status{code, std::move(detail)};
+  }
+};
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial, reflected). `crc` chains calls:
+/// crc32(b, nb, crc32(a, na)) == crc32(concat(a, b)).
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc = 0);
+inline std::uint32_t crc32(std::string_view bytes, std::uint32_t crc = 0) {
+  return crc32(bytes.data(), bytes.size(), crc);
+}
+
+/// True when `path` names an existing regular file.
+bool file_exists(const std::string& path);
+
+/// Read a whole file into `out` (binary). kNotFound when absent.
+Status read_file(const std::string& path, std::string& out);
+
+/// Atomically replace `path` with `bytes`: write to `path + ".tmp"`, flush
+/// (fsync when `sync`), then rename over the target. A crash at any point
+/// leaves either the previous file or the complete new one. With `sync`
+/// the containing directory is fsync'd too, so the rename itself is
+/// durable across power loss, not just process death.
+Status atomic_write_file(const std::string& path, std::string_view bytes,
+                         bool sync = true);
+
+/// Delete a file; success when it was already absent.
+Status remove_file(const std::string& path);
+
+/// Shrink a file to `size` bytes (used to drop a torn journal tail).
+Status truncate_file(const std::string& path, std::uint64_t size);
+
+}  // namespace orev::persist

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "util/check.hpp"
@@ -70,6 +72,28 @@ class Rng {
 
   /// The seed this generator was constructed with (the `split` base).
   std::uint64_t seed() const { return seed_; }
+
+  /// Exact engine-state serialisation (the standard's textual mt19937_64
+  /// representation, which round-trips bit-for-bit). Checkpoints store
+  /// this so a resumed run continues the *same* draw sequence instead of
+  /// restarting the stream. Distribution helpers construct a fresh
+  /// std::*_distribution per call, so the engine is the whole state.
+  std::string engine_state() const {
+    std::ostringstream os;
+    os << engine_;
+    return os.str();
+  }
+
+  /// Restore a state produced by engine_state(); false on parse failure
+  /// (the engine is left unchanged in that case).
+  bool set_engine_state(const std::string& state) {
+    std::istringstream is(state);
+    std::mt19937_64 candidate;
+    is >> candidate;
+    if (is.fail()) return false;
+    engine_ = candidate;
+    return true;
+  }
 
   std::mt19937_64& engine() { return engine_; }
 

@@ -1,0 +1,767 @@
+// Persistence-layer tests (DESIGN.md §10): atomic commits, the byte
+// codec, fuzz-style corruption of the framed checkpoint container, strict
+// model-file validation, byte-exact checkpoint/resume for the trainer /
+// MCA / UAP pipelines under seeded kill-points, SDL snapshot+journal
+// recovery (torn tails included), and the `after=` kill-point scheduling
+// in the fault plan language.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/model_zoo.hpp"
+#include "attack/clone.hpp"
+#include "attack/uap.hpp"
+#include "nn/blocks.hpp"
+#include "nn/layers.hpp"
+#include "nn/serialize.hpp"
+#include "oran/sdl.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/fault/fault.hpp"
+#include "util/persist/bytes.hpp"
+#include "util/persist/frame.hpp"
+#include "util/persist/journal.hpp"
+#include "util/persist/persist.hpp"
+#include "util/thread_pool.hpp"
+
+namespace orev {
+namespace {
+
+using persist::ByteReader;
+using persist::ByteWriter;
+using persist::FrameReader;
+using persist::FrameWriter;
+using persist::Status;
+using persist::StatusCode;
+
+/// Fresh empty scratch directory under the test tmp root.
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "orev_persist/" + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+::testing::AssertionResult bits_equal(const nn::Tensor& a,
+                                      const nn::Tensor& b) {
+  if (a.shape() != b.shape())
+    return ::testing::AssertionFailure() << "shape mismatch";
+  if (a.numel() != 0 &&
+      std::memcmp(a.raw(), b.raw(), a.numel() * sizeof(float)) != 0)
+    return ::testing::AssertionFailure() << "payload bits differ";
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult weights_equal(const std::vector<nn::Tensor>& a,
+                                         const std::vector<nn::Tensor>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "weight count mismatch";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const ::testing::AssertionResult r = bits_equal(a[i], b[i]);
+    if (!r)
+      return ::testing::AssertionFailure()
+             << "weight tensor " << i << ": " << r.message();
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(util::num_threads()) {}
+  ~ThreadGuard() { util::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// Installs a single-kill-point global injector for the scope.
+class KillPointGuard {
+ public:
+  KillPointGuard(const std::string& site, std::uint64_t after) {
+    fault::FaultPlan plan;
+    plan.seed = 1;
+    fault::FaultSpec spec;
+    spec.kind = fault::FaultKind::kCrash;
+    spec.probability = 1.0;
+    spec.max_injections = 1;
+    spec.after = after;
+    plan.sites[site].push_back(spec);
+    injector_ = std::make_unique<fault::FaultInjector>(std::move(plan));
+    fault::set_global_injector(injector_.get());
+  }
+  ~KillPointGuard() { fault::set_global_injector(nullptr); }
+
+ private:
+  std::unique_ptr<fault::FaultInjector> injector_;
+};
+
+// ----------------------------------------------------- atomic file commits
+
+TEST(Persist, AtomicWriteCreatesAndReplaces) {
+  const std::string dir = scratch_dir("atomic");
+  const std::string path = dir + "/f.bin";
+  ASSERT_TRUE(persist::atomic_write_file(path, "first", /*sync=*/false).ok());
+  std::string got;
+  ASSERT_TRUE(persist::read_file(path, got).ok());
+  EXPECT_EQ(got, "first");
+  ASSERT_TRUE(persist::atomic_write_file(path, "second", /*sync=*/true).ok());
+  ASSERT_TRUE(persist::read_file(path, got).ok());
+  EXPECT_EQ(got, "second");
+  // The staging file never survives a successful commit.
+  EXPECT_FALSE(persist::file_exists(path + ".tmp"));
+}
+
+TEST(Persist, ReadMissingFileIsNotFound) {
+  std::string got;
+  const Status st = persist::read_file(scratch_dir("miss") + "/nope", got);
+  EXPECT_EQ(st.code, StatusCode::kNotFound);
+}
+
+TEST(Persist, RemoveIsIdempotentAndTruncateShrinks) {
+  const std::string dir = scratch_dir("rm");
+  const std::string path = dir + "/f.bin";
+  EXPECT_TRUE(persist::remove_file(path).ok());  // already absent: fine
+  ASSERT_TRUE(persist::atomic_write_file(path, "0123456789", false).ok());
+  ASSERT_TRUE(persist::truncate_file(path, 4).ok());
+  std::string got;
+  ASSERT_TRUE(persist::read_file(path, got).ok());
+  EXPECT_EQ(got, "0123");
+  EXPECT_TRUE(persist::remove_file(path).ok());
+  EXPECT_FALSE(persist::file_exists(path));
+}
+
+TEST(Persist, Crc32MatchesReferenceAndChains) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(persist::crc32("123456789"), 0xCBF43926u);
+  const std::string a = "hello ", b = "world";
+  EXPECT_EQ(persist::crc32(b, persist::crc32(a)), persist::crc32(a + b));
+}
+
+// --------------------------------------------------------------- byte codec
+
+TEST(Persist, ByteCodecRoundTripsAllPrimitives) {
+  ByteWriter w;
+  w.u8(7);
+  w.u32(0xdeadbeefu);
+  w.u64(1ull << 60);
+  w.i32(-42);
+  w.i64(-(1ll << 50));
+  w.f32(1.5f);
+  w.f64(-2.25);
+  w.str(std::string_view("payload\0with nul", 16));
+  ByteReader r(w.buffer());
+  std::uint8_t u8v = 0;
+  std::uint32_t u32v = 0;
+  std::uint64_t u64v = 0;
+  std::int32_t i32v = 0;
+  std::int64_t i64v = 0;
+  float f32v = 0;
+  double f64v = 0;
+  std::string s;
+  ASSERT_TRUE(r.u8(u8v) && r.u32(u32v) && r.u64(u64v) && r.i32(i32v) &&
+              r.i64(i64v) && r.f32(f32v) && r.f64(f64v) && r.str(s));
+  EXPECT_EQ(u8v, 7);
+  EXPECT_EQ(u32v, 0xdeadbeefu);
+  EXPECT_EQ(u64v, 1ull << 60);
+  EXPECT_EQ(i32v, -42);
+  EXPECT_EQ(i64v, -(1ll << 50));
+  EXPECT_EQ(f32v, 1.5f);
+  EXPECT_EQ(f64v, -2.25);
+  EXPECT_EQ(s, std::string("payload\0with nul", 16));
+  EXPECT_TRUE(r.finish("blob").ok());
+}
+
+TEST(Persist, ByteReaderFlagsTruncationAndTrailingBytes) {
+  ByteWriter w;
+  w.u32(5);
+  {
+    ByteReader r(w.buffer());
+    std::uint64_t v = 0;
+    EXPECT_FALSE(r.u64(v));  // 4 bytes can't fill 8
+    EXPECT_TRUE(r.failed());
+    EXPECT_EQ(r.finish("blob").code, StatusCode::kTruncated);
+  }
+  {
+    ByteReader r(w.buffer());
+    std::uint8_t v = 0;
+    ASSERT_TRUE(r.u8(v));
+    EXPECT_EQ(r.finish("blob").code, StatusCode::kTrailingBytes);
+  }
+}
+
+TEST(Persist, ByteReaderValidatesStringLengthBeforeAllocating) {
+  ByteWriter w;
+  w.u64(1ull << 40);  // absurd length, no payload behind it
+  ByteReader r(w.buffer());
+  std::string s;
+  EXPECT_FALSE(r.str(s));
+  EXPECT_TRUE(r.failed());
+  EXPECT_TRUE(s.empty());
+}
+
+// ------------------------------------------------------- framed container
+
+std::string sample_frame() {
+  FrameWriter fw("orev.test");
+  fw.section("alpha", "first payload");
+  fw.section("beta", std::string("\x00\x01\x02", 3));
+  return fw.serialize();
+}
+
+TEST(Persist, FrameRoundTripsSections) {
+  FrameReader fr;
+  ASSERT_TRUE(FrameReader::parse(sample_frame(), "orev.test", fr).ok());
+  EXPECT_TRUE(fr.has("alpha"));
+  EXPECT_TRUE(fr.has("beta"));
+  EXPECT_FALSE(fr.has("gamma"));
+  std::string_view payload;
+  ASSERT_TRUE(fr.section("alpha", payload).ok());
+  EXPECT_EQ(payload, "first payload");
+  ASSERT_TRUE(fr.section("beta", payload).ok());
+  EXPECT_EQ(payload, std::string_view("\x00\x01\x02", 3));
+  EXPECT_EQ(fr.section("gamma", payload).code, StatusCode::kBadSection);
+}
+
+TEST(Persist, FrameRejectsWrongAppTag) {
+  FrameReader fr;
+  const Status st = FrameReader::parse(sample_frame(), "orev.other", fr);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(Persist, FrameRejectsEverySingleByteFlip) {
+  const std::string good = sample_frame();
+  FrameReader fr;
+  ASSERT_TRUE(FrameReader::parse(good, "orev.test", fr).ok());
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x5a);
+    FrameReader out;
+    EXPECT_FALSE(FrameReader::parse(std::move(bad), "orev.test", out).ok())
+        << "flip at byte " << i << " was accepted";
+  }
+}
+
+TEST(Persist, FrameRejectsEveryTruncation) {
+  const std::string good = sample_frame();
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    FrameReader out;
+    EXPECT_FALSE(
+        FrameReader::parse(good.substr(0, len), "orev.test", out).ok())
+        << "truncation to " << len << " bytes was accepted";
+  }
+}
+
+TEST(Persist, FrameRejectsTrailingGarbage) {
+  FrameReader out;
+  const Status st = FrameReader::parse(sample_frame() + "x", "orev.test", out);
+  EXPECT_EQ(st.code, StatusCode::kTrailingBytes);
+}
+
+TEST(Persist, FrameLoadMissingFileIsNotFound) {
+  FrameReader out;
+  const Status st =
+      FrameReader::load(scratch_dir("frame") + "/absent.ckpt", "t", out);
+  EXPECT_EQ(st.code, StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------ record journal
+
+TEST(Persist, JournalRoundTripsRecords) {
+  const std::string path = scratch_dir("journal") + "/j.log";
+  {
+    persist::JournalWriter jw;
+    ASSERT_TRUE(jw.open(path).ok());
+    ASSERT_TRUE(jw.append("one").ok());
+    ASSERT_TRUE(jw.append(std::string("\x00\xff", 2)).ok());
+    ASSERT_TRUE(jw.append("three").ok());
+  }
+  persist::JournalScan scan;
+  ASSERT_TRUE(persist::scan_journal(path, scan).ok());
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0], "one");
+  EXPECT_EQ(scan.records[1], std::string("\x00\xff", 2));
+  EXPECT_EQ(scan.records[2], "three");
+  EXPECT_FALSE(scan.torn_tail);
+}
+
+TEST(Persist, JournalScanStopsAtTornTail) {
+  const std::string path = scratch_dir("journal_torn") + "/j.log";
+  {
+    persist::JournalWriter jw;
+    ASSERT_TRUE(jw.open(path).ok());
+    ASSERT_TRUE(jw.append("kept").ok());
+    ASSERT_TRUE(jw.append("lost").ok());
+  }
+  std::string bytes;
+  ASSERT_TRUE(persist::read_file(path, bytes).ok());
+  // Chop one byte off the final record: a crash mid-append.
+  ASSERT_TRUE(persist::truncate_file(path, bytes.size() - 1).ok());
+  persist::JournalScan scan;
+  ASSERT_TRUE(persist::scan_journal(path, scan).ok());
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0], "kept");
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_LT(scan.valid_bytes, bytes.size());
+}
+
+// -------------------------------------------------------- tensor (de)coding
+
+TEST(Persist, TensorCodecRejectsHostileShapes) {
+  nn::Tensor out({1}, 0.0f);
+  {
+    ByteWriter w;  // negative dim
+    w.u32(1);
+    w.i32(-3);
+    ByteReader r(w.buffer());
+    EXPECT_EQ(nn::read_tensor(r, out).code, StatusCode::kBadValue);
+  }
+  {
+    ByteWriter w;  // absurd dims: would imply a multi-GB allocation
+    w.u32(2);
+    w.i32(1 << 20);
+    w.i32(1 << 20);
+    ByteReader r(w.buffer());
+    EXPECT_EQ(nn::read_tensor(r, out).code, StatusCode::kBadValue);
+  }
+  {
+    ByteWriter w;  // plausible shape, payload shorter than numel implies
+    w.u32(1);
+    w.i32(100);
+    w.f32(1.0f);
+    ByteReader r(w.buffer());
+    EXPECT_EQ(nn::read_tensor(r, out).code, StatusCode::kTruncated);
+  }
+  // A rejected decode never touches the output tensor.
+  ASSERT_EQ(out.numel(), 1u);
+  EXPECT_EQ(out[0], 0.0f);
+}
+
+// ------------------------------------------------------------- model files
+
+TEST(Persist, ModelFileRoundTripsByteExact) {
+  const data::Dataset d = test::tiny_spectrogram_dataset(/*per_class=*/6);
+  nn::Model a = apps::make_base_cnn(d.sample_shape(), d.num_classes, 5);
+  const std::string path = scratch_dir("model") + "/m.ckpt";
+  ASSERT_TRUE(a.save_status(path).ok());
+  nn::Model b = apps::make_base_cnn(d.sample_shape(), d.num_classes, 99);
+  ASSERT_TRUE(b.load_status(path).ok());
+  EXPECT_TRUE(weights_equal(a.weights(), b.weights()));
+  // The full serialised state (params + layer state) matches too.
+  ByteWriter wa, wb;
+  a.write_state(wa);
+  b.write_state(wb);
+  EXPECT_EQ(wa.buffer(), wb.buffer());
+  // Thin bool wrappers still work.
+  EXPECT_TRUE(a.save(path));
+  EXPECT_TRUE(b.load(path));
+}
+
+TEST(Persist, ModelFileRejectsTrailingAndCorruptBytesWithoutMutating) {
+  const data::Dataset d = test::tiny_spectrogram_dataset(/*per_class=*/6);
+  nn::Model a = apps::make_one_layer(d.sample_shape(), d.num_classes, 5);
+  const std::string dir = scratch_dir("model_bad");
+  const std::string path = dir + "/m.ckpt";
+  ASSERT_TRUE(a.save_status(path).ok());
+  std::string bytes;
+  ASSERT_TRUE(persist::read_file(path, bytes).ok());
+
+  nn::Model b = apps::make_one_layer(d.sample_shape(), d.num_classes, 99);
+  const std::vector<nn::Tensor> before = b.weights();
+
+  const std::string trailing = dir + "/trailing.ckpt";
+  ASSERT_TRUE(persist::atomic_write_file(trailing, bytes + "x", false).ok());
+  EXPECT_EQ(b.load_status(trailing).code, StatusCode::kTrailingBytes);
+
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x10;
+  const std::string corrupted = dir + "/corrupt.ckpt";
+  ASSERT_TRUE(persist::atomic_write_file(corrupted, corrupt, false).ok());
+  EXPECT_FALSE(b.load_status(corrupted).ok());
+
+  // Every rejected load left the target model untouched.
+  EXPECT_TRUE(weights_equal(b.weights(), before));
+}
+
+TEST(Persist, ModelFileRejectsArchitectureMismatch) {
+  const data::Dataset d = test::tiny_spectrogram_dataset(/*per_class=*/6);
+  nn::Model a = apps::make_one_layer(d.sample_shape(), d.num_classes, 5);
+  const std::string path = scratch_dir("model_arch") + "/m.ckpt";
+  ASSERT_TRUE(a.save_status(path).ok());
+  nn::Model other =
+      apps::make_one_layer(d.sample_shape(), d.num_classes + 1, 5);
+  EXPECT_EQ(other.load_status(path).code, StatusCode::kMismatch);
+}
+
+// ----------------------------------------------- trainer checkpoint/resume
+
+/// Small model exercising the tricky layer state: BatchNorm running stats
+/// and the Dropout RNG, neither of which lives in params().
+nn::Model make_stateful_model(std::uint64_t seed) {
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->emplace<nn::Dense>(2, 16);
+  seq->emplace<nn::BatchNorm>(16);
+  seq->emplace<nn::ReLU>();
+  seq->emplace<nn::Dropout>(0.25f, seed ^ 0xd0d0);
+  seq->emplace<nn::Dense>(16, 2);
+  nn::Model m("StatefulNet", std::move(seq), {2}, 2);
+  Rng rng(seed);
+  m.init(rng);
+  return m;
+}
+
+nn::TrainConfig stateful_train_config() {
+  nn::TrainConfig cfg;
+  cfg.max_epochs = 6;
+  cfg.learning_rate = 1e-2f;
+  cfg.checkpoint_every = 2;
+  return cfg;
+}
+
+struct FitOutcome {
+  std::string state_bytes;
+  nn::TrainReport report;
+};
+
+FitOutcome fit_stateful(const data::Dataset& d, const std::string& ckpt) {
+  Rng rng(3);
+  const data::Split s = data::stratified_split(d, 0.75, rng);
+  nn::Model m = make_stateful_model(17);
+  nn::TrainConfig cfg = stateful_train_config();
+  cfg.checkpoint_path = ckpt;
+  nn::Trainer t(cfg);
+  FitOutcome out;
+  out.report = t.fit(m, s.train.x, s.train.y, s.test.x, s.test.y);
+  ByteWriter w;
+  m.write_state(w);
+  out.state_bytes = w.take();
+  return out;
+}
+
+/// Deterministic history fields only (timing excluded).
+void expect_history_equal(const nn::TrainReport& a, const nn::TrainReport& b) {
+  EXPECT_EQ(a.epochs_run, b.epochs_run);
+  EXPECT_EQ(a.early_stopped, b.early_stopped);
+  EXPECT_EQ(a.best_val_loss, b.best_val_loss);
+  EXPECT_EQ(a.best_val_accuracy, b.best_val_accuracy);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].train_loss, b.history[i].train_loss) << i;
+    EXPECT_EQ(a.history[i].val_loss, b.history[i].val_loss) << i;
+    EXPECT_EQ(a.history[i].val_accuracy, b.history[i].val_accuracy) << i;
+    EXPECT_EQ(a.history[i].learning_rate, b.history[i].learning_rate) << i;
+  }
+}
+
+void run_trainer_kill_resume(int threads) {
+  ThreadGuard guard;
+  util::set_num_threads(threads);
+  const data::Dataset d = test::blob_dataset(/*per_class=*/24);
+  const FitOutcome baseline = fit_stateful(d, /*ckpt=*/"");
+
+  const std::string ckpt =
+      scratch_dir("trainer_t" + std::to_string(threads)) + "/train.ckpt";
+  {
+    // Die at the second checkpoint commit (after epoch 4 of 6).
+    KillPointGuard kill(fault::sites::kCkptTrainer, /*after=*/1);
+    EXPECT_THROW(fit_stateful(d, ckpt), fault::FaultInjectedError);
+  }
+  ASSERT_TRUE(persist::file_exists(ckpt));
+  const FitOutcome resumed = fit_stateful(d, ckpt);
+
+  EXPECT_EQ(resumed.state_bytes, baseline.state_bytes);
+  expect_history_equal(resumed.report, baseline.report);
+}
+
+TEST(Persist, TrainerKillPointResumeIsByteExactSingleThread) {
+  run_trainer_kill_resume(1);
+}
+
+TEST(Persist, TrainerKillPointResumeIsByteExactMultiThread) {
+  run_trainer_kill_resume(4);
+}
+
+TEST(Persist, TrainerFinalCheckpointReplaysFinishedRun) {
+  const data::Dataset d = test::blob_dataset(/*per_class=*/24);
+  const std::string ckpt = scratch_dir("trainer_fin") + "/train.ckpt";
+  const FitOutcome first = fit_stateful(d, ckpt);
+  // The run finished; a rerun restores the terminal checkpoint instead of
+  // retraining, and reproduces the outcome bit for bit.
+  const FitOutcome replay = fit_stateful(d, ckpt);
+  EXPECT_EQ(replay.state_bytes, first.state_bytes);
+  expect_history_equal(replay.report, first.report);
+}
+
+TEST(Persist, TrainerRejectsCheckpointFromDifferentConfig) {
+  const data::Dataset d = test::blob_dataset(/*per_class=*/24);
+  const std::string ckpt = scratch_dir("trainer_cfg") + "/train.ckpt";
+  {
+    KillPointGuard kill(fault::sites::kCkptTrainer, /*after=*/0);
+    EXPECT_THROW(fit_stateful(d, ckpt), fault::FaultInjectedError);
+  }
+  Rng rng(3);
+  const data::Split s = data::stratified_split(d, 0.75, rng);
+  nn::Model m = make_stateful_model(17);
+  nn::TrainConfig cfg = stateful_train_config();
+  cfg.learning_rate = 5e-3f;  // fingerprint no longer matches
+  cfg.checkpoint_path = ckpt;
+  nn::Trainer t(cfg);
+  EXPECT_THROW(t.fit(m, s.train.x, s.train.y, s.test.x, s.test.y),
+               CheckError);
+}
+
+// ------------------------------------------------- clone + UAP kill-points
+
+std::vector<attack::Candidate> tiny_candidates(const nn::Shape& shape,
+                                               int classes) {
+  std::vector<attack::Candidate> out;
+  for (const apps::Arch arch : {apps::Arch::kOneLayer, apps::Arch::kBase}) {
+    out.push_back(attack::Candidate{
+        apps::arch_name(arch), [arch, shape, classes](std::uint64_t seed) {
+          return apps::make_arch(arch, shape, classes, seed);
+        }});
+  }
+  return out;
+}
+
+attack::CloneConfig tiny_clone_config(const std::string& ckpt_dir) {
+  attack::CloneConfig cfg;
+  cfg.train.max_epochs = 3;
+  cfg.train.learning_rate = 2e-3f;
+  cfg.train.early_stop_patience = 3;
+  cfg.checkpoint_dir = ckpt_dir;
+  return cfg;
+}
+
+std::string clone_state_bytes(const data::Dataset& d,
+                              const std::string& ckpt_dir) {
+  attack::CloneReport rep = attack::clone_model(
+      d, tiny_candidates(d.sample_shape(), d.num_classes),
+      tiny_clone_config(ckpt_dir));
+  ByteWriter w;
+  rep.model.write_state(w);
+  w.str(rep.best_arch);
+  w.f64(rep.cloning_accuracy);
+  for (const attack::ArchScore& s : rep.scores) {
+    w.str(s.name);
+    w.f64(s.cloning_accuracy);
+    w.i32(s.epochs_run);
+    w.u8(s.early_stopped ? 1 : 0);
+  }
+  return w.take();
+}
+
+TEST(Persist, CloneKillPointResumeIsByteExact) {
+  const data::Dataset d = test::tiny_spectrogram_dataset(/*per_class=*/8);
+  const std::string baseline = clone_state_bytes(d, /*ckpt_dir=*/"");
+
+  // Kill once mid-candidate (2nd trainer commit lands inside a candidate's
+  // training) and once at a candidate boundary.
+  for (const auto& [site, after] :
+       {std::pair<const char*, std::uint64_t>{fault::sites::kCkptTrainer, 1},
+        std::pair<const char*, std::uint64_t>{fault::sites::kCkptClone, 0}}) {
+    const std::string dir =
+        scratch_dir(std::string("clone_") + (after == 0 ? "bound" : "mid"));
+    {
+      KillPointGuard kill(site, after);
+      EXPECT_THROW(clone_state_bytes(d, dir), fault::FaultInjectedError);
+    }
+    EXPECT_EQ(clone_state_bytes(d, dir), baseline)
+        << "resume after kill at " << site << " after=" << after;
+  }
+}
+
+std::string uap_bytes(nn::Model& surrogate, const nn::Tensor& samples,
+                      const std::string& ckpt) {
+  attack::UapConfig cfg;
+  cfg.eps = 0.1f;
+  cfg.max_passes = 3;
+  cfg.target_fooling = 2.0;  // unreachable: run all passes
+  cfg.checkpoint_path = ckpt;
+  attack::Fgsm inner(0.05f);
+  const attack::UapResult r =
+      attack::generate_uap(surrogate, samples, inner, cfg);
+  ByteWriter w;
+  nn::write_tensor(w, r.perturbation);
+  w.i32(r.passes);
+  w.f64(r.achieved_fooling);
+  return w.take();
+}
+
+TEST(Persist, UapKillPointResumeIsByteExact) {
+  const data::Dataset d = test::tiny_spectrogram_dataset(/*per_class=*/8);
+  nn::Model surrogate =
+      apps::make_one_layer(d.sample_shape(), d.num_classes, 5);
+  test::quick_fit(surrogate, d, /*epochs=*/3);
+
+  const std::string baseline = uap_bytes(surrogate, d.x, /*ckpt=*/"");
+  const std::string ckpt = scratch_dir("uap") + "/uap.ckpt";
+  {
+    KillPointGuard kill(fault::sites::kCkptUap, /*after=*/1);
+    EXPECT_THROW(uap_bytes(surrogate, d.x, ckpt),
+                 fault::FaultInjectedError);
+  }
+  EXPECT_EQ(uap_bytes(surrogate, d.x, ckpt), baseline);
+}
+
+// ------------------------------------------------- SDL snapshot + journal
+
+class SdlPersistTest : public ::testing::Test {
+ protected:
+  SdlPersistTest() {
+    rbac_.define_role("rw", {oran::Permission{"ns/*", true, true}});
+    rbac_.assign_role("app", "rw");
+  }
+
+  void write_some(oran::Sdl& sdl, int from, int to) {
+    for (int i = from; i < to; ++i) {
+      std::string key = "k";
+      key += std::to_string(i % 3);
+      if (i % 2 == 0) {
+        ASSERT_EQ(sdl.write_tensor("app", "ns/t", key,
+                                   nn::Tensor({2}, {float(i), -float(i)})),
+                  oran::SdlStatus::kOk);
+      } else {
+        std::string value = "v";
+        value += std::to_string(i);
+        ASSERT_EQ(sdl.write_text("app", "ns/t", key, std::move(value)),
+                  oran::SdlStatus::kOk);
+      }
+    }
+  }
+
+  std::string fingerprint(oran::Sdl& sdl) {
+    ByteWriter w;
+    for (const std::string& key : sdl.keys("ns/t")) {
+      w.str(key);
+      w.u64(sdl.version("ns/t", key).value_or(0));
+      w.str(sdl.last_writer("ns/t", key).value_or(""));
+      nn::Tensor t;
+      if (sdl.read_tensor("app", "ns/t", key, t) == oran::SdlStatus::kOk) {
+        w.u8(1);
+        nn::write_tensor(w, t);
+      } else {
+        std::string text;
+        EXPECT_EQ(sdl.read_text("app", "ns/t", key, text),
+                  oran::SdlStatus::kOk);
+        w.u8(0);
+        w.str(text);
+      }
+    }
+    return w.take();
+  }
+
+  oran::Rbac rbac_;
+};
+
+TEST_F(SdlPersistTest, StateSurvivesReattach) {
+  const std::string dir = scratch_dir("sdl_basic");
+  std::string want;
+  {
+    oran::Sdl sdl(&rbac_);
+    ASSERT_TRUE(sdl.attach_storage(dir).ok());
+    EXPECT_TRUE(sdl.storage_attached());
+    write_some(sdl, 0, 7);
+    want = fingerprint(sdl);
+  }
+  oran::Sdl sdl(&rbac_);
+  ASSERT_TRUE(sdl.attach_storage(dir).ok());
+  EXPECT_EQ(sdl.journal_replayed(), 7u);
+  EXPECT_FALSE(sdl.journal_tail_torn());
+  EXPECT_EQ(fingerprint(sdl), want);
+}
+
+TEST_F(SdlPersistTest, TornJournalTailIsDroppedAndTruncated) {
+  const std::string dir = scratch_dir("sdl_torn");
+  std::string want_prefix;
+  {
+    oran::Sdl sdl(&rbac_);
+    ASSERT_TRUE(sdl.attach_storage(dir).ok());
+    write_some(sdl, 0, 3);
+    want_prefix = fingerprint(sdl);
+    write_some(sdl, 3, 4);  // this record will be torn away
+  }
+  const std::string jpath = dir + "/sdl_journal.log";
+  std::string bytes;
+  ASSERT_TRUE(persist::read_file(jpath, bytes).ok());
+  ASSERT_TRUE(persist::truncate_file(jpath, bytes.size() - 2).ok());
+  {
+    oran::Sdl sdl(&rbac_);
+    ASSERT_TRUE(sdl.attach_storage(dir).ok());
+    EXPECT_TRUE(sdl.journal_tail_torn());
+    EXPECT_EQ(sdl.journal_replayed(), 3u);
+    EXPECT_EQ(fingerprint(sdl), want_prefix);
+  }
+  // The torn bytes were physically truncated: a further attach is clean.
+  oran::Sdl sdl(&rbac_);
+  ASSERT_TRUE(sdl.attach_storage(dir).ok());
+  EXPECT_FALSE(sdl.journal_tail_torn());
+  EXPECT_EQ(fingerprint(sdl), want_prefix);
+}
+
+TEST_F(SdlPersistTest, SnapshotCompactsJournalAndPreservesState) {
+  const std::string dir = scratch_dir("sdl_snap");
+  std::string want;
+  {
+    oran::Sdl sdl(&rbac_);
+    ASSERT_TRUE(sdl.attach_storage(dir).ok());
+    write_some(sdl, 0, 6);
+    ASSERT_TRUE(sdl.snapshot().ok());
+    write_some(sdl, 6, 8);  // journaled on top of the snapshot
+    want = fingerprint(sdl);
+  }
+  oran::Sdl sdl(&rbac_);
+  ASSERT_TRUE(sdl.attach_storage(dir).ok());
+  EXPECT_EQ(sdl.journal_replayed(), 2u);  // only the post-snapshot writes
+  EXPECT_EQ(fingerprint(sdl), want);
+}
+
+TEST_F(SdlPersistTest, DetachedSdlWritesNothing) {
+  oran::Sdl sdl(&rbac_);
+  EXPECT_FALSE(sdl.storage_attached());
+  write_some(sdl, 0, 4);  // in-memory only; must not touch the filesystem
+  EXPECT_THROW((void)sdl.snapshot(), CheckError);
+}
+
+// ------------------------------------------------ kill-point plan language
+
+TEST(Persist, FaultPlanAfterFieldRoundTrips) {
+  const fault::FaultPlan plan = fault::FaultPlan::parse(
+      "seed 7\nsite ckpt.trainer crash p=1 max=1 after=3\n");
+  const fault::FaultSpec& spec = plan.sites.at("ckpt.trainer")[0];
+  EXPECT_EQ(spec.after, 3u);
+  EXPECT_EQ(fault::FaultPlan::parse(plan.to_string()).to_string(),
+            plan.to_string());
+  // The committed recovery plan is expressible in its own language too.
+  const fault::FaultPlan recovery = fault::default_recovery_plan();
+  EXPECT_EQ(fault::FaultPlan::parse(recovery.to_string()).to_string(),
+            recovery.to_string());
+}
+
+TEST(Persist, MaybeCrashHonoursAfterAndBudget) {
+  fault::FaultPlan plan;
+  plan.seed = 1;
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kCrash;
+  spec.probability = 1.0;
+  spec.max_injections = 1;
+  spec.after = 2;
+  plan.sites["ckpt.trainer"].push_back(spec);
+  fault::FaultInjector injector(plan);
+  // Ops 0 and 1 pass, op 2 crashes, the budget is then exhausted.
+  EXPECT_NO_THROW(fault::maybe_crash("ckpt.trainer", &injector));
+  EXPECT_NO_THROW(fault::maybe_crash("ckpt.trainer", &injector));
+  EXPECT_THROW(fault::maybe_crash("ckpt.trainer", &injector),
+               fault::FaultInjectedError);
+  EXPECT_NO_THROW(fault::maybe_crash("ckpt.trainer", &injector));
+  EXPECT_NO_THROW(fault::maybe_crash("other.site", &injector));
+}
+
+}  // namespace
+}  // namespace orev
