@@ -10,11 +10,15 @@
 //                           (§5.3.3) is measured against;
 //   perf.attack_sample_ms — one FGSM perturbation of one spectrogram via
 //                           the surrogate, the per-sample cost of the
-//                           input-specific attack (Fig. 3).
+//                           input-specific attack (Fig. 3);
+//   perf.serve_batch_ms   — one full micro-batch (32 KPM requests) through
+//                           the serving engine: admission, batching, the
+//                           compiled batched forward, and completions
+//                           (DESIGN.md §11).
 //
 // The report also sweeps attack_batch() once, so the instrumentation
 // histograms populated by the pipelines themselves (attack.batch.*,
-// oran.*) appear in the same JSON.
+// oran.*, serve.*) appear in the same JSON.
 #include <cstdio>
 
 #include "apps/model_zoo.hpp"
@@ -23,6 +27,7 @@
 #include "nn/layers.hpp"
 #include "oran/near_rt_ric.hpp"
 #include "oran/onboarding.hpp"
+#include "serve/serve.hpp"
 
 namespace {
 
@@ -123,11 +128,37 @@ void run_attack(int samples) {
   attack::attack_batch(fgsm, surrogate, corpus.x, /*target_class=*/-1);
 }
 
-void print_hist(const char* name) {
+void run_serve(int batches) {
+  obs::Histogram& h = obs::histogram(
+      "perf.serve_batch_ms", {},
+      "one full 32-request micro-batch through the serving engine");
+
+  serve::ServeConfig cfg;
+  cfg.name = "perf";
+  cfg.batch_max = 32;
+  serve::ServeEngine eng(apps::make_kpm_dnn(4, 4, 17), cfg);
+  Rng rng(0xf1ee7);
+  for (int b = 0; b < batches; ++b) {
+    std::vector<nn::Tensor> reqs;
+    reqs.reserve(32);
+    for (int i = 0; i < 32; ++i) {
+      nn::Tensor t({4});
+      for (std::size_t j = 0; j < 4; ++j) t[j] = rng.uniform(-1.0f, 1.0f);
+      reqs.push_back(std::move(t));
+    }
+    // The 32nd submit fills the batch and flushes it, so one timer scope
+    // covers admission + batching + the batched forward + completions.
+    const obs::ScopedTimerMs t(h);
+    for (nn::Tensor& r : reqs) eng.submit(std::move(r), nullptr);
+  }
+  eng.drain();
+}
+
+void print_hist(const char* name, const char* unit = "ms") {
   const obs::Histogram::Snapshot s = obs::histogram(name).snapshot();
-  std::printf("%-24s n=%6llu  p50=%9.4f ms  p95=%9.4f ms  p99=%9.4f ms\n",
-              name, static_cast<unsigned long long>(s.count), s.p50, s.p95,
-              s.p99);
+  std::printf("%-24s n=%6llu  p50=%9.4f %s  p95=%9.4f %s  p99=%9.4f %s\n",
+              name, static_cast<unsigned long long>(s.count), s.p50, unit,
+              s.p95, unit, s.p99, unit);
 }
 
 }  // namespace
@@ -135,17 +166,21 @@ void print_hist(const char* name) {
 int main(int argc, char** argv) {
   ObsGuard obs_guard(argc, argv);
   parse_threads_flag(argc, argv);
-  std::printf("=== Perf report: matmul / E2 round-trip / attack sample ===\n");
+  std::printf("=== Perf report: matmul / E2 round-trip / attack sample / "
+              "serve batch ===\n");
 
   run_matmul(/*reps=*/300);
   run_e2_roundtrip(/*reps=*/500);
   run_attack(/*samples=*/64);
+  run_serve(/*batches=*/300);
 
   print_rule();
   print_hist("perf.matmul64_ms");
   print_hist("perf.e2_roundtrip_ms");
   print_hist("perf.attack_sample_ms");
   print_hist("attack.batch.sample_ms");
+  print_hist("perf.serve_batch_ms");
+  print_hist("serve.perf.latency_us", "us");  // virtual submit-to-completion
   print_rule();
   std::printf("run with --metrics-out BENCH_<date>.json to save the report\n");
   return 0;

@@ -1,5 +1,7 @@
 #include "apps/ic_xapp.hpp"
 
+#include <utility>
+
 #include "ran/datasets.hpp"
 #include "util/log.hpp"
 #include "util/obs/obs.hpp"
@@ -10,10 +12,8 @@ IcXApp::IcXApp(nn::Model model, oran::IndicationKind kind,
                int fixed_mcs_index)
     : model_(std::move(model)), kind_(kind), fixed_mcs_index_(fixed_mcs_index) {}
 
-void IcXApp::classify_and_control(const nn::Tensor& input,
-                                  const std::string& ran_node_id,
-                                  oran::NearRtRic& ric) {
-  const int pred = model_.predict_one(input);
+void IcXApp::finish_classification(int pred, const std::string& ran_node_id,
+                                   oran::NearRtRic& ric) {
   ++predictions_;
   last_prediction_ = pred;
   if (pred == ran::kLabelInterference) ++detections_;
@@ -31,6 +31,45 @@ void IcXApp::classify_and_control(const nn::Tensor& input,
     control.fixed_mcs_index = fixed_mcs_index_;
   }
   ric.send_control(app_id(), control);
+}
+
+void IcXApp::issue_failsafe(const std::string& ran_node_id,
+                            oran::NearRtRic& ric) {
+  ric.sdl().write_text(app_id(), oran::kNsDecisions, "ic/" + ran_node_id,
+                       "failsafe");
+  oran::E2Control control;
+  control.action = oran::ControlAction::kSetAdaptiveMcs;
+  ric.send_control(app_id(), control);
+}
+
+void IcXApp::classify_and_control(nn::Tensor input,
+                                  const std::string& ran_node_id,
+                                  oran::NearRtRic& ric) {
+  if (serve_ == nullptr) {
+    finish_classification(model_.predict_one(input), ran_node_id, ric);
+    return;
+  }
+  // Serving path: the input moves into the request (no copy) and the
+  // decision publishes on completion — typically when a later indication
+  // fills the micro-batch or expires its window. The RIC outlives the
+  // engine's pump cycle, so capturing it by pointer is safe.
+  static obs::Counter& shed_ctr = obs::counter(
+      "apps.ic.serve_shed",
+      "IC xApp classifications shed by the serving engine");
+  oran::NearRtRic* ric_ptr = &ric;
+  serve_->submit(
+      std::move(input),
+      [this, ran_node_id, ric_ptr](const serve::ServeResult& r) {
+        if (r.prediction < 0) {
+          // Shed without a prediction: steer to the fail-safe adaptive
+          // MCS rather than leaving the node on a stale configuration.
+          ++serve_shed_;
+          shed_ctr.inc();
+          issue_failsafe(ran_node_id, *ric_ptr);
+          return;
+        }
+        finish_classification(r.prediction, ran_node_id, *ric_ptr);
+      });
 }
 
 void IcXApp::on_indication(const oran::E2Indication& ind,
@@ -57,7 +96,10 @@ void IcXApp::on_indication(const oran::E2Indication& ind,
     last_good_ = input;
     have_last_good_ = true;
     last_good_version_ = ric.sdl().version(ns, key).value_or(0);
-    classify_and_control(input, ind.ran_node_id, ric);
+    // The cache above is the only copy on this path: the freshly read
+    // tensor itself moves through classify_and_control into the serve
+    // request (or is read in place by the synchronous path).
+    classify_and_control(std::move(input), ind.ran_node_id, ric);
     return;
   }
 
@@ -81,7 +123,9 @@ void IcXApp::on_indication(const oran::E2Indication& ind,
     if (staleness <= degraded_.max_stale) {
       ++fallbacks_;
       fallback_ctr.inc();
-      classify_and_control(last_good_, ind.ran_node_id, ric);
+      // The cached tensor must survive for later fallbacks, so this
+      // (cold, failure-only) path pays one copy.
+      classify_and_control(nn::Tensor(last_good_), ind.ran_node_id, ric);
       return;
     }
   }
@@ -90,11 +134,7 @@ void IcXApp::on_indication(const oran::E2Indication& ind,
   // configuration that stays safe if interference is actually present.
   ++failsafes_;
   failsafe_ctr.inc();
-  ric.sdl().write_text(app_id(), oran::kNsDecisions, "ic/" + ind.ran_node_id,
-                       "failsafe");
-  oran::E2Control control;
-  control.action = oran::ControlAction::kSetAdaptiveMcs;
-  ric.send_control(app_id(), control);
+  issue_failsafe(ind.ran_node_id, ric);
 }
 
 }  // namespace orev::apps

@@ -10,6 +10,14 @@
 // publishes its prediction to the decisions namespace, and steers the RAN:
 // interference detected → adaptive MCS, clean → fixed (high) MCS.
 //
+// Serving (DESIGN.md §11): with a serve::ServeEngine attached the xApp
+// stops calling Model::forward per indication and instead *moves* the
+// telemetry tensor into a serve request; the decision publish and the E2
+// control are issued from the completion callback when the engine's
+// micro-batch flushes. Requests the engine sheds without a prediction take
+// the fail-safe action (adaptive MCS). Without an engine the historical
+// synchronous path is byte-identical to before.
+//
 // Degraded mode (DESIGN.md §9): when the telemetry read fails (store
 // outage, lost platform write), the xApp falls back to its last-known-good
 // telemetry — provided it is no staler than `max_stale` SDL versions — and
@@ -23,6 +31,7 @@
 
 #include "nn/model.hpp"
 #include "oran/near_rt_ric.hpp"
+#include "serve/engine.hpp"
 
 namespace orev::apps {
 
@@ -45,6 +54,13 @@ class IcXApp : public oran::XApp {
 
   nn::Model& model() { return model_; }
 
+  /// Route classifications through a serving engine (nullptr restores the
+  /// synchronous per-indication path). The engine must serve a model with
+  /// this xApp's input shape and class count; whoever owns the engine is
+  /// responsible for drain() at end of workload.
+  void set_serve_engine(serve::ServeEngine* engine) { serve_ = engine; }
+  serve::ServeEngine* serve_engine() const { return serve_; }
+
   std::uint64_t predictions_made() const { return predictions_; }
   std::uint64_t interference_detected() const { return detections_; }
   std::optional<int> last_prediction() const { return last_prediction_; }
@@ -58,15 +74,23 @@ class IcXApp : public oran::XApp {
   std::uint64_t fallback_classifications() const { return fallbacks_; }
   /// Fail-safe adaptive-MCS controls issued with no usable telemetry.
   std::uint64_t failsafe_controls() const { return failsafes_; }
+  /// Classifications shed by the serving engine without a prediction.
+  std::uint64_t serve_shed() const { return serve_shed_; }
 
  private:
-  void classify_and_control(const nn::Tensor& input,
-                            const std::string& ran_node_id,
+  /// Takes the input by value: the synchronous path reads it in place and
+  /// the serving path moves it into the request — no per-request copy on
+  /// the indication hot path either way.
+  void classify_and_control(nn::Tensor input, const std::string& ran_node_id,
                             oran::NearRtRic& ric);
+  void finish_classification(int pred, const std::string& ran_node_id,
+                             oran::NearRtRic& ric);
+  void issue_failsafe(const std::string& ran_node_id, oran::NearRtRic& ric);
 
   nn::Model model_;
   oran::IndicationKind kind_;
   int fixed_mcs_index_;
+  serve::ServeEngine* serve_ = nullptr;
   std::uint64_t predictions_ = 0;
   std::uint64_t detections_ = 0;
   std::optional<int> last_prediction_;
@@ -82,6 +106,7 @@ class IcXApp : public oran::XApp {
   std::uint64_t telemetry_failures_ = 0;
   std::uint64_t fallbacks_ = 0;
   std::uint64_t failsafes_ = 0;
+  std::uint64_t serve_shed_ = 0;
 };
 
 }  // namespace orev::apps

@@ -10,20 +10,52 @@ using rictest::PsAction;
 PowerSavingRApp::PowerSavingRApp(nn::Model model)
     : model_(std::move(model)) {}
 
+void PowerSavingRApp::finish_decision(int pred, int sector,
+                                      oran::NonRtRic& ric) {
+  const auto action = static_cast<PsAction>(pred);
+  ++decisions_;
+  last_decisions_[sector] = action;
+
+  ric.sdl().write_text(app_id(), oran::kNsRappDecisions,
+                       "power-saving/sector" + std::to_string(sector),
+                       std::to_string(static_cast<int>(action)));
+  execute(action, sector, ric);
+}
+
 void PowerSavingRApp::decide_all(const nn::Tensor& history,
                                  oran::NonRtRic& ric) {
-  for (int sector = 0; sector < rictest::kNumSectors; ++sector) {
-    const nn::Tensor input =
-        rictest::sector_window_from_history(history, sector);
-    const auto action = static_cast<PsAction>(model_.predict_one(input));
-    ++decisions_;
-    last_decisions_[sector] = action;
-
-    ric.sdl().write_text(app_id(), oran::kNsRappDecisions,
-                         "power-saving/sector" + std::to_string(sector),
-                         std::to_string(static_cast<int>(action)));
-    execute(action, sector, ric);
+  if (serve_ == nullptr) {
+    for (int sector = 0; sector < rictest::kNumSectors; ++sector) {
+      const nn::Tensor input =
+          rictest::sector_window_from_history(history, sector);
+      finish_decision(model_.predict_one(input), sector, ric);
+    }
+    return;
   }
+
+  // Serving path: all sector windows of this period go into the engine
+  // back-to-back, so the micro-batcher folds them into one batched
+  // forward. The drain below keeps the period self-contained — every
+  // decision lands before on_pm_period returns.
+  static obs::Counter& shed_ctr = obs::counter(
+      "apps.ps.serve_shed",
+      "power-saving sector decisions shed by the serving engine");
+  oran::NonRtRic* ric_ptr = &ric;
+  for (int sector = 0; sector < rictest::kNumSectors; ++sector) {
+    serve_->submit(
+        rictest::sector_window_from_history(history, sector),
+        [this, sector, ric_ptr](const serve::ServeResult& r) {
+          if (r.prediction < 0) {
+            // Shed: the sector keeps its current cell states — the same
+            // fail-safe as a skipped period, scoped to one sector.
+            ++serve_shed_;
+            shed_ctr.inc();
+            return;
+          }
+          finish_decision(r.prediction, sector, *ric_ptr);
+        });
+  }
+  serve_->drain();
 }
 
 void PowerSavingRApp::on_pm_period(const oran::PmReport& /*report*/,

@@ -11,6 +11,12 @@
 // versions — and decides from that. Beyond the bound it takes the
 // fail-safe: skip the period entirely (no sleep decisions), since keeping
 // capacity cells up is energy-suboptimal but never drops user traffic.
+//
+// Serving (DESIGN.md §11): with a serve::ServeEngine attached, the
+// per-sector windows of one PM period are submitted as serve requests —
+// the engine micro-batches them into one batched forward — and the
+// decisions publish from the completion callbacks. The rApp drains the
+// engine before the period ends, so each period remains self-contained.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,7 @@
 #include "nn/model.hpp"
 #include "oran/non_rt_ric.hpp"
 #include "rictest/dataset.hpp"
+#include "serve/engine.hpp"
 
 namespace orev::apps {
 
@@ -41,6 +48,16 @@ class PowerSavingRApp : public oran::RApp {
 
   nn::Model& model() { return model_; }
 
+  /// Route per-sector decisions through a serving engine (nullptr
+  /// restores the synchronous path). The rApp drains the engine at the
+  /// end of every decide_all, so sector batches never straddle periods.
+  void set_serve_engine(serve::ServeEngine* engine) { serve_ = engine; }
+  serve::ServeEngine* serve_engine() const { return serve_; }
+
+  /// Sector decisions shed by the serving engine without a prediction
+  /// (those sectors keep their current cell states — the fail-safe).
+  std::uint64_t serve_shed() const { return serve_shed_; }
+
   /// Most recent decision per sector.
   const std::map<int, rictest::PsAction>& last_decisions() const {
     return last_decisions_;
@@ -60,12 +77,15 @@ class PowerSavingRApp : public oran::RApp {
 
  private:
   void decide_all(const nn::Tensor& history, oran::NonRtRic& ric);
+  void finish_decision(int pred, int sector, oran::NonRtRic& ric);
   void execute(rictest::PsAction action, int sector, oran::NonRtRic& ric);
 
   nn::Model model_;
+  serve::ServeEngine* serve_ = nullptr;
   std::map<int, rictest::PsAction> last_decisions_;
   std::uint64_t decisions_ = 0;
   std::uint64_t deactivations_ = 0;
+  std::uint64_t serve_shed_ = 0;
 
   PsDegradedConfig degraded_;
   nn::Tensor last_good_;

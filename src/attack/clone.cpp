@@ -59,6 +59,38 @@ data::Dataset collect_clone_dataset(nn::Model& victim,
   return d;
 }
 
+data::Dataset collect_clone_dataset(serve::ServeEngine& victim,
+                                    const nn::Tensor& inputs) {
+  OREV_CHECK(inputs.rank() >= 2 && inputs.dim(0) > 0,
+             "cloning needs a non-empty batched input tensor");
+  static obs::Counter& queries = obs::counter(
+      "attack.clone.victim_queries", "black-box queries issued to the victim");
+  const int n = inputs.dim(0);
+  std::vector<int> labels(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    queries.inc();
+    victim.submit(inputs.slice_batch(i),
+                  [&labels, i](const serve::ServeResult& r) {
+                    labels[static_cast<std::size_t>(i)] = r.prediction;
+                  });
+  }
+  victim.drain();
+  // Shed probes carry no prediction; the attacker retries them outside
+  // the queue (one extra query each) so every row ends up labelled.
+  for (int i = 0; i < n; ++i) {
+    if (labels[static_cast<std::size_t>(i)] >= 0) continue;
+    queries.inc();
+    labels[static_cast<std::size_t>(i)] =
+        victim.predict_sync(inputs.slice_batch(i));
+  }
+  data::Dataset d;
+  d.x = inputs;
+  d.y = std::move(labels);
+  d.num_classes = victim.model_num_classes();
+  d.check();
+  return d;
+}
+
 data::Dataset clone_dataset_from_observations(
     const std::vector<nn::Tensor>& inputs, const std::vector<int>& labels,
     int num_classes) {

@@ -14,6 +14,7 @@
 
 #include "data/dataset.hpp"
 #include "nn/trainer.hpp"
+#include "serve/engine.hpp"
 
 namespace orev::attack {
 
@@ -60,6 +61,17 @@ struct CloneReport {
 /// in-memory shortcut for what the malicious app collects through SDL
 /// observation. Labels are the victim's predictions.
 data::Dataset collect_clone_dataset(nn::Model& victim,
+                                    const nn::Tensor& inputs);
+
+/// Same, but the victim is fronted by a serving engine — the realistic
+/// query path: the attacker's probes contend with legitimate xApp/rApp
+/// traffic in the victim's queue, and each probe is one admission into
+/// the engine (so backpressure and deadline policy shape the query
+/// budget). Rows the engine sheds without a prediction are re-queried
+/// through the engine's synchronous reference path, so D_clone is always
+/// complete — matching an attacker who simply retries. Labels are
+/// byte-identical to querying the victim model directly.
+data::Dataset collect_clone_dataset(serve::ServeEngine& victim,
                                     const nn::Tensor& inputs);
 
 /// Assemble D_clone from observation logs (as produced by the malicious

@@ -30,6 +30,10 @@ class Sequential : public Layer {
   LayerPtr clone() const override;
   void save_state(persist::ByteWriter& w) const override;
   persist::Status load_state(persist::ByteReader& r) override;
+  void set_inference_mode(bool on) override {
+    inference_mode_ = on;
+    for (auto& l : layers_) l->set_inference_mode(on);
+  }
 
   std::size_t size() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_.at(i); }
@@ -53,6 +57,11 @@ class Residual : public Layer {
   LayerPtr clone() const override;
   void save_state(persist::ByteWriter& w) const override;
   persist::Status load_state(persist::ByteReader& r) override;
+  void set_inference_mode(bool on) override {
+    inference_mode_ = on;
+    inner_->set_inference_mode(on);
+    if (shortcut_) shortcut_->set_inference_mode(on);
+  }
 
  private:
   LayerPtr inner_;
@@ -73,6 +82,10 @@ class DenseConcat : public Layer {
   LayerPtr clone() const override;
   void save_state(persist::ByteWriter& w) const override;
   persist::Status load_state(persist::ByteReader& r) override;
+  void set_inference_mode(bool on) override {
+    inference_mode_ = on;
+    inner_->set_inference_mode(on);
+  }
 
  private:
   LayerPtr inner_;

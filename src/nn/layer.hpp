@@ -74,9 +74,19 @@ class Layer {
   /// attack runner fans samples out over.
   virtual LayerPtr clone() const = 0;
 
+  /// Inference-serving mode: layers skip storing backward caches
+  /// (activation copies, im2col buffers) on forward(). Calling backward()
+  /// after an inference-mode forward is a contract violation — the serving
+  /// engine sets this on its inference-locked replicas, which never
+  /// backpropagate. Composites override to propagate to children.
+  virtual void set_inference_mode(bool on) { inference_mode_ = on; }
+  bool inference_mode() const { return inference_mode_; }
+
  protected:
   /// Derived layers use the implicit member-wise copy in their clone().
   Layer(const Layer&) = default;
+
+  bool inference_mode_ = false;
 };
 
 }  // namespace orev::nn

@@ -94,12 +94,16 @@ Tensor Dense::forward(const Tensor& x, bool /*training*/) {
   OREV_CHECK(x.rank() == 2 && x.dim(1) == in_,
              "Dense input must be [N, " + std::to_string(in_) + "], got " +
                  shape_str(x.shape()));
-  cached_input_ = x;
+  if (!inference_mode_) cached_input_ = x;
   Tensor y = matmul_bt(x, weight_.value);  // [N, out]
   if (has_bias_) {
     const int n = y.dim(0);
-    for (int i = 0; i < n; ++i)
-      for (int j = 0; j < out_; ++j) y.at2(i, j) += bias_.value[j];
+    float* py = y.raw();
+    const float* pb = bias_.value.raw();
+    for (int i = 0; i < n; ++i) {
+      float* yrow = py + static_cast<std::size_t>(i) * out_;
+      for (int j = 0; j < out_; ++j) yrow[j] += pb[j];
+    }
   }
   return y;
 }
@@ -153,15 +157,19 @@ Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
   const int oh = out_height(h), ow = out_width(w);
   OREV_CHECK(oh > 0 && ow > 0, "Conv2D output collapses to zero size");
 
-  cached_input_ = x;
+  if (!inference_mode_) cached_input_ = x;
   const int patch = in_ch_ * k_ * k_;
-  cached_cols_ = Tensor({n, oh * ow, patch});
+  // In inference mode the im2col buffer is forward-pass scratch; only a
+  // training forward persists it for the following backward().
+  Tensor local_cols;
+  Tensor& cols_t = inference_mode_ ? local_cols : cached_cols_;
+  cols_t = Tensor({n, oh * ow, patch});
 
   Tensor out({n, out_ch_, oh, ow});
   // Sample-parallel: each sample writes its own im2col slice and output
   // planes, so results are identical at every thread count.
   util::parallel_for(0, n, 1, [&](std::int64_t i) {
-    float* cols = cached_cols_.raw() +
+    float* cols = cols_t.raw() +
                   static_cast<std::size_t>(i) * oh * ow * patch;
     im2col(x.raw() + static_cast<std::size_t>(i) * in_ch_ * h * w, in_ch_, h,
            w, k_, stride_, pad_, oh, ow, cols);
@@ -269,7 +277,7 @@ Tensor DepthwiseConv2D::forward(const Tensor& x, bool /*training*/) {
   const int oh = (h + 2 * pad_ - k_) / stride_ + 1;
   const int ow = (w + 2 * pad_ - k_) / stride_ + 1;
   OREV_CHECK(oh > 0 && ow > 0, "DepthwiseConv2D output collapses");
-  cached_input_ = x;
+  if (!inference_mode_) cached_input_ = x;
 
   Tensor out({n, ch_, oh, ow});
   // Plane-parallel over the flattened (sample, channel) index: every
@@ -364,7 +372,7 @@ Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
   const int oh = (h - k_) / stride_ + 1;
   const int ow = (w - k_) / stride_ + 1;
   OREV_CHECK(oh > 0 && ow > 0, "MaxPool2D output collapses");
-  cached_input_ = x;
+  if (!inference_mode_) cached_input_ = x;
   out_shape_ = {n, c, oh, ow};
   Tensor out(out_shape_);
   argmax_.assign(out.numel(), 0);
@@ -507,7 +515,7 @@ Tensor AvgPool2D::backward(const Tensor& grad_out) {
 // ------------------------------------------------------------ Activations
 
 Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
-  cached_input_ = x;
+  if (!inference_mode_) cached_input_ = x;
   Tensor y = x;
   for (float& v : y.data()) v = std::max(v, 0.0f);
   return y;
@@ -523,7 +531,7 @@ Tensor ReLU::backward(const Tensor& grad_out) {
 }
 
 Tensor LeakyReLU::forward(const Tensor& x, bool /*training*/) {
-  cached_input_ = x;
+  if (!inference_mode_) cached_input_ = x;
   Tensor y = x;
   for (float& v : y.data()) v = v > 0.0f ? v : slope_ * v;
   return y;
@@ -541,7 +549,7 @@ Tensor LeakyReLU::backward(const Tensor& grad_out) {
 Tensor Sigmoid::forward(const Tensor& x, bool /*training*/) {
   Tensor y = x;
   for (float& v : y.data()) v = 1.0f / (1.0f + std::exp(-v));
-  cached_output_ = y;
+  if (!inference_mode_) cached_output_ = y;
   return y;
 }
 
@@ -702,18 +710,28 @@ Tensor BatchNorm::forward(const Tensor& x, bool training) {
   for (int c = 0; c < ch_; ++c)
     cached_invstd_[c] = 1.0f / std::sqrt(var[c] + eps_);
 
-  cached_xhat_ = Tensor(x.shape());
+  // Inference mode computes the normalised value in a register instead of
+  // persisting the xhat plane for backward — identical arithmetic, so the
+  // output bits match the caching path exactly.
+  if (!inference_mode_) cached_xhat_ = Tensor(x.shape());
   Tensor y(x.shape());
   util::parallel_for(0, n, 1, [&](std::int64_t i) {
     for (int c = 0; c < ch_; ++c) {
       const float* plane =
           x.raw() + (static_cast<std::size_t>(i) * ch_ + c) * s;
-      float* xhat = cached_xhat_.raw() +
-                    (static_cast<std::size_t>(i) * ch_ + c) * s;
       float* yp = y.raw() + (static_cast<std::size_t>(i) * ch_ + c) * s;
-      for (int p = 0; p < s; ++p) {
-        xhat[p] = (plane[p] - mean[c]) * cached_invstd_[c];
-        yp[p] = gamma_.value[c] * xhat[p] + beta_.value[c];
+      if (inference_mode_) {
+        for (int p = 0; p < s; ++p) {
+          const float xh = (plane[p] - mean[c]) * cached_invstd_[c];
+          yp[p] = gamma_.value[c] * xh + beta_.value[c];
+        }
+      } else {
+        float* xhat = cached_xhat_.raw() +
+                      (static_cast<std::size_t>(i) * ch_ + c) * s;
+        for (int p = 0; p < s; ++p) {
+          xhat[p] = (plane[p] - mean[c]) * cached_invstd_[c];
+          yp[p] = gamma_.value[c] * xhat[p] + beta_.value[c];
+        }
       }
     }
   });

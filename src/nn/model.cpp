@@ -24,7 +24,9 @@ Model::Model(std::string name, LayerPtr root, Shape input_shape,
 }
 
 Model Model::clone() const {
-  return Model(name_, root_->clone(), input_shape_, num_classes_);
+  Model m(name_, root_->clone(), input_shape_, num_classes_);
+  m.inference_only_ = inference_only_;
+  return m;
 }
 
 Tensor Model::batched(const Tensor& x) const {
@@ -48,10 +50,18 @@ Tensor Model::batched(const Tensor& x) const {
 }
 
 Tensor Model::forward(const Tensor& x, bool training) {
+  OREV_CHECK(!(training && inference_only_),
+             "model '" + name_ +
+                 "' is inference-locked: a training-mode forward would "
+                 "mutate BatchNorm/Dropout state batch-dependently");
   return root_->forward(batched(x), training);
 }
 
 Tensor Model::backward(const Tensor& dlogits) {
+  OREV_CHECK(!inference_only_,
+             "model '" + name_ +
+                 "' is inference-locked: its layers no longer store the "
+                 "forward caches a backward pass consumes");
   return root_->backward(dlogits);
 }
 

@@ -34,6 +34,24 @@ class Model {
   /// batched tensor or a single sample (which is auto-batched).
   Tensor forward(const Tensor& x, bool training = false);
 
+  /// Inference-mode guard. A locked model rejects training-mode forwards,
+  /// which are the only forwards that mutate layer state (BatchNorm
+  /// running-stat updates, Dropout mask draws) — and whose state
+  /// transitions depend on how samples are batched. Locking a model
+  /// guarantees the batched path and the per-sample path run the exact
+  /// same stateless computation, so logits are bit-identical either way
+  /// (regression-tested in tests/test_serve.cpp). The serving engine
+  /// locks every replica it owns.
+  /// Locking also switches every layer into inference mode so forwards
+  /// skip storing backward caches — the serving hot path neither copies
+  /// activations nor allocates im2col buffers it will never backprop
+  /// through.
+  void set_inference_only(bool on) {
+    inference_only_ = on;
+    root_->set_inference_mode(on);
+  }
+  bool inference_only() const { return inference_only_; }
+
   /// Backpropagate dLoss/dLogits through the cached forward pass and
   /// return dLoss/dInput. Parameter gradients accumulate.
   Tensor backward(const Tensor& dlogits);
@@ -99,6 +117,7 @@ class Model {
   LayerPtr root_;
   Shape input_shape_;
   int num_classes_;
+  bool inference_only_ = false;
 };
 
 }  // namespace orev::nn

@@ -217,6 +217,10 @@ void NearRtRic::dispatch_all(const E2Indication& ind,
     }
     breaker.record_success();
   }
+  // Post-dispatch heartbeat: deferred-work services (e.g. a serving
+  // engine's micro-batcher) get a chance to run once per indication even
+  // when no app submitted new work this round.
+  if (post_dispatch_) post_dispatch_();
 }
 
 void NearRtRic::send_control(const std::string& app_id,

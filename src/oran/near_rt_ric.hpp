@@ -22,6 +22,7 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -127,6 +128,16 @@ class NearRtRic {
   fault::CircuitBreaker::State breaker_state(const std::string& app_id) const;
   std::uint64_t breaker_opens(const std::string& app_id) const;
 
+  /// Invoked after every completed xApp dispatch round (even when every
+  /// app was quarantined). A platform heartbeat for deferred-work
+  /// services hosted alongside the apps — e.g. a serve::ServeEngine's
+  /// tick(), so partial micro-batches flush during indication streams
+  /// without coupling the platform to the serving layer. Empty (default)
+  /// disables.
+  void set_post_dispatch_hook(std::function<void()> hook) {
+    post_dispatch_ = std::move(hook);
+  }
+
   std::uint64_t indications_dropped() const { return indications_dropped_; }
   std::uint64_t sdl_write_failures() const { return sdl_write_failures_; }
   std::uint64_t controls_dropped() const { return controls_dropped_; }
@@ -146,6 +157,7 @@ class NearRtRic {
   double control_window_ms_;
   std::vector<Registration> xapps_;  // kept sorted by priority
   E2Node* e2_node_ = nullptr;
+  std::function<void()> post_dispatch_;
   std::vector<A1Policy> policies_;
   std::map<std::string, XAppDispatchStats> stats_;
   std::uint64_t indications_ = 0;

@@ -1,0 +1,31 @@
+#include "serve/batcher.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace orev::serve {
+
+MicroBatcher::MicroBatcher(BatcherConfig cfg) : cfg_(cfg) {
+  OREV_CHECK(cfg_.batch_max >= 1, "batch_max must be >= 1");
+}
+
+bool MicroBatcher::should_flush(const BoundedQueue& q,
+                                std::uint64_t virtual_now_us,
+                                bool engine_idle) const {
+  if (q.empty() || !engine_idle) return false;
+  if (q.size() >= static_cast<std::size_t>(cfg_.batch_max)) return true;
+  return virtual_now_us >= q.front().arrival_us + cfg_.flush_wait_us;
+}
+
+std::vector<ServeRequest> MicroBatcher::take_batch(BoundedQueue& q) const {
+  std::vector<ServeRequest> batch;
+  batch.reserve(static_cast<std::size_t>(cfg_.batch_max));
+  while (!q.empty() &&
+         batch.size() < static_cast<std::size_t>(cfg_.batch_max)) {
+    batch.push_back(q.pop());
+  }
+  return batch;
+}
+
+}  // namespace orev::serve

@@ -1,0 +1,69 @@
+// Compiled inference plans for the serving engine (DESIGN.md §11).
+//
+// A ServeEngine replica whose model is a flat Dense[/ReLU] stack — the KPM
+// DNN family every xApp/rApp in this repo serves — is "compiled" once at
+// engine construction: each layer's weight matrix is re-packed transposed
+// so the batched kernel streams unit-stride columns, the bias-add and ReLU
+// epilogues are fused into the matmul's output loop, and the activation
+// scratch buffers are allocated once and reused for every micro-batch.
+//
+// The plan is byte-exact by construction: every output element performs
+// the identical sequence of IEEE operations the layer-by-layer path
+// performs — double-accumulated dot product in ascending-k order, a cast
+// to float, one float bias add, one float max(·, 0) — so predictions are
+// bitwise identical to nn::Model::predict on the same rows (locked down
+// by tests/test_serve.cpp). What compilation removes is everything
+// *around* the arithmetic: per-call weight packing, per-layer tensor
+// allocation, activation-cache copies and virtual layer dispatch. This is
+// the main reason the batched serving path outruns the historical
+// per-indication predict_one loop on identical hardware.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace orev::serve {
+
+class CompiledMlp {
+ public:
+  /// Compile `model` into a fused plan. Returns nullopt when the model is
+  /// not a flat Sequential of Dense layers with optional ReLU activations
+  /// over rank-1 inputs — callers fall back to the generic layer walk.
+  /// The plan snapshots the weights: it must be rebuilt if they change
+  /// (engine replicas are inference-locked, so they never do).
+  static std::optional<CompiledMlp> compile(nn::Model& model);
+
+  /// Batched argmax predictions for [m, in_features] rows; bit-identical
+  /// to nn::Model::predict on the same tensor. Not thread-safe — each
+  /// engine replica owns its own plan (and scratch).
+  std::vector<int> predict(const nn::Tensor& batch);
+
+  /// Same, over a raw row-major [m, in_features] float buffer — lets the
+  /// engine's hot path stage queued requests into a flat reusable buffer
+  /// instead of assembling a batch tensor per flush.
+  std::vector<int> predict_rows(const float* rows, int m);
+
+  int input_features() const { return in0_; }
+  int num_classes() const { return classes_; }
+
+ private:
+  struct Stage {
+    int in = 0;
+    int out = 0;
+    /// W^T packed [in, out] row-major, pre-widened to double: the kernel
+    /// accumulates double(x) * double(w), so widening at pack time is
+    /// bit-identical and removes a float→double convert per weight load.
+    std::vector<double> bt;
+    std::vector<float> bias;  // empty when the Dense has no bias
+    bool relu = false;
+  };
+
+  std::vector<Stage> stages_;
+  int in0_ = 0;
+  int classes_ = 0;
+  std::vector<float> buf_a_, buf_b_;  // ping-pong activation scratch
+};
+
+}  // namespace orev::serve

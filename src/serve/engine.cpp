@@ -1,0 +1,379 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/persist/bytes.hpp"
+#include "util/persist/frame.hpp"
+#include "util/sha256.hpp"
+#include "util/thread_pool.hpp"
+
+namespace orev::serve {
+
+namespace {
+
+/// Frame app tag for serve-engine checkpoints.
+constexpr const char* kServeTag = "orev.serve";
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+const char* serve_status_name(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::kQueued: return "queued";
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kDegradedSync: return "degraded-sync";
+    case ServeStatus::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+ServeEngine::ServeEngine(nn::Model model, ServeConfig cfg)
+    : cfg_(std::move(cfg)),
+      queue_(static_cast<std::size_t>(std::max(cfg_.queue_capacity, 1))),
+      batcher_(BatcherConfig{cfg_.batch_max, cfg_.flush_wait_us}),
+      slo_(cfg_.name) {
+  OREV_CHECK(cfg_.replicas >= 1, "serve engine needs >= 1 replica");
+  OREV_CHECK(cfg_.flush_wait_us <= cfg_.deadline_us,
+             "flush_wait_us must not exceed deadline_us");
+  OREV_CHECK(cfg_.tick_us >= 1, "tick_us must be >= 1");
+  const Rng base(cfg_.seed);
+  replicas_.reserve(static_cast<std::size_t>(cfg_.replicas));
+  replica_rngs_.reserve(static_cast<std::size_t>(cfg_.replicas));
+  for (int i = 0; i < cfg_.replicas; ++i) {
+    nn::Model replica = model.clone();
+    replica.set_inference_only(true);
+    replicas_.push_back(std::move(replica));
+    replica_rngs_.push_back(base.split(static_cast<std::uint64_t>(i)));
+  }
+  // Compile each replica's inference plan where the architecture allows;
+  // the batched path falls back to the generic layer walk otherwise.
+  compiled_.reserve(replicas_.size());
+  for (nn::Model& replica : replicas_)
+    compiled_.push_back(CompiledMlp::compile(replica));
+}
+
+const Rng& ServeEngine::replica_rng(int i) const {
+  OREV_CHECK(i >= 0 && i < static_cast<int>(replica_rngs_.size()),
+             "replica index out of range");
+  return replica_rngs_[static_cast<std::size_t>(i)];
+}
+
+int ServeEngine::predict_on_replica(int replica, const nn::Tensor& input) {
+  return replicas_[static_cast<std::size_t>(replica)].predict_one(input);
+}
+
+int ServeEngine::predict_sync(const nn::Tensor& input) {
+  return predict_on_replica(0, input);
+}
+
+void ServeEngine::finish(ServeRequest& r, int prediction, ServeStatus status,
+                         std::uint64_t completion_us, std::uint64_t batch_id,
+                         int batch_size) {
+  ServeResult res;
+  res.status = status;
+  res.prediction = prediction;
+  res.request_id = r.id;
+  res.batch_id = batch_id;
+  res.batch_size = batch_size;
+  res.latency_us =
+      completion_us >= r.arrival_us ? completion_us - r.arrival_us : 0;
+  res.deadline_missed = completion_us > r.deadline_us;
+  slo_.on_complete(res);
+  if (r.done) {
+    in_completion_ = true;
+    r.done(res);
+    in_completion_ = false;
+  }
+}
+
+ServeStatus ServeEngine::submit(nn::Tensor input, Completion done) {
+  OREV_CHECK(!in_completion_,
+             "serve completions must not call back into the engine");
+  now_us_ += cfg_.tick_us;
+  slo_.on_submit();
+
+  // Admission fate: an injected drop/transient at "serve.admit" sheds the
+  // request exactly like a full queue does.
+  bool shed = false;
+  if (fault::FaultInjector* fi = fault::effective(fault_)) {
+    const fault::FaultDecision d = fi->decide(fault::sites::kServeAdmit);
+    shed = d.kind == fault::FaultKind::kDrop ||
+           d.kind == fault::FaultKind::kTransient;
+  }
+
+  ServeRequest r;
+  r.id = next_request_id_++;
+  r.arrival_us = now_us_;
+  r.deadline_us = now_us_ + cfg_.deadline_us;
+  r.input = std::move(input);
+  r.done = std::move(done);
+
+  if (shed || !queue_.push(std::move(r))) {
+    if (!cfg_.sync_fallback) {
+      slo_.on_reject();
+      // Shed with no prediction; r still owns the request on queue-full,
+      // but on injected shed it was moved into the (failed) push only when
+      // the queue was consulted — either way r is valid here because
+      // BoundedQueue::push leaves its argument untouched on failure.
+      finish(r, -1, ServeStatus::kRejected, now_us_, 0, 0);
+      pump();
+      return ServeStatus::kRejected;
+    }
+    // Degraded mode: synchronous single-sample inference on replica 0.
+    const std::uint64_t start = std::max(now_us_, busy_until_us_);
+    busy_until_us_ = start + cfg_.sync_us_per_sample;
+    const int pred = predict_on_replica(0, r.input);
+    finish(r, pred, ServeStatus::kDegradedSync, busy_until_us_, 0, 1);
+    pump();
+    return ServeStatus::kDegradedSync;
+  }
+
+  slo_.set_queue_depth(queue_.size());
+  pump();
+  return ServeStatus::kQueued;
+}
+
+void ServeEngine::advance_us(std::uint64_t us) {
+  OREV_CHECK(!in_completion_,
+             "serve completions must not call back into the engine");
+  now_us_ += us;
+  pump();
+}
+
+void ServeEngine::pump() {
+  while (batcher_.should_flush(queue_, now_us_, now_us_ >= busy_until_us_)) {
+    execute_batch(batcher_.take_batch(queue_));
+  }
+  slo_.set_queue_depth(queue_.size());
+}
+
+void ServeEngine::drain() {
+  OREV_CHECK(!in_completion_,
+             "serve completions must not call back into the engine");
+  while (!queue_.empty()) {
+    now_us_ = std::max(now_us_, busy_until_us_);
+    execute_batch(batcher_.take_batch(queue_));
+  }
+  slo_.set_queue_depth(0);
+}
+
+void ServeEngine::execute_sync_fallback(std::vector<ServeRequest>& batch,
+                                        std::uint64_t start_us) {
+  std::uint64_t t = start_us;
+  for (ServeRequest& r : batch) {
+    t += cfg_.sync_us_per_sample;
+    const int pred = predict_on_replica(0, r.input);
+    finish(r, pred, ServeStatus::kDegradedSync, t, 0, 1);
+  }
+  busy_until_us_ = t;
+}
+
+void ServeEngine::execute_batch(std::vector<ServeRequest> batch) {
+  const int n = static_cast<int>(batch.size());
+  if (n == 0) return;
+  const std::uint64_t start = std::max(now_us_, busy_until_us_);
+  std::uint64_t cost =
+      cfg_.batch_overhead_us +
+      cfg_.us_per_sample *
+          ceil_div(static_cast<std::uint64_t>(n),
+                   static_cast<std::uint64_t>(replicas_.size()));
+
+  // Batch fate: an injected delay stretches the virtual execution (and can
+  // push completions past their deadlines); transient/crash/drop fails the
+  // batched pass entirely.
+  bool failed = false;
+  if (fault::FaultInjector* fi = fault::effective(fault_)) {
+    const fault::FaultDecision d = fi->decide(fault::sites::kServeBatch);
+    switch (d.kind) {
+      case fault::FaultKind::kDelay:
+        cost += static_cast<std::uint64_t>(d.delay_ms * 1000.0);
+        break;
+      case fault::FaultKind::kTransient:
+      case fault::FaultKind::kCrash:
+      case fault::FaultKind::kDrop:
+        failed = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  const std::uint64_t completion = start + cost;
+  bool would_miss = false;
+  for (const ServeRequest& r : batch) {
+    if (completion > r.deadline_us) {
+      would_miss = true;
+      break;
+    }
+  }
+
+  // Degraded mode: a failed batch — or one whose projected completion
+  // would already miss a deadline — falls back to synchronous
+  // single-sample inference (predictions stay byte-identical; only the
+  // virtual cost accounting differs).
+  if ((failed || would_miss) && cfg_.sync_fallback) {
+    execute_sync_fallback(batch, start);
+    return;
+  }
+  if (failed) {
+    // Fallback disabled: the batch is lost; complete every request shed.
+    for (ServeRequest& r : batch) {
+      slo_.on_reject();
+      finish(r, -1, ServeStatus::kRejected, completion, 0, 0);
+    }
+    busy_until_us_ = completion;
+    return;
+  }
+
+  // Shard rows across the replica pool; each shard assembles its own
+  // [rows, ...input_shape] tensor directly from the queued requests.
+  // Shard boundaries depend only on (n, replicas); each shard is computed
+  // by its own replica and writes a disjoint prediction range, so the
+  // stream is bit-identical at every thread count.
+  const nn::Shape& sample_shape = replicas_.front().input_shape();
+  nn::Shape batch_shape;
+  batch_shape.push_back(n);
+  batch_shape.insert(batch_shape.end(), sample_shape.begin(),
+                     sample_shape.end());
+
+  std::vector<int> preds;
+  const int nshards = std::min<int>(static_cast<int>(replicas_.size()), n);
+  if (nshards == 1 && compiled_.front() &&
+      static_cast<int>(sample_shape.size()) == 1) {
+    // Single shard, compiled plan: stage the queued rows into a flat
+    // reusable buffer and skip batch-tensor assembly entirely — this is
+    // the latency-critical path for one-replica engines.
+    const int f = compiled_.front()->input_features();
+    staging_.resize(static_cast<std::size_t>(n) * f);
+    for (int i = 0; i < n; ++i) {
+      const nn::Tensor& in = batch[static_cast<std::size_t>(i)].input;
+      OREV_CHECK(static_cast<int>(in.numel()) == f,
+                 "serve request input does not match the model's features");
+      std::copy(in.raw(), in.raw() + f,
+                staging_.data() + static_cast<std::size_t>(i) * f);
+    }
+    preds = compiled_.front()->predict_rows(staging_.data(), n);
+  } else if (nshards == 1) {
+    // Single shard: run on the calling thread without waking the pool.
+    nn::Tensor whole(batch_shape);
+    for (int i = 0; i < n; ++i)
+      whole.set_batch(i, batch[static_cast<std::size_t>(i)].input);
+    preds = compiled_.front() ? compiled_.front()->predict(whole)
+                              : replicas_.front().predict(whole);
+  } else {
+    preds.assign(static_cast<std::size_t>(n), -1);
+    const int per_shard = (n + nshards - 1) / nshards;
+    util::parallel_for(0, nshards, 1, [&](std::int64_t s) {
+      const int lo = static_cast<int>(s) * per_shard;
+      const int hi = std::min(n, lo + per_shard);
+      if (lo >= hi) return;
+      nn::Shape shard_shape = batch_shape;
+      shard_shape[0] = hi - lo;
+      nn::Tensor shard(shard_shape);
+      for (int i = lo; i < hi; ++i)
+        shard.set_batch(i - lo, batch[static_cast<std::size_t>(i)].input);
+      auto& plan = compiled_[static_cast<std::size_t>(s)];
+      const std::vector<int> p =
+          plan ? plan->predict(shard)
+               : replicas_[static_cast<std::size_t>(s)].predict(shard);
+      std::copy(p.begin(), p.end(), preds.begin() + lo);
+    });
+  }
+
+  const std::uint64_t batch_id = next_batch_id_++;
+  slo_.on_batch(n);
+  for (int i = 0; i < n; ++i) {
+    finish(batch[static_cast<std::size_t>(i)],
+           preds[static_cast<std::size_t>(i)], ServeStatus::kOk, completion,
+           batch_id, n);
+  }
+  busy_until_us_ = completion;
+}
+
+std::string ServeEngine::config_fingerprint() const {
+  persist::ByteWriter w;
+  w.str(cfg_.name);
+  w.i32(cfg_.queue_capacity);
+  w.i32(cfg_.batch_max);
+  w.u64(cfg_.deadline_us);
+  w.u64(cfg_.flush_wait_us);
+  w.u64(cfg_.tick_us);
+  w.u64(cfg_.batch_overhead_us);
+  w.u64(cfg_.us_per_sample);
+  w.u64(cfg_.sync_us_per_sample);
+  w.i32(cfg_.replicas);
+  w.u8(cfg_.sync_fallback ? 1 : 0);
+  w.u64(cfg_.seed);
+  const nn::Model& m = replicas_.front();
+  w.str(m.name());
+  w.i32(m.num_classes());
+  for (const int d : m.input_shape()) w.i32(d);
+  return Sha256::hex(w.buffer());
+}
+
+persist::Status ServeEngine::save_status(const std::string& path) const {
+  persist::FrameWriter fw(kServeTag);
+  fw.section("config", config_fingerprint());
+
+  const SloSnapshot s = slo_.snapshot();
+  persist::ByteWriter w;
+  w.u64(s.submitted);
+  w.u64(s.admitted);
+  w.u64(s.rejected);
+  w.u64(s.completed);
+  w.u64(s.batches);
+  w.u64(s.batched_samples);
+  w.u64(s.degraded_syncs);
+  w.u64(s.deadline_misses);
+  w.u64(s.max_queue_depth);
+  w.f64(s.mean_occupancy);
+  w.u64(now_us_);
+  w.u64(busy_until_us_);
+  w.u64(next_request_id_);
+  w.u64(next_batch_id_);
+  fw.section("slo", w.take());
+  return fw.commit(path);
+}
+
+persist::Status ServeEngine::load_status(const std::string& path) {
+  using persist::Status;
+  using persist::StatusCode;
+  persist::FrameReader fr;
+  Status st = persist::FrameReader::load(path, kServeTag, fr);
+  if (!st.ok()) return st;
+
+  std::string_view sec;
+  st = fr.section("config", sec);
+  if (!st.ok()) return st;
+  if (sec != config_fingerprint())
+    return Status::Fail(StatusCode::kMismatch,
+                        "serve checkpoint was written under a different "
+                        "serve config (fingerprint differs)");
+
+  st = fr.section("slo", sec);
+  if (!st.ok()) return st;
+  persist::ByteReader r(sec);
+  SloSnapshot s;
+  std::uint64_t now = 0, busy = 0, next_req = 0, next_batch = 0;
+  if (!r.u64(s.submitted) || !r.u64(s.admitted) || !r.u64(s.rejected) ||
+      !r.u64(s.completed) || !r.u64(s.batches) || !r.u64(s.batched_samples) ||
+      !r.u64(s.degraded_syncs) || !r.u64(s.deadline_misses) ||
+      !r.u64(s.max_queue_depth) || !r.f64(s.mean_occupancy) || !r.u64(now) ||
+      !r.u64(busy) || !r.u64(next_req) || !r.u64(next_batch))
+    return Status::Fail(StatusCode::kTruncated, "serve SLO section truncated");
+  st = r.finish("serve slo");
+  if (!st.ok()) return st;
+
+  slo_.restore(s);
+  now_us_ = now;
+  busy_until_us_ = busy;
+  next_request_id_ = next_req;
+  next_batch_id_ = next_batch;
+  return Status::Ok();
+}
+
+}  // namespace orev::serve

@@ -1,0 +1,181 @@
+// ServeEngine: an in-process, deterministic, batched, SLO-aware model
+// serving engine for xApps, rApps and the attacker's cloning loop
+// (DESIGN.md §11).
+//
+// Pipeline: bounded admission queue → dynamic micro-batcher (flush on
+// batch-size or virtual deadline) → replica pool (batch sharded across the
+// global thread pool, disjoint writes) → completion callbacks.
+//
+// Time is *virtual*: the clock advances by `tick_us` per submitted request
+// (plus explicit tick()/advance_us() heartbeats), batches take
+// `batch_overhead_us + us_per_sample * ceil(n / replicas)` virtual
+// microseconds, and the engine is "busy" until its current batch's virtual
+// completion. Queueing, backpressure, batch occupancy and deadline misses
+// therefore depend only on the request stream and the config — never on
+// wall clock or thread schedule — which is what makes overload and
+// contention experiments reproducible from a seed.
+//
+// Determinism: requests leave the queue in arrival order, the batch
+// decomposition is a pure function of the stream, each batch row is
+// computed by an identical model replica, and rows are written disjointly.
+// Combined with the row-independent NN kernels (util/thread_pool design
+// rule) the served prediction stream is byte-identical to the unbatched
+// per-sample path at every thread count — bench_serve asserts exactly
+// this.
+//
+// Degraded mode (util/fault integration): queue-full admissions, failed
+// batches (injected at site "serve.batch") and batches whose projected
+// completion would miss a request deadline fall back to synchronous
+// single-sample inference on replica 0 (counted per request as
+// degraded_syncs). Site "serve.admit" can shed or degrade admissions;
+// with `sync_fallback` off the engine sheds instead (counted, no
+// prediction).
+//
+// Persistence (util/persist integration): save_status() commits a framed
+// checkpoint carrying the engine's config fingerprint plus its SLO
+// counters; load_status() rejects a checkpoint written under any other
+// serve config with kMismatch, so resumed experiments cannot silently
+// continue under different queueing behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "serve/batcher.hpp"
+#include "serve/compiled.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/slo.hpp"
+#include "util/fault/fault.hpp"
+#include "util/persist/persist.hpp"
+#include "util/rng.hpp"
+
+namespace orev::serve {
+
+struct ServeConfig {
+  /// Metric prefix (serve.<name>.*) and checkpoint identity.
+  std::string name = "default";
+  /// Bounded admission queue capacity (backpressure threshold).
+  int queue_capacity = 256;
+  /// Largest micro-batch a single flush may form.
+  int batch_max = 32;
+  /// Per-request SLO deadline, virtual µs from admission.
+  std::uint64_t deadline_us = 4000;
+  /// Micro-batch window: a partial batch flushes once its oldest request
+  /// has waited this long. Must be <= deadline_us.
+  std::uint64_t flush_wait_us = 2000;
+  /// Virtual µs the clock advances per submitted request (inter-arrival).
+  std::uint64_t tick_us = 50;
+  /// Virtual cost model of a batched forward: overhead + per-sample.
+  std::uint64_t batch_overhead_us = 200;
+  std::uint64_t us_per_sample = 20;
+  /// Virtual cost of one degraded synchronous single-sample inference.
+  std::uint64_t sync_us_per_sample = 220;
+  /// Model replicas the batch is sharded across (clones of the template).
+  int replicas = 1;
+  /// Degraded mode: serve queue-full / failed-batch / would-miss requests
+  /// synchronously instead of shedding them.
+  bool sync_fallback = true;
+  /// Base seed for the replica Rng streams (Rng(seed).split(replica)).
+  std::uint64_t seed = 0x5e12e;
+};
+
+class ServeEngine {
+ public:
+  /// The engine clones `model` once per replica and locks every replica in
+  /// inference mode (training-mode forwards throw; see nn::Model).
+  ServeEngine(nn::Model model, ServeConfig cfg);
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Submit one single-sample input. Advances the virtual clock one tick,
+  /// runs admission control, and pumps due batches — so completions for
+  /// *earlier* requests may fire inside this call. Returns kQueued when
+  /// admitted (completion fires later), kDegradedSync when the request was
+  /// shed at admission but served synchronously, kRejected when shed with
+  /// no prediction.
+  ServeStatus submit(nn::Tensor input, Completion done);
+
+  /// Advance the virtual clock without submitting (heartbeat), then pump.
+  /// Wire this to the platform's post-dispatch hook so partial batches
+  /// flush during indication streams that do not submit.
+  void tick() { advance_us(cfg_.tick_us); }
+  void advance_us(std::uint64_t us);
+
+  /// Flush every batch whose trigger has fired at the current clock.
+  void pump();
+
+  /// Complete every queued request regardless of triggers, advancing the
+  /// clock past each batch. Call at end of workload.
+  void drain();
+
+  /// Unbatched reference path: one synchronous single-sample forward on
+  /// replica 0. Does not touch the queue, clock, or SLO accounting.
+  int predict_sync(const nn::Tensor& input);
+
+  std::uint64_t virtual_now_us() const { return now_us_; }
+  std::uint64_t busy_until_us() const { return busy_until_us_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  const ServeConfig& config() const { return cfg_; }
+  int replicas() const { return static_cast<int>(replicas_.size()); }
+  /// Identity of the served model (all replicas are clones of it).
+  const std::string& model_name() const { return replicas_.front().name(); }
+  int model_num_classes() const { return replicas_.front().num_classes(); }
+  const nn::Shape& model_input_shape() const {
+    return replicas_.front().input_shape();
+  }
+
+  /// The deterministic Rng stream assigned to replica `i`
+  /// (Rng(cfg.seed).split(i)): schedule-independent per-replica
+  /// randomness for stochastic serving extensions.
+  const Rng& replica_rng(int i) const;
+
+  SloSnapshot slo() const { return slo_.snapshot(); }
+
+  /// Hex SHA-256 over every config field plus the model identity; two
+  /// engines serve interchangeably iff their fingerprints match.
+  std::string config_fingerprint() const;
+
+  /// Framed checkpoint (app tag "orev.serve"): config fingerprint + SLO
+  /// counters. load_status() rejects other configs with kMismatch and
+  /// leaves the engine untouched on any failure.
+  persist::Status save_status(const std::string& path) const;
+  persist::Status load_status(const std::string& path);
+
+  /// Instance fault-injector override (nullptr → process-global).
+  void set_fault_injector(fault::FaultInjector* fi) { fault_ = fi; }
+
+ private:
+  void finish(ServeRequest& r, int prediction, ServeStatus status,
+              std::uint64_t completion_us, std::uint64_t batch_id,
+              int batch_size);
+  void execute_batch(std::vector<ServeRequest> batch);
+  void execute_sync_fallback(std::vector<ServeRequest>& batch,
+                             std::uint64_t start_us);
+  int predict_on_replica(int replica, const nn::Tensor& input);
+
+  ServeConfig cfg_;
+  std::vector<nn::Model> replicas_;
+  /// Per-replica compiled inference plan (serve/compiled.hpp): present for
+  /// flat Dense/ReLU models, bit-identical to the layer walk, and much
+  /// faster. One per replica because the plan owns mutable scratch.
+  std::vector<std::optional<CompiledMlp>> compiled_;
+  /// Reusable flat row buffer for the single-shard compiled hot path.
+  std::vector<float> staging_;
+  std::vector<Rng> replica_rngs_;
+  BoundedQueue queue_;
+  MicroBatcher batcher_;
+  SloStats slo_;
+  fault::FaultInjector* fault_ = nullptr;
+
+  std::uint64_t now_us_ = 0;
+  std::uint64_t busy_until_us_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t next_batch_id_ = 1;
+  bool in_completion_ = false;
+};
+
+}  // namespace orev::serve

@@ -1,0 +1,32 @@
+#include "serve/queue.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace orev::serve {
+
+BoundedQueue::BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+  OREV_CHECK(capacity >= 1, "serve queue capacity must be >= 1");
+}
+
+bool BoundedQueue::push(ServeRequest&& r) {
+  if (q_.size() >= capacity_) return false;
+  q_.push_back(std::move(r));
+  if (q_.size() > max_depth_) max_depth_ = q_.size();
+  return true;
+}
+
+const ServeRequest& BoundedQueue::front() const {
+  OREV_CHECK(!q_.empty(), "front() on an empty serve queue");
+  return q_.front();
+}
+
+ServeRequest BoundedQueue::pop() {
+  OREV_CHECK(!q_.empty(), "pop() on an empty serve queue");
+  ServeRequest r = std::move(q_.front());
+  q_.pop_front();
+  return r;
+}
+
+}  // namespace orev::serve

@@ -1,0 +1,45 @@
+// Bounded admission queue for the serving engine.
+//
+// The queue is the backpressure mechanism: a full queue rejects the
+// incoming request at admission (the caller then sheds it or degrades to
+// synchronous inference) instead of letting latency grow without bound.
+// Arrival order is preserved — requests leave in exactly the order they
+// were admitted, which is one of the two ingredients of the engine's
+// determinism (the other is the batch decomposition; see engine.hpp).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "serve/request.hpp"
+
+namespace orev::serve {
+
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity);
+
+  /// Admit a request; false when the queue is at capacity (the request is
+  /// left untouched so the caller can still serve or shed it).
+  bool push(ServeRequest&& r);
+
+  /// Oldest admitted request. Queue must be non-empty.
+  const ServeRequest& front() const;
+
+  /// Remove and return the oldest admitted request.
+  ServeRequest pop();
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// High-water mark of the queue depth since construction.
+  std::size_t max_depth() const { return max_depth_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t max_depth_ = 0;
+  std::deque<ServeRequest> q_;
+};
+
+}  // namespace orev::serve

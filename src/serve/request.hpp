@@ -1,0 +1,68 @@
+// Request/response types for the batched serving engine (DESIGN.md §11).
+//
+// A ServeRequest carries one single-sample input tensor plus its virtual
+// arrival time and absolute deadline; a ServeResult reports how the
+// request was ultimately served (batched, degraded-synchronous, or shed at
+// admission) together with its virtual latency. Completions are plain
+// callbacks fired on the submitting thread — the engine is in-process and
+// deterministic, so "asynchronous" here means deferred to a later pump,
+// never a different thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "nn/tensor.hpp"
+
+namespace orev::serve {
+
+/// How a request moved through the engine.
+enum class ServeStatus {
+  /// Admitted to the queue; the result arrives via the completion later.
+  kQueued = 0,
+  /// Served by a batched forward pass.
+  kOk,
+  /// Served by the degraded synchronous single-sample path (queue-full
+  /// shed, failed batch, or projected deadline miss with fallback on).
+  kDegradedSync,
+  /// Shed at admission with no prediction (fallback disabled).
+  kRejected,
+};
+
+/// Stable lowercase name ("queued", "degraded-sync", ...) for reports.
+const char* serve_status_name(ServeStatus s);
+
+/// Terminal outcome of one request.
+struct ServeResult {
+  ServeStatus status = ServeStatus::kRejected;
+  /// Argmax class, or -1 when the request was shed without a prediction.
+  int prediction = -1;
+  std::uint64_t request_id = 0;
+  /// Batch the request was served in (0 for sync/shed paths).
+  std::uint64_t batch_id = 0;
+  int batch_size = 0;
+  /// Virtual submit → completion latency in microseconds.
+  std::uint64_t latency_us = 0;
+  /// True when the completion landed past the request's SLO deadline.
+  bool deadline_missed = false;
+};
+
+/// Completion callback. Fired exactly once per submitted request, on the
+/// submitting thread, during a later submit()/pump()/drain() (or inline
+/// for shed and degraded-sync admissions). Completions must not call back
+/// into the engine.
+using Completion = std::function<void(const ServeResult&)>;
+
+/// One queued unit of inference work.
+struct ServeRequest {
+  std::uint64_t id = 0;
+  /// Virtual clock at admission.
+  std::uint64_t arrival_us = 0;
+  /// Absolute virtual deadline (arrival + ServeConfig::deadline_us).
+  std::uint64_t deadline_us = 0;
+  nn::Tensor input;
+  Completion done;
+};
+
+}  // namespace orev::serve

@@ -1,0 +1,10 @@
+// Umbrella header for the serving subsystem: request types, bounded
+// admission queue, micro-batcher, SLO accounting, and the engine itself.
+// See DESIGN.md §11 and README "Serving".
+#pragma once
+
+#include "serve/batcher.hpp"
+#include "serve/engine.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/slo.hpp"

@@ -1,0 +1,140 @@
+#include "serve/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace orev::serve {
+
+namespace {
+
+std::vector<double> occupancy_buckets() {
+  return {1, 2, 4, 8, 16, 32, 64, 128};
+}
+
+/// Latency buckets in µs spanning 1 µs .. 10 s.
+std::vector<double> latency_buckets_us() {
+  std::vector<double> b;
+  for (double scale = 1.0; scale <= 1e6; scale *= 10.0)
+    for (double m : {1.0, 2.0, 5.0}) b.push_back(m * scale);
+  return b;
+}
+
+}  // namespace
+
+SloStats::SloStats(const std::string& engine_name)
+    : m_submitted_(obs::counter("serve." + engine_name + ".submitted",
+                                "requests submitted to the serving engine")),
+      m_rejected_(obs::counter("serve." + engine_name + ".rejected",
+                               "requests shed at admission")),
+      m_completed_(obs::counter("serve." + engine_name + ".completed",
+                                "requests completed with a prediction")),
+      m_batches_(obs::counter("serve." + engine_name + ".batches",
+                              "micro-batches flushed")),
+      m_degraded_(obs::counter("serve." + engine_name + ".degraded_syncs",
+                               "requests served by the sync fallback")),
+      m_misses_(obs::counter("serve." + engine_name + ".deadline_misses",
+                             "completions past the SLO deadline")),
+      m_queue_depth_(obs::gauge("serve." + engine_name + ".queue_depth",
+                                "current admission queue depth")),
+      m_latency_us_(obs::histogram("serve." + engine_name + ".latency_us",
+                                   latency_buckets_us(),
+                                   "virtual submit-to-completion latency")),
+      m_occupancy_(obs::histogram("serve." + engine_name + ".occupancy",
+                                  occupancy_buckets(),
+                                  "samples per flushed micro-batch")) {}
+
+void SloStats::on_submit() {
+  ++submitted_;
+  m_submitted_.inc();
+}
+
+void SloStats::on_reject() {
+  ++rejected_;
+  m_rejected_.inc();
+}
+
+void SloStats::on_batch(int occupancy) {
+  ++batches_;
+  occupancy_sum_ += static_cast<std::uint64_t>(occupancy);
+  m_batches_.inc();
+  m_occupancy_.observe(static_cast<double>(occupancy));
+}
+
+void SloStats::on_complete(const ServeResult& r) {
+  // Shed-without-prediction outcomes are accounted by on_reject; every
+  // other outcome carries a prediction and counts as a completion.
+  if (r.status == ServeStatus::kRejected) return;
+  ++completed_;
+  m_completed_.inc();
+  if (r.status == ServeStatus::kDegradedSync) {
+    ++degraded_syncs_;
+    m_degraded_.inc();
+  } else {
+    ++batched_samples_;
+  }
+  ++admitted_;  // every completion was admitted somewhere (queue or sync)
+  if (r.deadline_missed) {
+    ++deadline_misses_;
+    m_misses_.inc();
+  }
+  latencies_us_.push_back(r.latency_us);
+  m_latency_us_.observe(static_cast<double>(r.latency_us));
+}
+
+void SloStats::set_queue_depth(std::size_t depth) {
+  if (depth > max_queue_depth_) max_queue_depth_ = depth;
+  m_queue_depth_.set(static_cast<double>(depth));
+}
+
+std::uint64_t SloStats::latency_percentile(double pct) const {
+  if (latencies_us_.empty()) return 0;
+  std::vector<std::uint64_t> sorted = latencies_us_;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: ceil(pct/100 * n), 1-indexed.
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(pct / 100.0 * n));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+SloSnapshot SloStats::snapshot() const {
+  SloSnapshot s;
+  s.submitted = submitted_;
+  s.admitted = admitted_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.batches = batches_;
+  s.batched_samples = batched_samples_;
+  s.degraded_syncs = degraded_syncs_;
+  s.deadline_misses = deadline_misses_;
+  s.max_queue_depth = max_queue_depth_;
+  s.mean_occupancy =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(occupancy_sum_) /
+                          static_cast<double>(batches_);
+  s.p50_latency_us = latency_percentile(50.0);
+  s.p99_latency_us = latency_percentile(99.0);
+  s.max_latency_us =
+      latencies_us_.empty()
+          ? 0
+          : *std::max_element(latencies_us_.begin(), latencies_us_.end());
+  return s;
+}
+
+void SloStats::restore(const SloSnapshot& s) {
+  submitted_ = s.submitted;
+  admitted_ = s.admitted;
+  rejected_ = s.rejected;
+  completed_ = s.completed;
+  batches_ = s.batches;
+  batched_samples_ = s.batched_samples;
+  degraded_syncs_ = s.degraded_syncs;
+  deadline_misses_ = s.deadline_misses;
+  max_queue_depth_ = s.max_queue_depth;
+  occupancy_sum_ = static_cast<std::uint64_t>(
+      s.mean_occupancy * static_cast<double>(s.batches) + 0.5);
+  latencies_us_.clear();
+}
+
+}  // namespace orev::serve

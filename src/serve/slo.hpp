@@ -1,0 +1,90 @@
+// Per-engine SLO accounting: deterministic event counters plus exact
+// virtual-latency percentiles, mirrored into the process-wide obs registry
+// under `serve.<engine>.*` so every bench's --metrics-out JSON picks the
+// serving layer up automatically.
+//
+// Determinism contract: everything in an SloSnapshot is derived from the
+// engine's virtual clock and event stream, never from wall time, so two
+// runs of the same workload produce byte-identical snapshots at any
+// thread count. (Wall-clock throughput is the bench's job, not this
+// class's.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "util/obs/metrics.hpp"
+
+namespace orev::serve {
+
+/// Deterministic summary of an engine's serving history.
+struct SloSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;  // shed at admission (queue full / injected)
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_samples = 0;  // completions via the batched path
+  std::uint64_t degraded_syncs = 0;   // completions via the sync fallback
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t max_queue_depth = 0;
+  /// Mean samples per flushed batch (0 when no batch ever flushed).
+  double mean_occupancy = 0.0;
+  /// Exact virtual-latency percentiles over every completion, in µs.
+  std::uint64_t p50_latency_us = 0;
+  std::uint64_t p99_latency_us = 0;
+  std::uint64_t max_latency_us = 0;
+};
+
+class SloStats {
+ public:
+  /// `engine_name` prefixes the obs registry metrics
+  /// (serve.<engine_name>.submitted, .rejected, .deadline_misses, ...).
+  explicit SloStats(const std::string& engine_name);
+
+  SloStats(const SloStats&) = delete;
+  SloStats& operator=(const SloStats&) = delete;
+
+  void on_submit();
+  void on_reject();
+  void on_batch(int occupancy);
+  void on_complete(const ServeResult& r);
+  void set_queue_depth(std::size_t depth);
+
+  SloSnapshot snapshot() const;
+
+  /// Exact percentile (nearest-rank) over the recorded virtual latencies.
+  std::uint64_t latency_percentile(double pct) const;
+
+  /// Restore the counter state captured by an earlier snapshot (used by
+  /// ServeEngine::load_status). Latency percentiles are not part of the
+  /// durable state and reset to empty.
+  void restore(const SloSnapshot& s);
+
+ private:
+  std::uint64_t submitted_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_samples_ = 0;
+  std::uint64_t degraded_syncs_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t occupancy_sum_ = 0;
+  std::uint64_t max_queue_depth_ = 0;
+  std::vector<std::uint64_t> latencies_us_;
+
+  obs::Counter& m_submitted_;
+  obs::Counter& m_rejected_;
+  obs::Counter& m_completed_;
+  obs::Counter& m_batches_;
+  obs::Counter& m_degraded_;
+  obs::Counter& m_misses_;
+  obs::Gauge& m_queue_depth_;
+  obs::Histogram& m_latency_us_;
+  obs::Histogram& m_occupancy_;
+};
+
+}  // namespace orev::serve

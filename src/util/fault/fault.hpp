@@ -78,6 +78,13 @@ inline constexpr const char* kRAppDispatch = "rapp.dispatch";
 inline constexpr const char* kA1Policy = "a1.policy";
 inline constexpr const char* kO1Collect = "o1.collect";
 inline constexpr const char* kO1Control = "o1.control";
+// Serving-engine sites (src/serve): one "serve.admit" op per submitted
+// request (drop/transient sheds the admission), one "serve.batch" op per
+// flushed micro-batch (delay stretches the virtual execution — the
+// injectable deadline-miss — and transient/crash fails the batched pass,
+// triggering the synchronous fallback).
+inline constexpr const char* kServeAdmit = "serve.admit";
+inline constexpr const char* kServeBatch = "serve.batch";
 // Checkpoint-commit / journal-append kill-points (crash-recovery harness).
 // Each site op is one durable commit; a kCrash decision aborts the run
 // immediately *after* the commit landed on disk.

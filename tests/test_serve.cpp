@@ -1,0 +1,563 @@
+// Serving-engine tests (DESIGN.md §11): bounded-queue backpressure with
+// exact seeded reject counts, micro-batcher flush triggers, byte-identical
+// predictions across thread counts and against the unbatched path, the
+// fault-plan integration (injected deadline-miss → synchronous fallback,
+// injected admission shed), checkpoint/restore of the SLO counters, and
+// the nn::Model inference-only guard that makes batched == per-sample
+// bit-exact even for BatchNorm/Dropout networks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <system_error>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/model_zoo.hpp"
+#include "attack/clone.hpp"
+#include "nn/blocks.hpp"
+#include "nn/layers.hpp"
+#include "serve/serve.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/fault/fault.hpp"
+#include "util/thread_pool.hpp"
+
+namespace orev {
+namespace {
+
+using serve::ServeConfig;
+using serve::ServeEngine;
+using serve::ServeResult;
+using serve::ServeStatus;
+
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(util::num_threads()) {}
+  ~ThreadGuard() { util::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// KPM-style victim: dense [64, 32, 16] DNN over 4 features.
+nn::Model kpm_model(std::uint64_t seed = 17) {
+  return apps::make_kpm_dnn(/*num_features=*/4, /*num_classes=*/4, seed);
+}
+
+/// Deterministic stream of single-sample [4] feature vectors.
+std::vector<nn::Tensor> kpm_inputs(int n, std::uint64_t seed = 0xfeed) {
+  Rng rng(seed);
+  std::vector<nn::Tensor> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    nn::Tensor t({4});
+    for (std::size_t j = 0; j < 4; ++j) t[j] = rng.uniform(-1.0f, 1.0f);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+nn::Tensor single_request(float v = 0.25f) {
+  return nn::Tensor({4}, {v, -v, v * 2.0f, 0.5f});
+}
+
+/// Submit every input, drain, and return the results in submit order.
+std::vector<ServeResult> run_workload(ServeEngine& eng,
+                                      const std::vector<nn::Tensor>& inputs) {
+  std::vector<ServeResult> results(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    eng.submit(nn::Tensor(inputs[i]),
+               [&results, i](const ServeResult& r) { results[i] = r; });
+  }
+  eng.drain();
+  return results;
+}
+
+// ---------------------------------------------------------------- queue --
+
+TEST(ServeQueue, RejectsBeyondCapacityWithoutConsumingTheRequest) {
+  serve::BoundedQueue q(2);
+  serve::ServeRequest a;
+  a.id = 1;
+  a.input = single_request();
+  EXPECT_TRUE(q.push(std::move(a)));
+  serve::ServeRequest b;
+  b.id = 2;
+  EXPECT_TRUE(q.push(std::move(b)));
+
+  serve::ServeRequest c;
+  c.id = 3;
+  c.input = single_request(0.5f);
+  EXPECT_FALSE(q.push(std::move(c)));
+  // The rejected request must still be usable by the degraded path.
+  EXPECT_EQ(c.id, 3u);
+  EXPECT_EQ(c.input.numel(), 4u);
+
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().id, 1u);
+  EXPECT_EQ(q.pop().id, 2u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.max_depth(), 2u);
+}
+
+// -------------------------------------------------------------- batcher --
+
+TEST(ServeBatcher, FlushesOnSizeOrDeadlineOnlyWhileIdle) {
+  serve::MicroBatcher b(serve::BatcherConfig{/*batch_max=*/2,
+                                             /*flush_wait_us=*/100});
+  serve::BoundedQueue q(8);
+  EXPECT_FALSE(b.should_flush(q, 0, true));  // empty
+
+  serve::ServeRequest r;
+  r.arrival_us = 10;
+  q.push(std::move(r));
+  EXPECT_FALSE(b.should_flush(q, 50, true));    // 1 < batch_max, window open
+  EXPECT_TRUE(b.should_flush(q, 110, true));    // window expired
+  EXPECT_FALSE(b.should_flush(q, 110, false));  // busy engine never flushes
+
+  serve::ServeRequest r2;
+  r2.arrival_us = 20;
+  q.push(std::move(r2));
+  EXPECT_TRUE(b.should_flush(q, 21, true));  // size trigger
+
+  const std::vector<serve::ServeRequest> batch = b.take_batch(q);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].arrival_us, 10u);  // arrival order preserved
+  EXPECT_EQ(batch[1].arrival_us, 20u);
+}
+
+// --------------------------------------------------------- determinism --
+
+TEST(ServeEngineDeterminism, ByteIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const std::vector<nn::Tensor> inputs = kpm_inputs(96);
+  ServeConfig cfg;
+  cfg.batch_max = 16;
+  cfg.replicas = 4;
+
+  util::set_num_threads(1);
+  ServeEngine e1(kpm_model(), cfg);
+  const std::vector<ServeResult> r1 = run_workload(e1, inputs);
+
+  util::set_num_threads(4);
+  ServeEngine e4(kpm_model(), cfg);
+  const std::vector<ServeResult> r4 = run_workload(e4, inputs);
+
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].prediction, r4[i].prediction) << "request " << i;
+    EXPECT_EQ(r1[i].latency_us, r4[i].latency_us) << "request " << i;
+    EXPECT_EQ(r1[i].batch_id, r4[i].batch_id) << "request " << i;
+    EXPECT_EQ(r1[i].batch_size, r4[i].batch_size) << "request " << i;
+  }
+  const serve::SloSnapshot s1 = e1.slo(), s4 = e4.slo();
+  EXPECT_EQ(s1.completed, s4.completed);
+  EXPECT_EQ(s1.batches, s4.batches);
+  EXPECT_EQ(s1.rejected, s4.rejected);
+  EXPECT_EQ(s1.deadline_misses, s4.deadline_misses);
+  EXPECT_EQ(s1.p99_latency_us, s4.p99_latency_us);
+  EXPECT_DOUBLE_EQ(s1.mean_occupancy, s4.mean_occupancy);
+}
+
+TEST(ServeEngineDeterminism, BatchedMatchesUnbatchedReferencePath) {
+  ThreadGuard guard;
+  util::set_num_threads(2);
+  const std::vector<nn::Tensor> inputs = kpm_inputs(64, 0xabc);
+  ServeConfig cfg;
+  cfg.batch_max = 32;
+  cfg.replicas = 2;
+  ServeEngine eng(kpm_model(), cfg);
+
+  std::vector<int> reference;
+  reference.reserve(inputs.size());
+  for (const nn::Tensor& in : inputs) reference.push_back(eng.predict_sync(in));
+
+  const std::vector<ServeResult> served = run_workload(eng, inputs);
+  ASSERT_EQ(served.size(), reference.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i].status, ServeStatus::kOk) << "request " << i;
+    EXPECT_EQ(served[i].prediction, reference[i]) << "request " << i;
+  }
+}
+
+TEST(ServeEngineDeterminism, ReplicaRngStreamsAreScheduleIndependent) {
+  ServeConfig cfg;
+  cfg.replicas = 3;
+  cfg.seed = 0xbeef;
+  ServeEngine eng(kpm_model(), cfg);
+  const Rng base(0xbeef);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(eng.replica_rng(i).seed(), base.split(i).seed());
+}
+
+// -------------------------------------------------------- backpressure --
+
+TEST(ServeEngineBackpressure, ExactRejectCountUnderSeededOverload) {
+  // Virtual-time arithmetic (tick=1 µs per submit, queue=4, batch_max=4,
+  // flush_wait=10, overhead=100 + 10/sample, 1 replica):
+  //   * requests 1-4 arrive at t=1..4; the 4th fills the batch and the
+  //     engine flushes at t=4, busy until 4 + 100 + 4*10 = 144;
+  //   * requests 5-8 queue up (engine busy, queue capacity 4);
+  //   * requests 9-60 (t=9..60 < 144) all find the queue full → 52 sheds;
+  //   * drain() then serves the 4 queued requests in one final batch.
+  ServeConfig cfg;
+  cfg.queue_capacity = 4;
+  cfg.batch_max = 4;
+  cfg.tick_us = 1;
+  cfg.flush_wait_us = 10;
+  cfg.deadline_us = 1000000;
+  cfg.batch_overhead_us = 100;
+  cfg.us_per_sample = 10;
+  cfg.sync_fallback = false;
+  ServeEngine eng(kpm_model(), cfg);
+
+  int rejected = 0, ok = 0;
+  const std::vector<nn::Tensor> inputs = kpm_inputs(60);
+  for (const nn::Tensor& in : inputs) {
+    eng.submit(nn::Tensor(in), [&](const ServeResult& r) {
+      if (r.status == ServeStatus::kRejected) {
+        ++rejected;
+        EXPECT_EQ(r.prediction, -1);
+      } else {
+        EXPECT_EQ(r.status, ServeStatus::kOk);
+        ++ok;
+      }
+    });
+  }
+  eng.drain();
+
+  EXPECT_EQ(rejected, 52);
+  EXPECT_EQ(ok, 8);
+  const serve::SloSnapshot s = eng.slo();
+  EXPECT_EQ(s.rejected, 52u);
+  EXPECT_EQ(s.completed, 8u);
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_EQ(s.max_queue_depth, 4u);
+}
+
+TEST(ServeEngineBackpressure, QueueFullDegradesToSyncWhenFallbackEnabled) {
+  ServeConfig cfg;
+  cfg.queue_capacity = 4;
+  cfg.batch_max = 4;
+  cfg.tick_us = 1;
+  cfg.flush_wait_us = 10;
+  cfg.deadline_us = 1000000;
+  cfg.batch_overhead_us = 100;
+  cfg.us_per_sample = 10;
+  cfg.sync_fallback = true;  // sheds become synchronous single-sample serves
+  ServeEngine eng(kpm_model(), cfg);
+
+  int degraded = 0;
+  const std::vector<nn::Tensor> inputs = kpm_inputs(20);
+  std::vector<int> reference;
+  for (const nn::Tensor& in : inputs) reference.push_back(eng.predict_sync(in));
+  std::vector<int> got(inputs.size(), -2);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    eng.submit(nn::Tensor(inputs[i]), [&, i](const ServeResult& r) {
+      if (r.status == ServeStatus::kDegradedSync) ++degraded;
+      got[i] = r.prediction;
+    });
+  }
+  eng.drain();
+  EXPECT_GT(degraded, 0);
+  EXPECT_EQ(eng.slo().degraded_syncs, static_cast<std::uint64_t>(degraded));
+  EXPECT_EQ(eng.slo().rejected + eng.slo().completed, inputs.size());
+  // Degraded or batched, every prediction matches the reference path.
+  EXPECT_EQ(got, reference);
+}
+
+// --------------------------------------------------------------- fault --
+
+TEST(ServeEngineFault, InjectedBatchDelayTriggersSyncFallback) {
+  // serve.batch delay of 10 ms dwarfs the 4 ms deadline, so every batch's
+  // projected completion misses and the engine serves each request through
+  // the degraded synchronous path instead — same predictions, counted.
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  fault::FaultSpec delay;
+  delay.kind = fault::FaultKind::kDelay;
+  delay.probability = 1.0;
+  delay.delay_ms = 10.0;
+  plan.sites[fault::sites::kServeBatch] = {delay};
+  fault::FaultInjector fi(plan);
+
+  ServeConfig cfg;
+  cfg.batch_max = 8;
+  ServeEngine eng(kpm_model(), cfg);
+  eng.set_fault_injector(&fi);
+
+  const std::vector<nn::Tensor> inputs = kpm_inputs(16);
+  std::vector<int> reference;
+  for (const nn::Tensor& in : inputs) reference.push_back(eng.predict_sync(in));
+
+  const std::vector<ServeResult> results = run_workload(eng, inputs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status, ServeStatus::kDegradedSync) << i;
+    EXPECT_EQ(results[i].prediction, reference[i]) << i;
+  }
+  EXPECT_EQ(eng.slo().degraded_syncs, inputs.size());
+  EXPECT_EQ(eng.slo().batched_samples, 0u);
+  EXPECT_GT(fi.site_stats(fault::sites::kServeBatch).injected, 0u);
+}
+
+TEST(ServeEngineFault, InjectedAdmissionShedRejectsWithoutPrediction) {
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  fault::FaultSpec drop;
+  drop.kind = fault::FaultKind::kDrop;
+  drop.probability = 1.0;
+  plan.sites[fault::sites::kServeAdmit] = {drop};
+  fault::FaultInjector fi(plan);
+
+  ServeConfig cfg;
+  cfg.sync_fallback = false;
+  ServeEngine eng(kpm_model(), cfg);
+  eng.set_fault_injector(&fi);
+
+  int rejected = 0;
+  for (int i = 0; i < 5; ++i) {
+    const ServeStatus st =
+        eng.submit(single_request(), [&](const ServeResult& r) {
+          EXPECT_EQ(r.status, ServeStatus::kRejected);
+          EXPECT_EQ(r.prediction, -1);
+          ++rejected;
+        });
+    EXPECT_EQ(st, ServeStatus::kRejected);
+  }
+  EXPECT_EQ(rejected, 5);
+  EXPECT_EQ(eng.slo().rejected, 5u);
+  EXPECT_EQ(eng.slo().completed, 0u);
+}
+
+// ------------------------------------------------------------- persist --
+
+TEST(ServeEnginePersist, CheckpointRoundTripsAndRejectsOtherConfigs) {
+  const std::string dir = ::testing::TempDir() + "orev_serve_ckpt";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/engine.ckpt";
+
+  ServeConfig cfg;
+  cfg.batch_max = 8;
+  ServeEngine eng(kpm_model(), cfg);
+  run_workload(eng, kpm_inputs(24));
+  const serve::SloSnapshot before = eng.slo();
+  ASSERT_TRUE(eng.save_status(path).ok());
+
+  ServeEngine fresh(kpm_model(), cfg);
+  ASSERT_TRUE(fresh.load_status(path).ok());
+  const serve::SloSnapshot after = fresh.slo();
+  EXPECT_EQ(after.submitted, before.submitted);
+  EXPECT_EQ(after.completed, before.completed);
+  EXPECT_EQ(after.batches, before.batches);
+  EXPECT_EQ(after.rejected, before.rejected);
+  EXPECT_EQ(after.deadline_misses, before.deadline_misses);
+  EXPECT_DOUBLE_EQ(after.mean_occupancy, before.mean_occupancy);
+  EXPECT_EQ(fresh.virtual_now_us(), eng.virtual_now_us());
+
+  // A config change (different batch_max) changes the fingerprint; the
+  // checkpoint must be rejected, not silently resumed.
+  ServeConfig other = cfg;
+  other.batch_max = 16;
+  ServeEngine incompatible(kpm_model(), other);
+  const persist::Status st = incompatible.load_status(path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code, persist::StatusCode::kMismatch);
+  EXPECT_EQ(incompatible.slo().submitted, 0u);
+}
+
+TEST(ServeEnginePersist, FingerprintCoversConfigAndModelIdentity) {
+  ServeConfig cfg;
+  ServeEngine a(kpm_model(), cfg);
+  ServeEngine b(kpm_model(), cfg);
+  EXPECT_EQ(a.config_fingerprint(), b.config_fingerprint());
+
+  ServeConfig different = cfg;
+  different.deadline_us += 1;
+  ServeEngine c(kpm_model(), different);
+  EXPECT_NE(a.config_fingerprint(), c.config_fingerprint());
+}
+
+// ------------------------------------------------- served attack path --
+
+TEST(ServeClone, ServedDatasetMatchesDirectVictimQueries) {
+  nn::Model victim = kpm_model(23);
+  Rng rng(0x77);
+  nn::Tensor probes({40, 4});
+  for (int i = 0; i < 40; ++i)
+    for (int j = 0; j < 4; ++j) probes.at2(i, j) = rng.uniform(-1.0f, 1.0f);
+
+  const data::Dataset direct = attack::collect_clone_dataset(victim, probes);
+
+  ServeConfig cfg;
+  cfg.batch_max = 16;
+  ServeEngine eng(victim.clone(), cfg);
+  const data::Dataset served = attack::collect_clone_dataset(eng, probes);
+
+  EXPECT_EQ(served.y, direct.y);
+  EXPECT_EQ(served.num_classes, direct.num_classes);
+  EXPECT_EQ(std::memcmp(served.x.raw(), direct.x.raw(),
+                        served.x.numel() * sizeof(float)),
+            0);
+}
+
+TEST(ServeClone, ShedProbesAreRetriedSoTheDatasetIsComplete) {
+  nn::Model victim = kpm_model(23);
+  Rng rng(0x78);
+  nn::Tensor probes({30, 4});
+  for (int i = 0; i < 30; ++i)
+    for (int j = 0; j < 4; ++j) probes.at2(i, j) = rng.uniform(-1.0f, 1.0f);
+
+  // Shed every 2nd admission; the attacker retries outside the queue.
+  fault::FaultPlan plan;
+  plan.seed = 3;
+  fault::FaultSpec drop;
+  drop.kind = fault::FaultKind::kDrop;
+  drop.probability = 0.5;
+  plan.sites[fault::sites::kServeAdmit] = {drop};
+  fault::FaultInjector fi(plan);
+
+  ServeConfig cfg;
+  cfg.sync_fallback = false;  // sheds carry no prediction → retried
+  ServeEngine eng(victim.clone(), cfg);
+  eng.set_fault_injector(&fi);
+
+  const data::Dataset served = attack::collect_clone_dataset(eng, probes);
+  const data::Dataset direct = attack::collect_clone_dataset(victim, probes);
+  EXPECT_EQ(served.y, direct.y);  // every row labelled, labels identical
+}
+
+// ------------------------------------------------- inference-only guard --
+
+/// A [4] → 3-class net exercising both batch-dependent layers.
+nn::Model bn_dropout_model() {
+  auto s = std::make_unique<nn::Sequential>();
+  s->emplace<nn::Dense>(4, 8);
+  s->emplace<nn::BatchNorm>(8);
+  s->emplace<nn::ReLU>();
+  s->emplace<nn::Dropout>(0.5f);
+  s->emplace<nn::Dense>(8, 3);
+  nn::Model m("BnDropoutNet", std::move(s), {4}, 3);
+  Rng rng(5);
+  m.init(rng);
+  return m;
+}
+
+TEST(BatchedInference, SingleAndBatchedLogitsAreBitExact) {
+  nn::Model m = bn_dropout_model();
+  // Move the BatchNorm running stats off their initial values first, the
+  // way a trained model would look.
+  Rng rng(0x99);
+  nn::Tensor warm({16, 4});
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 4; ++j) warm.at2(i, j) = rng.normal();
+  for (int e = 0; e < 3; ++e) m.forward(warm, /*training=*/true);
+
+  m.set_inference_only(true);
+  nn::Tensor batch({6, 4});
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 4; ++j) batch.at2(i, j) = rng.normal();
+
+  const nn::Tensor batched = m.forward(batch, /*training=*/false);
+  for (int i = 0; i < 6; ++i) {
+    const nn::Tensor one = m.logits_one(batch.slice_batch(i));
+    for (int c = 0; c < 3; ++c) {
+      const float a = batched.at2(i, c);
+      const float b = one[static_cast<std::size_t>(c)];
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof(float)), 0)
+          << "row " << i << " class " << c;
+    }
+  }
+}
+
+TEST(BatchedInference, InferenceLockedModelRejectsTrainingForwards) {
+  nn::Model m = bn_dropout_model();
+  nn::Tensor x({2, 4});
+  EXPECT_NO_THROW(m.forward(x, /*training=*/true));
+  m.set_inference_only(true);
+  EXPECT_THROW(m.forward(x, /*training=*/true), CheckError);
+  EXPECT_NO_THROW(m.forward(x, /*training=*/false));
+  // clone() carries the lock (the serving engine relies on this).
+  nn::Model c = m.clone();
+  EXPECT_TRUE(c.inference_only());
+  EXPECT_THROW(c.forward(x, /*training=*/true), CheckError);
+}
+
+// -------------------------------------------------------- compiled plans --
+
+/// Odd widths on purpose: 7 → 37 → 19 → 5 drives the compiled kernels
+/// through their 32-wide, 16-wide and scalar remainder column paths, and
+/// includes a bias-free stage and a final stage with no ReLU.
+nn::Model odd_mlp() {
+  auto s = std::make_unique<nn::Sequential>();
+  s->emplace<nn::Dense>(7, 37);
+  s->emplace<nn::ReLU>();
+  s->emplace<nn::Dense>(37, 19, /*bias=*/false);
+  s->emplace<nn::ReLU>();
+  s->emplace<nn::Dense>(19, 5);
+  nn::Model m("OddMlp", std::move(s), {7}, 5);
+  Rng rng(0x0dd);
+  m.init(rng);
+  return m;
+}
+
+TEST(CompiledPlan, PredictionsMatchLayerWalkOnOddWidths) {
+  nn::Model m = odd_mlp();
+  auto plan = serve::CompiledMlp::compile(m);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->input_features(), 7);
+  EXPECT_EQ(plan->num_classes(), 5);
+  Rng rng(0x7e57);
+  nn::Tensor batch({129, 7});  // odd row count too
+  for (std::size_t i = 0; i < batch.numel(); ++i) batch[i] = rng.normal();
+  EXPECT_EQ(plan->predict(batch), m.predict(batch));
+}
+
+TEST(CompiledPlan, KpmDnnMatchesLayerWalkAtServingBatchSizes) {
+  nn::Model m = kpm_model();
+  auto plan = serve::CompiledMlp::compile(m);
+  ASSERT_TRUE(plan.has_value());
+  Rng rng(0x5eed);
+  for (const int rows : {1, 3, 32}) {
+    nn::Tensor batch({rows, 4});
+    for (std::size_t i = 0; i < batch.numel(); ++i)
+      batch[i] = rng.uniform(-2.0f, 2.0f);
+    EXPECT_EQ(plan->predict(batch), m.predict(batch)) << "rows=" << rows;
+  }
+}
+
+TEST(CompiledPlan, RefusesNonMlpModelsSoTheEngineFallsBackToTheLayerWalk) {
+  nn::Model m = bn_dropout_model();
+  EXPECT_FALSE(serve::CompiledMlp::compile(m).has_value());
+
+  // The engine must still serve such a model, byte-identical to its own
+  // unbatched reference path, through the generic layer walk.
+  ServeConfig cfg;
+  cfg.batch_max = 8;
+  ServeEngine eng(m.clone(), cfg);
+  const std::vector<nn::Tensor> inputs = kpm_inputs(24, 0x5117);
+  std::vector<int> reference;
+  reference.reserve(inputs.size());
+  for (const nn::Tensor& in : inputs) reference.push_back(eng.predict_sync(in));
+  const std::vector<ServeResult> served = run_workload(eng, inputs);
+  ASSERT_EQ(served.size(), reference.size());
+  for (std::size_t i = 0; i < served.size(); ++i)
+    EXPECT_EQ(served[i].prediction, reference[i]) << "request " << i;
+}
+
+TEST(ServeEngine, CompletionsMustNotReenterTheEngine) {
+  ServeConfig cfg;
+  cfg.batch_max = 1;  // flush immediately so the completion fires in submit
+  ServeEngine eng(kpm_model(), cfg);
+  EXPECT_THROW(eng.submit(single_request(),
+                          [&](const ServeResult&) {
+                            eng.submit(single_request(), nullptr);
+                          }),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace orev
