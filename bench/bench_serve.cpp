@@ -12,13 +12,26 @@
 // admitted into the same engine that serves the fleet, and their labels
 // must still match direct victim queries exactly.
 //
-// Output: a JSON report (schema "orev-serve-bench-v1") with the workload
+// CNN fleet phase (DESIGN.md §12): the same workload shape over the
+// spectrogram BaseCNN, served through the compiled conv-chain plan.
+// Byte-identity is asserted against the layer walk at 1 and 4 threads and
+// the compiled plan must beat the walk by --min-cnn-speedup× (the
+// committed report uses 3×). An int8 phase then enables the quantized
+// tier: FGSM- and UAP-perturbed evaluation rows feed the accuracy gate,
+// and — only if the gate admits the tier — its throughput and accuracy
+// deltas are measured. --self-check asserts the gate's bookkeeping: the
+// int8 timing ran iff the gate activated, and a refused gate incremented
+// serve.<name>.quant_rejected.
+//
+// Output: a JSON report (schema "orev-serve-bench-v2") with the workload
 // config, per-phase wall-clock throughput, virtual-latency percentiles
 // and batch occupancy — written to --report-out and summarised on stdout.
+// --digests-out writes the phase digests one per line for CI diffing.
 //
 // Flags: --cells N  --ues M  --rounds R  --batch-max B  --deadline-us D
 //        --replicas K  --queue-capacity Q  --passes P  --min-speedup S
-//        --report-out FILE   (plus the common --threads / --metrics-out /
+//        --min-cnn-speedup S  --report-out FILE  --digests-out FILE
+//        --self-check   (plus the common --threads / --metrics-out /
 //        --trace-out / --fault-plan flags).
 // Each phase is timed best-of-P passes (default 3): the regions are only a
 // few milliseconds long, and best-of strips scheduler noise symmetrically
@@ -31,6 +44,8 @@
 
 #include "apps/model_zoo.hpp"
 #include "attack/clone.hpp"
+#include "attack/pgm.hpp"
+#include "attack/uap.hpp"
 #include "bench_common.hpp"
 #include "serve/serve.hpp"
 #include "util/persist/bytes.hpp"
@@ -59,7 +74,12 @@ struct Flags {
   /// the machine's mood. The prediction stream is identical every pass.
   int passes = 3;
   double min_speedup = 0.0;
+  /// Gate on the CNN fleet phase: compiled plan vs the layer walk.
+  double min_cnn_speedup = 0.0;
+  /// Assert the int8 gate's bookkeeping (see header comment).
+  bool self_check = false;
   std::string report_out = "bench_results/serve_report.json";
+  std::string digests_out;
 };
 
 int parse_int(const char* s) { return std::atoi(s); }
@@ -80,6 +100,10 @@ Flags parse_flags(int& argc, char** argv) {
       }
       return false;
     };
+    if (std::strcmp(argv[r], "--self-check") == 0) {
+      f.self_check = true;
+      continue;
+    }
     if (take("--cells", [&](const char* v) { f.cells = parse_int(v); }) ||
         take("--ues", [&](const char* v) { f.ues = parse_int(v); }) ||
         take("--rounds", [&](const char* v) { f.rounds = parse_int(v); }) ||
@@ -95,7 +119,10 @@ Flags parse_flags(int& argc, char** argv) {
         take("--passes", [&](const char* v) { f.passes = parse_int(v); }) ||
         take("--min-speedup",
              [&](const char* v) { f.min_speedup = std::atof(v); }) ||
-        take("--report-out", [&](const char* v) { f.report_out = v; })) {
+        take("--min-cnn-speedup",
+             [&](const char* v) { f.min_cnn_speedup = std::atof(v); }) ||
+        take("--report-out", [&](const char* v) { f.report_out = v; }) ||
+        take("--digests-out", [&](const char* v) { f.digests_out = v; })) {
       continue;
     }
     argv[w++] = argv[r];
@@ -121,6 +148,31 @@ std::vector<nn::Tensor> fleet_inputs(const Flags& f,
         for (std::size_t j = 0; j < static_cast<std::size_t>(kKpmFeatures);
              ++j)
           t[j] = rng.uniform(-1.0f, 1.0f);
+        out.push_back(std::move(t));
+      }
+  return out;
+}
+
+constexpr int kSpecH = 16;
+constexpr int kSpecW = 16;
+constexpr int kSpecClasses = 4;
+
+/// CNN fleet request stream: one [1, H, W] spectrogram per (cell, ue,
+/// round), uniform over the attack-valid [0, 1] data range, reproducible
+/// from the seed alone exactly like fleet_inputs().
+std::vector<nn::Tensor> cnn_fleet_inputs(const Flags& f,
+                                         std::uint64_t seed = 0x5bec) {
+  const Rng base(seed);
+  std::vector<nn::Tensor> out;
+  out.reserve(static_cast<std::size_t>(f.cells * f.ues * f.rounds));
+  std::uint64_t stream = 0;
+  for (int r = 0; r < f.rounds; ++r)
+    for (int c = 0; c < f.cells; ++c)
+      for (int u = 0; u < f.ues; ++u) {
+        Rng rng = base.split(stream++);
+        nn::Tensor t({1, kSpecH, kSpecW});
+        for (std::size_t j = 0; j < t.numel(); ++j)
+          t[j] = rng.uniform(0.0f, 1.0f);
         out.push_back(std::move(t));
       }
   return out;
@@ -152,9 +204,10 @@ serve::ServeConfig engine_config(const Flags& f, const std::string& name) {
 }
 
 ServedRun run_served(const nn::Model& model, const Flags& f, int threads,
-                     const std::vector<nn::Tensor>& inputs) {
+                     const std::vector<nn::Tensor>& inputs,
+                     const std::string& name) {
   util::set_num_threads(threads);
-  serve::ServeConfig cfg = engine_config(f, "fleet" + std::to_string(threads));
+  serve::ServeConfig cfg = engine_config(f, name + std::to_string(threads));
   // Replica-per-worker: sharding a micro-batch across more replicas than
   // worker threads only shrinks the per-call batch without adding
   // parallelism, so the fleet runs cap replicas at the thread count.
@@ -223,7 +276,7 @@ int main(int argc, char** argv) {
   // ---- served runs at 1 and 4 threads ----------------------------------
   std::vector<ServedRun> served;
   for (const int threads : {1, 4}) {
-    const ServedRun run = run_served(victim, f, threads, inputs);
+    const ServedRun run = run_served(victim, f, threads, inputs, "fleet");
     std::printf("[served t=%d] %d requests in %.4fs  (%.0f req/s)  "
                 "p99=%llu us  occupancy=%.1f  batches=%llu  degraded=%llu\n",
                 run.threads, n, run.wall_seconds, run.throughput_rps,
@@ -261,8 +314,138 @@ int main(int argc, char** argv) {
               probes.dim(0), n / 2, clone_match ? "match" : "MISMATCH",
               contended.mean_occupancy);
 
+  // ---- CNN fleet: compiled conv-chain plan vs the layer walk -----------
+  nn::Model cnn = apps::make_base_cnn({1, kSpecH, kSpecW}, kSpecClasses, 29);
+  const std::vector<nn::Tensor> cnn_inputs = cnn_fleet_inputs(f);
+  util::set_num_threads(1);
+  std::vector<int> cnn_reference(cnn_inputs.size(), -1);
+  double cnn_ref_seconds = 1e30;
+  for (int pass_i = 0; pass_i < std::max(f.passes, 1); ++pass_i) {
+    WallTimer t;
+    for (std::size_t i = 0; i < cnn_inputs.size(); ++i)
+      cnn_reference[i] = cnn.predict_one(cnn_inputs[i]);
+    cnn_ref_seconds = std::min(cnn_ref_seconds, t.seconds());
+  }
+  const double cnn_ref_rps =
+      static_cast<double>(n) / std::max(cnn_ref_seconds, 1e-12);
+  const std::string cnn_ref_digest = digest_of(cnn_reference);
+  std::printf("[cnn walk] %d requests in %.4fs  (%.0f req/s)\n", n,
+              cnn_ref_seconds, cnn_ref_rps);
+
+  std::vector<ServedRun> cnn_served;
+  for (const int threads : {1, 4}) {
+    const ServedRun run = run_served(cnn, f, threads, cnn_inputs, "cnnfleet");
+    std::printf("[cnn served t=%d] %d requests in %.4fs  (%.0f req/s)  "
+                "occupancy=%.1f  batches=%llu\n",
+                run.threads, n, run.wall_seconds, run.throughput_rps,
+                run.slo.mean_occupancy,
+                static_cast<unsigned long long>(run.slo.batches));
+    cnn_served.push_back(run);
+  }
+  bool cnn_byte_identical = true;
+  for (const ServedRun& run : cnn_served)
+    cnn_byte_identical = cnn_byte_identical && run.digest == cnn_ref_digest;
+  double cnn_speedup = 0.0;
+  for (const ServedRun& run : cnn_served)
+    cnn_speedup = std::max(cnn_speedup, run.throughput_rps / cnn_ref_rps);
+
+  // ---- int8 quantized tier: accuracy gate, then throughput -------------
+  // Evaluation set: the first rows of the CNN fleet, labelled with the
+  // float model's own predictions (the gate measures tier *agreement*).
+  // The adversarial rows pair row-for-row with the clean set: the first
+  // half is per-sample FGSM, the second half a UAP applied to every row —
+  // the two attack families the paper runs against the IC xApp.
+  util::set_num_threads(4);
+  const int qm = std::min<int>(n, 96);
+  nn::Tensor q_clean({qm, 1, kSpecH, kSpecW});
+  for (int i = 0; i < qm; ++i)
+    q_clean.set_batch(i, cnn_inputs[static_cast<std::size_t>(i)]);
+  const std::vector<int> q_labels = cnn.predict(q_clean);
+
+  attack::Fgsm fgsm(0.08f);
+  attack::UapConfig ucfg;
+  ucfg.eps = 0.08f;
+  ucfg.max_passes = 2;
+  ucfg.target_fooling = 0.7;
+  nn::Tensor uap_seed({std::min(qm, 32), 1, kSpecH, kSpecW});
+  for (int i = 0; i < uap_seed.dim(0); ++i)
+    uap_seed.set_batch(i, cnn_inputs[static_cast<std::size_t>(i)]);
+  const attack::UapResult uap = attack::generate_uap(cnn, uap_seed, fgsm, ucfg);
+  nn::Tensor q_adv({qm, 1, kSpecH, kSpecW});
+  for (int i = 0; i < qm; ++i) {
+    if (i < qm / 2) {
+      q_adv.set_batch(i, fgsm.perturb(cnn, q_clean.slice_batch(i),
+                                      q_labels[static_cast<std::size_t>(i)]));
+    } else {
+      nn::Tensor x = q_clean.slice_batch(i);
+      for (std::size_t j = 0; j < x.numel(); ++j)
+        x[j] = std::clamp(x[j] + uap.perturbation[j], 0.0f, 1.0f);
+      q_adv.set_batch(i, x);
+    }
+  }
+
+  serve::ServeConfig qcfg = engine_config(f, "cnnq");
+  qcfg.replicas = 1;
+  qcfg.quant.enable = true;
+  qcfg.quant.calib_samples = 64;
+  qcfg.quant.tol_clean = 0.05;
+  qcfg.quant.tol_attack = 0.10;
+  serve::ServeEngine qeng(cnn.clone(), qcfg);
+  const serve::QuantGateReport qrep =
+      qeng.activate_int8_tier(q_clean, q_labels, &q_adv);
+  std::printf("[int8 gate] %s: acc %.3f->%.3f (d=%.3f)  asr %.3f->%.3f "
+              "(d=%.3f)  %s\n",
+              qrep.activated ? "activated" : "REFUSED", qrep.acc_float,
+              qrep.acc_int8, qrep.clean_delta, qrep.asr_float, qrep.asr_int8,
+              qrep.attack_delta, qrep.reason.c_str());
+
+  double int8_rps = 0.0;
+  bool int8_timed = false;
+  if (qrep.activated) {
+    std::vector<int> qpreds(cnn_inputs.size(), -1);
+    double qsec = 1e30;
+    for (int pass_i = 0; pass_i < std::max(f.passes, 1); ++pass_i) {
+      std::vector<nn::Tensor> reqs(cnn_inputs.begin(), cnn_inputs.end());
+      WallTimer t;
+      for (std::size_t i = 0; i < reqs.size(); ++i)
+        qeng.submit(std::move(reqs[i]), [&qpreds, i](
+                                            const serve::ServeResult& r) {
+          qpreds[i] = r.prediction;
+        });
+      qeng.drain();
+      qsec = std::min(qsec, t.seconds());
+    }
+    int8_rps = static_cast<double>(n) / std::max(qsec, 1e-12);
+    int8_timed = true;
+    std::printf("[int8 served t=4] %d requests in %.4fs  (%.0f req/s, "
+                "%.2fx float)\n",
+                n, qsec, int8_rps,
+                int8_rps / std::max(cnn_served.back().throughput_rps, 1e-12));
+  }
+  const std::uint64_t quant_rejected =
+      obs::counter("serve.cnnq.quant_rejected").value();
+
+  // --self-check: the int8 timing must run iff the gate admitted the
+  // tier, and any refusal must be visible on the quant_rejected counter.
+  bool self_check_ok = true;
+  if (f.self_check) {
+    self_check_ok = int8_timed == qrep.activated &&
+                    qeng.int8_active() == qrep.activated &&
+                    (qrep.activated ? quant_rejected == 0
+                                    : quant_rejected > 0);
+    std::printf("[self-check] int8 gate bookkeeping %s (activated=%s, "
+                "timed=%s, quant_rejected=%llu)\n",
+                self_check_ok ? "ok" : "VIOLATED",
+                qrep.activated ? "true" : "false",
+                int8_timed ? "true" : "false",
+                static_cast<unsigned long long>(quant_rejected));
+  }
+
   const bool speedup_ok = f.min_speedup <= 0.0 || speedup >= f.min_speedup;
-  const bool pass = byte_identical && clone_match && speedup_ok;
+  const bool cnn_speedup_ok =
+      f.min_cnn_speedup <= 0.0 || cnn_speedup >= f.min_cnn_speedup;
+  const bool pass = byte_identical && clone_match && speedup_ok &&
+                    cnn_byte_identical && cnn_speedup_ok && self_check_ok;
 
   // ---- JSON report ------------------------------------------------------
   {
@@ -275,7 +458,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", f.report_out.c_str());
       return 2;
     }
-    std::fprintf(fp, "{\n  \"schema\": \"orev-serve-bench-v1\",\n");
+    std::fprintf(fp, "{\n  \"schema\": \"orev-serve-bench-v2\",\n");
     std::fprintf(fp,
                  "  \"config\": {\"cells\": %d, \"ues\": %d, \"rounds\": %d, "
                  "\"requests\": %d, \"batch_max\": %d, \"deadline_us\": %llu, "
@@ -318,6 +501,43 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(contended.completed),
                  contended.mean_occupancy);
     std::fprintf(fp,
+                 "  \"cnn\": {\"model\": \"%s\", \"requests\": %d,\n"
+                 "    \"walk\": {\"wall_seconds\": %.6f, \"throughput_rps\": "
+                 "%.1f, \"digest\": \"%s\"},\n    \"served\": [\n",
+                 cnn.name().c_str(), n, cnn_ref_seconds, cnn_ref_rps,
+                 cnn_ref_digest.c_str());
+    for (std::size_t i = 0; i < cnn_served.size(); ++i) {
+      const ServedRun& r = cnn_served[i];
+      std::fprintf(fp,
+                   "      {\"threads\": %d, \"wall_seconds\": %.6f, "
+                   "\"throughput_rps\": %.1f, \"digest\": \"%s\", "
+                   "\"mean_batch_occupancy\": %.2f}%s\n",
+                   r.threads, r.wall_seconds, r.throughput_rps,
+                   r.digest.c_str(), r.slo.mean_occupancy,
+                   i + 1 < cnn_served.size() ? "," : "");
+    }
+    std::fprintf(fp,
+                 "    ],\n    \"byte_identical\": %s, \"speedup\": %.2f, "
+                 "\"min_cnn_speedup\": %.2f},\n",
+                 cnn_byte_identical ? "true" : "false", cnn_speedup,
+                 f.min_cnn_speedup);
+    std::fprintf(
+        fp,
+        "  \"int8\": {\"attempted\": %s, \"activated\": %s, "
+        "\"eval_samples\": %d, \"adv_samples\": %d,\n"
+        "    \"acc_float\": %.4f, \"acc_int8\": %.4f, \"clean_delta\": "
+        "%.4f, \"tol_clean\": %.4f,\n"
+        "    \"asr_float\": %.4f, \"asr_int8\": %.4f, \"attack_delta\": "
+        "%.4f, \"tol_attack\": %.4f,\n"
+        "    \"throughput_rps\": %.1f, \"quant_rejected\": %llu, "
+        "\"reason\": \"%s\"},\n",
+        qrep.attempted ? "true" : "false", qrep.activated ? "true" : "false",
+        qrep.eval_samples, qrep.adv_samples, qrep.acc_float, qrep.acc_int8,
+        qrep.clean_delta, qcfg.quant.tol_clean, qrep.asr_float, qrep.asr_int8,
+        qrep.attack_delta, qcfg.quant.tol_attack, int8_rps,
+        static_cast<unsigned long long>(quant_rejected),
+        qrep.reason.c_str());
+    std::fprintf(fp,
                  "  \"byte_identical\": %s,\n  \"speedup\": %.2f,\n"
                  "  \"min_speedup\": %.2f,\n  \"pass\": %s\n}\n",
                  byte_identical ? "true" : "false", speedup, f.min_speedup,
@@ -326,10 +546,37 @@ int main(int argc, char** argv) {
     std::printf("[report] wrote %s\n", f.report_out.c_str());
   }
 
+  // ---- digest file for CI diffing ---------------------------------------
+  if (!f.digests_out.empty()) {
+    std::error_code ec;
+    const std::filesystem::path out(f.digests_out);
+    if (out.has_parent_path())
+      std::filesystem::create_directories(out.parent_path(), ec);
+    std::FILE* fp = std::fopen(f.digests_out.c_str(), "w");
+    if (fp == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", f.digests_out.c_str());
+      return 2;
+    }
+    std::fprintf(fp, "kpm walk %s\n", ref_digest.c_str());
+    for (const ServedRun& r : served)
+      std::fprintf(fp, "kpm served t=%d %s\n", r.threads, r.digest.c_str());
+    std::fprintf(fp, "cnn walk %s\n", cnn_ref_digest.c_str());
+    for (const ServedRun& r : cnn_served)
+      std::fprintf(fp, "cnn served t=%d %s\n", r.threads, r.digest.c_str());
+    std::fclose(fp);
+    std::printf("[digests] wrote %s\n", f.digests_out.c_str());
+  }
+
   print_rule();
   std::printf("byte_identical=%s  speedup=%.2fx (gate %.2fx)  "
-              "clone_labels_match=%s  ->  %s\n",
+              "clone_labels_match=%s\n",
               byte_identical ? "true" : "false", speedup, f.min_speedup,
-              clone_match ? "true" : "false", pass ? "PASS" : "FAIL");
+              clone_match ? "true" : "false");
+  std::printf("cnn_byte_identical=%s  cnn_speedup=%.2fx (gate %.2fx)  "
+              "int8=%s  ->  %s\n",
+              cnn_byte_identical ? "true" : "false", cnn_speedup,
+              f.min_cnn_speedup,
+              qrep.activated ? "activated" : "refused",
+              pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "ran/datasets.hpp"
+#include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/obs/obs.hpp"
 
@@ -11,6 +12,15 @@ namespace orev::apps {
 IcXApp::IcXApp(nn::Model model, oran::IndicationKind kind,
                int fixed_mcs_index)
     : model_(std::move(model)), kind_(kind), fixed_mcs_index_(fixed_mcs_index) {}
+
+void IcXApp::set_serve_engine(serve::ServeEngine* engine) {
+  if (engine != nullptr) {
+    OREV_CHECK(engine->model_input_shape() == model_.input_shape() &&
+                   engine->model_num_classes() == model_.num_classes(),
+               "serve engine model does not match the IC xApp's model");
+  }
+  serve_ = engine;
+}
 
 void IcXApp::finish_classification(int pred, const std::string& ran_node_id,
                                    oran::NearRtRic& ric) {

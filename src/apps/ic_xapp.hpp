@@ -10,12 +10,16 @@
 // publishes its prediction to the decisions namespace, and steers the RAN:
 // interference detected → adaptive MCS, clean → fixed (high) MCS.
 //
-// Serving (DESIGN.md §11): with a serve::ServeEngine attached the xApp
+// Serving (DESIGN.md §11–12): with a serve::ServeEngine attached the xApp
 // stops calling Model::forward per indication and instead *moves* the
 // telemetry tensor into a serve request; the decision publish and the E2
 // control are issued from the completion callback when the engine's
-// micro-batch flushes. Requests the engine sheds without a prediction take
-// the fail-safe action (adaptive MCS). Without an engine the historical
+// micro-batch flushes. Both variants ride the engine's compiled plans —
+// the KPM DNN through CompiledMlp, the spectrogram BaseCNN through the
+// conv-chain CompiledCnn — so served decisions stay byte-identical to the
+// layer walk (and may ride the int8 tier only once its accuracy gate has
+// passed). Requests the engine sheds without a prediction take the
+// fail-safe action (adaptive MCS). Without an engine the historical
 // synchronous path is byte-identical to before.
 //
 // Degraded mode (DESIGN.md §9): when the telemetry read fails (store
@@ -56,9 +60,9 @@ class IcXApp : public oran::XApp {
 
   /// Route classifications through a serving engine (nullptr restores the
   /// synchronous per-indication path). The engine must serve a model with
-  /// this xApp's input shape and class count; whoever owns the engine is
-  /// responsible for drain() at end of workload.
-  void set_serve_engine(serve::ServeEngine* engine) { serve_ = engine; }
+  /// this xApp's input shape and class count — checked on attach; whoever
+  /// owns the engine is responsible for drain() at end of workload.
+  void set_serve_engine(serve::ServeEngine* engine);
   serve::ServeEngine* serve_engine() const { return serve_; }
 
   std::uint64_t predictions_made() const { return predictions_; }

@@ -46,6 +46,13 @@ class Conv2D : public Layer {
   int out_height(int h) const { return (h + 2 * pad_ - k_) / stride_ + 1; }
   int out_width(int w) const { return (w + 2 * pad_ - k_) / stride_ + 1; }
 
+  int in_channels() const { return in_ch_; }
+  int out_channels() const { return out_ch_; }
+  int kernel() const { return k_; }
+  int stride() const { return stride_; }
+  int padding() const { return pad_; }
+  bool has_bias() const { return has_bias_; }
+
  private:
   int in_ch_, out_ch_, k_, stride_, pad_;
   bool has_bias_;
@@ -68,6 +75,11 @@ class DepthwiseConv2D : public Layer {
   std::string name() const override { return "DepthwiseConv2D"; }
   LayerPtr clone() const override { return LayerPtr(new DepthwiseConv2D(*this)); }
 
+  int channels() const { return ch_; }
+  int kernel() const { return k_; }
+  int stride() const { return stride_; }
+  int padding() const { return pad_; }
+
  private:
   int ch_, k_, stride_, pad_;
   Param weight_;  // [ch, k * k]
@@ -84,6 +96,9 @@ class MaxPool2D : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "MaxPool2D"; }
   LayerPtr clone() const override { return LayerPtr(new MaxPool2D(*this)); }
+
+  int kernel() const { return k_; }
+  int stride() const { return stride_; }
 
  private:
   int k_, stride_;
@@ -203,6 +218,11 @@ class BatchNorm : public Layer {
   LayerPtr clone() const override { return LayerPtr(new BatchNorm(*this)); }
   void save_state(persist::ByteWriter& w) const override;
   persist::Status load_state(persist::ByteReader& r) override;
+
+  int channels() const { return ch_; }
+  float eps() const { return eps_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
 
  private:
   int ch_;

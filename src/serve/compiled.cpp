@@ -2,226 +2,25 @@
 
 #include <algorithm>
 
-#if defined(__x86_64__) && defined(__GNUC__)
-#include <immintrin.h>
-#endif
-
 #include "nn/blocks.hpp"
 #include "nn/layers.hpp"
+#include "serve/kernels.hpp"
 #include "util/check.hpp"
 
 namespace orev::serve {
 
-namespace {
-
-// Fused stage kernel: y[i, j] = epilogue(sum_k double(x[i,k]) * bt[k, j])
-// where bt already holds double(w) (widened at pack time) and
-// epilogue(v) = max(float(v) + bias[j], 0) applied as the exact float
-// operation sequence of the uncompiled path: cast, one float add, one
-// float max. Accumulation is per-element in ascending-k order, so every
-// variant below (scalar, AVX2, AVX-512) produces bitwise-identical output;
-// the vector variants deliberately use separate multiply and add
-// instructions — never FMA — to keep the intermediate rounding identical.
-#define OREV_SERVE_STAGE_BODY                                           \
-  std::vector<double> acc(static_cast<std::size_t>(n));                 \
-  for (int i = 0; i < m; ++i) {                                         \
-    const float* xrow = x + static_cast<std::size_t>(i) * k;            \
-    std::fill(acc.begin(), acc.end(), 0.0);                             \
-    for (int kk = 0; kk < k; ++kk) {                                    \
-      const double av = xrow[kk];                                       \
-      const double* btrow = bt + static_cast<std::size_t>(kk) * n;      \
-      for (int j = 0; j < n; ++j) acc[j] += av * btrow[j];              \
-    }                                                                   \
-    float* yrow = y + static_cast<std::size_t>(i) * n;                  \
-    for (int j = 0; j < n; ++j) {                                       \
-      float v = static_cast<float>(acc[j]);                             \
-      if (bias != nullptr) v += bias[j];                                \
-      if (relu) v = std::max(v, 0.0f);                                  \
-      yrow[j] = v;                                                      \
-    }                                                                   \
+const char* compile_error_name(CompileError e) {
+  switch (e) {
+    case CompileError::kOk: return "ok";
+    case CompileError::kNonSequentialRoot: return "non-sequential-root";
+    case CompileError::kUnsupportedLayer: return "unsupported-layer";
+    case CompileError::kNotInferenceMode: return "not-inference-mode";
+    case CompileError::kBadDims: return "bad-dims";
+    case CompileError::kShapeMismatch: return "shape-mismatch";
+    case CompileError::kNonFiniteStats: return "non-finite-stats";
   }
-
-void stage_generic(const float* x, const double* bt, const float* bias,
-                   bool relu, float* y, int m, int k, int n) {
-  OREV_SERVE_STAGE_BODY
+  return "unknown";
 }
-
-#if defined(__x86_64__) && defined(__GNUC__)
-
-// 16-column register tiles, four ymm double accumulators live across the
-// whole k loop; remainder columns fall back to the scalar element loop
-// (identical per-element op order either way).
-__attribute__((target("avx2"))) void stage_avx2(const float* x,
-                                                const double* bt,
-                                                const float* bias, bool relu,
-                                                float* y, int m, int k,
-                                                int n) {
-  const __m128 zero4 = _mm_setzero_ps();
-  for (int i = 0; i < m; ++i) {
-    const float* xrow = x + static_cast<std::size_t>(i) * k;
-    float* yrow = y + static_cast<std::size_t>(i) * n;
-    int j0 = 0;
-    for (; j0 + 16 <= n; j0 += 16) {
-      __m256d c0 = _mm256_setzero_pd();
-      __m256d c1 = _mm256_setzero_pd();
-      __m256d c2 = _mm256_setzero_pd();
-      __m256d c3 = _mm256_setzero_pd();
-      for (int kk = 0; kk < k; ++kk) {
-        const __m256d av = _mm256_set1_pd(static_cast<double>(xrow[kk]));
-        const double* bp = bt + static_cast<std::size_t>(kk) * n + j0;
-        c0 = _mm256_add_pd(c0, _mm256_mul_pd(av, _mm256_loadu_pd(bp)));
-        c1 = _mm256_add_pd(c1, _mm256_mul_pd(av, _mm256_loadu_pd(bp + 4)));
-        c2 = _mm256_add_pd(c2, _mm256_mul_pd(av, _mm256_loadu_pd(bp + 8)));
-        c3 = _mm256_add_pd(c3, _mm256_mul_pd(av, _mm256_loadu_pd(bp + 12)));
-      }
-      __m128 v0 = _mm256_cvtpd_ps(c0);
-      __m128 v1 = _mm256_cvtpd_ps(c1);
-      __m128 v2 = _mm256_cvtpd_ps(c2);
-      __m128 v3 = _mm256_cvtpd_ps(c3);
-      if (bias != nullptr) {
-        v0 = _mm_add_ps(v0, _mm_loadu_ps(bias + j0));
-        v1 = _mm_add_ps(v1, _mm_loadu_ps(bias + j0 + 4));
-        v2 = _mm_add_ps(v2, _mm_loadu_ps(bias + j0 + 8));
-        v3 = _mm_add_ps(v3, _mm_loadu_ps(bias + j0 + 12));
-      }
-      if (relu) {
-        v0 = _mm_max_ps(v0, zero4);
-        v1 = _mm_max_ps(v1, zero4);
-        v2 = _mm_max_ps(v2, zero4);
-        v3 = _mm_max_ps(v3, zero4);
-      }
-      _mm_storeu_ps(yrow + j0, v0);
-      _mm_storeu_ps(yrow + j0 + 4, v1);
-      _mm_storeu_ps(yrow + j0 + 8, v2);
-      _mm_storeu_ps(yrow + j0 + 12, v3);
-    }
-    for (; j0 < n; ++j0) {
-      double acc = 0.0;
-      for (int kk = 0; kk < k; ++kk)
-        acc += double(xrow[kk]) * bt[static_cast<std::size_t>(kk) * n + j0];
-      float v = static_cast<float>(acc);
-      if (bias != nullptr) v += bias[j0];
-      if (relu) v = std::max(v, 0.0f);
-      yrow[j0] = v;
-    }
-  }
-}
-
-// 32-column zmm tiles with a 16-column ymm tail; same op order, 8 wide.
-__attribute__((target("avx2,avx512f"))) void stage_avx512(
-    const float* x, const double* bt, const float* bias, bool relu, float* y,
-    int m, int k, int n) {
-  const __m256 zero8 = _mm256_setzero_ps();
-  const __m128 zero4 = _mm_setzero_ps();
-  for (int i = 0; i < m; ++i) {
-    const float* xrow = x + static_cast<std::size_t>(i) * k;
-    float* yrow = y + static_cast<std::size_t>(i) * n;
-    int j0 = 0;
-    for (; j0 + 32 <= n; j0 += 32) {
-      __m512d c0 = _mm512_setzero_pd();
-      __m512d c1 = _mm512_setzero_pd();
-      __m512d c2 = _mm512_setzero_pd();
-      __m512d c3 = _mm512_setzero_pd();
-      for (int kk = 0; kk < k; ++kk) {
-        const __m512d av = _mm512_set1_pd(static_cast<double>(xrow[kk]));
-        const double* bp = bt + static_cast<std::size_t>(kk) * n + j0;
-        c0 = _mm512_add_pd(c0, _mm512_mul_pd(av, _mm512_loadu_pd(bp)));
-        c1 = _mm512_add_pd(c1, _mm512_mul_pd(av, _mm512_loadu_pd(bp + 8)));
-        c2 = _mm512_add_pd(c2, _mm512_mul_pd(av, _mm512_loadu_pd(bp + 16)));
-        c3 = _mm512_add_pd(c3, _mm512_mul_pd(av, _mm512_loadu_pd(bp + 24)));
-      }
-      __m256 v0 = _mm512_cvtpd_ps(c0);
-      __m256 v1 = _mm512_cvtpd_ps(c1);
-      __m256 v2 = _mm512_cvtpd_ps(c2);
-      __m256 v3 = _mm512_cvtpd_ps(c3);
-      if (bias != nullptr) {
-        v0 = _mm256_add_ps(v0, _mm256_loadu_ps(bias + j0));
-        v1 = _mm256_add_ps(v1, _mm256_loadu_ps(bias + j0 + 8));
-        v2 = _mm256_add_ps(v2, _mm256_loadu_ps(bias + j0 + 16));
-        v3 = _mm256_add_ps(v3, _mm256_loadu_ps(bias + j0 + 24));
-      }
-      if (relu) {
-        v0 = _mm256_max_ps(v0, zero8);
-        v1 = _mm256_max_ps(v1, zero8);
-        v2 = _mm256_max_ps(v2, zero8);
-        v3 = _mm256_max_ps(v3, zero8);
-      }
-      _mm256_storeu_ps(yrow + j0, v0);
-      _mm256_storeu_ps(yrow + j0 + 8, v1);
-      _mm256_storeu_ps(yrow + j0 + 16, v2);
-      _mm256_storeu_ps(yrow + j0 + 24, v3);
-    }
-    for (; j0 + 16 <= n; j0 += 16) {
-      __m256d c0 = _mm256_setzero_pd();
-      __m256d c1 = _mm256_setzero_pd();
-      __m256d c2 = _mm256_setzero_pd();
-      __m256d c3 = _mm256_setzero_pd();
-      for (int kk = 0; kk < k; ++kk) {
-        const __m256d av = _mm256_set1_pd(static_cast<double>(xrow[kk]));
-        const double* bp = bt + static_cast<std::size_t>(kk) * n + j0;
-        c0 = _mm256_add_pd(c0, _mm256_mul_pd(av, _mm256_loadu_pd(bp)));
-        c1 = _mm256_add_pd(c1, _mm256_mul_pd(av, _mm256_loadu_pd(bp + 4)));
-        c2 = _mm256_add_pd(c2, _mm256_mul_pd(av, _mm256_loadu_pd(bp + 8)));
-        c3 = _mm256_add_pd(c3, _mm256_mul_pd(av, _mm256_loadu_pd(bp + 12)));
-      }
-      __m128 v0 = _mm256_cvtpd_ps(c0);
-      __m128 v1 = _mm256_cvtpd_ps(c1);
-      __m128 v2 = _mm256_cvtpd_ps(c2);
-      __m128 v3 = _mm256_cvtpd_ps(c3);
-      if (bias != nullptr) {
-        v0 = _mm_add_ps(v0, _mm_loadu_ps(bias + j0));
-        v1 = _mm_add_ps(v1, _mm_loadu_ps(bias + j0 + 4));
-        v2 = _mm_add_ps(v2, _mm_loadu_ps(bias + j0 + 8));
-        v3 = _mm_add_ps(v3, _mm_loadu_ps(bias + j0 + 12));
-      }
-      if (relu) {
-        v0 = _mm_max_ps(v0, zero4);
-        v1 = _mm_max_ps(v1, zero4);
-        v2 = _mm_max_ps(v2, zero4);
-        v3 = _mm_max_ps(v3, zero4);
-      }
-      _mm_storeu_ps(yrow + j0, v0);
-      _mm_storeu_ps(yrow + j0 + 4, v1);
-      _mm_storeu_ps(yrow + j0 + 8, v2);
-      _mm_storeu_ps(yrow + j0 + 12, v3);
-    }
-    for (; j0 < n; ++j0) {
-      double acc = 0.0;
-      for (int kk = 0; kk < k; ++kk)
-        acc += double(xrow[kk]) * bt[static_cast<std::size_t>(kk) * n + j0];
-      float v = static_cast<float>(acc);
-      if (bias != nullptr) v += bias[j0];
-      if (relu) v = std::max(v, 0.0f);
-      yrow[j0] = v;
-    }
-  }
-}
-
-#endif  // x86_64 && GNUC
-
-#undef OREV_SERVE_STAGE_BODY
-
-void run_stage(const float* x, const double* bt, const float* bias, bool relu,
-               float* y, int m, int k, int n) {
-#if defined(__x86_64__) && defined(__GNUC__)
-  static const int isa = [] {
-    if (__builtin_cpu_supports("avx512f")) return 2;
-    if (__builtin_cpu_supports("avx2")) return 1;
-    return 0;
-  }();
-  if (isa == 2) {
-    stage_avx512(x, bt, bias, relu, y, m, k, n);
-    return;
-  }
-  if (isa == 1) {
-    stage_avx2(x, bt, bias, relu, y, m, k, n);
-    return;
-  }
-#endif
-  stage_generic(x, bt, bias, relu, y, m, k, n);
-}
-
-}  // namespace
 
 std::optional<CompiledMlp> CompiledMlp::compile(nn::Model& model) {
   auto* seq = dynamic_cast<nn::Sequential*>(&model.root());
@@ -281,8 +80,9 @@ std::vector<int> CompiledMlp::predict_rows(const float* rows, int m) {
   const float* cur = rows;
   float* nxt = buf_a_.data();
   for (const Stage& s : stages_) {
-    run_stage(cur, s.bt.data(), s.bias.empty() ? nullptr : s.bias.data(),
-              s.relu, nxt, m, s.in, s.out);
+    kernels::dense_stage(cur, s.bt.data(),
+                         s.bias.empty() ? nullptr : s.bias.data(), s.relu,
+                         nxt, m, s.in, s.out);
     cur = nxt;
     nxt = nxt == buf_a_.data() ? buf_b_.data() : buf_a_.data();
   }

@@ -1,32 +1,81 @@
-// Compiled inference plans for the serving engine (DESIGN.md §11).
+// Compiled inference plans for the serving engine (DESIGN.md §11–12).
 //
-// A ServeEngine replica whose model is a flat Dense[/ReLU] stack — the KPM
-// DNN family every xApp/rApp in this repo serves — is "compiled" once at
-// engine construction: each layer's weight matrix is re-packed transposed
-// so the batched kernel streams unit-stride columns, the bias-add and ReLU
-// epilogues are fused into the matmul's output loop, and the activation
-// scratch buffers are allocated once and reused for every micro-batch.
+// A ServeEngine replica is "compiled" once at engine construction: layer
+// weights are re-packed for the batched kernels (serve/kernels.hpp), the
+// bias/BatchNorm/ReLU epilogues are fused into the output loops, and
+// activation scratch is allocated once and reused for every micro-batch.
 //
-// The plan is byte-exact by construction: every output element performs
-// the identical sequence of IEEE operations the layer-by-layer path
-// performs — double-accumulated dot product in ascending-k order, a cast
-// to float, one float bias add, one float max(·, 0) — so predictions are
-// bitwise identical to nn::Model::predict on the same rows (locked down
-// by tests/test_serve.cpp). What compilation removes is everything
+// Every float plan is byte-exact by construction: each output element
+// performs the identical sequence of IEEE operations the layer-by-layer
+// path performs — double-accumulated dot products in ascending-k order,
+// a cast to float, then the walk's exact float epilogue ops — so
+// predictions are bitwise identical to nn::Model::predict on the same
+// rows (locked down by tests/test_serve.cpp and
+// tests/test_compiled_cnn.cpp). What compilation removes is everything
 // *around* the arithmetic: per-call weight packing, per-layer tensor
-// allocation, activation-cache copies and virtual layer dispatch. This is
-// the main reason the batched serving path outruns the historical
-// per-indication predict_one loop on identical hardware.
+// allocation, activation-cache copies and virtual layer dispatch.
+//
+// Two plan families implement the CompiledPlan interface:
+//   * CompiledMlp (here) — flat Dense[/ReLU] stacks, the KPM DNN family;
+//   * CompiledCnn (serve/compiled_cnn.hpp) — Conv2D / DepthwiseConv2D /
+//     MaxPool2D / BatchNorm / Flatten / Dense chains, the spectrogram
+//     CNN family, with typed compile errors for everything else.
+// The compile_plan() factory tries them in that order.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "nn/model.hpp"
 
 namespace orev::serve {
 
-class CompiledMlp {
+/// Why a model could not be compiled. Plans *never* throw out of compile:
+/// any architecture or state the compiler does not support is reported as
+/// one of these codes and the engine falls back to the generic layer walk.
+enum class CompileError {
+  kOk = 0,
+  kNonSequentialRoot,   // root layer is not a flat nn::Sequential
+  kUnsupportedLayer,    // Residual / DenseConcat / GlobalAvgPool / ...
+  kNotInferenceMode,    // model not locked; BN stats could still move
+  kBadDims,             // zero/negative extents, output collapses, no stages
+  kShapeMismatch,       // layer widths/channels do not chain together
+  kNonFiniteStats,      // BatchNorm running stats produce non-finite scales
+};
+
+const char* compile_error_name(CompileError e);
+
+/// Typed compile failure: code plus a human-readable detail string.
+struct CompileFailure {
+  CompileError code = CompileError::kOk;
+  std::string detail;
+};
+
+/// Interface shared by every compiled plan. Plans own mutable scratch, so
+/// they are not thread-safe — each engine replica owns its own plan.
+class CompiledPlan {
+ public:
+  virtual ~CompiledPlan() = default;
+
+  /// Batched argmax predictions; bit-identical to nn::Model::predict for
+  /// float plans (int8 plans are explicitly excluded from that contract).
+  virtual std::vector<int> predict(const nn::Tensor& batch) = 0;
+
+  /// Same, over a raw row-major [m, input_features] float buffer — lets
+  /// the engine's hot path stage queued requests into a flat reusable
+  /// buffer instead of assembling a batch tensor per flush.
+  virtual std::vector<int> predict_rows(const float* rows, int m) = 0;
+
+  virtual int input_features() const = 0;
+  virtual int num_classes() const = 0;
+
+  /// Plan family tag for reports/tests: "mlp", "cnn" or "int8".
+  virtual const char* kind() const = 0;
+};
+
+class CompiledMlp : public CompiledPlan {
  public:
   /// Compile `model` into a fused plan. Returns nullopt when the model is
   /// not a flat Sequential of Dense layers with optional ReLU activations
@@ -35,18 +84,12 @@ class CompiledMlp {
   /// (engine replicas are inference-locked, so they never do).
   static std::optional<CompiledMlp> compile(nn::Model& model);
 
-  /// Batched argmax predictions for [m, in_features] rows; bit-identical
-  /// to nn::Model::predict on the same tensor. Not thread-safe — each
-  /// engine replica owns its own plan (and scratch).
-  std::vector<int> predict(const nn::Tensor& batch);
+  std::vector<int> predict(const nn::Tensor& batch) override;
+  std::vector<int> predict_rows(const float* rows, int m) override;
 
-  /// Same, over a raw row-major [m, in_features] float buffer — lets the
-  /// engine's hot path stage queued requests into a flat reusable buffer
-  /// instead of assembling a batch tensor per flush.
-  std::vector<int> predict_rows(const float* rows, int m);
-
-  int input_features() const { return in0_; }
-  int num_classes() const { return classes_; }
+  int input_features() const override { return in0_; }
+  int num_classes() const override { return classes_; }
+  const char* kind() const override { return "mlp"; }
 
  private:
   struct Stage {
@@ -65,5 +108,11 @@ class CompiledMlp {
   int classes_ = 0;
   std::vector<float> buf_a_, buf_b_;  // ping-pong activation scratch
 };
+
+/// Factory used by the engine: try CompiledMlp, then CompiledCnn. Returns
+/// nullptr when neither family supports the model; `why` (optional)
+/// receives the CNN compiler's typed failure in that case.
+std::unique_ptr<CompiledPlan> compile_plan(nn::Model& model,
+                                           CompileFailure* why = nullptr);
 
 }  // namespace orev::serve

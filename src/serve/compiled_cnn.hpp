@@ -1,0 +1,134 @@
+// Compiled conv-chain inference plans (DESIGN.md §12).
+//
+// CompiledCnn compiles a flat Sequential of Conv2D / DepthwiseConv2D /
+// MaxPool2D / BatchNorm / ReLU / Flatten / Dropout / Dense layers over a
+// [C, H, W] (or flat [F]) input into a fused stage list:
+//
+//   * im2col patch packing into per-plan scratch allocated once;
+//   * the shared double-accumulating GEMM microkernels
+//     (serve/kernels.hpp — scalar/AVX2/AVX-512 with runtime dispatch,
+//     separate mul+add, never FMA);
+//   * bias, BatchNorm and ReLU folded into each stage's output loop as
+//     the *exact* float op sequence of the layer walk. BatchNorm folding
+//     is epilogue fusion, not algebraic weight folding: rescaling the
+//     weights would re-round every product and break bit-exactness, so
+//     the fused epilogue evaluates (v − mean)·invstd·γ + β literally,
+//     with invstd snapshotted as 1.0f/sqrt(var + eps) — the same float
+//     ops nn::BatchNorm performs at inference. A BatchNorm that is not
+//     directly after a conv/depthwise/dense stage (or whose stage already
+//     fused a ReLU) runs as a standalone stage instead — also bit-exact,
+//     just unfused.
+//
+// The compiled float plan is byte-identical to nn::Model::predict at
+// every thread count (sample-parallel execution with disjoint per-sample
+// scratch slices; see util/thread_pool design rule). Architectures or
+// states outside the supported set are rejected with a typed
+// CompileFailure — never an exception — and the engine falls back to the
+// layer walk. Compilation requires the model to be inference-locked,
+// because the plan snapshots BatchNorm running statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/compiled.hpp"
+
+namespace orev::serve {
+
+/// One fused stage of a compiled conv-chain plan. Spatial stages carry
+/// [c, h, w] geometry; flat (post-Flatten) stages put the feature count in
+/// `*_c` with h = w = 1.
+struct CnnStage {
+  enum class Kind { kConv, kDepthwise, kDense, kPool, kBatchNorm, kRelu };
+  Kind kind = Kind::kRelu;
+
+  int in_c = 0, in_h = 1, in_w = 1;
+  int out_c = 0, out_h = 1, out_w = 1;
+  int k = 0, stride = 1, pad = 0;
+
+  /// Dense-only: the walk adds a Dense bias only when present, while a
+  /// Conv2D *always* adds its bias term (0.0f when bias-less — which is
+  /// not a no-op in IEEE arithmetic: it flips -0.0 to +0.0).
+  bool has_bias = false;
+
+  /// Weights pre-widened to double for the GEMM kernels: conv keeps the
+  /// natural [out_c, patch] layout (conv_stage's pixel lanes), dense packs
+  /// W^T as [in, out] (dense_stage's column tiles). Empty otherwise.
+  std::vector<double> bt;
+  /// Raw float weights in natural layout ([out_c, patch] conv,
+  /// [out, in] dense, [c, k*k] depthwise) — the int8 quantizer and the
+  /// depthwise kernel read these.
+  std::vector<float> weight;
+  /// Conv/depthwise: always sized out_c (zero-filled when bias-less).
+  /// Dense: empty when has_bias is false.
+  std::vector<float> bias;
+
+  bool bn = false;
+  std::vector<float> bn_mean, bn_invstd, bn_gamma, bn_beta;
+  bool relu = false;
+
+  std::size_t in_elems() const {
+    return static_cast<std::size_t>(in_c) * in_h * in_w;
+  }
+  std::size_t out_elems() const {
+    return static_cast<std::size_t>(out_c) * out_h * out_w;
+  }
+  bool is_gemm() const {
+    return kind == Kind::kConv || kind == Kind::kDepthwise ||
+           kind == Kind::kDense;
+  }
+};
+
+/// Bit-exact helpers shared with the int8 plan's float stages. Each runs
+/// one sample's stage with the exact op order of the layer walk.
+void run_pool_stage(const CnnStage& s, const float* in, float* out);
+void run_bn_stage(const CnnStage& s, const float* in, float* out);
+void run_relu_stage(const CnnStage& s, const float* in, float* out);
+
+class CompiledCnn : public CompiledPlan {
+ public:
+  struct CompileResult {
+    /// Present iff failure.code == kOk.
+    std::unique_ptr<CompiledCnn> plan;
+    CompileFailure failure;
+  };
+
+  /// Compile `model` (which must be inference-locked) or report a typed
+  /// failure. Never throws for architecture/state reasons.
+  static CompileResult compile(nn::Model& model);
+
+  std::vector<int> predict(const nn::Tensor& batch) override;
+  std::vector<int> predict_rows(const float* rows, int m) override;
+
+  /// Raw [m, num_classes] logits — the differential test harness compares
+  /// these byte-for-byte against the layer walk.
+  nn::Tensor logits(const nn::Tensor& batch);
+  nn::Tensor logits_rows(const float* rows, int m);
+
+  int input_features() const override { return in0_; }
+  int num_classes() const override { return classes_; }
+  const char* kind() const override { return "cnn"; }
+
+  const std::vector<CnnStage>& stages() const { return stages_; }
+
+  /// Per-stage max|input| observed while running the float plan over
+  /// `rows` — the seed-deterministic activation calibration the int8
+  /// quantizer consumes. Entries for non-GEMM stages are 0. Index 0 of
+  /// the result is the max|input| of the model input itself for stage 0.
+  std::vector<float> calibrate_input_maxabs(const float* rows, int m);
+
+ private:
+  void run_batch(const float* rows, int m, float* logits_out,
+                 std::vector<float>* maxabs);
+  void ensure_scratch(int m);
+
+  std::vector<CnnStage> stages_;
+  int in0_ = 0;
+  int classes_ = 0;
+  std::size_t max_elems_ = 0;  // widest stage boundary, per sample
+  std::size_t cols_cap_ = 0;   // widest im2col matrix, per sample
+  std::size_t gout_cap_ = 0;   // widest GEMM output, per sample
+  std::vector<float> buf_a_, buf_b_, cols_, gout_;
+};
+
+}  // namespace orev::serve

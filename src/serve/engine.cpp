@@ -1,6 +1,7 @@
 #include "serve/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/persist/bytes.hpp"
@@ -33,6 +34,9 @@ const char* serve_status_name(ServeStatus s) {
 
 ServeEngine::ServeEngine(nn::Model model, ServeConfig cfg)
     : cfg_(std::move(cfg)),
+      quant_rejected_(obs::counter(
+          "serve." + cfg_.name + ".quant_rejected",
+          "int8 tier activations refused by the accuracy gate")),
       queue_(static_cast<std::size_t>(std::max(cfg_.queue_capacity, 1))),
       batcher_(BatcherConfig{cfg_.batch_max, cfg_.flush_wait_us}),
       slo_(cfg_.name) {
@@ -53,7 +57,7 @@ ServeEngine::ServeEngine(nn::Model model, ServeConfig cfg)
   // the batched path falls back to the generic layer walk otherwise.
   compiled_.reserve(replicas_.size());
   for (nn::Model& replica : replicas_)
-    compiled_.push_back(CompiledMlp::compile(replica));
+    compiled_.push_back(compile_plan(replica));
 }
 
 const Rng& ServeEngine::replica_rng(int i) const {
@@ -242,12 +246,17 @@ void ServeEngine::execute_batch(std::vector<ServeRequest> batch) {
 
   std::vector<int> preds;
   const int nshards = std::min<int>(static_cast<int>(replicas_.size()), n);
-  if (nshards == 1 && compiled_.front() &&
-      static_cast<int>(sample_shape.size()) == 1) {
-    // Single shard, compiled plan: stage the queued rows into a flat
-    // reusable buffer and skip batch-tensor assembly entirely — this is
-    // the latency-critical path for one-replica engines.
-    const int f = compiled_.front()->input_features();
+  // When the int8 tier is active the whole batch runs through the single
+  // quantized plan (it is sample-parallel internally); otherwise a lone
+  // shard uses replica 0's compiled plan. Either way rows are staged into
+  // a flat reusable buffer, skipping batch-tensor assembly — this is the
+  // latency-critical path, and CompiledPlan::predict_rows accepts inputs
+  // of any rank as contiguous rows.
+  CompiledPlan* staged_plan =
+      int8_active_ ? static_cast<CompiledPlan*>(int8_.get())
+                   : (nshards == 1 ? compiled_.front().get() : nullptr);
+  if (staged_plan != nullptr) {
+    const int f = staged_plan->input_features();
     staging_.resize(static_cast<std::size_t>(n) * f);
     for (int i = 0; i < n; ++i) {
       const nn::Tensor& in = batch[static_cast<std::size_t>(i)].input;
@@ -256,14 +265,14 @@ void ServeEngine::execute_batch(std::vector<ServeRequest> batch) {
       std::copy(in.raw(), in.raw() + f,
                 staging_.data() + static_cast<std::size_t>(i) * f);
     }
-    preds = compiled_.front()->predict_rows(staging_.data(), n);
+    preds = staged_plan->predict_rows(staging_.data(), n);
   } else if (nshards == 1) {
-    // Single shard: run on the calling thread without waking the pool.
+    // Single shard without a compiled plan: run the layer walk on the
+    // calling thread without waking the pool.
     nn::Tensor whole(batch_shape);
     for (int i = 0; i < n; ++i)
       whole.set_batch(i, batch[static_cast<std::size_t>(i)].input);
-    preds = compiled_.front() ? compiled_.front()->predict(whole)
-                              : replicas_.front().predict(whole);
+    preds = replicas_.front().predict(whole);
   } else {
     preds.assign(static_cast<std::size_t>(n), -1);
     const int per_shard = (n + nshards - 1) / nshards;
@@ -294,6 +303,94 @@ void ServeEngine::execute_batch(std::vector<ServeRequest> batch) {
   busy_until_us_ = completion;
 }
 
+QuantGateReport ServeEngine::activate_int8_tier(const nn::Tensor& clean,
+                                                const std::vector<int>& labels,
+                                                const nn::Tensor* adv) {
+  OREV_CHECK(clean.rank() >= 2 && clean.dim(0) >= 1,
+             "int8 gate needs a [m, ...input_shape] evaluation set");
+  const int m = clean.dim(0);
+  OREV_CHECK(static_cast<int>(labels.size()) == m,
+             "int8 gate labels must pair 1:1 with the evaluation rows");
+  if (adv != nullptr)
+    OREV_CHECK(adv->rank() >= 2 && adv->dim(0) == m,
+               "int8 gate adversarial set must pair row-for-row with the "
+               "clean set");
+
+  QuantGateReport rep;
+  rep.eval_samples = m;
+  rep.adv_samples = adv != nullptr ? m : 0;
+  int8_active_ = false;
+  int8_.reset();
+
+  if (!cfg_.quant.enable) {
+    rep.reason = "int8 tier disabled in ServeConfig";
+    quant_report_ = rep;
+    return rep;
+  }
+  rep.attempted = true;
+  auto refuse = [&](const std::string& why) {
+    rep.activated = false;
+    rep.reason = why;
+    quant_rejected_.inc();
+    quant_report_ = rep;
+    return rep;
+  };
+
+  // The quantizer needs a CompiledCnn stage list; compile one from replica
+  // 0 regardless of which plan family serves the float tier (CompiledCnn
+  // also covers flat Dense chains).
+  CompiledCnn::CompileResult cr = CompiledCnn::compile(replicas_.front());
+  if (!cr.plan)
+    return refuse(std::string("float plan not quantizable: ") +
+                  compile_error_name(cr.failure.code) +
+                  (cr.failure.detail.empty() ? "" : " — " + cr.failure.detail));
+
+  const int calib_m = std::min(m, std::max(cfg_.quant.calib_samples, 1));
+  CompileFailure qwhy;
+  std::unique_ptr<CompiledInt8> q =
+      CompiledInt8::build(*cr.plan, clean.raw(), calib_m, &qwhy);
+  if (!q)
+    return refuse(std::string("int8 build failed: ") +
+                  compile_error_name(qwhy.code) +
+                  (qwhy.detail.empty() ? "" : " — " + qwhy.detail));
+
+  // Gate metrics. The float plan's predictions are byte-identical to the
+  // layer walk, so this compares the served tiers exactly as deployed.
+  auto accuracy = [&](const std::vector<int>& preds) {
+    int hits = 0;
+    for (int i = 0; i < m; ++i)
+      if (preds[static_cast<std::size_t>(i)] ==
+          labels[static_cast<std::size_t>(i)])
+        ++hits;
+    return static_cast<double>(hits) / m;
+  };
+  rep.acc_float = accuracy(cr.plan->predict_rows(clean.raw(), m));
+  rep.acc_int8 = accuracy(q->predict_rows(clean.raw(), m));
+  rep.clean_delta = std::abs(rep.acc_float - rep.acc_int8);
+  if (adv != nullptr) {
+    // Attack success rate: fraction of adversarial rows that flip away
+    // from the true label.
+    rep.asr_float = 1.0 - accuracy(cr.plan->predict_rows(adv->raw(), m));
+    rep.asr_int8 = 1.0 - accuracy(q->predict_rows(adv->raw(), m));
+    rep.attack_delta = std::abs(rep.asr_float - rep.asr_int8);
+  }
+
+  if (rep.clean_delta > cfg_.quant.tol_clean)
+    return refuse("clean accuracy drifted " + std::to_string(rep.clean_delta) +
+                  " > tol_clean " + std::to_string(cfg_.quant.tol_clean));
+  if (adv != nullptr && rep.attack_delta > cfg_.quant.tol_attack)
+    return refuse("attack success rate drifted " +
+                  std::to_string(rep.attack_delta) + " > tol_attack " +
+                  std::to_string(cfg_.quant.tol_attack));
+
+  int8_ = std::move(q);
+  int8_active_ = true;
+  rep.activated = true;
+  rep.reason = "activated";
+  quant_report_ = rep;
+  return rep;
+}
+
 std::string ServeEngine::config_fingerprint() const {
   persist::ByteWriter w;
   w.str(cfg_.name);
@@ -308,6 +405,10 @@ std::string ServeEngine::config_fingerprint() const {
   w.i32(cfg_.replicas);
   w.u8(cfg_.sync_fallback ? 1 : 0);
   w.u64(cfg_.seed);
+  w.u8(cfg_.quant.enable ? 1 : 0);
+  w.i32(cfg_.quant.calib_samples);
+  w.f64(cfg_.quant.tol_clean);
+  w.f64(cfg_.quant.tol_attack);
   const nn::Model& m = replicas_.front();
   w.str(m.name());
   w.i32(m.num_classes());

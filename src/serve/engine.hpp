@@ -45,6 +45,7 @@
 #include "nn/model.hpp"
 #include "serve/batcher.hpp"
 #include "serve/compiled.hpp"
+#include "serve/quant.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 #include "serve/slo.hpp"
@@ -80,6 +81,10 @@ struct ServeConfig {
   bool sync_fallback = true;
   /// Base seed for the replica Rng streams (Rng(seed).split(replica)).
   std::uint64_t seed = 0x5e12e;
+  /// Opt-in int8 quantized tier (serve/quant.hpp). Even when enabled the
+  /// engine keeps serving float until activate_int8_tier()'s accuracy gate
+  /// passes.
+  QuantTierConfig quant;
 };
 
 class ServeEngine {
@@ -148,6 +153,20 @@ class ServeEngine {
   /// Instance fault-injector override (nullptr → process-global).
   void set_fault_injector(fault::FaultInjector* fi) { fault_ = fi; }
 
+  /// Try to switch batched serving to the int8 quantized tier. Requires
+  /// cfg.quant.enable; builds the quantized plan from replica 0 (calibrated
+  /// on the first cfg.quant.calib_samples rows of `clean`) and admits it
+  /// only if clean accuracy — and, when `adv` is given, the attack success
+  /// rate over `adv` (rows paired with `labels`) — stay within
+  /// cfg.quant tolerances of the float plan. On any refusal the float tier
+  /// keeps serving and serve.<name>.quant_rejected is incremented. The
+  /// verdict (also retained as quant_report()) is returned either way.
+  QuantGateReport activate_int8_tier(const nn::Tensor& clean,
+                                     const std::vector<int>& labels,
+                                     const nn::Tensor* adv = nullptr);
+  bool int8_active() const { return int8_active_; }
+  const QuantGateReport& quant_report() const { return quant_report_; }
+
  private:
   void finish(ServeRequest& r, int prediction, ServeStatus status,
               std::uint64_t completion_us, std::uint64_t batch_id,
@@ -159,10 +178,18 @@ class ServeEngine {
 
   ServeConfig cfg_;
   std::vector<nn::Model> replicas_;
-  /// Per-replica compiled inference plan (serve/compiled.hpp): present for
-  /// flat Dense/ReLU models, bit-identical to the layer walk, and much
-  /// faster. One per replica because the plan owns mutable scratch.
-  std::vector<std::optional<CompiledMlp>> compiled_;
+  /// Per-replica compiled inference plan (compile_plan: CompiledMlp for
+  /// flat Dense/ReLU chains, CompiledCnn for conv chains) — bit-identical
+  /// to the layer walk and much faster; null when the architecture is
+  /// unsupported. One per replica because plans own mutable scratch.
+  std::vector<std::unique_ptr<CompiledPlan>> compiled_;
+  /// Int8 quantized tier: built and routed to only after the accuracy
+  /// gate passes (activate_int8_tier). Internally sample-parallel, so the
+  /// whole batch goes through this one plan when active.
+  std::unique_ptr<CompiledInt8> int8_;
+  bool int8_active_ = false;
+  QuantGateReport quant_report_;
+  obs::Counter& quant_rejected_;
   /// Reusable flat row buffer for the single-shard compiled hot path.
   std::vector<float> staging_;
   std::vector<Rng> replica_rngs_;

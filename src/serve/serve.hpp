@@ -4,7 +4,9 @@
 #pragma once
 
 #include "serve/batcher.hpp"
+#include "serve/compiled_cnn.hpp"
 #include "serve/engine.hpp"
+#include "serve/quant.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 #include "serve/slo.hpp"
