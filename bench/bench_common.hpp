@@ -104,12 +104,23 @@ class ObsGuard {
         fault_seed = argv[++r];
       } else if (std::strncmp(argv[r], "--fault-seed=", 13) == 0) {
         fault_seed = argv[r] + 13;
+      } else if (std::strcmp(argv[r], "--flight-dir") == 0 && r + 1 < argc) {
+        flight_dir_ = argv[++r];
+      } else if (std::strncmp(argv[r], "--flight-dir=", 13) == 0) {
+        flight_dir_ = argv[r] + 13;
       } else {
         argv[w++] = argv[r];
       }
     }
     argc = w;
-    if (!trace_out_.empty()) obs::set_trace_enabled(true);
+    if (!trace_out_.empty()) {
+      obs::set_trace_enabled(true);
+      // Causal spans and wall-clock trace events share the chrome export
+      // file: if the bench recorded any causal spans, they win (the
+      // destructor picks whichever ring has content).
+      obs::set_causal_enabled(true);
+    }
+    if (!flight_dir_.empty()) obs::set_flight_dir(flight_dir_);
     if (!fault_plan.empty() || !fault_seed.empty()) {
       fault::FaultPlan plan = fault::default_chaos_plan();
       if (!fault_plan.empty()) {
@@ -150,7 +161,12 @@ class ObsGuard {
       }
     }
     if (!trace_out_.empty()) {
-      if (obs::save_trace_chrome_json(trace_out_)) {
+      // Prefer the causal (virtual-time, deterministic) ring when the run
+      // produced spans; fall back to the wall-clock trace ring otherwise.
+      const bool ok = obs::causal_size() > 0
+                          ? obs::save_causal_chrome_json(trace_out_)
+                          : obs::save_trace_chrome_json(trace_out_);
+      if (ok) {
         std::printf("[obs] wrote trace to %s (load via chrome://tracing)\n",
                     trace_out_.c_str());
       } else {
@@ -163,6 +179,7 @@ class ObsGuard {
  private:
   std::string metrics_out_;
   std::string trace_out_;
+  std::string flight_dir_;
   std::unique_ptr<fault::FaultInjector> injector_;
 };
 

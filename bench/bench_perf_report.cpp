@@ -19,7 +19,24 @@
 // The report also sweeps attack_batch() once, so the instrumentation
 // histograms populated by the pipelines themselves (attack.batch.*,
 // oran.*, serve.*) appear in the same JSON.
+//
+// Every perf.* histogram has a twin quantile sketch (`<name>_q`,
+// DESIGN.md §13) fed the same samples: the fixed-bucket histogram keeps
+// the report comparable with committed baselines, the sketch adds
+// relative-error p50/p95/p99/p999 without bucket-edge bias.
+//
+// Regression diffing: `--baseline BENCH_<date>.json` (a committed
+// --metrics-out file) prints a per-histogram delta table against this
+// run; `--serve-baseline BENCH_SERVE_<date>.json` diffs the serving
+// bench's unbatched/served throughput. Deltas are informational — the
+// gate lives in bench_serve's own pass criteria.
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "apps/model_zoo.hpp"
 #include "attack/pgm.hpp"
@@ -51,16 +68,26 @@ class SinkE2Node : public oran::E2Node {
   std::uint64_t controls = 0;
 };
 
+/// One timed sample lands in both the fixed-bucket histogram (baseline
+/// comparability) and its twin quantile sketch (`<name>_q`).
+void observe_ms(obs::Histogram& h, obs::SketchMetric& q, double ms) {
+  h.observe(ms);
+  q.observe(ms);
+}
+
 void run_matmul(int reps) {
   obs::Histogram& h = obs::histogram(
       "perf.matmul64_ms", {}, "64x64 single-threaded matmul latency");
+  obs::SketchMetric& q = obs::sketch(
+      "perf.matmul64_ms_q", 0.01, "64x64 matmul latency (quantile sketch)");
   Rng rng(7);
   const nn::Tensor a = nn::Tensor::randn({64, 64}, rng);
   const nn::Tensor b = nn::Tensor::randn({64, 64}, rng);
   volatile float sink = 0.0f;  // keep the kernel honest
   for (int i = 0; i < reps; ++i) {
-    const obs::ScopedTimerMs t(h);
+    WallTimer t;
     sink = nn::matmul(a, b)[0];
+    observe_ms(h, q, t.seconds() * 1e3);
   }
   (void)sink;
 }
@@ -69,6 +96,9 @@ void run_e2_roundtrip(int reps) {
   obs::Histogram& h = obs::histogram(
       "perf.e2_roundtrip_ms", {},
       "E2 indication -> SDL -> xApp dispatch -> E2 control round trip");
+  obs::SketchMetric& q = obs::sketch(
+      "perf.e2_roundtrip_ms_q", 0.01,
+      "E2 round trip latency (quantile sketch)");
 
   oran::Rbac rbac;
   rbac.define_role("xapp-full",
@@ -97,8 +127,9 @@ void run_e2_roundtrip(int reps) {
   ind.payload = nn::Tensor({16}, 0.5f);
   for (int i = 0; i < reps; ++i) {
     ind.tti = static_cast<std::uint64_t>(i);
-    const obs::ScopedTimerMs t(h);
+    WallTimer t;
     ric.deliver_indication(ind);
+    observe_ms(h, q, t.seconds() * 1e3);
   }
   std::printf("[e2] %llu controls received over %d indications\n",
               static_cast<unsigned long long>(node.controls), reps);
@@ -108,6 +139,9 @@ void run_attack(int samples) {
   obs::Histogram& h = obs::histogram(
       "perf.attack_sample_ms", {},
       "one FGSM perturbation of one spectrogram on the surrogate");
+  obs::SketchMetric& q = obs::sketch(
+      "perf.attack_sample_ms_q", 0.01,
+      "per-sample FGSM latency (quantile sketch)");
 
   const data::Dataset corpus = bench_spectrogram_corpus(/*per_class=*/12);
   nn::Model surrogate =
@@ -117,10 +151,11 @@ void run_attack(int samples) {
   // Per-sample serial loop: what perf.attack_sample_ms reports.
   for (int i = 0; i < samples; ++i) {
     const nn::Tensor x = corpus.x.slice_batch(i % corpus.x.dim(0));
-    const obs::ScopedTimerMs t(h);
+    WallTimer t;
     const int label = surrogate.predict_one(x);
     volatile float sink = fgsm.perturb(surrogate, x, label)[0];
     (void)sink;
+    observe_ms(h, q, t.seconds() * 1e3);
   }
 
   // One batched sweep so the pipeline's own attack.batch.* histograms are
@@ -132,6 +167,9 @@ void run_serve(int batches) {
   obs::Histogram& h = obs::histogram(
       "perf.serve_batch_ms", {},
       "one full 32-request micro-batch through the serving engine");
+  obs::SketchMetric& q = obs::sketch(
+      "perf.serve_batch_ms_q", 0.01,
+      "full micro-batch latency (quantile sketch)");
 
   serve::ServeConfig cfg;
   cfg.name = "perf";
@@ -148,8 +186,9 @@ void run_serve(int batches) {
     }
     // The 32nd submit fills the batch and flushes it, so one timer scope
     // covers admission + batching + the batched forward + completions.
-    const obs::ScopedTimerMs t(h);
+    WallTimer t;
     for (nn::Tensor& r : reqs) eng.submit(std::move(r), nullptr);
+    observe_ms(h, q, t.seconds() * 1e3);
   }
   eng.drain();
 }
@@ -161,11 +200,122 @@ void print_hist(const char* name, const char* unit = "ms") {
               s.p95, unit, s.p99, unit);
 }
 
+void print_sketch(const char* name, const char* unit = "ms") {
+  const obs::QuantileSketch s = obs::sketch(name).merged();
+  std::printf("%-26s n=%6llu  p50=%9.4f  p95=%9.4f  p99=%9.4f  "
+              "p999=%9.4f %s\n",
+              name, static_cast<unsigned long long>(s.count()),
+              s.quantile(0.50), s.quantile(0.95), s.quantile(0.99),
+              s.quantile(0.999), unit);
+}
+
+// ------------------------------------------------- baseline regression diff
+//
+// The committed baselines are flat enough (one `"name": {...}` object per
+// line, numeric scalar fields) that a substring scan beats pulling in a
+// JSON parser: find the metric's object, then read the number after the
+// field's colon.
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Value of `"field": <num>` inside the object starting at the first
+/// occurrence of `"name"` (NaN when absent).
+double baseline_field(const std::string& json, const std::string& name,
+                      const std::string& field) {
+  const std::size_t at = json.find("\"" + name + "\"");
+  if (at == std::string::npos) return std::nan("");
+  const std::size_t end = json.find('}', at);
+  const std::size_t f = json.find("\"" + field + "\"", at);
+  if (f == std::string::npos || (end != std::string::npos && f > end))
+    return std::nan("");
+  const std::size_t colon = json.find(':', f);
+  if (colon == std::string::npos) return std::nan("");
+  return std::strtod(json.c_str() + colon + 1, nullptr);
+}
+
+void diff_row(const char* label, double now, double base, const char* unit) {
+  if (std::isnan(base)) {
+    std::printf("%-26s now=%9.4f %-3s  baseline=     (absent)\n", label, now,
+                unit);
+    return;
+  }
+  const double pct = base != 0.0 ? (now - base) / base * 100.0 : 0.0;
+  std::printf("%-26s now=%9.4f %-3s  baseline=%9.4f  %+7.1f%%\n", label, now,
+              unit, base, pct);
+}
+
+void diff_against_baseline(const std::string& path) {
+  const std::string json = read_file(path);
+  if (json.empty()) {
+    std::printf("[baseline] cannot read %s — skipping diff\n", path.c_str());
+    return;
+  }
+  std::printf("--- regression diff vs %s (positive = slower now) ---\n",
+              path.c_str());
+  for (const char* name :
+       {"perf.matmul64_ms", "perf.e2_roundtrip_ms", "perf.attack_sample_ms",
+        "attack.batch.sample_ms", "perf.serve_batch_ms"}) {
+    const obs::Histogram::Snapshot s = obs::histogram(name).snapshot();
+    diff_row((std::string(name) + " p50").c_str(), s.p50,
+             baseline_field(json, name, "p50"), "ms");
+    diff_row((std::string(name) + " p99").c_str(), s.p99,
+             baseline_field(json, name, "p99"), "ms");
+  }
+}
+
+void diff_against_serve_baseline(const std::string& path) {
+  const std::string json = read_file(path);
+  if (json.empty()) {
+    std::printf("[serve-baseline] cannot read %s — skipping diff\n",
+                path.c_str());
+    return;
+  }
+  // The serve report nests `"unbatched": {...}` ahead of the served runs;
+  // a name scan lands on the first (canonical) occurrence of each.
+  std::printf("--- serve throughput vs %s ---\n", path.c_str());
+  const double base_unbatched =
+      baseline_field(json, "unbatched", "throughput_rps");
+  const double base_requests = baseline_field(json, "config", "requests");
+  std::printf("%-26s baseline unbatched=%.0f req/s over %.0f requests\n",
+              "serve baseline", base_unbatched, base_requests);
+  std::printf("(rerun bench_serve --report-out to refresh; this run only "
+              "echoes the committed numbers for context)\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ObsGuard obs_guard(argc, argv);
   parse_threads_flag(argc, argv);
+
+  // --baseline / --serve-baseline: committed reports to diff against.
+  std::string baseline;
+  std::string serve_baseline;
+  {
+    int w = 1;
+    for (int r = 1; r < argc; ++r) {
+      if (std::strcmp(argv[r], "--baseline") == 0 && r + 1 < argc) {
+        baseline = argv[++r];
+      } else if (std::strncmp(argv[r], "--baseline=", 11) == 0) {
+        baseline = argv[r] + 11;
+      } else if (std::strcmp(argv[r], "--serve-baseline") == 0 &&
+                 r + 1 < argc) {
+        serve_baseline = argv[++r];
+      } else if (std::strncmp(argv[r], "--serve-baseline=", 17) == 0) {
+        serve_baseline = argv[r] + 17;
+      } else {
+        argv[w++] = argv[r];
+      }
+    }
+    argc = w;
+  }
+
   std::printf("=== Perf report: matmul / E2 round-trip / attack sample / "
               "serve batch ===\n");
 
@@ -180,8 +330,22 @@ int main(int argc, char** argv) {
   print_hist("perf.attack_sample_ms");
   print_hist("attack.batch.sample_ms");
   print_hist("perf.serve_batch_ms");
-  print_hist("serve.perf.latency_us", "us");  // virtual submit-to-completion
   print_rule();
+  // Sketch-derived quantiles (relative-error guarantee, no bucket bias).
+  print_sketch("perf.matmul64_ms_q");
+  print_sketch("perf.e2_roundtrip_ms_q");
+  print_sketch("perf.attack_sample_ms_q");
+  print_sketch("perf.serve_batch_ms_q");
+  print_sketch("serve.perf.latency_us", "us");  // virtual submit-to-completion
+  print_rule();
+  if (!baseline.empty()) {
+    diff_against_baseline(baseline);
+    print_rule();
+  }
+  if (!serve_baseline.empty()) {
+    diff_against_serve_baseline(serve_baseline);
+    print_rule();
+  }
   std::printf("run with --metrics-out BENCH_<date>.json to save the report\n");
   return 0;
 }

@@ -28,11 +28,17 @@
 // and batch occupancy — written to --report-out and summarised on stdout.
 // --digests-out writes the phase digests one per line for CI diffing.
 //
+// Observability overhead phase (DESIGN.md §13): the KPM fleet reruns
+// back-to-back with causal span recording off then on; the delta is the
+// cost of the telemetry plane and --max-obs-overhead-pct gates it (0 =
+// report only). Both runs must reproduce the reference digest — tracing
+// is observational by contract.
+//
 // Flags: --cells N  --ues M  --rounds R  --batch-max B  --deadline-us D
 //        --replicas K  --queue-capacity Q  --passes P  --min-speedup S
-//        --min-cnn-speedup S  --report-out FILE  --digests-out FILE
-//        --self-check   (plus the common --threads / --metrics-out /
-//        --trace-out / --fault-plan flags).
+//        --min-cnn-speedup S  --max-obs-overhead-pct P  --report-out FILE
+//        --digests-out FILE  --self-check   (plus the common --threads /
+//        --metrics-out / --trace-out / --flight-dir / --fault-plan flags).
 // Each phase is timed best-of-P passes (default 3): the regions are only a
 // few milliseconds long, and best-of strips scheduler noise symmetrically
 // from the reference and served measurements.
@@ -78,6 +84,10 @@ struct Flags {
   double min_cnn_speedup = 0.0;
   /// Assert the int8 gate's bookkeeping (see header comment).
   bool self_check = false;
+  /// Gate on the causal-tracing overhead phase: fail when enabling span
+  /// recording costs more than this percent of obs-off throughput.
+  /// 0 disables the gate (the phase still runs and reports).
+  double max_obs_overhead_pct = 0.0;
   std::string report_out = "bench_results/serve_report.json";
   std::string digests_out;
 };
@@ -121,6 +131,8 @@ Flags parse_flags(int& argc, char** argv) {
              [&](const char* v) { f.min_speedup = std::atof(v); }) ||
         take("--min-cnn-speedup",
              [&](const char* v) { f.min_cnn_speedup = std::atof(v); }) ||
+        take("--max-obs-overhead-pct",
+             [&](const char* v) { f.max_obs_overhead_pct = std::atof(v); }) ||
         take("--report-out", [&](const char* v) { f.report_out = v; }) ||
         take("--digests-out", [&](const char* v) { f.digests_out = v; })) {
       continue;
@@ -441,11 +453,40 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(quant_rejected));
   }
 
+  // ---- causal-tracing overhead: obs-off vs obs-on, same workload -------
+  // Back-to-back best-of-passes runs of the KPM fleet at 4 threads with
+  // span recording disabled then enabled. Tracing-off must be free (the
+  // spans are simply not recorded); tracing-on is gated by
+  // --max-obs-overhead-pct. The prediction digests must agree — the
+  // telemetry plane is observational by contract.
+  const bool causal_was_enabled = obs::causal_enabled();
+  obs::set_causal_enabled(false);
+  const ServedRun obs_off = run_served(victim, f, 4, inputs, "obsoff");
+  obs::set_causal_enabled(true);
+  const ServedRun obs_on = run_served(victim, f, 4, inputs, "obson");
+  obs::set_causal_enabled(causal_was_enabled);
+  const std::uint64_t causal_spans = obs::causal_size();
+  const double obs_overhead_pct =
+      (obs_off.throughput_rps - obs_on.throughput_rps) /
+      std::max(obs_off.throughput_rps, 1e-12) * 100.0;
+  const bool obs_digest_ok =
+      obs_off.digest == ref_digest && obs_on.digest == ref_digest;
+  const bool obs_gate_ok =
+      obs_digest_ok && (f.max_obs_overhead_pct <= 0.0 ||
+                        obs_overhead_pct <= f.max_obs_overhead_pct);
+  std::printf("[obs overhead] off=%.0f req/s  on=%.0f req/s  "
+              "overhead=%.2f%% (gate %.2f%%)  spans=%llu  digests %s\n",
+              obs_off.throughput_rps, obs_on.throughput_rps,
+              obs_overhead_pct, f.max_obs_overhead_pct,
+              static_cast<unsigned long long>(causal_spans),
+              obs_digest_ok ? "match" : "MISMATCH");
+
   const bool speedup_ok = f.min_speedup <= 0.0 || speedup >= f.min_speedup;
   const bool cnn_speedup_ok =
       f.min_cnn_speedup <= 0.0 || cnn_speedup >= f.min_cnn_speedup;
   const bool pass = byte_identical && clone_match && speedup_ok &&
-                    cnn_byte_identical && cnn_speedup_ok && self_check_ok;
+                    cnn_byte_identical && cnn_speedup_ok && self_check_ok &&
+                    obs_gate_ok;
 
   // ---- JSON report ------------------------------------------------------
   {
@@ -478,18 +519,27 @@ int main(int argc, char** argv) {
           fp,
           "    {\"threads\": %d, \"wall_seconds\": %.6f, \"throughput_rps\": "
           "%.1f, \"digest\": \"%s\", \"p50_latency_us\": %llu, "
-          "\"p99_latency_us\": %llu, \"mean_batch_occupancy\": %.2f, "
+          "\"p95_latency_us\": %llu, \"p99_latency_us\": %llu, "
+          "\"p999_latency_us\": %llu, \"mean_batch_occupancy\": %.2f, "
           "\"batches\": %llu, \"deadline_misses\": %llu, \"degraded_syncs\": "
-          "%llu, \"rejected\": %llu, \"max_queue_depth\": %llu}%s\n",
+          "%llu, \"rejected\": %llu, \"max_queue_depth\": %llu, "
+          "\"burn\": {\"miss_short\": %.4f, \"miss_long\": %.4f, "
+          "\"avail_short\": %.4f, \"avail_long\": %.4f, \"miss_alert\": %s, "
+          "\"avail_alert\": %s}}%s\n",
           r.threads, r.wall_seconds, r.throughput_rps, r.digest.c_str(),
           static_cast<unsigned long long>(r.slo.p50_latency_us),
+          static_cast<unsigned long long>(r.slo.p95_latency_us),
           static_cast<unsigned long long>(r.slo.p99_latency_us),
+          static_cast<unsigned long long>(r.slo.p999_latency_us),
           r.slo.mean_occupancy,
           static_cast<unsigned long long>(r.slo.batches),
           static_cast<unsigned long long>(r.slo.deadline_misses),
           static_cast<unsigned long long>(r.slo.degraded_syncs),
           static_cast<unsigned long long>(r.slo.rejected),
           static_cast<unsigned long long>(r.slo.max_queue_depth),
+          r.slo.burn.miss_short, r.slo.burn.miss_long, r.slo.burn.avail_short,
+          r.slo.burn.avail_long, r.slo.burn.miss_alert ? "true" : "false",
+          r.slo.burn.avail_alert ? "true" : "false",
           i + 1 < served.size() ? "," : "");
     }
     std::fprintf(fp, "  ],\n");
@@ -538,6 +588,16 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(quant_rejected),
         qrep.reason.c_str());
     std::fprintf(fp,
+                 "  \"obs\": {\"off_rps\": %.1f, \"on_rps\": %.1f, "
+                 "\"overhead_pct\": %.2f, \"max_obs_overhead_pct\": %.2f, "
+                 "\"digests_match\": %s, \"causal_spans\": %llu, "
+                 "\"gate_ok\": %s},\n",
+                 obs_off.throughput_rps, obs_on.throughput_rps,
+                 obs_overhead_pct, f.max_obs_overhead_pct,
+                 obs_digest_ok ? "true" : "false",
+                 static_cast<unsigned long long>(causal_spans),
+                 obs_gate_ok ? "true" : "false");
+    std::fprintf(fp,
                  "  \"byte_identical\": %s,\n  \"speedup\": %.2f,\n"
                  "  \"min_speedup\": %.2f,\n  \"pass\": %s\n}\n",
                  byte_identical ? "true" : "false", speedup, f.min_speedup,
@@ -573,10 +633,11 @@ int main(int argc, char** argv) {
               byte_identical ? "true" : "false", speedup, f.min_speedup,
               clone_match ? "true" : "false");
   std::printf("cnn_byte_identical=%s  cnn_speedup=%.2fx (gate %.2fx)  "
-              "int8=%s  ->  %s\n",
+              "int8=%s  obs_overhead=%.2f%% (%s)  ->  %s\n",
               cnn_byte_identical ? "true" : "false", cnn_speedup,
               f.min_cnn_speedup,
-              qrep.activated ? "activated" : "refused",
+              qrep.activated ? "activated" : "refused", obs_overhead_pct,
+              obs_gate_ok ? "ok" : "GATE FAIL",
               pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

@@ -23,7 +23,8 @@ void IcXApp::set_serve_engine(serve::ServeEngine* engine) {
 }
 
 void IcXApp::finish_classification(int pred, const std::string& ran_node_id,
-                                   oran::NearRtRic& ric) {
+                                   oran::NearRtRic& ric,
+                                   obs::TraceContext ctx) {
   ++predictions_;
   last_prediction_ = pred;
   if (pred == ran::kLabelInterference) ++detections_;
@@ -41,44 +42,51 @@ void IcXApp::finish_classification(int pred, const std::string& ran_node_id,
     control.fixed_mcs_index = fixed_mcs_index_;
   }
   ric.send_control(app_id(), control);
+  // Tail of the request chain: the control decision, parented under the
+  // serve completion (served path) or the classify span (sync path).
+  obs::causal_child(ctx, "e2.control", obs::lanes::kControl, ctx.ts_us);
 }
 
 void IcXApp::issue_failsafe(const std::string& ran_node_id,
-                            oran::NearRtRic& ric) {
+                            oran::NearRtRic& ric, obs::TraceContext ctx) {
   ric.sdl().write_text(app_id(), oran::kNsDecisions, "ic/" + ran_node_id,
                        "failsafe");
   oran::E2Control control;
   control.action = oran::ControlAction::kSetAdaptiveMcs;
   ric.send_control(app_id(), control);
+  obs::causal_child(ctx, "e2.failsafe", obs::lanes::kControl, ctx.ts_us);
 }
 
 void IcXApp::classify_and_control(nn::Tensor input,
                                   const std::string& ran_node_id,
-                                  oran::NearRtRic& ric) {
+                                  oran::NearRtRic& ric,
+                                  obs::TraceContext ctx) {
   if (serve_ == nullptr) {
-    finish_classification(model_.predict_one(input), ran_node_id, ric);
+    finish_classification(model_.predict_one(input), ran_node_id, ric, ctx);
     return;
   }
   // Serving path: the input moves into the request (no copy) and the
   // decision publishes on completion — typically when a later indication
   // fills the micro-batch or expires its window. The RIC outlives the
-  // engine's pump cycle, so capturing it by pointer is safe.
+  // engine's pump cycle, so capturing it by pointer is safe. The causal
+  // context rides the request; the completion's own span comes back in
+  // r.trace, so the control issued below parents under the completion.
   static obs::Counter& shed_ctr = obs::counter(
       "apps.ic.serve_shed",
       "IC xApp classifications shed by the serving engine");
   oran::NearRtRic* ric_ptr = &ric;
   serve_->submit(
-      std::move(input),
+      std::move(input), ctx,
       [this, ran_node_id, ric_ptr](const serve::ServeResult& r) {
         if (r.prediction < 0) {
           // Shed without a prediction: steer to the fail-safe adaptive
           // MCS rather than leaving the node on a stale configuration.
           ++serve_shed_;
           shed_ctr.inc();
-          issue_failsafe(ran_node_id, *ric_ptr);
+          issue_failsafe(ran_node_id, *ric_ptr, r.trace);
           return;
         }
-        finish_classification(r.prediction, ran_node_id, *ric_ptr);
+        finish_classification(r.prediction, ran_node_id, *ric_ptr, r.trace);
       });
 }
 
@@ -99,6 +107,11 @@ void IcXApp::on_indication(const oran::E2Indication& ind,
                        : oran::kNsKpm;
   const std::string key = ind.ran_node_id + "/current";
 
+  // One app-lane span per handled indication; everything this handler
+  // does (serve admission, control, fail-safe) parents under it.
+  const obs::TraceContext app_ctx = obs::causal_child(
+      ind.trace, "ic.classify", obs::lanes::kApp, ind.trace.ts_us);
+
   nn::Tensor input;
   const oran::SdlStatus st = ric.read_telemetry(app_id(), ns, key, input);
   if (st == oran::SdlStatus::kOk) {
@@ -109,7 +122,7 @@ void IcXApp::on_indication(const oran::E2Indication& ind,
     // The cache above is the only copy on this path: the freshly read
     // tensor itself moves through classify_and_control into the serve
     // request (or is read in place by the synchronous path).
-    classify_and_control(std::move(input), ind.ran_node_id, ric);
+    classify_and_control(std::move(input), ind.ran_node_id, ric, app_ctx);
     return;
   }
 
@@ -135,7 +148,8 @@ void IcXApp::on_indication(const oran::E2Indication& ind,
       fallback_ctr.inc();
       // The cached tensor must survive for later fallbacks, so this
       // (cold, failure-only) path pays one copy.
-      classify_and_control(nn::Tensor(last_good_), ind.ran_node_id, ric);
+      classify_and_control(nn::Tensor(last_good_), ind.ran_node_id, ric,
+                           app_ctx);
       return;
     }
   }
@@ -144,7 +158,7 @@ void IcXApp::on_indication(const oran::E2Indication& ind,
   // configuration that stays safe if interference is actually present.
   ++failsafes_;
   failsafe_ctr.inc();
-  issue_failsafe(ind.ran_node_id, ric);
+  issue_failsafe(ind.ran_node_id, ric, app_ctx);
 }
 
 }  // namespace orev::apps

@@ -84,12 +84,17 @@ class IcXApp : public oran::XApp {
  private:
   /// Takes the input by value: the synchronous path reads it in place and
   /// the serving path moves it into the request — no per-request copy on
-  /// the indication hot path either way.
+  /// the indication hot path either way. `ctx` is the causal context the
+  /// downstream spans (serve admission, the control message) parent
+  /// under; invalid when tracing is off.
   void classify_and_control(nn::Tensor input, const std::string& ran_node_id,
-                            oran::NearRtRic& ric);
+                            oran::NearRtRic& ric,
+                            obs::TraceContext ctx = {});
   void finish_classification(int pred, const std::string& ran_node_id,
-                             oran::NearRtRic& ric);
-  void issue_failsafe(const std::string& ran_node_id, oran::NearRtRic& ric);
+                             oran::NearRtRic& ric,
+                             obs::TraceContext ctx = {});
+  void issue_failsafe(const std::string& ran_node_id, oran::NearRtRic& ric,
+                      obs::TraceContext ctx = {});
 
   nn::Model model_;
   oran::IndicationKind kind_;

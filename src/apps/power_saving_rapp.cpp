@@ -42,8 +42,17 @@ void PowerSavingRApp::decide_all(const nn::Tensor& history,
       "power-saving sector decisions shed by the serving engine");
   oran::NonRtRic* ric_ptr = &ric;
   for (int sector = 0; sector < rictest::kNumSectors; ++sector) {
+    // Non-RT lane root: PM periods carry no upstream E2 context, so each
+    // sector decision mints its own trace keyed by a per-rApp sequence
+    // number (deterministic regardless of thread count).
+    obs::TraceContext root;
+    if (obs::causal_enabled()) {
+      root = obs::causal_root(
+          obs::derive_trace_id(obs::domains::kApp, ++serve_roots_),
+          "ps.decide", obs::lanes::kApp, serve_->virtual_now_us());
+    }
     serve_->submit(
-        rictest::sector_window_from_history(history, sector),
+        rictest::sector_window_from_history(history, sector), root,
         [this, sector, ric_ptr](const serve::ServeResult& r) {
           if (r.prediction < 0) {
             // Shed: the sector keeps its current cell states — the same

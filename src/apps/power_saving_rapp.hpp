@@ -86,6 +86,9 @@ class PowerSavingRApp : public oran::RApp {
   std::uint64_t decisions_ = 0;
   std::uint64_t deactivations_ = 0;
   std::uint64_t serve_shed_ = 0;
+  // Sequence number behind the per-sector trace roots minted on the
+  // serving path (PM periods have no upstream E2 causal context).
+  std::uint64_t serve_roots_ = 0;
 
   PsDegradedConfig degraded_;
   nn::Tensor last_good_;

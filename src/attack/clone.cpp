@@ -69,7 +69,16 @@ data::Dataset collect_clone_dataset(serve::ServeEngine& victim,
   std::vector<int> labels(static_cast<std::size_t>(n), -1);
   for (int i = 0; i < n; ++i) {
     queries.inc();
-    victim.submit(inputs.slice_batch(i),
+    // Each probe is its own trace on the attack lane: the adversary's
+    // queries show up in a causal trace interleaved with victim traffic.
+    obs::TraceContext probe;
+    if (obs::causal_enabled()) {
+      probe = obs::causal_root(
+          obs::derive_trace_id(obs::domains::kAttack,
+                               static_cast<std::uint64_t>(i) + 1),
+          "attack.probe", obs::lanes::kAttack, victim.virtual_now_us());
+    }
+    victim.submit(inputs.slice_batch(i), probe,
                   [&labels, i](const serve::ServeResult& r) {
                     labels[static_cast<std::size_t>(i)] = r.prediction;
                   });

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "nn/tensor.hpp"
+#include "util/obs/context.hpp"
 
 namespace orev::oran {
 
@@ -19,6 +20,10 @@ struct E2Indication {
   std::uint64_t tti = 0;
   IndicationKind kind = IndicationKind::kSpectrogram;
   nn::Tensor payload;  // [1, H, W] spectrogram or [F] KPM features
+  /// Causal context stamped by the RIC at dispatch: the per-app dispatch
+  /// span the handler should parent its own spans under. Zero when causal
+  /// tracing is off (the RAN side never sets it).
+  obs::TraceContext trace;
 };
 
 enum class ControlAction { kSetAdaptiveMcs, kSetFixedMcs };

@@ -118,6 +118,16 @@ bool NearRtRic::deliver_indication(const E2Indication& ind) {
   for (int copy = 0; copy < copies; ++copy) {
     indications.inc();
     ++indications_;
+    // Causal root for this delivery: trace id from the platform-wide
+    // delivery sequence number (duplicated copies get distinct traces),
+    // timestamped on the RIC's own virtual lane clock (1 ms per
+    // delivery). Invalid context — and zero cost — when tracing is off.
+    obs::TraceContext root;
+    if (obs::causal_enabled()) {
+      root = obs::causal_root(
+          obs::derive_trace_id(obs::domains::kE2, indications_),
+          "e2.indication", obs::lanes::kIndication, indications_ * 1000);
+    }
     const char* ns = effective->kind == IndicationKind::kSpectrogram
                          ? kNsSpectrogram
                          : kNsKpm;
@@ -143,13 +153,14 @@ bool NearRtRic::deliver_indication(const E2Indication& ind) {
       log_warn("platform SDL write failed after ", rc.attempts,
                " attempt(s); dispatching degraded");
     }
-    dispatch_all(*effective, transport_delay_ms);
+    dispatch_all(*effective, transport_delay_ms, root);
   }
   return true;
 }
 
 void NearRtRic::dispatch_all(const E2Indication& ind,
-                             double transport_delay_ms) {
+                             double transport_delay_ms,
+                             const obs::TraceContext& root) {
   static obs::Histogram& dispatch_ms = obs::histogram(
       "oran.xapp.dispatch_ms", {},
       "per-xApp dispatch latency within the near-RT control window");
@@ -161,6 +172,10 @@ void NearRtRic::dispatch_all(const E2Indication& ind,
       "oran.xapp.quarantined_skips",
       "dispatches skipped because the app's circuit breaker was open");
   fault::FaultInjector* fi = fault::effective(fault_);
+  // One mutable copy carries the per-app dispatch context; made only when
+  // the delivery is traced, so the untraced path stays copy-free.
+  E2Indication traced;
+  if (root.valid()) traced = ind;
   for (const Registration& reg : xapps_) {
     const std::string& app_id = reg.app->app_id();
     XAppDispatchStats& s = stats_[app_id];
@@ -184,7 +199,13 @@ void NearRtRic::dispatch_all(const E2Indication& ind,
         }
         if (d.kind == fault::FaultKind::kDelay) injected_ms += d.delay_ms;
       }
-      reg.app->on_indication(ind, *this);
+      if (root.valid()) {
+        traced.trace = obs::causal_child(root, "dispatch." + app_id,
+                                         obs::lanes::kDispatch, root.ts_us);
+        reg.app->on_indication(traced, *this);
+      } else {
+        reg.app->on_indication(ind, *this);
+      }
     } catch (const std::exception& e) {
       // One throwing xApp must not take down the platform or starve the
       // lower-priority apps behind it.
@@ -201,17 +222,26 @@ void NearRtRic::dispatch_all(const E2Indication& ind,
     dispatch_ms.observe(ms);
     ++s.dispatches;
     s.total_ms += ms;
+    // A failure that opens the app's breaker dumps a flight-recorder
+    // report: the causal span tail leading up to quarantine is exactly
+    // the evidence a post-mortem needs.
     if (faulted) {
       ++s.faults;
       faults.inc();
+      const std::uint64_t opens = breaker.times_opened();
       breaker.record_failure();
+      if (breaker.times_opened() > opens)
+        obs::flight_trigger("breaker.open", app_id);
       continue;
     }
     if (ms > control_window_ms_) {
       ++s.deadline_misses;
       misses.inc();
       if (breaker_cfg_.count_deadline_misses) {
+        const std::uint64_t opens = breaker.times_opened();
         breaker.record_failure();
+        if (breaker.times_opened() > opens)
+          obs::flight_trigger("breaker.open", app_id);
         continue;
       }
     }

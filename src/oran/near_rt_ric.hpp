@@ -149,7 +149,11 @@ class NearRtRic {
     int priority = 0;
   };
 
-  void dispatch_all(const E2Indication& ind, double transport_delay_ms);
+  /// `root` is the indication's causal root span (invalid when causal
+  /// tracing is off); each app dispatch becomes a child span and the
+  /// indication copy handed to the app carries that child context.
+  void dispatch_all(const E2Indication& ind, double transport_delay_ms,
+                    const obs::TraceContext& root = {});
 
   Rbac* rbac_;
   const OnboardingService* onboarding_;

@@ -110,6 +110,11 @@ SdlStatus Sdl::write_tensor(const std::string& app_id, const std::string& ns,
   const SdlStatus fault_st = storage_fault(Op::kWrite, &value);
   if (fault_st == SdlStatus::kUnavailable) return SdlStatus::kUnavailable;
   if (fault_st == SdlStatus::kNotFound) return SdlStatus::kOk;  // lost write
+  // Payload-size distribution: a sketch, because write sizes are exactly
+  // the kind of long-tailed series fixed buckets misrepresent.
+  static obs::SketchMetric& write_values = obs::sketch(
+      "oran.sdl.write_values", 0.01, "tensor elements per committed SDL write");
+  write_values.observe(static_cast<double>(value.numel()));
   Entry& e = store_[{ns, key}];
   e.tensor = std::move(value);
   e.is_tensor = true;

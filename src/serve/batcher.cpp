@@ -6,6 +6,16 @@
 
 namespace orev::serve {
 
+const char* flush_trigger_name(FlushTrigger t) {
+  switch (t) {
+    case FlushTrigger::kNone: return "none";
+    case FlushTrigger::kSize: return "size";
+    case FlushTrigger::kDeadline: return "deadline";
+    case FlushTrigger::kDrain: return "drain";
+  }
+  return "unknown";
+}
+
 MicroBatcher::MicroBatcher(BatcherConfig cfg) : cfg_(cfg) {
   OREV_CHECK(cfg_.batch_max >= 1, "batch_max must be >= 1");
 }
@@ -13,9 +23,18 @@ MicroBatcher::MicroBatcher(BatcherConfig cfg) : cfg_(cfg) {
 bool MicroBatcher::should_flush(const BoundedQueue& q,
                                 std::uint64_t virtual_now_us,
                                 bool engine_idle) const {
-  if (q.empty() || !engine_idle) return false;
-  if (q.size() >= static_cast<std::size_t>(cfg_.batch_max)) return true;
-  return virtual_now_us >= q.front().arrival_us + cfg_.flush_wait_us;
+  return flush_trigger(q, virtual_now_us, engine_idle) != FlushTrigger::kNone;
+}
+
+FlushTrigger MicroBatcher::flush_trigger(const BoundedQueue& q,
+                                         std::uint64_t virtual_now_us,
+                                         bool engine_idle) const {
+  if (q.empty() || !engine_idle) return FlushTrigger::kNone;
+  if (q.size() >= static_cast<std::size_t>(cfg_.batch_max))
+    return FlushTrigger::kSize;
+  if (virtual_now_us >= q.front().arrival_us + cfg_.flush_wait_us)
+    return FlushTrigger::kDeadline;
+  return FlushTrigger::kNone;
 }
 
 std::vector<ServeRequest> MicroBatcher::take_batch(BoundedQueue& q) const {

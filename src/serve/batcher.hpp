@@ -26,6 +26,16 @@ struct BatcherConfig {
   std::uint64_t flush_wait_us = 2000;
 };
 
+/// Why a batch flushed — labels the batch span in the causal trace.
+enum class FlushTrigger {
+  kNone = 0,  // no flush due
+  kSize,      // queue reached batch_max
+  kDeadline,  // oldest request's micro-batch window expired
+  kDrain,     // forced flush (engine drain)
+};
+
+const char* flush_trigger_name(FlushTrigger t);
+
 class MicroBatcher {
  public:
   explicit MicroBatcher(BatcherConfig cfg);
@@ -37,6 +47,12 @@ class MicroBatcher {
   /// arrivals back up into the bounded queue instead.
   bool should_flush(const BoundedQueue& q, std::uint64_t virtual_now_us,
                     bool engine_idle) const;
+
+  /// Which trigger fires at `virtual_now_us` (kNone when should_flush
+  /// would return false). Size wins when both have fired.
+  FlushTrigger flush_trigger(const BoundedQueue& q,
+                             std::uint64_t virtual_now_us,
+                             bool engine_idle) const;
 
   /// Remove up to `batch_max` requests from the queue front, preserving
   /// arrival order.

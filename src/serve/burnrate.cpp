@@ -1,0 +1,75 @@
+#include "serve/burnrate.hpp"
+
+#include "util/check.hpp"
+
+namespace orev::serve {
+
+BurnRatePlane::BurnRatePlane(const SloConfig& cfg) : cfg_(cfg) {
+  OREV_CHECK(cfg_.window_us > 0, "slo window_us must be positive");
+  OREV_CHECK(cfg_.short_windows > 0 && cfg_.long_windows >= cfg_.short_windows,
+             "slo windows must satisfy 0 < short <= long");
+  OREV_CHECK(cfg_.miss_budget > 0.0 && cfg_.avail_budget > 0.0,
+             "slo budgets must be positive");
+  ring_.resize(cfg_.long_windows);
+}
+
+BurnRatePlane::Cell& BurnRatePlane::cell_at(std::uint64_t now_us) {
+  const std::uint64_t idx = now_us / cfg_.window_us;
+  Cell& c = ring_[idx % cfg_.long_windows];
+  if (c.index != idx) c = Cell{idx, 0, 0, 0, 0};
+  return c;
+}
+
+void BurnRatePlane::on_submit(std::uint64_t now_us) {
+  ++cell_at(now_us).submitted;
+}
+
+void BurnRatePlane::on_reject(std::uint64_t now_us) {
+  ++cell_at(now_us).rejected;
+}
+
+void BurnRatePlane::on_complete(std::uint64_t now_us, bool deadline_missed) {
+  Cell& c = cell_at(now_us);
+  ++c.completed;
+  if (deadline_missed) ++c.misses;
+}
+
+BurnRates BurnRatePlane::rates(std::uint64_t now_us) const {
+  const std::uint64_t cur = now_us / cfg_.window_us;
+  std::uint64_t sub_s = 0, com_s = 0, mis_s = 0, rej_s = 0;
+  std::uint64_t sub_l = 0, com_l = 0, mis_l = 0, rej_l = 0;
+  for (const Cell& c : ring_) {
+    if (c.index == kEmpty || c.index > cur) continue;
+    const std::uint64_t age = cur - c.index;  // 0 = current window
+    if (age < cfg_.long_windows) {
+      sub_l += c.submitted;
+      com_l += c.completed;
+      mis_l += c.misses;
+      rej_l += c.rejected;
+    }
+    if (age < cfg_.short_windows) {
+      sub_s += c.submitted;
+      com_s += c.completed;
+      mis_s += c.misses;
+      rej_s += c.rejected;
+    }
+  }
+  auto burn = [](std::uint64_t bad, std::uint64_t total, double budget) {
+    if (total == 0) return 0.0;
+    return (static_cast<double>(bad) / static_cast<double>(total)) / budget;
+  };
+  BurnRates r;
+  r.miss_short = burn(mis_s, com_s, cfg_.miss_budget);
+  r.miss_long = burn(mis_l, com_l, cfg_.miss_budget);
+  r.avail_short = burn(rej_s, sub_s, cfg_.avail_budget);
+  r.avail_long = burn(rej_l, sub_l, cfg_.avail_budget);
+  r.miss_alert = r.miss_short > 1.0 && r.miss_long > 1.0;
+  r.avail_alert = r.avail_short > 1.0 && r.avail_long > 1.0;
+  return r;
+}
+
+void BurnRatePlane::reset() {
+  for (Cell& c : ring_) c = Cell{};
+}
+
+}  // namespace orev::serve

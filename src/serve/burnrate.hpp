@@ -1,0 +1,86 @@
+// Multi-window SLO burn rates over the serve engine's virtual clock.
+//
+// An SLO gives each objective an error *budget* (e.g. "≤ 1% of
+// completions may miss their deadline"). The burn rate is how fast the
+// budget is being consumed: observed error ratio / budgeted ratio, so 1.0
+// means "spending exactly the budget" and 10.0 means "the budget for the
+// window is gone in a tenth of it". Following the standard multi-window
+// alerting shape, we evaluate each objective over a short window (fast
+// detection) and a long window (flap suppression) and alert only when
+// BOTH burn above 1 — a transient spike trips neither, a sustained
+// regression trips both within one short window.
+//
+// Determinism: windows are counted on the engine's *virtual* clock, so
+// burn rates are part of the deterministic snapshot (byte-identical at
+// any thread count), and the ring holds only `long_windows` cells —
+// memory is fixed no matter how long the engine runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace orev::serve {
+
+/// SLO objectives + windowing for one engine. Not part of the engine's
+/// config fingerprint: burn accounting is observational and never changes
+/// queueing or batching decisions.
+struct SloConfig {
+  /// Width of one accounting window in virtual µs.
+  std::uint64_t window_us = 1'000'000;
+  /// Short / long alerting horizons, in windows (short divides detection
+  /// latency, long suppresses flapping).
+  std::uint32_t short_windows = 5;
+  std::uint32_t long_windows = 30;
+  /// Deadline-miss objective: budgeted fraction of completions that may
+  /// land past their deadline.
+  double miss_budget = 0.01;
+  /// Availability objective: budgeted fraction of submissions that may be
+  /// shed without a prediction.
+  double avail_budget = 0.001;
+  /// Relative accuracy of the latency/queue-depth quantile sketches.
+  double sketch_alpha = 0.01;
+};
+
+/// Burn rates for both objectives over both horizons.
+struct BurnRates {
+  double miss_short = 0.0;
+  double miss_long = 0.0;
+  double avail_short = 0.0;
+  double avail_long = 0.0;
+  bool miss_alert = false;   // miss_short > 1 && miss_long > 1
+  bool avail_alert = false;  // avail_short > 1 && avail_long > 1
+};
+
+/// Fixed-size ring of per-window event cells on the virtual clock.
+class BurnRatePlane {
+ public:
+  explicit BurnRatePlane(const SloConfig& cfg);
+
+  void on_submit(std::uint64_t now_us);
+  void on_reject(std::uint64_t now_us);
+  void on_complete(std::uint64_t now_us, bool deadline_missed);
+
+  /// Burn rates as of virtual time `now_us`, aggregated over the short
+  /// and long horizons ending at the current window.
+  BurnRates rates(std::uint64_t now_us) const;
+
+  const SloConfig& config() const { return cfg_; }
+  void reset();
+
+ private:
+  struct Cell {
+    std::uint64_t index = kEmpty;  // absolute window index
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t rejected = 0;
+  };
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  Cell& cell_at(std::uint64_t now_us);
+
+  SloConfig cfg_;
+  std::vector<Cell> ring_;
+};
+
+}  // namespace orev::serve

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "util/obs/flight.hpp"
 #include "util/persist/bytes.hpp"
 #include "util/persist/frame.hpp"
 #include "util/sha256.hpp"
@@ -18,6 +19,15 @@ constexpr const char* kServeTag = "orev.serve";
 
 std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
   return (a + b - 1) / b;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
 }
 
 }  // namespace
@@ -39,7 +49,8 @@ ServeEngine::ServeEngine(nn::Model model, ServeConfig cfg)
           "int8 tier activations refused by the accuracy gate")),
       queue_(static_cast<std::size_t>(std::max(cfg_.queue_capacity, 1))),
       batcher_(BatcherConfig{cfg_.batch_max, cfg_.flush_wait_us}),
-      slo_(cfg_.name) {
+      slo_(cfg_.name, cfg_.replicas, cfg_.slo),
+      name_hash_(fnv1a(cfg_.name)) {
   OREV_CHECK(cfg_.replicas >= 1, "serve engine needs >= 1 replica");
   OREV_CHECK(cfg_.flush_wait_us <= cfg_.deadline_us,
              "flush_wait_us must not exceed deadline_us");
@@ -76,17 +87,24 @@ int ServeEngine::predict_sync(const nn::Tensor& input) {
 
 void ServeEngine::finish(ServeRequest& r, int prediction, ServeStatus status,
                          std::uint64_t completion_us, std::uint64_t batch_id,
-                         int batch_size) {
+                         int batch_size, int replica,
+                         std::uint64_t flow_from) {
   ServeResult res;
   res.status = status;
   res.prediction = prediction;
   res.request_id = r.id;
   res.batch_id = batch_id;
   res.batch_size = batch_size;
+  res.replica = replica;
   res.latency_us =
       completion_us >= r.arrival_us ? completion_us - r.arrival_us : 0;
   res.deadline_missed = completion_us > r.deadline_us;
-  slo_.on_complete(res);
+  // Completion span: child of this request's own admit span, with a flow
+  // edge back to the replica span that computed the row (batched path).
+  res.trace = obs::causal_child(r.trace, "serve.complete",
+                                obs::lanes::kComplete, completion_us, 0,
+                                flow_from);
+  slo_.on_complete(res, completion_us);
   if (r.done) {
     in_completion_ = true;
     r.done(res);
@@ -95,10 +113,15 @@ void ServeEngine::finish(ServeRequest& r, int prediction, ServeStatus status,
 }
 
 ServeStatus ServeEngine::submit(nn::Tensor input, Completion done) {
+  return submit(std::move(input), obs::TraceContext{}, std::move(done));
+}
+
+ServeStatus ServeEngine::submit(nn::Tensor input, obs::TraceContext ctx,
+                                Completion done) {
   OREV_CHECK(!in_completion_,
              "serve completions must not call back into the engine");
   now_us_ += cfg_.tick_us;
-  slo_.on_submit();
+  slo_.on_submit(now_us_);
 
   // Admission fate: an injected drop/transient at "serve.admit" sheds the
   // request exactly like a full queue does.
@@ -115,15 +138,28 @@ ServeStatus ServeEngine::submit(nn::Tensor input, Completion done) {
   r.deadline_us = now_us_ + cfg_.deadline_us;
   r.input = std::move(input);
   r.done = std::move(done);
+  // Admit span: child of the caller's context when it carries one, else
+  // the root of a serve-minted trace derived from the request id — so an
+  // untraced submitter still yields a complete admit→batch→replica→
+  // complete chain. causal_child is a no-op returning a zero context when
+  // causal tracing is disabled.
+  if (obs::causal_enabled()) {
+    if (!ctx.valid())
+      ctx = obs::TraceContext{
+          obs::derive_trace_id(obs::domains::kServe ^ name_hash_, r.id), 0,
+          now_us_};
+    r.trace =
+        obs::causal_child(ctx, "serve.admit", obs::lanes::kAdmit, now_us_);
+  }
 
   if (shed || !queue_.push(std::move(r))) {
     if (!cfg_.sync_fallback) {
-      slo_.on_reject();
+      slo_.on_reject(now_us_);
       // Shed with no prediction; r still owns the request on queue-full,
       // but on injected shed it was moved into the (failed) push only when
       // the queue was consulted — either way r is valid here because
       // BoundedQueue::push leaves its argument untouched on failure.
-      finish(r, -1, ServeStatus::kRejected, now_us_, 0, 0);
+      finish(r, -1, ServeStatus::kRejected, now_us_, 0, 0, 0, 0);
       pump();
       return ServeStatus::kRejected;
     }
@@ -131,7 +167,7 @@ ServeStatus ServeEngine::submit(nn::Tensor input, Completion done) {
     const std::uint64_t start = std::max(now_us_, busy_until_us_);
     busy_until_us_ = start + cfg_.sync_us_per_sample;
     const int pred = predict_on_replica(0, r.input);
-    finish(r, pred, ServeStatus::kDegradedSync, busy_until_us_, 0, 1);
+    finish(r, pred, ServeStatus::kDegradedSync, busy_until_us_, 0, 1, 0, 0);
     pump();
     return ServeStatus::kDegradedSync;
   }
@@ -149,8 +185,11 @@ void ServeEngine::advance_us(std::uint64_t us) {
 }
 
 void ServeEngine::pump() {
-  while (batcher_.should_flush(queue_, now_us_, now_us_ >= busy_until_us_)) {
-    execute_batch(batcher_.take_batch(queue_));
+  for (;;) {
+    const FlushTrigger trigger =
+        batcher_.flush_trigger(queue_, now_us_, now_us_ >= busy_until_us_);
+    if (trigger == FlushTrigger::kNone) break;
+    execute_batch(batcher_.take_batch(queue_), trigger);
   }
   slo_.set_queue_depth(queue_.size());
 }
@@ -160,7 +199,7 @@ void ServeEngine::drain() {
              "serve completions must not call back into the engine");
   while (!queue_.empty()) {
     now_us_ = std::max(now_us_, busy_until_us_);
-    execute_batch(batcher_.take_batch(queue_));
+    execute_batch(batcher_.take_batch(queue_), FlushTrigger::kDrain);
   }
   slo_.set_queue_depth(0);
 }
@@ -171,12 +210,13 @@ void ServeEngine::execute_sync_fallback(std::vector<ServeRequest>& batch,
   for (ServeRequest& r : batch) {
     t += cfg_.sync_us_per_sample;
     const int pred = predict_on_replica(0, r.input);
-    finish(r, pred, ServeStatus::kDegradedSync, t, 0, 1);
+    finish(r, pred, ServeStatus::kDegradedSync, t, 0, 1, 0, 0);
   }
   busy_until_us_ = t;
 }
 
-void ServeEngine::execute_batch(std::vector<ServeRequest> batch) {
+void ServeEngine::execute_batch(std::vector<ServeRequest> batch,
+                                FlushTrigger trigger) {
   const int n = static_cast<int>(batch.size());
   if (n == 0) return;
   const std::uint64_t start = std::max(now_us_, busy_until_us_);
@@ -226,8 +266,8 @@ void ServeEngine::execute_batch(std::vector<ServeRequest> batch) {
   if (failed) {
     // Fallback disabled: the batch is lost; complete every request shed.
     for (ServeRequest& r : batch) {
-      slo_.on_reject();
-      finish(r, -1, ServeStatus::kRejected, completion, 0, 0);
+      slo_.on_reject(completion);
+      finish(r, -1, ServeStatus::kRejected, completion, 0, 0, 0, 0);
     }
     busy_until_us_ = completion;
     return;
@@ -246,6 +286,33 @@ void ServeEngine::execute_batch(std::vector<ServeRequest> batch) {
 
   std::vector<int> preds;
   const int nshards = std::min<int>(static_cast<int>(replicas_.size()), n);
+
+  // Row → replica shard assignment is a pure function of (n, replicas,
+  // int8 tier): the int8 plan and the single-shard paths run everything
+  // on "replica 0"; the parallel path splits rows into contiguous shards.
+  // Tracing must not perturb it, so it is computed unconditionally.
+  const bool single_exec = int8_active_ || nshards == 1;
+  const int rows_per_shard = single_exec ? n : (n + nshards - 1) / nshards;
+
+  // Batch span (named after the flush trigger), parented under the first
+  // request's admit span; replica spans are its children, recorded here on
+  // the driving thread in shard order so the causal log stays
+  // deterministic — the parallel_for workers below never touch it.
+  std::vector<obs::TraceContext> shard_ctx(static_cast<std::size_t>(nshards));
+  if (obs::causal_enabled() && batch.front().trace.valid()) {
+    const std::string batch_name =
+        std::string("batch.") + flush_trigger_name(trigger);
+    const obs::TraceContext batch_ctx = obs::causal_child(
+        batch.front().trace, batch_name, obs::lanes::kBatch, start, cost);
+    for (int s = 0; s < nshards; ++s) {
+      if (s * rows_per_shard >= n) break;
+      shard_ctx[static_cast<std::size_t>(s)] = obs::causal_child(
+          batch_ctx, int8_active_ ? "replica.int8" : "replica.exec",
+          obs::lanes::kReplicaBase + static_cast<std::uint32_t>(s), start,
+          cost);
+      if (single_exec) break;
+    }
+  }
   // When the int8 tier is active the whole batch runs through the single
   // quantized plan (it is sample-parallel internally); otherwise a lone
   // shard uses replica 0's compiled plan. Either way rows are staged into
@@ -296,9 +363,11 @@ void ServeEngine::execute_batch(std::vector<ServeRequest> batch) {
   const std::uint64_t batch_id = next_batch_id_++;
   slo_.on_batch(n);
   for (int i = 0; i < n; ++i) {
+    const int shard = std::min(i / rows_per_shard, nshards - 1);
     finish(batch[static_cast<std::size_t>(i)],
            preds[static_cast<std::size_t>(i)], ServeStatus::kOk, completion,
-           batch_id, n);
+           batch_id, n, shard,
+           shard_ctx[static_cast<std::size_t>(shard)].span_id);
   }
   busy_until_us_ = completion;
 }
@@ -333,6 +402,8 @@ QuantGateReport ServeEngine::activate_int8_tier(const nn::Tensor& clean,
     rep.reason = why;
     quant_rejected_.inc();
     quant_report_ = rep;
+    // Post-mortem: freeze the causal span tail at the moment of refusal.
+    obs::flight_trigger("quant.refuse", cfg_.name + ": " + why);
     return rep;
   };
 
@@ -392,6 +463,9 @@ QuantGateReport ServeEngine::activate_int8_tier(const nn::Tensor& clean,
 }
 
 std::string ServeEngine::config_fingerprint() const {
+  // cfg_.slo is deliberately absent: burn-rate/sketch settings are
+  // observational and never change queueing behaviour, so engines
+  // differing only in SLO accounting stay checkpoint-compatible.
   persist::ByteWriter w;
   w.str(cfg_.name);
   w.i32(cfg_.queue_capacity);

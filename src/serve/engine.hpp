@@ -49,7 +49,9 @@
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 #include "serve/slo.hpp"
+#include "util/check.hpp"
 #include "util/fault/fault.hpp"
+#include "util/obs/causal.hpp"
 #include "util/persist/persist.hpp"
 #include "util/rng.hpp"
 
@@ -85,6 +87,11 @@ struct ServeConfig {
   /// engine keeps serving float until activate_int8_tier()'s accuracy gate
   /// passes.
   QuantTierConfig quant;
+  /// SLO objectives / burn-rate windows / sketch accuracy. Observational
+  /// only — never changes queueing or batching — so it is deliberately
+  /// excluded from config_fingerprint(): two engines differing only in
+  /// `slo` still serve (and resume checkpoints) interchangeably.
+  SloConfig slo;
 };
 
 class ServeEngine {
@@ -103,6 +110,14 @@ class ServeEngine {
   /// shed at admission but served synchronously, kRejected when shed with
   /// no prediction.
   ServeStatus submit(nn::Tensor input, Completion done);
+
+  /// Traced submit: the same pipeline, with the request's causal context
+  /// carried through admission → batch → replica → completion. `ctx` is
+  /// the span the admit span should parent under (e.g. an xApp's classify
+  /// span); an invalid ctx under causal tracing mints a serve-rooted
+  /// trace from the request id, so every request is traceable even when
+  /// the caller isn't.
+  ServeStatus submit(nn::Tensor input, obs::TraceContext ctx, Completion done);
 
   /// Advance the virtual clock without submitting (heartbeat), then pump.
   /// Wire this to the platform's post-dispatch hook so partial batches
@@ -126,10 +141,19 @@ class ServeEngine {
   std::size_t queue_depth() const { return queue_.size(); }
   const ServeConfig& config() const { return cfg_; }
   int replicas() const { return static_cast<int>(replicas_.size()); }
-  /// Identity of the served model (all replicas are clones of it).
-  const std::string& model_name() const { return replicas_.front().name(); }
-  int model_num_classes() const { return replicas_.front().num_classes(); }
+  /// Identity of the served model (all replicas are clones of it). Each
+  /// accessor checks the pool is non-empty (a moved-from or corrupted
+  /// engine) instead of dereferencing front() into undefined behaviour.
+  const std::string& model_name() const {
+    OREV_CHECK(!replicas_.empty(), "serve engine has no replicas");
+    return replicas_.front().name();
+  }
+  int model_num_classes() const {
+    OREV_CHECK(!replicas_.empty(), "serve engine has no replicas");
+    return replicas_.front().num_classes();
+  }
   const nn::Shape& model_input_shape() const {
+    OREV_CHECK(!replicas_.empty(), "serve engine has no replicas");
     return replicas_.front().input_shape();
   }
 
@@ -170,8 +194,8 @@ class ServeEngine {
  private:
   void finish(ServeRequest& r, int prediction, ServeStatus status,
               std::uint64_t completion_us, std::uint64_t batch_id,
-              int batch_size);
-  void execute_batch(std::vector<ServeRequest> batch);
+              int batch_size, int replica, std::uint64_t flow_from);
+  void execute_batch(std::vector<ServeRequest> batch, FlushTrigger trigger);
   void execute_sync_fallback(std::vector<ServeRequest>& batch,
                              std::uint64_t start_us);
   int predict_on_replica(int replica, const nn::Tensor& input);
@@ -202,6 +226,9 @@ class ServeEngine {
   std::uint64_t busy_until_us_ = 0;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t next_batch_id_ = 1;
+  /// FNV-1a of cfg_.name: keeps serve-minted trace-id streams disjoint
+  /// across engines in the same process.
+  std::uint64_t name_hash_ = 0;
   bool in_completion_ = false;
 };
 

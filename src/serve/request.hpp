@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "nn/tensor.hpp"
+#include "util/obs/context.hpp"
 
 namespace orev::serve {
 
@@ -42,10 +43,16 @@ struct ServeResult {
   /// Batch the request was served in (0 for sync/shed paths).
   std::uint64_t batch_id = 0;
   int batch_size = 0;
+  /// Replica shard that computed the prediction (0 for sync/shed paths).
+  int replica = 0;
   /// Virtual submit → completion latency in microseconds.
   std::uint64_t latency_us = 0;
   /// True when the completion landed past the request's SLO deadline.
   bool deadline_missed = false;
+  /// Causal context of this request's completion span — callers parent
+  /// their downstream spans (e.g. the control message) under it. Zero
+  /// when causal tracing is off.
+  obs::TraceContext trace;
 };
 
 /// Completion callback. Fired exactly once per submitted request, on the
@@ -61,6 +68,10 @@ struct ServeRequest {
   std::uint64_t arrival_us = 0;
   /// Absolute virtual deadline (arrival + ServeConfig::deadline_us).
   std::uint64_t deadline_us = 0;
+  /// Causal context the request entered the engine with: the admit span,
+  /// parented under whatever the submitter passed (or a serve-minted
+  /// root). Zero when causal tracing is off.
+  obs::TraceContext trace;
   nn::Tensor input;
   Completion done;
 };

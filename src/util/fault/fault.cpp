@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/obs/flight.hpp"
 #include "util/obs/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -285,5 +286,14 @@ void FaultInjector::reset() {
 
 void set_global_injector(FaultInjector* injector) { g_injector = injector; }
 FaultInjector* global_injector() { return g_injector; }
+
+void maybe_crash(const std::string& site, FaultInjector* local) {
+  FaultInjector* fi = effective(local);
+  if (fi == nullptr) return;
+  if (fi->decide(site).kind == FaultKind::kCrash) {
+    obs::flight_trigger("kill_point", site);
+    throw FaultInjectedError(site);
+  }
+}
 
 }  // namespace orev::fault

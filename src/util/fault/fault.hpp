@@ -209,13 +209,9 @@ inline FaultInjector* effective(FaultInjector* local) {
 /// FaultInjectedError on a kCrash decision. Checkpoint/journal code calls
 /// this immediately after each durable commit so a seeded plan can
 /// simulate the process dying with the commit already on disk — the state
-/// a fresh process must be able to resume from.
-inline void maybe_crash(const std::string& site,
-                        FaultInjector* local = nullptr) {
-  FaultInjector* fi = effective(local);
-  if (fi == nullptr) return;
-  if (fi->decide(site).kind == FaultKind::kCrash)
-    throw FaultInjectedError(site);
-}
+/// a fresh process must be able to resume from. A crash decision dumps a
+/// flight-recorder report (obs::flight_trigger) before throwing, so the
+/// causal span tail at the moment of "death" survives for the post-mortem.
+void maybe_crash(const std::string& site, FaultInjector* local = nullptr);
 
 }  // namespace orev::fault

@@ -1,0 +1,113 @@
+// Causal span log: the deterministic half of the tracing plane.
+//
+// Unlike the wall-clock TraceSpan ring (trace.hpp), causal spans carry
+// *virtual* timestamps and explicit parent links, and they are recorded in
+// a deterministic order — every producer appends from the thread driving
+// its (virtual-time) pipeline, never from pool workers — so the exported
+// chrome://tracing JSON is byte-identical across runs and thread counts
+// for the same seeded workload. The two planes are complementary: the wall
+// ring answers "where did the nanoseconds go", the causal log answers
+// "what happened to request #4711, in order, provably".
+//
+// Export model (chrome trace-event JSON, pid 2):
+//   * each span is a "X" complete event on its *lane* (a deterministic
+//     virtual tid: indication, dispatch, app, admit, batch, replica[i],
+//     completion, control, ...), with trace/span/parent ids in args;
+//   * parent links that cross lanes additionally emit "s"/"f" flow events,
+//     so the viewer draws arrows from an indication down through admission
+//     and batching to the completion that answered it;
+//   * `flow_from` is a secondary causal edge (e.g. completion ← the
+//     replica shard that computed the row) rendered as a flow without
+//     re-parenting the span.
+//
+// Cost model: recording is one mutex-protected ring append; when causal
+// tracing is disabled (the default) every instrumentation site bails on a
+// relaxed atomic load before touching anything.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/obs/context.hpp"
+
+namespace orev::obs {
+
+namespace detail {
+extern std::atomic<bool> g_causal_enabled;
+}
+
+bool causal_enabled();
+void set_causal_enabled(bool on);
+
+/// Deterministic virtual lanes ("threads" in the chrome viewer). Replica
+/// shards get kReplicaBase + shard so sharded execution reads as a pool.
+namespace lanes {
+inline constexpr std::uint32_t kIndication = 1;
+inline constexpr std::uint32_t kDispatch = 2;
+inline constexpr std::uint32_t kApp = 3;
+inline constexpr std::uint32_t kControl = 4;
+inline constexpr std::uint32_t kAdmit = 5;
+inline constexpr std::uint32_t kBatch = 6;
+inline constexpr std::uint32_t kComplete = 7;
+inline constexpr std::uint32_t kAttack = 8;
+inline constexpr std::uint32_t kFault = 9;
+inline constexpr std::uint32_t kReplicaBase = 16;
+}  // namespace lanes
+
+/// Stable lane label for the chrome thread_name metadata.
+std::string lane_name(std::uint32_t lane);
+
+/// One completed causal span. Names are copied (truncated) into the fixed
+/// buffer; timestamps are virtual microseconds on the producer's clock.
+struct CausalSpan {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;  // 0 = root
+  std::uint64_t flow_from = 0;       // secondary causal edge (0 = none)
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t lane = 0;
+  char name[32] = {0};
+};
+
+/// Append one span as a child of `parent` (parent.span_id == 0 makes it a
+/// root of parent.trace_id). Returns the context downstream hops should
+/// parent under; a zero context when causal tracing is disabled.
+TraceContext causal_child(const TraceContext& parent, std::string_view name,
+                          std::uint32_t lane, std::uint64_t ts_us,
+                          std::uint64_t dur_us = 0,
+                          std::uint64_t flow_from = 0);
+
+/// Root convenience: causal_child with an explicit fresh trace id.
+inline TraceContext causal_root(std::uint64_t trace_id, std::string_view name,
+                                std::uint32_t lane, std::uint64_t ts_us,
+                                std::uint64_t dur_us = 0) {
+  return causal_child(TraceContext{trace_id, 0, ts_us}, name, lane, ts_us,
+                      dur_us);
+}
+
+/// Spans currently held (oldest first). The ring overwrites the oldest
+/// spans past causal_capacity(); causal_dropped() counts the overwritten.
+std::vector<CausalSpan> causal_snapshot();
+std::size_t causal_size();
+std::size_t causal_capacity();
+std::uint64_t causal_dropped();
+void causal_clear();
+
+/// Verify the log's causal integrity: every non-root parent_span_id and
+/// every flow_from must name a span present in the log, child spans must
+/// share their parent's trace id, and span ids must be strictly
+/// increasing in record order. Returns false and fills `why` (when given)
+/// on the first violation. A log that has dropped spans only checks the
+/// links that still resolve.
+bool causal_validate(std::string* why = nullptr);
+
+/// Chrome trace-event JSON: lane metadata + "X" spans + "s"/"f" flows.
+/// Deterministic byte-for-byte for a deterministic log.
+std::string causal_to_chrome_json();
+bool save_causal_chrome_json(const std::string& path);
+
+}  // namespace orev::obs

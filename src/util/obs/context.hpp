@@ -1,0 +1,48 @@
+// TraceContext: the causal identity one request carries through the stack
+// (E2 indication → RIC dispatch → xApp/rApp handler → serve admission →
+// micro-batch → replica → completion → E2 control).
+//
+// Identities are derived deterministically from *sequence numbers* — an
+// indication's delivery index, a serve request id, a clone probe index —
+// never from wall clocks or addresses, so two runs of the same seeded
+// workload mint byte-identical trace ids at any thread count. A context is
+// a plain value: copying it is two u64 stores, and a zero trace id means
+// "untraced" everywhere (the off path stays ≈ free).
+#pragma once
+
+#include <cstdint>
+
+namespace orev::obs {
+
+/// Causal identity propagated along one request's path. `span_id` names
+/// the span that should become the parent of the next hop; `ts_us` is that
+/// span's virtual timestamp, carried so downstream hops on a different
+/// virtual clock can anchor near their parent.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  // 0 = untraced
+  std::uint64_t span_id = 0;   // parent span for the next hop (0 = root)
+  std::uint64_t ts_us = 0;     // virtual timestamp of the parent span
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Domain tags that keep trace-id streams from different sources disjoint.
+namespace domains {
+inline constexpr std::uint64_t kE2 = 0xe2e2;      // indication delivery seq
+inline constexpr std::uint64_t kServe = 0x5e12;   // engine request id
+inline constexpr std::uint64_t kApp = 0xa0a0;     // app-minted roots
+inline constexpr std::uint64_t kAttack = 0xa77a;  // clone probe index
+}  // namespace domains
+
+/// Deterministic non-zero trace id from a domain tag and a sequence
+/// number (splitmix64 finalizer — well mixed, pure arithmetic).
+inline std::uint64_t derive_trace_id(std::uint64_t domain,
+                                     std::uint64_t seq) {
+  std::uint64_t z = domain * 0x9e3779b97f4a7c15ull + seq + 1;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
+}  // namespace orev::obs

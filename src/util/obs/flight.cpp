@@ -1,0 +1,136 @@
+#include "util/obs/flight.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "util/obs/causal.hpp"
+#include "util/persist/persist.hpp"
+
+namespace orev::obs {
+
+namespace {
+
+constexpr std::size_t kTailSpans = 128;
+
+struct FlightState {
+  std::mutex mu;
+  std::string dir;
+  std::uint64_t seq = 0;
+  std::string last_report;
+};
+
+FlightState& state() {
+  static FlightState* leaked = new FlightState();
+  return *leaked;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string file_tag(std::string_view reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (const char c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void set_flight_dir(const std::string& dir) {
+  FlightState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.dir = dir;
+}
+
+std::string flight_dir() {
+  FlightState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.dir;
+}
+
+std::uint64_t flight_trigger(std::string_view reason, std::string_view detail) {
+  // Snapshot the causal tail before taking the flight lock (the causal
+  // log has its own lock; never hold both).
+  std::vector<CausalSpan> spans = causal_snapshot();
+  if (spans.size() > kTailSpans)
+    spans.erase(spans.begin(),
+                spans.end() - static_cast<std::ptrdiff_t>(kTailSpans));
+
+  FlightState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  const std::uint64_t seq = ++st.seq;
+
+  std::ostringstream os;
+  os << "{\"schema\":\"orev-flight-v1\",\"seq\":" << seq << ",\"reason\":\""
+     << escape(reason) << "\",\"detail\":\"" << escape(detail)
+     << "\",\"spans\":[";
+  bool first = true;
+  for (const CausalSpan& s : spans) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << escape(s.name) << "\",\"lane\":\""
+       << lane_name(s.lane) << "\",\"trace\":" << s.trace_id
+       << ",\"span\":" << s.span_id << ",\"parent\":" << s.parent_span_id
+       << ",\"flow_from\":" << s.flow_from << ",\"ts_us\":" << s.ts_us
+       << ",\"dur_us\":" << s.dur_us << '}';
+  }
+  os << "]}\n";
+  st.last_report = os.str();
+
+  if (!st.dir.empty()) {
+    std::ostringstream path;
+    path << st.dir << "/flight-" << seq << '-' << file_tag(reason) << ".json";
+    // Best effort: a failed dump must never turn a recorded incident
+    // into a second failure.
+    (void)persist::atomic_write_file(path.str(), st.last_report,
+                                     /*sync=*/false);
+  }
+  return seq;
+}
+
+std::uint64_t flight_trigger_count() {
+  FlightState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.seq;
+}
+
+std::string flight_last_report() {
+  FlightState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.last_report;
+}
+
+void flight_reset() {
+  FlightState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.seq = 0;
+  st.last_report.clear();
+}
+
+}  // namespace orev::obs

@@ -37,12 +37,35 @@ std::string json_double(double v) {
   return buf;
 }
 
-/// Prometheus metric name: [a-z0-9_] with an orev_ prefix.
+/// Prometheus metric name: [a-z0-9_:] with an orev_ prefix. ':' is legal
+/// in exposition-format metric names (recording-rule convention) and is
+/// preserved; every other character outside [a-zA-Z0-9] collapses to '_'.
 std::string prom_name(const std::string& name) {
   std::string out = "orev_";
   for (const char c : name) {
+    if (c == ':') {
+      out.push_back(c);
+      continue;
+    }
     const char l = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
     out.push_back((std::isalnum(static_cast<unsigned char>(l)) != 0) ? l : '_');
+  }
+  return out;
+}
+
+/// HELP text escaping per the exposition format: backslash and newline
+/// must be escaped; everything else passes through.
+std::string prom_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
   }
   return out;
 }
@@ -181,6 +204,39 @@ void Histogram::reset() {
                   std::memory_order_relaxed);
 }
 
+// ------------------------------------------------------------ SketchMetric
+
+SketchMetric::SketchMetric(double alpha) : alpha_(alpha) {
+  shards_.reserve(detail::kStripes);
+  for (int i = 0; i < detail::kStripes; ++i)
+    shards_.push_back(std::make_unique<Shard>(alpha));
+}
+
+void SketchMetric::observe(double v) {
+  Shard& s = *shards_[thread_index() & (detail::kStripes - 1)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.sketch.observe(v);
+}
+
+QuantileSketch SketchMetric::merged() const {
+  // Ascending shard order: merge is order-independent anyway (exact
+  // integer bucket addition), but a fixed order keeps the fp `sum` field
+  // deterministic too.
+  QuantileSketch out(alpha_);
+  for (const std::unique_ptr<Shard>& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    out.merge(s->sketch);
+  }
+  return out;
+}
+
+void SketchMetric::reset() {
+  for (const std::unique_ptr<Shard>& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->sketch.reset();
+  }
+}
+
 std::vector<double> default_latency_buckets_ms() {
   // {1, 2, 5} x 10^k from 100 ns to 100 s — 19 decades' worth of spread
   // covers a matmul call and a full surrogate training run alike.
@@ -203,7 +259,8 @@ Registry& Registry::instance() {
 Counter& Registry::counter(const std::string& name, const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = metrics_[name];
-  OREV_CHECK(!e.gauge && !e.histogram, "metric type mismatch: " + name);
+  OREV_CHECK(!e.gauge && !e.histogram && !e.sketch,
+             "metric type mismatch: " + name);
   if (!e.counter) {
     e.counter = std::make_unique<Counter>();
     e.help = help;
@@ -214,7 +271,8 @@ Counter& Registry::counter(const std::string& name, const std::string& help) {
 Gauge& Registry::gauge(const std::string& name, const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = metrics_[name];
-  OREV_CHECK(!e.counter && !e.histogram, "metric type mismatch: " + name);
+  OREV_CHECK(!e.counter && !e.histogram && !e.sketch,
+             "metric type mismatch: " + name);
   if (!e.gauge) {
     e.gauge = std::make_unique<Gauge>();
     e.help = help;
@@ -227,7 +285,8 @@ Histogram& Registry::histogram(const std::string& name,
                                const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = metrics_[name];
-  OREV_CHECK(!e.counter && !e.gauge, "metric type mismatch: " + name);
+  OREV_CHECK(!e.counter && !e.gauge && !e.sketch,
+             "metric type mismatch: " + name);
   if (!e.histogram) {
     if (bounds.empty()) bounds = default_latency_buckets_ms();
     e.histogram = std::make_unique<Histogram>(std::move(bounds));
@@ -236,12 +295,26 @@ Histogram& Registry::histogram(const std::string& name,
   return *e.histogram;
 }
 
+SketchMetric& Registry::sketch(const std::string& name, double alpha,
+                               const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  OREV_CHECK(!e.counter && !e.gauge && !e.histogram,
+             "metric type mismatch: " + name);
+  if (!e.sketch) {
+    e.sketch = std::make_unique<SketchMetric>(alpha);
+    e.help = help;
+  }
+  return *e.sketch;
+}
+
 std::string Registry::to_prometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   for (const auto& [name, e] : metrics_) {
     const std::string pn = prom_name(name);
-    if (!e.help.empty()) os << "# HELP " << pn << ' ' << e.help << '\n';
+    if (!e.help.empty())
+      os << "# HELP " << pn << ' ' << prom_help(e.help) << '\n';
     if (e.counter) {
       os << "# TYPE " << pn << " counter\n"
          << pn << ' ' << e.counter->value() << '\n';
@@ -256,6 +329,19 @@ std::string Registry::to_prometheus() const {
       os << pn << "{quantile=\"0.99\"} " << json_double(s.p99) << '\n';
       os << pn << "_sum " << json_double(s.sum) << '\n';
       os << pn << "_count " << s.count << '\n';
+    } else if (e.sketch) {
+      const QuantileSketch s = e.sketch->merged();
+      os << "# TYPE " << pn << " summary\n";
+      os << pn << "{quantile=\"0.5\"} " << json_double(s.quantile(0.50))
+         << '\n';
+      os << pn << "{quantile=\"0.95\"} " << json_double(s.quantile(0.95))
+         << '\n';
+      os << pn << "{quantile=\"0.99\"} " << json_double(s.quantile(0.99))
+         << '\n';
+      os << pn << "{quantile=\"0.999\"} " << json_double(s.quantile(0.999))
+         << '\n';
+      os << pn << "_sum " << json_double(s.sum()) << '\n';
+      os << pn << "_count " << s.count() << '\n';
     }
   }
   return os.str();
@@ -296,6 +382,24 @@ std::string Registry::to_json() const {
        << ", \"p99\": " << json_double(s.p99) << "}";
     first = false;
   }
+  os << (first ? "" : "\n  ") << "},\n  \"sketches\": {";
+  first = true;
+  for (const auto& [name, e] : metrics_) {
+    if (!e.sketch) continue;
+    const QuantileSketch s = e.sketch->merged();
+    const double mean =
+        s.count() == 0 ? 0.0 : s.sum() / static_cast<double>(s.count());
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": {"
+       << "\"count\": " << s.count() << ", \"sum\": " << json_double(s.sum())
+       << ", \"mean\": " << json_double(mean)
+       << ", \"min\": " << json_double(s.min())
+       << ", \"max\": " << json_double(s.max())
+       << ", \"p50\": " << json_double(s.quantile(0.50))
+       << ", \"p95\": " << json_double(s.quantile(0.95))
+       << ", \"p99\": " << json_double(s.quantile(0.99))
+       << ", \"p999\": " << json_double(s.quantile(0.999)) << "}";
+    first = false;
+  }
   os << (first ? "" : "\n  ") << "}\n}\n";
   return os.str();
 }
@@ -315,6 +419,7 @@ void Registry::reset_values() {
     if (e.counter) e.counter->reset();
     if (e.gauge) e.gauge->reset();
     if (e.histogram) e.histogram->reset();
+    if (e.sketch) e.sketch->reset();
   }
 }
 
@@ -327,6 +432,10 @@ Gauge& gauge(const std::string& name, const std::string& help) {
 Histogram& histogram(const std::string& name, std::vector<double> bounds,
                      const std::string& help) {
   return Registry::instance().histogram(name, std::move(bounds), help);
+}
+SketchMetric& sketch(const std::string& name, double alpha,
+                     const std::string& help) {
+  return Registry::instance().sketch(name, alpha, help);
 }
 
 }  // namespace orev::obs

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "util/obs/sketch.hpp"
 #include "util/obs/timer.hpp"
 
 namespace orev::obs {
@@ -129,6 +130,32 @@ class Histogram {
 /// {1, 2, 5} x 10^k spanning 100 ns .. 100 s (one overflow bucket above).
 std::vector<double> default_latency_buckets_ms();
 
+/// Registry-resident quantile sketch, lock-striped by thread_index() so
+/// concurrent observers rarely contend. merged() combines the stripes in
+/// ascending order — an exact, order-independent merge (see sketch.hpp),
+/// so the merged quantiles are identical at any thread count once the
+/// same multiset of values was observed.
+class SketchMetric {
+ public:
+  explicit SketchMetric(double alpha = 0.01);
+
+  void observe(double v);
+  QuantileSketch merged() const;
+  double alpha() const { return alpha_; }
+  std::uint64_t count() const { return merged().count(); }
+  void reset();
+
+ private:
+  struct Shard {
+    explicit Shard(double alpha) : sketch(alpha) {}
+    mutable std::mutex mu;
+    QuantileSketch sketch;
+  };
+
+  double alpha_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // detail::kStripes entries
+};
+
 /// Process-wide metric registry. Metrics are created on first use and
 /// never removed (reset_values() zeroes them in place, so cached
 /// references at instrumentation sites stay valid).
@@ -143,13 +170,19 @@ class Registry {
   Histogram& histogram(const std::string& name,
                        std::vector<double> bounds = {},
                        const std::string& help = "");
+  /// `alpha` is consulted only on first creation.
+  SketchMetric& sketch(const std::string& name, double alpha = 0.01,
+                       const std::string& help = "");
 
-  /// Prometheus text exposition (names sanitized to [a-z0-9_], prefixed
-  /// `orev_`). Histograms export count/sum/quantile series.
+  /// Prometheus text exposition (names sanitized to [a-z0-9_:], prefixed
+  /// `orev_`; every series gets `# TYPE` and, when present, an escaped
+  /// `# HELP`). Histograms and sketches export as summaries.
   std::string to_prometheus() const;
 
   /// JSON report: {"schema": "...", "counters": {...}, "gauges": {...},
-  /// "histograms": {name: {count, sum, min, max, mean, p50, p95, p99}}}.
+  /// "histograms": {name: {count, sum, min, max, mean, p50, p95, p99}},
+  /// "sketches": {name: {count, sum, mean, min, max, p50, p95, p99,
+  /// p999}}}.
   std::string to_json() const;
 
   bool save_json(const std::string& path) const;
@@ -165,6 +198,7 @@ class Registry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<SketchMetric> sketch;
     std::string help;
   };
 
@@ -176,6 +210,8 @@ class Registry {
 Counter& counter(const std::string& name, const std::string& help = "");
 Gauge& gauge(const std::string& name, const std::string& help = "");
 Histogram& histogram(const std::string& name, std::vector<double> bounds = {},
+                     const std::string& help = "");
+SketchMetric& sketch(const std::string& name, double alpha = 0.01,
                      const std::string& help = "");
 
 /// RAII helper: observes the scope's wall time (in ms) into a histogram.

@@ -1,7 +1,13 @@
-// Umbrella header for the observability layer: metrics registry, scoped
-// tracing, and the shared wall-clock timer. See README "Observability".
+// Umbrella header for the observability layer: metrics registry (with
+// quantile sketches), wall-clock tracing, the causal trace plane, flight
+// recorder, and the shared wall-clock timer. See README "Observability
+// v2".
 #pragma once
 
+#include "util/obs/causal.hpp"
+#include "util/obs/context.hpp"
+#include "util/obs/flight.hpp"
 #include "util/obs/metrics.hpp"
+#include "util/obs/sketch.hpp"
 #include "util/obs/timer.hpp"
 #include "util/obs/trace.hpp"

@@ -1,0 +1,117 @@
+// Mergeable relative-error quantile sketch (DDSketch-style).
+//
+// Fixed-bucket histograms (metrics.hpp) answer "roughly where is p99"
+// only as well as their bucket edges allow — and SLO misses live exactly
+// in the tail where the edges are coarsest. This sketch instead maps each
+// value to a logarithmic bucket index i = ceil(ln v / ln gamma) with
+// gamma = (1 + alpha) / (1 - alpha), which guarantees every reported
+// quantile q satisfies |q - q_true| <= alpha * q_true (relative error,
+// uniform across the whole range), using a sparse map of non-empty
+// buckets.
+//
+// The property the serving stack leans on: merging is *exact integer
+// bucket addition*, so it is associative and commutative. Per-replica
+// shards merged in any order — 1 thread or 16 — produce the identical
+// sketch, hence byte-identical quantiles in every export. That is what
+// lets latency percentiles live inside the determinism contract.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+
+namespace orev::obs {
+
+class QuantileSketch {
+ public:
+  /// `alpha` is the relative accuracy bound (default 1%).
+  explicit QuantileSketch(double alpha = 0.01)
+      : alpha_(alpha), gamma_((1.0 + alpha) / (1.0 - alpha)),
+        inv_log_gamma_(1.0 / std::log((1.0 + alpha) / (1.0 - alpha))) {}
+
+  void observe(double v) {
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    if (v < kMinTrackable) {
+      // Zero bucket: zeros and negatives (queue depths, degenerate
+      // latencies) — counted but not resolved beyond "<= ~0".
+      ++zero_count_;
+      return;
+    }
+    ++buckets_[index_of(v)];
+  }
+
+  /// Exact merge: integer addition of bucket counts. Associative and
+  /// commutative, so shard merge order never changes the result. The two
+  /// sketches must share alpha (same bucket geometry).
+  void merge(const QuantileSketch& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    zero_count_ += other.zero_count_;
+    for (const auto& [idx, n] : other.buckets_) buckets_[idx] += n;
+  }
+
+  /// Value at quantile q in [0, 1]: the midpoint-estimate of the bucket
+  /// holding the rank-ceil(q * count) observation, clamped to the exact
+  /// [min, max] envelope. 0 when empty.
+  double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t seen = zero_count_;
+    if (rank <= seen) return std::clamp(0.0, min_, max_);
+    for (const auto& [idx, n] : buckets_) {
+      seen += n;
+      if (rank <= seen) {
+        const double g = std::pow(gamma_, static_cast<double>(idx));
+        const double v = 2.0 * g / (gamma_ + 1.0);  // bucket midpoint
+        return std::clamp(v, min_, max_);
+      }
+    }
+    return max_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double alpha() const { return alpha_; }
+  std::size_t bucket_count() const {
+    return buckets_.size() + (zero_count_ > 0 ? 1 : 0);
+  }
+
+  void reset() {
+    buckets_.clear();
+    count_ = 0;
+    zero_count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  static constexpr double kMinTrackable = 1e-9;
+
+  std::int32_t index_of(double v) const {
+    return static_cast<std::int32_t>(std::ceil(std::log(v) * inv_log_gamma_));
+  }
+
+  double alpha_;
+  double gamma_;
+  double inv_log_gamma_;
+  std::map<std::int32_t, std::uint64_t> buckets_;  // sorted → ordered walks
+  std::uint64_t count_ = 0;
+  std::uint64_t zero_count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace orev::obs

@@ -15,14 +15,18 @@
 #include <utility>
 #include <vector>
 
+#include "apps/ic_xapp.hpp"
 #include "apps/model_zoo.hpp"
 #include "attack/clone.hpp"
 #include "nn/blocks.hpp"
 #include "nn/layers.hpp"
+#include "oran/near_rt_ric.hpp"
 #include "serve/serve.hpp"
 #include "test_helpers.hpp"
 #include "util/check.hpp"
+#include "util/fault/circuit_breaker.hpp"
 #include "util/fault/fault.hpp"
+#include "util/obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace orev {
@@ -557,6 +561,207 @@ TEST(ServeEngine, CompletionsMustNotReenterTheEngine) {
                             eng.submit(single_request(), nullptr);
                           }),
                CheckError);
+}
+
+TEST(ServeEngine, AccessorsGuardAgainstAnEmptyReplicaPool) {
+  ServeConfig bad;
+  bad.replicas = 0;
+  EXPECT_THROW(ServeEngine(kpm_model(), bad), CheckError);
+
+  ServeEngine eng(kpm_model(), ServeConfig{});
+  EXPECT_EQ(eng.model_num_classes(), 4);
+  EXPECT_EQ(eng.model_input_shape(), (nn::Shape{4}));
+  EXPECT_FALSE(eng.model_name().empty());
+}
+
+// ------------------------------------------------------- causal tracing --
+
+/// Enables causal tracing for one test and restores the prior state; the
+/// ring is cleared on both edges so span ids restart at 1 and no spans
+/// leak between tests.
+class CausalGuard {
+ public:
+  CausalGuard() : was_(obs::causal_enabled()) {
+    obs::set_causal_enabled(true);
+    obs::causal_clear();
+  }
+  ~CausalGuard() {
+    obs::causal_clear();
+    obs::set_causal_enabled(was_);
+  }
+
+ private:
+  bool was_;
+};
+
+TEST(ServeTrace, ByteIdenticalCausalExportAcrossThreadCounts) {
+  ThreadGuard tg;
+  CausalGuard cg;
+  const std::vector<nn::Tensor> inputs = kpm_inputs(40);
+  std::string exported[2];
+  const int thread_counts[2] = {1, 4};
+  for (int t = 0; t < 2; ++t) {
+    util::set_num_threads(thread_counts[t]);
+    obs::causal_clear();  // fresh engine + fresh ring → same ids both runs
+    ServeConfig cfg;
+    cfg.batch_max = 8;
+    cfg.replicas = 2;
+    ServeEngine eng(kpm_model(), cfg);
+    run_workload(eng, inputs);  // untraced submits mint serve-lane roots
+    EXPECT_GT(obs::causal_size(), 0u);
+    std::string why;
+    EXPECT_TRUE(obs::causal_validate(&why)) << why;
+    exported[t] = obs::causal_to_chrome_json();
+  }
+  EXPECT_EQ(exported[0], exported[1]);
+}
+
+class TraceFakeE2Node : public oran::E2Node {
+ public:
+  void handle_control(const oran::E2Control& c) override {
+    controls.push_back(c);
+  }
+  std::string node_id() const override { return "ran-1"; }
+  std::vector<oran::E2Control> controls;
+};
+
+/// Minimal RIC with one fully-permissioned xApp role, mirroring the fault
+/// tests' fixture.
+class ServeTraceTest : public ::testing::Test {
+ protected:
+  ServeTraceTest()
+      : op_("op", "sec"),
+        svc_(&op_, &rbac_),
+        ric_(&rbac_, &svc_, /*control_window_ms=*/1000.0) {
+    rbac_.define_role("xapp-full",
+                      {oran::Permission{"telemetry/*", true, false},
+                       oran::Permission{"decisions", true, true},
+                       oran::Permission{"e2/control", false, true}});
+    ric_.connect_e2(&node_);
+  }
+
+  std::string onboard(const std::string& name) {
+    oran::AppDescriptor d;
+    d.name = name;
+    d.version = "1";
+    d.vendor = "v";
+    d.payload = "p";
+    d.requested_role = "xapp-full";
+    return svc_.onboard(op_.package(d)).app_id;
+  }
+
+  /// A 4-feature KPM indication matching kpm_model()'s input shape.
+  oran::E2Indication kpm4_indication(float sinr, std::uint64_t tti) {
+    oran::E2Indication ind;
+    ind.ran_node_id = "ran-1";
+    ind.tti = tti;
+    ind.kind = oran::IndicationKind::kKpm;
+    ind.payload =
+        nn::Tensor({4}, std::vector<float>{sinr, 1.0f - sinr, 0.3f, 0.7f});
+    return ind;
+  }
+
+  oran::Rbac rbac_;
+  oran::Operator op_;
+  oran::OnboardingService svc_;
+  oran::NearRtRic ric_;
+  TraceFakeE2Node node_;
+};
+
+TEST_F(ServeTraceTest, FullRequestChainFromIndicationToControlResolves) {
+  CausalGuard cg;
+  auto app = std::make_shared<apps::IcXApp>(
+      kpm_model(), oran::IndicationKind::kKpm, /*fixed_mcs_index=*/13);
+  ASSERT_TRUE(ric_.register_xapp(app, onboard("ic"), 10));
+
+  ServeConfig cfg;
+  cfg.batch_max = 1;  // flush in submit → every chain completes per delivery
+  ServeEngine eng(kpm_model(), cfg);
+  app->set_serve_engine(&eng);
+
+  for (std::uint64_t tti = 1; tti <= 4; ++tti)
+    ric_.deliver_indication(kpm4_indication(0.4f, tti));
+  eng.drain();
+  ASSERT_EQ(node_.controls.size(), 4u);
+  EXPECT_EQ(app->predictions_made(), 4u);
+
+  // Every causal link in the export must resolve (no orphan parents, no
+  // cross-trace edges) and every stage of the request chain must appear.
+  std::string why;
+  EXPECT_TRUE(obs::causal_validate(&why)) << why;
+  const std::string json = obs::causal_to_chrome_json();
+  for (const char* stage :
+       {"\"name\":\"e2.indication\"", "\"name\":\"dispatch.",
+        "\"name\":\"ic.classify\"", "\"name\":\"serve.admit\"",
+        "\"name\":\"batch.", "\"name\":\"replica.exec\"",
+        "\"name\":\"serve.complete\"", "\"name\":\"e2.control\""}) {
+    EXPECT_NE(json.find(stage), std::string::npos) << "missing " << stage;
+  }
+}
+
+TEST_F(ServeTraceTest, FlightRecorderFiresWhenTheBreakerOpens) {
+  CausalGuard cg;
+  fault::BreakerConfig bcfg;
+  bcfg.failure_threshold = 2;
+  bcfg.open_cooldown = 2;
+  ric_.set_breaker_config(bcfg);
+
+  class BuggyXApp : public oran::XApp {
+   public:
+    void on_indication(const oran::E2Indication&, oran::NearRtRic&) override {
+      throw std::runtime_error("app bug");
+    }
+  };
+  auto bad = std::make_shared<BuggyXApp>();
+  const std::string id = onboard("bad");
+  ASSERT_TRUE(ric_.register_xapp(bad, id, 1));
+
+  const std::uint64_t before = obs::flight_trigger_count();
+  ric_.deliver_indication(kpm4_indication(0.5f, 1));
+  EXPECT_EQ(obs::flight_trigger_count(), before);  // one fault: still closed
+  ric_.deliver_indication(kpm4_indication(0.5f, 2));
+  EXPECT_EQ(obs::flight_trigger_count(), before + 1);
+  EXPECT_EQ(ric_.breaker_state(id), fault::CircuitBreaker::State::kOpen);
+
+  const std::string report = obs::flight_last_report();
+  EXPECT_NE(report.find("breaker.open"), std::string::npos) << report;
+  EXPECT_NE(report.find(id), std::string::npos) << report;
+}
+
+TEST(ServeTrace, FlightRecorderFiresWhenTheQuantGateRefuses) {
+  CausalGuard cg;
+  // Hairline decision margin far below the int8 rounding step: the gate's
+  // clean-accuracy check must refuse the tier (see Int8Gate tests).
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->emplace<nn::Dense>(2, 2, /*bias=*/false);
+  nn::Model m("FlightHairline", std::move(seq), {2}, 2);
+  std::vector<nn::Tensor> w;
+  w.push_back(nn::Tensor({2, 2}, {1.0f, 1.0f, 1.0f, 1.00003f}));
+  m.set_weights(w);
+
+  nn::Tensor clean({8, 2});
+  for (int i = 0; i < 8; ++i) {
+    const float sign = i % 2 == 0 ? 1.0f : -1.0f;
+    clean.at2(i, 0) = -0.8f * sign;
+    clean.at2(i, 1) = 0.05f * sign;
+  }
+  nn::Model ref = m.clone();
+  ref.set_inference_only(true);
+  const std::vector<int> labels = ref.predict(clean);
+
+  ServeConfig cfg;
+  cfg.name = "flightgate";
+  cfg.quant.enable = true;
+  ServeEngine eng(std::move(m), cfg);
+
+  const std::uint64_t before = obs::flight_trigger_count();
+  const serve::QuantGateReport rep = eng.activate_int8_tier(clean, labels);
+  EXPECT_TRUE(rep.attempted);
+  EXPECT_FALSE(rep.activated);
+  EXPECT_EQ(obs::flight_trigger_count(), before + 1);
+  const std::string report = obs::flight_last_report();
+  EXPECT_NE(report.find("quant.refuse"), std::string::npos) << report;
+  EXPECT_NE(report.find("flightgate"), std::string::npos) << report;
 }
 
 }  // namespace

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate the observability-plane outputs of a bench run (CI smoke).
+
+Checks, against the files produced by `--trace-out` / `--metrics-out`:
+
+  --trace FILE    chrome://tracing JSON from the causal span ring:
+                    * every complete ("X") event carries trace/span/parent
+                      args;
+                    * span ids are unique;
+                    * every non-zero parent (and flow_from) refers to a
+                      span present in the file — the causal chain has no
+                      orphans;
+                    * parent edges stay within their trace;
+                    * every flow ("s"/"f") pair is bound to real spans.
+
+  --metrics FILE  metrics-registry JSON: every quantile sketch satisfies
+                    min <= p50 <= p95 <= p99 <= p999 <= max and has a
+                    consistent count/sum.
+
+Exit 0 when every check passes; prints each failure and exits 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print("FAIL: " + msg)
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: no traceEvents array")
+        return
+    xs = [e for e in events if e.get("ph") == "X"]
+    causal = [e for e in xs if isinstance(e.get("args"), dict)
+              and "span" in e["args"]]
+    if not causal:
+        fail(f"{path}: no causal complete events (args.span missing)")
+        return
+
+    spans = {}
+    for e in causal:
+        a = e["args"]
+        for field in ("trace", "span", "parent"):
+            if field not in a:
+                fail(f"{path}: event {e.get('name')} missing args.{field}")
+                return
+        if a["span"] in spans:
+            fail(f"{path}: duplicate span id {a['span']}")
+        spans[a["span"]] = a
+
+    for e in causal:
+        a = e["args"]
+        name = e.get("name", "?")
+        parent = a["parent"]
+        if parent:
+            if parent not in spans:
+                fail(f"{path}: span {a['span']} ({name}) has orphan "
+                     f"parent {parent}")
+            elif spans[parent]["trace"] != a["trace"]:
+                fail(f"{path}: span {a['span']} ({name}) crosses traces "
+                     f"via parent {parent}")
+        flow = a.get("flow_from", 0)
+        if flow and flow not in spans:
+            fail(f"{path}: span {a['span']} ({name}) has orphan "
+                 f"flow_from {flow}")
+
+    # Flow binding: each "s" (start) and "f" (finish) pair must be
+    # anchored at timestamps of spans that exist.
+    starts = {e["id"] for e in events if e.get("ph") == "s"}
+    finishes = {e["id"] for e in events if e.get("ph") == "f"}
+    if starts != finishes:
+        fail(f"{path}: unmatched flow events "
+             f"({len(starts)} starts vs {len(finishes)} finishes)")
+
+    print(f"ok: {path}: {len(causal)} causal spans, "
+          f"{len(starts)} flow edges, no orphans")
+
+
+def check_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    sketches = doc.get("sketches", {})
+    if not sketches:
+        fail(f"{path}: no sketches section")
+        return
+    for name, s in sketches.items():
+        qs = [s.get("min"), s.get("p50"), s.get("p95"), s.get("p99"),
+              s.get("p999"), s.get("max")]
+        if any(v is None for v in qs):
+            fail(f"{path}: sketch {name} missing quantile fields")
+            continue
+        labels = ["min", "p50", "p95", "p99", "p999", "max"]
+        for i in range(len(qs) - 1):
+            if qs[i] > qs[i + 1]:
+                fail(f"{path}: sketch {name} not monotone: "
+                     f"{labels[i]}={qs[i]} > {labels[i + 1]}={qs[i + 1]}")
+        if s.get("count", 0) < 0:
+            fail(f"{path}: sketch {name} negative count")
+        if s.get("count", 0) > 0 and not (
+                s["min"] <= s.get("mean", 0) <= s["max"]):
+            fail(f"{path}: sketch {name} mean {s.get('mean')} outside "
+                 f"[min, max]")
+    print(f"ok: {path}: {len(sketches)} sketches monotone")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="chrome://tracing JSON to validate")
+    ap.add_argument("--metrics", help="metrics-registry JSON to validate")
+    args = ap.parse_args()
+    if not args.trace and not args.metrics:
+        ap.error("pass --trace and/or --metrics")
+    if args.trace:
+        check_trace(args.trace)
+    if args.metrics:
+        check_metrics(args.metrics)
+    return 1 if FAILURES else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
