@@ -24,6 +24,7 @@
 #include "oran/near_rt_ric.hpp"
 #include "oran/non_rt_ric.hpp"
 #include "rictest/emulator.hpp"
+#include "serve/engine.hpp"
 
 using namespace orev;
 using namespace orev::bench;
@@ -70,6 +71,8 @@ struct NearRtResult {
   std::uint64_t controls_dropped = 0;
   std::uint64_t controls_failed = 0;
   std::uint64_t telemetry_failures = 0;
+  std::uint64_t serve_degraded = 0;   // engine degraded-sync completions
+  std::uint64_t serve_shed = 0;       // classifications shed by the engine
   std::string injector_stats;
 
   double availability() const {
@@ -124,6 +127,18 @@ NearRtResult run_near_rt(const fault::FaultPlan& plan, bool recover,
   app->set_degraded_config(dcfg);
   OREV_CHECK(ric.register_xapp(app, ic_id, 10), "IC xApp must register");
 
+  // Serving path under chaos: classifications route through a ServeEngine
+  // drawing from the same injector, so the plan's serve.admit/serve.batch
+  // sites shed or degrade real requests. The drain after each delivery
+  // keeps the control inside its iteration (batch-of-one, but the full
+  // admission → batch → completion pipeline runs for every request).
+  serve::ServeConfig scfg;
+  scfg.name = recover ? "chaosic" : "chaosicraw";
+  scfg.batch_max = 4;
+  serve::ServeEngine engine(tiny_ic_model(), scfg);
+  engine.set_fault_injector(&injector);
+  app->set_serve_engine(&engine);
+
   NearRtResult out;
   out.iters = iters;
   std::uint64_t current_outage = 0;
@@ -145,6 +160,7 @@ NearRtResult run_near_rt(const fault::FaultPlan& plan, bool recover,
     for (int tx = 0; tx < max_transmissions; ++tx) {
       if (tx > 0) ++out.retransmissions;
       ric.deliver_indication(ind);
+      engine.drain();
       if (node.controls() > controls_before) break;
     }
 
@@ -177,6 +193,8 @@ NearRtResult run_near_rt(const fault::FaultPlan& plan, bool recover,
   out.controls_dropped = ric.controls_dropped();
   out.controls_failed = ric.controls_failed();
   out.telemetry_failures = app->telemetry_failures();
+  out.serve_degraded = engine.slo().degraded_syncs;
+  out.serve_shed = app->serve_shed();
   out.injector_stats = injector.stats_json();
   return out;
 }
@@ -191,6 +209,8 @@ struct NonRtResult {
   std::uint64_t rapp_faults = 0;
   std::uint64_t policies_sent = 0;
   std::uint64_t policies_delivered = 0;
+  std::uint64_t serve_degraded = 0;   // engine degraded-sync completions
+  std::uint64_t serve_shed = 0;       // sector decisions shed by the engine
   std::string injector_stats;
 
   double decision_availability() const {
@@ -246,6 +266,17 @@ NonRtResult run_non_rt(const fault::FaultPlan& plan, bool recover,
   app->set_degraded_config(dcfg);
   OREV_CHECK(ric.register_rapp(app, ps_id, 10), "PS rApp must register");
 
+  // Serving path under chaos: per-sector decisions batch through a
+  // ServeEngine on the same injector (the rApp drains it every period),
+  // so serve.admit/serve.batch faults hit the non-RT loop too.
+  serve::ServeConfig scfg;
+  scfg.name = recover ? "chaosps" : "chaospsraw";
+  scfg.batch_max = rictest::kNumSectors;
+  serve::ServeEngine engine(apps::make_power_saving_cnn({1, 12, 9}, 6, 21),
+                            scfg);
+  engine.set_fault_injector(&injector);
+  app->set_serve_engine(&engine);
+
   NonRtResult out;
   out.periods = periods;
   for (std::uint64_t t = 0; t < periods; ++t) {
@@ -269,13 +300,15 @@ NonRtResult run_non_rt(const fault::FaultPlan& plan, bool recover,
   out.collect_failures = ric.pm_collect_failures();
   out.publish_failures = ric.pm_publish_failures();
   out.rapp_faults = ric.stats_of(ps_id).faults;
+  out.serve_degraded = engine.slo().degraded_syncs;
+  out.serve_shed = app->serve_shed();
   out.injector_stats = injector.stats_json();
   return out;
 }
 
 void append_near_rt_json(std::string& json, const char* name,
                          const NearRtResult& r) {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "  \"%s\": {\n"
@@ -296,7 +329,9 @@ void append_near_rt_json(std::string& json, const char* name,
       "    \"sdl_write_failures\": %llu,\n"
       "    \"controls_dropped\": %llu,\n"
       "    \"controls_failed\": %llu,\n"
-      "    \"telemetry_failures\": %llu,\n",
+      "    \"telemetry_failures\": %llu,\n"
+      "    \"serve_degraded\": %llu,\n"
+      "    \"serve_shed\": %llu,\n",
       name, static_cast<unsigned long long>(r.iters), r.availability(),
       r.informed_rate(), static_cast<unsigned long long>(r.served),
       static_cast<unsigned long long>(r.informed),
@@ -312,14 +347,16 @@ void append_near_rt_json(std::string& json, const char* name,
       static_cast<unsigned long long>(r.sdl_write_failures),
       static_cast<unsigned long long>(r.controls_dropped),
       static_cast<unsigned long long>(r.controls_failed),
-      static_cast<unsigned long long>(r.telemetry_failures));
+      static_cast<unsigned long long>(r.telemetry_failures),
+      static_cast<unsigned long long>(r.serve_degraded),
+      static_cast<unsigned long long>(r.serve_shed));
   json += buf;
   json += "    \"faults\": " + r.injector_stats + "\n  },\n";
 }
 
 void append_non_rt_json(std::string& json, const char* name,
                         const NonRtResult& r) {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "  \"%s\": {\n"
@@ -332,7 +369,9 @@ void append_non_rt_json(std::string& json, const char* name,
       "    \"publish_failures\": %llu,\n"
       "    \"rapp_faults\": %llu,\n"
       "    \"policies_sent\": %llu,\n"
-      "    \"policies_delivered\": %llu,\n",
+      "    \"policies_delivered\": %llu,\n"
+      "    \"serve_degraded\": %llu,\n"
+      "    \"serve_shed\": %llu,\n",
       name, static_cast<unsigned long long>(r.periods),
       r.decision_availability(),
       static_cast<unsigned long long>(r.decided),
@@ -342,7 +381,9 @@ void append_non_rt_json(std::string& json, const char* name,
       static_cast<unsigned long long>(r.publish_failures),
       static_cast<unsigned long long>(r.rapp_faults),
       static_cast<unsigned long long>(r.policies_sent),
-      static_cast<unsigned long long>(r.policies_delivered));
+      static_cast<unsigned long long>(r.policies_delivered),
+      static_cast<unsigned long long>(r.serve_degraded),
+      static_cast<unsigned long long>(r.serve_shed));
   json += buf;
   json += "    \"faults\": " + r.injector_stats + "\n  },\n";
 }

@@ -1,0 +1,464 @@
+// Defense-plane benchmark (DESIGN.md §14): detection quality and
+// determinism of the serving engine's inline adversarial defense.
+//
+// Workload: a labeled attacker-in-the-fleet stream
+// (attack::make_labeled_traffic) — per-flow clean KPM random walks with a
+// seeded schedule of FGSM (input-specific PGM) and UAP slots hidden among
+// them — served through a defense-enabled ServeEngine whose three
+// detectors were calibrated on the stream's clean warmup window. The
+// adversarial slots contend with the clean fleet traffic for the same
+// micro-batcher, queue and replicas (the attack-contention condition).
+//
+// The bench asserts the three defense claims:
+//   * detection — ranking requests by their combined defense score
+//     separates each attack family from clean traffic with ROC AUC at
+//     least --min-auc (committed: 0.9 for FGSM and UAP), both in the
+//     contention phase and re-run under the committed chaos plan
+//     (serve.admit / serve.batch faults rerouting rows through the
+//     degraded-sync path);
+//   * determinism — the full decision stream (status, prediction, score)
+//     is byte-identical at 1 and 4 threads, in both phases, and the
+//     quarantine-burst flight trigger fires on the sustained attack;
+//   * hardening — the quarantined samples accumulated in the fine-tuning
+//     queue let defense::harden() raise the victim's agreement with the
+//     flows' reference labels on exactly those adversarial points.
+//
+// Output: a deterministic JSON report (schema "orev-defense-bench-v1",
+// no wall-clock fields — CI runs the bench twice and byte-diffs) plus a
+// stdout summary. Exit is non-zero when any gate fails.
+//
+// Flags: --flows N  --warmup N  --rounds N  --attack-fraction F  --eps E
+//        --min-auc A  --report-out FILE   (plus the common --threads /
+//        --metrics-out / --trace-out / --flight-dir flags via ObsGuard).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "attack/adv_traffic.hpp"
+#include "attack/pgm.hpp"
+#include "bench_common.hpp"
+#include "defense/defenses.hpp"
+#include "defense/detectors.hpp"
+#include "serve/serve.hpp"
+#include "util/persist/bytes.hpp"
+#include "util/sha256.hpp"
+
+namespace {
+
+using namespace orev;
+using namespace orev::bench;
+
+constexpr int kFeatures = 4;
+constexpr int kClasses = 4;
+
+struct Flags {
+  int flows = 12;
+  int warmup = 10;
+  int rounds = 36;
+  double attack_fraction = 0.3;
+  float eps = 0.1f;
+  /// ROC gate applied per attack family and per phase; 0 = report only.
+  double min_auc = 0.9;
+  std::string report_out = "bench_results/defense_report.json";
+};
+
+Flags parse_flags(int& argc, char** argv) {
+  Flags f;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    auto take = [&](const char* name, auto setter) {
+      const std::size_t len = std::strlen(name);
+      if (std::strcmp(argv[r], name) == 0 && r + 1 < argc) {
+        setter(argv[++r]);
+        return true;
+      }
+      if (std::strncmp(argv[r], name, len) == 0 && argv[r][len] == '=') {
+        setter(argv[r] + len + 1);
+        return true;
+      }
+      return false;
+    };
+    if (take("--flows", [&](const char* v) { f.flows = std::atoi(v); }) ||
+        take("--warmup", [&](const char* v) { f.warmup = std::atoi(v); }) ||
+        take("--rounds", [&](const char* v) { f.rounds = std::atoi(v); }) ||
+        take("--attack-fraction",
+             [&](const char* v) { f.attack_fraction = std::atof(v); }) ||
+        take("--eps",
+             [&](const char* v) { f.eps = static_cast<float>(std::atof(v)); }) ||
+        take("--min-auc", [&](const char* v) { f.min_auc = std::atof(v); }) ||
+        take("--report-out", [&](const char* v) { f.report_out = v; })) {
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  argc = w;
+  return f;
+}
+
+/// Synthetic KPM task over the traffic's [0, 1]^4 range: the class is the
+/// argmax feature. Gives the victim real decision boundaries for the
+/// attacks to cross and the distilled sibling something to disagree about.
+data::Dataset argmax_dataset(int n, std::uint64_t seed) {
+  const Rng base(seed);
+  data::Dataset d;
+  d.num_classes = kClasses;
+  d.x = nn::Tensor({n, kFeatures});
+  d.y.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Rng rng = base.split(static_cast<std::uint64_t>(i));
+    int best = 0;
+    for (int j = 0; j < kFeatures; ++j) {
+      d.x.at2(i, j) = rng.uniform(0.0f, 1.0f);
+      if (d.x.at2(i, j) > d.x.at2(i, best)) best = j;
+    }
+    d.y[static_cast<std::size_t>(i)] = best;
+  }
+  return d;
+}
+
+/// Outcome of serving the labeled stream through one defense-enabled
+/// engine. Every field is a pure function of (traffic, config, plan).
+struct DefenseRun {
+  /// Combined defense score per scored (post-warmup) request, in
+  /// submission order; −1 prediction rows included.
+  std::vector<double> scores;
+  std::vector<attack::TrafficLabel> labels;
+  /// Rows the engine shed without screening (excluded from ROC).
+  std::vector<bool> screened_row;
+  std::string digest;  // SHA-256 over (status, prediction, score) rows
+  std::uint64_t screened = 0;
+  std::uint64_t flagged = 0;
+  std::uint64_t quarantined_status = 0;
+  std::uint64_t bursts = 0;
+  serve::SloSnapshot slo;
+  defense::FineTuneQueue finetune{1};
+  std::size_t finetune_size = 0;
+  std::uint64_t finetune_dropped = 0;
+};
+
+serve::ServeConfig defense_engine_config(const std::string& name) {
+  serve::ServeConfig cfg;
+  cfg.name = name;
+  cfg.batch_max = 16;
+  cfg.deadline_us = 1000000;  // latency is not under test here
+  cfg.flush_wait_us = 2000;
+  cfg.replicas = 2;
+  cfg.defense.enable = true;
+  // Burst trigger sized for the stream: flagged fraction under a 0.3
+  // attack fraction crosses 0.2 over a 32-request window quickly.
+  cfg.defense.burst_window = 32;
+  cfg.defense.burst_threshold = 0.2;
+  cfg.defense.quarantine_capacity = 64;
+  cfg.defense.finetune_capacity = 128;
+  return cfg;
+}
+
+/// Serve the stream's scored window through a freshly calibrated engine at
+/// `threads` threads, optionally under a fault plan.
+DefenseRun run_stream(const nn::Model& victim, const nn::Model& sibling,
+                      const attack::LabeledTraffic& traffic, int threads,
+                      const std::string& name,
+                      const fault::FaultPlan* plan) {
+  util::set_num_threads(threads);
+  serve::ServeEngine eng(victim.clone(),
+                         defense_engine_config(name + std::to_string(threads)));
+  eng.attach_defense_sibling(sibling.clone());
+
+  fault::FaultInjector injector(plan == nullptr ? fault::FaultPlan{} : *plan);
+  if (plan != nullptr) eng.set_fault_injector(&injector);
+
+  // Calibration: the guaranteed-clean warmup window (round-major prefix).
+  const int warm = traffic.flows * traffic.warmup_rounds;
+  nn::Tensor warm_rows({warm, kFeatures});
+  for (int i = 0; i < warm; ++i)
+    warm_rows.set_batch(i, traffic.requests[static_cast<std::size_t>(i)].input);
+  eng.defense()->calibrate(warm_rows);
+  for (int f = 0; f < traffic.flows; ++f) {
+    nn::Tensor flow_rows({traffic.warmup_rounds, kFeatures});
+    for (int r = 0; r < traffic.warmup_rounds; ++r)
+      flow_rows.set_batch(
+          r, traffic.requests[static_cast<std::size_t>(r * traffic.flows + f)]
+                 .input);
+    eng.defense()->calibrate_flow(
+        traffic.requests[static_cast<std::size_t>(f)].flow_key, flow_rows, 0);
+  }
+
+  // Scored window: everything after the warmup, in arrival order.
+  const std::size_t first = static_cast<std::size_t>(warm);
+  const std::size_t m = traffic.requests.size() - first;
+  DefenseRun run;
+  run.scores.assign(m, 0.0);
+  run.labels.assign(m, attack::TrafficLabel::kClean);
+  run.screened_row.assign(m, false);
+  std::vector<std::uint8_t> statuses(m, 0);
+  std::vector<int> preds(m, -1);
+  for (std::size_t i = 0; i < m; ++i) {
+    const attack::LabeledRequest& req = traffic.requests[first + i];
+    run.labels[i] = req.label;
+    eng.submit(nn::Tensor(req.input),
+               serve::FlowTag{req.flow_key, req.version}, {},
+               [&run, &statuses, &preds, i](const serve::ServeResult& r) {
+                 statuses[i] = static_cast<std::uint8_t>(r.status);
+                 preds[i] = r.prediction;
+                 run.scores[i] = r.defense_score;
+                 run.screened_row[i] =
+                     r.status != serve::ServeStatus::kRejected;
+                 if (r.status == serve::ServeStatus::kQuarantined)
+                   ++run.quarantined_status;
+               });
+  }
+  eng.drain();
+
+  persist::ByteWriter w;
+  for (std::size_t i = 0; i < m; ++i) {
+    w.u8(statuses[i]);
+    w.i32(preds[i]);
+    w.f64(run.scores[i]);
+  }
+  run.digest = Sha256::hex(w.buffer());
+  run.screened = eng.defense()->screened();
+  run.flagged = eng.defense()->flagged();
+  run.bursts = eng.defense()->bursts();
+  run.slo = eng.slo();
+  run.finetune = eng.defense()->finetune();
+  run.finetune_size = run.finetune.size();
+  run.finetune_dropped = run.finetune.dropped();
+  return run;
+}
+
+/// ROC AUC of `scores` separating `positive`-labeled rows from clean rows
+/// (Mann–Whitney rank statistic, ties counted half). Rows the engine never
+/// screened are excluded. Returns −1 when either class is empty.
+double roc_auc(const DefenseRun& run, attack::TrafficLabel positive) {
+  std::vector<double> pos, neg;
+  for (std::size_t i = 0; i < run.scores.size(); ++i) {
+    if (!run.screened_row[i]) continue;
+    if (run.labels[i] == positive) pos.push_back(run.scores[i]);
+    if (run.labels[i] == attack::TrafficLabel::kClean)
+      neg.push_back(run.scores[i]);
+  }
+  if (pos.empty() || neg.empty()) return -1.0;
+  double wins = 0.0;
+  for (const double p : pos)
+    for (const double n : neg) {
+      if (p > n) wins += 1.0;
+      else if (p == n) wins += 0.5;
+    }
+  return wins / (static_cast<double>(pos.size()) *
+                 static_cast<double>(neg.size()));
+}
+
+/// Fraction of queue samples whose model prediction equals the queue's
+/// reference label.
+double queue_agreement(nn::Model& model, const defense::FineTuneQueue& q) {
+  if (q.empty()) return 0.0;
+  std::size_t match = 0;
+  for (const defense::FineTuneQueue::Item& it : q.items())
+    if (model.predict_one(it.sample) == it.label) ++match;
+  return static_cast<double>(match) / static_cast<double>(q.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ObsGuard obs_guard(argc, argv);
+  const int cli_threads = parse_threads_flag(argc, argv);
+  (void)cli_threads;
+  const Flags f = parse_flags(argc, argv);
+
+  std::printf("=== Defense plane: %d flows x (%d warmup + %d) rounds, "
+              "attack fraction %.2f, eps %.2f ===\n",
+              f.flows, f.warmup, f.rounds, f.attack_fraction, f.eps);
+
+  // ---- victim + distilled sibling --------------------------------------
+  util::set_num_threads(1);
+  const data::Dataset d_all = argmax_dataset(512, 0xd57a);
+  Rng split_rng(0x5137);
+  const data::Split split = data::stratified_split(d_all, 0.8, split_rng);
+  nn::Model victim = apps::make_kpm_dnn(kFeatures, kClasses, 17);
+  {
+    nn::TrainConfig tc;
+    tc.max_epochs = 16;
+    tc.learning_rate = 5e-3f;
+    tc.early_stop_patience = 5;
+    nn::Trainer trainer(tc);
+    const nn::TrainReport rep =
+        trainer.fit(victim, split.train.x, split.train.y, split.test.x,
+                    split.test.y);
+    std::printf("[victim] %s val acc %.3f after %d epochs\n",
+                victim.name().c_str(), rep.best_val_accuracy, rep.epochs_run);
+  }
+  defense::DistillConfig dc;
+  dc.train.max_epochs = 12;
+  dc.train.learning_rate = 5e-3f;
+  dc.train.early_stop_patience = 4;
+  nn::Model sibling = defense::distill(
+      victim,
+      [](std::uint64_t seed) {
+        return apps::make_one_layer({kFeatures}, kClasses, seed);
+      },
+      split.train, split.test, dc);
+  std::printf("[sibling] distilled %s\n", sibling.name().c_str());
+
+  // ---- labeled traffic --------------------------------------------------
+  attack::AdvTrafficConfig tcfg;
+  tcfg.flows = f.flows;
+  tcfg.warmup_rounds = f.warmup;
+  tcfg.rounds = f.rounds;
+  tcfg.attack_fraction = f.attack_fraction;
+  tcfg.eps = f.eps;
+  attack::Fgsm inner(f.eps);
+  const attack::LabeledTraffic traffic =
+      attack::make_labeled_traffic(victim, inner, tcfg);
+  int n_pgm = 0, n_uap = 0;
+  for (const attack::LabeledRequest& r : traffic.requests) {
+    if (r.label == attack::TrafficLabel::kPgm) ++n_pgm;
+    if (r.label == attack::TrafficLabel::kUap) ++n_uap;
+  }
+  std::printf("[traffic] %zu requests (%d adversarial: %d pgm, %d uap), "
+              "uap fooling %.2f\n",
+              traffic.requests.size(), traffic.adversarial, n_pgm, n_uap,
+              traffic.uap_fooling);
+
+  // ---- contention phase: clean + adversarial share the engine ----------
+  const DefenseRun cont1 =
+      run_stream(victim, sibling, traffic, 1, "def", nullptr);
+  const DefenseRun cont4 =
+      run_stream(victim, sibling, traffic, 4, "def", nullptr);
+  const bool cont_identical = cont1.digest == cont4.digest;
+  const double cont_auc_pgm = roc_auc(cont1, attack::TrafficLabel::kPgm);
+  const double cont_auc_uap = roc_auc(cont1, attack::TrafficLabel::kUap);
+  std::printf("[contention] auc pgm=%.4f uap=%.4f  quarantined=%llu/%llu  "
+              "bursts=%llu  digests %s\n",
+              cont_auc_pgm, cont_auc_uap,
+              static_cast<unsigned long long>(cont1.quarantined_status),
+              static_cast<unsigned long long>(cont1.screened),
+              static_cast<unsigned long long>(cont1.bursts),
+              cont_identical ? "match" : "MISMATCH");
+
+  // ---- chaos phase: same stream under the committed fault plan ---------
+  const fault::FaultPlan plan = fault::default_chaos_plan();
+  const DefenseRun chaos1 =
+      run_stream(victim, sibling, traffic, 1, "defchaos", &plan);
+  const DefenseRun chaos4 =
+      run_stream(victim, sibling, traffic, 4, "defchaos", &plan);
+  const bool chaos_identical = chaos1.digest == chaos4.digest;
+  const double chaos_auc_pgm = roc_auc(chaos1, attack::TrafficLabel::kPgm);
+  const double chaos_auc_uap = roc_auc(chaos1, attack::TrafficLabel::kUap);
+  std::printf("[chaos] auc pgm=%.4f uap=%.4f  quarantined=%llu/%llu  "
+              "degraded=%llu rejected=%llu  digests %s\n",
+              chaos_auc_pgm, chaos_auc_uap,
+              static_cast<unsigned long long>(chaos1.quarantined_status),
+              static_cast<unsigned long long>(chaos1.screened),
+              static_cast<unsigned long long>(chaos1.slo.degraded_syncs),
+              static_cast<unsigned long long>(chaos1.slo.rejected),
+              chaos_identical ? "match" : "MISMATCH");
+
+  // ---- hardening: fine-tune the victim on its quarantine queue ---------
+  util::set_num_threads(1);
+  nn::Model hardened = victim.clone();
+  const double agree_before = queue_agreement(hardened, cont1.finetune);
+  nn::TrainConfig hc;
+  hc.max_epochs = 6;
+  hc.learning_rate = 2e-3f;
+  hc.early_stop_patience = 6;
+  const nn::TrainReport hrep = defense::harden(hardened, cont1.finetune, hc);
+  const double agree_after = queue_agreement(hardened, cont1.finetune);
+  std::printf("[harden] queue=%zu (dropped %llu)  reference agreement "
+              "%.3f -> %.3f after %d epochs\n",
+              cont1.finetune_size,
+              static_cast<unsigned long long>(cont1.finetune_dropped),
+              agree_before, agree_after, hrep.epochs_run);
+
+  // ---- gates ------------------------------------------------------------
+  const bool auc_ok =
+      f.min_auc <= 0.0 ||
+      (cont_auc_pgm >= f.min_auc && cont_auc_uap >= f.min_auc &&
+       chaos_auc_pgm >= f.min_auc && chaos_auc_uap >= f.min_auc);
+  const bool burst_ok = cont1.bursts >= 1;
+  const bool harden_ok = cont1.finetune_size == 0 ||
+                         (hrep.epochs_run > 0 && agree_after >= agree_before);
+  const bool pass = cont_identical && chaos_identical && auc_ok && burst_ok &&
+                    harden_ok;
+
+  // ---- deterministic JSON report (no wall-clock fields) ----------------
+  {
+    std::error_code ec;
+    const std::filesystem::path out(f.report_out);
+    if (out.has_parent_path())
+      std::filesystem::create_directories(out.parent_path(), ec);
+    std::FILE* fp = std::fopen(f.report_out.c_str(), "w");
+    if (fp == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", f.report_out.c_str());
+      return 2;
+    }
+    std::fprintf(fp, "{\n  \"schema\": \"orev-defense-bench-v1\",\n");
+    std::fprintf(
+        fp,
+        "  \"config\": {\"flows\": %d, \"warmup_rounds\": %d, \"rounds\": "
+        "%d, \"attack_fraction\": %.4f, \"eps\": %.4f, \"requests\": %zu, "
+        "\"adversarial\": %d, \"pgm_slots\": %d, \"uap_slots\": %d, "
+        "\"uap_fooling\": %.4f, \"min_auc\": %.4f},\n",
+        f.flows, f.warmup, f.rounds, f.attack_fraction,
+        static_cast<double>(f.eps), traffic.requests.size(),
+        traffic.adversarial, n_pgm, n_uap, traffic.uap_fooling, f.min_auc);
+    auto phase_json = [&fp](const char* name, const DefenseRun& t1,
+                            const DefenseRun& t4, double auc_pgm,
+                            double auc_uap, bool identical) {
+      std::fprintf(
+          fp,
+          "  \"%s\": {\"auc_pgm\": %.6f, \"auc_uap\": %.6f, "
+          "\"screened\": %llu, \"flagged\": %llu, \"quarantined\": %llu, "
+          "\"bursts\": %llu, \"degraded_syncs\": %llu, \"rejected\": %llu, "
+          "\"digest_t1\": \"%s\", \"digest_t4\": \"%s\", "
+          "\"byte_identical\": %s},\n",
+          name, auc_pgm, auc_uap,
+          static_cast<unsigned long long>(t1.screened),
+          static_cast<unsigned long long>(t1.flagged),
+          static_cast<unsigned long long>(t1.quarantined_status),
+          static_cast<unsigned long long>(t1.bursts),
+          static_cast<unsigned long long>(t1.slo.degraded_syncs),
+          static_cast<unsigned long long>(t1.slo.rejected),
+          t1.digest.c_str(), t4.digest.c_str(),
+          identical ? "true" : "false");
+    };
+    phase_json("contention", cont1, cont4, cont_auc_pgm, cont_auc_uap,
+               cont_identical);
+    phase_json("chaos", chaos1, chaos4, chaos_auc_pgm, chaos_auc_uap,
+               chaos_identical);
+    std::fprintf(
+        fp,
+        "  \"hardening\": {\"queue\": %zu, \"dropped\": %llu, \"epochs\": "
+        "%d, \"agreement_before\": %.6f, \"agreement_after\": %.6f},\n",
+        cont1.finetune_size,
+        static_cast<unsigned long long>(cont1.finetune_dropped),
+        hrep.epochs_run, agree_before, agree_after);
+    std::fprintf(fp, "  \"pass\": %s\n}\n", pass ? "true" : "false");
+    std::fclose(fp);
+    std::printf("[report] wrote %s\n", f.report_out.c_str());
+  }
+
+  CsvWriter csv;
+  csv.header({"phase", "auc_pgm", "auc_uap", "quarantined", "bursts",
+              "byte_identical"});
+  csv.row("contention", cont_auc_pgm, cont_auc_uap,
+          cont1.quarantined_status, cont1.bursts, cont_identical ? 1 : 0);
+  csv.row("chaos", chaos_auc_pgm, chaos_auc_uap, chaos1.quarantined_status,
+          chaos1.bursts, chaos_identical ? 1 : 0);
+  save_csv(csv, "defense");
+
+  print_rule();
+  std::printf("auc: contention pgm=%.3f uap=%.3f, chaos pgm=%.3f uap=%.3f "
+              "(gate %.2f)\n",
+              cont_auc_pgm, cont_auc_uap, chaos_auc_pgm, chaos_auc_uap,
+              f.min_auc);
+  std::printf("digests: contention %s, chaos %s  bursts=%llu  harden %s  "
+              "->  %s\n",
+              cont_identical ? "identical" : "DIVERGED",
+              chaos_identical ? "identical" : "DIVERGED",
+              static_cast<unsigned long long>(cont1.bursts),
+              harden_ok ? "ok" : "REGRESSED", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

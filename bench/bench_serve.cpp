@@ -34,9 +34,16 @@
 // report only). Both runs must reproduce the reference digest — tracing
 // is observational by contract.
 //
+// Defense overhead phase (DESIGN.md §14): the KPM fleet reruns with the
+// inline defense plane enabled but its thresholds parked at infinity —
+// every row pays the full screen, nothing quarantines, the digest must
+// equal the reference — and --max-defense-overhead-pct gates the
+// deterministic p99 virtual-latency delta (0 = report only).
+//
 // Flags: --cells N  --ues M  --rounds R  --batch-max B  --deadline-us D
 //        --replicas K  --queue-capacity Q  --passes P  --min-speedup S
-//        --min-cnn-speedup S  --max-obs-overhead-pct P  --report-out FILE
+//        --min-cnn-speedup S  --max-obs-overhead-pct P
+//        --max-defense-overhead-pct P  --report-out FILE
 //        --digests-out FILE  --self-check   (plus the common --threads /
 //        --metrics-out / --trace-out / --flight-dir / --fault-plan flags).
 // Each phase is timed best-of-P passes (default 3): the regions are only a
@@ -88,6 +95,11 @@ struct Flags {
   /// recording costs more than this percent of obs-off throughput.
   /// 0 disables the gate (the phase still runs and reports).
   double max_obs_overhead_pct = 0.0;
+  /// Gate on the defense-plane overhead phase: fail when the inline
+  /// screen inflates deterministic p99 virtual latency by more than this
+  /// percent over the defense-off run. 0 disables the gate (the phase
+  /// still runs and reports). The committed report uses 5.
+  double max_defense_overhead_pct = 0.0;
   std::string report_out = "bench_results/serve_report.json";
   std::string digests_out;
 };
@@ -133,6 +145,10 @@ Flags parse_flags(int& argc, char** argv) {
              [&](const char* v) { f.min_cnn_speedup = std::atof(v); }) ||
         take("--max-obs-overhead-pct",
              [&](const char* v) { f.max_obs_overhead_pct = std::atof(v); }) ||
+        take("--max-defense-overhead-pct",
+             [&](const char* v) {
+               f.max_defense_overhead_pct = std::atof(v);
+             }) ||
         take("--report-out", [&](const char* v) { f.report_out = v; }) ||
         take("--digests-out", [&](const char* v) { f.digests_out = v; })) {
       continue;
@@ -217,9 +233,11 @@ serve::ServeConfig engine_config(const Flags& f, const std::string& name) {
 
 ServedRun run_served(const nn::Model& model, const Flags& f, int threads,
                      const std::vector<nn::Tensor>& inputs,
-                     const std::string& name) {
+                     const std::string& name,
+                     const serve::DefenseConfig* defense = nullptr) {
   util::set_num_threads(threads);
   serve::ServeConfig cfg = engine_config(f, name + std::to_string(threads));
+  if (defense != nullptr) cfg.defense = *defense;
   // Replica-per-worker: sharding a micro-batch across more replicas than
   // worker threads only shrinks the per-call batch without adding
   // parallelism, so the fleet runs cap replicas at the thread count.
@@ -481,12 +499,46 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(causal_spans),
               obs_digest_ok ? "match" : "MISMATCH");
 
+  // ---- defense-plane overhead: inline screen cost on the KPM fleet -----
+  // The same fleet rerun with the defense plane enabled but its
+  // thresholds parked at infinity: every row pays the full screen
+  // (distribution + norm + cost model), nothing can quarantine, so the
+  // prediction digest must equal the reference byte-for-byte. The p99
+  // virtual latency delta against the defense-off t=4 run is the plane's
+  // deterministic overhead, gated by --max-defense-overhead-pct.
+  // Detection quality is bench_defense's job, not this phase's.
+  serve::DefenseConfig defense_cfg;
+  defense_cfg.enable = true;
+  defense_cfg.dist_threshold = 1e18;
+  defense_cfg.step_threshold = 1e18;
+  defense_cfg.ens_threshold = 1e18;
+  const ServedRun defense_run =
+      run_served(victim, f, 4, inputs, "fleetdef", &defense_cfg);
+  const ServedRun& defense_base = served.back();  // defense-off t=4 run
+  const double defense_overhead_pct =
+      defense_base.slo.p99_latency_us == 0
+          ? 0.0
+          : (static_cast<double>(defense_run.slo.p99_latency_us) -
+             static_cast<double>(defense_base.slo.p99_latency_us)) /
+                static_cast<double>(defense_base.slo.p99_latency_us) * 100.0;
+  const bool defense_digest_ok = defense_run.digest == ref_digest;
+  const bool defense_gate_ok =
+      defense_digest_ok &&
+      (f.max_defense_overhead_pct <= 0.0 ||
+       defense_overhead_pct <= f.max_defense_overhead_pct);
+  std::printf("[defense overhead] off p99=%llu us  on p99=%llu us  "
+              "overhead=%.2f%% (gate %.2f%%)  digest %s\n",
+              static_cast<unsigned long long>(defense_base.slo.p99_latency_us),
+              static_cast<unsigned long long>(defense_run.slo.p99_latency_us),
+              defense_overhead_pct, f.max_defense_overhead_pct,
+              defense_digest_ok ? "match" : "MISMATCH");
+
   const bool speedup_ok = f.min_speedup <= 0.0 || speedup >= f.min_speedup;
   const bool cnn_speedup_ok =
       f.min_cnn_speedup <= 0.0 || cnn_speedup >= f.min_cnn_speedup;
   const bool pass = byte_identical && clone_match && speedup_ok &&
                     cnn_byte_identical && cnn_speedup_ok && self_check_ok &&
-                    obs_gate_ok;
+                    obs_gate_ok && defense_gate_ok;
 
   // ---- JSON report ------------------------------------------------------
   {
@@ -598,6 +650,17 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(causal_spans),
                  obs_gate_ok ? "true" : "false");
     std::fprintf(fp,
+                 "  \"defense\": {\"p99_off_us\": %llu, \"p99_on_us\": %llu, "
+                 "\"overhead_pct\": %.2f, \"max_defense_overhead_pct\": "
+                 "%.2f, \"digest_match\": %s, \"gate_ok\": %s},\n",
+                 static_cast<unsigned long long>(
+                     defense_base.slo.p99_latency_us),
+                 static_cast<unsigned long long>(
+                     defense_run.slo.p99_latency_us),
+                 defense_overhead_pct, f.max_defense_overhead_pct,
+                 defense_digest_ok ? "true" : "false",
+                 defense_gate_ok ? "true" : "false");
+    std::fprintf(fp,
                  "  \"byte_identical\": %s,\n  \"speedup\": %.2f,\n"
                  "  \"min_speedup\": %.2f,\n  \"pass\": %s\n}\n",
                  byte_identical ? "true" : "false", speedup, f.min_speedup,
@@ -623,6 +686,8 @@ int main(int argc, char** argv) {
     std::fprintf(fp, "cnn walk %s\n", cnn_ref_digest.c_str());
     for (const ServedRun& r : cnn_served)
       std::fprintf(fp, "cnn served t=%d %s\n", r.threads, r.digest.c_str());
+    std::fprintf(fp, "kpm defense t=%d %s\n", defense_run.threads,
+                 defense_run.digest.c_str());
     std::fclose(fp);
     std::printf("[digests] wrote %s\n", f.digests_out.c_str());
   }
@@ -633,11 +698,13 @@ int main(int argc, char** argv) {
               byte_identical ? "true" : "false", speedup, f.min_speedup,
               clone_match ? "true" : "false");
   std::printf("cnn_byte_identical=%s  cnn_speedup=%.2fx (gate %.2fx)  "
-              "int8=%s  obs_overhead=%.2f%% (%s)  ->  %s\n",
+              "int8=%s  obs_overhead=%.2f%% (%s)  "
+              "defense_overhead=%.2f%% (%s)  ->  %s\n",
               cnn_byte_identical ? "true" : "false", cnn_speedup,
               f.min_cnn_speedup,
               qrep.activated ? "activated" : "refused", obs_overhead_pct,
-              obs_gate_ok ? "ok" : "GATE FAIL",
+              obs_gate_ok ? "ok" : "GATE FAIL", defense_overhead_pct,
+              defense_gate_ok ? "ok" : "GATE FAIL",
               pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

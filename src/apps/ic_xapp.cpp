@@ -59,8 +59,10 @@ void IcXApp::issue_failsafe(const std::string& ran_node_id,
 
 void IcXApp::classify_and_control(nn::Tensor input,
                                   const std::string& ran_node_id,
-                                  oran::NearRtRic& ric,
-                                  obs::TraceContext ctx) {
+                                  oran::NearRtRic& ric, obs::TraceContext ctx,
+                                  const std::string& telemetry_ns,
+                                  const std::string& telemetry_key,
+                                  std::uint64_t version) {
   if (serve_ == nullptr) {
     finish_classification(model_.predict_one(input), ran_node_id, ric, ctx);
     return;
@@ -74,10 +76,37 @@ void IcXApp::classify_and_control(nn::Tensor input,
   static obs::Counter& shed_ctr = obs::counter(
       "apps.ic.serve_shed",
       "IC xApp classifications shed by the serving engine");
+  static obs::Counter& quarantine_ctr = obs::counter(
+      "apps.ic.serve_quarantined",
+      "IC xApp classifications quarantined by the defense plane");
   oran::NearRtRic* ric_ptr = &ric;
+  // Flow tag: the telemetry entry this input was read from, at the SDL
+  // version of that read — the defense plane's norm screen compares the
+  // input against the flow's last-known-good indication and applies the
+  // same staleness bound the degraded-read path uses.
+  serve::FlowTag flow{telemetry_ns + "/" + telemetry_key, version};
   serve_->submit(
-      std::move(input), ctx,
-      [this, ran_node_id, ric_ptr](const serve::ServeResult& r) {
+      std::move(input), std::move(flow), ctx,
+      [this, ran_node_id, ric_ptr, telemetry_ns,
+       telemetry_key](const serve::ServeResult& r) {
+        if (r.status == serve::ServeStatus::kQuarantined) {
+          // The defense plane withheld the prediction. Publish an alert
+          // naming the suspect telemetry entry and the SDL identity that
+          // last wrote it (behavioural-attestation evidence; the write is
+          // RBAC-gated like any other), then degrade exactly as a shed.
+          ++serve_quarantined_;
+          quarantine_ctr.inc();
+          const std::string writer =
+              ric_ptr->sdl()
+                  .last_writer(telemetry_ns, telemetry_key)
+                  .value_or("<unknown>");
+          ric_ptr->sdl().write_text(
+              app_id(), oran::kNsDefenseAlerts, app_id() + "/" + ran_node_id,
+              "quarantined key=" + telemetry_ns + "/" + telemetry_key +
+                  " writer=" + writer);
+          issue_failsafe(ran_node_id, *ric_ptr, r.trace);
+          return;
+        }
         if (r.prediction < 0) {
           // Shed without a prediction: steer to the fail-safe adaptive
           // MCS rather than leaving the node on a stale configuration.
@@ -122,7 +151,8 @@ void IcXApp::on_indication(const oran::E2Indication& ind,
     // The cache above is the only copy on this path: the freshly read
     // tensor itself moves through classify_and_control into the serve
     // request (or is read in place by the synchronous path).
-    classify_and_control(std::move(input), ind.ran_node_id, ric, app_ctx);
+    classify_and_control(std::move(input), ind.ran_node_id, ric, app_ctx, ns,
+                         key, last_good_version_);
     return;
   }
 
@@ -147,9 +177,11 @@ void IcXApp::on_indication(const oran::E2Indication& ind,
       ++fallbacks_;
       fallback_ctr.inc();
       // The cached tensor must survive for later fallbacks, so this
-      // (cold, failure-only) path pays one copy.
+      // (cold, failure-only) path pays one copy. The flow version is the
+      // cached read's version — the defense plane sees the same staleness
+      // the degraded-read bound was computed from.
       classify_and_control(nn::Tensor(last_good_), ind.ran_node_id, ric,
-                           app_ctx);
+                           app_ctx, ns, key, last_good_version_);
       return;
     }
   }

@@ -80,16 +80,24 @@ class IcXApp : public oran::XApp {
   std::uint64_t failsafe_controls() const { return failsafes_; }
   /// Classifications shed by the serving engine without a prediction.
   std::uint64_t serve_shed() const { return serve_shed_; }
+  /// Requests quarantined by the engine's defense plane. Each one also
+  /// publishes an alert to oran::kNsDefenseAlerts naming the telemetry
+  /// key and its last SDL writer, then degrades exactly like a shed
+  /// (fail-safe adaptive MCS).
+  std::uint64_t serve_quarantined() const { return serve_quarantined_; }
 
  private:
   /// Takes the input by value: the synchronous path reads it in place and
   /// the serving path moves it into the request — no per-request copy on
   /// the indication hot path either way. `ctx` is the causal context the
   /// downstream spans (serve admission, the control message) parent
-  /// under; invalid when tracing is off.
+  /// under; invalid when tracing is off. `telemetry_key` / `version` tag
+  /// the serve request's flow for the defense plane's norm screen.
   void classify_and_control(nn::Tensor input, const std::string& ran_node_id,
-                            oran::NearRtRic& ric,
-                            obs::TraceContext ctx = {});
+                            oran::NearRtRic& ric, obs::TraceContext ctx,
+                            const std::string& telemetry_ns,
+                            const std::string& telemetry_key,
+                            std::uint64_t version);
   void finish_classification(int pred, const std::string& ran_node_id,
                              oran::NearRtRic& ric,
                              obs::TraceContext ctx = {});
@@ -116,6 +124,7 @@ class IcXApp : public oran::XApp {
   std::uint64_t fallbacks_ = 0;
   std::uint64_t failsafes_ = 0;
   std::uint64_t serve_shed_ = 0;
+  std::uint64_t serve_quarantined_ = 0;
 };
 
 }  // namespace orev::apps

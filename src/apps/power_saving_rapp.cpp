@@ -40,6 +40,9 @@ void PowerSavingRApp::decide_all(const nn::Tensor& history,
   static obs::Counter& shed_ctr = obs::counter(
       "apps.ps.serve_shed",
       "power-saving sector decisions shed by the serving engine");
+  static obs::Counter& quarantine_ctr = obs::counter(
+      "apps.ps.serve_quarantined",
+      "power-saving sector decisions quarantined by the defense plane");
   oran::NonRtRic* ric_ptr = &ric;
   for (int sector = 0; sector < rictest::kNumSectors; ++sector) {
     // Non-RT lane root: PM periods carry no upstream E2 context, so each
@@ -51,9 +54,21 @@ void PowerSavingRApp::decide_all(const nn::Tensor& history,
           obs::derive_trace_id(obs::domains::kApp, ++serve_roots_),
           "ps.decide", obs::lanes::kApp, serve_->virtual_now_us());
     }
+    // Flow tag: one flow per sector at the PM history's SDL version, so
+    // the defense plane's norm screen tracks each sector's window stream
+    // independently.
+    serve::FlowTag flow{"ps/sector" + std::to_string(sector),
+                        last_good_version_};
     serve_->submit(
-        rictest::sector_window_from_history(history, sector), root,
-        [this, sector, ric_ptr](const serve::ServeResult& r) {
+        rictest::sector_window_from_history(history, sector), std::move(flow),
+        root, [this, sector, ric_ptr](const serve::ServeResult& r) {
+          if (r.status == serve::ServeStatus::kQuarantined) {
+            // Quarantined by the defense plane: skip this sector's
+            // decision — the period-skip fail-safe scoped to one sector.
+            ++serve_quarantined_;
+            quarantine_ctr.inc();
+            return;
+          }
           if (r.prediction < 0) {
             // Shed: the sector keeps its current cell states — the same
             // fail-safe as a skipped period, scoped to one sector.

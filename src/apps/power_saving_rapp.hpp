@@ -57,6 +57,9 @@ class PowerSavingRApp : public oran::RApp {
   /// Sector decisions shed by the serving engine without a prediction
   /// (those sectors keep their current cell states — the fail-safe).
   std::uint64_t serve_shed() const { return serve_shed_; }
+  /// Sector decisions quarantined by the engine's defense plane (same
+  /// fail-safe as a shed: the sector keeps its current cell states).
+  std::uint64_t serve_quarantined() const { return serve_quarantined_; }
 
   /// Most recent decision per sector.
   const std::map<int, rictest::PsAction>& last_decisions() const {
@@ -86,6 +89,7 @@ class PowerSavingRApp : public oran::RApp {
   std::uint64_t decisions_ = 0;
   std::uint64_t deactivations_ = 0;
   std::uint64_t serve_shed_ = 0;
+  std::uint64_t serve_quarantined_ = 0;
   // Sequence number behind the per-sector trace roots minted on the
   // serving path (PM periods have no upstream E2 causal context).
   std::uint64_t serve_roots_ = 0;

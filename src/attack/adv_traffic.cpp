@@ -1,0 +1,149 @@
+#include "attack/adv_traffic.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace orev::attack {
+
+const char* traffic_label_name(TrafficLabel l) {
+  switch (l) {
+    case TrafficLabel::kClean: return "clean";
+    case TrafficLabel::kPgm: return "pgm";
+    case TrafficLabel::kUap: return "uap";
+  }
+  return "?";
+}
+
+namespace {
+
+// Stream-id lanes under the config seed, so the walk starts, the step
+// draws, the schedule and the family coin never collide.
+constexpr std::uint64_t kLaneStart = 0;
+constexpr std::uint64_t kLaneStep = 1;
+constexpr std::uint64_t kLaneSchedule = 2;
+constexpr std::uint64_t kLaneFamily = 3;
+constexpr std::uint64_t kLaneStride = 4;
+
+std::uint64_t slot_stream(std::uint64_t lane, int flow, int round,
+                          int total_rounds) {
+  return kLaneStride * (static_cast<std::uint64_t>(flow) *
+                            static_cast<std::uint64_t>(total_rounds) +
+                        static_cast<std::uint64_t>(round)) +
+         lane;
+}
+
+}  // namespace
+
+LabeledTraffic make_labeled_traffic(nn::Model& surrogate, Pgm& inner,
+                                    const AdvTrafficConfig& cfg) {
+  OREV_CHECK(cfg.flows >= 1, "adv_traffic: need at least one flow");
+  OREV_CHECK(cfg.warmup_rounds >= 1, "adv_traffic: need a warmup window");
+  OREV_CHECK(cfg.rounds >= 0, "adv_traffic: negative round count");
+  OREV_CHECK(cfg.attack_fraction >= 0.0 && cfg.attack_fraction <= 1.0,
+             "adv_traffic: attack_fraction outside [0, 1]");
+
+  const nn::Shape sample_shape = surrogate.input_shape();
+  const std::size_t numel = nn::shape_numel(sample_shape);
+  const int total_rounds = cfg.warmup_rounds + cfg.rounds;
+  const Rng base(cfg.seed);
+
+  // --- Clean walks: every slot's underlying telemetry point, generated
+  // first so the UAP can be fitted on the warmup samples before any
+  // adversarial slot is materialised. walk[flow][round].
+  std::vector<std::vector<nn::Tensor>> walk(
+      static_cast<std::size_t>(cfg.flows));
+  for (int f = 0; f < cfg.flows; ++f) {
+    auto& rounds = walk[static_cast<std::size_t>(f)];
+    rounds.reserve(static_cast<std::size_t>(total_rounds));
+    Rng start =
+        base.split(slot_stream(kLaneStart, f, /*round=*/0, total_rounds));
+    nn::Tensor point(sample_shape);
+    for (std::size_t i = 0; i < numel; ++i) {
+      point[i] = start.uniform(0.2f, 0.8f);
+    }
+    for (int r = 0; r < total_rounds; ++r) {
+      if (r > 0) {
+        Rng step = base.split(slot_stream(kLaneStep, f, r, total_rounds));
+        for (std::size_t i = 0; i < numel; ++i) {
+          point[i] += step.normal(0.0f, cfg.step_sd);
+        }
+        point.clamp(0.0f, 1.0f);
+      }
+      rounds.push_back(point);
+    }
+  }
+
+  // --- UAP: fitted once on the warmup samples (round-major, like the
+  // arrival order), with the caller's inner minimiser. The inner PGM is
+  // reseeded per use, so sharing it with the per-slot loop below keeps
+  // every perturbation schedule-independent.
+  const int uap_pool = std::min(cfg.uap_samples, cfg.flows * cfg.warmup_rounds);
+  nn::Shape batch_shape = sample_shape;
+  batch_shape.insert(batch_shape.begin(), uap_pool);
+  nn::Tensor uap_fit(batch_shape);
+  for (int i = 0; i < uap_pool; ++i) {
+    const int r = i / cfg.flows;
+    const int f = i % cfg.flows;
+    uap_fit.set_batch(i, walk[static_cast<std::size_t>(f)]
+                              [static_cast<std::size_t>(r)]);
+  }
+  UapConfig ucfg;
+  ucfg.eps = cfg.eps;
+  ucfg.target_fooling = cfg.uap_target_fooling;
+  ucfg.max_passes = cfg.uap_max_passes;
+  ucfg.seed = base.split(0xfa11).seed();
+  UapResult uap = generate_uap(surrogate, uap_fit, inner, ucfg);
+
+  LabeledTraffic out;
+  out.flows = cfg.flows;
+  out.warmup_rounds = cfg.warmup_rounds;
+  out.uap = uap.perturbation;
+  out.uap_fooling = uap.achieved_fooling;
+  out.requests.reserve(static_cast<std::size_t>(cfg.flows) *
+                       static_cast<std::size_t>(total_rounds));
+
+  for (int r = 0; r < total_rounds; ++r) {
+    for (int f = 0; f < cfg.flows; ++f) {
+      LabeledRequest req;
+      req.flow_key = "adv/flow" + std::to_string(f);
+      req.version = static_cast<std::uint64_t>(r);
+      req.clean = walk[static_cast<std::size_t>(f)][static_cast<std::size_t>(r)];
+      req.label = TrafficLabel::kClean;
+
+      const bool adversarial =
+          r >= cfg.warmup_rounds &&
+          base.split(slot_stream(kLaneSchedule, f, r, total_rounds))
+              .bernoulli(cfg.attack_fraction);
+      if (!adversarial) {
+        req.input = req.clean;
+        out.requests.push_back(std::move(req));
+        continue;
+      }
+      ++out.adversarial;
+      const std::uint64_t family_stream =
+          slot_stream(kLaneFamily, f, r, total_rounds);
+      if (base.split(family_stream).bernoulli(0.5)) {
+        // Input-specific PGM slot: the caller's method on the surrogate
+        // against the surrogate's own prediction (black-box: no ground
+        // truth). Reseeded per slot so stochastic methods stay
+        // schedule-independent.
+        req.label = TrafficLabel::kPgm;
+        inner.reseed(family_stream);
+        req.input = inner.perturb(surrogate, req.clean,
+                                  surrogate.predict_one(req.clean));
+      } else {
+        // Shared UAP slot: one precomputed add, clamped to valid range.
+        req.label = TrafficLabel::kUap;
+        req.input = req.clean + out.uap;
+        req.input.clamp(0.0f, 1.0f);
+      }
+      out.requests.push_back(std::move(req));
+    }
+  }
+  return out;
+}
+
+}  // namespace orev::attack

@@ -1,0 +1,91 @@
+// Labeled adversarial traffic generation for defense evaluation
+// (DESIGN.md §14, bench_defense).
+//
+// Produces the attacker-in-the-fleet workload the defense plane is
+// evaluated against: per-flow clean telemetry streams (bounded random
+// walks in [0, 1]^d, the stationary KPM regime the paper's victims see)
+// with a seed-deterministic schedule of adversarial slots hidden inside
+// them. Adversarial slots carry either an input-specific perturbation
+// (FGSM/PGD on the surrogate — the §4.2.2 PGM family) or the shared
+// universal perturbation (Algorithm 2 UAP), both clamped to [0, 1].
+// Every request keeps its ground-truth provenance label, which is what
+// lets bench_defense score detection ROC instead of guessing.
+//
+// Everything is a pure function of the config seed: the same config
+// yields byte-identical traffic (clean walks, schedule, perturbations),
+// so detector decisions over it can be diffed across thread counts and
+// runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/pgm.hpp"
+#include "attack/uap.hpp"
+#include "nn/model.hpp"
+#include "nn/tensor.hpp"
+
+namespace orev::attack {
+
+struct AdvTrafficConfig {
+  /// Flows (UEs / RAN nodes), each with its own telemetry random walk.
+  int flows = 16;
+  /// Clean leading rounds per flow — the defense's calibration window;
+  /// the schedule never marks these adversarial.
+  int warmup_rounds = 8;
+  /// Scored rounds per flow after the warmup.
+  int rounds = 24;
+  /// Probability a post-warmup slot is adversarial.
+  double attack_fraction = 0.25;
+  /// Natural per-feature step stddev of the clean random walk.
+  float step_sd = 0.02f;
+  /// UAP perturbation budget (ℓ∞); per-slot PGM budgets are whatever the
+  /// caller built its `inner` method with.
+  float eps = 0.1f;
+  /// UAP generation knobs (inner minimiser supplied by the caller).
+  int uap_samples = 32;
+  double uap_target_fooling = 0.8;
+  int uap_max_passes = 3;
+  std::uint64_t seed = 0xadf;
+};
+
+/// Ground-truth provenance of one request.
+enum class TrafficLabel { kClean = 0, kPgm, kUap };
+
+const char* traffic_label_name(TrafficLabel l);
+
+struct LabeledRequest {
+  /// Flow identity + per-flow version counter (0-based round index),
+  /// matching serve::FlowTag semantics.
+  std::string flow_key;
+  std::uint64_t version = 0;
+  /// The underlying clean telemetry point of this slot.
+  nn::Tensor clean;
+  /// What actually arrives at the engine (== clean for kClean slots).
+  nn::Tensor input;
+  TrafficLabel label = TrafficLabel::kClean;
+};
+
+struct LabeledTraffic {
+  /// Round-major interleaving (round 0 of every flow, then round 1, …) —
+  /// the fleet-contention arrival order. The first
+  /// `flows * warmup_rounds` requests are the guaranteed-clean warmup.
+  std::vector<LabeledRequest> requests;
+  /// Requests per round across all flows (== cfg.flows).
+  int flows = 0;
+  int warmup_rounds = 0;
+  /// The shared perturbation kUap slots carry.
+  nn::Tensor uap;
+  double uap_fooling = 0.0;
+  int adversarial = 0;
+};
+
+/// Generate the labeled stream. `surrogate` is the attacker's model (the
+/// perfect-clone limit passes the victim itself); `inner` drives both the
+/// per-slot PGM perturbations and the UAP's inner minimiser. The sample
+/// shape is the surrogate's input shape.
+LabeledTraffic make_labeled_traffic(nn::Model& surrogate, Pgm& inner,
+                                    const AdvTrafficConfig& cfg);
+
+}  // namespace orev::attack

@@ -1,0 +1,280 @@
+#include "defense/detectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "nn/serialize.hpp"
+#include "util/check.hpp"
+
+namespace orev::defense {
+
+namespace {
+
+/// Variance floor: constant features still yield a finite z-score.
+constexpr double kVarFloor = 1e-8;
+
+double welford_var(double m2, std::uint64_t count) {
+  const double var = m2 / static_cast<double>(count > 1 ? count - 1 : 1);
+  return std::max(var, kVarFloor);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CalibrationProfile
+
+void CalibrationProfile::observe(const float* row, std::size_t n) {
+  OREV_CHECK(n > 0, "calibration row must be non-empty");
+  if (mean_.empty()) {
+    mean_.assign(n, 0.0);
+    m2_.assign(n, 0.0);
+  }
+  OREV_CHECK(n == mean_.size(),
+             "calibration row size does not match the profile");
+  ++count_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(row[i]);
+    const double delta = x - mean_[i];
+    mean_[i] += delta / static_cast<double>(count_);
+    m2_[i] += delta * (x - mean_[i]);
+  }
+}
+
+void CalibrationProfile::observe_rows(const nn::Tensor& rows) {
+  OREV_CHECK(rows.rank() >= 2 && rows.dim(0) >= 1,
+             "observe_rows expects a [m, ...sample] tensor");
+  const int m = rows.dim(0);
+  const std::size_t stride = rows.numel() / static_cast<std::size_t>(m);
+  for (int i = 0; i < m; ++i)
+    observe(rows.raw() + static_cast<std::size_t>(i) * stride, stride);
+}
+
+double CalibrationProfile::score(const float* row, std::size_t n) const {
+  if (!ready() || n != mean_.size() || n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(row[i]) - mean_[i];
+    acc += d * d / welford_var(m2_[i], count_);
+  }
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+void CalibrationProfile::save(persist::ByteWriter& w) const {
+  w.u64(count_);
+  w.u64(mean_.size());
+  for (const double m : mean_) w.f64(m);
+  for (const double m2 : m2_) w.f64(m2);
+}
+
+bool CalibrationProfile::load(persist::ByteReader& r) {
+  std::uint64_t count = 0, n = 0;
+  if (!r.u64(count) || !r.u64(n)) return false;
+  if (n > r.remaining() / sizeof(double)) return false;
+  std::vector<double> mean(static_cast<std::size_t>(n));
+  std::vector<double> m2(static_cast<std::size_t>(n));
+  for (double& v : mean)
+    if (!r.f64(v)) return false;
+  for (double& v : m2)
+    if (!r.f64(v)) return false;
+  count_ = count;
+  mean_ = std::move(mean);
+  m2_ = std::move(m2);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// NormScreen
+
+bool NormScreen::step_norms(const Lkg& lkg, std::uint64_t version,
+                            const float* row, std::size_t n,
+                            StepNorms& out) const {
+  if (lkg.row.size() != n || n == 0) return false;
+  if (version < lkg.version) return false;  // out-of-order submit
+  if (version - lkg.version > cfg_.max_stale) return false;
+  double sq = 0.0, linf = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d =
+        static_cast<double>(row[i]) - static_cast<double>(lkg.row[i]);
+    sq += d * d;
+    linf = std::max(linf, std::abs(d));
+  }
+  out.l2 = std::sqrt(sq);
+  out.linf = linf;
+  return true;
+}
+
+void NormScreen::calibrate(const std::string& key, std::uint64_t version,
+                           const float* row, std::size_t n) {
+  OREV_CHECK(!key.empty(), "norm screen flows need a non-empty key");
+  const auto it = lkg_.find(key);
+  StepNorms s;
+  if (it != lkg_.end() && step_norms(it->second, version, row, n, s)) {
+    ++steps_;
+    const double dl2 = s.l2 - l2_mean_;
+    l2_mean_ += dl2 / static_cast<double>(steps_);
+    l2_m2_ += dl2 * (s.l2 - l2_mean_);
+    const double dli = s.linf - linf_mean_;
+    linf_mean_ += dli / static_cast<double>(steps_);
+    linf_m2_ += dli * (s.linf - linf_mean_);
+  }
+  accept(key, version, row, n);
+}
+
+double NormScreen::score(const std::string& key, std::uint64_t version,
+                         const float* row, std::size_t n) const {
+  if (!ready() || key.empty()) return 0.0;
+  const auto it = lkg_.find(key);
+  if (it == lkg_.end()) return 0.0;
+  StepNorms s;
+  if (!step_norms(it->second, version, row, n, s)) return 0.0;
+  const double z_l2 =
+      (s.l2 - l2_mean_) / std::sqrt(welford_var(l2_m2_, steps_));
+  const double z_linf =
+      (s.linf - linf_mean_) / std::sqrt(welford_var(linf_m2_, steps_));
+  // Only steps *larger* than natural are suspicious; a perfectly still
+  // flow is not an attack.
+  return std::max(0.0, std::max(z_l2, z_linf));
+}
+
+void NormScreen::accept(const std::string& key, std::uint64_t version,
+                        const float* row, std::size_t n) {
+  if (key.empty() || n == 0) return;
+  Lkg& lkg = lkg_[key];
+  lkg.version = version;
+  lkg.row.assign(row, row + n);
+}
+
+void NormScreen::save(persist::ByteWriter& w) const {
+  w.u64(cfg_.max_stale);
+  w.u64(steps_);
+  w.f64(l2_mean_);
+  w.f64(l2_m2_);
+  w.f64(linf_mean_);
+  w.f64(linf_m2_);
+  w.u64(lkg_.size());
+  for (const auto& [key, lkg] : lkg_) {
+    w.str(key);
+    w.u64(lkg.version);
+    w.u64(lkg.row.size());
+    w.f32s(lkg.row);
+  }
+}
+
+bool NormScreen::load(persist::ByteReader& r) {
+  NormScreenConfig cfg;
+  std::uint64_t steps = 0, flows = 0;
+  double l2_mean = 0, l2_m2 = 0, linf_mean = 0, linf_m2 = 0;
+  if (!r.u64(cfg.max_stale) || !r.u64(steps) || !r.f64(l2_mean) ||
+      !r.f64(l2_m2) || !r.f64(linf_mean) || !r.f64(linf_m2) || !r.u64(flows))
+    return false;
+  std::map<std::string, Lkg> lkg;
+  for (std::uint64_t i = 0; i < flows; ++i) {
+    std::string key;
+    Lkg entry;
+    std::uint64_t len = 0;
+    if (!r.str(key) || !r.u64(entry.version) || !r.u64(len)) return false;
+    if (len > r.remaining() / sizeof(float)) return false;
+    entry.row.resize(static_cast<std::size_t>(len));
+    if (!r.f32s(entry.row)) return false;
+    lkg.emplace(std::move(key), std::move(entry));
+  }
+  cfg_ = cfg;
+  steps_ = steps;
+  l2_mean_ = l2_mean;
+  l2_m2_ = l2_m2;
+  linf_mean_ = linf_mean;
+  linf_m2_ = linf_m2;
+  lkg_ = std::move(lkg);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// EnsembleDisagreement
+
+EnsembleDisagreement::EnsembleDisagreement(nn::Model sibling)
+    : sibling_(std::move(sibling)) {
+  sibling_.set_inference_only(true);
+}
+
+double EnsembleDisagreement::score(const nn::Tensor& input, int primary_pred) {
+  if (primary_pred < 0 || primary_pred >= sibling_.num_classes()) return 1.0;
+  const nn::Tensor proba =
+      nn::softmax(sibling_.logits_one(input).reshaped(
+          {1, sibling_.num_classes()}));
+  return 1.0 - static_cast<double>(
+                   proba[static_cast<std::size_t>(primary_pred)]);
+}
+
+// ---------------------------------------------------------------------------
+// FineTuneQueue
+
+FineTuneQueue::FineTuneQueue(int capacity) : capacity_(std::max(capacity, 1)) {}
+
+bool FineTuneQueue::push(nn::Tensor sample, int label) {
+  if (static_cast<int>(items_.size()) >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  items_.push_back(Item{std::move(sample), label});
+  return true;
+}
+
+FineTuneQueue::Batch FineTuneQueue::batch() const {
+  Batch out;
+  if (items_.empty()) return out;
+  const nn::Shape& sample_shape = items_.front().sample.shape();
+  nn::Shape batch_shape;
+  batch_shape.push_back(static_cast<int>(items_.size()));
+  batch_shape.insert(batch_shape.end(), sample_shape.begin(),
+                     sample_shape.end());
+  out.x = nn::Tensor(batch_shape);
+  out.y.reserve(items_.size());
+  int i = 0;
+  for (const Item& item : items_) {
+    out.x.set_batch(i++, item.sample);
+    out.y.push_back(item.label);
+  }
+  return out;
+}
+
+void FineTuneQueue::save(persist::ByteWriter& w) const {
+  w.i32(capacity_);
+  w.u64(dropped_);
+  w.u64(items_.size());
+  for (const Item& item : items_) {
+    w.i32(item.label);
+    nn::write_tensor(w, item.sample);
+  }
+}
+
+bool FineTuneQueue::load(persist::ByteReader& r) {
+  std::int32_t capacity = 0;
+  std::uint64_t dropped = 0, n = 0;
+  if (!r.i32(capacity) || !r.u64(dropped) || !r.u64(n) || capacity < 1)
+    return false;
+  if (n > static_cast<std::uint64_t>(capacity)) return false;
+  std::deque<Item> items;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Item item;
+    if (!r.i32(item.label)) return false;
+    if (!nn::read_tensor(r, item.sample).ok()) return false;
+    items.push_back(std::move(item));
+  }
+  capacity_ = capacity;
+  dropped_ = dropped;
+  items_ = std::move(items);
+  return true;
+}
+
+nn::TrainReport harden(nn::Model& victim, const FineTuneQueue& queue,
+                       const nn::TrainConfig& cfg) {
+  OREV_CHECK(!victim.inference_only(),
+             "harden() needs a trainable model — clone the served one");
+  if (queue.empty()) return nn::TrainReport{};
+  const FineTuneQueue::Batch b = queue.batch();
+  nn::Trainer trainer(cfg);
+  return trainer.fit(victim, b.x, b.y, b.x, b.y);
+}
+
+}  // namespace orev::defense

@@ -61,6 +61,12 @@ inline constexpr const char* kRicPlatformId = "ric-platform";
 inline constexpr const char* kNsSpectrogram = "telemetry/spectrogram";
 inline constexpr const char* kNsKpm = "telemetry/kpm";
 inline constexpr const char* kNsDecisions = "decisions";
+/// Defense alerts published by apps when the serving engine's defense
+/// plane quarantines one of their requests: key = "<app>/<node>", value
+/// names the flagged telemetry key and the SDL identity that last wrote
+/// it (attestation evidence for the §3.1 injection path). Writing
+/// requires the namespace in the app's role like any other SDL write.
+inline constexpr const char* kNsDefenseAlerts = "defense-alerts";
 
 struct XAppDispatchStats {
   std::uint64_t dispatches = 0;

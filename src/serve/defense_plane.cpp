@@ -1,0 +1,295 @@
+#include "serve/defense_plane.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/obs/flight.hpp"
+#include "util/persist/frame.hpp"
+#include "util/sha256.hpp"
+
+namespace orev::serve {
+
+namespace {
+
+/// Frame app tag for defense-plane checkpoints (ISSUE 8 contract).
+constexpr const char* kDefenseTag = "orev.defense";
+
+}  // namespace
+
+DefensePlane::DefensePlane(const DefenseConfig& cfg, std::string engine_name)
+    : cfg_(cfg),
+      name_(std::move(engine_name)),
+      norms_(defense::NormScreenConfig{cfg.max_stale}),
+      finetune_(cfg.finetune_capacity),
+      m_screened_(obs::counter("serve." + name_ + ".defense.screened",
+                               "requests screened by the defense plane")),
+      m_flagged_(obs::counter("serve." + name_ + ".defense.quarantined",
+                              "requests flagged and quarantined")),
+      m_bursts_(obs::counter("serve." + name_ + ".defense.bursts",
+                             "quarantine-rate burst flight triggers")),
+      m_burst_rate_(obs::gauge("serve." + name_ + ".defense.burst_rate",
+                               "flagged fraction over the trailing window")) {
+  OREV_CHECK(cfg_.dist_threshold > 0 && cfg_.step_threshold > 0 &&
+                 cfg_.ens_threshold > 0,
+             "defense thresholds must be positive");
+  OREV_CHECK(cfg_.burst_window >= 1, "burst_window must be >= 1");
+  OREV_CHECK(cfg_.quarantine_capacity >= 1,
+             "quarantine_capacity must be >= 1");
+}
+
+void DefensePlane::attach_sibling(nn::Model sibling) {
+  ensemble_ =
+      std::make_unique<defense::EnsembleDisagreement>(std::move(sibling));
+}
+
+void DefensePlane::calibrate(const nn::Tensor& rows) {
+  profile_.observe_rows(rows);
+}
+
+void DefensePlane::calibrate_flow(const std::string& key,
+                                  const nn::Tensor& rows,
+                                  std::uint64_t first_version) {
+  OREV_CHECK(rows.rank() >= 2 && rows.dim(0) >= 1,
+             "calibrate_flow expects a [m, ...sample] tensor");
+  const int m = rows.dim(0);
+  const std::size_t stride = rows.numel() / static_cast<std::size_t>(m);
+  for (int i = 0; i < m; ++i)
+    norms_.calibrate(key, first_version + static_cast<std::uint64_t>(i),
+                     rows.raw() + static_cast<std::size_t>(i) * stride,
+                     stride);
+}
+
+double DefensePlane::burst_rate() const {
+  if (static_cast<int>(recent_.size()) < cfg_.burst_window) return 0.0;
+  int hits = 0;
+  for (const bool f : recent_) hits += f ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(recent_.size());
+}
+
+DefenseVerdict DefensePlane::screen(std::uint64_t request_id,
+                                    const std::string& flow_key,
+                                    std::uint64_t flow_version,
+                                    const nn::Tensor& input,
+                                    int primary_pred) {
+  DefenseVerdict v;
+  ++screened_;
+  m_screened_.inc();
+
+  if (cfg_.use_distribution)
+    v.dist_score = profile_.score(input.raw(), input.numel());
+  if (cfg_.use_norm_screen)
+    v.step_score =
+        norms_.score(flow_key, flow_version, input.raw(), input.numel());
+  if (cfg_.use_ensemble && ensemble_ != nullptr)
+    v.ens_score = ensemble_->score(input, primary_pred);
+
+  v.score = std::max({v.dist_score / cfg_.dist_threshold,
+                      v.step_score / cfg_.step_threshold,
+                      v.ens_score / cfg_.ens_threshold});
+  v.flagged = v.score >= 1.0;
+
+  if (v.flagged) {
+    ++flagged_;
+    m_flagged_.inc();
+    // Bounded ring: evict the oldest record, never grow unbounded.
+    if (static_cast<int>(quarantine_.size()) >= cfg_.quarantine_capacity)
+      quarantine_.pop_front();
+    QuarantineRecord rec;
+    rec.request_id = request_id;
+    rec.flow_key = flow_key;
+    rec.flow_version = flow_version;
+    rec.score = v.score;
+    rec.primary_pred = primary_pred;
+    rec.sample = input;
+    quarantine_.push_back(std::move(rec));
+    // Fine-tune toward the flow's last accepted prediction when one
+    // exists — the temporal-consistency label — else the primary's own.
+    int ref_label = primary_pred;
+    const auto it = last_pred_.find(flow_key);
+    if (it != last_pred_.end()) ref_label = it->second;
+    if (ref_label >= 0) finetune_.push(input, ref_label);
+  } else {
+    // Only unflagged rows may advance the flow's reference state; a
+    // flagged row becoming the LKG would let the attacker walk the
+    // reference onto the adversarial point one ε at a time.
+    norms_.accept(flow_key, flow_version, input.raw(), input.numel());
+    if (!flow_key.empty() && primary_pred >= 0)
+      last_pred_[flow_key] = primary_pred;
+  }
+
+  recent_.push_back(v.flagged);
+  if (static_cast<int>(recent_.size()) > cfg_.burst_window)
+    recent_.pop_front();
+  const double rate = burst_rate();
+  m_burst_rate_.set(rate);
+  if (!burst_latched_ && rate >= cfg_.burst_threshold) {
+    burst_latched_ = true;
+    ++bursts_;
+    m_bursts_.inc();
+    char detail[160];
+    std::snprintf(detail, sizeof detail,
+                  "%s: quarantine rate %.3f over window %d (request %llu)",
+                  name_.c_str(), rate, cfg_.burst_window,
+                  static_cast<unsigned long long>(request_id));
+    obs::flight_trigger("defense.quarantine_burst", detail);
+  } else if (burst_latched_ && rate < cfg_.burst_threshold * 0.5) {
+    burst_latched_ = false;
+  }
+  return v;
+}
+
+std::string DefensePlane::fingerprint() const {
+  persist::ByteWriter w;
+  w.str(name_);
+  w.u8(cfg_.enable ? 1 : 0);
+  w.f64(cfg_.dist_threshold);
+  w.f64(cfg_.step_threshold);
+  w.f64(cfg_.ens_threshold);
+  w.u8(cfg_.use_distribution ? 1 : 0);
+  w.u8(cfg_.use_norm_screen ? 1 : 0);
+  w.u8(cfg_.use_ensemble ? 1 : 0);
+  w.u64(cfg_.max_stale);
+  w.u64(cfg_.screen_overhead_us);
+  w.u64(cfg_.screen_us_per_sample);
+  w.i32(cfg_.quarantine_capacity);
+  w.i32(cfg_.burst_window);
+  w.f64(cfg_.burst_threshold);
+  w.i32(cfg_.finetune_capacity);
+  return Sha256::hex(w.buffer());
+}
+
+persist::Status DefensePlane::save_status(const std::string& path) const {
+  persist::FrameWriter fw(kDefenseTag);
+  fw.section("config", fingerprint());
+
+  persist::ByteWriter prof;
+  profile_.save(prof);
+  fw.section("profile", prof.take());
+
+  persist::ByteWriter norms;
+  norms_.save(norms);
+  fw.section("norms", norms.take());
+
+  persist::ByteWriter labels;
+  labels.u64(last_pred_.size());
+  for (const auto& [key, pred] : last_pred_) {
+    labels.str(key);
+    labels.i32(pred);
+  }
+  fw.section("labels", labels.take());
+
+  persist::ByteWriter ftq;
+  finetune_.save(ftq);
+  fw.section("finetune", ftq.take());
+
+  persist::ByteWriter counters;
+  counters.u64(screened_);
+  counters.u64(flagged_);
+  counters.u64(bursts_);
+  fw.section("counters", counters.take());
+  return fw.commit(path);
+}
+
+persist::Status DefensePlane::load_status(const std::string& path) {
+  using persist::Status;
+  using persist::StatusCode;
+  persist::FrameReader fr;
+  Status st = persist::FrameReader::load(path, kDefenseTag, fr);
+  if (!st.ok()) return st;
+
+  std::string_view sec;
+  st = fr.section("config", sec);
+  if (!st.ok()) return st;
+  if (sec != fingerprint())
+    return Status::Fail(StatusCode::kMismatch,
+                        "defense checkpoint was written under a different "
+                        "defense config (fingerprint differs)");
+
+  // Decode every section into temporaries; commit only when all succeed,
+  // so a corrupted checkpoint never half-mutates a live plane.
+  defense::CalibrationProfile profile;
+  st = fr.section("profile", sec);
+  if (!st.ok()) return st;
+  {
+    persist::ByteReader r(sec);
+    if (!profile.load(r))
+      return Status::Fail(StatusCode::kTruncated,
+                          "defense profile section truncated");
+    st = r.finish("defense profile");
+    if (!st.ok()) return st;
+  }
+
+  defense::NormScreen norms;
+  st = fr.section("norms", sec);
+  if (!st.ok()) return st;
+  {
+    persist::ByteReader r(sec);
+    if (!norms.load(r))
+      return Status::Fail(StatusCode::kTruncated,
+                          "defense norm-screen section truncated");
+    st = r.finish("defense norm screen");
+    if (!st.ok()) return st;
+  }
+
+  std::map<std::string, int> labels;
+  st = fr.section("labels", sec);
+  if (!st.ok()) return st;
+  {
+    persist::ByteReader r(sec);
+    std::uint64_t n = 0;
+    if (!r.u64(n))
+      return Status::Fail(StatusCode::kTruncated,
+                          "defense labels section truncated");
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string key;
+      std::int32_t pred = 0;
+      if (!r.str(key) || !r.i32(pred))
+        return Status::Fail(StatusCode::kTruncated,
+                            "defense labels section truncated");
+      labels.emplace(std::move(key), pred);
+    }
+    st = r.finish("defense labels");
+    if (!st.ok()) return st;
+  }
+
+  defense::FineTuneQueue finetune(cfg_.finetune_capacity);
+  st = fr.section("finetune", sec);
+  if (!st.ok()) return st;
+  {
+    persist::ByteReader r(sec);
+    if (!finetune.load(r))
+      return Status::Fail(StatusCode::kTruncated,
+                          "defense fine-tune section truncated");
+    st = r.finish("defense fine-tune queue");
+    if (!st.ok()) return st;
+  }
+
+  std::uint64_t screened = 0, flagged = 0, bursts = 0;
+  st = fr.section("counters", sec);
+  if (!st.ok()) return st;
+  {
+    persist::ByteReader r(sec);
+    if (!r.u64(screened) || !r.u64(flagged) || !r.u64(bursts))
+      return Status::Fail(StatusCode::kTruncated,
+                          "defense counters section truncated");
+    st = r.finish("defense counters");
+    if (!st.ok()) return st;
+  }
+
+  profile_ = std::move(profile);
+  norms_ = std::move(norms);
+  last_pred_ = std::move(labels);
+  finetune_ = std::move(finetune);
+  screened_ = screened;
+  flagged_ = flagged;
+  bursts_ = bursts;
+  // The burst window is observational, not durable: resumed planes start
+  // it empty and unlatched.
+  recent_.clear();
+  burst_latched_ = false;
+  return Status::Ok();
+}
+
+}  // namespace orev::serve

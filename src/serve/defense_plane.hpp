@@ -1,0 +1,190 @@
+// Inline adversarial defense plane for the serving engine (DESIGN.md §14).
+//
+// Sits on the engine's completion path — after the replica pool computed a
+// batch's predictions, before completions fire — and screens every row
+// with three independent detectors (defense/detectors.hpp):
+//
+//   distribution  per-feature Mahalanobis distance to the clean
+//                 calibration profile
+//   norm screen   L2/L∞ step from the flow's last-known-good indication,
+//                 z-scored against the natural step distribution
+//   ensemble      a compact distilled sibling's disbelief in the primary
+//                 model's argmax
+//
+// A row's combined score is the max of its per-detector scores, each
+// normalized by its configured threshold; a combined score ≥ 1 flags the
+// row. Flagged requests complete with ServeStatus::kQuarantined and
+// prediction −1 — the exact shape of the chaos path's shed outcome, so
+// the owning apps degrade identically (IC xApp → fail-safe adaptive MCS,
+// PS rApp → skip period) and the model is never fail-open. Flagged rows
+// never update the norm screen's last-known-good state (the attacker must
+// not be able to walk the reference toward the adversarial point), enter a
+// bounded quarantine ring, and feed a bounded online fine-tuning queue
+// (checkpointed under app tag "orev.defense") for hardening under attack.
+//
+// The screen runs on the driving thread in row order and its virtual cost
+// (screen_overhead_us + screen_us_per_sample · n) is added to the batch's
+// cost model, so latency impact is deterministic and decisions are
+// byte-identical at every thread count — bench_defense asserts both.
+//
+// A quarantine-rate burst over the trailing window fires an obs flight
+// trigger ("defense.quarantine_burst"), freezing the causal span tail for
+// post-mortem, with hysteresis so a sustained attack produces one report
+// per burst rather than one per request.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "defense/detectors.hpp"
+#include "nn/model.hpp"
+#include "nn/tensor.hpp"
+#include "util/obs/metrics.hpp"
+#include "util/persist/persist.hpp"
+
+namespace orev::serve {
+
+struct DefenseConfig {
+  /// Master switch; a disabled plane adds zero virtual cost and the
+  /// engine behaves exactly as before this subsystem existed.
+  bool enable = false;
+  /// Per-detector flag thresholds: a row is quarantined when any
+  /// detector's score reaches its threshold (scores are compared as
+  /// score / threshold ≥ 1). Distribution and step scores are z-scales
+  /// (unbounded), the ensemble score is a probability complement in
+  /// [0, 1].
+  double dist_threshold = 6.0;
+  double step_threshold = 6.0;
+  double ens_threshold = 0.9;
+  /// Per-detector enables (the ensemble additionally needs a sibling).
+  bool use_distribution = true;
+  bool use_norm_screen = true;
+  bool use_ensemble = true;
+  /// Norm-screen staleness bound: versions a flow's last-known-good row
+  /// may lag before it is unusable (mirrors the apps' SDL bound).
+  std::uint64_t max_stale = 8;
+  /// Virtual cost model of the inline screen, added to each batch.
+  std::uint64_t screen_overhead_us = 5;
+  std::uint64_t screen_us_per_sample = 1;
+  /// Bounded quarantine ring (oldest records evicted first).
+  int quarantine_capacity = 128;
+  /// Trailing decision window for the burst trigger, and the flagged
+  /// fraction over it that fires the flight recorder. Hysteresis: the
+  /// trigger rearms once the rate falls below half the threshold.
+  int burst_window = 64;
+  double burst_threshold = 0.25;
+  /// Bounded online adversarial fine-tuning queue.
+  int finetune_capacity = 256;
+};
+
+/// Outcome of screening one request.
+struct DefenseVerdict {
+  bool flagged = false;
+  /// Combined threshold-normalized score (≥ 1 ⇔ flagged).
+  double score = 0.0;
+  /// Raw per-detector scores (0 when a detector is off / not ready).
+  double dist_score = 0.0;
+  double step_score = 0.0;
+  double ens_score = 0.0;
+};
+
+/// One quarantined request, retained in the bounded ring for operators.
+struct QuarantineRecord {
+  std::uint64_t request_id = 0;
+  std::string flow_key;
+  std::uint64_t flow_version = 0;
+  double score = 0.0;
+  /// Primary model's prediction on the flagged input (never served).
+  int primary_pred = -1;
+  nn::Tensor sample;
+};
+
+class DefensePlane {
+ public:
+  /// `engine_name` prefixes the obs metrics
+  /// (serve.<engine_name>.defense.*) and salts the fingerprint.
+  DefensePlane(const DefenseConfig& cfg, std::string engine_name);
+
+  DefensePlane(const DefensePlane&) = delete;
+  DefensePlane& operator=(const DefensePlane&) = delete;
+
+  /// Install the compact sibling for the ensemble detector (typically a
+  /// defense::distill student of the served model). Must match the served
+  /// model's input shape and class count — the engine checks.
+  void attach_sibling(nn::Model sibling);
+  bool has_sibling() const { return ensemble_ != nullptr; }
+
+  /// Calibrate the distribution profile on clean [m, ...sample] rows.
+  void calibrate(const nn::Tensor& rows);
+  /// Calibrate the norm screen on one flow's clean consecutive rows;
+  /// versions are assigned first_version, first_version+1, … and the last
+  /// row becomes the flow's last-known-good.
+  void calibrate_flow(const std::string& key, const nn::Tensor& rows,
+                      std::uint64_t first_version = 0);
+
+  /// Screen one served row (driving thread, row order). Updates detector
+  /// state: unflagged rows advance the flow's LKG and reference label;
+  /// flagged rows enter the quarantine ring and fine-tuning queue.
+  DefenseVerdict screen(std::uint64_t request_id, const std::string& flow_key,
+                        std::uint64_t flow_version, const nn::Tensor& input,
+                        int primary_pred);
+
+  /// Virtual µs the inline screen adds to a batch of n rows.
+  std::uint64_t screen_cost_us(int n) const {
+    return cfg_.screen_overhead_us +
+           cfg_.screen_us_per_sample * static_cast<std::uint64_t>(n);
+  }
+
+  const DefenseConfig& config() const { return cfg_; }
+  std::uint64_t screened() const { return screened_; }
+  std::uint64_t flagged() const { return flagged_; }
+  /// Flight triggers fired ("defense.quarantine_burst").
+  std::uint64_t bursts() const { return bursts_; }
+  /// Flagged fraction over the trailing window (0 until the window fills).
+  double burst_rate() const;
+  const std::deque<QuarantineRecord>& quarantine() const {
+    return quarantine_;
+  }
+  const defense::FineTuneQueue& finetune() const { return finetune_; }
+  defense::FineTuneQueue& finetune() { return finetune_; }
+  const defense::CalibrationProfile& profile() const { return profile_; }
+  const defense::NormScreen& norm_screen() const { return norms_; }
+
+  /// Hex SHA-256 over the defense config + engine name; checkpoint guard.
+  std::string fingerprint() const;
+
+  /// Framed checkpoint (app tag "orev.defense"): fingerprint, calibration
+  /// profile, norm-screen state, reference labels, fine-tuning queue and
+  /// counters. load_status() rejects other configs with kMismatch and
+  /// leaves the plane untouched on any failure.
+  persist::Status save_status(const std::string& path) const;
+  persist::Status load_status(const std::string& path);
+
+ private:
+  DefenseConfig cfg_;
+  std::string name_;
+  defense::CalibrationProfile profile_;
+  defense::NormScreen norms_;
+  std::unique_ptr<defense::EnsembleDisagreement> ensemble_;
+  defense::FineTuneQueue finetune_;
+  /// Last accepted (unflagged) prediction per flow: the reference label
+  /// quarantined samples are fine-tuned toward (temporal consistency).
+  std::map<std::string, int> last_pred_;
+  std::deque<QuarantineRecord> quarantine_;
+  /// Trailing flag/pass outcomes for the burst window.
+  std::deque<bool> recent_;
+  bool burst_latched_ = false;
+  std::uint64_t screened_ = 0;
+  std::uint64_t flagged_ = 0;
+  std::uint64_t bursts_ = 0;
+
+  obs::Counter& m_screened_;
+  obs::Counter& m_flagged_;
+  obs::Counter& m_bursts_;
+  obs::Gauge& m_burst_rate_;
+};
+
+}  // namespace orev::serve

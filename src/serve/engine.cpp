@@ -38,6 +38,7 @@ const char* serve_status_name(ServeStatus s) {
     case ServeStatus::kOk: return "ok";
     case ServeStatus::kDegradedSync: return "degraded-sync";
     case ServeStatus::kRejected: return "rejected";
+    case ServeStatus::kQuarantined: return "quarantined";
   }
   return "unknown";
 }
@@ -69,6 +70,35 @@ ServeEngine::ServeEngine(nn::Model model, ServeConfig cfg)
   compiled_.reserve(replicas_.size());
   for (nn::Model& replica : replicas_)
     compiled_.push_back(compile_plan(replica));
+  if (cfg_.defense.enable)
+    defense_ = std::make_unique<DefensePlane>(cfg_.defense, cfg_.name);
+}
+
+void ServeEngine::attach_defense_sibling(nn::Model sibling) {
+  OREV_CHECK(defense_ != nullptr,
+             "attach_defense_sibling needs cfg.defense.enable");
+  OREV_CHECK(sibling.input_shape() == model_input_shape() &&
+                 sibling.num_classes() == model_num_classes(),
+             "defense sibling must match the served model's input shape "
+             "and class count");
+  defense_->attach_sibling(std::move(sibling));
+}
+
+void ServeEngine::screen_request(ServeRequest& r, int& prediction,
+                                 ServeStatus& status) {
+  if (defense_ == nullptr) return;
+  const DefenseVerdict v = defense_->screen(r.id, r.flow.key, r.flow.version,
+                                            r.input, prediction);
+  r.defense_score = v.score;
+  if (v.flagged) {
+    prediction = -1;
+    status = ServeStatus::kQuarantined;
+  }
+}
+
+std::uint64_t ServeEngine::sync_cost_us() const {
+  return cfg_.sync_us_per_sample +
+         (defense_ != nullptr ? cfg_.defense.screen_us_per_sample : 0);
 }
 
 const Rng& ServeEngine::replica_rng(int i) const {
@@ -99,6 +129,7 @@ void ServeEngine::finish(ServeRequest& r, int prediction, ServeStatus status,
   res.latency_us =
       completion_us >= r.arrival_us ? completion_us - r.arrival_us : 0;
   res.deadline_missed = completion_us > r.deadline_us;
+  res.defense_score = r.defense_score;
   // Completion span: child of this request's own admit span, with a flow
   // edge back to the replica span that computed the row (batched path).
   res.trace = obs::causal_child(r.trace, "serve.complete",
@@ -113,11 +144,17 @@ void ServeEngine::finish(ServeRequest& r, int prediction, ServeStatus status,
 }
 
 ServeStatus ServeEngine::submit(nn::Tensor input, Completion done) {
-  return submit(std::move(input), obs::TraceContext{}, std::move(done));
+  return submit(std::move(input), FlowTag{}, obs::TraceContext{},
+                std::move(done));
 }
 
 ServeStatus ServeEngine::submit(nn::Tensor input, obs::TraceContext ctx,
                                 Completion done) {
+  return submit(std::move(input), FlowTag{}, ctx, std::move(done));
+}
+
+ServeStatus ServeEngine::submit(nn::Tensor input, FlowTag flow,
+                                obs::TraceContext ctx, Completion done) {
   OREV_CHECK(!in_completion_,
              "serve completions must not call back into the engine");
   now_us_ += cfg_.tick_us;
@@ -136,6 +173,7 @@ ServeStatus ServeEngine::submit(nn::Tensor input, obs::TraceContext ctx,
   r.id = next_request_id_++;
   r.arrival_us = now_us_;
   r.deadline_us = now_us_ + cfg_.deadline_us;
+  r.flow = std::move(flow);
   r.input = std::move(input);
   r.done = std::move(done);
   // Admit span: child of the caller's context when it carries one, else
@@ -164,12 +202,16 @@ ServeStatus ServeEngine::submit(nn::Tensor input, obs::TraceContext ctx,
       return ServeStatus::kRejected;
     }
     // Degraded mode: synchronous single-sample inference on replica 0.
+    // The defense screen still runs — a shed admission must not become a
+    // fail-open side door past the plane.
     const std::uint64_t start = std::max(now_us_, busy_until_us_);
-    busy_until_us_ = start + cfg_.sync_us_per_sample;
-    const int pred = predict_on_replica(0, r.input);
-    finish(r, pred, ServeStatus::kDegradedSync, busy_until_us_, 0, 1, 0, 0);
+    busy_until_us_ = start + sync_cost_us();
+    int pred = predict_on_replica(0, r.input);
+    ServeStatus status = ServeStatus::kDegradedSync;
+    screen_request(r, pred, status);
+    finish(r, pred, status, busy_until_us_, 0, 1, 0, 0);
     pump();
-    return ServeStatus::kDegradedSync;
+    return status;
   }
 
   slo_.set_queue_depth(queue_.size());
@@ -208,9 +250,11 @@ void ServeEngine::execute_sync_fallback(std::vector<ServeRequest>& batch,
                                         std::uint64_t start_us) {
   std::uint64_t t = start_us;
   for (ServeRequest& r : batch) {
-    t += cfg_.sync_us_per_sample;
-    const int pred = predict_on_replica(0, r.input);
-    finish(r, pred, ServeStatus::kDegradedSync, t, 0, 1, 0, 0);
+    t += sync_cost_us();
+    int pred = predict_on_replica(0, r.input);
+    ServeStatus status = ServeStatus::kDegradedSync;
+    screen_request(r, pred, status);
+    finish(r, pred, status, t, 0, 1, 0, 0);
   }
   busy_until_us_ = t;
 }
@@ -225,6 +269,11 @@ void ServeEngine::execute_batch(std::vector<ServeRequest> batch,
       cfg_.us_per_sample *
           ceil_div(static_cast<std::uint64_t>(n),
                    static_cast<std::uint64_t>(replicas_.size()));
+  // The inline defense screen's virtual cost is a pure function of the
+  // batch size, charged before the would-miss projection — so enabling
+  // the plane shifts p99 latency deterministically and bench_serve can
+  // gate the overhead exactly.
+  if (defense_ != nullptr) cost += defense_->screen_cost_us(n);
 
   // Batch fate: an injected delay stretches the virtual execution (and can
   // push completions past their deadlines); transient/crash/drop fails the
@@ -364,8 +413,13 @@ void ServeEngine::execute_batch(std::vector<ServeRequest> batch,
   slo_.on_batch(n);
   for (int i = 0; i < n; ++i) {
     const int shard = std::min(i / rows_per_shard, nshards - 1);
-    finish(batch[static_cast<std::size_t>(i)],
-           preds[static_cast<std::size_t>(i)], ServeStatus::kOk, completion,
+    // Defense screening happens here — on the driving thread, in row
+    // order, after the replica pool produced the predictions — so the
+    // stateful detectors see an identical sequence at every thread count.
+    int pred = preds[static_cast<std::size_t>(i)];
+    ServeStatus status = ServeStatus::kOk;
+    screen_request(batch[static_cast<std::size_t>(i)], pred, status);
+    finish(batch[static_cast<std::size_t>(i)], pred, status, completion,
            batch_id, n, shard,
            shard_ctx[static_cast<std::size_t>(shard)].span_id);
   }
@@ -483,6 +537,24 @@ std::string ServeEngine::config_fingerprint() const {
   w.i32(cfg_.quant.calib_samples);
   w.f64(cfg_.quant.tol_clean);
   w.f64(cfg_.quant.tol_attack);
+  // Defense fields only when the plane is enabled: engines that never had
+  // one keep their pre-defense fingerprints (and checkpoints) valid.
+  if (cfg_.defense.enable) {
+    w.u8(1);
+    w.f64(cfg_.defense.dist_threshold);
+    w.f64(cfg_.defense.step_threshold);
+    w.f64(cfg_.defense.ens_threshold);
+    w.u8(cfg_.defense.use_distribution ? 1 : 0);
+    w.u8(cfg_.defense.use_norm_screen ? 1 : 0);
+    w.u8(cfg_.defense.use_ensemble ? 1 : 0);
+    w.u64(cfg_.defense.max_stale);
+    w.u64(cfg_.defense.screen_overhead_us);
+    w.u64(cfg_.defense.screen_us_per_sample);
+    w.i32(cfg_.defense.quarantine_capacity);
+    w.i32(cfg_.defense.burst_window);
+    w.f64(cfg_.defense.burst_threshold);
+    w.i32(cfg_.defense.finetune_capacity);
+  }
   const nn::Model& m = replicas_.front();
   w.str(m.name());
   w.i32(m.num_classes());
@@ -503,6 +575,7 @@ persist::Status ServeEngine::save_status(const std::string& path) const {
   w.u64(s.batches);
   w.u64(s.batched_samples);
   w.u64(s.degraded_syncs);
+  w.u64(s.quarantined);
   w.u64(s.deadline_misses);
   w.u64(s.max_queue_depth);
   w.f64(s.mean_occupancy);
@@ -536,7 +609,8 @@ persist::Status ServeEngine::load_status(const std::string& path) {
   std::uint64_t now = 0, busy = 0, next_req = 0, next_batch = 0;
   if (!r.u64(s.submitted) || !r.u64(s.admitted) || !r.u64(s.rejected) ||
       !r.u64(s.completed) || !r.u64(s.batches) || !r.u64(s.batched_samples) ||
-      !r.u64(s.degraded_syncs) || !r.u64(s.deadline_misses) ||
+      !r.u64(s.degraded_syncs) || !r.u64(s.quarantined) ||
+      !r.u64(s.deadline_misses) ||
       !r.u64(s.max_queue_depth) || !r.f64(s.mean_occupancy) || !r.u64(now) ||
       !r.u64(busy) || !r.u64(next_req) || !r.u64(next_batch))
     return Status::Fail(StatusCode::kTruncated, "serve SLO section truncated");

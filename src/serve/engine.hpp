@@ -45,6 +45,7 @@
 #include "nn/model.hpp"
 #include "serve/batcher.hpp"
 #include "serve/compiled.hpp"
+#include "serve/defense_plane.hpp"
 #include "serve/quant.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
@@ -87,6 +88,10 @@ struct ServeConfig {
   /// engine keeps serving float until activate_int8_tier()'s accuracy gate
   /// passes.
   QuantTierConfig quant;
+  /// Opt-in inline adversarial defense plane (serve/defense_plane.hpp):
+  /// screens every served row, quarantines flagged requests, and adds its
+  /// deterministic virtual cost to the batch cost model.
+  DefenseConfig defense;
   /// SLO objectives / burn-rate windows / sketch accuracy. Observational
   /// only — never changes queueing or batching — so it is deliberately
   /// excluded from config_fingerprint(): two engines differing only in
@@ -118,6 +123,14 @@ class ServeEngine {
   /// trace from the request id, so every request is traceable even when
   /// the caller isn't.
   ServeStatus submit(nn::Tensor input, obs::TraceContext ctx, Completion done);
+
+  /// Flow-tagged submit: additionally names the stream the request
+  /// belongs to (and its version counter) so the defense plane's
+  /// perturbation-norm screen can compare against the flow's
+  /// last-known-good indication. The untagged overloads submit with an
+  /// empty flow key (per-flow screen skipped, other detectors still run).
+  ServeStatus submit(nn::Tensor input, FlowTag flow, obs::TraceContext ctx,
+                     Completion done);
 
   /// Advance the virtual clock without submitting (heartbeat), then pump.
   /// Wire this to the platform's post-dispatch hook so partial batches
@@ -191,10 +204,25 @@ class ServeEngine {
   bool int8_active() const { return int8_active_; }
   const QuantGateReport& quant_report() const { return quant_report_; }
 
+  /// The inline defense plane, or nullptr when cfg.defense.enable is off.
+  /// Callers calibrate and attach the sibling through this accessor.
+  DefensePlane* defense() { return defense_.get(); }
+  const DefensePlane* defense() const { return defense_.get(); }
+
+  /// Install the ensemble detector's compact sibling (shape/class-count
+  /// checked against the served model). Requires an enabled defense plane.
+  void attach_defense_sibling(nn::Model sibling);
+
  private:
   void finish(ServeRequest& r, int prediction, ServeStatus status,
               std::uint64_t completion_us, std::uint64_t batch_id,
               int batch_size, int replica, std::uint64_t flow_from);
+  /// Run the defense screen over one served row (driving thread, row
+  /// order); may replace the prediction with −1 / kQuarantined.
+  void screen_request(ServeRequest& r, int& prediction, ServeStatus& status);
+  /// Virtual cost of one degraded synchronous inference (defense screen
+  /// included when the plane is enabled).
+  std::uint64_t sync_cost_us() const;
   void execute_batch(std::vector<ServeRequest> batch, FlushTrigger trigger);
   void execute_sync_fallback(std::vector<ServeRequest>& batch,
                              std::uint64_t start_us);
@@ -213,6 +241,10 @@ class ServeEngine {
   std::unique_ptr<CompiledInt8> int8_;
   bool int8_active_ = false;
   QuantGateReport quant_report_;
+  /// Inline defense plane (null when disabled). Screening runs on the
+  /// driving thread in row order — never inside the replica shards — so
+  /// its stateful detectors see the same sequence at every thread count.
+  std::unique_ptr<DefensePlane> defense_;
   obs::Counter& quant_rejected_;
   /// Reusable flat row buffer for the single-shard compiled hot path.
   std::vector<float> staging_;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 
 #include "nn/tensor.hpp"
@@ -29,10 +30,25 @@ enum class ServeStatus {
   kDegradedSync,
   /// Shed at admission with no prediction (fallback disabled).
   kRejected,
+  /// Flagged by the inline defense plane: the prediction was computed but
+  /// withheld (−1 in the result), exactly like a shed — the owning app
+  /// degrades instead of acting on a suspect input.
+  kQuarantined,
 };
 
 /// Stable lowercase name ("queued", "degraded-sync", ...) for reports.
 const char* serve_status_name(ServeStatus s);
+
+/// Identity of the stream a request belongs to (a UE, a RAN node's
+/// telemetry key, a sector), plus that stream's version counter — the SDL
+/// version where the input came from an SDL read. The defense plane's
+/// norm screen keys its last-known-good state on `key` and applies its
+/// staleness bound to `version`. An empty key opts the request out of the
+/// per-flow screen (the distribution and ensemble detectors still run).
+struct FlowTag {
+  std::string key;
+  std::uint64_t version = 0;
+};
 
 /// Terminal outcome of one request.
 struct ServeResult {
@@ -49,6 +65,9 @@ struct ServeResult {
   std::uint64_t latency_us = 0;
   /// True when the completion landed past the request's SLO deadline.
   bool deadline_missed = false;
+  /// Combined defense score (threshold-normalized; ≥ 1 ⇔ quarantined).
+  /// 0 when the engine has no defense plane.
+  double defense_score = 0.0;
   /// Causal context of this request's completion span — callers parent
   /// their downstream spans (e.g. the control message) under it. Zero
   /// when causal tracing is off.
@@ -72,6 +91,11 @@ struct ServeRequest {
   /// parented under whatever the submitter passed (or a serve-minted
   /// root). Zero when causal tracing is off.
   obs::TraceContext trace;
+  /// Flow identity for the defense plane's per-flow screen (empty key
+  /// when the submitter did not tag the request).
+  FlowTag flow;
+  /// Combined defense score, filled by the screen before completion.
+  double defense_score = 0.0;
   nn::Tensor input;
   Completion done;
 };

@@ -5,6 +5,7 @@
 
 #include "serve/batcher.hpp"
 #include "serve/compiled_cnn.hpp"
+#include "serve/defense_plane.hpp"
 #include "serve/engine.hpp"
 #include "serve/quant.hpp"
 #include "serve/queue.hpp"

@@ -29,6 +29,8 @@ SloStats::SloStats(const std::string& engine_name, int replicas,
                               "micro-batches flushed")),
       m_degraded_(obs::counter("serve." + engine_name + ".degraded_syncs",
                                "requests served by the sync fallback")),
+      m_quarantined_(obs::counter("serve." + engine_name + ".quarantined",
+                                  "requests flagged by the defense plane")),
       m_misses_(obs::counter("serve." + engine_name + ".deadline_misses",
                              "completions past the SLO deadline")),
       m_queue_depth_(obs::gauge("serve." + engine_name + ".queue_depth",
@@ -89,6 +91,11 @@ void SloStats::on_complete(const ServeResult& r, std::uint64_t completion_us) {
   if (r.status == ServeStatus::kDegradedSync) {
     ++degraded_syncs_;
     m_degraded_.inc();
+  } else if (r.status == ServeStatus::kQuarantined) {
+    // A quarantined request was served (and defended), not lost: it
+    // counts as a completion for availability, with its own counter.
+    ++quarantined_;
+    m_quarantined_.inc();
   } else {
     ++batched_samples_;
   }
@@ -135,6 +142,7 @@ SloSnapshot SloStats::snapshot() const {
   s.batches = batches_;
   s.batched_samples = batched_samples_;
   s.degraded_syncs = degraded_syncs_;
+  s.quarantined = quarantined_;
   s.deadline_misses = deadline_misses_;
   s.max_queue_depth = max_queue_depth_;
   s.mean_occupancy =
@@ -171,6 +179,7 @@ void SloStats::restore(const SloSnapshot& s) {
   batches_ = s.batches;
   batched_samples_ = s.batched_samples;
   degraded_syncs_ = s.degraded_syncs;
+  quarantined_ = s.quarantined;
   deadline_misses_ = s.deadline_misses;
   max_queue_depth_ = s.max_queue_depth;
   occupancy_sum_ = static_cast<std::uint64_t>(

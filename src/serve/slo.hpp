@@ -34,6 +34,7 @@ struct SloSnapshot {
   std::uint64_t batches = 0;
   std::uint64_t batched_samples = 0;  // completions via the batched path
   std::uint64_t degraded_syncs = 0;   // completions via the sync fallback
+  std::uint64_t quarantined = 0;      // flagged by the defense plane
   std::uint64_t deadline_misses = 0;
   std::uint64_t max_queue_depth = 0;
   /// Mean samples per flushed batch (0 when no batch ever flushed).
@@ -92,6 +93,7 @@ class SloStats {
   std::uint64_t batches_ = 0;
   std::uint64_t batched_samples_ = 0;
   std::uint64_t degraded_syncs_ = 0;
+  std::uint64_t quarantined_ = 0;
   std::uint64_t deadline_misses_ = 0;
   std::uint64_t occupancy_sum_ = 0;
   std::uint64_t max_queue_depth_ = 0;
@@ -107,6 +109,7 @@ class SloStats {
   obs::Counter& m_completed_;
   obs::Counter& m_batches_;
   obs::Counter& m_degraded_;
+  obs::Counter& m_quarantined_;
   obs::Counter& m_misses_;
   obs::Gauge& m_queue_depth_;
   obs::SketchMetric& m_latency_us_;

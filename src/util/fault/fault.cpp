@@ -161,6 +161,10 @@ FaultPlan default_chaos_plan() {
   add(sites::kRAppDispatch, FaultKind::kCrash, 0.02);
   add(sites::kA1Policy, FaultKind::kTransient, 0.20);
   add(sites::kO1Collect, FaultKind::kTransient, 0.10);
+  // Serving path: occasional shed admissions and failed batches, so the
+  // engines' degraded-sync fallback is part of every chaos run.
+  add(sites::kServeAdmit, FaultKind::kTransient, 0.02);
+  add(sites::kServeBatch, FaultKind::kTransient, 0.02);
   return plan;
 }
 

@@ -1,12 +1,18 @@
 // Defense tests (§7): adversarial-training augmentation semantics and
 // robustness gain, defensive-distillation student fidelity and boundary
-// smoothing.
+// smoothing, plus edge cases of the runtime monitors (drift detector,
+// SDL write monitor) that the inline defense plane builds on.
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 #include "attack/clone.hpp"
 #include "attack/metrics.hpp"
 #include "attack/uap.hpp"
 #include "defense/defenses.hpp"
+#include "defense/runtime_monitor.hpp"
+#include "oran/rbac.hpp"
+#include "oran/sdl.hpp"
 #include "test_helpers.hpp"
 
 namespace orev::defense {
@@ -176,6 +182,90 @@ TEST(Defense, BlackBoxAttackStillBeatsDistillationAtHighEps) {
   const double clean = nn::accuracy(distilled.forward(fresh.x), fresh.y);
   EXPECT_LT(m.accuracy, clean - 0.2)
       << "distillation should not stop the cloned black-box UAP";
+}
+
+// ----------------------------------------------- runtime-monitor edges --
+
+TEST(DriftDetector, EmptyWindowScoresZero) {
+  // No observations at all (distinct from mid-warmup): the detector has
+  // no feature layout yet and must stay silent on any probe shape.
+  TelemetryDriftDetector det(4.0, 2);
+  EXPECT_EQ(det.samples_observed(), 0);
+  EXPECT_FALSE(det.warmed_up());
+  EXPECT_EQ(det.score(nn::Tensor({4}, 100.0f)), 0.0);
+  EXPECT_FALSE(det.is_anomalous(nn::Tensor({7}, 100.0f)));
+}
+
+TEST(DriftDetector, ConstantStreamHitsTheVarianceFloorNotInfinity) {
+  TelemetryDriftDetector det(4.0, 2);
+  const nn::Tensor same({4}, 0.25f);
+  for (int i = 0; i < 40; ++i) det.observe(same);
+  ASSERT_TRUE(det.warmed_up());
+  // Zero deviation from a zero-variance stream scores exactly 0...
+  EXPECT_EQ(det.score(same), 0.0);
+  // ...and any deviation divides by the variance floor, not by zero: the
+  // score is huge but finite, so downstream thresholds stay meaningful.
+  nn::Tensor shifted = same;
+  shifted[2] += 0.001f;
+  const double z = det.score(shifted);
+  EXPECT_TRUE(std::isfinite(z));
+  EXPECT_GT(z, 4.0);
+  EXPECT_TRUE(det.is_anomalous(shifted));
+}
+
+TEST(DriftDetector, MinimalWarmupUsesTheTwoSampleVariance) {
+  // warmup = 2 is the smallest the constructor admits; after exactly two
+  // samples the Welford divisor is count − 1 = 1, giving the textbook
+  // two-sample variance — no degenerate count − 1 = 0 division.
+  TelemetryDriftDetector det(4.0, 2);
+  det.observe(nn::Tensor({1}, 0.0f));
+  EXPECT_EQ(det.score(nn::Tensor({1}, 100.0f)), 0.0);  // still warming up
+  det.observe(nn::Tensor({1}, 1.0f));
+  ASSERT_TRUE(det.warmed_up());
+  // mean = 0.5, m2 = 0.5 → var = 0.5: z(1.5) = 1.0 / sqrt(0.5).
+  EXPECT_NEAR(det.score(nn::Tensor({1}, 1.5f)), 1.0 / std::sqrt(0.5), 1e-9);
+}
+
+TEST(SdlWriteMonitor, EmptyExpectedWriterSetFlagsEveryWriter) {
+  // Declaring a namespace with no expected writers means "nobody may
+  // write this" — every successful write alerts, including the most
+  // privileged identity.
+  oran::Rbac rbac;
+  rbac.define_role("rw", {oran::Permission{"*", true, true}});
+  rbac.assign_role("platform", "rw");
+  oran::Sdl sdl(&rbac);
+  SdlWriteMonitor monitor;
+  monitor.expect_writers("frozen", {});
+  EXPECT_THROW(monitor.expect_writers("", {"platform"}), CheckError);
+
+  sdl.write_text("platform", "frozen", "k", "v");
+  const auto alerts = monitor.scan(sdl);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].writer, "platform");
+}
+
+TEST(SdlWriteMonitor, CursorSurvivesAuditRingEviction) {
+  oran::Rbac rbac;
+  rbac.define_role("rw", {oran::Permission{"*", true, true}});
+  rbac.assign_role("rogue", "rw");
+  oran::Sdl sdl(&rbac);
+  sdl.set_audit_capacity(4);
+  SdlWriteMonitor monitor;
+  monitor.expect_writers("pm", {"platform"});
+
+  sdl.write_text("rogue", "pm", "k", "v0");
+  sdl.write_text("rogue", "pm", "k", "v1");
+  EXPECT_EQ(monitor.scan(sdl).size(), 2u);
+
+  // Ten more writes overflow the 4-record ring: the six evicted before
+  // this scan are gone (not re-reported, not double-counted), the four
+  // surviving records alert once each, and the cursor lands at the tail.
+  for (int i = 0; i < 10; ++i)
+    sdl.write_text("rogue", "pm", "k", "v" + std::to_string(2 + i));
+  EXPECT_GT(sdl.audit_dropped_records(), 0u);
+  EXPECT_EQ(monitor.scan(sdl).size(), 4u);
+  EXPECT_TRUE(monitor.scan(sdl).empty());
+  EXPECT_EQ(monitor.alerts_raised(), 6u);
 }
 
 }  // namespace
