@@ -73,6 +73,12 @@ struct NearRtResult {
   std::uint64_t telemetry_failures = 0;
   std::uint64_t serve_degraded = 0;   // engine degraded-sync completions
   std::uint64_t serve_shed = 0;       // classifications shed by the engine
+  std::uint64_t defense_screened = 0; // rows through the inline screen
+  std::uint64_t defense_flagged = 0;  // rows quarantined by the screen
+  std::uint64_t review_passes = 0;    // quarantine review passes that ran
+  std::uint64_t swap_attempts = 0;    // periodic hot-swap attempts
+  std::uint64_t swaps_accepted = 0;
+  std::uint64_t swaps_rejected = 0;   // includes fault-refused attempts
   std::string injector_stats;
 
   double availability() const {
@@ -135,9 +141,24 @@ NearRtResult run_near_rt(const fault::FaultPlan& plan, bool recover,
   serve::ServeConfig scfg;
   scfg.name = recover ? "chaosic" : "chaosicraw";
   scfg.batch_max = 4;
+  // Closed-loop surfaces under chaos: the defense plane screens every
+  // served row and its review cadence draws the defense.review site (a
+  // transient fault defers the pass, never loses records), while a
+  // periodic same-weights hot-swap attempt draws the serve.swap site (a
+  // transient fault refuses the swap and the fleet keeps serving — the
+  // operational rollback path). The profile calibrates on both telemetry
+  // patterns so screening is live without quarantining the clean,
+  // deterministic chaos traffic.
+  scfg.defense.enable = true;
+  scfg.defense.review_every = 64;
+  scfg.swap.enable = true;
   serve::ServeEngine engine(tiny_ic_model(), scfg);
   engine.set_fault_injector(&injector);
+  engine.defense()->calibrate(nn::Tensor(
+      {4, 2}, {0.1f, 0.9f, 0.9f, 0.1f, 0.1f, 0.9f, 0.9f, 0.1f}));
   app->set_serve_engine(&engine);
+  const nn::Tensor swap_probe({2, 2}, {0.1f, 0.9f, 0.9f, 0.1f});
+  const std::vector<int> swap_labels = tiny_ic_model().predict(swap_probe);
 
   NearRtResult out;
   out.iters = iters;
@@ -148,8 +169,16 @@ NearRtResult run_near_rt(const fault::FaultPlan& plan, bool recover,
     ind.ran_node_id = "ran-1";
     ind.tti = t;
     ind.kind = oran::IndicationKind::kKpm;
+    // A rare anomalous indication (far outside the calibrated profile)
+    // keeps the quarantine ring non-empty so the review cadence actually
+    // runs passes — and draws the defense.review fault site. The xApp
+    // answers each quarantined row with a fail-safe control, so the
+    // iteration still counts as served.
+    const bool anomalous = t % 97 == 0;
     const float sinr = t % 2 == 0 ? 0.1f : 0.9f;
-    ind.payload = nn::Tensor({2}, std::vector<float>{sinr, 1.0f - sinr});
+    ind.payload = anomalous
+                      ? nn::Tensor({2}, std::vector<float>{4.0f, -3.0f})
+                      : nn::Tensor({2}, std::vector<float>{sinr, 1.0f - sinr});
 
     // The RAN side retransmits (bounded) when no control comes back
     // within the window — the loop-level recovery a real node performs.
@@ -178,6 +207,14 @@ NearRtResult run_near_rt(const fault::FaultPlan& plan, bool recover,
     } else {
       ++current_outage;
     }
+
+    // Every 1000 iterations, attempt a gated hot-swap of a candidate
+    // with identical weights: the gate metrics are trivially clean
+    // (delta 0), so every refusal is the serve.swap fault path.
+    if ((t + 1) % 1000 == 0) {
+      ++out.swap_attempts;
+      engine.request_hot_swap(tiny_ic_model(), swap_probe, swap_labels);
+    }
   }
   if (current_outage > 0) {
     ++out.outages;
@@ -195,6 +232,11 @@ NearRtResult run_near_rt(const fault::FaultPlan& plan, bool recover,
   out.telemetry_failures = app->telemetry_failures();
   out.serve_degraded = engine.slo().degraded_syncs;
   out.serve_shed = app->serve_shed();
+  out.defense_screened = engine.defense()->screened();
+  out.defense_flagged = engine.defense()->flagged();
+  out.review_passes = engine.defense()->review_passes();
+  out.swaps_accepted = engine.swaps_accepted();
+  out.swaps_rejected = engine.swaps_rejected();
   out.injector_stats = injector.stats_json();
   return out;
 }
@@ -308,7 +350,7 @@ NonRtResult run_non_rt(const fault::FaultPlan& plan, bool recover,
 
 void append_near_rt_json(std::string& json, const char* name,
                          const NearRtResult& r) {
-  char buf[768];
+  char buf[1280];
   std::snprintf(
       buf, sizeof(buf),
       "  \"%s\": {\n"
@@ -331,7 +373,13 @@ void append_near_rt_json(std::string& json, const char* name,
       "    \"controls_failed\": %llu,\n"
       "    \"telemetry_failures\": %llu,\n"
       "    \"serve_degraded\": %llu,\n"
-      "    \"serve_shed\": %llu,\n",
+      "    \"serve_shed\": %llu,\n"
+      "    \"defense_screened\": %llu,\n"
+      "    \"defense_flagged\": %llu,\n"
+      "    \"review_passes\": %llu,\n"
+      "    \"swap_attempts\": %llu,\n"
+      "    \"swaps_accepted\": %llu,\n"
+      "    \"swaps_rejected\": %llu,\n",
       name, static_cast<unsigned long long>(r.iters), r.availability(),
       r.informed_rate(), static_cast<unsigned long long>(r.served),
       static_cast<unsigned long long>(r.informed),
@@ -349,7 +397,13 @@ void append_near_rt_json(std::string& json, const char* name,
       static_cast<unsigned long long>(r.controls_failed),
       static_cast<unsigned long long>(r.telemetry_failures),
       static_cast<unsigned long long>(r.serve_degraded),
-      static_cast<unsigned long long>(r.serve_shed));
+      static_cast<unsigned long long>(r.serve_shed),
+      static_cast<unsigned long long>(r.defense_screened),
+      static_cast<unsigned long long>(r.defense_flagged),
+      static_cast<unsigned long long>(r.review_passes),
+      static_cast<unsigned long long>(r.swap_attempts),
+      static_cast<unsigned long long>(r.swaps_accepted),
+      static_cast<unsigned long long>(r.swaps_rejected));
   json += buf;
   json += "    \"faults\": " + r.injector_stats + "\n  },\n";
 }
@@ -460,6 +514,14 @@ int main(int argc, char** argv) {
   std::printf("%-26s %-14llu %-14llu\n", "breaker opens",
               static_cast<unsigned long long>(with.breaker_opens),
               static_cast<unsigned long long>(without.breaker_opens));
+  std::printf("%-26s %llu/%llu            %llu/%llu\n", "hot-swaps accepted",
+              static_cast<unsigned long long>(with.swaps_accepted),
+              static_cast<unsigned long long>(with.swap_attempts),
+              static_cast<unsigned long long>(without.swaps_accepted),
+              static_cast<unsigned long long>(without.swap_attempts));
+  std::printf("%-26s %-14llu %-14llu\n", "review passes",
+              static_cast<unsigned long long>(with.review_passes),
+              static_cast<unsigned long long>(without.review_passes));
   std::printf("\n%-26s %-14.4f %-14.4f\n", "non-RT decision avail.",
               nwith.decision_availability(),
               nwithout.decision_availability());
@@ -518,6 +580,27 @@ int main(int argc, char** argv) {
                  "FAIL: recovery layer shows no measurable benefit "
                  "(%.4f vs %.4f)\n",
                  with.availability(), without.availability());
+    return 1;
+  }
+  // The closed-loop fault sites must actually have been exercised: the
+  // periodic swap attempts ran, at least one survived the plan's
+  // transient faults, and the review cadence produced passes.
+  if (with.swap_attempts == 0 || with.swaps_accepted == 0 ||
+      with.swaps_accepted + with.swaps_rejected != with.swap_attempts) {
+    std::fprintf(stderr,
+                 "FAIL: hot-swap attempts under chaos look wrong "
+                 "(%llu attempts, %llu accepted, %llu rejected)\n",
+                 static_cast<unsigned long long>(with.swap_attempts),
+                 static_cast<unsigned long long>(with.swaps_accepted),
+                 static_cast<unsigned long long>(with.swaps_rejected));
+    return 1;
+  }
+  if (with.defense_screened == 0 || with.review_passes == 0) {
+    std::fprintf(stderr,
+                 "FAIL: defense plane idle under chaos (screened %llu, "
+                 "review passes %llu)\n",
+                 static_cast<unsigned long long>(with.defense_screened),
+                 static_cast<unsigned long long>(with.review_passes));
     return 1;
   }
   std::printf("loop availability %.4f with recovery vs %.4f without — "

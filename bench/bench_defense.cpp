@@ -9,7 +9,7 @@
 // adversarial slots contend with the clean fleet traffic for the same
 // micro-batcher, queue and replicas (the attack-contention condition).
 //
-// The bench asserts the three defense claims:
+// The bench asserts the defense claims:
 //   * detection — ranking requests by their combined defense score
 //     separates each attack family from clean traffic with ROC AUC at
 //     least --min-auc (committed: 0.9 for FGSM and UAP), both in the
@@ -21,18 +21,32 @@
 //     quarantine-burst flight trigger fires on the sustained attack;
 //   * hardening — the quarantined samples accumulated in the fine-tuning
 //     queue let defense::harden() raise the victim's agreement with the
-//     flows' reference labels on exactly those adversarial points.
+//     flows' reference labels on exactly those adversarial points;
+//   * the closed loop (DESIGN.md §15) — with adaptive thresholds, the
+//     review/release cadence and the gated hot-swap all active, detection
+//     stays at --min-auc-loop (committed: 0.99), at least one quarantined
+//     false positive is released, the mid-stream hardened swap passes the
+//     gate (and an untrained impostor bounces off it with the fleet still
+//     serving), the full decision + release + threshold stream stays
+//     byte-identical at 1 and 4 threads, a kill-point fired right after
+//     the swap's durable commit resumes byte-exactly from the committed
+//     checkpoints, and the whole loop costs at most --max-p99-overhead
+//     extra p99 virtual latency over a defenseless engine.
 //
-// Output: a deterministic JSON report (schema "orev-defense-bench-v1",
+// Output: a deterministic JSON report (schema "orev-defense-bench-v2",
 // no wall-clock fields — CI runs the bench twice and byte-diffs) plus a
 // stdout summary. Exit is non-zero when any gate fails.
 //
 // Flags: --flows N  --warmup N  --rounds N  --attack-fraction F  --eps E
-//        --min-auc A  --report-out FILE   (plus the common --threads /
+//        --min-auc A  --min-auc-loop A  --max-p99-overhead F
+//        --ckpt-dir DIR  --report-out FILE   (plus the common --threads /
 //        --metrics-out / --trace-out / --flight-dir flags via ObsGuard).
 #include <algorithm>
+#include <cstdlib>
+#include <utility>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -61,7 +75,14 @@ struct Flags {
   float eps = 0.1f;
   /// ROC gate applied per attack family and per phase; 0 = report only.
   double min_auc = 0.9;
+  /// ROC gate for the closed-loop phase (adaptive thresholds + review +
+  /// hot-swap active); 0 = report only.
+  double min_auc_loop = 0.99;
+  /// Largest tolerated relative p99 latency cost of the full closed-loop
+  /// defense vs the same engine with the plane disabled; 0 = report only.
+  double max_p99_overhead = 0.05;
   std::string report_out = "bench_results/defense_report.json";
+  std::string ckpt_dir = "bench_results/defense_ckpt";
 };
 
 Flags parse_flags(int& argc, char** argv) {
@@ -88,6 +109,11 @@ Flags parse_flags(int& argc, char** argv) {
         take("--eps",
              [&](const char* v) { f.eps = static_cast<float>(std::atof(v)); }) ||
         take("--min-auc", [&](const char* v) { f.min_auc = std::atof(v); }) ||
+        take("--min-auc-loop",
+             [&](const char* v) { f.min_auc_loop = std::atof(v); }) ||
+        take("--max-p99-overhead",
+             [&](const char* v) { f.max_p99_overhead = std::atof(v); }) ||
+        take("--ckpt-dir", [&](const char* v) { f.ckpt_dir = v; }) ||
         take("--report-out", [&](const char* v) { f.report_out = v; })) {
       continue;
     }
@@ -155,6 +181,33 @@ serve::ServeConfig defense_engine_config(const std::string& name) {
   return cfg;
 }
 
+/// The stream's guaranteed-clean warmup window as one [warm, kFeatures]
+/// tensor (round-major prefix of the request sequence).
+nn::Tensor warmup_rows(const attack::LabeledTraffic& traffic) {
+  const int warm = traffic.flows * traffic.warmup_rounds;
+  nn::Tensor rows({warm, kFeatures});
+  for (int i = 0; i < warm; ++i)
+    rows.set_batch(i, traffic.requests[static_cast<std::size_t>(i)].input);
+  return rows;
+}
+
+/// Calibrate an engine's defense plane on the stream's clean warmup
+/// window: the distribution profile on all warmup rows, the norm screen
+/// on each flow's consecutive warmup walk.
+void calibrate_engine(serve::ServeEngine& eng,
+                      const attack::LabeledTraffic& traffic) {
+  eng.defense()->calibrate(warmup_rows(traffic));
+  for (int f = 0; f < traffic.flows; ++f) {
+    nn::Tensor flow_rows({traffic.warmup_rounds, kFeatures});
+    for (int r = 0; r < traffic.warmup_rounds; ++r)
+      flow_rows.set_batch(
+          r, traffic.requests[static_cast<std::size_t>(r * traffic.flows + f)]
+                 .input);
+    eng.defense()->calibrate_flow(
+        traffic.requests[static_cast<std::size_t>(f)].flow_key, flow_rows, 0);
+  }
+}
+
 /// Serve the stream's scored window through a freshly calibrated engine at
 /// `threads` threads, optionally under a fault plan.
 DefenseRun run_stream(const nn::Model& victim, const nn::Model& sibling,
@@ -169,24 +222,11 @@ DefenseRun run_stream(const nn::Model& victim, const nn::Model& sibling,
   fault::FaultInjector injector(plan == nullptr ? fault::FaultPlan{} : *plan);
   if (plan != nullptr) eng.set_fault_injector(&injector);
 
-  // Calibration: the guaranteed-clean warmup window (round-major prefix).
-  const int warm = traffic.flows * traffic.warmup_rounds;
-  nn::Tensor warm_rows({warm, kFeatures});
-  for (int i = 0; i < warm; ++i)
-    warm_rows.set_batch(i, traffic.requests[static_cast<std::size_t>(i)].input);
-  eng.defense()->calibrate(warm_rows);
-  for (int f = 0; f < traffic.flows; ++f) {
-    nn::Tensor flow_rows({traffic.warmup_rounds, kFeatures});
-    for (int r = 0; r < traffic.warmup_rounds; ++r)
-      flow_rows.set_batch(
-          r, traffic.requests[static_cast<std::size_t>(r * traffic.flows + f)]
-                 .input);
-    eng.defense()->calibrate_flow(
-        traffic.requests[static_cast<std::size_t>(f)].flow_key, flow_rows, 0);
-  }
+  calibrate_engine(eng, traffic);
 
   // Scored window: everything after the warmup, in arrival order.
-  const std::size_t first = static_cast<std::size_t>(warm);
+  const std::size_t first =
+      static_cast<std::size_t>(traffic.flows * traffic.warmup_rounds);
   const std::size_t m = traffic.requests.size() - first;
   DefenseRun run;
   run.scores.assign(m, 0.0);
@@ -228,6 +268,306 @@ DefenseRun run_stream(const nn::Model& victim, const nn::Model& sibling,
   return run;
 }
 
+/// Fraction of queue samples whose model prediction equals the queue's
+/// reference label.
+double queue_agreement(nn::Model& model, const defense::FineTuneQueue& q) {
+  if (q.empty()) return 0.0;
+  std::size_t match = 0;
+  for (const defense::FineTuneQueue::Item& it : q.items())
+    if (model.predict_one(it.sample) == it.label) ++match;
+  return static_cast<double>(match) / static_cast<double>(q.size());
+}
+
+// ------------------------------------------------- closed-loop phase (§15)
+
+serve::ServeConfig closed_loop_config(const std::string& name,
+                                      const std::string& ckpt_dir) {
+  serve::ServeConfig cfg = defense_engine_config(name);
+  // Online adaptive thresholds: short warmup/cadence so the flag lines
+  // actually move within the bench's ~430-row stream. The tight envelope
+  // matters for the ROC: scores are normalized by the thresholds in force
+  // when the row was screened, so a floor far below the static threshold
+  // inflates late clean scores into the attack band, and a ceiling above
+  // the ensemble's attainable maximum (1.0) turns that detector off.
+  cfg.defense.adaptive.enable = true;
+  cfg.defense.adaptive.warmup = 16;
+  cfg.defense.adaptive.update_every = 8;
+  cfg.defense.adaptive.floor_frac = 0.85;
+  cfg.defense.adaptive.ceiling_frac = 1.1;
+  // Staleness decay instead of hard LKG expiry: a hard expiry fires right
+  // after a sustained flag run and adopts the first unflagged row —
+  // during an attack burst often an adversarial one, which blinds the
+  // step screen for every later attack row of that flow. With decay the
+  // clean reference survives the burst (attack steps are huge, so they
+  // stay flagged even discounted) while a frozen false-positive
+  // reference still ages below the flag line and heals.
+  cfg.defense.stale_decay = true;
+  // Quarantine review: every 24 screened rows the ring drains, false
+  // positives are released back to the apps, confirmed rows feed the
+  // fine-tuning queue.
+  cfg.defense.review_every = 24;
+  cfg.defense.release_margin = 0.9;
+  // Gated hot-swap, durably checkpointed (the crash scenario resumes
+  // from these files).
+  cfg.swap.enable = true;
+  cfg.swap.tol_clean = 0.05;
+  cfg.swap.min_attack_gain = 0.0;
+  cfg.swap.checkpoint_dir = ckpt_dir;
+  return cfg;
+}
+
+/// Outcome of one closed-loop serve: the run_stream decision stream plus
+/// review/release, adaptive-threshold and hot-swap evidence. The digest
+/// extends the per-row digest with every release outcome, the final swap
+/// epoch and the final adapted thresholds.
+struct ClosedLoopRun {
+  std::vector<double> scores;
+  std::vector<attack::TrafficLabel> labels;
+  std::vector<bool> screened_row;
+  std::string digest;
+  std::uint64_t screened = 0;
+  std::uint64_t flagged = 0;
+  std::uint64_t quarantined_status = 0;
+  std::uint64_t bursts = 0;
+  std::uint64_t reviewed = 0;
+  std::uint64_t released = 0;
+  std::uint64_t confirmed = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t review_passes = 0;
+  std::uint64_t swap_epoch = 0;
+  std::uint64_t swaps_accepted = 0;
+  std::uint64_t swaps_rejected = 0;
+  std::uint64_t adaptive_updates = 0;
+  std::uint64_t adaptive_held = 0;
+  std::uint64_t adaptive_clamped = 0;
+  double dist_threshold = 0.0;
+  double ens_threshold = 0.0;
+  serve::SwapGateReport reject_report;  // the broken candidate's verdict
+  serve::SwapGateReport accept_report;  // the hardened candidate's verdict
+  /// Hardened candidate's agreement with the fine-tune queue's reference
+  /// labels, before/after fine-tuning (the swap's improvement claim).
+  double agree_before = 0.0;
+  double agree_after = 0.0;
+  std::size_t finetune_at_swap = 0;
+  std::vector<serve::ReviewOutcome> releases;
+  bool crashed = false;
+  serve::SloSnapshot slo;
+};
+
+/// Labels for the warmup rows under the bench's argmax task.
+std::vector<int> argmax_labels(const nn::Tensor& rows) {
+  std::vector<int> labels(static_cast<std::size_t>(rows.dim(0)));
+  for (int i = 0; i < rows.dim(0); ++i) {
+    int best = 0;
+    for (int j = 1; j < rows.dim(1); ++j)
+      if (rows.at2(i, j) > rows.at2(i, best)) best = j;
+    labels[static_cast<std::size_t>(i)] = best;
+  }
+  return labels;
+}
+
+/// Serve the scored window through the full closed loop: adaptive
+/// thresholds + cadenced review with release + a mid-stream gated hot-swap
+/// (one refused broken candidate, then the hardened candidate). With
+/// `crash_mid_swap` a kill plan crashes the accepted swap right after its
+/// durable commit; the run then rebuilds the engine, resumes from the
+/// committed checkpoints via load_status + resume_hot_swap, and finishes
+/// the stream — the digest must equal the never-crashed run's.
+ClosedLoopRun run_closed_loop(const nn::Model& victim, const nn::Model& sibling,
+                              const attack::LabeledTraffic& traffic,
+                              int threads, const std::string& name,
+                              const std::string& ckpt_dir,
+                              bool crash_mid_swap) {
+  util::set_num_threads(threads);
+  std::error_code ec;
+  std::filesystem::create_directories(ckpt_dir, ec);
+  const serve::ServeConfig cfg = closed_loop_config(name, ckpt_dir);
+  auto eng = std::make_unique<serve::ServeEngine>(victim.clone(), cfg);
+  eng->attach_defense_sibling(sibling.clone());
+  calibrate_engine(*eng, traffic);
+
+  ClosedLoopRun run;
+  serve::ServeEngine::ReleaseHandler on_release =
+      [&run](const serve::ReviewOutcome& o) { run.releases.push_back(o); };
+  eng->set_release_handler(on_release);
+
+  // Kill plan for the crash scenario: the serve.swap site's first op is
+  // the refused broken candidate, so `after=1` lands the crash exactly on
+  // the accepted hardened swap — after its checkpoints committed.
+  fault::FaultPlan kill;
+  kill.seed = 1;
+  {
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::kCrash;
+    s.probability = 1.0;
+    s.max_injections = 1;
+    s.after = 1;
+    kill.sites[fault::sites::kServeSwap].push_back(s);
+  }
+  fault::FaultInjector injector(kill);
+  if (crash_mid_swap) eng->set_fault_injector(&injector);
+
+  const nn::Tensor warm_rows = warmup_rows(traffic);
+  const std::vector<int> warm_labels = argmax_labels(warm_rows);
+
+  const std::size_t first =
+      static_cast<std::size_t>(traffic.flows * traffic.warmup_rounds);
+  const std::size_t m = traffic.requests.size() - first;
+  const std::size_t swap_at = m * 3 / 5;
+  run.scores.assign(m, 0.0);
+  run.labels.assign(m, attack::TrafficLabel::kClean);
+  run.screened_row.assign(m, false);
+  std::vector<std::uint8_t> statuses(m, 0);
+  std::vector<int> preds(m, -1);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i == swap_at) {
+      // 1. A broken candidate (same architecture identity, untrained
+      //    weights) must bounce off the gate with the fleet still serving.
+      nn::Model broken = apps::make_kpm_dnn(kFeatures, kClasses, 0xbad);
+      run.reject_report =
+          eng->request_hot_swap(broken, warm_rows, warm_labels);
+      // 2. Harden a candidate on the review-confirmed fine-tune queue
+      //    (single-threaded: the candidate must be byte-identical across
+      //    the bench's thread counts for the digest comparison).
+      util::set_num_threads(1);
+      const defense::FineTuneQueue& queue = eng->defense()->finetune();
+      run.finetune_at_swap = queue.size();
+      nn::Model probe = victim.clone();
+      run.agree_before = queue_agreement(probe, queue);
+      // Gentle fine-tuning: the candidate must gain on the attack points
+      // without giving up the clean accuracy the swap gate protects.
+      nn::TrainConfig hc;
+      hc.max_epochs = 4;
+      hc.learning_rate = 5e-4f;
+      hc.early_stop_patience = 4;
+      nn::Model candidate = defense::harden_candidate(
+          victim, queue, hc, nullptr, &warm_rows, &warm_labels);
+      run.agree_after = queue_agreement(candidate, queue);
+      util::set_num_threads(threads);
+      // 3. Promote it through the gate. In the crash scenario the
+      //    kill-point fires after the swap committed durably; a "fresh
+      //    process" (new engine over the same config) resumes byte-exactly
+      //    from the checkpoints and the committed candidate.
+      try {
+        run.accept_report =
+            eng->request_hot_swap(candidate, warm_rows, warm_labels);
+      } catch (const fault::FaultInjectedError&) {
+        run.crashed = true;
+        run.accept_report = eng->swap_report();
+        eng = std::make_unique<serve::ServeEngine>(victim.clone(), cfg);
+        eng->attach_defense_sibling(sibling.clone());
+        eng->set_release_handler(on_release);
+        persist::Status st = eng->load_status(ckpt_dir + "/engine.ckpt");
+        OREV_CHECK(st.ok(), "crash resume: engine checkpoint: " + st.message());
+        st = eng->defense()->load_status(ckpt_dir + "/defense.ckpt");
+        OREV_CHECK(st.ok(),
+                   "crash resume: defense checkpoint: " + st.message());
+        eng->resume_hot_swap(candidate);
+      }
+    }
+    const attack::LabeledRequest& req = traffic.requests[first + i];
+    run.labels[i] = req.label;
+    eng->submit(nn::Tensor(req.input),
+                serve::FlowTag{req.flow_key, req.version}, {},
+                [&run, &statuses, &preds, i](const serve::ServeResult& r) {
+                  statuses[i] = static_cast<std::uint8_t>(r.status);
+                  preds[i] = r.prediction;
+                  run.scores[i] = r.defense_score;
+                  run.screened_row[i] =
+                      r.status != serve::ServeStatus::kRejected;
+                  if (r.status == serve::ServeStatus::kQuarantined)
+                    ++run.quarantined_status;
+                });
+  }
+  eng->drain();
+  // End-of-workload flush: whatever the cadence left in the ring gets its
+  // review, so the release evidence is complete.
+  eng->review_quarantine_now();
+
+  const serve::DefensePlane& plane = *eng->defense();
+  run.screened = plane.screened();
+  run.flagged = plane.flagged();
+  run.bursts = plane.bursts();
+  run.reviewed = plane.reviewed();
+  run.released = plane.released();
+  run.confirmed = plane.confirmed();
+  run.evicted = plane.evicted();
+  run.review_passes = plane.review_passes();
+  run.swap_epoch = eng->swap_epoch();
+  run.swaps_accepted = eng->swaps_accepted();
+  run.swaps_rejected = eng->swaps_rejected();
+  run.adaptive_updates = plane.adaptive().updates();
+  run.adaptive_held = plane.adaptive().held_by_hysteresis();
+  run.adaptive_clamped = plane.adaptive().clamped();
+  run.dist_threshold = plane.adaptive().dist_threshold();
+  run.ens_threshold = plane.adaptive().ens_threshold();
+  run.slo = eng->slo();
+
+  persist::ByteWriter w;
+  for (std::size_t i = 0; i < m; ++i) {
+    w.u8(statuses[i]);
+    w.i32(preds[i]);
+    w.f64(run.scores[i]);
+  }
+  w.u64(run.releases.size());
+  for (const serve::ReviewOutcome& o : run.releases) {
+    w.u64(o.request_id);
+    w.i32(o.corrected_pred);
+    w.f64(o.review_score);
+    w.u64(o.model_epoch);
+    w.u64(o.quarantined_at_profile_samples);
+  }
+  w.u64(run.swap_epoch);
+  w.u64(run.released);
+  w.u64(run.confirmed);
+  w.u64(run.evicted);
+  w.u64(run.review_passes);
+  w.f64(run.dist_threshold);
+  w.f64(run.ens_threshold);
+  run.digest = Sha256::hex(w.buffer());
+  return run;
+}
+
+/// p99 virtual latency of the same stream through the same engine shape
+/// with the defense plane disabled — the closed loop's overhead baseline.
+std::uint64_t run_plain_p99(const nn::Model& victim,
+                            const attack::LabeledTraffic& traffic) {
+  util::set_num_threads(1);
+  serve::ServeConfig cfg = defense_engine_config("defplain");
+  cfg.defense.enable = false;
+  serve::ServeEngine eng(victim.clone(), cfg);
+  const std::size_t first =
+      static_cast<std::size_t>(traffic.flows * traffic.warmup_rounds);
+  for (std::size_t i = first; i < traffic.requests.size(); ++i) {
+    const attack::LabeledRequest& req = traffic.requests[i];
+    eng.submit(nn::Tensor(req.input),
+               serve::FlowTag{req.flow_key, req.version}, {},
+               [](const serve::ServeResult&) {});
+  }
+  eng.drain();
+  return eng.slo().p99_latency_us;
+}
+
+/// ROC AUC over a closed-loop run (same Mann–Whitney statistic).
+double roc_auc_loop(const ClosedLoopRun& run, attack::TrafficLabel positive) {
+  std::vector<double> pos, neg;
+  for (std::size_t i = 0; i < run.scores.size(); ++i) {
+    if (!run.screened_row[i]) continue;
+    if (run.labels[i] == positive) pos.push_back(run.scores[i]);
+    if (run.labels[i] == attack::TrafficLabel::kClean)
+      neg.push_back(run.scores[i]);
+  }
+  if (pos.empty() || neg.empty()) return -1.0;
+  double wins = 0.0;
+  for (const double p : pos)
+    for (const double n : neg) {
+      if (p > n) wins += 1.0;
+      else if (p == n) wins += 0.5;
+    }
+  return wins / (static_cast<double>(pos.size()) *
+                 static_cast<double>(neg.size()));
+}
+
 /// ROC AUC of `scores` separating `positive`-labeled rows from clean rows
 /// (Mann–Whitney rank statistic, ties counted half). Rows the engine never
 /// screened are excluded. Returns −1 when either class is empty.
@@ -248,16 +588,6 @@ double roc_auc(const DefenseRun& run, attack::TrafficLabel positive) {
     }
   return wins / (static_cast<double>(pos.size()) *
                  static_cast<double>(neg.size()));
-}
-
-/// Fraction of queue samples whose model prediction equals the queue's
-/// reference label.
-double queue_agreement(nn::Model& model, const defense::FineTuneQueue& q) {
-  if (q.empty()) return 0.0;
-  std::size_t match = 0;
-  for (const defense::FineTuneQueue::Item& it : q.items())
-    if (model.predict_one(it.sample) == it.label) ++match;
-  return static_cast<double>(match) / static_cast<double>(q.size());
 }
 
 }  // namespace
@@ -372,6 +702,111 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cont1.finetune_dropped),
               agree_before, agree_after, hrep.epochs_run);
 
+  // ---- closed-loop phase: adaptive thresholds + review + hot-swap ------
+  const ClosedLoopRun loop1 = run_closed_loop(
+      victim, sibling, traffic, 1, "defloop", f.ckpt_dir + "/t1", false);
+  const ClosedLoopRun loop4 = run_closed_loop(
+      victim, sibling, traffic, 4, "defloop", f.ckpt_dir + "/t4", false);
+  const bool loop_identical = loop1.digest == loop4.digest;
+  const double loop_auc_pgm = roc_auc_loop(loop1, attack::TrafficLabel::kPgm);
+  const double loop_auc_uap = roc_auc_loop(loop1, attack::TrafficLabel::kUap);
+  if (std::getenv("OREV_DEFENSE_DEBUG") != nullptr) {
+    const std::size_t dbg_swap = loop1.scores.size() * 3 / 5;
+    auto dump = [&](const char* tag, const std::vector<double>& scores,
+                    const std::vector<attack::TrafficLabel>& labels,
+                    const std::vector<bool>& screened) {
+      std::vector<std::pair<double, std::size_t>> clean, pgm;
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        if (!screened[i]) continue;
+        if (labels[i] == attack::TrafficLabel::kClean)
+          clean.push_back({scores[i], i});
+        if (labels[i] == attack::TrafficLabel::kPgm)
+          pgm.push_back({scores[i], i});
+      }
+      std::sort(clean.begin(), clean.end());
+      std::sort(pgm.begin(), pgm.end());
+      std::printf("[debug %s] top clean (swap at row %zu):\n", tag, dbg_swap);
+      for (std::size_t k = clean.size() > 15 ? clean.size() - 15 : 0;
+           k < clean.size(); ++k)
+        std::printf("  clean row %zu score %.4f %s\n", clean[k].second,
+                    clean[k].first,
+                    clean[k].second >= dbg_swap ? "post-swap" : "pre-swap");
+      std::printf("[debug %s] bottom pgm:\n", tag);
+      double total_lost = 0.0;
+      for (std::size_t k = 0; k < pgm.size(); ++k) {
+        double lost = 0.0;
+        for (const auto& c : clean) {
+          if (c.first > pgm[k].first) lost += 1.0;
+          else if (c.first == pgm[k].first) lost += 0.5;
+        }
+        total_lost += lost;
+        if (k < 15)
+          std::printf("  pgm row %zu score %.4f %s lost=%.1f\n",
+                      pgm[k].second, pgm[k].first,
+                      pgm[k].second >= dbg_swap ? "post-swap" : "pre-swap",
+                      lost);
+      }
+      std::printf("[debug %s] pgm total lost pairs %.1f of %zu\n", tag,
+                  total_lost, pgm.size() * clean.size());
+    };
+    dump("cont", cont1.scores, cont1.labels, cont1.screened_row);
+    dump("loop", loop1.scores, loop1.labels, loop1.screened_row);
+  }
+  const double release_rate =
+      loop1.flagged > 0
+          ? static_cast<double>(loop1.released) /
+                static_cast<double>(loop1.flagged)
+          : 0.0;
+  std::printf(
+      "[closed-loop] auc pgm=%.4f uap=%.4f  flagged=%llu released=%llu "
+      "confirmed=%llu (rate %.3f, %llu passes)  digests %s\n",
+      loop_auc_pgm, loop_auc_uap,
+      static_cast<unsigned long long>(loop1.flagged),
+      static_cast<unsigned long long>(loop1.released),
+      static_cast<unsigned long long>(loop1.confirmed), release_rate,
+      static_cast<unsigned long long>(loop1.review_passes),
+      loop_identical ? "match" : "MISMATCH");
+  std::printf(
+      "[closed-loop] adaptive dist=%.3f ens=%.3f (updates=%llu held=%llu "
+      "clamped=%llu)\n",
+      loop1.dist_threshold, loop1.ens_threshold,
+      static_cast<unsigned long long>(loop1.adaptive_updates),
+      static_cast<unsigned long long>(loop1.adaptive_held),
+      static_cast<unsigned long long>(loop1.adaptive_clamped));
+  std::printf(
+      "[closed-loop] swap: broken %s (\"%s\"), hardened %s (\"%s\") "
+      "epoch=%llu  queue=%zu agreement %.3f -> %.3f\n",
+      loop1.reject_report.accepted ? "ACCEPTED" : "refused",
+      loop1.reject_report.reason.c_str(),
+      loop1.accept_report.accepted ? "accepted" : "REFUSED",
+      loop1.accept_report.reason.c_str(),
+      static_cast<unsigned long long>(loop1.swap_epoch),
+      loop1.finetune_at_swap, loop1.agree_before, loop1.agree_after);
+
+  // ---- crash scenario: kill the accepted swap post-commit, resume ------
+  const ClosedLoopRun crash = run_closed_loop(
+      victim, sibling, traffic, 1, "defcrash", f.ckpt_dir + "/crash", true);
+  const bool crash_identical = crash.digest == loop1.digest;
+  std::printf("[crash] kill-point %s, resumed epoch=%llu, digest %s the "
+              "never-crashed run\n",
+              crash.crashed ? "fired" : "DID NOT FIRE",
+              static_cast<unsigned long long>(crash.swap_epoch),
+              crash_identical ? "matches" : "DIVERGES FROM");
+
+  // ---- defense overhead: closed loop vs defenseless engine, p99 --------
+  const std::uint64_t p99_plain = run_plain_p99(victim, traffic);
+  const std::uint64_t p99_loop = loop1.slo.p99_latency_us;
+  const double p99_overhead =
+      p99_plain > 0 ? (static_cast<double>(p99_loop) -
+                       static_cast<double>(p99_plain)) /
+                          static_cast<double>(p99_plain)
+                    : 0.0;
+  std::printf("[overhead] p99 %llu us with the full loop vs %llu us plain "
+              "(%+.2f%%)\n",
+              static_cast<unsigned long long>(p99_loop),
+              static_cast<unsigned long long>(p99_plain),
+              p99_overhead * 100.0);
+
   // ---- gates ------------------------------------------------------------
   const bool auc_ok =
       f.min_auc <= 0.0 ||
@@ -380,8 +815,21 @@ int main(int argc, char** argv) {
   const bool burst_ok = cont1.bursts >= 1;
   const bool harden_ok = cont1.finetune_size == 0 ||
                          (hrep.epochs_run > 0 && agree_after >= agree_before);
+  const bool loop_auc_ok =
+      f.min_auc_loop <= 0.0 ||
+      (loop_auc_pgm >= f.min_auc_loop && loop_auc_uap >= f.min_auc_loop);
+  const bool release_ok = loop1.released > 0;
+  const bool swap_ok =
+      loop1.accept_report.accepted && loop1.swap_epoch == 1 &&
+      loop1.agree_after >= loop1.agree_before &&
+      loop1.reject_report.attempted && !loop1.reject_report.accepted &&
+      loop1.swaps_rejected >= 1;
+  const bool crash_ok = crash.crashed && crash_identical;
+  const bool overhead_ok =
+      f.max_p99_overhead <= 0.0 || p99_overhead <= f.max_p99_overhead;
   const bool pass = cont_identical && chaos_identical && auc_ok && burst_ok &&
-                    harden_ok;
+                    harden_ok && loop_identical && loop_auc_ok && release_ok &&
+                    swap_ok && crash_ok && overhead_ok;
 
   // ---- deterministic JSON report (no wall-clock fields) ----------------
   {
@@ -394,7 +842,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", f.report_out.c_str());
       return 2;
     }
-    std::fprintf(fp, "{\n  \"schema\": \"orev-defense-bench-v1\",\n");
+    std::fprintf(fp, "{\n  \"schema\": \"orev-defense-bench-v2\",\n");
     std::fprintf(
         fp,
         "  \"config\": {\"flows\": %d, \"warmup_rounds\": %d, \"rounds\": "
@@ -435,6 +883,57 @@ int main(int argc, char** argv) {
         cont1.finetune_size,
         static_cast<unsigned long long>(cont1.finetune_dropped),
         hrep.epochs_run, agree_before, agree_after);
+    std::fprintf(
+        fp,
+        "  \"closed_loop\": {\"auc_pgm\": %.6f, \"auc_uap\": %.6f, "
+        "\"screened\": %llu, \"flagged\": %llu, \"released\": %llu, "
+        "\"confirmed\": %llu, \"evicted\": %llu, \"review_passes\": %llu, "
+        "\"release_rate\": %.6f, \"dist_threshold\": %.6f, "
+        "\"ens_threshold\": %.6f, \"adaptive_updates\": %llu, "
+        "\"adaptive_held\": %llu, \"adaptive_clamped\": %llu, "
+        "\"digest_t1\": \"%s\", \"digest_t4\": \"%s\", "
+        "\"byte_identical\": %s},\n",
+        loop_auc_pgm, loop_auc_uap,
+        static_cast<unsigned long long>(loop1.screened),
+        static_cast<unsigned long long>(loop1.flagged),
+        static_cast<unsigned long long>(loop1.released),
+        static_cast<unsigned long long>(loop1.confirmed),
+        static_cast<unsigned long long>(loop1.evicted),
+        static_cast<unsigned long long>(loop1.review_passes), release_rate,
+        loop1.dist_threshold, loop1.ens_threshold,
+        static_cast<unsigned long long>(loop1.adaptive_updates),
+        static_cast<unsigned long long>(loop1.adaptive_held),
+        static_cast<unsigned long long>(loop1.adaptive_clamped),
+        loop1.digest.c_str(), loop4.digest.c_str(),
+        loop_identical ? "true" : "false");
+    std::fprintf(
+        fp,
+        "  \"hot_swap\": {\"epoch\": %llu, \"accepted\": %llu, "
+        "\"rejected\": %llu, \"broken_refused\": %s, "
+        "\"broken_reason\": \"%s\", \"acc_current\": %.6f, "
+        "\"acc_candidate\": %.6f, \"clean_delta\": %.6f, "
+        "\"finetune_at_swap\": %zu, \"agree_before\": %.6f, "
+        "\"agree_after\": %.6f},\n",
+        static_cast<unsigned long long>(loop1.swap_epoch),
+        static_cast<unsigned long long>(loop1.swaps_accepted),
+        static_cast<unsigned long long>(loop1.swaps_rejected),
+        !loop1.reject_report.accepted ? "true" : "false",
+        loop1.reject_report.reason.c_str(), loop1.accept_report.acc_current,
+        loop1.accept_report.acc_candidate, loop1.accept_report.clean_delta,
+        loop1.finetune_at_swap, loop1.agree_before, loop1.agree_after);
+    std::fprintf(
+        fp,
+        "  \"crash_resume\": {\"kill_point_fired\": %s, \"epoch\": %llu, "
+        "\"digest\": \"%s\", \"byte_identical\": %s},\n",
+        crash.crashed ? "true" : "false",
+        static_cast<unsigned long long>(crash.swap_epoch),
+        crash.digest.c_str(), crash_identical ? "true" : "false");
+    std::fprintf(
+        fp,
+        "  \"overhead\": {\"p99_plain_us\": %llu, \"p99_loop_us\": %llu, "
+        "\"p99_overhead\": %.6f},\n",
+        static_cast<unsigned long long>(p99_plain),
+        static_cast<unsigned long long>(p99_loop), p99_overhead);
     std::fprintf(fp, "  \"pass\": %s\n}\n", pass ? "true" : "false");
     std::fclose(fp);
     std::printf("[report] wrote %s\n", f.report_out.c_str());
@@ -447,17 +946,28 @@ int main(int argc, char** argv) {
           cont1.quarantined_status, cont1.bursts, cont_identical ? 1 : 0);
   csv.row("chaos", chaos_auc_pgm, chaos_auc_uap, chaos1.quarantined_status,
           chaos1.bursts, chaos_identical ? 1 : 0);
+  csv.row("closed_loop", loop_auc_pgm, loop_auc_uap,
+          loop1.quarantined_status, loop1.bursts, loop_identical ? 1 : 0);
   save_csv(csv, "defense");
 
   print_rule();
   std::printf("auc: contention pgm=%.3f uap=%.3f, chaos pgm=%.3f uap=%.3f "
-              "(gate %.2f)\n",
+              "(gate %.2f), loop pgm=%.3f uap=%.3f (gate %.2f)\n",
               cont_auc_pgm, cont_auc_uap, chaos_auc_pgm, chaos_auc_uap,
-              f.min_auc);
-  std::printf("digests: contention %s, chaos %s  bursts=%llu  harden %s  "
-              "->  %s\n",
+              f.min_auc, loop_auc_pgm, loop_auc_uap, f.min_auc_loop);
+  std::printf("closed loop: released=%llu/%llu  swap %s epoch=%llu  "
+              "rollback %s  crash-resume %s  p99 %+.2f%% (gate %.0f%%)\n",
+              static_cast<unsigned long long>(loop1.released),
+              static_cast<unsigned long long>(loop1.flagged),
+              loop1.accept_report.accepted ? "accepted" : "REFUSED",
+              static_cast<unsigned long long>(loop1.swap_epoch),
+              swap_ok ? "ok" : "BROKEN", crash_ok ? "ok" : "BROKEN",
+              p99_overhead * 100.0, f.max_p99_overhead * 100.0);
+  std::printf("digests: contention %s, chaos %s, loop %s  bursts=%llu  "
+              "harden %s  ->  %s\n",
               cont_identical ? "identical" : "DIVERGED",
               chaos_identical ? "identical" : "DIVERGED",
+              loop_identical ? "identical" : "DIVERGED",
               static_cast<unsigned long long>(cont1.bursts),
               harden_ok ? "ok" : "REGRESSED", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;

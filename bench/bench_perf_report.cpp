@@ -14,7 +14,13 @@
 //   perf.serve_batch_ms   — one full micro-batch (32 KPM requests) through
 //                           the serving engine: admission, batching, the
 //                           compiled batched forward, and completions
-//                           (DESIGN.md §11).
+//                           (DESIGN.md §11);
+//   perf.defense_screen_ms — the same micro-batch through a *defended*
+//                           engine (inline screen + review cadence +
+//                           hot-swap gate live, DESIGN.md §14–15), with a
+//                           defense-counter row (quarantined / released /
+//                           swap accepted / rolled back / quant_rejected)
+//                           so the perf trajectory tracks defense health.
 //
 // The report also sweeps attack_batch() once, so the instrumentation
 // histograms populated by the pipelines themselves (attack.batch.*,
@@ -28,8 +34,10 @@
 // Regression diffing: `--baseline BENCH_<date>.json` (a committed
 // --metrics-out file) prints a per-histogram delta table against this
 // run; `--serve-baseline BENCH_SERVE_<date>.json` diffs the serving
-// bench's unbatched/served throughput. Deltas are informational — the
-// gate lives in bench_serve's own pass criteria.
+// bench's unbatched/served throughput; `--defense-baseline
+// BENCH_DEFENSE_<date>.json` echoes the committed defense bench's
+// closed-loop AUC / release-rate / swap and overhead numbers. Deltas are
+// informational — the gates live in each bench's own pass criteria.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -193,6 +201,79 @@ void run_serve(int batches) {
   eng.drain();
 }
 
+void run_defense(int batches) {
+  obs::Histogram& h = obs::histogram(
+      "perf.defense_screen_ms", {},
+      "one screened 32-request micro-batch through the defended engine");
+  obs::SketchMetric& q = obs::sketch(
+      "perf.defense_screen_ms_q", 0.01,
+      "screened micro-batch latency (quantile sketch)");
+
+  serve::ServeConfig cfg;
+  cfg.name = "perfdef";
+  cfg.batch_max = 32;
+  cfg.defense.enable = true;
+  cfg.defense.review_every = 64;
+  cfg.swap.enable = true;
+  serve::ServeEngine eng(apps::make_kpm_dnn(4, 4, 17), cfg);
+
+  // Calibrate on the distribution the batches draw from, so only the
+  // injected anomalies quarantine and the screen itself stays on the
+  // clean fast path — the cost this phase is measuring.
+  Rng rng(0xdef5e);
+  nn::Tensor warm({256, 4});
+  for (std::size_t i = 0; i < warm.numel(); ++i)
+    warm[i] = rng.uniform(-1.0f, 1.0f);
+  eng.defense()->calibrate(warm);
+
+  int row = 0;
+  for (int b = 0; b < batches; ++b) {
+    std::vector<nn::Tensor> reqs;
+    reqs.reserve(32);
+    for (int i = 0; i < 32; ++i, ++row) {
+      nn::Tensor t({4});
+      for (std::size_t j = 0; j < 4; ++j) t[j] = rng.uniform(-1.0f, 1.0f);
+      // A rare anomalous row (far outside the calibrated profile) keeps
+      // the quarantine ring non-empty so the review cadence runs passes.
+      if (row % 191 == 0)
+        for (std::size_t j = 0; j < 4; ++j) t[j] = 40.0f;
+      reqs.push_back(std::move(t));
+    }
+    WallTimer t;
+    for (nn::Tensor& r : reqs) eng.submit(std::move(r), nullptr);
+    observe_ms(h, q, t.seconds() * 1e3);
+  }
+  eng.drain();
+
+  // One refused and one accepted hot-swap, so the swap counters the report
+  // tracks are live. The gate evaluates against labels from the served
+  // model itself: a differently-initialised candidate regresses clean
+  // accuracy (refused, implicit rollback), a same-weights clone is a zero
+  // delta (accepted, epoch advances).
+  nn::Tensor probe({32, 4});
+  for (std::size_t i = 0; i < probe.numel(); ++i)
+    probe[i] = rng.uniform(-1.0f, 1.0f);
+  const std::vector<int> labels =
+      apps::make_kpm_dnn(4, 4, 17).predict(probe);
+  eng.request_hot_swap(apps::make_kpm_dnn(4, 4, 99), probe, labels);
+  eng.request_hot_swap(apps::make_kpm_dnn(4, 4, 17), probe, labels);
+
+  const serve::DefensePlane& dp = *eng.defense();
+  std::printf(
+      "[defense] screened=%llu quarantined=%llu released=%llu "
+      "confirmed=%llu review_passes=%llu swap_accepted=%llu "
+      "swap_rejected=%llu quant_rejected=%llu\n",
+      static_cast<unsigned long long>(dp.screened()),
+      static_cast<unsigned long long>(dp.flagged()),
+      static_cast<unsigned long long>(dp.released()),
+      static_cast<unsigned long long>(dp.confirmed()),
+      static_cast<unsigned long long>(dp.review_passes()),
+      static_cast<unsigned long long>(eng.swaps_accepted()),
+      static_cast<unsigned long long>(eng.swaps_rejected()),
+      static_cast<unsigned long long>(
+          obs::counter("serve.perfdef.quant_rejected").value()));
+}
+
 void print_hist(const char* name, const char* unit = "ms") {
   const obs::Histogram::Snapshot s = obs::histogram(name).snapshot();
   std::printf("%-24s n=%6llu  p50=%9.4f %s  p95=%9.4f %s  p99=%9.4f %s\n",
@@ -260,13 +341,40 @@ void diff_against_baseline(const std::string& path) {
               path.c_str());
   for (const char* name :
        {"perf.matmul64_ms", "perf.e2_roundtrip_ms", "perf.attack_sample_ms",
-        "attack.batch.sample_ms", "perf.serve_batch_ms"}) {
+        "attack.batch.sample_ms", "perf.serve_batch_ms",
+        "perf.defense_screen_ms"}) {
     const obs::Histogram::Snapshot s = obs::histogram(name).snapshot();
     diff_row((std::string(name) + " p50").c_str(), s.p50,
              baseline_field(json, name, "p50"), "ms");
     diff_row((std::string(name) + " p99").c_str(), s.p99,
              baseline_field(json, name, "p99"), "ms");
   }
+}
+
+void diff_against_defense_baseline(const std::string& path) {
+  const std::string json = read_file(path);
+  if (json.empty()) {
+    std::printf("[defense-baseline] cannot read %s — skipping diff\n",
+                path.c_str());
+    return;
+  }
+  // The defense report's sections ("closed_loop", "hot_swap", "overhead")
+  // are flat scalar objects; the name scan lands on each section header.
+  std::printf("--- defense closed loop vs %s ---\n", path.c_str());
+  std::printf("%-26s auc_pgm=%.4f  auc_uap=%.4f  release_rate=%.4f\n",
+              "closed_loop baseline",
+              baseline_field(json, "closed_loop", "auc_pgm"),
+              baseline_field(json, "closed_loop", "auc_uap"),
+              baseline_field(json, "closed_loop", "release_rate"));
+  std::printf("%-26s clean_delta=%.4f  agree_after=%.4f\n",
+              "hot_swap baseline",
+              baseline_field(json, "hot_swap", "clean_delta"),
+              baseline_field(json, "hot_swap", "agree_after"));
+  std::printf("%-26s p99_overhead=%.4f (gate <= 0.05)\n",
+              "overhead baseline",
+              baseline_field(json, "overhead", "p99_overhead"));
+  std::printf("(rerun bench_defense --report-out to refresh; this run only "
+              "echoes the committed numbers for context)\n");
 }
 
 void diff_against_serve_baseline(const std::string& path) {
@@ -294,9 +402,11 @@ int main(int argc, char** argv) {
   ObsGuard obs_guard(argc, argv);
   parse_threads_flag(argc, argv);
 
-  // --baseline / --serve-baseline: committed reports to diff against.
+  // --baseline / --serve-baseline / --defense-baseline: committed reports
+  // to diff against.
   std::string baseline;
   std::string serve_baseline;
+  std::string defense_baseline;
   {
     int w = 1;
     for (int r = 1; r < argc; ++r) {
@@ -309,6 +419,11 @@ int main(int argc, char** argv) {
         serve_baseline = argv[++r];
       } else if (std::strncmp(argv[r], "--serve-baseline=", 17) == 0) {
         serve_baseline = argv[r] + 17;
+      } else if (std::strcmp(argv[r], "--defense-baseline") == 0 &&
+                 r + 1 < argc) {
+        defense_baseline = argv[++r];
+      } else if (std::strncmp(argv[r], "--defense-baseline=", 19) == 0) {
+        defense_baseline = argv[r] + 19;
       } else {
         argv[w++] = argv[r];
       }
@@ -317,12 +432,13 @@ int main(int argc, char** argv) {
   }
 
   std::printf("=== Perf report: matmul / E2 round-trip / attack sample / "
-              "serve batch ===\n");
+              "serve batch / defended batch ===\n");
 
   run_matmul(/*reps=*/300);
   run_e2_roundtrip(/*reps=*/500);
   run_attack(/*samples=*/64);
   run_serve(/*batches=*/300);
+  run_defense(/*batches=*/300);
 
   print_rule();
   print_hist("perf.matmul64_ms");
@@ -330,12 +446,14 @@ int main(int argc, char** argv) {
   print_hist("perf.attack_sample_ms");
   print_hist("attack.batch.sample_ms");
   print_hist("perf.serve_batch_ms");
+  print_hist("perf.defense_screen_ms");
   print_rule();
   // Sketch-derived quantiles (relative-error guarantee, no bucket bias).
   print_sketch("perf.matmul64_ms_q");
   print_sketch("perf.e2_roundtrip_ms_q");
   print_sketch("perf.attack_sample_ms_q");
   print_sketch("perf.serve_batch_ms_q");
+  print_sketch("perf.defense_screen_ms_q");
   print_sketch("serve.perf.latency_us", "us");  // virtual submit-to-completion
   print_rule();
   if (!baseline.empty()) {
@@ -344,6 +462,10 @@ int main(int argc, char** argv) {
   }
   if (!serve_baseline.empty()) {
     diff_against_serve_baseline(serve_baseline);
+    print_rule();
+  }
+  if (!defense_baseline.empty()) {
+    diff_against_defense_baseline(defense_baseline);
     print_rule();
   }
   std::printf("run with --metrics-out BENCH_<date>.json to save the report\n");

@@ -22,6 +22,41 @@ void IcXApp::set_serve_engine(serve::ServeEngine* engine) {
   serve_ = engine;
 }
 
+void IcXApp::enable_release_channel(oran::NearRtRic& ric) {
+  OREV_CHECK(serve_ != nullptr,
+             "enable_release_channel needs an attached serve engine");
+  static obs::Counter& released_ctr = obs::counter(
+      "apps.ic.serve_released",
+      "IC xApp quarantined classifications released on review");
+  oran::NearRtRic* ric_ptr = &ric;
+  serve_->set_release_handler([this, ric_ptr](
+                                  const serve::ReviewOutcome& o) {
+    ++serve_released_;
+    released_ctr.inc();
+    // The flow key is "<ns>/<node>/current" (see classify_and_control);
+    // recover the node so the corrected decision reaches the right cell.
+    std::string node;
+    const std::size_t last = o.flow_key.rfind('/');
+    if (last != std::string::npos && last > 0) {
+      const std::size_t prev = o.flow_key.rfind('/', last - 1);
+      if (prev != std::string::npos)
+        node = o.flow_key.substr(prev + 1, last - prev - 1);
+    }
+    // Correcting attestation: supersedes the quarantine alert for this
+    // request, naming the review evidence (epoch asymmetry included).
+    ric_ptr->sdl().write_text(
+        app_id(), oran::kNsDefenseAlerts, app_id() + "/" + node,
+        "released key=" + o.flow_key + " request=" +
+            std::to_string(o.request_id) + " epoch=" +
+            std::to_string(o.model_epoch) + " score=" +
+            std::to_string(o.review_score));
+    if (node.empty() || o.corrected_pred < 0) return;
+    // Replay through the normal decision path: the prediction publishes
+    // and the control issues exactly as an unflagged completion would.
+    finish_classification(o.corrected_pred, node, *ric_ptr);
+  });
+}
+
 void IcXApp::finish_classification(int pred, const std::string& ran_node_id,
                                    oran::NearRtRic& ric,
                                    obs::TraceContext ctx) {

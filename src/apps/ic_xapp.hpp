@@ -86,6 +86,16 @@ class IcXApp : public oran::XApp {
   /// (fail-safe adaptive MCS).
   std::uint64_t serve_quarantined() const { return serve_quarantined_; }
 
+  /// Subscribe to the engine's quarantine-review release channel: every
+  /// record the review clears as a false positive is replayed through the
+  /// normal decision path (prediction published, control issued) with a
+  /// correcting attestation in oran::kNsDefenseAlerts — the closed-loop
+  /// answer to the fail-safe the quarantine originally forced. Requires
+  /// an attached serve engine; `ric` must outlive the engine.
+  void enable_release_channel(oran::NearRtRic& ric);
+  /// Quarantined requests later released (reviewed as false positives).
+  std::uint64_t serve_released() const { return serve_released_; }
+
  private:
   /// Takes the input by value: the synchronous path reads it in place and
   /// the serving path moves it into the request — no per-request copy on
@@ -125,6 +135,7 @@ class IcXApp : public oran::XApp {
   std::uint64_t failsafes_ = 0;
   std::uint64_t serve_shed_ = 0;
   std::uint64_t serve_quarantined_ = 0;
+  std::uint64_t serve_released_ = 0;
 };
 
 }  // namespace orev::apps

@@ -91,7 +91,15 @@ bool NormScreen::step_norms(const Lkg& lkg, std::uint64_t version,
                             StepNorms& out) const {
   if (lkg.row.size() != n || n == 0) return false;
   if (version < lkg.version) return false;  // out-of-order submit
-  if (version - lkg.version > cfg_.max_stale) return false;
+  out.discount = 1.0;
+  if (version - lkg.version > cfg_.max_stale) {
+    if (!cfg_.stale_decay) return false;
+    // Stale reference: usable, but the evidence decays hyperbolically
+    // with the lag. max_stale > 0 is guaranteed by the lag comparison
+    // (lag > max_stale >= 0, and max_stale == 0 would decay everything).
+    out.discount = static_cast<double>(cfg_.max_stale) /
+                   static_cast<double>(version - lkg.version);
+  }
   double sq = 0.0, linf = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const double d =
@@ -121,6 +129,16 @@ void NormScreen::calibrate(const std::string& key, std::uint64_t version,
   accept(key, version, row, n);
 }
 
+bool NormScreen::has_reference(const std::string& key, std::uint64_t version,
+                               std::size_t n) const {
+  const auto it = lkg_.find(key);
+  if (it == lkg_.end()) return false;
+  const Lkg& lkg = it->second;
+  if (lkg.row.size() != n || n == 0) return false;
+  if (version < lkg.version) return false;  // out-of-order submit
+  return cfg_.stale_decay || version - lkg.version <= cfg_.max_stale;
+}
+
 double NormScreen::score(const std::string& key, std::uint64_t version,
                          const float* row, std::size_t n) const {
   if (!ready() || key.empty()) return 0.0;
@@ -133,8 +151,19 @@ double NormScreen::score(const std::string& key, std::uint64_t version,
   const double z_linf =
       (s.linf - linf_mean_) / std::sqrt(welford_var(linf_m2_, steps_));
   // Only steps *larger* than natural are suspicious; a perfectly still
-  // flow is not an attack.
-  return std::max(0.0, std::max(z_l2, z_linf));
+  // flow is not an attack. Stale references contribute discounted
+  // evidence (discount is 1 for a fresh reference).
+  return std::max(0.0, std::max(z_l2, z_linf)) * s.discount;
+}
+
+double NormScreen::review_score(const std::string& key, const float* row,
+                                std::size_t n) const {
+  if (!ready() || key.empty()) return 0.0;
+  const auto it = lkg_.find(key);
+  if (it == lkg_.end()) return 0.0;
+  // Score at the LKG's own version: the version/staleness guards exist
+  // for in-order stream events, not for a retrospective distance query.
+  return score(key, it->second.version, row, n);
 }
 
 void NormScreen::accept(const std::string& key, std::uint64_t version,
@@ -147,6 +176,7 @@ void NormScreen::accept(const std::string& key, std::uint64_t version,
 
 void NormScreen::save(persist::ByteWriter& w) const {
   w.u64(cfg_.max_stale);
+  w.u8(cfg_.stale_decay ? 1 : 0);
   w.u64(steps_);
   w.f64(l2_mean_);
   w.f64(l2_m2_);
@@ -164,10 +194,13 @@ void NormScreen::save(persist::ByteWriter& w) const {
 bool NormScreen::load(persist::ByteReader& r) {
   NormScreenConfig cfg;
   std::uint64_t steps = 0, flows = 0;
+  std::uint8_t decay = 0;
   double l2_mean = 0, l2_m2 = 0, linf_mean = 0, linf_m2 = 0;
-  if (!r.u64(cfg.max_stale) || !r.u64(steps) || !r.f64(l2_mean) ||
-      !r.f64(l2_m2) || !r.f64(linf_mean) || !r.f64(linf_m2) || !r.u64(flows))
+  if (!r.u64(cfg.max_stale) || !r.u8(decay) || !r.u64(steps) ||
+      !r.f64(l2_mean) || !r.f64(l2_m2) || !r.f64(linf_mean) ||
+      !r.f64(linf_m2) || !r.u64(flows))
     return false;
+  cfg.stale_decay = decay != 0;
   std::map<std::string, Lkg> lkg;
   for (std::uint64_t i = 0; i < flows; ++i) {
     std::string key;
@@ -275,6 +308,50 @@ nn::TrainReport harden(nn::Model& victim, const FineTuneQueue& queue,
   const FineTuneQueue::Batch b = queue.batch();
   nn::Trainer trainer(cfg);
   return trainer.fit(victim, b.x, b.y, b.x, b.y);
+}
+
+nn::Model harden_candidate(const nn::Model& served, const FineTuneQueue& queue,
+                           const nn::TrainConfig& cfg, nn::TrainReport* report,
+                           const nn::Tensor* replay_x,
+                           const std::vector<int>* replay_y) {
+  nn::Model candidate = served.clone();
+  candidate.set_inference_only(false);
+  nn::TrainReport rep;
+  if (replay_x != nullptr && !queue.empty()) {
+    OREV_CHECK(replay_x->rank() >= 2 && replay_y != nullptr &&
+                   replay_y->size() ==
+                       static_cast<std::size_t>(replay_x->dim(0)),
+               "harden_candidate replay labels must pair 1:1 with "
+               "[m, ...sample] replay rows");
+    // Clean-replay mix: quarantined points first (flag order), then the
+    // anchor rows — one deterministic batch that trains local robustness
+    // without letting the attack points own the loss.
+    const FineTuneQueue::Batch b = queue.batch();
+    const int qn = b.x.dim(0);
+    const int rn = replay_x->dim(0);
+    nn::Shape shape = b.x.shape();
+    shape[0] = qn + rn;
+    nn::Tensor x(shape);
+    std::vector<int> y;
+    y.reserve(static_cast<std::size_t>(qn + rn));
+    for (int i = 0; i < qn; ++i) {
+      x.set_batch(i, b.x.slice_batch(i));
+      y.push_back(b.y[static_cast<std::size_t>(i)]);
+    }
+    for (int i = 0; i < rn; ++i) {
+      x.set_batch(qn + i, replay_x->slice_batch(i));
+      y.push_back((*replay_y)[static_cast<std::size_t>(i)]);
+    }
+    nn::Trainer trainer(cfg);
+    rep = trainer.fit(candidate, x, y, x, y);
+  } else {
+    rep = harden(candidate, queue, cfg);
+  }
+  if (report != nullptr) *report = rep;
+  // Hand back ready to serve: the engine's gate probes (and replicas)
+  // expect an inference-locked model.
+  candidate.set_inference_only(true);
+  return candidate;
 }
 
 }  // namespace orev::defense

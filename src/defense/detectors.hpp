@@ -80,6 +80,18 @@ struct NormScreenConfig {
   /// lags it by more than this many versions (mirrors the SDL
   /// staleness bound of the apps' degraded-read path).
   std::uint64_t max_stale = 8;
+  /// Staleness decay instead of hard expiry. Version lag only accrues
+  /// while a flow's rows are being flagged, so a hard expiry always fires
+  /// right after a sustained flag run — and then adopts the first
+  /// unflagged row as the new reference, which during an attack burst is
+  /// often an adversarial one (reference poisoning). With decay, a
+  /// reference older than max_stale stays usable but its z-score is
+  /// discounted by max_stale/lag: an attack row's huge step survives the
+  /// discount (stays flagged, never adopted), while a clean row's modest
+  /// step decays below threshold, is accepted, and re-founds the
+  /// reference — both the poisoning and the frozen-false-positive
+  /// failure modes heal without a tuned margin.
+  bool stale_decay = false;
 };
 
 /// Per-flow perturbation-norm screen against the last-known-good row.
@@ -101,11 +113,30 @@ class NormScreen {
   double score(const std::string& key, std::uint64_t version,
                const float* row, std::size_t n) const;
 
+  /// Review re-score: the step z-score of `row` against the flow's
+  /// *current* LKG, ignoring versions. A quarantined record is by
+  /// definition behind the stream by review time; the question the review
+  /// asks is whether the row is still far from where the clean walk
+  /// actually went (an adversarial point stays far, a natural outlier is
+  /// overtaken by the walk). Returns 0 when uncalibrated or the flow has
+  /// no LKG. Const — never advances the reference.
+  double review_score(const std::string& key, const float* row,
+                      std::size_t n) const;
+
   /// Accept `row` as the flow's new last-known-good. Call for every row
   /// that was *not* quarantined — flagged rows must never become the
   /// reference, or the attacker walks the LKG to the adversarial point.
   void accept(const std::string& key, std::uint64_t version,
               const float* row, std::size_t n);
+
+  /// Whether the flow has a usable reference for a row of `n` features at
+  /// `version` — same freshness/order/shape rules as score(). False means
+  /// the next accepted row would *re-seed* the reference rather than
+  /// advance it, which callers may want to gate more strictly (a stale
+  /// expiry fires right after a flag run, when the candidate rows are the
+  /// least trustworthy).
+  bool has_reference(const std::string& key, std::uint64_t version,
+                     std::size_t n) const;
 
   /// Drop a flow's LKG (e.g. after its source recovered from a fault).
   void reset_flow(const std::string& key) { lkg_.erase(key); }
@@ -125,6 +156,9 @@ class NormScreen {
   struct StepNorms {
     double l2 = 0.0;
     double linf = 0.0;
+    /// Evidence discount for stale references (1 when fresh; see
+    /// NormScreenConfig::stale_decay).
+    double discount = 1.0;
   };
   /// L2/L∞ norms of row − lkg, or nothing when the LKG is unusable.
   bool step_norms(const Lkg& lkg, std::uint64_t version, const float* row,
@@ -203,5 +237,22 @@ class FineTuneQueue {
 /// when the queue is empty.
 nn::TrainReport harden(nn::Model& victim, const FineTuneQueue& queue,
                        const nn::TrainConfig& cfg);
+
+/// Closed-loop form of harden(): clone `served` (typically an
+/// inference-locked replica), unlock it, fine-tune it on the queue, and
+/// return it as a swap candidate for ServeEngine::request_hot_swap — the
+/// served model itself is never mutated, so a refused swap has nothing to
+/// roll back. `report`, when given, receives the fine-tuning record.
+///
+/// `replay_x`/`replay_y` optionally mix a clean anchor set ([m, ...sample]
+/// rows with 1:1 labels — e.g. the calibration window) into the fine-tune
+/// batch: plain queue-only tuning drags the decision boundary toward the
+/// quarantined points and surrenders the clean accuracy the swap gate
+/// protects, while the replay mix gains local robustness and keeps it.
+nn::Model harden_candidate(const nn::Model& served, const FineTuneQueue& queue,
+                           const nn::TrainConfig& cfg,
+                           nn::TrainReport* report = nullptr,
+                           const nn::Tensor* replay_x = nullptr,
+                           const std::vector<int>* replay_y = nullptr);
 
 }  // namespace orev::defense

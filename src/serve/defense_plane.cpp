@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "nn/serialize.hpp"
 #include "util/check.hpp"
 #include "util/obs/flight.hpp"
 #include "util/persist/frame.hpp"
@@ -21,14 +22,20 @@ constexpr const char* kDefenseTag = "orev.defense";
 DefensePlane::DefensePlane(const DefenseConfig& cfg, std::string engine_name)
     : cfg_(cfg),
       name_(std::move(engine_name)),
-      norms_(defense::NormScreenConfig{cfg.max_stale}),
+      norms_(defense::NormScreenConfig{cfg.max_stale, cfg.stale_decay}),
       finetune_(cfg.finetune_capacity),
+      adaptive_(cfg.adaptive, cfg.dist_threshold, cfg.step_threshold,
+                cfg.ens_threshold),
       m_screened_(obs::counter("serve." + name_ + ".defense.screened",
                                "requests screened by the defense plane")),
       m_flagged_(obs::counter("serve." + name_ + ".defense.quarantined",
                               "requests flagged and quarantined")),
       m_bursts_(obs::counter("serve." + name_ + ".defense.bursts",
                              "quarantine-rate burst flight triggers")),
+      m_released_(obs::counter("serve." + name_ + ".defense.released",
+                               "quarantined requests released on review")),
+      m_confirmed_(obs::counter("serve." + name_ + ".defense.confirmed",
+                                "quarantined requests confirmed on review")),
       m_burst_rate_(obs::gauge("serve." + name_ + ".defense.burst_rate",
                                "flagged fraction over the trailing window")) {
   OREV_CHECK(cfg_.dist_threshold > 0 && cfg_.step_threshold > 0 &&
@@ -37,6 +44,17 @@ DefensePlane::DefensePlane(const DefenseConfig& cfg, std::string engine_name)
   OREV_CHECK(cfg_.burst_window >= 1, "burst_window must be >= 1");
   OREV_CHECK(cfg_.quarantine_capacity >= 1,
              "quarantine_capacity must be >= 1");
+  OREV_CHECK(cfg_.release_margin > 0.0 && cfg_.release_margin < 1.0,
+             "release_margin must be in (0, 1)");
+  if (cfg_.adaptive.enable) {
+    OREV_CHECK(cfg_.adaptive.floor_frac > 0.0 &&
+                   cfg_.adaptive.floor_frac <= 1.0 &&
+                   cfg_.adaptive.ceiling_frac >= 1.0,
+               "adaptive floor/ceiling must bracket the static threshold");
+    OREV_CHECK(cfg_.adaptive.target_quantile > 0.0 &&
+                   cfg_.adaptive.target_quantile <= 1.0,
+               "adaptive target_quantile must be in (0, 1]");
+  }
 }
 
 void DefensePlane::attach_sibling(nn::Model sibling) {
@@ -75,6 +93,7 @@ DefenseVerdict DefensePlane::screen(std::uint64_t request_id,
                                     int primary_pred) {
   DefenseVerdict v;
   ++screened_;
+  ++rows_since_review_;
   m_screened_.inc();
 
   if (cfg_.use_distribution)
@@ -85,39 +104,65 @@ DefenseVerdict DefensePlane::screen(std::uint64_t request_id,
   if (cfg_.use_ensemble && ensemble_ != nullptr)
     v.ens_score = ensemble_->score(input, primary_pred);
 
-  v.score = std::max({v.dist_score / cfg_.dist_threshold,
-                      v.step_score / cfg_.step_threshold,
-                      v.ens_score / cfg_.ens_threshold});
+  // With adaptive thresholds disabled the accessors return the configured
+  // statics verbatim, so this is the exact pre-adaptive comparison.
+  v.score = std::max({v.dist_score / adaptive_.dist_threshold(),
+                      v.step_score / adaptive_.step_threshold(flow_key),
+                      v.ens_score / adaptive_.ens_threshold()});
   v.flagged = v.score >= 1.0;
 
   if (v.flagged) {
     ++flagged_;
     m_flagged_.inc();
-    // Bounded ring: evict the oldest record, never grow unbounded.
-    if (static_cast<int>(quarantine_.size()) >= cfg_.quarantine_capacity)
+    // Bounded ring: evict the oldest record, never grow unbounded. An
+    // evicted record was never reviewed — counted so floods are visible.
+    if (static_cast<int>(quarantine_.size()) >= cfg_.quarantine_capacity) {
       quarantine_.pop_front();
+      ++evicted_;
+    }
+    // Temporal-consistency label: the flow's last accepted prediction
+    // when one exists, else the primary's own.
+    int ref_label = primary_pred;
+    const auto it = last_pred_.find(flow_key);
+    if (it != last_pred_.end()) ref_label = it->second;
     QuarantineRecord rec;
     rec.request_id = request_id;
     rec.flow_key = flow_key;
     rec.flow_version = flow_version;
     rec.score = v.score;
     rec.primary_pred = primary_pred;
+    rec.ref_label = ref_label;
+    rec.screened_seq = screened_;
+    rec.profile_samples = profile_.samples();
+    rec.epoch = model_epoch_;
     rec.sample = input;
     quarantine_.push_back(std::move(rec));
-    // Fine-tune toward the flow's last accepted prediction when one
-    // exists — the temporal-consistency label — else the primary's own.
-    int ref_label = primary_pred;
-    const auto it = last_pred_.find(flow_key);
-    if (it != last_pred_.end()) ref_label = it->second;
-    if (ref_label >= 0) finetune_.push(input, ref_label);
+    // With review enabled the review pass decides whether the record is
+    // a false positive or fine-tune material; without it, preserve the
+    // original flag-time push.
+    if (cfg_.review_every == 0 && ref_label >= 0)
+      finetune_.push(input, ref_label);
   } else {
     // Only unflagged rows may advance the flow's reference state; a
     // flagged row becoming the LKG would let the attacker walk the
-    // reference onto the adversarial point one ε at a time.
-    norms_.accept(flow_key, flow_version, input.raw(), input.numel());
+    // reference onto the adversarial point one ε at a time. The same
+    // rule guards the adaptive sketches: quarantined scores never move
+    // the learned thresholds. Re-seeding a reference-less flow (first
+    // sight or staleness expiry) is gated harder: expiry fires right
+    // after a flag run, when the candidate rows are the least
+    // trustworthy, so only a comfortably clean row may found the new
+    // reference (see DefenseConfig::reseed_margin).
+    const bool reseeding =
+        cfg_.use_norm_screen && !flow_key.empty() &&
+        !norms_.has_reference(flow_key, flow_version, input.numel());
+    if (!reseeding || v.score < cfg_.reseed_margin)
+      norms_.accept(flow_key, flow_version, input.raw(), input.numel());
     if (!flow_key.empty() && primary_pred >= 0)
       last_pred_[flow_key] = primary_pred;
+    adaptive_.observe_accepted(flow_key, v.dist_score, v.step_score,
+                               v.ens_score);
   }
+  adaptive_.on_row();
 
   recent_.push_back(v.flagged);
   if (static_cast<int>(recent_.size()) > cfg_.burst_window)
@@ -140,6 +185,64 @@ DefenseVerdict DefensePlane::screen(std::uint64_t request_id,
   return v;
 }
 
+std::vector<ReviewOutcome> DefensePlane::review(
+    const std::function<int(const nn::Tensor&)>& repredict) {
+  std::vector<ReviewOutcome> out;
+  out.reserve(quarantine_.size());
+  ++review_passes_;
+  rows_since_review_ = 0;
+  // Oldest first: review order is the flag order, a total order stable
+  // across thread counts (records are created on the driving thread).
+  while (!quarantine_.empty()) {
+    QuarantineRecord rec = std::move(quarantine_.front());
+    quarantine_.pop_front();
+    ++reviewed_;
+
+    const int re_pred =
+        repredict ? repredict(rec.sample) : rec.primary_pred;
+    // Re-score against the *current* state: the profile has seen every
+    // accepted row since the flag, the sibling may have been hardened,
+    // and the thresholds may have adapted. The step score is re-taken
+    // against the flow's *current* LKG (NormScreen::review_score): the
+    // clean walk has moved on since the flag, so a natural outlier has
+    // been overtaken by its own flow while an adversarial point is still
+    // far from everywhere the walk actually went.
+    double dist = 0.0, step = 0.0, ens = 0.0;
+    if (cfg_.use_distribution)
+      dist = profile_.score(rec.sample.raw(), rec.sample.numel());
+    if (cfg_.use_norm_screen)
+      step = norms_.review_score(rec.flow_key, rec.sample.raw(),
+                                 rec.sample.numel());
+    if (cfg_.use_ensemble && ensemble_ != nullptr)
+      ens = ensemble_->score(rec.sample, re_pred);
+    const double review_score =
+        std::max(std::max(dist / adaptive_.dist_threshold(),
+                          step / adaptive_.step_threshold(rec.flow_key)),
+                 ens / adaptive_.ens_threshold());
+
+    ReviewOutcome o;
+    o.request_id = rec.request_id;
+    o.flow_key = rec.flow_key;
+    o.flow_version = rec.flow_version;
+    o.original_score = rec.score;
+    o.review_score = review_score;
+    o.quarantined_at_profile_samples = rec.profile_samples;
+    o.model_epoch = rec.epoch;
+    o.released = review_score < cfg_.release_margin;
+    if (o.released) {
+      o.corrected_pred = re_pred;
+      ++released_;
+      m_released_.inc();
+    } else {
+      ++confirmed_;
+      m_confirmed_.inc();
+      if (rec.ref_label >= 0) finetune_.push(rec.sample, rec.ref_label);
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
 std::string DefensePlane::fingerprint() const {
   persist::ByteWriter w;
   w.str(name_);
@@ -157,6 +260,33 @@ std::string DefensePlane::fingerprint() const {
   w.i32(cfg_.burst_window);
   w.f64(cfg_.burst_threshold);
   w.i32(cfg_.finetune_capacity);
+  // Closed-loop fields enter the fingerprint only when their feature is
+  // on, so toggling an unrelated feature never invalidates a checkpoint
+  // written under the same effective config.
+  if (cfg_.adaptive.enable) {
+    w.u8(1);
+    w.f64(cfg_.adaptive.target_quantile);
+    w.f64(cfg_.adaptive.margin);
+    w.u64(cfg_.adaptive.warmup);
+    w.u64(cfg_.adaptive.update_every);
+    w.f64(cfg_.adaptive.floor_frac);
+    w.f64(cfg_.adaptive.ceiling_frac);
+    w.f64(cfg_.adaptive.max_step_frac);
+    w.f64(cfg_.adaptive.hysteresis_frac);
+    w.f64(cfg_.adaptive.sketch_alpha);
+  }
+  if (cfg_.review_every > 0) {
+    w.u8(2);
+    w.u64(cfg_.review_every);
+    w.f64(cfg_.release_margin);
+    w.u64(cfg_.review_overhead_us);
+    w.u64(cfg_.review_us_per_record);
+  }
+  if (cfg_.reseed_margin < 1.0) {
+    w.u8(3);
+    w.f64(cfg_.reseed_margin);
+  }
+  if (cfg_.stale_decay) w.u8(4);
   return Sha256::hex(w.buffer());
 }
 
@@ -184,10 +314,39 @@ persist::Status DefensePlane::save_status(const std::string& path) const {
   finetune_.save(ftq);
   fw.section("finetune", ftq.take());
 
+  persist::ByteWriter ad;
+  adaptive_.save(ad);
+  fw.section("adaptive", ad.take());
+
+  // The quarantine ring is durable state now that review consumes it: a
+  // crash between flag and review must not lose (or double-review) rows.
+  persist::ByteWriter q;
+  q.u64(quarantine_.size());
+  for (const QuarantineRecord& rec : quarantine_) {
+    q.u64(rec.request_id);
+    q.str(rec.flow_key);
+    q.u64(rec.flow_version);
+    q.f64(rec.score);
+    q.i32(rec.primary_pred);
+    q.i32(rec.ref_label);
+    q.u64(rec.screened_seq);
+    q.u64(rec.profile_samples);
+    q.u64(rec.epoch);
+    nn::write_tensor(q, rec.sample);
+  }
+  fw.section("quarantine", q.take());
+
   persist::ByteWriter counters;
   counters.u64(screened_);
   counters.u64(flagged_);
   counters.u64(bursts_);
+  counters.u64(reviewed_);
+  counters.u64(released_);
+  counters.u64(confirmed_);
+  counters.u64(evicted_);
+  counters.u64(review_passes_);
+  counters.u64(rows_since_review_);
+  counters.u64(model_epoch_);
   fw.section("counters", counters.take());
   return fw.commit(path);
 }
@@ -266,12 +425,62 @@ persist::Status DefensePlane::load_status(const std::string& path) {
     if (!st.ok()) return st;
   }
 
-  std::uint64_t screened = 0, flagged = 0, bursts = 0;
+  defense::AdaptiveThresholds adaptive;
+  st = fr.section("adaptive", sec);
+  if (!st.ok()) return st;
+  {
+    persist::ByteReader r(sec);
+    if (!adaptive.load(r))
+      return Status::Fail(StatusCode::kTruncated,
+                          "defense adaptive section truncated");
+    st = r.finish("defense adaptive thresholds");
+    if (!st.ok()) return st;
+  }
+
+  std::deque<QuarantineRecord> quarantine;
+  st = fr.section("quarantine", sec);
+  if (!st.ok()) return st;
+  {
+    persist::ByteReader r(sec);
+    std::uint64_t n = 0;
+    if (!r.u64(n))
+      return Status::Fail(StatusCode::kTruncated,
+                          "defense quarantine section truncated");
+    // Each record costs at least its fixed-width fields; reject counts
+    // the payload cannot hold.
+    if (n > r.remaining() / 48)
+      return Status::Fail(StatusCode::kBadValue,
+                          "defense quarantine count implausible");
+    for (std::uint64_t i = 0; i < n; ++i) {
+      QuarantineRecord rec;
+      std::int32_t pred = 0, ref = 0;
+      if (!r.u64(rec.request_id) || !r.str(rec.flow_key) ||
+          !r.u64(rec.flow_version) || !r.f64(rec.score) || !r.i32(pred) ||
+          !r.i32(ref) || !r.u64(rec.screened_seq) ||
+          !r.u64(rec.profile_samples) || !r.u64(rec.epoch))
+        return Status::Fail(StatusCode::kTruncated,
+                            "defense quarantine record truncated");
+      rec.primary_pred = pred;
+      rec.ref_label = ref;
+      st = nn::read_tensor(r, rec.sample);
+      if (!st.ok()) return st;
+      quarantine.push_back(std::move(rec));
+    }
+    st = r.finish("defense quarantine ring");
+    if (!st.ok()) return st;
+  }
+
+  std::uint64_t screened = 0, flagged = 0, bursts = 0, reviewed = 0,
+                released = 0, confirmed = 0, evicted = 0, review_passes = 0,
+                rows_since_review = 0, model_epoch = 0;
   st = fr.section("counters", sec);
   if (!st.ok()) return st;
   {
     persist::ByteReader r(sec);
-    if (!r.u64(screened) || !r.u64(flagged) || !r.u64(bursts))
+    if (!r.u64(screened) || !r.u64(flagged) || !r.u64(bursts) ||
+        !r.u64(reviewed) || !r.u64(released) || !r.u64(confirmed) ||
+        !r.u64(evicted) || !r.u64(review_passes) ||
+        !r.u64(rows_since_review) || !r.u64(model_epoch))
       return Status::Fail(StatusCode::kTruncated,
                           "defense counters section truncated");
     st = r.finish("defense counters");
@@ -282,9 +491,18 @@ persist::Status DefensePlane::load_status(const std::string& path) {
   norms_ = std::move(norms);
   last_pred_ = std::move(labels);
   finetune_ = std::move(finetune);
+  adaptive_ = std::move(adaptive);
+  quarantine_ = std::move(quarantine);
   screened_ = screened;
   flagged_ = flagged;
   bursts_ = bursts;
+  reviewed_ = reviewed;
+  released_ = released;
+  confirmed_ = confirmed;
+  evicted_ = evicted;
+  review_passes_ = review_passes;
+  rows_since_review_ = rows_since_review;
+  model_epoch_ = model_epoch;
   // The burst window is observational, not durable: resumed planes start
   // it empty and unlatched.
   recent_.clear();

@@ -31,14 +31,24 @@
 // trigger ("defense.quarantine_burst"), freezing the causal span tail for
 // post-mortem, with hysteresis so a sustained attack produces one report
 // per burst rather than one per request.
+//
+// PR 9 closes the loop (DESIGN.md §15): thresholds may adapt online to
+// the accepted-score stream (defense/adaptive.hpp), and a deterministic
+// review stage drains the quarantine ring on a row cadence, re-scores
+// each record against the current calibration profile and (hardened)
+// sibling, releases false positives back to the apps through the normal
+// decision path, and feeds confirmed records to the fine-tuning queue.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "defense/adaptive.hpp"
 #include "defense/detectors.hpp"
 #include "nn/model.hpp"
 #include "nn/tensor.hpp"
@@ -66,6 +76,22 @@ struct DefenseConfig {
   /// Norm-screen staleness bound: versions a flow's last-known-good row
   /// may lag before it is unusable (mirrors the apps' SDL bound).
   std::uint64_t max_stale = 8;
+  /// Reference re-seed gate. Version lag only accrues while a flow's rows
+  /// are being flagged, so a staleness expiry always fires right after a
+  /// sustained flag run — and during an attack burst the first unflagged
+  /// row is often adversarial (its step score is 0 with no reference), so
+  /// blindly adopting it poisons the reference and blinds the step screen
+  /// to every later attack row. With this < 1, a row may *re-seed* a
+  /// reference-less flow only when its combined score is below the margin;
+  /// advancing an existing reference is unaffected. 1.0 (default) keeps
+  /// the legacy behaviour: any unflagged row re-seeds.
+  double reseed_margin = 1.0;
+  /// Staleness decay instead of hard reference expiry (see
+  /// defense::NormScreenConfig::stale_decay): references older than
+  /// max_stale stay usable with hyperbolically discounted evidence, so an
+  /// attack burst cannot force a re-seed onto adversarial traffic while a
+  /// frozen false-positive reference still ages below the flag line.
+  bool stale_decay = false;
   /// Virtual cost model of the inline screen, added to each batch.
   std::uint64_t screen_overhead_us = 5;
   std::uint64_t screen_us_per_sample = 1;
@@ -78,6 +104,23 @@ struct DefenseConfig {
   double burst_threshold = 0.25;
   /// Bounded online adversarial fine-tuning queue.
   int finetune_capacity = 256;
+  /// Online adaptive thresholds (defense/adaptive.hpp). Disabled, the
+  /// static thresholds above are used verbatim and behaviour is
+  /// byte-identical to the pre-adaptive plane.
+  defense::AdaptiveConfig adaptive;
+  /// Quarantine review cadence in screened rows; 0 disables review and
+  /// keeps the original flag-time fine-tune push. With review enabled,
+  /// flagged rows only enter the ring — the review pass decides whether
+  /// each one is released (false positive) or confirmed into the
+  /// fine-tuning queue.
+  std::uint64_t review_every = 0;
+  /// A record is released when its review score (re-scored against the
+  /// current profile/sibling/thresholds) falls below this fraction of the
+  /// flag line. Strictly < 1 so borderline rows stay confirmed.
+  double release_margin = 0.8;
+  /// Virtual cost model of one review pass over n records.
+  std::uint64_t review_overhead_us = 20;
+  std::uint64_t review_us_per_record = 5;
 };
 
 /// Outcome of screening one request.
@@ -91,7 +134,8 @@ struct DefenseVerdict {
   double ens_score = 0.0;
 };
 
-/// One quarantined request, retained in the bounded ring for operators.
+/// One quarantined request, retained in the bounded ring for operators
+/// and (with review enabled) pending the next review pass.
 struct QuarantineRecord {
   std::uint64_t request_id = 0;
   std::string flow_key;
@@ -99,7 +143,38 @@ struct QuarantineRecord {
   double score = 0.0;
   /// Primary model's prediction on the flagged input (never served).
   int primary_pred = -1;
+  /// Temporal-consistency label captured at flag time (the flow's last
+  /// accepted prediction), the fine-tune target if the flag is confirmed.
+  int ref_label = -1;
+  /// Screen-order sequence number (the plane's screened counter at flag
+  /// time) — total order over records, stable across thread counts.
+  std::uint64_t screened_seq = 0;
+  /// Calibration-profile sample count at flag time: the "as of" version
+  /// the review outcome reports, so operators can see how much fresher
+  /// the profile that cleared or confirmed the row was.
+  std::uint64_t profile_samples = 0;
+  /// Serving-model swap epoch at flag time.
+  std::uint64_t epoch = 0;
   nn::Tensor sample;
+};
+
+/// Result of reviewing one quarantined record.
+struct ReviewOutcome {
+  std::uint64_t request_id = 0;
+  std::string flow_key;
+  std::uint64_t flow_version = 0;
+  /// Combined threshold-normalized score at flag time.
+  double original_score = 0.0;
+  /// Re-score against the current profile/sibling/thresholds.
+  double review_score = 0.0;
+  /// True ⇒ false positive: replay the row to its app with
+  /// `corrected_pred` and a correcting attestation.
+  bool released = false;
+  int corrected_pred = -1;
+  std::uint64_t quarantined_at_profile_samples = 0;
+  /// Swap epoch the row was flagged under (review may run under a newer
+  /// hardened model — that asymmetry is the point of the loop).
+  std::uint64_t model_epoch = 0;
 };
 
 class DefensePlane {
@@ -137,10 +212,44 @@ class DefensePlane {
     return cfg_.screen_overhead_us +
            cfg_.screen_us_per_sample * static_cast<std::uint64_t>(n);
   }
+  /// Virtual µs one review pass over n quarantined records costs.
+  std::uint64_t review_cost_us(std::size_t n) const {
+    return cfg_.review_overhead_us + cfg_.review_us_per_record * n;
+  }
+
+  /// True when the review cadence has elapsed and records are pending.
+  bool review_due() const {
+    return cfg_.enable && cfg_.review_every > 0 && !quarantine_.empty() &&
+           rows_since_review_ >= cfg_.review_every;
+  }
+  /// Push the next review back a full cadence (fault-injection path: a
+  /// dropped review op is retried at the next cadence point, not lost).
+  void defer_review() { rows_since_review_ = 0; }
+
+  /// Drain the quarantine ring (oldest first), re-scoring each record
+  /// against the *current* calibration profile, sibling and thresholds.
+  /// `repredict` re-runs the serving model on the sample (post-swap this
+  /// is the hardened model); records whose review score falls below
+  /// release_margin are released with that corrected prediction, the rest
+  /// are confirmed into the fine-tuning queue under their flag-time
+  /// temporal-consistency label. Driving thread, deterministic order.
+  std::vector<ReviewOutcome> review(
+      const std::function<int(const nn::Tensor&)>& repredict);
+
+  /// Serving-model swap epoch stamped onto new quarantine records.
+  void set_model_epoch(std::uint64_t epoch) { model_epoch_ = epoch; }
+  std::uint64_t model_epoch() const { return model_epoch_; }
 
   const DefenseConfig& config() const { return cfg_; }
+  const defense::AdaptiveThresholds& adaptive() const { return adaptive_; }
   std::uint64_t screened() const { return screened_; }
   std::uint64_t flagged() const { return flagged_; }
+  std::uint64_t reviewed() const { return reviewed_; }
+  std::uint64_t released() const { return released_; }
+  std::uint64_t confirmed() const { return confirmed_; }
+  /// Records evicted from a full quarantine ring before any review.
+  std::uint64_t evicted() const { return evicted_; }
+  std::uint64_t review_passes() const { return review_passes_; }
   /// Flight triggers fired ("defense.quarantine_burst").
   std::uint64_t bursts() const { return bursts_; }
   /// Flagged fraction over the trailing window (0 until the window fills).
@@ -170,6 +279,7 @@ class DefensePlane {
   defense::NormScreen norms_;
   std::unique_ptr<defense::EnsembleDisagreement> ensemble_;
   defense::FineTuneQueue finetune_;
+  defense::AdaptiveThresholds adaptive_;
   /// Last accepted (unflagged) prediction per flow: the reference label
   /// quarantined samples are fine-tuned toward (temporal consistency).
   std::map<std::string, int> last_pred_;
@@ -180,10 +290,19 @@ class DefensePlane {
   std::uint64_t screened_ = 0;
   std::uint64_t flagged_ = 0;
   std::uint64_t bursts_ = 0;
+  std::uint64_t reviewed_ = 0;
+  std::uint64_t released_ = 0;
+  std::uint64_t confirmed_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t review_passes_ = 0;
+  std::uint64_t rows_since_review_ = 0;
+  std::uint64_t model_epoch_ = 0;
 
   obs::Counter& m_screened_;
   obs::Counter& m_flagged_;
   obs::Counter& m_bursts_;
+  obs::Counter& m_released_;
+  obs::Counter& m_confirmed_;
   obs::Gauge& m_burst_rate_;
 };
 

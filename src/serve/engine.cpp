@@ -48,6 +48,12 @@ ServeEngine::ServeEngine(nn::Model model, ServeConfig cfg)
       quant_rejected_(obs::counter(
           "serve." + cfg_.name + ".quant_rejected",
           "int8 tier activations refused by the accuracy gate")),
+      m_swap_accepted_(obs::counter(
+          "serve." + cfg_.name + ".swap_accepted",
+          "hot-swaps of hardened models accepted by the gate")),
+      m_swap_rejected_(obs::counter(
+          "serve." + cfg_.name + ".swap_rejected",
+          "hot-swap attempts refused (gate regression or injected fault)")),
       queue_(static_cast<std::size_t>(std::max(cfg_.queue_capacity, 1))),
       batcher_(BatcherConfig{cfg_.batch_max, cfg_.flush_wait_us}),
       slo_(cfg_.name, cfg_.replicas, cfg_.slo),
@@ -233,7 +239,58 @@ void ServeEngine::pump() {
     if (trigger == FlushTrigger::kNone) break;
     execute_batch(batcher_.take_batch(queue_), trigger);
   }
+  // Quarantine review rides the same driving-thread cadence as screening:
+  // due-ness is a pure function of the screened-row count, so the pass
+  // fires at the identical stream position at every thread count.
+  maybe_review_quarantine();
   slo_.set_queue_depth(queue_.size());
+}
+
+void ServeEngine::maybe_review_quarantine() {
+  if (defense_ == nullptr || !defense_->review_due()) return;
+  std::uint64_t extra = 0;
+  if (fault::FaultInjector* fi = fault::effective(fault_)) {
+    const fault::FaultDecision d = fi->decide(fault::sites::kDefenseReview);
+    switch (d.kind) {
+      case fault::FaultKind::kDrop:
+      case fault::FaultKind::kTransient:
+      case fault::FaultKind::kCrash:
+        // The pass is lost, not the records: the ring is untouched and the
+        // cadence restarts, so the review happens a full cadence later.
+        defense_->defer_review();
+        return;
+      case fault::FaultKind::kDelay:
+        extra = static_cast<std::uint64_t>(d.delay_ms * 1000.0);
+        break;
+      default:
+        break;
+    }
+  }
+  run_review(extra);
+}
+
+void ServeEngine::run_review(std::uint64_t extra_us) {
+  // The pass's virtual cost is a pure function of the pending record
+  // count, charged like a batch: review competes with serving for the
+  // engine's virtual capacity.
+  const std::size_t pending = defense_->quarantine().size();
+  const std::uint64_t start = std::max(now_us_, busy_until_us_);
+  busy_until_us_ = start + defense_->review_cost_us(pending) + extra_us;
+  const std::vector<ReviewOutcome> outcomes = defense_->review(
+      [this](const nn::Tensor& sample) { return predict_on_replica(0, sample); });
+  if (!release_handler_) return;
+  // Released rows replay to the apps under the completion no-reentry rule.
+  in_completion_ = true;
+  for (const ReviewOutcome& o : outcomes)
+    if (o.released) release_handler_(o);
+  in_completion_ = false;
+}
+
+void ServeEngine::review_quarantine_now() {
+  OREV_CHECK(!in_completion_,
+             "serve completions must not call back into the engine");
+  if (defense_ == nullptr || defense_->quarantine().empty()) return;
+  run_review(0);
 }
 
 void ServeEngine::drain() {
@@ -516,6 +573,159 @@ QuantGateReport ServeEngine::activate_int8_tier(const nn::Tensor& clean,
   return rep;
 }
 
+void ServeEngine::install_model(const nn::Model& candidate) {
+  std::vector<nn::Model> fresh;
+  fresh.reserve(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    nn::Model replica = candidate.clone();
+    replica.set_inference_only(true);
+    fresh.push_back(std::move(replica));
+  }
+  replicas_ = std::move(fresh);
+  compiled_.clear();
+  compiled_.reserve(replicas_.size());
+  for (nn::Model& replica : replicas_)
+    compiled_.push_back(compile_plan(replica));
+  // The int8 tier quantized the *old* weights; it must not outlive them.
+  // Re-activation goes back through the accuracy gate.
+  int8_active_ = false;
+  int8_.reset();
+}
+
+SwapGateReport ServeEngine::request_hot_swap(const nn::Model& candidate,
+                                             const nn::Tensor& clean,
+                                             const std::vector<int>& labels,
+                                             const nn::Tensor* adv) {
+  OREV_CHECK(!in_completion_,
+             "serve completions must not call back into the engine");
+  OREV_CHECK(clean.rank() >= 2 && clean.dim(0) >= 1,
+             "swap gate needs a [m, ...input_shape] evaluation set");
+  const int m = clean.dim(0);
+  OREV_CHECK(static_cast<int>(labels.size()) == m,
+             "swap gate labels must pair 1:1 with the evaluation rows");
+  if (adv != nullptr)
+    OREV_CHECK(adv->rank() >= 2 && adv->dim(0) == m,
+               "swap gate adversarial set must pair row-for-row with the "
+               "clean set");
+  // The candidate must be the same architecture identity — hardening
+  // fine-tunes a clone, it never changes shape, classes or name — so the
+  // config fingerprint (and with it every checkpoint) survives the swap.
+  OREV_CHECK(candidate.input_shape() == model_input_shape() &&
+                 candidate.num_classes() == model_num_classes() &&
+                 candidate.name() == model_name(),
+             "swap candidate must match the served model's identity");
+
+  SwapGateReport rep;
+  rep.epoch = swap_epoch_;
+  rep.eval_samples = m;
+  rep.adv_samples = adv != nullptr ? m : 0;
+  if (!cfg_.swap.enable) {
+    rep.reason = "hot swap disabled in ServeConfig";
+    swap_report_ = rep;
+    return rep;
+  }
+  rep.attempted = true;
+  auto refuse = [&](const std::string& why) {
+    rep.accepted = false;
+    rep.reason = why;
+    ++swaps_rejected_;
+    m_swap_rejected_.inc();
+    swap_report_ = rep;
+    // Rollback is implicit — nothing was installed — but the refusal is
+    // an exceptional event worth a frozen span tail, like a quant refusal.
+    obs::flight_trigger("serve.swap_reject", cfg_.name + ": " + why);
+    return rep;
+  };
+
+  // One fault decision per attempt: drop/transient refuses the swap (the
+  // operational rollback path under chaos), delay stretches the quiesce,
+  // and a crash decision fires *after* the durable commit below — the
+  // kill-point the recovery harness resumes from.
+  fault::FaultDecision fd;
+  if (fault::FaultInjector* fi = fault::effective(fault_))
+    fd = fi->decide(fault::sites::kServeSwap);
+  if (fd.kind == fault::FaultKind::kDrop ||
+      fd.kind == fault::FaultKind::kTransient)
+    return refuse("injected fault at serve.swap");
+
+  // Gate metrics: both models evaluated through the exact layer walk
+  // (replica predictions are byte-identical to it).
+  auto accuracy = [&](const std::vector<int>& preds) {
+    int hits = 0;
+    for (int i = 0; i < m; ++i)
+      if (preds[static_cast<std::size_t>(i)] ==
+          labels[static_cast<std::size_t>(i)])
+        ++hits;
+    return static_cast<double>(hits) / m;
+  };
+  nn::Model probe = candidate.clone();
+  probe.set_inference_only(true);
+  rep.acc_current = accuracy(replicas_.front().predict(clean));
+  rep.acc_candidate = accuracy(probe.predict(clean));
+  rep.clean_delta = rep.acc_current - rep.acc_candidate;
+  if (adv != nullptr) {
+    rep.asr_current = 1.0 - accuracy(replicas_.front().predict(*adv));
+    rep.asr_candidate = 1.0 - accuracy(probe.predict(*adv));
+    rep.attack_delta = rep.asr_current - rep.asr_candidate;
+  }
+
+  if (rep.clean_delta > cfg_.swap.tol_clean)
+    return refuse("clean accuracy regressed " +
+                  std::to_string(rep.clean_delta) + " > tol_clean " +
+                  std::to_string(cfg_.swap.tol_clean));
+  if (adv != nullptr && rep.attack_delta < cfg_.swap.min_attack_gain)
+    return refuse("attack-success reduction " +
+                  std::to_string(rep.attack_delta) + " < min_attack_gain " +
+                  std::to_string(cfg_.swap.min_attack_gain));
+
+  // Accepted. Quiesce first: draining completes every admitted request
+  // under the model it was admitted against, so the swap lands on a batch
+  // boundary by construction and no batch ever straddles epochs.
+  drain();
+  if (fd.kind == fault::FaultKind::kDelay)
+    busy_until_us_ = std::max(now_us_, busy_until_us_) +
+                     static_cast<std::uint64_t>(fd.delay_ms * 1000.0);
+  install_model(candidate);
+  ++swap_epoch_;
+  if (defense_ != nullptr) defense_->set_model_epoch(swap_epoch_);
+  ++swaps_accepted_;
+  m_swap_accepted_.inc();
+  rep.accepted = true;
+  rep.epoch = swap_epoch_;
+  rep.reason = "accepted";
+  swap_report_ = rep;
+
+  if (!cfg_.swap.checkpoint_dir.empty()) {
+    persist::Status st =
+        save_status(cfg_.swap.checkpoint_dir + "/engine.ckpt");
+    OREV_CHECK(st.ok(), "hot-swap engine checkpoint failed: " + st.message());
+    if (defense_ != nullptr) {
+      st = defense_->save_status(cfg_.swap.checkpoint_dir + "/defense.ckpt");
+      OREV_CHECK(st.ok(),
+                 "hot-swap defense checkpoint failed: " + st.message());
+    }
+  }
+  // Kill-point: the swap (and its checkpoints) are durably committed; a
+  // kCrash decision simulates the process dying here, the state a fresh
+  // process resumes from via load_status() + resume_hot_swap().
+  if (fd.kind == fault::FaultKind::kCrash) {
+    obs::flight_trigger("kill_point", fault::sites::kServeSwap);
+    throw fault::FaultInjectedError(fault::sites::kServeSwap);
+  }
+  return rep;
+}
+
+void ServeEngine::resume_hot_swap(const nn::Model& candidate) {
+  OREV_CHECK(candidate.input_shape() == model_input_shape() &&
+                 candidate.num_classes() == model_num_classes() &&
+                 candidate.name() == model_name(),
+             "swap candidate must match the served model's identity");
+  // No gate, no epoch bump: load_status() already restored the epoch the
+  // interrupted swap committed; this only re-materializes its replicas.
+  install_model(candidate);
+  if (defense_ != nullptr) defense_->set_model_epoch(swap_epoch_);
+}
+
 std::string ServeEngine::config_fingerprint() const {
   // cfg_.slo is deliberately absent: burn-rate/sketch settings are
   // observational and never change queueing behaviour, so engines
@@ -554,6 +764,32 @@ std::string ServeEngine::config_fingerprint() const {
     w.i32(cfg_.defense.burst_window);
     w.f64(cfg_.defense.burst_threshold);
     w.i32(cfg_.defense.finetune_capacity);
+    if (cfg_.defense.adaptive.enable) {
+      w.u8(2);
+      w.f64(cfg_.defense.adaptive.target_quantile);
+      w.f64(cfg_.defense.adaptive.margin);
+      w.u64(cfg_.defense.adaptive.warmup);
+      w.u64(cfg_.defense.adaptive.update_every);
+      w.f64(cfg_.defense.adaptive.floor_frac);
+      w.f64(cfg_.defense.adaptive.ceiling_frac);
+      w.f64(cfg_.defense.adaptive.max_step_frac);
+      w.f64(cfg_.defense.adaptive.hysteresis_frac);
+      w.f64(cfg_.defense.adaptive.sketch_alpha);
+    }
+    if (cfg_.defense.review_every > 0) {
+      w.u8(3);
+      w.u64(cfg_.defense.review_every);
+      w.f64(cfg_.defense.release_margin);
+      w.u64(cfg_.defense.review_overhead_us);
+      w.u64(cfg_.defense.review_us_per_record);
+    }
+  }
+  // Like defense: swap policy enters the fingerprint only when enabled,
+  // so pre-swap engines keep their fingerprints (and checkpoints) valid.
+  if (cfg_.swap.enable) {
+    w.u8(4);
+    w.f64(cfg_.swap.tol_clean);
+    w.f64(cfg_.swap.min_attack_gain);
   }
   const nn::Model& m = replicas_.front();
   w.str(m.name());
@@ -584,6 +820,12 @@ persist::Status ServeEngine::save_status(const std::string& path) const {
   w.u64(next_request_id_);
   w.u64(next_batch_id_);
   fw.section("slo", w.take());
+
+  persist::ByteWriter sw;
+  sw.u64(swap_epoch_);
+  sw.u64(swaps_accepted_);
+  sw.u64(swaps_rejected_);
+  fw.section("swap", sw.take());
   return fw.commit(path);
 }
 
@@ -617,11 +859,24 @@ persist::Status ServeEngine::load_status(const std::string& path) {
   st = r.finish("serve slo");
   if (!st.ok()) return st;
 
+  st = fr.section("swap", sec);
+  if (!st.ok()) return st;
+  persist::ByteReader sr(sec);
+  std::uint64_t epoch = 0, accepted = 0, rejected = 0;
+  if (!sr.u64(epoch) || !sr.u64(accepted) || !sr.u64(rejected))
+    return Status::Fail(StatusCode::kTruncated, "serve swap section truncated");
+  st = sr.finish("serve swap");
+  if (!st.ok()) return st;
+
   slo_.restore(s);
   now_us_ = now;
   busy_until_us_ = busy;
   next_request_id_ = next_req;
   next_batch_id_ = next_batch;
+  swap_epoch_ = epoch;
+  swaps_accepted_ = accepted;
+  swaps_rejected_ = rejected;
+  if (defense_ != nullptr) defense_->set_model_epoch(swap_epoch_);
   return Status::Ok();
 }
 

@@ -50,6 +50,7 @@
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 #include "serve/slo.hpp"
+#include "serve/swap.hpp"
 #include "util/check.hpp"
 #include "util/fault/fault.hpp"
 #include "util/obs/causal.hpp"
@@ -92,6 +93,10 @@ struct ServeConfig {
   /// screens every served row, quarantines flagged requests, and adds its
   /// deterministic virtual cost to the batch cost model.
   DefenseConfig defense;
+  /// Opt-in gated hot-swap of hardened models (serve/swap.hpp). Even when
+  /// enabled the current replicas keep serving until request_hot_swap()'s
+  /// accuracy/ASR gate passes.
+  SwapGateConfig swap;
   /// SLO objectives / burn-rate windows / sketch accuracy. Observational
   /// only — never changes queueing or batching — so it is deliberately
   /// excluded from config_fingerprint(): two engines differing only in
@@ -213,6 +218,50 @@ class ServeEngine {
   /// checked against the served model). Requires an enabled defense plane.
   void attach_defense_sibling(nn::Model sibling);
 
+  /// Completions for quarantined rows later cleared by review: fired once
+  /// per released record, on the driving thread, in review (= flag) order.
+  /// The handler runs under the same no-reentry rule as completions — it
+  /// must not call back into the engine.
+  using ReleaseHandler = std::function<void(const ReviewOutcome&)>;
+  void set_release_handler(ReleaseHandler handler) {
+    release_handler_ = std::move(handler);
+  }
+
+  /// Run a review pass immediately over whatever the quarantine ring
+  /// holds (end-of-workload flush; no cadence or fault gate). No-op
+  /// without a defense plane or with an empty ring.
+  void review_quarantine_now();
+
+  /// Try to promote `candidate` (same architecture identity as the served
+  /// model — typically defense::harden()'s fine-tuned clone) into the
+  /// replica pool through the swap gate (serve/swap.hpp): clean accuracy
+  /// over (`clean`, `labels`) within cfg.swap.tol_clean of the current
+  /// model and, when `adv` is given, attack success reduced by at least
+  /// cfg.swap.min_attack_gain. Acceptance drains the queue (the swap
+  /// lands on a batch boundary — no request ever straddles epochs),
+  /// installs fresh replica clones + compiled plans, retires the int8
+  /// tier, bumps the swap epoch, and — with cfg.swap.checkpoint_dir set —
+  /// durably commits engine+defense checkpoints before consulting the
+  /// "serve.swap" kill-point. Refusal (gate or injected fault) rolls back
+  /// completely: current replicas keep serving, serve.<name>.swap_rejected
+  /// increments, and a flight report freezes the span tail.
+  SwapGateReport request_hot_swap(const nn::Model& candidate,
+                                  const nn::Tensor& clean,
+                                  const std::vector<int>& labels,
+                                  const nn::Tensor* adv = nullptr);
+
+  /// Crash-recovery path: reinstall a previously accepted candidate
+  /// without the gate or an epoch bump, after load_status() restored the
+  /// epoch counter. The caller is responsible for `candidate` being the
+  /// model the interrupted swap had accepted (e.g. its own committed
+  /// model checkpoint).
+  void resume_hot_swap(const nn::Model& candidate);
+
+  std::uint64_t swap_epoch() const { return swap_epoch_; }
+  std::uint64_t swaps_accepted() const { return swaps_accepted_; }
+  std::uint64_t swaps_rejected() const { return swaps_rejected_; }
+  const SwapGateReport& swap_report() const { return swap_report_; }
+
  private:
   void finish(ServeRequest& r, int prediction, ServeStatus status,
               std::uint64_t completion_us, std::uint64_t batch_id,
@@ -227,6 +276,17 @@ class ServeEngine {
   void execute_sync_fallback(std::vector<ServeRequest>& batch,
                              std::uint64_t start_us);
   int predict_on_replica(int replica, const nn::Tensor& input);
+  /// Cadence-gated review driver, called from pump(): consults the
+  /// "defense.review" fault site (drop/transient defers the pass to the
+  /// next cadence point, delay stretches it) then runs one review pass.
+  void maybe_review_quarantine();
+  /// One review pass: charges the deterministic virtual cost, drains the
+  /// ring through DefensePlane::review (re-predicting on replica 0), and
+  /// fires the release handler for every released record.
+  void run_review(std::uint64_t extra_us);
+  /// Replace the replica pool with inference-locked clones of `candidate`,
+  /// recompile the per-replica plans, and retire the int8 tier.
+  void install_model(const nn::Model& candidate);
 
   ServeConfig cfg_;
   std::vector<nn::Model> replicas_;
@@ -245,7 +305,16 @@ class ServeEngine {
   /// driving thread in row order — never inside the replica shards — so
   /// its stateful detectors see the same sequence at every thread count.
   std::unique_ptr<DefensePlane> defense_;
+  ReleaseHandler release_handler_;
+  /// Epoch-versioned hot-swap state: the epoch counts accepted swaps and
+  /// is stamped onto quarantine records via the defense plane.
+  std::uint64_t swap_epoch_ = 0;
+  std::uint64_t swaps_accepted_ = 0;
+  std::uint64_t swaps_rejected_ = 0;
+  SwapGateReport swap_report_;
   obs::Counter& quant_rejected_;
+  obs::Counter& m_swap_accepted_;
+  obs::Counter& m_swap_rejected_;
   /// Reusable flat row buffer for the single-shard compiled hot path.
   std::vector<float> staging_;
   std::vector<Rng> replica_rngs_;

@@ -165,6 +165,10 @@ FaultPlan default_chaos_plan() {
   // engines' degraded-sync fallback is part of every chaos run.
   add(sites::kServeAdmit, FaultKind::kTransient, 0.02);
   add(sites::kServeBatch, FaultKind::kTransient, 0.02);
+  // Closed-loop defense path: occasionally refuse a hot-swap attempt
+  // (rollback must keep the fleet serving) and defer a review pass.
+  add(sites::kServeSwap, FaultKind::kTransient, 0.10);
+  add(sites::kDefenseReview, FaultKind::kTransient, 0.05);
   return plan;
 }
 

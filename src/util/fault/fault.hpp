@@ -85,6 +85,12 @@ inline constexpr const char* kO1Control = "o1.control";
 // triggering the synchronous fallback).
 inline constexpr const char* kServeAdmit = "serve.admit";
 inline constexpr const char* kServeBatch = "serve.batch";
+// Closed-loop defense sites: one "serve.swap" op per hot-swap attempt
+// (drop/transient refuses the swap — the rollback path; crash fires the
+// post-commit kill-point), one "defense.review" op per due review pass
+// (drop/transient defers the pass one cadence; delay stretches it).
+inline constexpr const char* kServeSwap = "serve.swap";
+inline constexpr const char* kDefenseReview = "defense.review";
 // Checkpoint-commit / journal-append kill-points (crash-recovery harness).
 // Each site op is one durable commit; a kCrash decision aborts the run
 // immediately *after* the commit landed on disk.

@@ -22,6 +22,8 @@
 #include <limits>
 #include <map>
 
+#include "util/persist/bytes.hpp"
+
 namespace orev::obs {
 
 class QuantileSketch {
@@ -94,6 +96,52 @@ class QuantileSketch {
     sum_ = 0.0;
     min_ = std::numeric_limits<double>::infinity();
     max_ = -std::numeric_limits<double>::infinity();
+  }
+
+  /// Checkpoint codec: alpha (bucket geometry), envelope, and the sparse
+  /// bucket map. Lets stateful consumers (the defense plane's adaptive
+  /// thresholds) resume byte-exactly — bucket counts are integers, so a
+  /// save/load round trip reproduces every future quantile exactly.
+  void save(persist::ByteWriter& w) const {
+    w.f64(alpha_);
+    w.u64(count_);
+    w.u64(zero_count_);
+    w.f64(sum_);
+    w.f64(min_);
+    w.f64(max_);
+    w.u64(buckets_.size());
+    for (const auto& [idx, n] : buckets_) {
+      w.i32(idx);
+      w.u64(n);
+    }
+  }
+
+  bool load(persist::ByteReader& r) {
+    double alpha = 0.0, sum = 0.0, mn = 0.0, mx = 0.0;
+    std::uint64_t count = 0, zeros = 0, nb = 0;
+    if (!r.f64(alpha) || !r.u64(count) || !r.u64(zeros) || !r.f64(sum) ||
+        !r.f64(mn) || !r.f64(mx) || !r.u64(nb))
+      return false;
+    if (!(alpha > 0.0 && alpha < 1.0)) return false;
+    // Each bucket entry is 12 bytes; reject counts the payload cannot hold.
+    if (nb > r.remaining() / 12) return false;
+    std::map<std::int32_t, std::uint64_t> buckets;
+    for (std::uint64_t i = 0; i < nb; ++i) {
+      std::int32_t idx = 0;
+      std::uint64_t n = 0;
+      if (!r.i32(idx) || !r.u64(n)) return false;
+      buckets[idx] = n;
+    }
+    alpha_ = alpha;
+    gamma_ = (1.0 + alpha) / (1.0 - alpha);
+    inv_log_gamma_ = 1.0 / std::log(gamma_);
+    count_ = count;
+    zero_count_ = zeros;
+    sum_ = sum;
+    min_ = mn;
+    max_ = mx;
+    buckets_ = std::move(buckets);
+    return true;
   }
 
  private:

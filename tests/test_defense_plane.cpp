@@ -644,6 +644,627 @@ TEST(ServeDefense, SiblingMustMatchTheServedModelAndAnEnabledPlane) {
                CheckError);
 }
 
+// ------------------------------------------- PR 9: closed-loop defense --
+
+/// Cluster row shifted by `delta` on every feature (delta/σ z per feature).
+nn::Tensor offset_row(Rng& rng, float delta) {
+  nn::Tensor t = cluster_row(rng);
+  for (std::size_t j = 0; j < 4; ++j) t[j] += delta;
+  return t;
+}
+
+/// [m, 4] wide clean rows (σ = 0.3): the operator-side recalibration that
+/// turns an early borderline flag into a reviewable false positive.
+nn::Tensor wide_rows(int m, std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Tensor rows({m, 4});
+  for (int i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      rows.at2(i, static_cast<int>(j)) = 0.5f + rng.normal(0.0f, 0.3f);
+  return rows;
+}
+
+TEST(NormScreen, StaleDecayDiscountsEvidenceInsteadOfExpiring) {
+  defense::NormScreenConfig hard_cfg;
+  hard_cfg.max_stale = 2;
+  defense::NormScreenConfig decay_cfg = hard_cfg;
+  decay_cfg.stale_decay = true;
+  defense::NormScreen hard(hard_cfg);
+  defense::NormScreen decay(decay_cfg);
+  calibrate_walk(hard, "flow/a", 20, 0x4a7);
+  const nn::Tensor lkg = calibrate_walk(decay, "flow/a", 20, 0x4a7);
+  nn::Tensor adv = lkg;
+  for (std::size_t j = 0; j < 4; ++j) adv[j] += 0.5f;
+
+  // Within the staleness bound the two modes are byte-identical (the LKG
+  // is at version 19, so version 21 is a lag of 2).
+  EXPECT_DOUBLE_EQ(decay.score("flow/a", 21, adv.raw(), 4),
+                   hard.score("flow/a", 21, adv.raw(), 4));
+
+  // Past the bound, hard expiry goes blind while decay keeps discounted
+  // evidence: lag 3 is exactly max_stale/lag = 2/3 of the fresh score.
+  EXPECT_EQ(hard.score("flow/a", 22, adv.raw(), 4), 0.0);
+  const double fresh = decay.score("flow/a", 21, adv.raw(), 4);
+  EXPECT_NEAR(decay.score("flow/a", 22, adv.raw(), 4), fresh * 2.0 / 3.0,
+              1e-12);
+
+  // The separation the decay exists for: an attack-sized step's huge z
+  // survives a deep discount, a natural step's modest z does not.
+  EXPECT_GT(decay.score("flow/a", 25, adv.raw(), 4), 4.0);  // lag 6, ×1/3
+  nn::Tensor natural = lkg;
+  natural[0] += 0.008f;
+  EXPECT_LT(decay.score("flow/a", 40, natural.raw(), 4), 1.0);  // lag 21
+
+  // Out-of-order submits never score, decay or not.
+  EXPECT_EQ(decay.score("flow/a", 18, adv.raw(), 4), 0.0);
+  EXPECT_EQ(hard.score("flow/a", 18, adv.raw(), 4), 0.0);
+}
+
+TEST(NormScreen, HasReferenceTracksFreshnessOrderShapeAndDecay) {
+  defense::NormScreenConfig cfg;
+  cfg.max_stale = 2;
+  defense::NormScreen hard(cfg);
+  cfg.stale_decay = true;
+  defense::NormScreen decay(cfg);
+  EXPECT_FALSE(hard.has_reference("flow/a", 0, 4));  // unknown flow
+  calibrate_walk(hard, "flow/a", 20, 0x4a8);
+  calibrate_walk(decay, "flow/a", 20, 0x4a8);
+
+  EXPECT_TRUE(hard.has_reference("flow/a", 21, 4));   // lag 2, in bound
+  EXPECT_FALSE(hard.has_reference("flow/a", 22, 4));  // lag 3, expired
+  EXPECT_TRUE(decay.has_reference("flow/a", 22, 4));  // decay: still usable
+  // Out-of-order and shape changes are unusable under either mode.
+  EXPECT_FALSE(hard.has_reference("flow/a", 18, 4));
+  EXPECT_FALSE(decay.has_reference("flow/a", 18, 4));
+  EXPECT_FALSE(hard.has_reference("flow/a", 21, 3));
+}
+
+TEST(NormScreen, ReviewScoreIsRetrospectiveAndNeverAdvancesTheReference) {
+  defense::NormScreen screen;
+  const nn::Tensor lkg = calibrate_walk(screen, "flow/a", 20, 0x4a9);
+  nn::Tensor adv = lkg;
+  for (std::size_t j = 0; j < 4; ++j) adv[j] += 0.5f;
+
+  // The retrospective distance equals the live score at the LKG's own
+  // version (no staleness penalty — the guards exist for stream events).
+  const double live = screen.score("flow/a", 20, adv.raw(), 4);
+  const double review = screen.review_score("flow/a", adv.raw(), 4);
+  EXPECT_GT(review, 4.0);
+  EXPECT_DOUBLE_EQ(review, live);
+  // Const: asking twice answers twice, the reference never moves.
+  EXPECT_DOUBLE_EQ(screen.review_score("flow/a", adv.raw(), 4), review);
+  EXPECT_EQ(screen.review_score("flow/none", adv.raw(), 4), 0.0);
+
+  // After the flow advances, the same sample re-measures against the new
+  // reference — the review always asks "how far from the LKG *now*".
+  nn::Tensor next = lkg;
+  next[0] += 0.2f;
+  screen.accept("flow/a", 21, next.raw(), 4);
+  EXPECT_NE(screen.review_score("flow/a", adv.raw(), 4), review);
+}
+
+TEST(NormScreen, StaleDecayRoundTripsThroughBytes) {
+  defense::NormScreenConfig cfg;
+  cfg.max_stale = 2;
+  cfg.stale_decay = true;
+  defense::NormScreen screen(cfg);
+  const nn::Tensor lkg = calibrate_walk(screen, "flow/a", 20, 0x4aa);
+
+  persist::ByteWriter w;
+  screen.save(w);
+  persist::ByteReader r(w.buffer());
+  defense::NormScreen loaded;
+  ASSERT_TRUE(loaded.load(r));
+
+  // The decay flag is part of the stream: the loaded screen scores a
+  // stale reference (lag 5 > max_stale) exactly like the original.
+  nn::Tensor adv = lkg;
+  for (std::size_t j = 0; j < 4; ++j) adv[j] += 0.5f;
+  const double stale = screen.score("flow/a", 24, adv.raw(), 4);
+  EXPECT_GT(stale, 0.0);
+  EXPECT_DOUBLE_EQ(loaded.score("flow/a", 24, adv.raw(), 4), stale);
+  EXPECT_TRUE(loaded.has_reference("flow/a", 24, 4));
+}
+
+// ------------------------------------------------- adaptive thresholds --
+
+defense::AdaptiveConfig fast_adaptive() {
+  defense::AdaptiveConfig cfg;
+  cfg.enable = true;
+  cfg.warmup = 8;
+  cfg.update_every = 4;
+  return cfg;
+}
+
+TEST(AdaptiveThresholds, TracksTheCleanTailInsideTheEnvelope) {
+  defense::AdaptiveThresholds at(fast_adaptive(), 6.0, 6.0, 0.9);
+  EXPECT_DOUBLE_EQ(at.dist_threshold(), 6.0);
+
+  // A clean stream whose scores sit near 1: the tracked target
+  // (margin × q0.995 ≈ 1.25) is far below the static 6.0, so the
+  // threshold ratchets down — but the floor (0.5 × 6 = 3) catches it.
+  for (int i = 0; i < 200; ++i) {
+    at.observe_accepted("flow/a", 1.0, 1.0, 0.1);
+    at.on_row();
+  }
+  EXPECT_GE(at.dist_threshold(), 3.0);   // envelope floor
+  EXPECT_LE(at.dist_threshold(), 3.35);  // converged near it
+  EXPECT_GT(at.updates(), 0u);
+  EXPECT_GT(at.clamped(), 0u);             // floor engaged
+  EXPECT_GT(at.held_by_hysteresis(), 0u);  // dead band engaged
+}
+
+TEST(AdaptiveThresholds, PatientAttackerCannotWalkPastTheCeiling) {
+  defense::AdaptiveThresholds at(fast_adaptive(), 6.0, 6.0, 0.9);
+  // Worst case: every observation the attacker sneaks under the flag line
+  // is enormous. The adapted threshold may climb, but never past
+  // ceiling_frac × static = 12.
+  for (int i = 0; i < 400; ++i) {
+    at.observe_accepted("flow/a", 100.0, 100.0, 0.89);
+    at.on_row();
+  }
+  EXPECT_GT(at.dist_threshold(), 6.0);
+  EXPECT_LE(at.dist_threshold(), 12.0);
+  EXPECT_LE(at.step_threshold("flow/a"), 12.0);
+  EXPECT_GT(at.clamped(), 0u);
+}
+
+TEST(AdaptiveThresholds, PerFlowStepThresholdsDivergeWithLocalHistory) {
+  defense::AdaptiveThresholds at(fast_adaptive(), 6.0, 4.0, 0.9);
+  // Two flows with very different natural step scales: the hot flow's
+  // local threshold must sit above the cold flow's.
+  for (int i = 0; i < 200; ++i) {
+    at.observe_accepted("flow/hot", 1.0, 5.0, 0.1);
+    at.on_row();
+    at.observe_accepted("flow/cold", 1.0, 0.2, 0.1);
+    at.on_row();
+  }
+  EXPECT_GT(at.step_threshold("flow/hot"), at.step_threshold("flow/cold"));
+  // A flow with no local history falls back to the global estimate, and
+  // the const query does not create a track for it.
+  EXPECT_DOUBLE_EQ(at.step_threshold("flow/fresh"), at.step_threshold(""));
+  EXPECT_EQ(at.flow_count(), 2u);
+}
+
+TEST(AdaptiveThresholds, RoundTripsThroughBytes) {
+  defense::AdaptiveThresholds at(fast_adaptive(), 6.0, 6.0, 0.9);
+  for (int i = 0; i < 100; ++i) {
+    at.observe_accepted("flow/a", 1.0 + 0.01 * (i % 7), 2.0, 0.1);
+    at.on_row();
+  }
+  persist::ByteWriter w;
+  at.save(w);
+  persist::ByteReader r(w.buffer());
+  defense::AdaptiveThresholds loaded;
+  ASSERT_TRUE(loaded.load(r));
+  EXPECT_DOUBLE_EQ(loaded.dist_threshold(), at.dist_threshold());
+  EXPECT_DOUBLE_EQ(loaded.ens_threshold(), at.ens_threshold());
+  EXPECT_DOUBLE_EQ(loaded.step_threshold("flow/a"),
+                   at.step_threshold("flow/a"));
+  EXPECT_EQ(loaded.updates(), at.updates());
+  EXPECT_EQ(loaded.held_by_hysteresis(), at.held_by_hysteresis());
+  EXPECT_EQ(loaded.clamped(), at.clamped());
+  EXPECT_EQ(loaded.flow_count(), at.flow_count());
+
+  persist::ByteReader torn(
+      std::string_view(w.buffer().data(), w.buffer().size() / 2));
+  defense::AdaptiveThresholds partial;
+  EXPECT_FALSE(partial.load(torn));
+}
+
+// ------------------------------------------------ quarantine review loop --
+
+TEST(FineTuneQueue, OverflowDropCountSurvivesCheckpointAndKeepsRejecting) {
+  defense::FineTuneQueue q(3);
+  for (int i = 0; i < 5; ++i)
+    q.push(nn::Tensor({2}, static_cast<float>(i)), i % 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.dropped(), 2u);
+
+  persist::ByteWriter w;
+  q.save(w);
+  persist::ByteReader r(w.buffer());
+  defense::FineTuneQueue loaded(3);
+  ASSERT_TRUE(loaded.load(r));
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.dropped(), 2u);
+  // The restored queue is still full: overflow semantics carry over.
+  EXPECT_FALSE(loaded.push(nn::Tensor({2}, 9.0f), 1));
+  EXPECT_EQ(loaded.dropped(), 3u);
+}
+
+TEST(DefensePlane, QuarantineRingWrapsAroundUnderSustainedFlood) {
+  DefenseConfig cfg = tight_defense();
+  cfg.quarantine_capacity = 4;
+  cfg.review_every = 1000;  // review mode: flag-time finetune push is off
+  DefensePlane plane(cfg, "floodtest");
+  plane.calibrate(cluster_rows(64, 0xf7));
+
+  Rng rng(0xf8);
+  for (std::uint64_t id = 1; id <= 20; ++id)
+    ASSERT_TRUE(plane.screen(id, "", 0, far_row(rng), 1).flagged) << id;
+  EXPECT_EQ(plane.flagged(), 20u);
+  EXPECT_EQ(plane.evicted(), 16u);
+  EXPECT_TRUE(plane.finetune().items().empty());
+  // The ring holds exactly the newest capacity records, oldest first.
+  ASSERT_EQ(plane.quarantine().size(), 4u);
+  EXPECT_EQ(plane.quarantine().front().request_id, 17u);
+  EXPECT_EQ(plane.quarantine().back().request_id, 20u);
+
+  // A review pass sees only the survivors — evicted rows are gone, and
+  // the counter makes that loss visible instead of silent.
+  const std::vector<serve::ReviewOutcome> outcomes =
+      plane.review([](const nn::Tensor&) { return 2; });
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes.front().request_id, 17u);
+  EXPECT_EQ(plane.reviewed(), 4u);
+  EXPECT_EQ(plane.released() + plane.confirmed(), 4u);
+  EXPECT_EQ(plane.evicted(), 16u);
+  EXPECT_TRUE(plane.quarantine().empty());
+  EXPECT_EQ(plane.review_passes(), 1u);
+}
+
+TEST(DefensePlane, ReviewReleasesRecalibratedFalsePositivesAndConfirmsAttacks) {
+  DefenseConfig cfg = tight_defense();
+  cfg.use_ensemble = false;
+  cfg.review_every = 1000;
+  DefensePlane plane(cfg, "reviewtest");
+  plane.calibrate(cluster_rows(64, 0xa1));
+
+  // Against the thin early profile a mild drift row flags (z ≈ 4.5 per
+  // feature, threshold 4)…
+  Rng rng(0xa2);
+  const nn::Tensor borderline = offset_row(rng, 0.225f);
+  const DefenseVerdict vb = plane.screen(1, "", 0, borderline, 1);
+  ASSERT_TRUE(vb.flagged);
+  // …while a genuine attack-scale row flags far harder.
+  const nn::Tensor attack = offset_row(rng, 5.0f);
+  ASSERT_TRUE(plane.screen(2, "", 0, attack, 1).flagged);
+  ASSERT_EQ(plane.quarantine().size(), 2u);
+
+  // The fleet keeps calibrating on wider clean traffic; under the richer
+  // profile the drift row is ordinary and the attack row is still absurd.
+  plane.calibrate(wide_rows(192, 0xa3));
+
+  const std::vector<serve::ReviewOutcome> outcomes =
+      plane.review([](const nn::Tensor&) { return 3; });
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].released);
+  EXPECT_EQ(outcomes[0].request_id, 1u);
+  EXPECT_EQ(outcomes[0].corrected_pred, 3);
+  EXPECT_GE(outcomes[0].original_score, 1.0);
+  EXPECT_LT(outcomes[0].review_score, cfg.release_margin);
+  EXPECT_FALSE(outcomes[1].released);
+  EXPECT_EQ(outcomes[1].corrected_pred, -1);
+  EXPECT_GE(outcomes[1].review_score, cfg.release_margin);
+
+  EXPECT_EQ(plane.released(), 1u);
+  EXPECT_EQ(plane.confirmed(), 1u);
+  // Only the confirmed record feeds hardening, under its flag-time
+  // temporal-consistency label (the primary's prediction here: no flow).
+  ASSERT_EQ(plane.finetune().size(), 1u);
+  EXPECT_EQ(plane.finetune().items().front().label, 1);
+}
+
+TEST(DefensePlane, ReseedMarginGatesAdoptionAfterReferenceLoss) {
+  DefenseConfig cfg = tight_defense();
+  cfg.use_ensemble = false;
+  cfg.max_stale = 1;
+  cfg.reseed_margin = 0.5;
+  DefensePlane plane(cfg, "reseedtest");
+  plane.calibrate(cluster_rows(64, 0xb5));
+  Rng walk_rng(0xb6);
+  nn::Tensor row({4}, 0.5f);
+  nn::Tensor walk({20, 4});
+  for (int v = 0; v < 20; ++v) {
+    walk.set_batch(v, row);
+    for (std::size_t j = 0; j < 4; ++j)
+      row[j] += walk_rng.uniform(-0.01f, 0.01f);
+  }
+  plane.calibrate_flow("flow/a", walk);  // LKG at version 19
+
+  // A sustained flag run ages the reference past max_stale = 1 (flagged
+  // rows never advance it), so the flow loses its reference.
+  Rng rng(0xb7);
+  ASSERT_TRUE(plane.screen(1, "flow/a", 21, far_row(rng), 1).flagged);
+  ASSERT_TRUE(plane.screen(2, "flow/a", 22, far_row(rng), 1).flagged);
+  ASSERT_FALSE(plane.norm_screen().has_reference("flow/a", 23, 4));
+
+  // The burst's first unflagged row is suspicious (score in
+  // [margin, 1)): it serves, but must NOT become the new reference.
+  const nn::Tensor mid = offset_row(rng, 0.15f);
+  const DefenseVerdict vm = plane.screen(3, "flow/a", 23, mid, 1);
+  ASSERT_FALSE(vm.flagged);
+  ASSERT_GE(vm.score, cfg.reseed_margin);
+  EXPECT_FALSE(plane.norm_screen().has_reference("flow/a", 24, 4));
+
+  // A clearly clean row (score < margin) re-seeds the flow.
+  const nn::Tensor clean = cluster_row(rng);
+  const DefenseVerdict vc = plane.screen(4, "flow/a", 24, clean, 1);
+  ASSERT_FALSE(vc.flagged);
+  ASSERT_LT(vc.score, cfg.reseed_margin);
+  EXPECT_TRUE(plane.norm_screen().has_reference("flow/a", 25, 4));
+}
+
+TEST(HardenCandidate, ReplayMixLearnsTheQueueWithoutTouchingTheServed) {
+  // Clean task: two tight clusters. The replay set is its own anchor.
+  const int kReplay = 16;
+  nn::Tensor replay_x({kReplay, 2});
+  std::vector<int> replay_y;
+  Rng rng(0xc1);
+  for (int i = 0; i < kReplay; ++i) {
+    const bool hi = i % 2 == 0;
+    replay_x.at2(i, 0) = (hi ? 0.8f : 0.2f) + rng.normal(0.0f, 0.02f);
+    replay_x.at2(i, 1) = (hi ? 0.8f : 0.2f) + rng.normal(0.0f, 0.02f);
+    replay_y.push_back(hi ? 1 : 0);
+  }
+  // The quarantined points live elsewhere in input space.
+  defense::FineTuneQueue q(16);
+  for (int i = 0; i < 12; ++i) {
+    nn::Tensor s({2});
+    const bool hi = i % 2 == 0;
+    s[0] = (hi ? 0.9f : 0.1f) + rng.normal(0.0f, 0.02f);
+    s[1] = (hi ? 0.1f : 0.9f) + rng.normal(0.0f, 0.02f);
+    q.push(std::move(s), hi ? 1 : 0);
+  }
+
+  nn::Model served = apps::make_kpm_dnn(2, 2, 31);
+  served.set_inference_only(true);
+  const std::vector<int> before = served.predict(replay_x);
+
+  nn::TrainConfig tc;
+  tc.max_epochs = 60;
+  tc.learning_rate = 5e-2f;
+  nn::TrainReport rep;
+  nn::Model candidate =
+      defense::harden_candidate(served, q, tc, &rep, &replay_x, &replay_y);
+  EXPECT_GT(rep.epochs_run, 0);
+
+  // The served model is untouched (hardening clones), and the candidate
+  // masters both the replay anchors and the quarantined points.
+  EXPECT_EQ(served.predict(replay_x), before);
+  const defense::FineTuneQueue::Batch b = q.batch();
+  EXPECT_GE(nn::accuracy(candidate.forward(replay_x), replay_y), 0.9);
+  EXPECT_GE(nn::accuracy(candidate.forward(b.x), b.y), 0.9);
+
+  // Replay labels must pair 1:1 with the replay rows.
+  std::vector<int> short_y(replay_y.begin(), replay_y.end() - 1);
+  EXPECT_THROW(
+      defense::harden_candidate(served, q, tc, nullptr, &replay_x, &short_y),
+      CheckError);
+}
+
+// ------------------------------------------------------ gated hot swap --
+
+/// [m, 4] evaluation probe + labels from the served model itself, so the
+/// current model's clean accuracy is exactly 1 and any disagreeing
+/// candidate regresses.
+struct SwapProbe {
+  nn::Tensor x;
+  std::vector<int> labels;
+};
+
+SwapProbe swap_probe(nn::Model served, std::uint64_t seed) {
+  Rng rng(seed);
+  SwapProbe p{nn::Tensor({32, 4}), {}};
+  for (std::size_t i = 0; i < p.x.numel(); ++i)
+    p.x[i] = rng.uniform(-1.0f, 1.0f);
+  p.labels = served.predict(p.x);
+  return p;
+}
+
+TEST(ServeSwap, GateRefusesRegressionsAndStampsEpochsOnAccept) {
+  ServeConfig cfg = defended_engine_config("swapgate");
+  cfg.swap.enable = true;
+  ServeEngine eng(kpm_model(17), cfg);
+  const SwapProbe p = swap_probe(kpm_model(17), 0xd7);
+  // A differently-initialised candidate disagrees with the labels the
+  // served model produced: the gate refuses and nothing is installed.
+  const serve::SwapGateReport bad =
+      eng.request_hot_swap(kpm_model(99), p.x, p.labels);
+  EXPECT_TRUE(bad.attempted);
+  EXPECT_FALSE(bad.accepted);
+  EXPECT_NE(bad.reason.find("clean accuracy regressed"), std::string::npos)
+      << bad.reason;
+  EXPECT_EQ(eng.swap_epoch(), 0u);
+  EXPECT_EQ(eng.swaps_rejected(), 1u);
+  EXPECT_EQ(eng.defense()->model_epoch(), 0u);
+
+  // A same-weights candidate is a zero delta: accepted, epoch advances,
+  // and the defense plane stamps new quarantine records with it.
+  const serve::SwapGateReport good =
+      eng.request_hot_swap(kpm_model(17), p.x, p.labels);
+  EXPECT_TRUE(good.accepted);
+  EXPECT_EQ(good.epoch, 1u);
+  EXPECT_DOUBLE_EQ(good.clean_delta, 0.0);
+  EXPECT_EQ(eng.swap_epoch(), 1u);
+  EXPECT_EQ(eng.swaps_accepted(), 1u);
+  EXPECT_EQ(eng.defense()->model_epoch(), 1u);
+
+  // Disabled gate: refused without attempting.
+  ServeEngine off(kpm_model(17), defended_engine_config("swapoff"));
+  const serve::SwapGateReport rep =
+      off.request_hot_swap(kpm_model(17), p.x, p.labels);
+  EXPECT_FALSE(rep.attempted);
+  EXPECT_FALSE(rep.accepted);
+
+  // A candidate with a different architecture identity can never swap in.
+  EXPECT_THROW(eng.request_hot_swap(apps::make_kpm_dnn(4, 3, 17), p.x,
+                                    p.labels),
+               CheckError);
+}
+
+TEST(ServeSwap, AcceptedSwapLandsOnABatchBoundary) {
+  ServeConfig cfg = defended_engine_config("swapboundary");
+  cfg.swap.enable = true;
+  cfg.swap.tol_clean = 1.0;  // accept any candidate: boundary is the point
+  ServeEngine eng(kpm_model(17), cfg);
+
+  // The two models must genuinely disagree somewhere for this test to
+  // prove anything.
+  Rng rng(0xd8);
+  std::vector<nn::Tensor> inputs;
+  for (int i = 0; i < 12; ++i) {
+    nn::Tensor t({4});
+    for (std::size_t j = 0; j < 4; ++j) t[j] = rng.uniform(-1.0f, 1.0f);
+    inputs.push_back(std::move(t));
+  }
+  nn::Tensor all({12, 4});
+  for (int i = 0; i < 12; ++i) all.set_batch(i, inputs[static_cast<std::size_t>(i)]);
+  const std::vector<int> old_preds = kpm_model(17).predict(all);
+  const std::vector<int> new_preds = kpm_model(99).predict(all);
+  ASSERT_NE(old_preds, new_preds);
+
+  // Four requests sit in a half-full batch when the swap request lands:
+  // the engine quiesces first, so they complete under the model they were
+  // admitted against — no batch ever straddles epochs.
+  std::vector<int> served(12, -2);
+  for (std::size_t i = 0; i < 4; ++i)
+    eng.submit(nn::Tensor(inputs[i]), [&served, i](const ServeResult& r) {
+      served[i] = r.prediction;
+    });
+  const SwapProbe p = swap_probe(kpm_model(17), 0xd9);
+  const serve::SwapGateReport rep =
+      eng.request_hot_swap(kpm_model(99), p.x, p.labels);
+  ASSERT_TRUE(rep.accepted);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(served[i], old_preds[i]) << "pre-swap request " << i;
+
+  // Everything after the boundary serves under the candidate.
+  for (std::size_t i = 4; i < 12; ++i)
+    eng.submit(nn::Tensor(inputs[i]), [&served, i](const ServeResult& r) {
+      served[i] = r.prediction;
+    });
+  eng.drain();
+  for (std::size_t i = 4; i < 12; ++i)
+    EXPECT_EQ(served[i], new_preds[i]) << "post-swap request " << i;
+}
+
+TEST(ServeSwap, InjectedTransientRefusesAndTheFleetKeepsServing) {
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  fault::FaultSpec transient;
+  transient.kind = fault::FaultKind::kTransient;
+  transient.probability = 1.0;
+  plan.sites[fault::sites::kServeSwap] = {transient};
+  fault::FaultInjector fi(plan);
+
+  ServeConfig cfg = defended_engine_config("swapfault");
+  cfg.swap.enable = true;
+  ServeEngine eng(kpm_model(17), cfg);
+  eng.set_fault_injector(&fi);
+
+  const SwapProbe p = swap_probe(kpm_model(17), 0xda);
+  const serve::SwapGateReport rep =
+      eng.request_hot_swap(kpm_model(17), p.x, p.labels);
+  EXPECT_TRUE(rep.attempted);
+  EXPECT_FALSE(rep.accepted);
+  EXPECT_NE(rep.reason.find("injected fault"), std::string::npos);
+  EXPECT_EQ(eng.swap_epoch(), 0u);
+
+  // Rollback is implicit — nothing was installed — and the fleet serves.
+  ServeResult out;
+  eng.submit(nn::Tensor({4}, 0.25f), [&out](const ServeResult& r) { out = r; });
+  eng.drain();
+  EXPECT_EQ(out.status, ServeStatus::kOk);
+  EXPECT_GE(out.prediction, 0);
+}
+
+TEST(ServeSwap, CrashKillPointResumesByteExactAgainstNeverCrashed) {
+  const std::string dir = ::testing::TempDir() + "orev_swap_ckpt";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+
+  ServeConfig cfg = defended_engine_config("swapcrash");
+  cfg.swap.enable = true;
+  cfg.swap.checkpoint_dir = dir;
+  // The kill-point only fires on the accepted path (the crash simulates
+  // dying *after* the durable commit), so the gate must pass.
+  cfg.swap.tol_clean = 1.0;
+
+  fault::FaultPlan plan;
+  plan.seed = 13;
+  fault::FaultSpec crash;
+  crash.kind = fault::FaultKind::kCrash;
+  crash.probability = 1.0;
+  plan.sites[fault::sites::kServeSwap] = {crash};
+  fault::FaultInjector fi(plan);
+
+  const SwapProbe p = swap_probe(kpm_model(17), 0xdb);
+  const std::vector<nn::Tensor> after = mixed_inputs(8, 0xdc);
+
+  // Victim: the swap durably commits (install + checkpoint), then the
+  // process "dies" at the kill-point.
+  ServeEngine victim(kpm_model(17), cfg);
+  victim.defense()->calibrate(cluster_rows(64, 0xdd));
+  victim.set_fault_injector(&fi);
+  EXPECT_THROW(victim.request_hot_swap(kpm_model(99), p.x, p.labels),
+               fault::FaultInjectedError);
+  EXPECT_EQ(victim.swap_epoch(), 1u);  // committed before the crash
+
+  // A fresh process resumes from the committed checkpoints…
+  ServeEngine resumed(kpm_model(17), cfg);
+  ASSERT_TRUE(resumed.load_status(dir + "/engine.ckpt").ok());
+  ASSERT_TRUE(resumed.defense()->load_status(dir + "/defense.ckpt").ok());
+  resumed.resume_hot_swap(kpm_model(99));
+  EXPECT_EQ(resumed.swap_epoch(), 1u);
+
+  // …and serves byte-identically to an engine that never crashed.
+  ServeConfig clean_cfg = cfg;
+  clean_cfg.swap.checkpoint_dir.clear();  // no checkpoint side effects
+  ServeEngine reference(kpm_model(17), clean_cfg);
+  reference.defense()->calibrate(cluster_rows(64, 0xdd));
+  ASSERT_TRUE(reference.request_hot_swap(kpm_model(99), p.x, p.labels)
+                  .accepted);
+
+  std::vector<ServeResult> a(after.size()), b(after.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    resumed.submit(nn::Tensor(after[i]),
+                   [&a, i](const ServeResult& r) { a[i] = r; });
+    reference.submit(nn::Tensor(after[i]),
+                     [&b, i](const ServeResult& r) { b[i] = r; });
+  }
+  resumed.drain();
+  reference.drain();
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(a[i].status, b[i].status) << i;
+    EXPECT_EQ(a[i].prediction, b[i].prediction) << i;
+    EXPECT_EQ(a[i].latency_us, b[i].latency_us) << i;
+  }
+}
+
+TEST(ServeReview, ReleaseHandlerReplaysRecalibratedFalsePositives) {
+  ServeConfig cfg = defended_engine_config("enginereview");
+  cfg.batch_max = 1;  // flush in submit: each row screens immediately
+  cfg.defense.use_ensemble = false;
+  cfg.defense.review_every = 1000;  // manual review below
+  ServeEngine eng(kpm_model(17), cfg);
+  eng.defense()->calibrate(cluster_rows(64, 0xe7));
+
+  std::vector<serve::ReviewOutcome> releases;
+  eng.set_release_handler(
+      [&releases](const serve::ReviewOutcome& o) { releases.push_back(o); });
+
+  Rng rng(0xe8);
+  ServeResult flagged_result;
+  eng.submit(offset_row(rng, 0.225f),
+             [&flagged_result](const ServeResult& r) { flagged_result = r; });
+  eng.drain();
+  ASSERT_EQ(flagged_result.status, ServeStatus::kQuarantined);
+
+  // Recalibrating on wider clean traffic turns the early flag into a
+  // reviewable false positive; the handler replays it with the serving
+  // model's corrected prediction.
+  eng.defense()->calibrate(wide_rows(192, 0xe9));
+  eng.review_quarantine_now();
+  ASSERT_EQ(releases.size(), 1u);
+  EXPECT_TRUE(releases[0].released);
+  EXPECT_GE(releases[0].corrected_pred, 0);
+  EXPECT_EQ(eng.defense()->released(), 1u);
+  EXPECT_EQ(eng.defense()->review_passes(), 1u);
+}
+
 // ------------------------------------------------ IC xApp quarantine e2e --
 
 class DefenseFakeE2Node : public oran::E2Node {
@@ -748,6 +1369,56 @@ TEST_F(DefenseRicTest, QuarantineDegradesToFailsafeAndPublishesAttestation) {
   // names it — under a co-hosted-attacker plan this is where the rogue
   // app's identity would surface.
   EXPECT_NE(alert.find("writer=ric-platform"), std::string::npos) << alert;
+}
+
+TEST_F(DefenseRicTest, ReviewReleaseReplaysThroughTheDecisionPath) {
+  auto app = std::make_shared<apps::IcXApp>(
+      kpm_model(), oran::IndicationKind::kKpm, /*fixed_mcs_index=*/13);
+  const std::string app_id = onboard("ic");
+  ASSERT_TRUE(ric_.register_xapp(app, app_id, 10));
+
+  ServeConfig cfg = defended_engine_config("icrelease");
+  cfg.batch_max = 1;
+  cfg.defense.use_ensemble = false;
+  cfg.defense.review_every = 1000;  // reviews run manually below
+  ServeEngine eng(kpm_model(), cfg);
+  eng.defense()->calibrate(cluster_rows(64, 0xf3));
+  app->set_serve_engine(&eng);
+  app->enable_release_channel(ric_);
+
+  // Clean traffic, then one mild drift row the thin profile flags: the
+  // xApp degrades to fail-safe and attests, as in the quarantine test.
+  Rng rng(0xf4);
+  for (std::uint64_t tti = 1; tti <= 3; ++tti)
+    ric_.deliver_indication(kpm_indication(cluster_row(rng), tti));
+  ric_.deliver_indication(kpm_indication(offset_row(rng, 0.225f), 4));
+  eng.drain();
+  ASSERT_EQ(app->serve_quarantined(), 1u);
+  ASSERT_EQ(app->predictions_made(), 3u);
+  ASSERT_EQ(node_.controls.size(), 4u);
+
+  // Operator-side recalibration reveals the flag as a false positive; the
+  // review releases it and the xApp replays it through the normal
+  // decision path — prediction published, control issued, and a
+  // correcting attestation superseding the quarantine alert.
+  eng.defense()->calibrate(wide_rows(192, 0xf5));
+  eng.review_quarantine_now();
+  EXPECT_EQ(app->serve_released(), 1u);
+  EXPECT_EQ(app->predictions_made(), 4u);
+  EXPECT_EQ(node_.controls.size(), 5u);
+
+  std::string decision;
+  ASSERT_EQ(ric_.sdl().read_text(app_id, oran::kNsDecisions, "ic/ran-1",
+                                 decision),
+            oran::SdlStatus::kOk);
+  EXPECT_NE(decision, "failsafe");
+
+  std::string alert;
+  ASSERT_EQ(ric_.sdl().read_text(app_id, oran::kNsDefenseAlerts,
+                                 app_id + "/ran-1", alert),
+            oran::SdlStatus::kOk);
+  EXPECT_NE(alert.find("released"), std::string::npos) << alert;
+  EXPECT_NE(alert.find("epoch=0"), std::string::npos) << alert;
 }
 
 }  // namespace
