@@ -19,6 +19,7 @@
 
 #include "apps/ic_xapp.hpp"
 #include "apps/power_saving_rapp.hpp"
+#include "citysim/citysim.hpp"
 #include "nn/blocks.hpp"
 #include "nn/layers.hpp"
 #include "oran/near_rt_ric.hpp"
@@ -348,6 +349,76 @@ NonRtResult run_non_rt(const fault::FaultPlan& plan, bool recover,
   return out;
 }
 
+// --------------------------------------------- city-scale emulation phase
+
+struct CitySimResult {
+  std::uint64_t events = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t frame_retries = 0;
+  std::uint64_t handovers_cross = 0;
+  double avail = 0.0;
+  std::string event_digest;
+  std::string injector_stats;
+};
+
+/// The sharded simulator (DESIGN.md §16) under the same plan: the
+/// citysim.event drop/transient lines are live at every barrier delivery.
+/// Transients are redelivered (the report stays buffered) so only hard
+/// drops cost availability; the digest stays the one reliable runs
+/// produce because faults act on delivery, not on the event schedule.
+/// Fully deterministic given the plan seed — the CI chaos smoke diffs
+/// every field.
+CitySimResult run_citysim(const fault::FaultPlan& plan,
+                          std::uint64_t epochs) {
+  fault::FaultInjector injector(plan);
+  citysim::CityConfig cfg;
+  cfg.cells = 200;
+  cfg.ues = 5000;
+  cfg.shards = 8;
+  citysim::CitySim sim(cfg);
+  sim.set_fault_injector(&injector);
+  sim.run_epochs(epochs);
+  const citysim::CityStats s = sim.stats();
+  CitySimResult out;
+  out.events = s.events;
+  out.reports = s.reports;
+  out.frames_delivered = s.frames_delivered;
+  out.frames_lost = s.frames_lost;
+  out.frame_retries = s.frame_retries;
+  out.handovers_cross = s.handovers_cross;
+  out.avail = sim.availability();
+  out.event_digest = sim.event_digest();
+  out.injector_stats = injector.stats_json();
+  return out;
+}
+
+void append_citysim_json(std::string& json, const char* name,
+                         const CitySimResult& r) {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"%s\": {\n"
+      "    \"events\": %llu,\n"
+      "    \"reports\": %llu,\n"
+      "    \"frames_delivered\": %llu,\n"
+      "    \"frames_lost\": %llu,\n"
+      "    \"frame_retries\": %llu,\n"
+      "    \"handovers_cross\": %llu,\n"
+      "    \"availability\": %.6f,\n"
+      "    \"event_digest\": \"%s\",\n",
+      name, static_cast<unsigned long long>(r.events),
+      static_cast<unsigned long long>(r.reports),
+      static_cast<unsigned long long>(r.frames_delivered),
+      static_cast<unsigned long long>(r.frames_lost),
+      static_cast<unsigned long long>(r.frame_retries),
+      static_cast<unsigned long long>(r.handovers_cross), r.avail,
+      r.event_digest.c_str());
+  json += buf;
+  json += "    \"faults\": " + r.injector_stats + "\n  },\n";
+}
+
 void append_near_rt_json(std::string& json, const char* name,
                          const NearRtResult& r) {
   char buf[1280];
@@ -494,6 +565,7 @@ int main(int argc, char** argv) {
   const NearRtResult without = run_near_rt(plan, /*recover=*/false, iters);
   const NonRtResult nwith = run_non_rt(plan, true, periods);
   const NonRtResult nwithout = run_non_rt(plan, false, periods);
+  const CitySimResult city = run_citysim(plan, /*epochs=*/10);
 
   std::printf("\n%-26s %-14s %-14s\n", "near-RT loop", "with recovery",
               "without");
@@ -530,12 +602,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(nwith.policies_sent),
               static_cast<unsigned long long>(nwithout.policies_delivered),
               static_cast<unsigned long long>(nwithout.policies_sent));
+  std::printf("\n%-26s %-14.4f\n", "citysim frame avail.", city.avail);
+  std::printf("%-26s %llu delivered, %llu lost, %llu retried over %llu "
+              "reports\n",
+              "citysim frames",
+              static_cast<unsigned long long>(city.frames_delivered),
+              static_cast<unsigned long long>(city.frames_lost),
+              static_cast<unsigned long long>(city.frame_retries),
+              static_cast<unsigned long long>(city.reports));
 
   std::string json = "{\n";
   append_near_rt_json(json, "near_rt_with_recovery", with);
   append_near_rt_json(json, "near_rt_without_recovery", without);
   append_non_rt_json(json, "non_rt_with_recovery", nwith);
   append_non_rt_json(json, "non_rt_without_recovery", nwithout);
+  append_citysim_json(json, "citysim", city);
   char tail[128];
   std::snprintf(tail, sizeof(tail), "  \"plan_seed\": %llu\n}\n",
                 static_cast<unsigned long long>(plan.seed));
@@ -601,6 +682,21 @@ int main(int argc, char** argv) {
                  "review passes %llu)\n",
                  static_cast<unsigned long long>(with.defense_screened),
                  static_cast<unsigned long long>(with.review_passes));
+    return 1;
+  }
+  // City-scale plane: the plan's citysim.event lines must have fired (the
+  // site is exercised, retries recovered the transients) while frame
+  // availability clears the same bar the control loop does.
+  if (city.avail < 0.99) {
+    std::fprintf(stderr, "FAIL: citysim frame availability %.4f < 0.99\n",
+                 city.avail);
+    return 1;
+  }
+  if (city.frames_lost + city.frame_retries == 0) {
+    std::fprintf(stderr,
+                 "FAIL: citysim fault site never fired under the chaos "
+                 "plan (%llu reports)\n",
+                 static_cast<unsigned long long>(city.reports));
     return 1;
   }
   std::printf("loop availability %.4f with recovery vs %.4f without — "

@@ -36,13 +36,17 @@
 // run; `--serve-baseline BENCH_SERVE_<date>.json` diffs the serving
 // bench's unbatched/served throughput; `--defense-baseline
 // BENCH_DEFENSE_<date>.json` echoes the committed defense bench's
-// closed-loop AUC / release-rate / swap and overhead numbers. Deltas are
-// informational — the gates live in each bench's own pass criteria.
+// closed-loop AUC / release-rate / swap and overhead numbers;
+// `--cityscale-baseline BENCH_CITYSCALE_<date>.json` echoes the committed
+// city-scale emulation numbers (UEs/sec, codec paths, SDL striping).
+// Deltas are informational — the gates live in each bench's own pass
+// criteria.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <string>
 
@@ -52,7 +56,9 @@
 #include "nn/layers.hpp"
 #include "oran/near_rt_ric.hpp"
 #include "oran/onboarding.hpp"
+#include "oran/sdl.hpp"
 #include "serve/serve.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -274,6 +280,54 @@ void run_defense(int batches) {
           obs::counter("serve.perfdef.quant_rejected").value()));
 }
 
+void run_sdl_stripes(int writes_per_worker) {
+  // Striped-SDL contention probe (DESIGN.md §16): 8 writers on 4 threads
+  // hammering 4 KB in-place tensor writes, once against a single-stripe
+  // store (forced collisions — fills oran.sdl.lock_wait_ns, which records
+  // only *contended* stripe acquisitions) and once against the default
+  // striping (the healthy shape), so stripe health appears in the same
+  // report the latency trajectory does.
+  oran::Rbac rbac;
+  rbac.define_role("perf-writer",
+                   {oran::Permission{"*", /*read=*/true, /*write=*/true}});
+  rbac.assign_role("perf", "perf-writer");
+  constexpr int kPayloadFloats = 16384;
+  constexpr int kWorkers = 8;
+  const nn::Shape shape{kPayloadFloats};
+  util::set_num_threads(4);
+  for (const std::size_t stripes : {std::size_t{1},
+                                    oran::Sdl::kDefaultStripes}) {
+    oran::Sdl sdl(&rbac, stripes);
+    std::vector<std::string> keys;
+    std::vector<std::vector<float>> bufs;
+    for (int w = 0; w < kWorkers; ++w) {
+      keys.push_back("cell-" + std::to_string(w));
+      bufs.emplace_back(kPayloadFloats, static_cast<float>(w));
+      OREV_CHECK(sdl.write_tensor_inplace(
+                     "perf", "telemetry/kpm", keys.back(), shape,
+                     std::span<const float>(bufs.back())) ==
+                     oran::SdlStatus::kOk,
+                 "seed write must succeed");
+    }
+    util::parallel_for(0, kWorkers, 1, [&](std::int64_t w) {
+      for (int i = 0; i < writes_per_worker; ++i) {
+        bufs[static_cast<std::size_t>(w)][0] = static_cast<float>(i);
+        OREV_CHECK(
+            sdl.write_tensor_inplace(
+                "perf", "telemetry/kpm", keys[static_cast<std::size_t>(w)],
+                shape,
+                std::span<const float>(bufs[static_cast<std::size_t>(w)])) ==
+                oran::SdlStatus::kOk,
+            "stripe write must succeed");
+      }
+    });
+    std::printf("[sdl] stripes=%zu contended=%llu over %d writes\n", stripes,
+                static_cast<unsigned long long>(sdl.total_contentions()),
+                kWorkers * writes_per_worker);
+  }
+  util::set_num_threads(1);
+}
+
 void print_hist(const char* name, const char* unit = "ms") {
   const obs::Histogram::Snapshot s = obs::histogram(name).snapshot();
   std::printf("%-24s n=%6llu  p50=%9.4f %s  p95=%9.4f %s  p99=%9.4f %s\n",
@@ -396,6 +450,33 @@ void diff_against_serve_baseline(const std::string& path) {
               "echoes the committed numbers for context)\n");
 }
 
+void diff_against_cityscale_baseline(const std::string& path) {
+  const std::string json = read_file(path);
+  if (json.empty()) {
+    std::printf("[cityscale-baseline] cannot read %s — skipping diff\n",
+                path.c_str());
+    return;
+  }
+  // The cityscale report's "scale" array opens with the single-thread run;
+  // the name scan lands on that first object. "copy"/"move"/"binary" only
+  // occur inside the codec section, "striped" inside the sdl section.
+  std::printf("--- cityscale emulation vs %s ---\n", path.c_str());
+  std::printf("%-26s ue_epochs/s=%.3e  ind/s=%.3e\n", "scale baseline (1 thr)",
+              baseline_field(json, "scale", "ue_epochs_per_sec"),
+              baseline_field(json, "scale", "indications_per_sec"));
+  for (const char* side : {"copy", "move", "binary"}) {
+    std::printf("%-26s inds/s=%.3e  allocs/ind=%.2f\n",
+                (std::string("codec ") + side).c_str(),
+                baseline_field(json, side, "inds_per_sec"),
+                baseline_field(json, side, "allocs_per_ind"));
+  }
+  std::printf("%-26s writes/s=%.3e  contentions=%.0f\n", "sdl striped",
+              baseline_field(json, "striped", "writes_per_sec"),
+              baseline_field(json, "striped", "contentions"));
+  std::printf("(rerun bench_cityscale --report-out to refresh; this run only "
+              "echoes the committed numbers for context)\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -407,6 +488,7 @@ int main(int argc, char** argv) {
   std::string baseline;
   std::string serve_baseline;
   std::string defense_baseline;
+  std::string cityscale_baseline;
   {
     int w = 1;
     for (int r = 1; r < argc; ++r) {
@@ -424,6 +506,11 @@ int main(int argc, char** argv) {
         defense_baseline = argv[++r];
       } else if (std::strncmp(argv[r], "--defense-baseline=", 19) == 0) {
         defense_baseline = argv[r] + 19;
+      } else if (std::strcmp(argv[r], "--cityscale-baseline") == 0 &&
+                 r + 1 < argc) {
+        cityscale_baseline = argv[++r];
+      } else if (std::strncmp(argv[r], "--cityscale-baseline=", 21) == 0) {
+        cityscale_baseline = argv[r] + 21;
       } else {
         argv[w++] = argv[r];
       }
@@ -439,6 +526,7 @@ int main(int argc, char** argv) {
   run_attack(/*samples=*/64);
   run_serve(/*batches=*/300);
   run_defense(/*batches=*/300);
+  run_sdl_stripes(/*writes_per_worker=*/2000);
 
   print_rule();
   print_hist("perf.matmul64_ms");
@@ -447,6 +535,7 @@ int main(int argc, char** argv) {
   print_hist("attack.batch.sample_ms");
   print_hist("perf.serve_batch_ms");
   print_hist("perf.defense_screen_ms");
+  print_hist("oran.sdl.lock_wait_ns", "ns");
   print_rule();
   // Sketch-derived quantiles (relative-error guarantee, no bucket bias).
   print_sketch("perf.matmul64_ms_q");
@@ -466,6 +555,10 @@ int main(int argc, char** argv) {
   }
   if (!defense_baseline.empty()) {
     diff_against_defense_baseline(defense_baseline);
+    print_rule();
+  }
+  if (!cityscale_baseline.empty()) {
+    diff_against_cityscale_baseline(cityscale_baseline);
     print_rule();
   }
   std::printf("run with --metrics-out BENCH_<date>.json to save the report\n");

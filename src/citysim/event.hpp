@@ -1,0 +1,44 @@
+// Discrete-event machinery for the city-scale RAN simulator.
+//
+// Each shard owns a binary-heap event queue ordered by the total key
+// (virtual time, shard, sequence number). The sequence number is assigned
+// at push time from a per-shard monotonic counter, which makes the pop
+// order of duplicate-timestamp events a pure function of schedule history
+// — the tie-break the golden digest tests lock down. Keys are unique
+// (seq is unique within a shard), so pop order is independent of the
+// heap's internal array layout and therefore of how the heap was built
+// (incrementally during a run or re-seeded from a checkpoint).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace orev::citysim {
+
+enum class EventType : std::uint8_t {
+  kUeMove = 0,      // one UE's next mobility step
+  kCellReport = 1,  // one cell's periodic KPM report
+};
+
+struct Event {
+  std::uint64_t time_us = 0;  // virtual time
+  std::uint32_t shard = 0;    // owner shard at schedule time
+  std::uint64_t seq = 0;      // per-shard schedule counter (tie-break)
+  EventType type = EventType::kUeMove;
+  std::uint32_t ue = 0;    // kUeMove
+  std::uint32_t cell = 0;  // kCellReport
+};
+
+/// Min-heap order on (time, shard, seq).
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time_us != b.time_us) return a.time_us > b.time_us;
+    if (a.shard != b.shard) return a.shard > b.shard;
+    return a.seq > b.seq;
+  }
+};
+
+using EventHeap = std::priority_queue<Event, std::vector<Event>, EventAfter>;
+
+}  // namespace orev::citysim

@@ -1,7 +1,10 @@
 #include "oran/near_rt_ric.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdio>
 
+#include "oran/e2_codec.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/obs/obs.hpp"
@@ -80,6 +83,9 @@ bool NearRtRic::deliver_indication(const E2Indication& ind) {
       "oran.e2.indications_duplicated", "E2 indications duplicated in transport");
   static obs::Counter& corrupted = obs::counter(
       "oran.e2.indications_corrupted", "E2 indication payloads corrupted");
+  static obs::Counter& ind_bytes = obs::counter(
+      "oran.e2.indication_bytes",
+      "telemetry payload bytes carried by delivered E2 indications");
   OREV_TRACE_SPAN_CAT("e2.deliver_indication", "oran");
 
   // Transport fate of this indication (drop / delay / duplicate / corrupt).
@@ -117,6 +123,7 @@ bool NearRtRic::deliver_indication(const E2Indication& ind) {
 
   for (int copy = 0; copy < copies; ++copy) {
     indications.inc();
+    ind_bytes.inc(effective->payload.numel() * sizeof(float));
     ++indications_;
     // Causal root for this delivery: trace id from the platform-wide
     // delivery sequence number (duplicated copies get distinct traces),
@@ -154,6 +161,210 @@ bool NearRtRic::deliver_indication(const E2Indication& ind) {
                " attempt(s); dispatching degraded");
     }
     dispatch_all(*effective, transport_delay_ms, root);
+  }
+  return true;
+}
+
+bool NearRtRic::deliver_indication(E2Indication&& ind) {
+  static obs::Counter& indications =
+      obs::counter("oran.e2.indications", "E2 indications delivered");
+  static obs::Counter& dropped = obs::counter(
+      "oran.e2.indications_dropped", "E2 indications lost in transport");
+  static obs::Counter& duplicated = obs::counter(
+      "oran.e2.indications_duplicated", "E2 indications duplicated in transport");
+  static obs::Counter& corrupted = obs::counter(
+      "oran.e2.indications_corrupted", "E2 indication payloads corrupted");
+  static obs::Counter& ind_bytes = obs::counter(
+      "oran.e2.indication_bytes",
+      "telemetry payload bytes carried by delivered E2 indications");
+  OREV_TRACE_SPAN_CAT("e2.deliver_indication", "oran");
+
+  // Owned payload: corruption perturbs it in place (no defensive copy),
+  // and the final SDL write moves the buffer instead of copying it.
+  int copies = 1;
+  double transport_delay_ms = 0.0;
+  if (fault::FaultInjector* fi = fault::effective(fault_)) {
+    const fault::FaultDecision d = fi->decide(fault::sites::kE2Indication);
+    switch (d.kind) {
+      case fault::FaultKind::kDrop:
+        ++indications_dropped_;
+        dropped.inc();
+        return false;
+      case fault::FaultKind::kDuplicate:
+        copies = 2;
+        duplicated.inc();
+        break;
+      case fault::FaultKind::kDelay:
+        transport_delay_ms = d.delay_ms;
+        break;
+      case fault::FaultKind::kCorrupt: {
+        corrupted.inc();
+        Rng rng(d.payload_seed);
+        for (std::size_t i = 0; i < ind.payload.numel(); ++i)
+          ind.payload[i] += rng.normal(0.0f, d.corrupt_scale);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  const char* ns = ind.kind == IndicationKind::kSpectrogram ? kNsSpectrogram
+                                                            : kNsKpm;
+  const std::string key = ind.ran_node_id + "/current";
+  for (int copy = 0; copy < copies; ++copy) {
+    indications.inc();
+    ind_bytes.inc(ind.payload.numel() * sizeof(float));
+    ++indications_;
+    obs::TraceContext root;
+    if (obs::causal_enabled()) {
+      root = obs::causal_root(
+          obs::derive_trace_id(obs::domains::kE2, indications_),
+          "e2.indication", obs::lanes::kIndication, indications_ * 1000);
+    }
+    const bool last = copy + 1 == copies;
+    const fault::RetryOutcome rc =
+        fault::retry_call(retry_, retry_ops_++, [&] {
+          // The rvalue SDL overload consumes the tensor only on commit,
+          // so re-moving it on a retry after kUnavailable is sound. A
+          // duplicated first copy still has to copy (the second needs
+          // the payload too).
+          const SdlStatus st =
+              last ? sdl_.write_tensor(kRicPlatformId, ns, key,
+                                       std::move(ind.payload))
+                   : sdl_.write_tensor(kRicPlatformId, ns, key, ind.payload);
+          switch (st) {
+            case SdlStatus::kOk: return fault::TryResult::kOk;
+            case SdlStatus::kUnavailable: return fault::TryResult::kTransient;
+            default: return fault::TryResult::kFatal;
+          }
+        });
+    if (!rc.success) {
+      static obs::Counter& write_failures = obs::counter(
+          "oran.e2.sdl_write_failures",
+          "platform telemetry writes that failed after retries");
+      ++sdl_write_failures_;
+      write_failures.inc();
+      log_warn("platform SDL write failed after ", rc.attempts,
+               " attempt(s); dispatching degraded");
+    }
+    // After the last write the payload has been moved into the SDL; the
+    // dispatched indication is metadata-only, which is all apps consume.
+    dispatch_all(ind, transport_delay_ms, root);
+  }
+  return true;
+}
+
+bool NearRtRic::deliver_kpm_frame(std::string_view frame) {
+  static obs::Counter& frames =
+      obs::counter("oran.e2.kpm_frames", "binary KPM frames delivered");
+  static obs::Counter& rejected = obs::counter(
+      "oran.e2.kpm_frames_rejected",
+      "binary KPM frames rejected by the decoder");
+  static obs::Counter& ind_bytes = obs::counter(
+      "oran.e2.indication_bytes",
+      "telemetry payload bytes carried by delivered E2 indications");
+  static obs::Counter& indications =
+      obs::counter("oran.e2.indications", "E2 indications delivered");
+  static obs::Counter& dropped = obs::counter(
+      "oran.e2.indications_dropped", "E2 indications lost in transport");
+  static obs::Counter& duplicated = obs::counter(
+      "oran.e2.indications_duplicated", "E2 indications duplicated in transport");
+  static obs::Counter& corrupted = obs::counter(
+      "oran.e2.indications_corrupted", "E2 indication payloads corrupted");
+  OREV_TRACE_SPAN_CAT("e2.deliver_kpm_frame", "oran");
+
+  KpmFrameView view;
+  if (decode_kpm_frame(frame, view) != KpmDecodeStatus::kOk) {
+    ++frames_rejected_;
+    rejected.inc();
+    return false;
+  }
+
+  // Materialise into the reusable scratch (no allocation at steady state).
+  kpm_features_.resize(view.feature_count);
+  view.copy_features(kpm_features_);
+  kpm_scratch_.tti = view.tti;
+  kpm_scratch_.kind = view.kind;
+  // The node id and SDL key only depend on the cell; a stream of frames
+  // from one cell (the steady state per E2 association) reformats neither.
+  if (view.cell_id != kpm_cell_id_ || kpm_scratch_.ran_node_id.empty()) {
+    kpm_cell_id_ = view.cell_id;
+    char idbuf[16];
+    char* id_end = std::to_chars(idbuf, idbuf + sizeof idbuf,
+                                 view.cell_id).ptr;
+    kpm_scratch_.ran_node_id.assign("cell-");
+    kpm_scratch_.ran_node_id.append(idbuf,
+                                    static_cast<std::size_t>(id_end - idbuf));
+    kpm_key_.assign(kpm_scratch_.ran_node_id);
+    kpm_key_.append("/current");
+  }
+  kpm_scratch_.trace = obs::TraceContext{};
+  if (kpm_shape_.size() != 1 ||
+      kpm_shape_[0] != static_cast<int>(view.feature_count))
+    kpm_shape_ = nn::Shape{static_cast<int>(view.feature_count)};
+
+  int copies = 1;
+  double transport_delay_ms = 0.0;
+  if (fault::FaultInjector* fi = fault::effective(fault_)) {
+    const fault::FaultDecision d = fi->decide(fault::sites::kE2Indication);
+    switch (d.kind) {
+      case fault::FaultKind::kDrop:
+        ++indications_dropped_;
+        dropped.inc();
+        return false;
+      case fault::FaultKind::kDuplicate:
+        copies = 2;
+        duplicated.inc();
+        break;
+      case fault::FaultKind::kDelay:
+        transport_delay_ms = d.delay_ms;
+        break;
+      case fault::FaultKind::kCorrupt: {
+        corrupted.inc();
+        Rng rng(d.payload_seed);
+        for (float& f : kpm_features_) f += rng.normal(0.0f, d.corrupt_scale);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  const char* ns = kpm_scratch_.kind == IndicationKind::kSpectrogram
+                       ? kNsSpectrogram
+                       : kNsKpm;
+  for (int copy = 0; copy < copies; ++copy) {
+    frames.inc();
+    ind_bytes.inc(frame.size());
+    indications.inc();
+    ++indications_;
+    obs::TraceContext root;
+    if (obs::causal_enabled()) {
+      root = obs::causal_root(
+          obs::derive_trace_id(obs::domains::kE2, indications_),
+          "e2.indication", obs::lanes::kIndication, indications_ * 1000);
+    }
+    const fault::RetryOutcome rc =
+        fault::retry_call(retry_, retry_ops_++, [&] {
+          switch (sdl_.write_tensor_inplace(
+              kRicPlatformId, ns, kpm_key_, kpm_shape_,
+              std::span<const float>(kpm_features_))) {
+            case SdlStatus::kOk: return fault::TryResult::kOk;
+            case SdlStatus::kUnavailable: return fault::TryResult::kTransient;
+            default: return fault::TryResult::kFatal;
+          }
+        });
+    if (!rc.success) {
+      static obs::Counter& write_failures = obs::counter(
+          "oran.e2.sdl_write_failures",
+          "platform telemetry writes that failed after retries");
+      ++sdl_write_failures_;
+      write_failures.inc();
+      log_warn("platform SDL write failed after ", rc.attempts,
+               " attempt(s); dispatching degraded");
+    }
+    dispatch_all(kpm_scratch_, transport_delay_ms, root);
   }
   return true;
 }

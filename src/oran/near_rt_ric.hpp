@@ -100,6 +100,25 @@ class NearRtRic {
   /// drop (the RAN side may retransmit).
   bool deliver_indication(const E2Indication& ind);
 
+  /// Move-in delivery: identical flow, but the payload buffer is moved
+  /// (not copied) into the platform SDL write, so the tensor allocation
+  /// made by the RAN side is the only one on the whole path. The
+  /// indication handed to xApps afterwards carries an empty payload —
+  /// apps read telemetry through the SDL (read_telemetry), never from
+  /// the in-flight message, which is exactly the paper's attack surface.
+  bool deliver_indication(E2Indication&& ind);
+
+  /// Binary KPM hot path (DESIGN.md §16): decode one e2_codec frame and
+  /// deliver it with zero per-message allocation at steady state — the
+  /// decoded features land in a reusable scratch buffer and the SDL write
+  /// goes through write_tensor_inplace. Malformed frames (truncated, bit
+  /// flipped, wrong magic/version) are rejected and counted, never
+  /// dispatched. Returns false on rejection or injected transport drop.
+  bool deliver_kpm_frame(std::string_view frame);
+
+  /// Frames rejected by the binary decoder since construction.
+  std::uint64_t frames_rejected() const { return frames_rejected_; }
+
   /// xApp-facing control path back to the connected E2 node. Transient
   /// transport faults are retried under the retry policy; drops and
   /// exhausted retries are counted and the control is lost.
@@ -177,6 +196,14 @@ class NearRtRic {
   fault::BreakerConfig breaker_cfg_;
   std::map<std::string, fault::CircuitBreaker> breakers_;
   std::uint64_t retry_ops_ = 0;
+  std::uint64_t frames_rejected_ = 0;
+  // Reusable scratch for the binary KPM path: after the first frame at a
+  // node's steady-state feature count, delivery allocates nothing.
+  E2Indication kpm_scratch_;
+  std::vector<float> kpm_features_;
+  nn::Shape kpm_shape_;
+  std::string kpm_key_;
+  std::uint32_t kpm_cell_id_ = 0;  // last formatted cell (scratch validity)
   std::uint64_t indications_dropped_ = 0;
   std::uint64_t sdl_write_failures_ = 0;
   std::uint64_t controls_dropped_ = 0;

@@ -1,5 +1,8 @@
 #include "oran/sdl.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "nn/serialize.hpp"
 #include "util/check.hpp"
 #include "util/obs/obs.hpp"
@@ -21,10 +24,79 @@ std::string journal_path(const std::string& dir) {
   return dir + "/sdl_journal.log";
 }
 
+/// Stable stripe hash: FNV-1a over ns, a separator byte no key contains a
+/// requirement on, and the key. Depends only on the bytes — the property
+/// that keeps stripe assignment identical across runs, processes and
+/// stripe-count migrations (modulo the count itself).
+std::uint64_t fnv1a(const std::string& ns, const std::string& key) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(ns);
+  h ^= 0x1f;
+  h *= 0x100000001b3ull;
+  mix(key);
+  return h;
+}
+
+/// Lock-wait distribution in nanoseconds: only contended acquisitions are
+/// observed, so an uncontended (historical single-threaded) workload
+/// leaves the histogram empty instead of burying contention in zeros.
+obs::Histogram& lock_wait_hist() {
+  static obs::Histogram& h = obs::histogram(
+      "oran.sdl.lock_wait_ns",
+      {100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8},
+      "nanoseconds spent waiting for a contended SDL stripe mutex");
+  return h;
+}
+
 }  // namespace
 
-Sdl::Sdl(const Rbac* rbac) : rbac_(rbac) {
+Sdl::Sdl(const Rbac* rbac, std::size_t stripes) : rbac_(rbac) {
   OREV_CHECK(rbac != nullptr, "SDL requires an RBAC engine");
+  OREV_CHECK(stripes > 0, "SDL needs at least one stripe");
+  stripes_.reserve(stripes);
+  for (std::size_t i = 0; i < stripes; ++i)
+    stripes_.push_back(std::make_unique<Stripe>());
+  lock_wait_hist();  // register the metric even if never contended
+}
+
+std::size_t Sdl::stripe_of(const std::string& ns,
+                           const std::string& key) const {
+  return static_cast<std::size_t>(fnv1a(ns, key) % stripes_.size());
+}
+
+std::uint64_t Sdl::stripe_contentions(std::size_t stripe) const {
+  OREV_CHECK(stripe < stripes_.size(), "stripe index out of range");
+  return stripes_[stripe]->contentions.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Sdl::total_contentions() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stripes_)
+    total += s->contentions.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::unique_lock<std::mutex> Sdl::lock_stripe(std::size_t i) const {
+  Stripe& s = *stripes_[i];
+  std::unique_lock<std::mutex> lk(s.mu, std::try_to_lock);
+  if (lk.owns_lock()) return lk;
+  s.contentions.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& contended = obs::counter(
+      "oran.sdl.stripe_contended",
+      "SDL stripe acquisitions that found the mutex held");
+  contended.inc();
+  const auto t0 = std::chrono::steady_clock::now();
+  lk.lock();
+  const auto t1 = std::chrono::steady_clock::now();
+  lock_wait_hist().observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  return lk;
 }
 
 bool Sdl::check(const std::string& app_id, const std::string& ns,
@@ -43,6 +115,7 @@ bool Sdl::check(const std::string& app_id, const std::string& ns,
   (op == Op::kRead ? reads : writes).inc();
   const bool ok = rbac_->allowed(app_id, ns, op);
   if (!ok) denied.inc();
+  std::lock_guard<std::mutex> lock(audit_mu_);
   audit_.push_back(AuditRecord{app_id, ns, key, op, ok});
   while (audit_.size() > audit_capacity_) {
     audit_.pop_front();
@@ -54,6 +127,7 @@ bool Sdl::check(const std::string& app_id, const std::string& ns,
 
 void Sdl::set_audit_capacity(std::size_t capacity) {
   OREV_CHECK(capacity > 0, "audit capacity must be positive");
+  std::lock_guard<std::mutex> lock(audit_mu_);
   audit_capacity_ = capacity;
   while (audit_.size() > audit_capacity_) {
     audit_.pop_front();
@@ -78,22 +152,23 @@ SdlStatus Sdl::storage_fault(Op op, nn::Tensor* payload) const {
     case fault::FaultKind::kDelay:  // storage has no timing axis here:
                                     // delays degrade to transient failures
       unavailable.inc();
-      ++(is_read ? unavailable_reads_ : unavailable_writes_);
+      (is_read ? unavailable_reads_ : unavailable_writes_)
+          .fetch_add(1, std::memory_order_relaxed);
       return SdlStatus::kUnavailable;
     case fault::FaultKind::kDrop:
       if (is_read) {  // a dropped read response is indistinguishable from
                       // an unavailable backend to the caller
         unavailable.inc();
-        ++unavailable_reads_;
+        unavailable_reads_.fetch_add(1, std::memory_order_relaxed);
         return SdlStatus::kUnavailable;
       }
       lost.inc();
-      ++dropped_writes_;
+      dropped_writes_.fetch_add(1, std::memory_order_relaxed);
       return SdlStatus::kNotFound;  // sentinel: caller drops the write
     case fault::FaultKind::kCorrupt:
       if (payload != nullptr && !payload->empty()) {
         corrupted.inc();
-        ++corrupted_writes_;
+        corrupted_writes_.fetch_add(1, std::memory_order_relaxed);
         Rng rng(d.payload_seed);
         for (std::size_t i = 0; i < payload->numel(); ++i)
           (*payload)[i] += rng.normal(0.0f, d.corrupt_scale);
@@ -104,19 +179,90 @@ SdlStatus Sdl::storage_fault(Op op, nn::Tensor* payload) const {
   }
 }
 
+SdlStatus Sdl::shard_fault(Op op) const {
+  fault::FaultInjector* fi = fault::effective(fault_);
+  if (fi == nullptr) return SdlStatus::kOk;
+  const fault::FaultDecision d = fi->decide(fault::sites::kSdlShard);
+  switch (d.kind) {
+    case fault::FaultKind::kTransient:
+    case fault::FaultKind::kDelay:
+    case fault::FaultKind::kDrop: {
+      // A partition outage is retryable whichever way it manifests: the
+      // caller cannot reach the stripe, so reads and writes both surface
+      // kUnavailable (no silent write loss at this site — that semantics
+      // belongs to sdl.write).
+      static obs::Counter& outages = obs::counter(
+          "oran.sdl.shard_unavailable",
+          "SDL ops failed by injected per-stripe outages");
+      outages.inc();
+      (op == Op::kRead ? unavailable_reads_ : unavailable_writes_)
+          .fetch_add(1, std::memory_order_relaxed);
+      return SdlStatus::kUnavailable;
+    }
+    default:
+      return SdlStatus::kOk;
+  }
+}
+
 SdlStatus Sdl::write_tensor(const std::string& app_id, const std::string& ns,
-                            const std::string& key, nn::Tensor value) {
+                            const std::string& key, const nn::Tensor& value) {
+  // Copying-then-delegating preserves the historical by-value semantics
+  // exactly: a corrupt fault perturbs the copy, never the caller's tensor.
+  nn::Tensor copy = value;
+  return write_tensor(app_id, ns, key, std::move(copy));
+}
+
+SdlStatus Sdl::write_tensor(const std::string& app_id, const std::string& ns,
+                            const std::string& key, nn::Tensor&& value) {
   if (!check(app_id, ns, key, Op::kWrite)) return SdlStatus::kDenied;
   const SdlStatus fault_st = storage_fault(Op::kWrite, &value);
   if (fault_st == SdlStatus::kUnavailable) return SdlStatus::kUnavailable;
   if (fault_st == SdlStatus::kNotFound) return SdlStatus::kOk;  // lost write
+  if (shard_fault(Op::kWrite) == SdlStatus::kUnavailable)
+    return SdlStatus::kUnavailable;
   // Payload-size distribution: a sketch, because write sizes are exactly
   // the kind of long-tailed series fixed buckets misrepresent.
   static obs::SketchMetric& write_values = obs::sketch(
       "oran.sdl.write_values", 0.01, "tensor elements per committed SDL write");
   write_values.observe(static_cast<double>(value.numel()));
-  Entry& e = store_[{ns, key}];
+  const std::size_t si = stripe_of(ns, key);
+  std::unique_lock<std::mutex> lk = lock_stripe(si);
+  Entry& e = stripes_[si]->store[{ns, key}];
   e.tensor = std::move(value);
+  e.is_tensor = true;
+  e.writer = app_id;
+  ++e.version;
+  journal_write(ns, key, e);
+  return SdlStatus::kOk;
+}
+
+SdlStatus Sdl::write_tensor_inplace(const std::string& app_id,
+                                    const std::string& ns,
+                                    const std::string& key,
+                                    const nn::Shape& shape,
+                                    std::span<const float> data) {
+  OREV_CHECK(nn::shape_numel(shape) == data.size(),
+             "write_tensor_inplace payload does not match its shape");
+  if (!check(app_id, ns, key, Op::kWrite)) return SdlStatus::kDenied;
+  // The fault surface is identical to write_tensor; corruption is applied
+  // to the stored entry after the copy so the caller's span stays const.
+  const SdlStatus fault_st = storage_fault(Op::kWrite, nullptr);
+  if (fault_st == SdlStatus::kUnavailable) return SdlStatus::kUnavailable;
+  if (fault_st == SdlStatus::kNotFound) return SdlStatus::kOk;  // lost write
+  if (shard_fault(Op::kWrite) == SdlStatus::kUnavailable)
+    return SdlStatus::kUnavailable;
+  static obs::SketchMetric& write_values = obs::sketch(
+      "oran.sdl.write_values", 0.01, "tensor elements per committed SDL write");
+  write_values.observe(static_cast<double>(data.size()));
+  const std::size_t si = stripe_of(ns, key);
+  std::unique_lock<std::mutex> lk = lock_stripe(si);
+  Entry& e = stripes_[si]->store[{ns, key}];
+  if (e.is_tensor && e.tensor.shape() == shape) {
+    std::memcpy(e.tensor.raw(), data.data(), data.size() * sizeof(float));
+  } else {
+    e.tensor = nn::Tensor(shape,
+                          std::vector<float>(data.begin(), data.end()));
+  }
   e.is_tensor = true;
   e.writer = app_id;
   ++e.version;
@@ -130,7 +276,11 @@ SdlStatus Sdl::write_text(const std::string& app_id, const std::string& ns,
   const SdlStatus fault_st = storage_fault(Op::kWrite, nullptr);
   if (fault_st == SdlStatus::kUnavailable) return SdlStatus::kUnavailable;
   if (fault_st == SdlStatus::kNotFound) return SdlStatus::kOk;  // lost write
-  Entry& e = store_[{ns, key}];
+  if (shard_fault(Op::kWrite) == SdlStatus::kUnavailable)
+    return SdlStatus::kUnavailable;
+  const std::size_t si = stripe_of(ns, key);
+  std::unique_lock<std::mutex> lk = lock_stripe(si);
+  Entry& e = stripes_[si]->store[{ns, key}];
   e.text = std::move(value);
   e.is_tensor = false;
   e.writer = app_id;
@@ -144,8 +294,13 @@ SdlStatus Sdl::read_tensor(const std::string& app_id, const std::string& ns,
   if (!check(app_id, ns, key, Op::kRead)) return SdlStatus::kDenied;
   if (storage_fault(Op::kRead, nullptr) == SdlStatus::kUnavailable)
     return SdlStatus::kUnavailable;
-  const auto it = store_.find({ns, key});
-  if (it == store_.end() || !it->second.is_tensor) return SdlStatus::kNotFound;
+  if (shard_fault(Op::kRead) == SdlStatus::kUnavailable)
+    return SdlStatus::kUnavailable;
+  const std::size_t si = stripe_of(ns, key);
+  std::unique_lock<std::mutex> lk = lock_stripe(si);
+  const auto& store = stripes_[si]->store;
+  const auto it = store.find({ns, key});
+  if (it == store.end() || !it->second.is_tensor) return SdlStatus::kNotFound;
   out = it->second.tensor;
   return SdlStatus::kOk;
 }
@@ -155,31 +310,48 @@ SdlStatus Sdl::read_text(const std::string& app_id, const std::string& ns,
   if (!check(app_id, ns, key, Op::kRead)) return SdlStatus::kDenied;
   if (storage_fault(Op::kRead, nullptr) == SdlStatus::kUnavailable)
     return SdlStatus::kUnavailable;
-  const auto it = store_.find({ns, key});
-  if (it == store_.end() || it->second.is_tensor) return SdlStatus::kNotFound;
+  if (shard_fault(Op::kRead) == SdlStatus::kUnavailable)
+    return SdlStatus::kUnavailable;
+  const std::size_t si = stripe_of(ns, key);
+  std::unique_lock<std::mutex> lk = lock_stripe(si);
+  const auto& store = stripes_[si]->store;
+  const auto it = store.find({ns, key});
+  if (it == store.end() || it->second.is_tensor) return SdlStatus::kNotFound;
   out = it->second.text;
   return SdlStatus::kOk;
 }
 
 std::optional<std::uint64_t> Sdl::version(const std::string& ns,
                                           const std::string& key) const {
-  const auto it = store_.find({ns, key});
-  if (it == store_.end()) return std::nullopt;
+  const std::size_t si = stripe_of(ns, key);
+  std::unique_lock<std::mutex> lk = lock_stripe(si);
+  const auto& store = stripes_[si]->store;
+  const auto it = store.find({ns, key});
+  if (it == store.end()) return std::nullopt;
   return it->second.version;
 }
 
 std::optional<std::string> Sdl::last_writer(const std::string& ns,
                                             const std::string& key) const {
-  const auto it = store_.find({ns, key});
-  if (it == store_.end()) return std::nullopt;
+  const std::size_t si = stripe_of(ns, key);
+  std::unique_lock<std::mutex> lk = lock_stripe(si);
+  const auto& store = stripes_[si]->store;
+  const auto it = store.find({ns, key});
+  if (it == store.end()) return std::nullopt;
   return it->second.writer;
 }
 
 std::vector<std::string> Sdl::keys(const std::string& ns) const {
+  // Each stripe's map is (ns, key)-sorted; the merged result is re-sorted
+  // so callers see exactly the historical single-map ordering.
   std::vector<std::string> out;
-  for (const auto& [k, v] : store_) {
-    if (k.first == ns) out.push_back(k.second);
+  for (std::size_t si = 0; si < stripes_.size(); ++si) {
+    std::unique_lock<std::mutex> lk = lock_stripe(si);
+    for (const auto& [k, v] : stripes_[si]->store) {
+      if (k.first == ns) out.push_back(k.second);
+    }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -227,12 +399,14 @@ persist::Status Sdl::apply_entry(persist::ByteReader& r) {
     if (!r.str(e.text))
       return Status::Fail(StatusCode::kTruncated, "SDL text payload missing");
   }
-  store_[{std::move(ns), std::move(key)}] = std::move(e);
+  const std::size_t si = stripe_of(ns, key);
+  stripes_[si]->store[{std::move(ns), std::move(key)}] = std::move(e);
   return Status::Ok();
 }
 
 void Sdl::journal_write(const std::string& ns, const std::string& key,
                         const Entry& e) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
   if (!journal_.is_open()) return;
   persist::ByteWriter w;
   encode_entry(w, ns, key, e.writer, e.version, e.is_tensor, e.tensor, e.text);
@@ -307,11 +481,25 @@ persist::Status Sdl::snapshot() {
   using persist::Status;
   OREV_CHECK(journal_.is_open(), "snapshot() requires attached storage");
 
+  // Serialise in global (ns, key) order so the snapshot bytes never
+  // depend on the stripe count. Each stripe map is already sorted;
+  // gather pointers and merge-sort across stripes.
+  std::vector<std::pair<const std::pair<std::string, std::string>*,
+                        const Entry*>> all;
+  std::size_t total = 0;
+  for (const auto& s : stripes_) total += s->store.size();
+  all.reserve(total);
+  for (const auto& s : stripes_) {
+    for (const auto& [k, e] : s->store) all.emplace_back(&k, &e);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+
   persist::ByteWriter w;
-  w.u64(store_.size());
-  for (const auto& [k, e] : store_)
-    encode_entry(w, k.first, k.second, e.writer, e.version, e.is_tensor,
-                 e.tensor, e.text);
+  w.u64(all.size());
+  for (const auto& [k, e] : all)
+    encode_entry(w, k->first, k->second, e->writer, e->version, e->is_tensor,
+                 e->tensor, e->text);
   persist::FrameWriter fw(kSdlTag);
   fw.section("entries", w.take());
   Status st = fw.commit(snapshot_path(storage_dir_));

@@ -6,19 +6,37 @@
 // write access perturbing the telemetry a victim app consumes — happens
 // entirely through this interface.
 //
+// Sharding (DESIGN.md §16): the key map is split into `stripe_count()`
+// lock-striped partitions keyed by a stable FNV-1a hash of (ns, key), so
+// city-scale simulation shards can write per-cell telemetry concurrently
+// without serialising on one mutex. The stripe of a key depends only on
+// its bytes — never on stripe history, insertion order, or thread count —
+// and every externally visible semantic (per-entry versions, last-writer
+// identity, sorted keys(), journal replay, snapshot compaction bytes) is
+// identical to the historical single-map store. A one-stripe SDL *is* the
+// old single-mutex behaviour, which is what bench_perf_report's contention
+// phase compares against. Lock waits are observed into the
+// "oran.sdl.lock_wait_ns" histogram and per-stripe contention counters so
+// the sharding win is measurable.
+//
 // Robustness: an optional FaultInjector models a flaky storage backend
-// (site "sdl.read"/"sdl.write"). Transient faults surface as
-// SdlStatus::kUnavailable — a retryable condition distinct from kDenied /
-// kNotFound — write drops are silently lost, and corruption perturbs the
-// stored/returned tensor deterministically. With no injector the store is
-// perfectly reliable, as before. The audit log is a bounded ring so long
-// chaos soaks cannot grow it without bound.
+// (site "sdl.read"/"sdl.write", plus per-partition outages at site
+// "sdl.shard"). Transient faults surface as SdlStatus::kUnavailable — a
+// retryable condition distinct from kDenied / kNotFound — write drops are
+// silently lost, and corruption perturbs the stored/returned tensor
+// deterministically. With no injector the store is perfectly reliable, as
+// before. The audit log is a bounded ring so long chaos soaks cannot grow
+// it without bound.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,13 +61,37 @@ struct AuditRecord {
 
 class Sdl {
  public:
+  /// Default partition count; one stripe reproduces the historical
+  /// single-mutex store exactly.
+  static constexpr std::size_t kDefaultStripes = 16;
+
   /// The RBAC engine must outlive the SDL.
-  explicit Sdl(const Rbac* rbac);
+  explicit Sdl(const Rbac* rbac, std::size_t stripes = kDefaultStripes);
 
   SdlStatus write_tensor(const std::string& app_id, const std::string& ns,
-                         const std::string& key, nn::Tensor value);
+                         const std::string& key, const nn::Tensor& value);
+
+  /// Move-in write for the indication hot path: `value` is consumed only
+  /// when the write commits, so a retry loop that re-moves the same
+  /// tensor after kUnavailable still holds its payload. (Corner case: a
+  /// corrupt fault perturbs `value` in place before a later shard-outage
+  /// check, so a retried payload can carry the perturbation — the caller
+  /// handed over ownership, and faults are opt-in test machinery.)
+  SdlStatus write_tensor(const std::string& app_id, const std::string& ns,
+                         const std::string& key, nn::Tensor&& value);
+
   SdlStatus write_text(const std::string& app_id, const std::string& ns,
                        const std::string& key, std::string value);
+
+  /// Allocation-free tensor write for the binary KPM hot path: when the
+  /// entry already holds a tensor of `shape`, the payload is copied into
+  /// its existing storage (no allocation); otherwise this degrades to a
+  /// fresh tensor. Versioning, audit, fault and journal semantics are
+  /// identical to write_tensor.
+  SdlStatus write_tensor_inplace(const std::string& app_id,
+                                 const std::string& ns, const std::string& key,
+                                 const nn::Shape& shape,
+                                 std::span<const float> data);
 
   /// Read into `out`; returns kDenied/kNotFound/kUnavailable without
   /// touching `out` on failure.
@@ -69,8 +111,13 @@ class Sdl {
                                          const std::string& key) const;
 
   /// Bounded audit ring: the most recent `audit_capacity()` records.
+  /// The ring is shared across stripes; read it only while no concurrent
+  /// SDL traffic is in flight (tests and log consumers are serial).
   const std::deque<AuditRecord>& audit_log() const { return audit_; }
-  void clear_audit_log() { audit_.clear(); }
+  void clear_audit_log() {
+    std::lock_guard<std::mutex> lock(audit_mu_);
+    audit_.clear();
+  }
 
   /// Ring capacity (default 65536); shrinking drops the oldest records.
   void set_audit_capacity(std::size_t capacity);
@@ -95,8 +142,19 @@ class Sdl {
   /// Writes whose payload was corrupted before storing.
   std::uint64_t corrupted_writes() const { return corrupted_writes_; }
 
-  /// All keys currently present in a namespace.
+  /// All keys currently present in a namespace, ascending.
   std::vector<std::string> keys(const std::string& ns) const;
+
+  // ----- sharding ---------------------------------------------------------
+  std::size_t stripe_count() const { return stripes_.size(); }
+
+  /// Stable partition index of a key: FNV-1a over ns and key bytes, mod
+  /// the stripe count. Exposed so tests can pin cross-stripe scenarios.
+  std::size_t stripe_of(const std::string& ns, const std::string& key) const;
+
+  /// Lock acquisitions that found the stripe mutex already held.
+  std::uint64_t stripe_contentions(std::size_t stripe) const;
+  std::uint64_t total_contentions() const;
 
   // ----- crash-safe persistence -----------------------------------------
   // Durable store state under `dir`: a framed snapshot
@@ -105,9 +163,14 @@ class Sdl {
   // replays the journal's clean prefix on top — truncating a torn tail
   // from a crash mid-append — and then logs every subsequent successful
   // write. snapshot() compacts: it atomically rewrites the snapshot from
-  // the live store and resets the journal. With `sync_each_write` every
-  // journal append is fsync'd (power-loss durable) at a per-write cost.
-  // Without attach_storage() the SDL stays purely in-memory, as before.
+  // the live store and resets the journal. Snapshot bytes are
+  // stripe-independent: entries are serialised in ascending (ns, key)
+  // order regardless of partitioning, so snapshots written by a 1-stripe
+  // store load into a 16-stripe store (and vice versa) byte-exactly.
+  // With `sync_each_write` every journal append is fsync'd (power-loss
+  // durable) at a per-write cost. Without attach_storage() the SDL stays
+  // purely in-memory, as before. Attach/snapshot assume no concurrent
+  // traffic (they are maintenance operations, not hot-path ones).
   persist::Status attach_storage(const std::string& dir,
                                  bool sync_each_write = false);
   persist::Status snapshot();
@@ -126,12 +189,27 @@ class Sdl {
     std::uint64_t version = 0;
   };
 
+  /// One partition: its own mutex, its own sorted map. unique_ptr keeps
+  /// the stripe array constructible (std::mutex is not movable).
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<std::pair<std::string, std::string>, Entry> store;
+    std::atomic<std::uint64_t> contentions{0};
+  };
+
   bool check(const std::string& app_id, const std::string& ns,
              const std::string& key, Op op) const;
 
   /// Fault decision for one storage op; returns the injected status to
   /// surface (kOk = proceed normally). May corrupt `payload` in place.
   SdlStatus storage_fault(Op op, nn::Tensor* payload) const;
+
+  /// Per-partition outage site ("sdl.shard"): kUnavailable on a transient
+  /// decision, kOk otherwise. Drawn once per stripe access under a plan.
+  SdlStatus shard_fault(Op op) const;
+
+  /// Acquire a stripe's mutex, recording contention and lock-wait time.
+  std::unique_lock<std::mutex> lock_stripe(std::size_t i) const;
 
   /// Append one committed write to the journal (no-op when detached),
   /// then serve the "sdl.journal" kill-point.
@@ -141,17 +219,19 @@ class Sdl {
   persist::Status apply_entry(persist::ByteReader& r);
 
   const Rbac* rbac_;
-  std::map<std::pair<std::string, std::string>, Entry> store_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  mutable std::mutex audit_mu_;
   mutable std::deque<AuditRecord> audit_;
   std::size_t audit_capacity_ = 65536;
   mutable std::uint64_t audit_dropped_ = 0;
   fault::FaultInjector* fault_ = nullptr;
-  mutable std::uint64_t unavailable_reads_ = 0;
-  mutable std::uint64_t unavailable_writes_ = 0;
-  mutable std::uint64_t dropped_writes_ = 0;
-  mutable std::uint64_t corrupted_writes_ = 0;
+  mutable std::atomic<std::uint64_t> unavailable_reads_{0};
+  mutable std::atomic<std::uint64_t> unavailable_writes_{0};
+  mutable std::atomic<std::uint64_t> dropped_writes_{0};
+  mutable std::atomic<std::uint64_t> corrupted_writes_{0};
   std::string storage_dir_;
   bool sync_each_write_ = false;
+  mutable std::mutex journal_mu_;
   persist::JournalWriter journal_;
   std::uint64_t journal_replayed_ = 0;
   bool journal_tail_torn_ = false;

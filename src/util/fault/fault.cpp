@@ -169,6 +169,11 @@ FaultPlan default_chaos_plan() {
   // (rollback must keep the fleet serving) and defer a review pass.
   add(sites::kServeSwap, FaultKind::kTransient, 0.10);
   add(sites::kDefenseReview, FaultKind::kTransient, 0.05);
+  // City-scale emulation plane: sporadic lost/failed simulator events and
+  // brief per-stripe SDL partition outages under the sharded store.
+  add(sites::kCitysimEvent, FaultKind::kDrop, 0.005);
+  add(sites::kCitysimEvent, FaultKind::kTransient, 0.01);
+  add(sites::kSdlShard, FaultKind::kTransient, 0.002);
   return plan;
 }
 

@@ -98,6 +98,14 @@ inline constexpr const char* kCkptTrainer = "ckpt.trainer";
 inline constexpr const char* kCkptClone = "ckpt.clone";
 inline constexpr const char* kCkptUap = "ckpt.uap";
 inline constexpr const char* kSdlJournal = "sdl.journal";
+// City-scale emulation sites (src/citysim): one "citysim.event" op per
+// executed simulator event (drop loses the event's KPM report, transient
+// fails it retryably — the shard re-runs delivery), one "sdl.shard" op per
+// SDL stripe access (transient = that partition briefly unreachable), and
+// a "ckpt.citysim" kill-point after each simulator checkpoint commit.
+inline constexpr const char* kCitysimEvent = "citysim.event";
+inline constexpr const char* kSdlShard = "sdl.shard";
+inline constexpr const char* kCkptCitysim = "ckpt.citysim";
 }  // namespace sites
 
 /// A seeded schedule of per-site fault specs.

@@ -57,6 +57,17 @@ inline std::uint32_t crc32(std::string_view bytes, std::uint32_t crc = 0) {
   return crc32(bytes.data(), bytes.size(), crc);
 }
 
+/// CRC-32C (Castagnoli polynomial, reflected, iSCSI/RFC 3720 convention:
+/// "123456789" -> 0xe3069283). Uses the SSE4.2 crc32 instruction when the
+/// CPU has it; the software fallback computes identical values, so
+/// checksums are portable. Preferred for high-rate in-memory framing (the
+/// binary E2 codec); on-disk formats keep crc32 for compatibility with
+/// existing journals and checkpoints.
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t crc = 0);
+inline std::uint32_t crc32c(std::string_view bytes, std::uint32_t crc = 0) {
+  return crc32c(bytes.data(), bytes.size(), crc);
+}
+
 /// True when `path` names an existing regular file.
 bool file_exists(const std::string& path);
 
